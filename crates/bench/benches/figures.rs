@@ -1,0 +1,96 @@
+//! Benches regenerating the measured figures: Fig. 1 trends, the
+//! Fig. 2/4/5 characterization time series, and the Fig. 7 loaded-latency
+//! calibration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use memsense_bench::check;
+use memsense_experiments::figures::{fig1_trends, fig7_table};
+use memsense_experiments::timeseries::{class_series, SeriesBudget};
+use memsense_mlc::{composite_queueing_curve, loaded_latency_sweep, MlcConfig};
+use memsense_workloads::Class;
+
+fn bench_budget() -> SeriesBudget {
+    SeriesBudget {
+        threads: 4,
+        warmup_ops: 30_000,
+        interval_ns: 10_000.0,
+        samples: 10,
+    }
+}
+
+fn fig1_trends_bench(c: &mut Criterion) {
+    c.bench_function("fig1_trends", |b| {
+        b.iter(|| {
+            let t = fig1_trends(8);
+            check(t.last().unwrap().cpu_capability > t.last().unwrap().dram_density, "gap");
+            black_box(t.len())
+        })
+    });
+}
+
+fn fig2_bigdata_timeseries(c: &mut Criterion) {
+    c.bench_function("fig2_bigdata_timeseries", |b| {
+        b.iter(|| {
+            let series = class_series(Class::BigData, &bench_budget()).unwrap();
+            check(series.len() == 4, "four big data workloads");
+            black_box(series.iter().map(|s| s.samples.len()).sum::<usize>())
+        })
+    });
+}
+
+fn fig4_enterprise_timeseries(c: &mut Criterion) {
+    c.bench_function("fig4_enterprise_timeseries", |b| {
+        b.iter(|| {
+            let series = class_series(Class::Enterprise, &bench_budget()).unwrap();
+            black_box(series.iter().map(|s| s.mean_cpi()).sum::<f64>())
+        })
+    });
+}
+
+fn fig5_hpc_timeseries(c: &mut Criterion) {
+    c.bench_function("fig5_hpc_timeseries", |b| {
+        b.iter(|| {
+            let series = class_series(Class::Hpc, &bench_budget()).unwrap();
+            black_box(series.iter().map(|s| s.mean_bandwidth()).sum::<f64>())
+        })
+    });
+}
+
+fn fig7_queueing(c: &mut Criterion) {
+    let quick = MlcConfig {
+        offered_gbps: vec![2.0, 12.0, 22.0, 30.0, 36.0, 42.0, 50.0],
+        window_ns: 80_000.0,
+        ..MlcConfig::default()
+    };
+    c.bench_function("fig7_queueing", |b| {
+        b.iter(|| {
+            let sweeps = vec![
+                loaded_latency_sweep(&quick),
+                loaded_latency_sweep(&MlcConfig {
+                    read_fraction: 0.67,
+                    ..quick.clone()
+                }),
+            ];
+            let curve = composite_queueing_curve(&sweeps).unwrap();
+            check(curve.delay(0.9).value() > curve.delay(0.2).value(), "monotone");
+            let fig = memsense_experiments::figures::Fig7 {
+                sweeps,
+                composite: curve,
+            };
+            black_box(fig7_table(&fig).len())
+        })
+    });
+}
+
+criterion_group!(
+    name = figures;
+    config = Criterion::default().sample_size(10);
+    targets = fig1_trends_bench,
+    fig2_bigdata_timeseries,
+    fig4_enterprise_timeseries,
+    fig5_hpc_timeseries,
+    fig7_queueing
+);
+criterion_main!(figures);

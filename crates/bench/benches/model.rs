@@ -1,0 +1,252 @@
+//! Benches regenerating the analytic-model artifacts: Figs. 8–11, Tab. 7,
+//! the Eq. 5 hierarchy exploration, and the queueing-curve ablation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use memsense_bench::check;
+use memsense_model::hierarchy::{break_even_near_hit, TieredMemory};
+use memsense_model::queueing::QueueingCurve;
+use memsense_model::sensitivity::{
+    bandwidth_derivative, bandwidth_sweep, default_bandwidth_deltas, default_latency_steps,
+    equivalence, latency_derivative, latency_sweep,
+};
+use memsense_model::solver::{solve_cpi, Regime};
+use memsense_model::system::SystemConfig;
+use memsense_model::units::{GigaHertz, Nanoseconds};
+use memsense_model::workload::WorkloadParams;
+
+fn inputs() -> (Vec<WorkloadParams>, SystemConfig, QueueingCurve) {
+    (
+        WorkloadParams::all_classes(),
+        SystemConfig::paper_baseline(),
+        QueueingCurve::composite_default(),
+    )
+}
+
+fn fig8_bw_sweep(c: &mut Criterion) {
+    let (classes, sys, curve) = inputs();
+    c.bench_function("fig8_bw_sweep", |b| {
+        b.iter(|| {
+            let mut rows = 0;
+            for class in &classes {
+                let sweep =
+                    bandwidth_sweep(class, &sys, &curve, &default_bandwidth_deltas()).unwrap();
+                rows += sweep.len();
+                // Shape: HPC is bandwidth bound at every point.
+                if class.name.contains("HPC") {
+                    check(
+                        sweep.iter().all(|p| p.solved.regime == Regime::BandwidthBound),
+                        "HPC bandwidth bound across Fig. 8",
+                    );
+                }
+            }
+            black_box(rows)
+        })
+    });
+}
+
+fn fig9_bw_derivative(c: &mut Criterion) {
+    let (classes, sys, curve) = inputs();
+    c.bench_function("fig9_bw_derivative", |b| {
+        b.iter(|| {
+            let sweep =
+                bandwidth_sweep(&classes[2], &sys, &curve, &default_bandwidth_deltas()).unwrap();
+            let deriv = bandwidth_derivative(&sweep).unwrap();
+            check(
+                deriv.last().unwrap().pct_per_unit > deriv.first().unwrap().pct_per_unit,
+                "marginal impact grows as bandwidth shrinks",
+            );
+            black_box(deriv.len())
+        })
+    });
+}
+
+fn fig10_latency_sweep(c: &mut Criterion) {
+    let (classes, sys, curve) = inputs();
+    c.bench_function("fig10_latency_sweep", |b| {
+        b.iter(|| {
+            let mut last_ratio = Vec::new();
+            for class in &classes {
+                let sweep = latency_sweep(class, &sys, &curve, &default_latency_steps()).unwrap();
+                last_ratio.push(sweep.last().unwrap().cpi_ratio);
+            }
+            // Enterprise > big data > HPC (flat).
+            check(last_ratio[0] > last_ratio[1], "enterprise most latency sensitive");
+            check(last_ratio[2] < 1.0 + 1e-9, "HPC latency-flat");
+            black_box(last_ratio)
+        })
+    });
+}
+
+fn fig11_latency_derivative(c: &mut Criterion) {
+    let (classes, sys, curve) = inputs();
+    c.bench_function("fig11_latency_derivative", |b| {
+        b.iter(|| {
+            let sweep =
+                latency_sweep(&classes[0], &sys, &curve, &default_latency_steps()).unwrap();
+            let deriv = latency_derivative(&sweep).unwrap();
+            let avg =
+                deriv.iter().map(|d| d.pct_per_unit).sum::<f64>() / deriv.len() as f64;
+            check((avg - 3.5).abs() < 1.0, "enterprise ~3.5% per 10 ns");
+            black_box(avg)
+        })
+    });
+}
+
+fn tab7_equivalence(c: &mut Criterion) {
+    let (classes, sys, curve) = inputs();
+    c.bench_function("tab7_equivalence", |b| {
+        b.iter(|| {
+            let rows: Vec<_> = classes
+                .iter()
+                .map(|class| equivalence(class, &sys, &curve).unwrap())
+                .collect();
+            check(
+                rows[2].latency_equivalent_of_bandwidth.is_none(),
+                "no latency compensates HPC bandwidth",
+            );
+            black_box(rows.len())
+        })
+    });
+}
+
+fn solver_fixed_point(c: &mut Criterion) {
+    let (classes, sys, curve) = inputs();
+    c.bench_function("solver_fixed_point", |b| {
+        b.iter(|| {
+            for class in &classes {
+                black_box(solve_cpi(class, &sys, &curve).unwrap());
+            }
+        })
+    });
+}
+
+fn hierarchy_break_even(c: &mut Criterion) {
+    let (classes, _, _) = inputs();
+    c.bench_function("hierarchy_break_even", |b| {
+        b.iter(|| {
+            for class in &classes {
+                let be = break_even_near_hit(
+                    class,
+                    Nanoseconds(50.0),
+                    Nanoseconds(300.0),
+                    Nanoseconds(75.0),
+                    GigaHertz(2.7),
+                )
+                .unwrap();
+                black_box(be);
+                black_box(
+                    TieredMemory::two_tier(0.8, Nanoseconds(50.0), Nanoseconds(300.0)).unwrap(),
+                );
+            }
+        })
+    });
+}
+
+fn ablation_queueing_curves(c: &mut Criterion) {
+    let (classes, sys, _) = inputs();
+    let composite = QueueingCurve::composite_default();
+    let mm1 = QueueingCurve::mm1(Nanoseconds(12.0)).unwrap();
+    c.bench_function("ablation_queueing_curves", |b| {
+        b.iter(|| {
+            for class in &classes {
+                let a = solve_cpi(class, &sys, &composite).unwrap().cpi_eff;
+                let b2 = solve_cpi(class, &sys, &mm1).unwrap().cpi_eff;
+                black_box((a, b2));
+            }
+        })
+    });
+}
+
+fn numa_penalty_bench(c: &mut Criterion) {
+    use memsense_model::numa::{numa_penalty, NumaConfig};
+    let classes = WorkloadParams::all_classes();
+    let sys = SystemConfig::characterization_platform();
+    let curve = QueueingCurve::composite_default();
+    c.bench_function("numa_penalty", |b| {
+        b.iter(|| {
+            for class in &classes {
+                let p = numa_penalty(
+                    class,
+                    &sys,
+                    &curve,
+                    &NumaConfig::new(0.5, Nanoseconds(60.0)).unwrap(),
+                )
+                .unwrap();
+                black_box(p);
+            }
+        })
+    });
+}
+
+fn tornado_analysis(c: &mut Criterion) {
+    use memsense_experiments::tornado::tornado;
+    let (classes, sys, curve) = inputs();
+    c.bench_function("tornado_analysis", |b| {
+        b.iter(|| {
+            for class in &classes {
+                let bars = tornado(class, &sys, &curve, 0.2).unwrap();
+                check(bars.len() == 4, "four parameters");
+                black_box(bars);
+            }
+        })
+    });
+}
+
+fn phased_solve(c: &mut Criterion) {
+    use memsense_model::phases::{solve_phased, PhasedWorkload};
+    use memsense_model::workload::Segment;
+    let (_, sys, curve) = inputs();
+    let shuffle =
+        WorkloadParams::new("shuffle", Segment::BigData, 0.85, 0.30, 9.0, 0.8).unwrap();
+    let map = WorkloadParams::new("map", Segment::BigData, 1.0, 0.10, 1.5, 0.3).unwrap();
+    let phased = PhasedWorkload::new("job", vec![(shuffle, 1.0), (map, 3.0)]).unwrap();
+    c.bench_function("phased_solve", |b| {
+        b.iter(|| black_box(solve_phased(&phased, &sys, &curve).unwrap().cpi_eff))
+    });
+}
+
+fn design_space_search(c: &mut Criterion) {
+    use memsense_model::design::{default_grid, evaluate, pareto_frontier, Mix};
+    let (_, sys, curve) = inputs();
+    c.bench_function("design_space_search", |b| {
+        b.iter(|| {
+            let ev = evaluate(&default_grid(), &Mix::balanced(), &sys, &curve).unwrap();
+            let frontier = pareto_frontier(&ev);
+            check(!frontier.is_empty(), "non-empty frontier");
+            black_box(frontier.len())
+        })
+    });
+}
+
+fn channel_speed_sweeps(c: &mut Criterion) {
+    use memsense_experiments::sweeps::{channel_sweep_table, speed_sweep_table};
+    let (classes, sys, curve) = inputs();
+    c.bench_function("channel_speed_sweeps", |b| {
+        b.iter(|| {
+            let a = channel_sweep_table(&classes, &sys, &curve).unwrap();
+            let s = speed_sweep_table(&classes, &sys, &curve).unwrap();
+            black_box((a.len(), s.len()))
+        })
+    });
+}
+
+criterion_group!(
+    name = model;
+    config = Criterion::default().sample_size(20);
+    targets = fig8_bw_sweep,
+    fig9_bw_derivative,
+    fig10_latency_sweep,
+    fig11_latency_derivative,
+    tab7_equivalence,
+    solver_fixed_point,
+    hierarchy_break_even,
+    ablation_queueing_curves,
+    numa_penalty_bench,
+    tornado_analysis,
+    phased_solve,
+    design_space_search,
+    channel_speed_sweeps
+);
+criterion_main!(model);

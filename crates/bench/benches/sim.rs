@@ -1,0 +1,90 @@
+//! Substrate micro-benchmarks: simulator throughput per subsystem, so
+//! regressions in the engine show up independently of the experiment suite.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use memsense_sim::config::{MemoryConfig, SimConfig};
+use memsense_sim::mem::MemoryController;
+use memsense_sim::{Machine, Op};
+use memsense_workloads::Workload;
+
+fn cache_hierarchy_access(c: &mut Criterion) {
+    use memsense_sim::cache::CacheHierarchy;
+    let cfg = SimConfig::xeon_like(1);
+    let mut group = c.benchmark_group("sim");
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("cache_hierarchy_10k_accesses", |b| {
+        b.iter(|| {
+            let mut h = CacheHierarchy::new(&cfg);
+            let mut acc = 0u64;
+            for i in 0..10_000u64 {
+                let addr = (i.wrapping_mul(0x9e3779b97f4a7c15)) % (8 << 20);
+                let r = h.access(addr & !63, i % 7 == 0);
+                acc += r.memory_writeback.is_some() as u64;
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+fn memory_controller_requests(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim");
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("memory_controller_10k_requests", |b| {
+        b.iter(|| {
+            let mut m = MemoryController::new(MemoryConfig::ddr3_1867(), 64);
+            let mut t = 0.0;
+            let mut acc = 0.0;
+            for i in 0..10_000u64 {
+                let addr = (i.wrapping_mul(0x2545f4914f6cdd1d)) % (1 << 30);
+                acc += m.request(t, addr & !63, i % 3 == 0).latency_ns;
+                t += 2.0;
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+fn engine_instruction_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim");
+    group.throughput(Throughput::Elements(50_000));
+    group.bench_function("engine_50k_mixed_ops", |b| {
+        b.iter(|| {
+            let cfg = SimConfig::xeon_like(2);
+            let streams = Workload::StructuredData.streams(2, 1);
+            let mut m = Machine::new(cfg, streams).unwrap();
+            m.run_ops(25_000);
+            black_box(m.total_counters().instructions)
+        })
+    });
+    group.finish();
+}
+
+fn engine_pure_compute(c: &mut Criterion) {
+    use memsense_sim::trace::PatternStream;
+    let mut group = c.benchmark_group("sim");
+    group.throughput(Throughput::Elements(100_000));
+    group.bench_function("engine_100k_compute_ops", |b| {
+        b.iter(|| {
+            let cfg = SimConfig::xeon_like(1);
+            let stream = PatternStream::new(vec![Op::compute(), Op::compute_heavy(2)]);
+            let mut m = Machine::new(cfg, vec![Box::new(stream)]).unwrap();
+            m.run_ops(100_000);
+            black_box(m.total_counters().busy_ns)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = sim;
+    config = Criterion::default().sample_size(15);
+    targets = cache_hierarchy_access,
+    memory_controller_requests,
+    engine_instruction_throughput,
+    engine_pure_compute
+);
+criterion_main!(sim);

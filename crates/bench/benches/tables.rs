@@ -1,0 +1,106 @@
+//! Benches regenerating the calibration-driven tables: Fig. 3 fits,
+//! Tabs. 2–6, and the constant-BF ablation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use memsense_bench::check;
+use memsense_experiments::ablation::constant_bf_table;
+use memsense_experiments::calibrate::{calibrate, CalibrationBudget};
+use memsense_experiments::classify::{class_means, fig6_table, tab6_table};
+use memsense_experiments::tables::{fig3, tab2};
+use memsense_experiments::validate::validate_calibration;
+use memsense_workloads::{Class, Workload};
+
+fn bench_budget() -> CalibrationBudget {
+    CalibrationBudget {
+        warmup_ops: 40_000,
+        window_ns: 50_000.0,
+        threads: 4,
+        hpc_threads: 2,
+    }
+}
+
+fn fig3_cpi_fit(c: &mut Criterion) {
+    c.bench_function("fig3_cpi_fit", |b| {
+        b.iter(|| {
+            let cal = calibrate(Workload::StructuredData, &bench_budget()).unwrap();
+            check(cal.r_squared > 0.7, "good linear fit");
+            black_box(fig3(&[cal]).len())
+        })
+    });
+}
+
+fn tab2_bigdata_params(c: &mut Criterion) {
+    c.bench_function("tab2_bigdata_params", |b| {
+        b.iter(|| {
+            let cals: Vec<_> = Workload::all()
+                .into_iter()
+                .filter(|w| w.class() == Class::BigData)
+                .map(|w| calibrate(w, &bench_budget()).unwrap())
+                .collect();
+            black_box(tab2(&cals).len())
+        })
+    });
+}
+
+fn tab3_validation(c: &mut Criterion) {
+    c.bench_function("tab3_validation", |b| {
+        b.iter(|| {
+            let cal = calibrate(Workload::StructuredData, &bench_budget()).unwrap();
+            let v = validate_calibration(cal);
+            check(v.max_abs_error() < 0.10, "Tab. 3 error bound");
+            black_box(v.points.len())
+        })
+    });
+}
+
+fn tab45_class_params(c: &mut Criterion) {
+    c.bench_function("tab45_class_params", |b| {
+        b.iter(|| {
+            let cals: Vec<_> = [Workload::Oltp, Workload::Bwaves]
+                .into_iter()
+                .map(|w| calibrate(w, &bench_budget()).unwrap())
+                .collect();
+            check(cals[0].bf > cals[1].bf, "enterprise BF > HPC BF");
+            black_box(cals.len())
+        })
+    });
+}
+
+fn fig6_tab6_classification(c: &mut Criterion) {
+    // Calibrate once; bench the classification step itself.
+    let cals: Vec<_> = Workload::all()
+        .into_iter()
+        .map(|w| calibrate(w, &bench_budget()).unwrap())
+        .collect();
+    c.bench_function("fig6_tab6_classification", |b| {
+        b.iter(|| {
+            let means = class_means(&cals).unwrap();
+            check(means.len() == 3, "three class means");
+            black_box((fig6_table(&cals).unwrap().len(), tab6_table(&cals).unwrap().len()))
+        })
+    });
+}
+
+fn ablation_constant_bf(c: &mut Criterion) {
+    let cals: Vec<_> = [Workload::StructuredData, Workload::Oltp]
+        .into_iter()
+        .map(|w| calibrate(w, &bench_budget()).unwrap())
+        .collect();
+    c.bench_function("ablation_constant_bf", |b| {
+        b.iter(|| black_box(constant_bf_table(&cals).len()))
+    });
+}
+
+criterion_group!(
+    name = tables;
+    config = Criterion::default().sample_size(10);
+    targets = fig3_cpi_fit,
+    tab2_bigdata_params,
+    tab3_validation,
+    tab45_class_params,
+    fig6_tab6_classification,
+    ablation_constant_bf
+);
+criterion_main!(tables);

@@ -1,0 +1,28 @@
+//! Benchmark harness crate for memsense.
+//!
+//! The Criterion benches under `benches/` regenerate every table and figure
+//! of the paper while measuring how long the regeneration takes:
+//!
+//! | Bench group | Paper artifact |
+//! |---|---|
+//! | `figures::fig1_trends` | Fig. 1 |
+//! | `figures::fig2_bigdata_timeseries` | Fig. 2 |
+//! | `figures::fig4_enterprise_timeseries` | Fig. 4 |
+//! | `figures::fig5_hpc_timeseries` | Fig. 5 |
+//! | `figures::fig7_queueing` | Fig. 7 |
+//! | `tables::fig3_cpi_fit` | Fig. 3 |
+//! | `tables::tab2_bigdata_params` | Tab. 2 |
+//! | `tables::tab3_validation` | Tab. 3 |
+//! | `tables::tab45_class_params` | Tabs. 4–5 |
+//! | `tables::fig6_tab6_classification` | Fig. 6 / Tab. 6 |
+//! | `model::fig8_bw_sweep` … `model::tab7_equivalence` | Figs. 8–11, Tab. 7 |
+//! | `model::ablation_*` | DESIGN.md ablations |
+//! | `sim::*` | substrate micro-benchmarks |
+//!
+//! Run with `cargo bench --workspace`; results land in `target/criterion/`.
+
+/// Shared tiny helper: assert a condition inside a bench body without
+/// optimizing the computation away.
+pub fn check(cond: bool, what: &str) {
+    assert!(cond, "bench sanity check failed: {what}");
+}

@@ -1,0 +1,318 @@
+//! Workload classification (paper Fig. 6 / Tab. 6 / Sec. VI.B).
+//!
+//! Each calibrated workload becomes a point in the plane of latency
+//! sensitivity (blocking factor, x-axis) versus intrinsic bandwidth demand
+//! (memory reads + writebacks per cycle at `CPI_cache`, y-axis). The paper
+//! groups points by usage segment, averages each segment into a class mean,
+//! and pulls core-bound workloads (proximity, some SPEC components) out into
+//! their own cluster near the origin. An unsupervised k-means pass confirms
+//! the segments really form distinct clusters.
+
+use memsense_model::workload::WorkloadParams;
+use memsense_stats::kmeans;
+use memsense_workloads::Class;
+
+use crate::calibrate::CalibratedWorkload;
+use crate::render::{f, pct, Table};
+use crate::ExperimentError;
+
+/// A workload's position in the Fig. 6 plane.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassPoint {
+    /// Workload name.
+    pub name: String,
+    /// Usage segment.
+    pub class: Class,
+    /// Latency sensitivity: the blocking factor.
+    pub bf: f64,
+    /// Bandwidth demand: memory references per cycle at `CPI_cache`.
+    pub refs_per_cycle: f64,
+    /// Whether the workload is core bound (excluded from class means, as the
+    /// paper omits proximity from Tab. 6).
+    pub core_bound: bool,
+}
+
+/// Threshold below which a workload's memory term marks it core bound:
+/// `MPI × (1+WBR) / CPI_cache` and BF both tiny.
+const CORE_BOUND_BF: f64 = 0.08;
+const CORE_BOUND_REFS: f64 = 0.002;
+
+/// Builds Fig. 6 points from calibrated workloads.
+///
+/// # Errors
+///
+/// Propagates parameter-conversion failures.
+pub fn class_points(
+    calibrations: &[CalibratedWorkload],
+) -> Result<Vec<ClassPoint>, ExperimentError> {
+    calibrations
+        .iter()
+        .map(|c| {
+            let params = c.to_params()?;
+            let refs = params.refs_per_cycle().value();
+            let bf = c.bf.max(0.0);
+            Ok(ClassPoint {
+                name: c.workload.name().to_string(),
+                class: c.workload.class(),
+                bf,
+                refs_per_cycle: refs,
+                core_bound: bf < CORE_BOUND_BF && refs < CORE_BOUND_REFS,
+            })
+        })
+        .collect()
+}
+
+/// Class means over non-core-bound members (the red points of Fig. 6 and
+/// the rows of Tab. 6).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassMean {
+    /// Usage segment.
+    pub class: Class,
+    /// Mean CPI_cache.
+    pub cpi_cache: f64,
+    /// Mean blocking factor.
+    pub bf: f64,
+    /// Mean MPKI.
+    pub mpki: f64,
+    /// Mean writeback rate.
+    pub wbr: f64,
+    /// Members averaged.
+    pub members: usize,
+}
+
+impl ClassMean {
+    /// Converts the mean into analytic-model class parameters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parameter validation.
+    pub fn to_params(&self) -> Result<WorkloadParams, memsense_model::ModelError> {
+        let (name, segment) = match self.class {
+            Class::BigData => ("Big Data class", memsense_model::Segment::BigData),
+            Class::Enterprise => ("Enterprise class", memsense_model::Segment::Enterprise),
+            Class::Hpc => ("HPC class", memsense_model::Segment::Hpc),
+        };
+        WorkloadParams::new(name, segment, self.cpi_cache, self.bf.max(0.0), self.mpki, self.wbr)
+    }
+}
+
+/// Computes per-class means, excluding core-bound members.
+///
+/// # Errors
+///
+/// Propagates point-construction failures.
+pub fn class_means(
+    calibrations: &[CalibratedWorkload],
+) -> Result<Vec<ClassMean>, ExperimentError> {
+    let points = class_points(calibrations)?;
+    let mut out = Vec::new();
+    for class in [Class::Enterprise, Class::BigData, Class::Hpc] {
+        let members: Vec<&CalibratedWorkload> = calibrations
+            .iter()
+            .zip(&points)
+            .filter(|(c, p)| c.workload.class() == class && !p.core_bound)
+            .map(|(c, _)| c)
+            .collect();
+        if members.is_empty() {
+            continue;
+        }
+        let n = members.len() as f64;
+        out.push(ClassMean {
+            class,
+            cpi_cache: members.iter().map(|m| m.cpi_cache).sum::<f64>() / n,
+            bf: members.iter().map(|m| m.bf).sum::<f64>() / n,
+            mpki: members.iter().map(|m| m.mpki).sum::<f64>() / n,
+            wbr: members.iter().map(|m| m.wbr).sum::<f64>() / n,
+            members: members.len(),
+        })
+    }
+    Ok(out)
+}
+
+/// Unsupervised check that the (BF, refs/cycle) plane separates the
+/// segments: k-means with k=3 over non-core-bound points, returning the
+/// fraction of points whose cluster agrees with the majority cluster of
+/// their segment.
+///
+/// # Errors
+///
+/// Propagates point-construction failures or degenerate clustering input.
+pub fn clustering_agreement(calibrations: &[CalibratedWorkload]) -> Result<f64, ExperimentError> {
+    let points = class_points(calibrations)?;
+    let active: Vec<&ClassPoint> = points.iter().filter(|p| !p.core_bound).collect();
+    if active.len() < 3 {
+        return Err(ExperimentError::NoData);
+    }
+    // Normalize both axes to comparable scale before clustering.
+    let max_bf = active.iter().map(|p| p.bf).fold(f64::MIN, f64::max).max(1e-9);
+    let max_refs = active
+        .iter()
+        .map(|p| p.refs_per_cycle)
+        .fold(f64::MIN, f64::max)
+        .max(1e-9);
+    let data: Vec<Vec<f64>> = active
+        .iter()
+        .map(|p| vec![p.bf / max_bf, p.refs_per_cycle / max_refs])
+        .collect();
+    let clustering = kmeans(&data, 3, 100).map_err(|_| ExperimentError::NoData)?;
+
+    let mut agree = 0usize;
+    for class in [Class::Enterprise, Class::BigData, Class::Hpc] {
+        let assignments: Vec<usize> = active
+            .iter()
+            .zip(&clustering.assignments)
+            .filter(|(p, _)| p.class == class)
+            .map(|(_, &a)| a)
+            .collect();
+        if assignments.is_empty() {
+            continue;
+        }
+        let mut counts = [0usize; 16];
+        for &a in &assignments {
+            counts[a] += 1;
+        }
+        agree += counts.iter().max().copied().unwrap_or(0);
+    }
+    Ok(agree as f64 / active.len() as f64)
+}
+
+/// Renders Fig. 6 as a table of points plus class means.
+///
+/// # Errors
+///
+/// Propagates point and mean construction failures.
+pub fn fig6_table(calibrations: &[CalibratedWorkload]) -> Result<Table, ExperimentError> {
+    let points = class_points(calibrations)?;
+    let means = class_means(calibrations)?;
+    let mut t = Table::new(
+        "Fig. 6: bandwidth demand vs latency sensitivity",
+        &["workload", "class", "BF", "refs_per_cycle", "core_bound"],
+    );
+    for p in &points {
+        t.row(vec![
+            p.name.clone(),
+            format!("{:?}", p.class),
+            f(p.bf, 3),
+            f(p.refs_per_cycle, 4),
+            if p.core_bound { "yes" } else { "no" }.to_string(),
+        ]);
+    }
+    for m in &means {
+        t.row(vec![
+            format!("MEAN {:?}", m.class),
+            format!("{:?}", m.class),
+            f(m.bf, 3),
+            f(m.mpki / 1000.0 * (1.0 + m.wbr) / m.cpi_cache, 4),
+            "no".to_string(),
+        ]);
+    }
+    Ok(t)
+}
+
+/// Renders Tab. 6 (class means).
+///
+/// # Errors
+///
+/// Propagates mean construction failures.
+pub fn tab6_table(calibrations: &[CalibratedWorkload]) -> Result<Table, ExperimentError> {
+    let means = class_means(calibrations)?;
+    let mut t = Table::new(
+        "Tab. 6: workload class parameters (measured)",
+        &["class", "CPI_cache", "BF", "MPKI", "WBR", "members"],
+    );
+    for m in &means {
+        t.row(vec![
+            format!("{:?}", m.class),
+            f(m.cpi_cache, 2),
+            f(m.bf, 2),
+            f(m.mpki, 1),
+            pct(m.wbr, 0),
+            m.members.to_string(),
+        ]);
+    }
+    Ok(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calibrate::{calibrate_all, CalibrationBudget};
+    use std::sync::OnceLock;
+
+    fn cals() -> &'static Vec<CalibratedWorkload> {
+        static CACHE: OnceLock<Vec<CalibratedWorkload>> = OnceLock::new();
+        CACHE.get_or_init(|| calibrate_all(&CalibrationBudget::quick()).unwrap())
+    }
+
+    #[test]
+    fn fourteen_points_with_core_bound_cluster() {
+        let points = class_points(cals()).unwrap();
+        assert_eq!(points.len(), 14);
+        // The Fig. 6 origin cluster: proximity plus the two core-bound SPEC
+        // components.
+        for name in ["Proximity", "povray", "perlbench"] {
+            let p = points.iter().find(|p| p.name == name).unwrap();
+            assert!(p.core_bound, "{name} must be core bound: {p:?}");
+        }
+        // The eleven modeled workloads are not core bound.
+        assert_eq!(points.iter().filter(|p| !p.core_bound).count(), 11);
+    }
+
+    #[test]
+    fn fig6_ordering_matches_paper() {
+        let means = class_means(cals()).unwrap();
+        assert_eq!(means.len(), 3);
+        let get = |c: Class| means.iter().find(|m| m.class == c).unwrap();
+        let ent = get(Class::Enterprise);
+        let big = get(Class::BigData);
+        let hpc = get(Class::Hpc);
+        // Enterprise most latency sensitive; HPC least.
+        assert!(ent.bf > big.bf, "ent BF {} > big {}", ent.bf, big.bf);
+        assert!(big.bf > hpc.bf, "big BF {} > hpc {}", big.bf, hpc.bf);
+        // HPC demands the most bandwidth per cycle.
+        let refs = |m: &ClassMean| m.mpki / 1000.0 * (1.0 + m.wbr) / m.cpi_cache;
+        assert!(refs(hpc) > refs(big), "{} > {}", refs(hpc), refs(big));
+        assert!(refs(big) > refs(ent) * 0.8, "big data >= enterprise-ish");
+    }
+
+    #[test]
+    fn measured_class_means_near_paper_tab6() {
+        let means = class_means(cals()).unwrap();
+        let get = |c: Class| means.iter().find(|m| m.class == c).unwrap();
+        let ent = get(Class::Enterprise);
+        assert!((ent.cpi_cache - 1.47).abs() < 0.5, "ent CPI_cache {}", ent.cpi_cache);
+        assert!((ent.bf - 0.41).abs() < 0.15, "ent BF {}", ent.bf);
+        assert!((ent.mpki - 6.7).abs() < 2.0, "ent MPKI {}", ent.mpki);
+        let hpc = get(Class::Hpc);
+        assert!((hpc.bf - 0.07).abs() < 0.08, "hpc BF {}", hpc.bf);
+        assert!((hpc.mpki - 26.7).abs() < 8.0, "hpc MPKI {}", hpc.mpki);
+        let big = get(Class::BigData);
+        assert!((big.bf - 0.21).abs() < 0.10, "big BF {}", big.bf);
+    }
+
+    #[test]
+    fn clusters_agree_with_segments() {
+        let agreement = clustering_agreement(cals()).unwrap();
+        assert!(
+            agreement > 0.7,
+            "k-means should broadly recover the segments: {agreement}"
+        );
+    }
+
+    #[test]
+    fn tables_render() {
+        let fig6 = fig6_table(cals()).unwrap();
+        assert!(fig6.len() >= 17, "14 points + 3 means");
+        let tab6 = tab6_table(cals()).unwrap();
+        assert_eq!(tab6.len(), 3);
+        assert!(tab6.to_ascii().contains("BigData"));
+    }
+
+    #[test]
+    fn class_mean_params_convert() {
+        for m in class_means(cals()).unwrap() {
+            let p = m.to_params().unwrap();
+            assert!(p.cpi_cache > 0.0);
+        }
+    }
+}

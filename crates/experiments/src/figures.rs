@@ -1,0 +1,539 @@
+//! Figure reproduction: Fig. 1 (trends), Fig. 7 (queueing calibration),
+//! Figs. 8–11 + Tab. 7 (sensitivity application), and the Sec. VII
+//! hierarchical-memory demonstration.
+
+use memsense_mlc::{composite_queueing_curve, fig7_sweeps, LoadedLatencySweep};
+use memsense_model::hierarchy::{break_even_near_hit, hierarchical_cpi, TieredMemory};
+use memsense_model::queueing::QueueingCurve;
+use memsense_model::sensitivity::{
+    bandwidth_derivative, bandwidth_sweep, default_bandwidth_deltas, default_latency_steps,
+    equivalence, latency_derivative, latency_sweep,
+};
+use memsense_model::system::SystemConfig;
+use memsense_model::units::{GigaHertz, Nanoseconds};
+use memsense_model::workload::WorkloadParams;
+
+use crate::render::{f, pct, Table};
+use crate::ExperimentError;
+
+// ---------------------------------------------------------------------------
+// Fig. 1 — CPU vs DRAM scaling trends
+// ---------------------------------------------------------------------------
+
+/// One year of the Fig. 1 backdrop: server core counts growing 33–50%/year
+/// while DRAM density scaling lags.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrendPoint {
+    /// Years since the baseline.
+    pub year: u32,
+    /// Relative compute capability (cores × clock), baseline = 1.
+    pub cpu_capability: f64,
+    /// Relative DRAM density, baseline = 1.
+    pub dram_density: f64,
+    /// Relative per-channel DDR bandwidth, baseline = 1.
+    pub ddr_bandwidth: f64,
+}
+
+/// Generates the Fig. 1 trend series: cores grow ~40%/year, DRAM density
+/// ~15%/year, per-channel bandwidth ~12%/year (the gap the intro motivates).
+pub fn fig1_trends(years: u32) -> Vec<TrendPoint> {
+    (0..=years)
+        .map(|y| TrendPoint {
+            year: y,
+            cpu_capability: 1.40f64.powi(y as i32),
+            dram_density: 1.15f64.powi(y as i32),
+            ddr_bandwidth: 1.12f64.powi(y as i32),
+        })
+        .collect()
+}
+
+/// Renders Fig. 1.
+pub fn fig1_table(years: u32) -> Table {
+    let mut t = Table::new(
+        "Fig. 1: CPU vs DRAM scaling trends (relative to year 0)",
+        &["year", "cpu_capability", "dram_density", "ddr_bw_per_channel", "gap"],
+    );
+    for p in fig1_trends(years) {
+        t.row(vec![
+            p.year.to_string(),
+            f(p.cpu_capability, 2),
+            f(p.dram_density, 2),
+            f(p.ddr_bandwidth, 2),
+            f(p.cpu_capability / p.dram_density, 2),
+        ]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------------
+// Fig. 7 — queueing delay vs bandwidth utilization
+// ---------------------------------------------------------------------------
+
+/// The Fig. 7 experiment output: four measured sweeps plus the composite
+/// queueing curve.
+#[derive(Debug, Clone)]
+pub struct Fig7 {
+    /// The four speed/mix sweeps.
+    pub sweeps: Vec<LoadedLatencySweep>,
+    /// The composite curve the model consumes.
+    pub composite: QueueingCurve,
+}
+
+/// Runs the Fig. 7 calibration on the simulated memory controller.
+///
+/// # Errors
+///
+/// Propagates curve-construction failures.
+pub fn fig7() -> Result<Fig7, ExperimentError> {
+    let sweeps = fig7_sweeps();
+    let composite = composite_queueing_curve(&sweeps)?;
+    Ok(Fig7 { sweeps, composite })
+}
+
+/// Renders Fig. 7 as (utilization, delay) rows per sweep plus the composite.
+pub fn fig7_table(fig: &Fig7) -> Table {
+    let mut t = Table::new(
+        "Fig. 7: queueing delay vs bandwidth utilization",
+        &["series", "utilization", "queueing_delay_ns"],
+    );
+    for sweep in &fig.sweeps {
+        for (u, d) in sweep.queueing_points() {
+            t.row(vec![sweep.label.clone(), f(u, 3), f(d, 1)]);
+        }
+    }
+    for &(u, d) in fig.composite.knots() {
+        t.row(vec!["composite".to_string(), f(u, 3), f(d, 1)]);
+    }
+    t
+}
+
+// ---------------------------------------------------------------------------
+// Figs. 8–11 + Tab. 7 — sensitivity application
+// ---------------------------------------------------------------------------
+
+/// Workload classes used for the sensitivity study. `paper` selects the
+/// published Tab. 6 constants; otherwise caller-provided (e.g. calibrated)
+/// classes are used.
+pub fn paper_classes() -> Vec<WorkloadParams> {
+    WorkloadParams::all_classes()
+}
+
+/// Fig. 8: CPI increase vs per-core bandwidth reduction for each class.
+///
+/// # Errors
+///
+/// Propagates solver failures.
+pub fn fig8_table(
+    classes: &[WorkloadParams],
+    system: &SystemConfig,
+    curve: &QueueingCurve,
+) -> Result<Table, ExperimentError> {
+    let mut t = Table::new(
+        "Fig. 8: CPI increase vs per-core bandwidth reduction",
+        &["class", "delta_gbps_per_core", "bw_per_core", "cpi", "cpi_increase", "regime"],
+    );
+    for class in classes {
+        let sweep = bandwidth_sweep(class, system, curve, &default_bandwidth_deltas())?;
+        for p in &sweep {
+            t.row(vec![
+                class.name.clone(),
+                f(p.delta, 1),
+                f(p.bandwidth_per_core, 2),
+                f(p.solved.cpi_eff, 3),
+                pct(p.cpi_ratio - 1.0, 1),
+                p.solved.regime.to_string(),
+            ]);
+        }
+    }
+    Ok(t)
+}
+
+/// Fig. 9: marginal CPI impact per GB/s/core vs available bandwidth.
+///
+/// # Errors
+///
+/// Propagates solver failures.
+pub fn fig9_table(
+    classes: &[WorkloadParams],
+    system: &SystemConfig,
+    curve: &QueueingCurve,
+) -> Result<Table, ExperimentError> {
+    let mut t = Table::new(
+        "Fig. 9: CPI impact per GB/s/core removed vs available bandwidth per core",
+        &["class", "bw_per_core", "pct_cpi_per_gbps"],
+    );
+    for class in classes {
+        let sweep = bandwidth_sweep(class, system, curve, &default_bandwidth_deltas())?;
+        for d in bandwidth_derivative(&sweep)? {
+            t.row(vec![class.name.clone(), f(d.at, 2), f(d.pct_per_unit, 2)]);
+        }
+    }
+    Ok(t)
+}
+
+/// Fig. 10: CPI vs added compulsory latency.
+///
+/// # Errors
+///
+/// Propagates solver failures.
+pub fn fig10_table(
+    classes: &[WorkloadParams],
+    system: &SystemConfig,
+    curve: &QueueingCurve,
+) -> Result<Table, ExperimentError> {
+    let mut t = Table::new(
+        "Fig. 10: CPI vs compulsory latency increase",
+        &["class", "added_ns", "latency_ns", "cpi", "cpi_increase", "regime"],
+    );
+    for class in classes {
+        let sweep = latency_sweep(class, system, curve, &default_latency_steps())?;
+        for p in &sweep {
+            t.row(vec![
+                class.name.clone(),
+                f(p.delta, 0),
+                f(p.unloaded_latency_ns, 0),
+                f(p.solved.cpi_eff, 3),
+                pct(p.cpi_ratio - 1.0, 1),
+                p.solved.regime.to_string(),
+            ]);
+        }
+    }
+    Ok(t)
+}
+
+/// Fig. 11: CPI impact per +10 ns step.
+///
+/// # Errors
+///
+/// Propagates solver failures.
+pub fn fig11_table(
+    classes: &[WorkloadParams],
+    system: &SystemConfig,
+    curve: &QueueingCurve,
+) -> Result<Table, ExperimentError> {
+    let mut t = Table::new(
+        "Fig. 11: CPI impact per 10 ns of added compulsory latency",
+        &["class", "at_latency_ns", "pct_cpi_per_10ns"],
+    );
+    for class in classes {
+        let sweep = latency_sweep(class, system, curve, &default_latency_steps())?;
+        for d in latency_derivative(&sweep)? {
+            t.row(vec![class.name.clone(), f(d.at, 0), f(d.pct_per_unit, 2)]);
+        }
+    }
+    Ok(t)
+}
+
+/// Tab. 7: latency ⇄ bandwidth equivalence per class.
+///
+/// # Errors
+///
+/// Propagates solver failures.
+pub fn tab7_table(
+    classes: &[WorkloadParams],
+    system: &SystemConfig,
+    curve: &QueueingCurve,
+) -> Result<Table, ExperimentError> {
+    let mut t = Table::new(
+        "Tab. 7: performance equivalence of bandwidth and latency",
+        &[
+            "class",
+            "benefit_of_1GBs_per_core",
+            "benefit_of_10ns",
+            "10ns_equals_GBs",
+            "8GBs_equals_ns",
+        ],
+    );
+    for class in classes {
+        let e = equivalence(class, system, curve)?;
+        t.row(vec![
+            class.name.clone(),
+            pct(e.benefit_of_bandwidth_pct / 100.0, 1),
+            pct(e.benefit_of_latency_pct / 100.0, 1),
+            e.bandwidth_equivalent_of_10ns
+                .map(|v| f(v, 1))
+                .unwrap_or_else(|| "unbounded".into()),
+            e.latency_equivalent_of_bandwidth
+                .map(|v| f(v, 1))
+                .unwrap_or_else(|| "unreachable".into()),
+        ]);
+    }
+    Ok(t)
+}
+
+// ---------------------------------------------------------------------------
+// Sec. VII — hierarchical memory demonstration
+// ---------------------------------------------------------------------------
+
+/// Renders the Eq. 5 tiered-memory exploration: CPI of a near/far hierarchy
+/// across near-tier hit rates, with the break-even hit rate per class.
+///
+/// # Errors
+///
+/// Propagates model validation failures.
+pub fn hierarchy_table(
+    classes: &[WorkloadParams],
+    near: Nanoseconds,
+    far: Nanoseconds,
+    flat: Nanoseconds,
+    clock: GigaHertz,
+) -> Result<Table, ExperimentError> {
+    let mut t = Table::new(
+        format!(
+            "Eq. 5: two-tier memory (near {:.0} ns, far {:.0} ns) vs flat {:.0} ns",
+            near.value(),
+            far.value(),
+            flat.value()
+        ),
+        &["class", "near_hit", "cpi", "flat_cpi", "break_even_hit"],
+    );
+    for class in classes {
+        let flat_cpi = hierarchical_cpi(class, &TieredMemory::flat(flat)?, clock);
+        let break_even = break_even_near_hit(class, near, far, flat, clock)?;
+        for hit in [0.0, 0.25, 0.5, 0.75, 0.9, 1.0] {
+            let mem = TieredMemory::two_tier(hit, near, far)?;
+            t.row(vec![
+                class.name.clone(),
+                f(hit, 2),
+                f(hierarchical_cpi(class, &mem, clock), 3),
+                f(flat_cpi, 3),
+                break_even
+                    .map(|h| f(h, 3))
+                    .unwrap_or_else(|| "unreachable".into()),
+            ]);
+        }
+    }
+    Ok(t)
+}
+
+// ---------------------------------------------------------------------------
+// Extensions: future memory technologies and NUMA (Secs. VII–VIII)
+// ---------------------------------------------------------------------------
+
+/// A candidate memory technology for the Sec. VII exploration.
+#[derive(Debug, Clone)]
+pub struct MemoryTechnology {
+    /// Display name.
+    pub name: &'static str,
+    /// Channels on the baseline socket.
+    pub channels: u32,
+    /// Transfer rate (MT/s-equivalent for an 8-byte channel).
+    pub mega_transfers: f64,
+    /// Deliverable fraction of peak.
+    pub efficiency: f64,
+    /// Compulsory load latency (ns).
+    pub unloaded_ns: f64,
+}
+
+/// A representative slate of memory technologies, from the paper's DDR3
+/// baseline through bandwidth-optimized (HBM-like) and capacity-optimized
+/// (NVM-like) designs.
+pub fn technology_slate() -> Vec<MemoryTechnology> {
+    vec![
+        MemoryTechnology { name: "4ch DDR3-1867 (baseline)", channels: 4, mega_transfers: 1866.7, efficiency: 0.70, unloaded_ns: 75.0 },
+        MemoryTechnology { name: "4ch DDR4-2400", channels: 4, mega_transfers: 2400.0, efficiency: 0.72, unloaded_ns: 80.0 },
+        MemoryTechnology { name: "6ch DDR4-2933", channels: 6, mega_transfers: 2933.0, efficiency: 0.72, unloaded_ns: 82.0 },
+        MemoryTechnology { name: "8ch DDR5-4800", channels: 8, mega_transfers: 4800.0, efficiency: 0.65, unloaded_ns: 95.0 },
+        MemoryTechnology { name: "HBM-like (wide, near)", channels: 16, mega_transfers: 3200.0, efficiency: 0.60, unloaded_ns: 60.0 },
+        MemoryTechnology { name: "NVM-like (capacity)", channels: 4, mega_transfers: 1600.0, efficiency: 0.55, unloaded_ns: 350.0 },
+    ]
+}
+
+/// Sec. VII applied: CPI of each workload class on each candidate memory
+/// technology, normalized to the DDR3 baseline.
+///
+/// # Errors
+///
+/// Propagates model failures.
+pub fn future_tech_table(
+    classes: &[WorkloadParams],
+    curve: &QueueingCurve,
+) -> Result<Table, ExperimentError> {
+    use memsense_model::solver::solve_cpi;
+    let baseline = SystemConfig::paper_baseline();
+    let mut t = Table::new(
+        "Future memory technologies: CPI per class (normalized to DDR3 baseline)",
+        &["technology", "eff_bw_gbps", "latency_ns", "Enterprise", "Big Data", "HPC"],
+    );
+    let base_cpis: Vec<f64> = classes
+        .iter()
+        .map(|c| solve_cpi(c, &baseline, curve).map(|s| s.cpi_eff))
+        .collect::<Result<_, _>>()?;
+    for tech in technology_slate() {
+        let sys = SystemConfig::new(
+            1,
+            8,
+            2,
+            baseline.core_clock(),
+            tech.channels,
+            tech.mega_transfers,
+            tech.efficiency,
+            Nanoseconds(tech.unloaded_ns),
+        )?;
+        let mut row = vec![
+            tech.name.to_string(),
+            f(sys.effective_bandwidth().value(), 1),
+            f(tech.unloaded_ns, 0),
+        ];
+        for (class, base) in classes.iter().zip(&base_cpis) {
+            let cpi = solve_cpi(class, &sys, curve)?.cpi_eff;
+            row.push(f(cpi / base, 3));
+        }
+        t.row(row);
+    }
+    Ok(t)
+}
+
+/// Sec. VIII applied: NUMA penalty per class for a range of remote-access
+/// fractions on a dual-socket platform.
+///
+/// # Errors
+///
+/// Propagates model failures.
+pub fn numa_table(
+    classes: &[WorkloadParams],
+    curve: &QueueingCurve,
+) -> Result<Table, ExperimentError> {
+    use memsense_model::numa::{numa_penalty, NumaConfig};
+    let sys = SystemConfig::characterization_platform();
+    let mut t = Table::new(
+        "NUMA: CPI penalty vs remote-access fraction (2S, 60 ns hop)",
+        &["class", "remote_10pct", "remote_25pct", "remote_50pct"],
+    );
+    for class in classes {
+        let mut row = vec![class.name.clone()];
+        for frac in [0.10, 0.25, 0.50] {
+            let p = numa_penalty(
+                class,
+                &sys,
+                curve,
+                &NumaConfig::new(frac, Nanoseconds(60.0))?,
+            )?;
+            row.push(pct(p - 1.0, 1));
+        }
+        t.row(row);
+    }
+    Ok(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_gap_widens() {
+        let trends = fig1_trends(8);
+        assert_eq!(trends.len(), 9);
+        let gap0 = trends[0].cpu_capability / trends[0].dram_density;
+        let gap8 = trends[8].cpu_capability / trends[8].dram_density;
+        assert_eq!(gap0, 1.0);
+        assert!(gap8 > 4.0, "gap after 8 years: {gap8}");
+        assert_eq!(fig1_table(8).len(), 9);
+    }
+
+    #[test]
+    fn fig7_composite_matches_paper_shape() {
+        let fig = fig7().unwrap();
+        assert_eq!(fig.sweeps.len(), 4);
+        // Below ~95% utilization the four curves coincide: spread at u=0.6
+        // is small relative to the delay scale.
+        let delays: Vec<f64> = fig
+            .sweeps
+            .iter()
+            .filter_map(|s| s.to_queueing_curve().ok())
+            .map(|c| c.delay(0.6).value())
+            .collect();
+        assert_eq!(delays.len(), 4);
+        let max = delays.iter().cloned().fold(f64::MIN, f64::max);
+        let min = delays.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(
+            max / min.max(1.0) < 3.0,
+            "curves should roughly coincide: spread {min}..{max}"
+        );
+        // Composite hockey-sticks upward.
+        assert!(
+            fig.composite.delay(0.95).value() > fig.composite.delay(0.5).value() * 1.5,
+            "knee missing: {} vs {}",
+            fig.composite.delay(0.95).value(),
+            fig.composite.delay(0.5).value()
+        );
+    }
+
+    #[test]
+    fn sensitivity_tables_render_for_paper_classes() {
+        let classes = paper_classes();
+        let sys = SystemConfig::paper_baseline();
+        let curve = QueueingCurve::composite_default();
+        let f8 = fig8_table(&classes, &sys, &curve).unwrap();
+        assert_eq!(f8.len(), 3 * default_bandwidth_deltas().len());
+        let f9 = fig9_table(&classes, &sys, &curve).unwrap();
+        assert_eq!(f9.len(), 3 * (default_bandwidth_deltas().len() - 1));
+        let f10 = fig10_table(&classes, &sys, &curve).unwrap();
+        assert_eq!(f10.len(), 3 * default_latency_steps().len());
+        let f11 = fig11_table(&classes, &sys, &curve).unwrap();
+        assert_eq!(f11.len(), 3 * (default_latency_steps().len() - 1));
+        let t7 = tab7_table(&classes, &sys, &curve).unwrap();
+        assert_eq!(t7.len(), 3);
+        assert!(t7.to_ascii().contains("unreachable"), "HPC latency equivalence");
+    }
+
+    #[test]
+    fn hierarchy_table_break_even_present() {
+        let classes = paper_classes();
+        let t = hierarchy_table(
+            &classes,
+            Nanoseconds(50.0),
+            Nanoseconds(300.0),
+            Nanoseconds(75.0),
+            GigaHertz(2.7),
+        )
+        .unwrap();
+        assert_eq!(t.len(), 3 * 6);
+        let ascii = t.to_ascii();
+        assert!(ascii.contains("break_even_hit"));
+    }
+
+    #[test]
+    fn future_tech_table_shapes() {
+        let classes = paper_classes();
+        let curve = QueueingCurve::composite_default();
+        let t = future_tech_table(&classes, &curve).unwrap();
+        assert_eq!(t.len(), technology_slate().len());
+        let csv = t.to_csv();
+        // HBM-like frees the HPC class (normalized CPI well below 1);
+        // NVM-like slows latency-bound classes well above 1.
+        let hbm = csv.lines().find(|l| l.contains("HBM")).unwrap();
+        let hpc_ratio: f64 = hbm.split(',').next_back().unwrap().parse().unwrap();
+        assert!(hpc_ratio < 0.7, "HBM frees HPC: {hpc_ratio}");
+        let nvm = csv.lines().find(|l| l.contains("NVM")).unwrap();
+        let ent_ratio: f64 = nvm.split(',').nth(3).unwrap().parse().unwrap();
+        assert!(ent_ratio > 1.5, "NVM hurts enterprise: {ent_ratio}");
+    }
+
+    #[test]
+    fn numa_table_shapes() {
+        let classes = paper_classes();
+        let curve = QueueingCurve::composite_default();
+        let t = numa_table(&classes, &curve).unwrap();
+        assert_eq!(t.len(), 3);
+        let ascii = t.to_ascii();
+        assert!(ascii.contains("remote_50pct"));
+        // HPC row shows ~0% penalties.
+        let hpc_line = ascii.lines().find(|l| l.contains("HPC")).unwrap();
+        assert!(hpc_line.contains("0.0%"), "{hpc_line}");
+    }
+
+    #[test]
+    fn fig7_backed_sensitivity_agrees_with_default_curve() {
+        // Using the MLC-measured composite instead of the built-in curve
+        // must preserve the headline class ordering.
+        let fig = fig7().unwrap();
+        let sys = SystemConfig::paper_baseline();
+        let classes = paper_classes();
+        let t = tab7_table(&classes, &sys, &fig.composite).unwrap();
+        let ascii = t.to_ascii();
+        assert!(ascii.contains("HPC class"));
+        let hpc_line = ascii.lines().find(|l| l.contains("HPC class")).unwrap();
+        assert!(hpc_line.contains("unreachable"));
+    }
+}

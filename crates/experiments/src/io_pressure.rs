@@ -1,0 +1,138 @@
+//! Workload performance under background I/O pressure.
+//!
+//! The paper observes that NITS drives >2 GB/s of storage traffic yet "the
+//! I/O bandwidth is still relatively small when compared to the total memory
+//! bandwidth" (Sec. V.D). This experiment makes the underlying question
+//! measurable: how much does device DMA of a given rate slow each workload?
+//! Background agents inject traffic directly into the memory controller,
+//! independent of instruction progress.
+
+use memsense_sim::{Machine, SimConfig};
+use memsense_workloads::{Class, Workload};
+
+use crate::render::{f, pct, Table};
+use crate::ExperimentError;
+
+/// DMA rates explored (GB/s).
+pub const DMA_RATES: [f64; 4] = [0.0, 5.0, 10.0, 20.0];
+
+/// One measurement: a workload under a given DMA rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IoPressurePoint {
+    /// Background DMA rate (GB/s).
+    pub dma_gbps: f64,
+    /// Measured CPI.
+    pub cpi: f64,
+    /// Measured total memory bandwidth (workload + DMA).
+    pub total_bandwidth_gbps: f64,
+}
+
+/// Measures `workload` under each DMA rate.
+///
+/// # Errors
+///
+/// Propagates simulator failures.
+pub fn io_pressure(
+    workload: Workload,
+    threads: u32,
+    warmup_ops: u64,
+    window_ns: f64,
+) -> Result<Vec<IoPressurePoint>, ExperimentError> {
+    DMA_RATES
+        .iter()
+        .map(|&rate| {
+            let config = SimConfig::xeon_like(threads);
+            let mut machine = Machine::new(config, workload.streams(threads, 0x10ad))?;
+            machine.run_ops(warmup_ops);
+            if rate > 0.0 {
+                machine.add_background_traffic(rate, 0.5, 0);
+            }
+            let m = machine
+                .measure_for_ns(window_ns)
+                .ok_or(ExperimentError::NoData)?;
+            Ok(IoPressurePoint {
+                dma_gbps: rate,
+                cpi: m.cpi_eff,
+                total_bandwidth_gbps: m.bandwidth_gbps,
+            })
+        })
+        .collect()
+}
+
+/// Renders the experiment for the big data workloads (the class the paper's
+/// I/O discussion concerns).
+///
+/// # Errors
+///
+/// Propagates measurement failures.
+pub fn io_pressure_table(
+    threads: u32,
+    warmup_ops: u64,
+    window_ns: f64,
+) -> Result<Table, ExperimentError> {
+    let mut t = Table::new(
+        "Background DMA pressure: big data CPI vs device traffic",
+        &["workload", "dma_gbps", "cpi", "cpi_increase", "total_bw_gbps"],
+    );
+    for w in Workload::all()
+        .into_iter()
+        .filter(|w| w.class() == Class::BigData)
+    {
+        let points = io_pressure(w, threads, warmup_ops, window_ns)?;
+        let base = points[0].cpi;
+        for p in &points {
+            t.row(vec![
+                w.name().to_string(),
+                f(p.dma_gbps, 0),
+                f(p.cpi, 3),
+                pct(p.cpi / base - 1.0, 1),
+                f(p.total_bandwidth_gbps, 1),
+            ]);
+        }
+    }
+    Ok(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dma_pressure_monotonically_slows_structured_data() {
+        let points = io_pressure(Workload::StructuredData, 4, 40_000, 60_000.0).unwrap();
+        assert_eq!(points.len(), DMA_RATES.len());
+        for w in points.windows(2) {
+            assert!(
+                w[1].cpi >= w[0].cpi - 0.01,
+                "more DMA, more CPI: {} then {}",
+                w[0].cpi,
+                w[1].cpi
+            );
+            assert!(w[1].total_bandwidth_gbps > w[0].total_bandwidth_gbps);
+        }
+        let worst = points.last().unwrap();
+        assert!(
+            worst.cpi > points[0].cpi * 1.02,
+            "20 GB/s of DMA must be visible: {} vs {}",
+            worst.cpi,
+            points[0].cpi
+        );
+    }
+
+    #[test]
+    fn core_bound_proximity_barely_notices() {
+        let prox = io_pressure(Workload::Proximity, 4, 40_000, 60_000.0).unwrap();
+        let penalty = prox.last().unwrap().cpi / prox[0].cpi;
+        assert!(
+            penalty < 1.05,
+            "core-bound workload shrugs off DMA: {penalty}"
+        );
+    }
+
+    #[test]
+    fn table_renders_sixteen_rows() {
+        let t = io_pressure_table(2, 25_000, 40_000.0).unwrap();
+        assert_eq!(t.len(), 4 * DMA_RATES.len());
+        assert!(t.to_ascii().contains("dma_gbps"));
+    }
+}

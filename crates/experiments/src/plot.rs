@@ -1,0 +1,188 @@
+//! Terminal line plots for the reproduced figures.
+//!
+//! The `repro` binary draws each figure as an ASCII chart in addition to the
+//! CSV, so the *shape* — the crossovers and knees the reproduction is about
+//! — is visible without leaving the terminal.
+
+use std::fmt::Write as _;
+
+/// One named series of `(x, y)` points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Points in any order; the plot sorts internally per x.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a series.
+    pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Series {
+            label: label.into(),
+            points,
+        }
+    }
+}
+
+/// Marker characters assigned to series in order.
+const MARKS: [char; 6] = ['*', 'o', '+', 'x', '#', '@'];
+
+/// Renders an ASCII line chart of the series onto a `width × height` grid
+/// with axis annotations. Returns an empty string when no series has points.
+pub fn ascii_plot(
+    title: &str,
+    x_label: &str,
+    y_label: &str,
+    series: &[Series],
+    width: usize,
+    height: usize,
+) -> String {
+    let width = width.clamp(16, 200);
+    let height = height.clamp(6, 60);
+    let all: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    if all.is_empty() {
+        return String::new();
+    }
+    let (mut x0, mut x1) = (f64::MAX, f64::MIN);
+    let (mut y0, mut y1) = (f64::MAX, f64::MIN);
+    for &(x, y) in &all {
+        x0 = x0.min(x);
+        x1 = x1.max(x);
+        y0 = y0.min(y);
+        y1 = y1.max(y);
+    }
+    if (x1 - x0).abs() < 1e-12 {
+        x1 = x0 + 1.0;
+    }
+    if (y1 - y0).abs() < 1e-12 {
+        y1 = y0 + 1.0;
+    }
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, s) in series.iter().enumerate() {
+        let mark = MARKS[si % MARKS.len()];
+        let mut pts = s.points.clone();
+        pts.sort_by(|a, b| a.0.total_cmp(&b.0));
+        // Plot points plus linear interpolation between neighbours for a
+        // line-chart feel.
+        let to_cell = |x: f64, y: f64| -> (usize, usize) {
+            let cx = ((x - x0) / (x1 - x0) * (width - 1) as f64).round() as usize;
+            let cy = ((y - y0) / (y1 - y0) * (height - 1) as f64).round() as usize;
+            (cx.min(width - 1), height - 1 - cy.min(height - 1))
+        };
+        for w in pts.windows(2) {
+            let (ax, ay) = w[0];
+            let (bx, by) = w[1];
+            let steps = width.max(2);
+            for k in 0..=steps {
+                let t = k as f64 / steps as f64;
+                let (cx, cy) = to_cell(ax + (bx - ax) * t, ay + (by - ay) * t);
+                if grid[cy][cx] == ' ' {
+                    grid[cy][cx] = '.';
+                }
+            }
+        }
+        for &(x, y) in &pts {
+            let (cx, cy) = to_cell(x, y);
+            grid[cy][cx] = mark;
+        }
+    }
+
+    let mut out = String::new();
+    if !title.is_empty() {
+        let _ = writeln!(out, "{title}");
+    }
+    let y_hi = format!("{y1:.3}");
+    let y_lo = format!("{y0:.3}");
+    let margin = y_hi.len().max(y_lo.len()).max(y_label.len());
+    for (r, row) in grid.iter().enumerate() {
+        let tag = if r == 0 {
+            &y_hi
+        } else if r == height - 1 {
+            &y_lo
+        } else if r == height / 2 {
+            y_label
+        } else {
+            ""
+        };
+        let line: String = row.iter().collect();
+        let _ = writeln!(out, "{tag:>margin$} |{line}");
+    }
+    let _ = writeln!(out, "{:>margin$} +{}", "", "-".repeat(width));
+    let x_lo = format!("{x0:.2}");
+    let x_hi = format!("{x1:.2}");
+    let pad = width.saturating_sub(x_lo.len() + x_hi.len());
+    let _ = writeln!(out, "{:>margin$}  {x_lo}{}{x_hi}", "", " ".repeat(pad));
+    let _ = writeln!(out, "{:>margin$}  [x: {x_label}]", "");
+    let legend: Vec<String> = series
+        .iter()
+        .enumerate()
+        .map(|(i, s)| format!("{} {}", MARKS[i % MARKS.len()], s.label))
+        .collect();
+    let _ = writeln!(out, "{:>margin$}  {}", "", legend.join("   "));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lines() -> Vec<Series> {
+        vec![
+            Series::new("up", vec![(0.0, 0.0), (1.0, 1.0), (2.0, 2.0)]),
+            Series::new("flat", vec![(0.0, 1.0), (2.0, 1.0)]),
+        ]
+    }
+
+    #[test]
+    fn plot_contains_marks_and_legend() {
+        let p = ascii_plot("test", "x", "y", &lines(), 40, 10);
+        assert!(p.contains('*'));
+        assert!(p.contains('o'));
+        assert!(p.contains("* up"));
+        assert!(p.contains("o flat"));
+        assert!(p.contains("test"));
+        assert!(p.contains("[x: x]"));
+    }
+
+    #[test]
+    fn plot_has_requested_dimensions() {
+        let p = ascii_plot("", "x", "y", &lines(), 40, 10);
+        let plot_rows = p.lines().filter(|l| l.contains('|')).count();
+        assert_eq!(plot_rows, 10);
+        let row = p.lines().find(|l| l.contains('|')).unwrap();
+        assert_eq!(row.split('|').nth(1).unwrap().len(), 40);
+    }
+
+    #[test]
+    fn rising_series_occupies_corners() {
+        let s = vec![Series::new("up", vec![(0.0, 0.0), (1.0, 1.0)])];
+        let p = ascii_plot("", "x", "y", &s, 20, 8);
+        let rows: Vec<&str> = p.lines().filter(|l| l.contains('|')).collect();
+        // Top row contains the high end, bottom row the low end.
+        assert!(rows.first().unwrap().contains('*'));
+        assert!(rows.last().unwrap().contains('*'));
+    }
+
+    #[test]
+    fn empty_series_empty_output() {
+        assert_eq!(ascii_plot("t", "x", "y", &[], 40, 10), "");
+        let empty = vec![Series::new("none", vec![])];
+        assert_eq!(ascii_plot("t", "x", "y", &empty, 40, 10), "");
+    }
+
+    #[test]
+    fn constant_values_do_not_panic() {
+        let s = vec![Series::new("const", vec![(1.0, 5.0), (1.0, 5.0)])];
+        let p = ascii_plot("", "x", "y", &s, 30, 8);
+        assert!(p.contains('*'));
+    }
+
+    #[test]
+    fn axis_labels_rendered() {
+        let p = ascii_plot("", "GB/s per core", "CPI", &lines(), 40, 11);
+        assert!(p.contains("CPI"));
+        assert!(p.contains("GB/s per core"));
+    }
+}

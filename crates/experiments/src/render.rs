@@ -1,0 +1,182 @@
+//! ASCII-table and CSV rendering for experiment output.
+//!
+//! Every reproduced table and figure renders two ways: an aligned ASCII
+//! table for the terminal (what `repro` prints) and a CSV file under
+//! `target/repro/` for plotting, so EXPERIMENTS.md numbers are regenerable.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// A simple column-aligned table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; its length should match the header.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        debug_assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the aligned ASCII form.
+    pub fn to_ascii(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(ncols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            let _ = writeln!(out, "## {}", self.title);
+        }
+        let line = |out: &mut String, cells: &[String]| {
+            let mut first = true;
+            for (i, cell) in cells.iter().enumerate().take(ncols) {
+                if !first {
+                    out.push_str("  ");
+                }
+                first = false;
+                let _ = write!(out, "{:>width$}", cell, width = widths[i]);
+            }
+            out.push('\n');
+        };
+        line(&mut out, &self.header);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols.saturating_sub(1));
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            line(&mut out, row);
+        }
+        out
+    }
+
+    /// Renders RFC-4180-ish CSV (quotes cells containing commas/quotes).
+    pub fn to_csv(&self) -> String {
+        let esc = |s: &str| {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.header.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{}",
+                row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+
+    /// Writes the CSV form to `dir/<name>.csv`, creating `dir` if needed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_csv(&self, dir: &Path, name: &str) -> io::Result<PathBuf> {
+        fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{name}.csv"));
+        fs::write(&path, self.to_csv())?;
+        Ok(path)
+    }
+}
+
+/// Default output directory for reproduction artifacts.
+pub fn default_output_dir() -> PathBuf {
+    PathBuf::from("target/repro")
+}
+
+/// Formats a float with `prec` decimals.
+pub fn f(value: f64, prec: usize) -> String {
+    format!("{value:.prec$}")
+}
+
+/// Formats a ratio as a percentage with `prec` decimals.
+pub fn pct(value: f64, prec: usize) -> String {
+    format!("{:.prec$}%", value * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("Tab X", &["name", "value"]);
+        t.row(vec!["alpha".into(), f(1.25, 2)]);
+        t.row(vec!["b".into(), f(10.5, 1)]);
+        t
+    }
+
+    #[test]
+    fn ascii_aligns_columns() {
+        let s = sample().to_ascii();
+        assert!(s.contains("## Tab X"));
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[1].contains("name") && lines[1].contains("value"));
+        assert!(lines[2].starts_with('-'));
+        // Right-aligned cells share a column edge.
+        let a = lines[3].rfind("1.25").unwrap() + 4;
+        let b = lines[4].rfind("10.5").unwrap() + 4;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn csv_escapes() {
+        let mut t = Table::new("", &["a", "b"]);
+        t.row(vec!["x,y".into(), "q\"z".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"x,y\""));
+        assert!(csv.contains("\"q\"\"z\""));
+    }
+
+    #[test]
+    fn write_csv_roundtrip() {
+        let dir = std::env::temp_dir().join("memsense_render_test");
+        let path = sample().write_csv(&dir, "tabx").unwrap();
+        let text = std::fs::read_to_string(path).unwrap();
+        assert!(text.starts_with("name,value"));
+        assert!(text.contains("alpha,1.25"));
+    }
+
+    #[test]
+    fn helpers() {
+        assert_eq!(f(1.23456, 2), "1.23");
+        assert_eq!(pct(0.1234, 1), "12.3%");
+        assert_eq!(sample().len(), 2);
+        assert!(!sample().is_empty());
+    }
+}

@@ -1,0 +1,306 @@
+//! Reproduction scorecard: every paper claim checked programmatically.
+//!
+//! EXPERIMENTS.md narrates the paper-vs-measured comparison; this module
+//! *computes* it. Each [`Check`] encodes one claim from the paper — a Tab. 3
+//! error bound, a Fig. 8 ordering, a Tab. 7 equivalence — and evaluates it
+//! against a fresh run, so `repro scorecard` is a one-command answer to
+//! "does this reproduction still hold?".
+
+use memsense_model::queueing::QueueingCurve;
+use memsense_model::sensitivity::{
+    bandwidth_sweep, default_bandwidth_deltas, default_latency_steps, equivalence,
+    latency_derivative, latency_sweep,
+};
+use memsense_model::solver::{solve_cpi, Regime};
+use memsense_model::system::SystemConfig;
+use memsense_model::workload::WorkloadParams;
+use memsense_workloads::Class;
+
+use crate::calibrate::CalibratedWorkload;
+use crate::classify::{class_means, clustering_agreement};
+use crate::render::{f, Table};
+use crate::validate::validate_calibration;
+use crate::ExperimentError;
+
+/// One verified claim.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Check {
+    /// Paper artifact the claim comes from ("Tab. 7", "Fig. 8", …).
+    pub artifact: &'static str,
+    /// The claim, in one sentence.
+    pub claim: &'static str,
+    /// Measured value (display form).
+    pub measured: String,
+    /// Expectation (display form).
+    pub expected: String,
+    /// Whether the claim held.
+    pub pass: bool,
+}
+
+/// The full scorecard.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scorecard {
+    /// All checks, in paper order.
+    pub checks: Vec<Check>,
+}
+
+impl Scorecard {
+    /// Number of passing checks.
+    pub fn passed(&self) -> usize {
+        self.checks.iter().filter(|c| c.pass).count()
+    }
+
+    /// Whether every check passed.
+    pub fn all_pass(&self) -> bool {
+        self.passed() == self.checks.len()
+    }
+
+    /// Renders the scorecard as a table.
+    pub fn to_table(&self) -> Table {
+        let mut t = Table::new(
+            format!(
+                "Reproduction scorecard: {}/{} claims hold",
+                self.passed(),
+                self.checks.len()
+            ),
+            &["artifact", "claim", "measured", "expected", "verdict"],
+        );
+        for c in &self.checks {
+            t.row(vec![
+                c.artifact.to_string(),
+                c.claim.to_string(),
+                c.measured.clone(),
+                c.expected.clone(),
+                if c.pass { "PASS" } else { "FAIL" }.to_string(),
+            ]);
+        }
+        t
+    }
+}
+
+/// Builds the scorecard from a completed calibration run.
+///
+/// The model-side checks (Figs. 8–11, Tab. 7) use the paper's published
+/// Tab. 6 constants, exactly as the paper's own Sec. VI does; the
+/// measured-side checks use `calibrations`.
+///
+/// # Errors
+///
+/// Propagates model/classification failures.
+pub fn scorecard(calibrations: &[CalibratedWorkload]) -> Result<Scorecard, ExperimentError> {
+    let mut checks = Vec::new();
+    let sys = SystemConfig::paper_baseline();
+    let curve = QueueingCurve::composite_default();
+    let classes = WorkloadParams::all_classes();
+    let (ent, big, hpc) = (&classes[0], &classes[1], &classes[2]);
+
+    // --- Measured side -----------------------------------------------------
+
+    let sd = calibrations
+        .iter()
+        .find(|c| c.workload == memsense_workloads::Workload::StructuredData);
+    if let Some(sd) = sd {
+        checks.push(Check {
+            artifact: "Fig. 3a",
+            claim: "structured data CPI fit is strongly linear",
+            measured: format!("R² = {:.2}", sd.r_squared),
+            expected: "R² ≥ 0.90 (paper: 0.95)".into(),
+            pass: sd.r_squared >= 0.90,
+        });
+        let v = validate_calibration(sd.clone());
+        checks.push(Check {
+            artifact: "Tab. 3",
+            claim: "fitted model predicts every sweep point",
+            measured: format!("max |err| = {:.1}%", v.max_abs_error() * 100.0),
+            expected: "≤ 5% (paper: ≤ 3%)".into(),
+            pass: v.max_abs_error() <= 0.05,
+        });
+    }
+
+    let means = class_means(calibrations)?;
+    let get = |c: Class| means.iter().find(|m| m.class == c);
+    if let (Some(e), Some(b), Some(h)) = (get(Class::Enterprise), get(Class::BigData), get(Class::Hpc)) {
+        checks.push(Check {
+            artifact: "Fig. 6",
+            claim: "blocking-factor continuum: enterprise > big data > HPC",
+            measured: format!("{:.2} > {:.2} > {:.2}", e.bf, b.bf, h.bf),
+            expected: "strictly decreasing".into(),
+            pass: e.bf > b.bf && b.bf > h.bf,
+        });
+        checks.push(Check {
+            artifact: "Tab. 6",
+            claim: "HPC MPKI dwarfs the other classes",
+            measured: format!("{:.1} vs {:.1}/{:.1}", h.mpki, e.mpki, b.mpki),
+            expected: "≥ 3× big data".into(),
+            pass: h.mpki >= 3.0 * b.mpki,
+        });
+    }
+    let agreement = clustering_agreement(calibrations)?;
+    checks.push(Check {
+        artifact: "Fig. 6",
+        claim: "unsupervised clustering recovers the usage segments",
+        measured: format!("{:.0}% agreement", agreement * 100.0),
+        expected: "≥ 70%".into(),
+        pass: agreement >= 0.70,
+    });
+
+    // --- Model side ----------------------------------------------------------
+
+    let regime = |w: &WorkloadParams| solve_cpi(w, &sys, &curve).map(|s| s.regime);
+    checks.push(Check {
+        artifact: "Sec. VI",
+        claim: "baseline regimes: enterprise/big data latency limited, HPC bandwidth bound",
+        measured: format!(
+            "{} / {} / {}",
+            regime(ent)?,
+            regime(big)?,
+            regime(hpc)?
+        ),
+        expected: "latency / latency / bandwidth".into(),
+        pass: regime(ent)? == Regime::LatencyLimited
+            && regime(big)? == Regime::LatencyLimited
+            && regime(hpc)? == Regime::BandwidthBound,
+    });
+
+    let per10 = |w: &WorkloadParams| -> Result<f64, ExperimentError> {
+        let sweep = latency_sweep(w, &sys, &curve, &default_latency_steps())?;
+        let d = latency_derivative(&sweep)?;
+        Ok(d.iter().map(|p| p.pct_per_unit).sum::<f64>() / d.len() as f64)
+    };
+    let ent10 = per10(ent)?;
+    let big10 = per10(big)?;
+    let hpc10 = per10(hpc)?;
+    checks.push(Check {
+        artifact: "Fig. 11",
+        claim: "enterprise ≈ 3.5% CPI per 10 ns",
+        measured: format!("{ent10:.2}%"),
+        expected: "3.5% ± 0.8".into(),
+        pass: (ent10 - 3.5).abs() < 0.8,
+    });
+    checks.push(Check {
+        artifact: "Fig. 11",
+        claim: "big data ≈ 2.5% CPI per 10 ns",
+        measured: format!("{big10:.2}%"),
+        expected: "2.5% ± 0.8".into(),
+        pass: (big10 - 2.5).abs() < 0.8,
+    });
+    checks.push(Check {
+        artifact: "Fig. 11",
+        claim: "HPC shows no latency sensitivity",
+        measured: format!("{hpc10:.3}%"),
+        expected: "0%".into(),
+        pass: hpc10.abs() < 1e-6,
+    });
+
+    let eq_ent = equivalence(ent, &sys, &curve)?;
+    let eq_hpc = equivalence(hpc, &sys, &curve)?;
+    checks.push(Check {
+        artifact: "Tab. 7",
+        claim: "10 ns ⇔ ~39.7 GB/s for enterprise",
+        measured: format!(
+            "{} GB/s",
+            eq_ent
+                .bandwidth_equivalent_of_10ns
+                .map(|v| f(v, 1))
+                .unwrap_or_else(|| "unbounded".into())
+        ),
+        expected: "39.7 ± 12 GB/s".into(),
+        pass: eq_ent
+            .bandwidth_equivalent_of_10ns
+            .is_some_and(|v| (v - 39.7).abs() < 12.0),
+    });
+    checks.push(Check {
+        artifact: "Tab. 7",
+        claim: "HPC gains ~24% per 1 GB/s/core and nothing from latency",
+        measured: format!(
+            "{:.1}% / {:.1}%",
+            eq_hpc.benefit_of_bandwidth_pct, eq_hpc.benefit_of_latency_pct
+        ),
+        expected: "24% ± 4 / 0%".into(),
+        pass: (eq_hpc.benefit_of_bandwidth_pct - 24.0).abs() < 4.0
+            && eq_hpc.benefit_of_latency_pct.abs() < 1e-6,
+    });
+    checks.push(Check {
+        artifact: "Sec. VI.D",
+        claim: "no latency reduction compensates HPC's bandwidth wall",
+        measured: format!("{:?}", eq_hpc.latency_equivalent_of_bandwidth),
+        expected: "None".into(),
+        pass: eq_hpc.latency_equivalent_of_bandwidth.is_none(),
+    });
+
+    let big_sweep = bandwidth_sweep(big, &sys, &curve, &default_bandwidth_deltas())?;
+    let knee = big_sweep
+        .iter()
+        .find(|p| p.solved.regime == Regime::BandwidthBound)
+        .map(|p| p.delta);
+    checks.push(Check {
+        artifact: "Fig. 8",
+        claim: "big data hits the bandwidth wall past ~2.5 GB/s/core removed",
+        measured: format!("knee at {knee:?} GB/s/core"),
+        expected: "between −2.5 and −3.5".into(),
+        pass: knee.is_some_and(|k| (-3.5..=-2.0).contains(&k)),
+    });
+
+    let hpc_sweep = bandwidth_sweep(hpc, &sys, &curve, &default_bandwidth_deltas())?;
+    checks.push(Check {
+        artifact: "Fig. 8",
+        claim: "HPC is bandwidth bound at every baseline-or-below point",
+        measured: format!(
+            "{}/{} points bandwidth bound",
+            hpc_sweep
+                .iter()
+                .filter(|p| p.solved.regime == Regime::BandwidthBound)
+                .count(),
+            hpc_sweep.len()
+        ),
+        expected: "all".into(),
+        pass: hpc_sweep
+            .iter()
+            .all(|p| p.solved.regime == Regime::BandwidthBound),
+    });
+
+    Ok(Scorecard { checks })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calibrate::{calibrate_all, CalibrationBudget};
+    use std::sync::OnceLock;
+
+    fn cals() -> &'static Vec<CalibratedWorkload> {
+        static CACHE: OnceLock<Vec<CalibratedWorkload>> = OnceLock::new();
+        CACHE.get_or_init(|| calibrate_all(&CalibrationBudget::quick()).unwrap())
+    }
+
+    #[test]
+    fn scorecard_all_claims_hold() {
+        let sc = scorecard(cals()).unwrap();
+        assert!(sc.checks.len() >= 12, "comprehensive coverage: {}", sc.checks.len());
+        let failing: Vec<&Check> = sc.checks.iter().filter(|c| !c.pass).collect();
+        assert!(
+            sc.all_pass(),
+            "failing checks: {failing:#?}"
+        );
+    }
+
+    #[test]
+    fn scorecard_renders() {
+        let sc = scorecard(cals()).unwrap();
+        let ascii = sc.to_table().to_ascii();
+        assert!(ascii.contains("PASS"));
+        assert!(ascii.contains("Tab. 7"));
+        assert!(ascii.contains(&format!("{}/{} claims hold", sc.passed(), sc.checks.len())));
+    }
+
+    #[test]
+    fn scorecard_detects_failures() {
+        // Corrupt a calibration and ensure a check flips.
+        let mut cals = cals().clone();
+        for c in &mut cals {
+            c.bf = 0.5; // destroys the BF continuum
+        }
+        let sc = scorecard(&cals).unwrap();
+        assert!(!sc.all_pass(), "corrupted inputs must fail some check");
+    }
+}

@@ -1,0 +1,215 @@
+//! Configuration sweeps (paper Sec. VI.C.2).
+//!
+//! Fig. 8's x-axis is built by "model[ing] variations of this baseline,
+//! including changes in channel speed, efficiency, and number of channels".
+//! This module exposes those concrete variations (rather than the abstract
+//! per-core-delta walk) plus a core-frequency sweep — the knobs a system
+//! architect actually turns.
+
+use memsense_model::queueing::QueueingCurve;
+use memsense_model::solver::solve_cpi;
+use memsense_model::system::SystemConfig;
+use memsense_model::units::GigaHertz;
+use memsense_model::workload::WorkloadParams;
+
+use crate::render::{f, pct, Table};
+use crate::ExperimentError;
+
+/// Channel counts explored by [`channel_sweep_table`].
+pub const CHANNEL_COUNTS: [u32; 5] = [1, 2, 3, 4, 6];
+
+/// DDR speeds (MT/s) explored by [`speed_sweep_table`].
+pub const CHANNEL_SPEEDS: [f64; 4] = [1066.0, 1333.0, 1600.0, 1866.7];
+
+/// CPI of each class as the number of memory channels varies, with the
+/// paper-baseline 4-channel configuration as the reference.
+///
+/// # Errors
+///
+/// Propagates model failures.
+pub fn channel_sweep_table(
+    classes: &[WorkloadParams],
+    baseline: &SystemConfig,
+    curve: &QueueingCurve,
+) -> Result<Table, ExperimentError> {
+    let mut t = Table::new(
+        "Channel-count sweep: CPI per class (reference: 4 channels)",
+        &["class", "channels", "eff_bw_gbps", "cpi", "vs_4ch", "regime"],
+    );
+    for class in classes {
+        let reference = solve_cpi(class, &baseline.clone().with_channels(4)?, curve)?.cpi_eff;
+        for ch in CHANNEL_COUNTS {
+            let sys = baseline.clone().with_channels(ch)?;
+            let solved = solve_cpi(class, &sys, curve)?;
+            t.row(vec![
+                class.name.clone(),
+                ch.to_string(),
+                f(sys.effective_bandwidth().value(), 1),
+                f(solved.cpi_eff, 3),
+                pct(solved.cpi_eff / reference - 1.0, 1),
+                solved.regime.to_string(),
+            ]);
+        }
+    }
+    Ok(t)
+}
+
+/// CPI of each class as the DDR transfer rate varies.
+///
+/// # Errors
+///
+/// Propagates model failures.
+pub fn speed_sweep_table(
+    classes: &[WorkloadParams],
+    baseline: &SystemConfig,
+    curve: &QueueingCurve,
+) -> Result<Table, ExperimentError> {
+    let mut t = Table::new(
+        "Channel-speed sweep: CPI per class (reference: DDR3-1867)",
+        &["class", "mts", "eff_bw_gbps", "cpi", "vs_1867", "regime"],
+    );
+    for class in classes {
+        let reference =
+            solve_cpi(class, &baseline.clone().with_channel_speed(1866.7)?, curve)?.cpi_eff;
+        for mts in CHANNEL_SPEEDS {
+            let sys = baseline.clone().with_channel_speed(mts)?;
+            let solved = solve_cpi(class, &sys, curve)?;
+            t.row(vec![
+                class.name.clone(),
+                format!("{mts:.0}"),
+                f(sys.effective_bandwidth().value(), 1),
+                f(solved.cpi_eff, 3),
+                pct(solved.cpi_eff / reference - 1.0, 1),
+                solved.regime.to_string(),
+            ]);
+        }
+    }
+    Ok(t)
+}
+
+/// Wall-clock performance (relative) as the core clock varies: CPI rises
+/// with frequency (memory looks slower in cycles) but time-per-instruction
+/// still falls — the Sec. V.A methodology's premise, as a table.
+///
+/// # Errors
+///
+/// Propagates model failures.
+pub fn frequency_sweep_table(
+    classes: &[WorkloadParams],
+    baseline: &SystemConfig,
+    curve: &QueueingCurve,
+) -> Result<Table, ExperimentError> {
+    let mut t = Table::new(
+        "Core-frequency sweep: CPI vs wall-clock performance",
+        &["class", "ghz", "cpi", "rel_performance"],
+    );
+    for class in classes {
+        let base_sys = baseline.clone().with_core_clock(GigaHertz(2.7))?;
+        let base_perf = 2.7 / solve_cpi(class, &base_sys, curve)?.cpi_eff;
+        for ghz in crate::calibrate::CORE_SPEEDS_GHZ {
+            let sys = baseline.clone().with_core_clock(GigaHertz(ghz))?;
+            let solved = solve_cpi(class, &sys, curve)?;
+            t.row(vec![
+                class.name.clone(),
+                f(ghz, 1),
+                f(solved.cpi_eff, 3),
+                f(ghz / solved.cpi_eff / base_perf, 3),
+            ]);
+        }
+    }
+    Ok(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Vec<WorkloadParams>, SystemConfig, QueueingCurve) {
+        (
+            WorkloadParams::all_classes(),
+            SystemConfig::paper_baseline(),
+            QueueingCurve::composite_default(),
+        )
+    }
+
+    #[test]
+    fn channel_sweep_monotone_and_hpc_starved_at_one_channel() {
+        let (classes, sys, curve) = setup();
+        let t = channel_sweep_table(&classes, &sys, &curve).unwrap();
+        assert_eq!(t.len(), 3 * CHANNEL_COUNTS.len());
+        let csv = t.to_csv();
+        // HPC at 1 channel: catastrophic vs 4 channels.
+        let hpc_1ch = csv
+            .lines()
+            .find(|l| l.starts_with("HPC class,1,"))
+            .unwrap();
+        let pct: f64 = hpc_1ch
+            .split(',')
+            .nth(4)
+            .unwrap()
+            .trim_end_matches('%')
+            .parse()
+            .unwrap();
+        assert!(pct > 150.0, "HPC at 1 channel: +{pct}%");
+        // Enterprise at 1 channel suffers far less.
+        let ent_1ch = csv
+            .lines()
+            .find(|l| l.starts_with("Enterprise class,1,"))
+            .unwrap();
+        let ent_pct: f64 = ent_1ch
+            .split(',')
+            .nth(4)
+            .unwrap()
+            .trim_end_matches('%')
+            .parse()
+            .unwrap();
+        assert!(ent_pct < pct / 2.0, "enterprise +{ent_pct}% vs HPC +{pct}%");
+    }
+
+    #[test]
+    fn speed_sweep_helps_hpc_most() {
+        let (classes, sys, curve) = setup();
+        let t = speed_sweep_table(&classes, &sys, &curve).unwrap();
+        let csv = t.to_csv();
+        let get = |prefix: &str| -> f64 {
+            csv.lines()
+                .find(|l| l.starts_with(prefix))
+                .unwrap()
+                .split(',')
+                .nth(4)
+                .unwrap()
+                .trim_end_matches('%')
+                .parse()
+                .unwrap()
+        };
+        let hpc_slow = get("HPC class,1066,");
+        let ent_slow = get("Enterprise class,1066,");
+        assert!(hpc_slow > 50.0, "HPC at DDR3-1066: +{hpc_slow}%");
+        assert!(ent_slow < 10.0, "enterprise at DDR3-1066: +{ent_slow}%");
+    }
+
+    #[test]
+    fn frequency_sweep_cpi_up_perf_up() {
+        let (classes, sys, curve) = setup();
+        let t = frequency_sweep_table(&classes, &sys, &curve).unwrap();
+        let csv = t.to_csv();
+        // Enterprise: CPI at 3.1 GHz > CPI at 2.1 GHz, but relative
+        // performance at 3.1 GHz > at 2.1 GHz.
+        let row = |ghz: &str| -> Vec<String> {
+            csv.lines()
+                .find(|l| l.starts_with(&format!("Enterprise class,{ghz},")))
+                .unwrap()
+                .split(',')
+                .map(|s| s.to_string())
+                .collect()
+        };
+        let slow = row("2.1");
+        let fast = row("3.1");
+        let cpi_slow: f64 = slow[2].parse().unwrap();
+        let cpi_fast: f64 = fast[2].parse().unwrap();
+        let perf_slow: f64 = slow[3].parse().unwrap();
+        let perf_fast: f64 = fast[3].parse().unwrap();
+        assert!(cpi_fast > cpi_slow, "CPI rises with clock");
+        assert!(perf_fast > perf_slow, "performance still improves");
+    }
+}

@@ -1,0 +1,153 @@
+//! Parameter tables (paper Tabs. 2, 4, 5) — measured on the simulated
+//! testbed, side by side with the paper's published values.
+
+use memsense_workloads::{Class, Workload};
+
+use crate::calibrate::CalibratedWorkload;
+use crate::render::{f, pct, Table};
+
+/// The paper's published parameter rows for comparison columns.
+/// `(workload, cpi_cache, bf, mpki, wbr)`; enterprise/HPC per-workload rows
+/// are the class means the paper prints (Tabs. 4/5 as published list the
+/// class aggregate in our copy of the paper).
+pub fn paper_reference(workload: Workload) -> (f64, f64, f64, f64) {
+    use Workload::*;
+    match workload {
+        StructuredData => (0.89, 0.20, 5.6, 0.32),
+        Nits => (0.96, 0.18, 5.0, 1.17),
+        Spark => (0.90, 0.25, 6.0, 0.64),
+        Proximity => (0.93, 0.03, 0.5, 0.47),
+        Oltp | Jvm | Virtualization | WebCaching => (1.47, 0.41, 6.7, 0.27),
+        Bwaves | Milc | Soplex | Wrf => (0.75, 0.07, 26.7, 0.27),
+        // Core-bound SPEC components: the paper plots them near the origin
+        // of Fig. 6 without tabulating parameters; proximity-like values
+        // serve as the reference envelope.
+        Povray | Perlbench => (1.0, 0.03, 0.5, 0.3),
+    }
+}
+
+fn class_table(title: &str, class: Class, calibrations: &[CalibratedWorkload]) -> Table {
+    let mut t = Table::new(
+        title,
+        &[
+            "workload",
+            "CPI_cache",
+            "BF",
+            "BF_ci95",
+            "MPKI",
+            "WBR",
+            "R2",
+            "paper_CPI_cache",
+            "paper_BF",
+            "paper_MPKI",
+            "paper_WBR",
+        ],
+    );
+    for c in calibrations.iter().filter(|c| c.workload.class() == class) {
+        let (p_cpi, p_bf, p_mpki, p_wbr) = paper_reference(c.workload);
+        t.row(vec![
+            c.workload.name().to_string(),
+            f(c.cpi_cache, 2),
+            f(c.bf, 2),
+            format!("[{:.2},{:.2}]", c.bf_ci95.0, c.bf_ci95.1),
+            f(c.mpki, 1),
+            pct(c.wbr, 0),
+            f(c.r_squared, 2),
+            f(p_cpi, 2),
+            f(p_bf, 2),
+            f(p_mpki, 1),
+            pct(p_wbr, 0),
+        ]);
+    }
+    t
+}
+
+/// Tab. 2: big data workload parameters.
+pub fn tab2(calibrations: &[CalibratedWorkload]) -> Table {
+    class_table(
+        "Tab. 2: workload parameters for big data",
+        Class::BigData,
+        calibrations,
+    )
+}
+
+/// Tab. 4: enterprise workload parameters (paper columns show the class
+/// mean).
+pub fn tab4(calibrations: &[CalibratedWorkload]) -> Table {
+    class_table(
+        "Tab. 4: workload parameters for enterprise",
+        Class::Enterprise,
+        calibrations,
+    )
+}
+
+/// Tab. 5: HPC workload parameters (paper columns show the class mean).
+pub fn tab5(calibrations: &[CalibratedWorkload]) -> Table {
+    class_table(
+        "Tab. 5: workload parameters for HPC",
+        Class::Hpc,
+        calibrations,
+    )
+}
+
+/// Fig. 3 data: the raw `(MPI × MP, CPI_eff)` fit points per workload.
+pub fn fig3(calibrations: &[CalibratedWorkload]) -> Table {
+    let mut t = Table::new(
+        "Fig. 3: CPI vs per-instruction miss latency (fit points)",
+        &["workload", "core_ghz", "mem_mts", "mpi_x_mp_cycles", "cpi_eff", "fit_cpi"],
+    );
+    for c in calibrations {
+        for s in &c.samples {
+            let x = s.measurement.latency_per_instruction;
+            t.row(vec![
+                c.workload.name().to_string(),
+                f(s.core_ghz, 1),
+                f(s.memory_mts, 0),
+                f(x, 4),
+                f(s.measurement.cpi_eff, 3),
+                f(c.cpi_cache + c.bf * x, 3),
+            ]);
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calibrate::{calibrate_all, CalibrationBudget};
+    use std::sync::OnceLock;
+
+    fn cals() -> &'static Vec<CalibratedWorkload> {
+        static CACHE: OnceLock<Vec<CalibratedWorkload>> = OnceLock::new();
+        CACHE.get_or_init(|| calibrate_all(&CalibrationBudget::quick()).unwrap())
+    }
+
+    #[test]
+    fn tab2_has_four_big_data_rows() {
+        let t = tab2(cals());
+        assert_eq!(t.len(), 4);
+        let ascii = t.to_ascii();
+        assert!(ascii.contains("Structured Data"));
+        assert!(ascii.contains("Proximity"));
+    }
+
+    #[test]
+    fn tab4_has_four_rows_tab5_has_six() {
+        assert_eq!(tab4(cals()).len(), 4);
+        // Four SPECfp components plus the two core-bound SPEC components.
+        assert_eq!(tab5(cals()).len(), 6);
+    }
+
+    #[test]
+    fn fig3_has_all_sweep_points() {
+        let t = fig3(cals());
+        assert_eq!(t.len(), 14 * 8);
+    }
+
+    #[test]
+    fn paper_reference_values() {
+        assert_eq!(paper_reference(Workload::StructuredData), (0.89, 0.20, 5.6, 0.32));
+        assert_eq!(paper_reference(Workload::Bwaves).2, 26.7);
+    }
+}

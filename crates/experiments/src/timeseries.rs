@@ -1,0 +1,222 @@
+//! Characterization time series (paper Figs. 2, 4, 5).
+//!
+//! The paper plots CPU utilization, effective CPI, and memory bandwidth over
+//! time for each workload — ~100 ms sampling for big data and enterprise
+//! (Figs. 2, 4) and 1 s sampling for HPC (Fig. 5). Simulated time is scaled:
+//! one "display interval" here is a fixed slice of simulated nanoseconds,
+//! preserving the figures' content (steady-state level, variability, and
+//! phase structure) rather than wall-clock length.
+
+use memsense_sim::{Machine, Sample, SimConfig};
+use memsense_workloads::{Class, Workload};
+
+use crate::render::{f, Table};
+use crate::ExperimentError;
+
+/// A characterization run for one workload.
+#[derive(Debug, Clone)]
+pub struct CharacterizationSeries {
+    /// Workload identity.
+    pub workload: Workload,
+    /// Counter samples at fixed intervals.
+    pub samples: Vec<Sample>,
+}
+
+impl CharacterizationSeries {
+    /// Mean CPU utilization across samples.
+    pub fn mean_utilization(&self) -> f64 {
+        mean(self.samples.iter().map(|s| s.measurement.cpu_utilization))
+    }
+
+    /// Mean CPI across samples.
+    pub fn mean_cpi(&self) -> f64 {
+        mean(self.samples.iter().map(|s| s.measurement.cpi_eff))
+    }
+
+    /// Mean bandwidth (GB/s) across samples.
+    pub fn mean_bandwidth(&self) -> f64 {
+        mean(self.samples.iter().map(|s| s.measurement.bandwidth_gbps))
+    }
+
+    /// Coefficient of variation of CPI — the "narrow range" (column store)
+    /// vs "a lot of variation" (Spark) observation of Sec. V.C/V.F.
+    pub fn cpi_cv(&self) -> f64 {
+        let cpis: Vec<f64> = self.samples.iter().map(|s| s.measurement.cpi_eff).collect();
+        match memsense_stats::Summary::from_samples(&cpis) {
+            Ok(s) => s.coefficient_of_variation(),
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Renders the per-sample series as a table (time, util, CPI, GB/s).
+    pub fn to_table(&self) -> Table {
+        let mut t = Table::new(
+            format!("{} characterization", self.workload.name()),
+            &["t_ms", "cpu_util", "cpi", "bw_gbps", "mpki"],
+        );
+        for s in &self.samples {
+            t.row(vec![
+                f(s.time_s * 1e3, 3),
+                f(s.measurement.cpu_utilization, 3),
+                f(s.measurement.cpi_eff, 3),
+                f(s.measurement.bandwidth_gbps, 2),
+                f(s.measurement.mpki, 2),
+            ]);
+        }
+        t
+    }
+}
+
+/// Budget for a characterization run.
+#[derive(Debug, Clone, Copy)]
+pub struct SeriesBudget {
+    /// Hardware threads.
+    pub threads: u32,
+    /// Warm-up instructions per thread.
+    pub warmup_ops: u64,
+    /// Simulated nanoseconds per sample.
+    pub interval_ns: f64,
+    /// Number of samples.
+    pub samples: usize,
+}
+
+impl Default for SeriesBudget {
+    fn default() -> Self {
+        SeriesBudget {
+            threads: 8,
+            warmup_ops: 60_000,
+            interval_ns: 20_000.0,
+            samples: 40,
+        }
+    }
+}
+
+impl SeriesBudget {
+    /// Reduced budget for tests.
+    pub fn quick() -> Self {
+        SeriesBudget {
+            threads: 4,
+            warmup_ops: 30_000,
+            interval_ns: 10_000.0,
+            samples: 12,
+        }
+    }
+}
+
+/// Runs the characterization sampler for one workload.
+///
+/// # Errors
+///
+/// Propagates simulator construction failures.
+pub fn characterize(
+    workload: Workload,
+    budget: &SeriesBudget,
+) -> Result<CharacterizationSeries, ExperimentError> {
+    let threads = match workload.class() {
+        Class::Hpc => budget.threads.min(4),
+        _ => budget.threads,
+    };
+    let config = SimConfig::xeon_like(threads);
+    let mut machine = Machine::new(config, workload.streams(threads, 0x5e71e5))?;
+    machine.run_ops(budget.warmup_ops);
+    let samples = machine.sample_series(budget.interval_ns, budget.samples);
+    Ok(CharacterizationSeries { workload, samples })
+}
+
+/// Runs Fig. 2 (big data), Fig. 4 (enterprise), or Fig. 5 (HPC) — all four
+/// workloads of the class.
+///
+/// # Errors
+///
+/// Propagates per-workload failures.
+pub fn class_series(
+    class: Class,
+    budget: &SeriesBudget,
+) -> Result<Vec<CharacterizationSeries>, ExperimentError> {
+    Workload::all()
+        .into_iter()
+        .filter(|w| w.class() == class)
+        .map(|w| characterize(w, budget))
+        .collect()
+}
+
+/// Summary table across a class (one row per workload) — the headline
+/// content of Figs. 2/4/5.
+pub fn summary_table(title: &str, series: &[CharacterizationSeries]) -> Table {
+    let mut t = Table::new(
+        title,
+        &["workload", "mean_util", "mean_cpi", "cpi_cv", "mean_bw_gbps"],
+    );
+    for s in series {
+        t.row(vec![
+            s.workload.name().to_string(),
+            f(s.mean_utilization(), 3),
+            f(s.mean_cpi(), 3),
+            f(s.cpi_cv(), 3),
+            f(s.mean_bandwidth(), 2),
+        ]);
+    }
+    t
+}
+
+fn mean(values: impl Iterator<Item = f64>) -> f64 {
+    let v: Vec<f64> = values.collect();
+    if v.is_empty() {
+        0.0
+    } else {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structured_data_steady_high_utilization() {
+        let s = characterize(Workload::StructuredData, &SeriesBudget::quick()).unwrap();
+        assert!(s.samples.len() >= 10);
+        // Fig. 2: "close to 100%" utilization, CPI within a narrow range.
+        assert!(s.mean_utilization() > 0.95, "util {}", s.mean_utilization());
+        assert!(s.cpi_cv() < 0.1, "CPI CV {}", s.cpi_cv());
+    }
+
+    #[test]
+    fn spark_lower_utilization_and_variable_cpi() {
+        let spark = characterize(Workload::Spark, &SeriesBudget::quick()).unwrap();
+        let sd = characterize(Workload::StructuredData, &SeriesBudget::quick()).unwrap();
+        assert!(
+            spark.mean_utilization() < 0.9,
+            "Spark util {}",
+            spark.mean_utilization()
+        );
+        assert!(
+            spark.cpi_cv() > sd.cpi_cv(),
+            "Spark CPI varies more: {} vs {}",
+            spark.cpi_cv(),
+            sd.cpi_cv()
+        );
+    }
+
+    #[test]
+    fn hpc_series_has_highest_bandwidth() {
+        let budget = SeriesBudget::quick();
+        let hpc = characterize(Workload::Bwaves, &budget).unwrap();
+        let ent = characterize(Workload::Oltp, &budget).unwrap();
+        assert!(hpc.mean_bandwidth() > ent.mean_bandwidth());
+    }
+
+    #[test]
+    fn class_series_covers_four_workloads() {
+        let series = class_series(Class::BigData, &SeriesBudget::quick()).unwrap();
+        assert_eq!(series.len(), 4);
+        let t = summary_table("Fig. 2", &series);
+        assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    fn per_sample_table_rows_match() {
+        let s = characterize(Workload::Proximity, &SeriesBudget::quick()).unwrap();
+        assert_eq!(s.to_table().len(), s.samples.len());
+    }
+}

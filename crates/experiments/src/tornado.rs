@@ -1,0 +1,193 @@
+//! Tornado (one-at-a-time) sensitivity analysis of the model inputs.
+//!
+//! The paper's model has four workload parameters; this analysis perturbs
+//! each by ±20% and reports the resulting CPI range per class, answering
+//! "which counter must be measured most carefully?" — `BF` and `MPKI`
+//! dominate for latency-limited classes, while only `MPKI`/`WBR` (the
+//! traffic terms) matter for bandwidth-bound ones.
+
+use memsense_model::queueing::QueueingCurve;
+use memsense_model::solver::solve_cpi;
+use memsense_model::system::SystemConfig;
+use memsense_model::workload::WorkloadParams;
+
+use crate::render::{f, pct, Table};
+use crate::ExperimentError;
+
+/// Which parameter a tornado bar perturbs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Parameter {
+    /// Infinite-cache CPI.
+    CpiCache,
+    /// Blocking factor.
+    Bf,
+    /// Misses per kilo-instruction.
+    Mpki,
+    /// Writeback rate.
+    Wbr,
+}
+
+impl Parameter {
+    /// All parameters in display order.
+    pub fn all() -> [Parameter; 4] {
+        [Parameter::CpiCache, Parameter::Bf, Parameter::Mpki, Parameter::Wbr]
+    }
+
+    fn apply(self, base: &WorkloadParams, factor: f64) -> WorkloadParams {
+        let mut p = base.clone();
+        match self {
+            Parameter::CpiCache => p.cpi_cache *= factor,
+            Parameter::Bf => p.bf *= factor,
+            Parameter::Mpki => p.mpki *= factor,
+            Parameter::Wbr => p.wbr *= factor,
+        }
+        p
+    }
+}
+
+impl core::fmt::Display for Parameter {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Parameter::CpiCache => write!(f, "CPI_cache"),
+            Parameter::Bf => write!(f, "BF"),
+            Parameter::Mpki => write!(f, "MPKI"),
+            Parameter::Wbr => write!(f, "WBR"),
+        }
+    }
+}
+
+/// One tornado bar: the CPI swing from perturbing one parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TornadoBar {
+    /// Perturbed parameter.
+    pub parameter: Parameter,
+    /// CPI with the parameter at `1 − spread`.
+    pub cpi_low: f64,
+    /// CPI with the parameter at `1 + spread`.
+    pub cpi_high: f64,
+    /// Baseline CPI.
+    pub cpi_base: f64,
+}
+
+impl TornadoBar {
+    /// Full swing as a fraction of the baseline CPI.
+    pub fn swing(&self) -> f64 {
+        (self.cpi_high - self.cpi_low).abs() / self.cpi_base
+    }
+}
+
+/// Runs the tornado analysis for one workload class.
+///
+/// # Errors
+///
+/// Propagates solver failures.
+pub fn tornado(
+    class: &WorkloadParams,
+    system: &SystemConfig,
+    curve: &QueueingCurve,
+    spread: f64,
+) -> Result<Vec<TornadoBar>, ExperimentError> {
+    let base = solve_cpi(class, system, curve)?.cpi_eff;
+    let mut bars = Vec::new();
+    for param in Parameter::all() {
+        let low = solve_cpi(&param.apply(class, 1.0 - spread), system, curve)?.cpi_eff;
+        let high = solve_cpi(&param.apply(class, 1.0 + spread), system, curve)?.cpi_eff;
+        bars.push(TornadoBar {
+            parameter: param,
+            cpi_low: low,
+            cpi_high: high,
+            cpi_base: base,
+        });
+    }
+    // Largest swing first, the tornado convention.
+    bars.sort_by(|a, b| b.swing().total_cmp(&a.swing()));
+    Ok(bars)
+}
+
+/// Renders the tornado analysis for a set of classes.
+///
+/// # Errors
+///
+/// Propagates solver failures.
+pub fn tornado_table(
+    classes: &[WorkloadParams],
+    system: &SystemConfig,
+    curve: &QueueingCurve,
+    spread: f64,
+) -> Result<Table, ExperimentError> {
+    let mut t = Table::new(
+        format!("Tornado: CPI swing from ±{:.0}% parameter perturbation", spread * 100.0),
+        &["class", "parameter", "cpi_low", "cpi_base", "cpi_high", "swing"],
+    );
+    for class in classes {
+        for bar in tornado(class, system, curve, spread)? {
+            t.row(vec![
+                class.name.clone(),
+                bar.parameter.to_string(),
+                f(bar.cpi_low, 3),
+                f(bar.cpi_base, 3),
+                f(bar.cpi_high, 3),
+                pct(bar.swing(), 1),
+            ]);
+        }
+    }
+    Ok(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (SystemConfig, QueueingCurve) {
+        (
+            SystemConfig::paper_baseline(),
+            QueueingCurve::composite_default(),
+        )
+    }
+
+    #[test]
+    fn bars_bracket_baseline() {
+        let (sys, curve) = setup();
+        let bars = tornado(&WorkloadParams::enterprise_class(), &sys, &curve, 0.2).unwrap();
+        assert_eq!(bars.len(), 4);
+        for b in &bars {
+            assert!(b.cpi_low <= b.cpi_base + 1e-9, "{:?}", b);
+            assert!(b.cpi_high >= b.cpi_base - 1e-9, "{:?}", b);
+        }
+        // Sorted descending by swing.
+        for w in bars.windows(2) {
+            assert!(w[0].swing() >= w[1].swing());
+        }
+    }
+
+    #[test]
+    fn enterprise_dominated_by_cpi_cache_then_memory_terms() {
+        let (sys, curve) = setup();
+        let bars = tornado(&WorkloadParams::enterprise_class(), &sys, &curve, 0.2).unwrap();
+        // CPI_cache is ~70% of enterprise CPI, so it has the largest bar;
+        // WBR barely matters (only via queueing).
+        assert_eq!(bars[0].parameter, Parameter::CpiCache);
+        let wbr = bars.iter().find(|b| b.parameter == Parameter::Wbr).unwrap();
+        assert!(wbr.swing() < 0.05, "WBR swing {}", wbr.swing());
+    }
+
+    #[test]
+    fn hpc_dominated_by_traffic_terms() {
+        let (sys, curve) = setup();
+        let bars = tornado(&WorkloadParams::hpc_class(), &sys, &curve, 0.2).unwrap();
+        // Bandwidth-bound: CPI ∝ MPI × (1 + WBR); BF is irrelevant.
+        assert_eq!(bars[0].parameter, Parameter::Mpki);
+        let bf = bars.iter().find(|b| b.parameter == Parameter::Bf).unwrap();
+        assert!(bf.swing() < 1e-9, "BF swing {} for bandwidth-bound class", bf.swing());
+        let wbr = bars.iter().find(|b| b.parameter == Parameter::Wbr).unwrap();
+        assert!(wbr.swing() > 0.05, "WBR matters when traffic-bound");
+    }
+
+    #[test]
+    fn table_renders_all_rows() {
+        let (sys, curve) = setup();
+        let t = tornado_table(&WorkloadParams::all_classes(), &sys, &curve, 0.2).unwrap();
+        assert_eq!(t.len(), 12);
+        assert!(t.to_ascii().contains("CPI_cache"));
+    }
+}

@@ -1,0 +1,177 @@
+//! Model validation: computed vs measured CPI (paper Tab. 3 / Sec. V.H).
+//!
+//! With `CPI_cache` and `BF` fitted once, Eq. 1 must predict the measured
+//! `CPI_eff` at *every* sweep point from that point's own `MPI` and `MP`
+//! counters. The paper reports ≤ ±3% error for structured data and ≤ ±2%
+//! for the other big data workloads.
+
+use memsense_model::cpi::effective_cpi_raw;
+use memsense_model::units::Cycles;
+use memsense_workloads::Workload;
+
+use crate::calibrate::{calibrate, CalibratedWorkload, CalibrationBudget};
+use crate::render::{f, pct, Table};
+use crate::ExperimentError;
+
+/// One computed-vs-measured comparison row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ValidationPoint {
+    /// Core clock (GHz).
+    pub core_ghz: f64,
+    /// Memory speed (MT/s).
+    pub memory_mts: f64,
+    /// Measured misses per instruction.
+    pub mpi: f64,
+    /// Measured miss penalty (core cycles).
+    pub mp_cycles: f64,
+    /// CPI computed by Eq. 1 from the calibrated parameters.
+    pub cpi_computed: f64,
+    /// CPI measured by the counters.
+    pub cpi_measured: f64,
+}
+
+impl ValidationPoint {
+    /// Relative error `(computed − measured) / measured`.
+    pub fn error(&self) -> f64 {
+        (self.cpi_computed - self.cpi_measured) / self.cpi_measured
+    }
+}
+
+/// Full validation result for one workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Validation {
+    /// The calibration being validated.
+    pub calibration: CalibratedWorkload,
+    /// Per-sweep-point comparisons.
+    pub points: Vec<ValidationPoint>,
+}
+
+impl Validation {
+    /// Largest absolute relative error across points.
+    pub fn max_abs_error(&self) -> f64 {
+        self.points
+            .iter()
+            .map(|p| p.error().abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Renders the Tab. 3 layout: one column block per sweep point.
+    pub fn to_table(&self) -> Table {
+        let mut t = Table::new(
+            format!(
+                "Tab. 3: computed vs measured CPI — {} (CPI_cache {:.2}, BF {:.2})",
+                self.calibration.workload.name(),
+                self.calibration.cpi_cache,
+                self.calibration.bf
+            ),
+            &["core_ghz", "mem_mts", "MPI", "MP_cycles", "cpi_computed", "cpi_measured", "error"],
+        );
+        for p in &self.points {
+            t.row(vec![
+                f(p.core_ghz, 1),
+                f(p.memory_mts, 0),
+                f(p.mpi, 4),
+                f(p.mp_cycles, 0),
+                f(p.cpi_computed, 2),
+                f(p.cpi_measured, 2),
+                pct(p.error(), 1),
+            ]);
+        }
+        t
+    }
+}
+
+/// Validates a calibration against its own sweep points (the paper's
+/// Tab. 3 construction).
+pub fn validate_calibration(calibration: CalibratedWorkload) -> Validation {
+    let points = calibration
+        .samples
+        .iter()
+        .map(|s| {
+            let mpi = s.measurement.mpki / 1000.0;
+            let mp = s.measurement.miss_penalty_cycles;
+            ValidationPoint {
+                core_ghz: s.core_ghz,
+                memory_mts: s.memory_mts,
+                mpi,
+                mp_cycles: mp,
+                cpi_computed: effective_cpi_raw(
+                    calibration.cpi_cache,
+                    mpi,
+                    Cycles(mp),
+                    calibration.bf,
+                ),
+                cpi_measured: s.measurement.cpi_eff,
+            }
+        })
+        .collect();
+    Validation {
+        calibration,
+        points,
+    }
+}
+
+/// Calibrates and validates one workload end to end.
+///
+/// # Errors
+///
+/// Propagates calibration failures.
+pub fn validate(
+    workload: Workload,
+    budget: &CalibrationBudget,
+) -> Result<Validation, ExperimentError> {
+    Ok(validate_calibration(calibrate(workload, budget)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structured_data_error_small() {
+        let v = validate(Workload::StructuredData, &CalibrationBudget::quick()).unwrap();
+        assert_eq!(v.points.len(), 8);
+        // Paper: ≤ ±3%; allow a simulator margin.
+        assert!(
+            v.max_abs_error() < 0.06,
+            "max error {}",
+            v.max_abs_error()
+        );
+    }
+
+    #[test]
+    fn other_big_data_errors_small() {
+        for w in [Workload::Nits, Workload::Spark] {
+            let v = validate(w, &CalibrationBudget::quick()).unwrap();
+            assert!(
+                v.max_abs_error() < 0.08,
+                "{}: max error {}",
+                w,
+                v.max_abs_error()
+            );
+        }
+    }
+
+    #[test]
+    fn table_has_error_row_content() {
+        let v = validate(Workload::StructuredData, &CalibrationBudget::quick()).unwrap();
+        let t = v.to_table();
+        assert_eq!(t.len(), 8);
+        let ascii = t.to_ascii();
+        assert!(ascii.contains("cpi_computed"));
+        assert!(ascii.contains('%'));
+    }
+
+    #[test]
+    fn error_definition() {
+        let p = ValidationPoint {
+            core_ghz: 2.7,
+            memory_mts: 1867.0,
+            mpi: 0.005,
+            mp_cycles: 200.0,
+            cpi_computed: 1.05,
+            cpi_measured: 1.0,
+        };
+        assert!((p.error() - 0.05).abs() < 1e-12);
+    }
+}

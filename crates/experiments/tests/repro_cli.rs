@@ -1,0 +1,60 @@
+//! End-to-end tests of the `repro` command-line binary.
+
+use std::process::Command;
+
+fn repro(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .output()
+        .expect("repro binary runs")
+}
+
+#[test]
+fn help_lists_targets() {
+    let out = repro(&["--help"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    for target in ["fig1", "fig11", "tab7", "hierarchy", "scorecard", "design"] {
+        assert!(err.contains(target), "help mentions {target}: {err}");
+    }
+}
+
+#[test]
+fn unknown_target_fails() {
+    let out = repro(&["nonsense"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown target"));
+}
+
+#[test]
+fn fig1_prints_and_writes_csv() {
+    let out = repro(&["fig1"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Fig. 1"));
+    assert!(stdout.contains("cpu_capability"));
+    assert!(stdout.contains("[wrote "));
+}
+
+#[test]
+fn model_only_targets_run_quickly() {
+    // These need no calibration, so they must run fast and cleanly.
+    for target in ["fig8", "fig9", "fig10", "fig11", "tab7", "hierarchy", "numa", "futuretech", "tornado", "cpistack", "design"] {
+        let out = repro(&[target]);
+        assert!(
+            out.status.success(),
+            "{target}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert!(!out.stdout.is_empty(), "{target} produced output");
+    }
+}
+
+#[test]
+fn fig10_includes_ascii_plot() {
+    let out = repro(&["fig10"]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Fig. 10 (shape)"));
+    assert!(stdout.contains("Enterprise class"));
+    assert!(stdout.contains("[x: compulsory latency ns]"));
+}

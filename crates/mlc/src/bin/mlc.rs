@@ -1,0 +1,92 @@
+//! `mlc` — command-line loaded-latency tool, mirroring Intel® MLC's
+//! headline modes against the simulated memory controller.
+//!
+//! ```text
+//! mlc                      # default: loaded-latency sweep, DDR3-1867, reads
+//! mlc --idle_latency       # unloaded latency only
+//! mlc --peak_bandwidth     # max stable bandwidth per speed/mix
+//! mlc --loaded_latency     # the full Fig. 7 sweep table
+//! mlc --mix 0.67           # read fraction (default 1.0)
+//! mlc --speed 1333         # DDR3-1333 timing (default 1867)
+//! ```
+
+use std::process::ExitCode;
+
+use memsense_mlc::{loaded_latency_sweep, MlcConfig};
+use memsense_sim::config::MemoryConfig;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "-h" || a == "--help") {
+        eprintln!(
+            "usage: mlc [--idle_latency | --peak_bandwidth | --loaded_latency] \
+             [--mix <read_fraction>] [--speed <1333|1867>]"
+        );
+        return ExitCode::from(2);
+    }
+
+    let mut config = MlcConfig::default();
+    let mut mode = "--loaded_latency".to_string();
+    let mut it = args.iter().peekable();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--idle_latency" | "--peak_bandwidth" | "--loaded_latency" => {
+                mode = arg.clone();
+            }
+            "--mix" => {
+                let Some(v) = it.next().and_then(|v| v.parse::<f64>().ok()) else {
+                    eprintln!("--mix requires a fraction in [0, 1]");
+                    return ExitCode::from(2);
+                };
+                if !(0.0..=1.0).contains(&v) {
+                    eprintln!("--mix must be in [0, 1]");
+                    return ExitCode::from(2);
+                }
+                config.read_fraction = v;
+            }
+            "--speed" => {
+                config.memory = match it.next().map(|s| s.as_str()) {
+                    Some("1333") => MemoryConfig::ddr3_1333(),
+                    Some("1867") => MemoryConfig::ddr3_1867(),
+                    other => {
+                        eprintln!("--speed must be 1333 or 1867, got {other:?}");
+                        return ExitCode::from(2);
+                    }
+                };
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let sweep = loaded_latency_sweep(&config);
+    match mode.as_str() {
+        "--idle_latency" => {
+            println!("idle latency: {:.1} ns", sweep.unloaded_latency_ns);
+        }
+        "--peak_bandwidth" => {
+            println!(
+                "peak (theoretical): {:.1} GB/s\nmax stable (measured): {:.1} GB/s ({:.0}% efficiency)",
+                sweep.peak_gbps,
+                sweep.max_stable_gbps,
+                sweep.efficiency() * 100.0
+            );
+        }
+        _ => {
+            println!("{}  (idle {:.1} ns)", sweep.label, sweep.unloaded_latency_ns);
+            println!("{:>12} {:>12} {:>12} {:>8}", "offered", "delivered", "latency", "stable");
+            for p in &sweep.points {
+                println!(
+                    "{:>9.1} GB/s {:>9.2} GB/s {:>9.1} ns {:>8}",
+                    p.offered_gbps,
+                    p.delivered_gbps,
+                    p.avg_latency_ns,
+                    if p.stable { "yes" } else { "no" }
+                );
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

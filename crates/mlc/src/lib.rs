@@ -1,0 +1,408 @@
+//! Memory latency checker — the memsense analogue of Intel® MLC.
+//!
+//! The paper calibrates its queueing-delay-vs-utilization relationship
+//! (Fig. 7) by running MLC: a traffic generator that issues memory requests
+//! at controlled arrival rates and records the loaded latency at each
+//! delivered bandwidth, for two DDR speeds × two read/write mixes. This
+//! crate reproduces that experiment against the simulated memory controller
+//! and converts the measurements into the composite
+//! [`memsense_model::QueueingCurve`] the analytic model consumes.
+//!
+//! # Examples
+//!
+//! ```
+//! use memsense_mlc::{loaded_latency_sweep, MlcConfig};
+//! use memsense_sim::config::MemoryConfig;
+//!
+//! let sweep = loaded_latency_sweep(&MlcConfig {
+//!     memory: MemoryConfig::ddr3_1867(),
+//!     read_fraction: 1.0,
+//!     ..MlcConfig::default()
+//! });
+//! // Latency rises with offered load.
+//! let first = sweep.points.first().unwrap();
+//! let last = sweep.points.last().unwrap();
+//! assert!(last.avg_latency_ns > first.avg_latency_ns);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use memsense_model::queueing::QueueingCurve;
+use memsense_model::ModelError;
+use memsense_sim::config::MemoryConfig;
+use memsense_sim::mem::MemoryController;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for a loaded-latency sweep.
+#[derive(Debug, Clone)]
+pub struct MlcConfig {
+    /// Memory subsystem under test.
+    pub memory: MemoryConfig,
+    /// Fraction of requests that are reads (1.0 = read-only; the paper uses
+    /// two mixes).
+    pub read_fraction: f64,
+    /// Offered bandwidths to test, in GB/s. Defaults to a ramp from idle to
+    /// well past saturation.
+    pub offered_gbps: Vec<f64>,
+    /// Measurement window per point, in ns of simulated time.
+    pub window_ns: f64,
+    /// Footprint the random addresses cover (bytes).
+    pub region: u64,
+    /// RNG seed for address generation and arrival jitter.
+    pub seed: u64,
+}
+
+impl Default for MlcConfig {
+    fn default() -> Self {
+        MlcConfig {
+            memory: MemoryConfig::ddr3_1867(),
+            read_fraction: 1.0,
+            offered_gbps: (1..=30).map(|i| i as f64 * 2.0).collect(),
+            window_ns: 400_000.0,
+            region: 1 << 30,
+            seed: 0x316c,
+        }
+    }
+}
+
+/// One measured point of the loaded-latency curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadedLatencyPoint {
+    /// Offered (injected) bandwidth, GB/s.
+    pub offered_gbps: f64,
+    /// Delivered bandwidth, GB/s.
+    pub delivered_gbps: f64,
+    /// Average read latency over the window, ns.
+    pub avg_latency_ns: f64,
+    /// Whether the controller kept up with the offered rate (delivered
+    /// within 2% of offered and latency stable).
+    pub stable: bool,
+}
+
+/// A full loaded-latency sweep for one speed/mix combination.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadedLatencySweep {
+    /// Human-readable label, e.g. `"DDR3-1867 100%R"`.
+    pub label: String,
+    /// Measured points in offered-rate order.
+    pub points: Vec<LoadedLatencyPoint>,
+    /// The compulsory (unloaded) latency: the latency at the lightest load.
+    pub unloaded_latency_ns: f64,
+    /// Maximum stable delivered bandwidth observed ("efficiency" × peak).
+    pub max_stable_gbps: f64,
+    /// Theoretical peak bandwidth of the configuration.
+    pub peak_gbps: f64,
+}
+
+impl LoadedLatencySweep {
+    /// Bus efficiency: max stable delivered bandwidth over theoretical peak
+    /// (the paper observes ~70% for its DDR3-1867 baseline).
+    pub fn efficiency(&self) -> f64 {
+        self.max_stable_gbps / self.peak_gbps
+    }
+
+    /// Converts the sweep into `(utilization, queueing delay)` points:
+    /// utilization is delivered bandwidth normalized to the maximum stable
+    /// bandwidth, and queueing delay is measured latency minus the unloaded
+    /// latency — exactly the Fig. 7 construction.
+    pub fn queueing_points(&self) -> Vec<(f64, f64)> {
+        self.points
+            .iter()
+            .filter(|p| p.stable)
+            .map(|p| {
+                (
+                    (p.delivered_gbps / self.max_stable_gbps).clamp(0.0, 1.0),
+                    (p.avg_latency_ns - self.unloaded_latency_ns).max(0.0),
+                )
+            })
+            .collect()
+    }
+
+    /// Builds a [`QueueingCurve`] from this sweep alone.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidParameter`] when the sweep has no stable
+    /// points or the measurements are not monotone after merging.
+    pub fn to_queueing_curve(&self) -> Result<QueueingCurve, ModelError> {
+        let mut pts = self.queueing_points();
+        pts.insert(0, (0.0, 0.0));
+        // Enforce monotonicity: queueing theory guarantees it, but discrete
+        // sampling can produce sub-ns inversions at light load.
+        let mut max_so_far = 0.0;
+        for p in &mut pts {
+            if p.1 < max_so_far {
+                p.1 = max_so_far;
+            }
+            max_so_far = p.1;
+        }
+        QueueingCurve::from_measurements(pts, 0.95)
+    }
+}
+
+/// Runs one loaded-latency sweep.
+///
+/// For each offered rate, requests with uniformly-random line addresses are
+/// injected at jittered arrivals over [`MlcConfig::window_ns`]; read latency
+/// and delivered bandwidth are derived from controller statistics, matching
+/// how MLC "generates traffic … at different arrival rates, and collects
+/// performance counter data as it runs".
+pub fn loaded_latency_sweep(config: &MlcConfig) -> LoadedLatencySweep {
+    let mix_pct = (config.read_fraction * 100.0).round();
+    let label = format!(
+        "DDR3-{:.0} {mix_pct:.0}%R",
+        config.memory.mega_transfers.round()
+    );
+    let peak = config.memory.peak_bandwidth_gbps();
+    let mut points = Vec::with_capacity(config.offered_gbps.len());
+    let mut unloaded = f64::INFINITY;
+    let mut max_stable: f64 = 0.0;
+
+    for &offered in &config.offered_gbps {
+        let point = run_point(config, offered);
+        unloaded = unloaded.min(point.avg_latency_ns);
+        if point.stable {
+            max_stable = max_stable.max(point.delivered_gbps);
+        }
+        points.push(point);
+    }
+
+    LoadedLatencySweep {
+        label,
+        points,
+        unloaded_latency_ns: unloaded,
+        max_stable_gbps: max_stable,
+        peak_gbps: peak,
+    }
+}
+
+/// Maximum requests in flight across the injector threads — MLC is a
+/// closed-loop tool (bounded concurrency per thread × many threads), which
+/// is what keeps its measured loaded latency finite even past saturation.
+const MAX_OUTSTANDING: usize = 128;
+
+fn run_point(config: &MlcConfig, offered_gbps: f64) -> LoadedLatencyPoint {
+    let mut controller = MemoryController::new(config.memory, 64);
+    let mut rng = SmallRng::seed_from_u64(config.seed ^ offered_gbps.to_bits());
+    let interval_ns = 64.0 / offered_gbps; // bytes / (GB/s) = ns
+    let window = config.window_ns;
+
+    let mut now = 0.0;
+    let mut read_latency_sum = 0.0;
+    let mut reads = 0u64;
+    let mut bytes = 0u64;
+    let mut last_complete = 0.0f64;
+    let mut outstanding: std::collections::VecDeque<f64> = std::collections::VecDeque::new();
+
+    while now < window {
+        // Closed loop: block the injector when its concurrency is exhausted.
+        while let Some(&done) = outstanding.front() {
+            if done <= now {
+                outstanding.pop_front();
+            } else {
+                break;
+            }
+        }
+        if outstanding.len() >= MAX_OUTSTANDING {
+            // Blocked: the arrival clock slips, so delivered bandwidth falls
+            // below offered and the point reads as unstable.
+            let done = outstanding.pop_front().expect("non-empty");
+            now = now.max(done);
+        }
+        let addr = rng.gen_range(0..config.region) & !63;
+        let write = rng.gen::<f64>() >= config.read_fraction;
+        let resp = controller.request(now, addr, write);
+        outstanding.push_back(resp.complete_ns);
+        bytes += 64;
+        last_complete = last_complete.max(resp.complete_ns);
+        if !write {
+            read_latency_sum += resp.latency_ns;
+            reads += 1;
+        }
+        // Jittered arrivals around the configured rate.
+        now += interval_ns * rng.gen_range(0.5..1.5);
+    }
+
+    let elapsed = last_complete.max(window);
+    let delivered = bytes as f64 / elapsed;
+    let avg_latency = if reads > 0 {
+        read_latency_sum / reads as f64
+    } else {
+        0.0
+    };
+    let stable = delivered >= offered_gbps * 0.98;
+
+    LoadedLatencyPoint {
+        offered_gbps,
+        delivered_gbps: delivered,
+        avg_latency_ns: avg_latency,
+        stable,
+    }
+}
+
+/// Runs the full Fig. 7 experiment: two memory speeds × two read/write
+/// mixes, returning the four sweeps in a fixed order
+/// (1867/100%R, 1867/67%R, 1333/100%R, 1333/67%R).
+pub fn fig7_sweeps() -> Vec<LoadedLatencySweep> {
+    let combos = [
+        (MemoryConfig::ddr3_1867(), 1.0),
+        (MemoryConfig::ddr3_1867(), 0.67),
+        (MemoryConfig::ddr3_1333(), 1.0),
+        (MemoryConfig::ddr3_1333(), 0.67),
+    ];
+    combos
+        .into_iter()
+        .map(|(memory, read_fraction)| {
+            loaded_latency_sweep(&MlcConfig {
+                memory,
+                read_fraction,
+                ..MlcConfig::default()
+            })
+        })
+        .collect()
+}
+
+/// Builds the composite queueing curve from several sweeps, as the paper
+/// averages its four measured curves into one model input.
+///
+/// # Errors
+///
+/// Returns [`ModelError::InvalidParameter`] when `sweeps` is empty or no
+/// sweep yields a valid curve.
+pub fn composite_queueing_curve(
+    sweeps: &[LoadedLatencySweep],
+) -> Result<QueueingCurve, ModelError> {
+    let curves: Vec<QueueingCurve> = sweeps
+        .iter()
+        .filter_map(|s| s.to_queueing_curve().ok())
+        .collect();
+    if curves.is_empty() {
+        return Err(ModelError::InvalidParameter(
+            "no valid queueing curves from sweeps",
+        ));
+    }
+    QueueingCurve::composite(&curves)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config() -> MlcConfig {
+        MlcConfig {
+            offered_gbps: vec![
+                2.0, 10.0, 20.0, 28.0, 32.0, 36.0, 40.0, 46.0, 52.0, 60.0,
+            ],
+            window_ns: 150_000.0,
+            ..MlcConfig::default()
+        }
+    }
+
+    #[test]
+    fn latency_monotone_in_offered_load() {
+        let sweep = loaded_latency_sweep(&quick_config());
+        let stable: Vec<_> = sweep.points.iter().filter(|p| p.stable).collect();
+        assert!(stable.len() >= 3, "need several stable points");
+        for w in stable.windows(2) {
+            assert!(
+                w[1].avg_latency_ns >= w[0].avg_latency_ns - 1.0,
+                "latency should rise with load: {} then {}",
+                w[0].avg_latency_ns,
+                w[1].avg_latency_ns
+            );
+        }
+    }
+
+    #[test]
+    fn unloaded_latency_near_compulsory() {
+        let sweep = loaded_latency_sweep(&quick_config());
+        let expected = MemoryConfig::ddr3_1867().unloaded_latency_ns(64);
+        assert!(
+            (sweep.unloaded_latency_ns - expected).abs() < 8.0,
+            "unloaded {} vs compulsory {}",
+            sweep.unloaded_latency_ns,
+            expected
+        );
+    }
+
+    #[test]
+    fn efficiency_in_plausible_band() {
+        let sweep = loaded_latency_sweep(&quick_config());
+        let eff = sweep.efficiency();
+        assert!(
+            (0.55..0.95).contains(&eff),
+            "efficiency {eff} (max stable {} / peak {})",
+            sweep.max_stable_gbps,
+            sweep.peak_gbps
+        );
+    }
+
+    #[test]
+    fn saturation_detected_past_capacity() {
+        let sweep = loaded_latency_sweep(&quick_config());
+        let last = sweep.points.last().unwrap();
+        assert!(!last.stable, "60 GB/s offered must saturate 4×DDR3-1867");
+        assert!(last.delivered_gbps < 55.0);
+    }
+
+    #[test]
+    fn write_mix_reduces_stable_bandwidth() {
+        let reads = loaded_latency_sweep(&quick_config());
+        let mixed = loaded_latency_sweep(&MlcConfig {
+            read_fraction: 0.67,
+            ..quick_config()
+        });
+        assert!(
+            mixed.max_stable_gbps <= reads.max_stable_gbps + 1.0,
+            "turnarounds cost bandwidth: {} vs {}",
+            mixed.max_stable_gbps,
+            reads.max_stable_gbps
+        );
+    }
+
+    #[test]
+    fn slower_memory_lower_bandwidth() {
+        let fast = loaded_latency_sweep(&quick_config());
+        let slow = loaded_latency_sweep(&MlcConfig {
+            memory: MemoryConfig::ddr3_1333(),
+            ..quick_config()
+        });
+        assert!(slow.max_stable_gbps < fast.max_stable_gbps);
+        assert!(slow.unloaded_latency_ns > fast.unloaded_latency_ns - 1.0);
+    }
+
+    #[test]
+    fn queueing_curve_built_and_monotone() {
+        let sweep = loaded_latency_sweep(&quick_config());
+        let curve = sweep.to_queueing_curve().unwrap();
+        assert_eq!(curve.delay(0.0).value(), 0.0);
+        assert!(curve.delay(0.9).value() >= curve.delay(0.3).value());
+    }
+
+    #[test]
+    fn composite_from_multiple_sweeps() {
+        let a = loaded_latency_sweep(&quick_config());
+        let b = loaded_latency_sweep(&MlcConfig {
+            read_fraction: 0.67,
+            ..quick_config()
+        });
+        let curve = composite_queueing_curve(&[a, b]).unwrap();
+        assert!(curve.delay(0.8).value() > 0.0);
+        assert!(composite_queueing_curve(&[]).is_err());
+    }
+
+    #[test]
+    fn sweep_label_includes_speed_and_mix() {
+        let sweep = loaded_latency_sweep(&quick_config());
+        assert_eq!(sweep.label, "DDR3-1867 100%R");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = loaded_latency_sweep(&quick_config());
+        let b = loaded_latency_sweep(&quick_config());
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,186 @@
+//! Bandwidth demand and bandwidth-limited CPI (paper Eq. 4).
+//!
+//! `BW = (MPI × (1 + WBR) × LS + IOPI × IOSZ) × CPS / CPI_eff`
+//!
+//! Scaling the per-thread demand by the hardware-thread count gives the
+//! system-wide demand; inverting the equation with `BW` set to the available
+//! bandwidth gives the bandwidth-limited CPI (Sec. IV.C).
+
+use crate::units::{GigaHertz, GigabytesPerSecond};
+use crate::workload::WorkloadParams;
+use crate::ModelError;
+
+/// Eq. 4: memory bandwidth demand of a single hardware thread running at
+/// `cpi_eff` with core clock `clock`.
+///
+/// # Examples
+///
+/// ```
+/// use memsense_model::bandwidth::demand_per_thread;
+/// use memsense_model::units::GigaHertz;
+/// use memsense_model::workload::WorkloadParams;
+///
+/// let hpc = WorkloadParams::hpc_class();
+/// let bw = demand_per_thread(&hpc, 0.75, GigaHertz(2.7));
+/// // 26.7 MPKI with 27% writebacks at CPI 0.75 on a 2.7 GHz clock:
+/// // ≈ 7.8 GB/s for a single hardware thread.
+/// assert!((bw.value() - 7.81).abs() < 0.05);
+/// ```
+pub fn demand_per_thread(
+    workload: &WorkloadParams,
+    cpi_eff: f64,
+    clock: GigaHertz,
+) -> GigabytesPerSecond {
+    let bytes_per_instr = workload.bytes_per_instruction().value();
+    GigabytesPerSecond::from_bytes_per_second(
+        bytes_per_instr * clock.cycles_per_second() / cpi_eff,
+    )
+}
+
+/// System-wide bandwidth demand: [`demand_per_thread`] scaled by the number
+/// of hardware threads.
+pub fn demand_system(
+    workload: &WorkloadParams,
+    cpi_eff: f64,
+    clock: GigaHertz,
+    hardware_threads: u32,
+) -> GigabytesPerSecond {
+    demand_per_thread(workload, cpi_eff, clock) * hardware_threads as f64
+}
+
+/// Inverts Eq. 4: the CPI at which the system-wide demand exactly equals
+/// `available` bandwidth (the *bandwidth-limited CPI* of Sec. IV.C).
+///
+/// # Errors
+///
+/// Returns [`ModelError::InvalidParameter`] when `available` is not strictly
+/// positive or `hardware_threads` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use memsense_model::bandwidth::bandwidth_limited_cpi;
+/// use memsense_model::units::{GigaHertz, GigabytesPerSecond};
+/// use memsense_model::workload::WorkloadParams;
+///
+/// let hpc = WorkloadParams::hpc_class();
+/// // 16 hardware threads sharing ~42 GB/s: CPI inflates well above the
+/// // infinite-cache CPI of 0.75.
+/// let cpi = bandwidth_limited_cpi(&hpc, GigabytesPerSecond(42.0), GigaHertz(2.7), 16).unwrap();
+/// assert!(cpi > 2.0);
+/// ```
+pub fn bandwidth_limited_cpi(
+    workload: &WorkloadParams,
+    available: GigabytesPerSecond,
+    clock: GigaHertz,
+    hardware_threads: u32,
+) -> Result<f64, ModelError> {
+    if available.value().is_nan() || available.value() <= 0.0 {
+        return Err(ModelError::InvalidParameter(
+            "available bandwidth must be > 0",
+        ));
+    }
+    if hardware_threads == 0 {
+        return Err(ModelError::InvalidParameter(
+            "hardware_threads must be > 0",
+        ));
+    }
+    let bytes_per_instr = workload.bytes_per_instruction().value();
+    Ok(bytes_per_instr * clock.cycles_per_second() * hardware_threads as f64
+        / available.bytes_per_second())
+}
+
+/// Fraction of available bandwidth consumed at a given CPI, clamped to
+/// `[0, ∞)`. Values above 1.0 mean the demand is infeasible — the workload
+/// would be bandwidth bound.
+pub fn utilization(
+    workload: &WorkloadParams,
+    cpi_eff: f64,
+    clock: GigaHertz,
+    hardware_threads: u32,
+    available: GigabytesPerSecond,
+) -> f64 {
+    demand_system(workload, cpi_eff, clock, hardware_threads).value() / available.value()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::Segment;
+
+    #[test]
+    fn demand_scales_with_threads() {
+        let w = WorkloadParams::big_data_class();
+        let one = demand_per_thread(&w, 1.2, GigaHertz(2.7)).value();
+        let sixteen = demand_system(&w, 1.2, GigaHertz(2.7), 16).value();
+        assert!((sixteen - 16.0 * one).abs() < 1e-9);
+    }
+
+    #[test]
+    fn demand_inverse_in_cpi() {
+        let w = WorkloadParams::big_data_class();
+        let fast = demand_per_thread(&w, 1.0, GigaHertz(2.7)).value();
+        let slow = demand_per_thread(&w, 2.0, GigaHertz(2.7)).value();
+        assert!((fast / slow - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn demand_linear_in_clock() {
+        let w = WorkloadParams::hpc_class();
+        let low = demand_per_thread(&w, 0.75, GigaHertz(1.35)).value();
+        let high = demand_per_thread(&w, 0.75, GigaHertz(2.7)).value();
+        assert!((high / low - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn limited_cpi_consistent_with_demand() {
+        // At the bandwidth-limited CPI, demand must equal supply exactly.
+        let w = WorkloadParams::hpc_class();
+        let avail = GigabytesPerSecond(42.0);
+        let cpi = bandwidth_limited_cpi(&w, avail, GigaHertz(2.7), 16).unwrap();
+        let demand = demand_system(&w, cpi, GigaHertz(2.7), 16);
+        assert!((demand.value() - avail.value()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hpc_class_is_bandwidth_infeasible_at_baseline() {
+        // Paper Sec. VI.C.3: the HPC class is bandwidth bound on the
+        // 4-channel DDR3-1867 baseline even at zero queueing delay.
+        let w = WorkloadParams::hpc_class();
+        let latency_limited_cpi = crate::cpi::effective_cpi(
+            &w,
+            crate::units::Nanoseconds(75.0).to_cycles(GigaHertz(2.7)),
+        );
+        let util = utilization(&w, latency_limited_cpi, GigaHertz(2.7), 16, GigabytesPerSecond(42.0));
+        assert!(util > 1.0, "HPC utilization {util} must exceed supply");
+    }
+
+    #[test]
+    fn enterprise_class_fits_at_baseline() {
+        let w = WorkloadParams::enterprise_class();
+        let cpi = crate::cpi::effective_cpi(
+            &w,
+            crate::units::Nanoseconds(75.0).to_cycles(GigaHertz(2.7)),
+        );
+        let util = utilization(&w, cpi, GigaHertz(2.7), 16, GigabytesPerSecond(42.0));
+        assert!(util < 0.5, "enterprise utilization {util} should be low");
+    }
+
+    #[test]
+    fn io_traffic_contributes() {
+        let base = WorkloadParams::new("x", Segment::BigData, 1.0, 0.2, 5.0, 0.3).unwrap();
+        let io = base.clone().with_io(0.001, 4096.0).unwrap();
+        let d0 = demand_per_thread(&base, 1.0, GigaHertz(2.0)).value();
+        let d1 = demand_per_thread(&io, 1.0, GigaHertz(2.0)).value();
+        // 0.001 × 4096 B/instr × 2e9 instr/s = 8.192 GB/s extra.
+        assert!((d1 - d0 - 8.192).abs() < 1e-6);
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        let w = WorkloadParams::hpc_class();
+        assert!(bandwidth_limited_cpi(&w, GigabytesPerSecond(0.0), GigaHertz(2.7), 16).is_err());
+        assert!(bandwidth_limited_cpi(&w, GigabytesPerSecond(-1.0), GigaHertz(2.7), 16).is_err());
+        assert!(bandwidth_limited_cpi(&w, GigabytesPerSecond(42.0), GigaHertz(2.7), 0).is_err());
+    }
+}

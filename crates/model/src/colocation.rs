@@ -1,0 +1,356 @@
+//! Co-located workloads sharing one memory system (noisy neighbours).
+//!
+//! The paper's model treats one homogeneous workload per machine; server
+//! consolidation (its own virtualization workload!) mixes classes on one
+//! socket. The extension is natural: each co-runner keeps its own Eq. 1
+//! parameters, all runners share the channel bandwidth, and one common
+//! queueing delay couples them — the joint fixed point is
+//! `Q = curve(Σ_i demand_i(CPI_i(Q)) / available)`.
+//!
+//! The residual is strictly decreasing in `Q` (raising `Q` raises every
+//! CPI, lowering every demand), so bisection converges exactly as in the
+//! single-workload solver.
+
+use crate::bandwidth;
+use crate::cpi;
+use crate::queueing::QueueingCurve;
+use crate::system::SystemConfig;
+use crate::units::{GigabytesPerSecond, Nanoseconds};
+use crate::workload::WorkloadParams;
+use crate::ModelError;
+
+/// One co-located tenant: a workload class and the number of hardware
+/// threads it occupies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tenant {
+    /// The tenant's workload parameters.
+    pub workload: WorkloadParams,
+    /// Hardware threads running this tenant.
+    pub threads: u32,
+}
+
+/// Per-tenant outcome of a co-location solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantSolved {
+    /// Tenant name (from its workload).
+    pub name: String,
+    /// Effective CPI under contention.
+    pub cpi_eff: f64,
+    /// This tenant's bandwidth demand at the solution.
+    pub bandwidth: GigabytesPerSecond,
+    /// CPI ratio vs running alone on the same machine with the same thread
+    /// count (the interference penalty; ≥ 1).
+    pub interference: f64,
+}
+
+/// Joint outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColocationSolved {
+    /// Per-tenant results, in input order.
+    pub tenants: Vec<TenantSolved>,
+    /// Shared queueing delay at the solution.
+    pub queueing_delay: Nanoseconds,
+    /// Total channel utilization.
+    pub utilization: f64,
+    /// Whether the aggregate demand pinned the system to the bandwidth
+    /// ceiling (demands are then scaled to fit).
+    pub bandwidth_bound: bool,
+}
+
+/// Solves the shared fixed point for tenants co-located on `system`.
+///
+/// Thread counts must sum to at most the system's hardware threads; unused
+/// threads are idle.
+///
+/// # Errors
+///
+/// * [`ModelError::InvalidParameter`] for an empty tenant list, zero thread
+///   counts, or oversubscription.
+///
+/// # Examples
+///
+/// ```
+/// use memsense_model::colocation::{solve_colocated, Tenant};
+/// use memsense_model::queueing::QueueingCurve;
+/// use memsense_model::system::SystemConfig;
+/// use memsense_model::workload::WorkloadParams;
+///
+/// let tenants = vec![
+///     Tenant { workload: WorkloadParams::enterprise_class(), threads: 8 },
+///     Tenant { workload: WorkloadParams::hpc_class(), threads: 8 },
+/// ];
+/// let solved = solve_colocated(
+///     &tenants,
+///     &SystemConfig::paper_baseline(),
+///     &QueueingCurve::composite_default(),
+/// ).unwrap();
+/// // The HPC neighbour drives the channels hard; enterprise pays for it.
+/// assert!(solved.tenants[0].interference > 1.01);
+/// ```
+pub fn solve_colocated(
+    tenants: &[Tenant],
+    system: &SystemConfig,
+    curve: &QueueingCurve,
+) -> Result<ColocationSolved, ModelError> {
+    if tenants.is_empty() {
+        return Err(ModelError::InvalidParameter("no tenants"));
+    }
+    let total_threads: u32 = tenants.iter().map(|t| t.threads).sum();
+    if tenants.iter().any(|t| t.threads == 0) {
+        return Err(ModelError::InvalidParameter("tenant threads must be > 0"));
+    }
+    if total_threads > system.hardware_threads() {
+        return Err(ModelError::InvalidParameter(
+            "tenants oversubscribe hardware threads",
+        ));
+    }
+
+    let clock = system.core_clock();
+    let available = system.effective_bandwidth();
+    let unloaded = system.unloaded_latency();
+    let max_util = curve.max_stable_utilization();
+
+    let total_demand = |q: f64| -> f64 {
+        tenants
+            .iter()
+            .map(|t| {
+                let mp = Nanoseconds(unloaded.value() + q).to_cycles(clock);
+                let cpi_t = cpi::effective_cpi(&t.workload, mp);
+                bandwidth::demand_system(&t.workload, cpi_t, clock, t.threads).value()
+            })
+            .sum::<f64>()
+    };
+    let residual = |q: f64| -> f64 {
+        curve.delay((total_demand(q) / available.value()).min(10.0)).value() - q
+    };
+
+    let mut lo = 0.0;
+    let mut hi = curve.max_stable_delay().value().max(1.0);
+    if residual(lo) <= 0.0 {
+        hi = lo;
+    } else {
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if residual(mid) > 0.0 {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+    }
+    let q = 0.5 * (lo + hi);
+    let mut utilization = total_demand(q) / available.value();
+    let bandwidth_bound = utilization > max_util;
+
+    // Per-tenant CPIs at the common loaded latency; if the aggregate is
+    // bandwidth bound, scale every tenant's throughput so demand fits —
+    // the fair-share analogue of the single-workload Eq. 4 inversion.
+    let mp = Nanoseconds(unloaded.value() + q).to_cycles(clock);
+    let scale = if bandwidth_bound {
+        total_demand(q) / available.value()
+    } else {
+        1.0
+    };
+    let mut solved_tenants = Vec::with_capacity(tenants.len());
+    for t in tenants {
+        let latency_cpi = cpi::effective_cpi(&t.workload, mp);
+        let cpi_eff = latency_cpi * scale;
+        let demand = bandwidth::demand_system(&t.workload, cpi_eff, clock, t.threads);
+        // Alone: same machine, same thread count, no neighbours.
+        let alone = solo_cpi(&t.workload, t.threads, system, curve)?;
+        solved_tenants.push(TenantSolved {
+            name: t.workload.name.clone(),
+            cpi_eff,
+            bandwidth: demand,
+            interference: cpi_eff / alone,
+        });
+    }
+    if bandwidth_bound {
+        utilization = 1.0;
+    }
+
+    Ok(ColocationSolved {
+        tenants: solved_tenants,
+        queueing_delay: Nanoseconds(q),
+        utilization,
+        bandwidth_bound,
+    })
+}
+
+/// CPI of a workload running alone with `threads` threads on `system`.
+fn solo_cpi(
+    workload: &WorkloadParams,
+    threads: u32,
+    system: &SystemConfig,
+    curve: &QueueingCurve,
+) -> Result<f64, ModelError> {
+    let solo = [Tenant {
+        workload: workload.clone(),
+        threads,
+    }];
+    // Re-derive without recursion into interference.
+    let clock = system.core_clock();
+    let available = system.effective_bandwidth();
+    let unloaded = system.unloaded_latency();
+    let demand = |q: f64| -> f64 {
+        let mp = Nanoseconds(unloaded.value() + q).to_cycles(clock);
+        let cpi_t = cpi::effective_cpi(&solo[0].workload, mp);
+        bandwidth::demand_system(&solo[0].workload, cpi_t, clock, threads).value()
+    };
+    let residual = |q: f64| curve.delay((demand(q) / available.value()).min(10.0)).value() - q;
+    let mut lo = 0.0;
+    let mut hi = curve.max_stable_delay().value().max(1.0);
+    if residual(lo) <= 0.0 {
+        hi = lo;
+    } else {
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if residual(mid) > 0.0 {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+    }
+    let q = 0.5 * (lo + hi);
+    let mp = Nanoseconds(unloaded.value() + q).to_cycles(clock);
+    let latency_cpi = cpi::effective_cpi(workload, mp);
+    let util = demand(q) / available.value();
+    if util > curve.max_stable_utilization() {
+        Ok(latency_cpi * util)
+    } else {
+        Ok(latency_cpi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (SystemConfig, QueueingCurve) {
+        (
+            SystemConfig::paper_baseline(),
+            QueueingCurve::composite_default(),
+        )
+    }
+
+    fn tenant(w: WorkloadParams, threads: u32) -> Tenant {
+        Tenant {
+            workload: w,
+            threads,
+        }
+    }
+
+    #[test]
+    fn hpc_neighbour_hurts_enterprise() {
+        let (sys, curve) = setup();
+        let mixed = solve_colocated(
+            &[
+                tenant(WorkloadParams::enterprise_class(), 8),
+                tenant(WorkloadParams::hpc_class(), 8),
+            ],
+            &sys,
+            &curve,
+        )
+        .unwrap();
+        let ent = &mixed.tenants[0];
+        assert!(
+            ent.interference > 1.03,
+            "enterprise pays for the HPC neighbour: {}",
+            ent.interference
+        );
+        assert!(mixed.utilization > 0.8, "channels loaded: {}", mixed.utilization);
+    }
+
+    #[test]
+    fn gentle_neighbour_barely_interferes() {
+        let (sys, curve) = setup();
+        let mixed = solve_colocated(
+            &[
+                tenant(WorkloadParams::enterprise_class(), 8),
+                tenant(WorkloadParams::proximity(), 8),
+            ],
+            &sys,
+            &curve,
+        )
+        .unwrap();
+        let ent = &mixed.tenants[0];
+        assert!(
+            ent.interference < 1.02,
+            "core-bound neighbour is quiet: {}",
+            ent.interference
+        );
+    }
+
+    #[test]
+    fn single_tenant_matches_solo() {
+        let (sys, curve) = setup();
+        let only = solve_colocated(
+            &[tenant(WorkloadParams::big_data_class(), 16)],
+            &sys,
+            &curve,
+        )
+        .unwrap();
+        assert!((only.tenants[0].interference - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interference_grows_with_neighbour_threads() {
+        let (sys, curve) = setup();
+        let mut last = 1.0;
+        for hpc_threads in [2, 4, 8] {
+            let mixed = solve_colocated(
+                &[
+                    tenant(WorkloadParams::enterprise_class(), 8),
+                    tenant(WorkloadParams::hpc_class(), hpc_threads),
+                ],
+                &sys,
+                &curve,
+            )
+            .unwrap();
+            let i = mixed.tenants[0].interference;
+            assert!(i >= last - 1e-9, "monotone interference: {i} after {last}");
+            last = i;
+        }
+    }
+
+    #[test]
+    fn bandwidth_bound_aggregate_scales_everyone() {
+        let (sys, curve) = setup();
+        let mixed = solve_colocated(
+            &[
+                tenant(WorkloadParams::hpc_class(), 8),
+                tenant(WorkloadParams::hpc_class(), 8),
+            ],
+            &sys,
+            &curve,
+        )
+        .unwrap();
+        assert!(mixed.bandwidth_bound);
+        // Total demand equals supply.
+        let total: f64 = mixed.tenants.iter().map(|t| t.bandwidth.value()).sum();
+        assert!(
+            (total - sys.effective_bandwidth().value()).abs() < 0.5,
+            "demand {total} vs supply {}",
+            sys.effective_bandwidth().value()
+        );
+    }
+
+    #[test]
+    fn validation() {
+        let (sys, curve) = setup();
+        assert!(solve_colocated(&[], &sys, &curve).is_err());
+        assert!(solve_colocated(
+            &[tenant(WorkloadParams::hpc_class(), 0)],
+            &sys,
+            &curve
+        )
+        .is_err());
+        assert!(solve_colocated(
+            &[tenant(WorkloadParams::hpc_class(), 17)],
+            &sys,
+            &curve
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,185 @@
+//! The CPI equations (paper Eqs. 1–3).
+//!
+//! Eq. 1 is the working model: `CPI_eff = CPI_cache + MPI × MP × BF`.
+//! Eq. 2 is Chou's MLP formulation it is derived from, and Eq. 3 relates the
+//! blocking factor to memory-level parallelism and the core/miss overlap.
+
+use crate::units::Cycles;
+use crate::workload::WorkloadParams;
+
+/// Eq. 1: effective CPI under the latency-limited model.
+///
+/// `miss_penalty` is the *loaded* memory latency in core cycles.
+///
+/// # Examples
+///
+/// Reproduces the first column of Tab. 3 (Structured Data at 2.1 GHz):
+///
+/// ```
+/// use memsense_model::cpi::effective_cpi;
+/// use memsense_model::units::Cycles;
+/// use memsense_model::workload::WorkloadParams;
+///
+/// let mut sd = WorkloadParams::structured_data();
+/// sd.mpki = 5.6; // MPI = 0.0056 as measured in Tab. 3
+/// let cpi = effective_cpi(&sd, Cycles(402.0));
+/// assert!((cpi - 1.34).abs() < 0.02); // paper computes 1.33
+/// ```
+pub fn effective_cpi(workload: &WorkloadParams, miss_penalty: Cycles) -> f64 {
+    effective_cpi_raw(
+        workload.cpi_cache,
+        workload.mpi(),
+        miss_penalty,
+        workload.bf,
+    )
+}
+
+/// Eq. 1 with explicit components: `CPI_cache + MPI × MP × BF`.
+pub fn effective_cpi_raw(cpi_cache: f64, mpi: f64, miss_penalty: Cycles, bf: f64) -> f64 {
+    cpi_cache + mpi * miss_penalty.value() * bf
+}
+
+/// Eq. 2 (Chou): `CPI_eff = CPI_cache × (1 − Overlap_cm) + MPI × MP / MLP`.
+///
+/// `overlap_cm` is the fraction of infinite-cache execution that overlaps
+/// with outstanding cache misses; `mlp` is the average number of
+/// simultaneously outstanding misses.
+pub fn chou_cpi(cpi_cache: f64, overlap_cm: f64, mpi: f64, miss_penalty: Cycles, mlp: f64) -> f64 {
+    cpi_cache * (1.0 - overlap_cm) + mpi * miss_penalty.value() / mlp
+}
+
+/// Eq. 3: the blocking factor that makes Eq. 1 equal Eq. 2:
+/// `BF = 1/MLP − CPI_cache × Overlap_cm / (MPI × MP)`.
+///
+/// As the paper notes, the second term shrinks as the miss penalty grows, so
+/// `BF → 1/MLP` for memory-bound operation — the justification for treating
+/// `BF` as a constant.
+pub fn blocking_factor(
+    cpi_cache: f64,
+    overlap_cm: f64,
+    mpi: f64,
+    miss_penalty: Cycles,
+    mlp: f64,
+) -> f64 {
+    1.0 / mlp - cpi_cache * overlap_cm / (mpi * miss_penalty.value())
+}
+
+/// The large-miss-penalty limit of Eq. 3: `BF ≈ 1 / MLP`.
+pub fn blocking_factor_from_mlp(mlp: f64) -> f64 {
+    1.0 / mlp
+}
+
+/// Inverse of [`blocking_factor_from_mlp`]; returns `f64::INFINITY` when the
+/// blocking factor is zero (a fully overlapped, core-bound workload).
+pub fn mlp_from_blocking_factor(bf: f64) -> f64 {
+    if bf == 0.0 {
+        f64::INFINITY
+    } else {
+        1.0 / bf
+    }
+}
+
+/// The additional CPI contributed by memory stalls under Eq. 1
+/// (`MPI × MP × BF`).
+pub fn memory_cpi_component(workload: &WorkloadParams, miss_penalty: Cycles) -> f64 {
+    workload.mpi() * miss_penalty.value() * workload.bf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::Segment;
+
+    fn structured_data_tab3() -> WorkloadParams {
+        WorkloadParams::new("sd", Segment::BigData, 0.89, 0.20, 5.6, 0.32).unwrap()
+    }
+
+    #[test]
+    fn tab3_all_columns_reproduce() {
+        // Tab. 3 of the paper: (MPI, MP cycles, computed CPI).
+        let rows = [
+            (0.0056, 402.0, 1.33),
+            (0.0056, 462.0, 1.39),
+            (0.0059, 543.0, 1.52),
+            (0.0057, 631.0, 1.60),
+            (0.0056, 383.0, 1.31),
+            (0.0056, 448.0, 1.38),
+            (0.0055, 502.0, 1.43),
+            (0.0055, 598.0, 1.53),
+        ];
+        for (mpi, mp, expected) in rows {
+            let got = effective_cpi_raw(0.89, mpi, Cycles(mp), 0.20);
+            // The paper's table prints MPI rounded to 4 decimals but computes
+            // with unrounded counter values, so allow ±0.02 CPI.
+            assert!(
+                (got - expected).abs() <= 0.02,
+                "MPI={mpi} MP={mp}: got {got}, paper {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_miss_penalty_gives_cpi_cache() {
+        let w = structured_data_tab3();
+        assert_eq!(effective_cpi(&w, Cycles(0.0)), 0.89);
+    }
+
+    #[test]
+    fn cpi_monotone_in_miss_penalty() {
+        let w = structured_data_tab3();
+        let mut last = 0.0;
+        for mp in [0.0, 100.0, 200.0, 400.0, 800.0] {
+            let c = effective_cpi(&w, Cycles(mp));
+            assert!(c >= last);
+            last = c;
+        }
+    }
+
+    #[test]
+    fn core_bound_workload_insensitive() {
+        let w = WorkloadParams::new("cb", Segment::BigData, 0.93, 0.0, 0.5, 0.47).unwrap();
+        assert_eq!(effective_cpi(&w, Cycles(0.0)), effective_cpi(&w, Cycles(1000.0)));
+    }
+
+    #[test]
+    fn eq1_equals_eq2_with_eq3_bf() {
+        // For any (overlap, mlp) pair, Eq. 1 with the Eq. 3 BF must equal
+        // Eq. 2 exactly — they are algebraically identical.
+        let cpi_cache = 1.2;
+        let mpi = 0.004;
+        let mp = Cycles(350.0);
+        for &(overlap, mlp) in &[(0.0, 2.0), (0.3, 4.0), (0.8, 8.0), (0.5, 1.5)] {
+            let bf = blocking_factor(cpi_cache, overlap, mpi, mp, mlp);
+            let via_eq1 = effective_cpi_raw(cpi_cache, mpi, mp, bf);
+            let via_eq2 = chou_cpi(cpi_cache, overlap, mpi, mp, mlp);
+            assert!(
+                (via_eq1 - via_eq2).abs() < 1e-12,
+                "overlap={overlap} mlp={mlp}"
+            );
+        }
+    }
+
+    #[test]
+    fn bf_tends_to_reciprocal_mlp_at_large_mp() {
+        let bf_small = blocking_factor(1.0, 0.4, 0.005, Cycles(100.0), 4.0);
+        let bf_large = blocking_factor(1.0, 0.4, 0.005, Cycles(100_000.0), 4.0);
+        assert!((bf_large - 0.25).abs() < 0.01);
+        assert!((bf_large - 0.25).abs() < (bf_small - 0.25).abs());
+    }
+
+    #[test]
+    fn mlp_bf_roundtrip() {
+        assert_eq!(blocking_factor_from_mlp(5.0), 0.2);
+        assert_eq!(mlp_from_blocking_factor(0.2), 5.0);
+        assert!(mlp_from_blocking_factor(0.0).is_infinite());
+    }
+
+    #[test]
+    fn memory_component_matches_difference() {
+        let w = structured_data_tab3();
+        let mp = Cycles(402.0);
+        let total = effective_cpi(&w, mp);
+        let mem = memory_cpi_component(&w, mp);
+        assert!((total - w.cpi_cache - mem).abs() < 1e-12);
+    }
+}

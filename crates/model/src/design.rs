@@ -1,0 +1,322 @@
+//! Design-space exploration (paper Sec. VI.D).
+//!
+//! "If an architect has a choice between improving latency or bandwidth,
+//! which would be the better choice for performance?" The paper answers
+//! with the equivalence table; this module generalizes the answer into a
+//! search: enumerate memory-system design points (channel count × speed ×
+//! compulsory latency), score each against a *weighted mix* of workload
+//! classes, attach a relative cost, and report the Pareto frontier —
+//! "ideally, system architects will create designs that provide sufficient
+//! bandwidth for target workloads before turning their attention to latency
+//! reduction", now checkable per mix.
+
+use crate::queueing::QueueingCurve;
+use crate::solver::solve_cpi;
+use crate::system::SystemConfig;
+use crate::units::Nanoseconds;
+use crate::workload::WorkloadParams;
+use crate::ModelError;
+
+/// One candidate memory design.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignPoint {
+    /// Memory channels per socket.
+    pub channels: u32,
+    /// Channel transfer rate (MT/s).
+    pub mega_transfers: f64,
+    /// Compulsory latency (ns).
+    pub unloaded_ns: f64,
+    /// Relative cost of the design (baseline ≈ 1.0).
+    pub cost: f64,
+}
+
+impl DesignPoint {
+    /// Short display form, e.g. `"4ch-1867 @75ns"`.
+    pub fn label(&self) -> String {
+        format!(
+            "{}ch-{:.0} @{:.0}ns",
+            self.channels, self.mega_transfers, self.unloaded_ns
+        )
+    }
+}
+
+/// A workload mix: classes with relative importance weights.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mix {
+    classes: Vec<(WorkloadParams, f64)>,
+}
+
+impl Mix {
+    /// Builds a mix; weights must be positive.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidParameter`] for an empty mix or
+    /// non-positive weights.
+    pub fn new(classes: Vec<(WorkloadParams, f64)>) -> Result<Self, ModelError> {
+        if classes.is_empty() {
+            return Err(ModelError::InvalidParameter("mix must not be empty"));
+        }
+        if classes.iter().any(|(_, w)| !(w.is_finite() && *w > 0.0)) {
+            return Err(ModelError::InvalidParameter("weights must be positive"));
+        }
+        Ok(Mix { classes })
+    }
+
+    /// Equal-weight mix of the paper's three Tab. 6 classes.
+    pub fn balanced() -> Self {
+        Mix::new(
+            WorkloadParams::all_classes()
+                .into_iter()
+                .map(|c| (c, 1.0))
+                .collect(),
+        )
+        .expect("non-empty")
+    }
+
+    /// A mix dominated by one class (weight 8 vs 1 for the others).
+    pub fn dominated_by(class: WorkloadParams) -> Self {
+        let mut classes: Vec<(WorkloadParams, f64)> = WorkloadParams::all_classes()
+            .into_iter()
+            .filter(|c| c.name != class.name)
+            .map(|c| (c, 1.0))
+            .collect();
+        classes.push((class, 8.0));
+        Mix::new(classes).expect("non-empty")
+    }
+}
+
+/// An evaluated design point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Evaluated {
+    /// The design.
+    pub point: DesignPoint,
+    /// Weighted relative throughput across the mix (baseline design = 1.0
+    /// when evaluated against the same baseline).
+    pub throughput: f64,
+    /// Throughput per unit cost.
+    pub efficiency: f64,
+}
+
+/// Enumerates the default design grid around the paper's baseline:
+/// channels {2, 4, 6, 8} × speeds {1333, 1867, 2400} × latency {60, 75, 95}.
+/// Cost grows with channel count and speed and shrinks weakly with latency.
+pub fn default_grid() -> Vec<DesignPoint> {
+    let mut grid = Vec::new();
+    for &channels in &[2u32, 4, 6, 8] {
+        for &mts in &[1333.0, 1866.7, 2400.0] {
+            for &lat in &[60.0, 75.0, 95.0] {
+                // A simple additive cost model: channels are the dominant
+                // cost (pins/board), speed next (signal integrity), and low
+                // latency carries a premium.
+                let cost = 0.25 + 0.15 * channels as f64
+                    + 0.10 * (mts / 1866.7)
+                    + 0.20 * (75.0 / lat);
+                grid.push(DesignPoint {
+                    channels,
+                    mega_transfers: mts,
+                    unloaded_ns: lat,
+                    cost,
+                });
+            }
+        }
+    }
+    grid
+}
+
+/// Evaluates each design point against the mix: weighted harmonic-style
+/// throughput (instructions/s relative to the first point in the grid).
+///
+/// # Errors
+///
+/// Propagates solver and configuration failures.
+pub fn evaluate(
+    grid: &[DesignPoint],
+    mix: &Mix,
+    baseline: &SystemConfig,
+    curve: &QueueingCurve,
+) -> Result<Vec<Evaluated>, ModelError> {
+    if grid.is_empty() {
+        return Err(ModelError::InvalidParameter("empty design grid"));
+    }
+    let total_w: f64 = mix.classes.iter().map(|(_, w)| w).sum();
+    let mut out = Vec::with_capacity(grid.len());
+    for point in grid {
+        let sys = baseline
+            .clone()
+            .with_channels(point.channels)?
+            .with_channel_speed(point.mega_transfers)?
+            .with_unloaded_latency(Nanoseconds(point.unloaded_ns))?;
+        // Weighted throughput: sum of weight × (clock / CPI).
+        let mut throughput = 0.0;
+        for (class, weight) in &mix.classes {
+            let solved = solve_cpi(class, &sys, curve)?;
+            throughput += weight / total_w * sys.core_clock().value() / solved.cpi_eff;
+        }
+        out.push(Evaluated {
+            point: point.clone(),
+            throughput,
+            efficiency: throughput / point.cost,
+        });
+    }
+    // Normalize throughput to the first grid point for readability.
+    let norm = out[0].throughput;
+    for e in &mut out {
+        e.throughput /= norm;
+        e.efficiency = e.throughput / e.point.cost;
+    }
+    Ok(out)
+}
+
+/// The Pareto frontier of (cost ↓, throughput ↑): designs not dominated by
+/// any cheaper-and-faster alternative, sorted by cost.
+pub fn pareto_frontier(evaluated: &[Evaluated]) -> Vec<Evaluated> {
+    let mut sorted: Vec<Evaluated> = evaluated.to_vec();
+    sorted.sort_by(|a, b| {
+        a.point
+            .cost
+            .total_cmp(&b.point.cost)
+            .then(b.throughput.total_cmp(&a.throughput))
+    });
+    let mut frontier: Vec<Evaluated> = Vec::new();
+    let mut best = f64::MIN;
+    for e in sorted {
+        if e.throughput > best + 1e-12 {
+            best = e.throughput;
+            frontier.push(e);
+        }
+    }
+    frontier
+}
+
+/// The paper's closing guidance, checked for a mix: does the best
+/// *affordable* upgrade from the baseline add bandwidth (channels/speed)
+/// before cutting latency? Returns the single highest-efficiency design.
+///
+/// # Errors
+///
+/// Propagates evaluation failures.
+pub fn best_per_cost(
+    mix: &Mix,
+    baseline: &SystemConfig,
+    curve: &QueueingCurve,
+) -> Result<Evaluated, ModelError> {
+    let evaluated = evaluate(&default_grid(), mix, baseline, curve)?;
+    evaluated
+        .into_iter()
+        .max_by(|a, b| a.efficiency.total_cmp(&b.efficiency))
+        .ok_or(ModelError::InvalidParameter("empty design grid"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (SystemConfig, QueueingCurve) {
+        (
+            SystemConfig::paper_baseline(),
+            QueueingCurve::composite_default(),
+        )
+    }
+
+    #[test]
+    fn grid_has_expected_size_and_labels() {
+        let grid = default_grid();
+        assert_eq!(grid.len(), 4 * 3 * 3);
+        assert!(grid.iter().any(|p| p.label() == "4ch-1867 @75ns"));
+        // Costs are positive and increase with channels at fixed speed/lat.
+        let cost = |ch: u32| {
+            grid.iter()
+                .find(|p| p.channels == ch && p.mega_transfers == 1866.7 && p.unloaded_ns == 75.0)
+                .unwrap()
+                .cost
+        };
+        assert!(cost(8) > cost(4) && cost(4) > cost(2));
+    }
+
+    #[test]
+    fn evaluation_normalizes_and_orders() {
+        let (sys, curve) = setup();
+        let grid = default_grid();
+        let ev = evaluate(&grid, &Mix::balanced(), &sys, &curve).unwrap();
+        assert_eq!(ev.len(), grid.len());
+        assert!((ev[0].throughput - 1.0).abs() < 1e-12, "normalized to first point");
+        // More of everything (8ch, 2400, 60ns) beats less (2ch, 1333, 95ns).
+        let best = ev
+            .iter()
+            .find(|e| e.point.channels == 8 && e.point.mega_transfers == 2400.0 && e.point.unloaded_ns == 60.0)
+            .unwrap();
+        let worst = ev
+            .iter()
+            .find(|e| e.point.channels == 2 && e.point.mega_transfers == 1333.0 && e.point.unloaded_ns == 95.0)
+            .unwrap();
+        assert!(best.throughput > worst.throughput);
+    }
+
+    #[test]
+    fn pareto_frontier_is_nondominated_and_monotone() {
+        let (sys, curve) = setup();
+        let ev = evaluate(&default_grid(), &Mix::balanced(), &sys, &curve).unwrap();
+        let frontier = pareto_frontier(&ev);
+        assert!(!frontier.is_empty() && frontier.len() < ev.len());
+        // Monotone: increasing cost and increasing throughput.
+        for w in frontier.windows(2) {
+            assert!(w[1].point.cost >= w[0].point.cost);
+            assert!(w[1].throughput > w[0].throughput);
+        }
+        // No evaluated point dominates a frontier point.
+        for f in &frontier {
+            assert!(
+                !ev.iter().any(|e| e.point.cost < f.point.cost - 1e-12
+                    && e.throughput > f.throughput + 1e-12),
+                "dominated frontier point {:?}",
+                f.point.label()
+            );
+        }
+    }
+
+    #[test]
+    fn hpc_mix_buys_bandwidth_enterprise_mix_buys_latency() {
+        let (sys, curve) = setup();
+        let hpc_pick = best_per_cost(
+            &Mix::dominated_by(WorkloadParams::hpc_class()),
+            &sys,
+            &curve,
+        )
+        .unwrap();
+        let ent_pick = best_per_cost(
+            &Mix::dominated_by(WorkloadParams::enterprise_class()),
+            &sys,
+            &curve,
+        )
+        .unwrap();
+        // The HPC-heavy mix picks at least as many channels as the
+        // enterprise-heavy one, and the enterprise-heavy mix never picks a
+        // slower-latency part than the HPC one.
+        assert!(
+            hpc_pick.point.channels >= ent_pick.point.channels,
+            "HPC {:?} vs enterprise {:?}",
+            hpc_pick.point.label(),
+            ent_pick.point.label()
+        );
+        assert!(
+            ent_pick.point.unloaded_ns <= hpc_pick.point.unloaded_ns,
+            "enterprise favors latency: {:?} vs {:?}",
+            ent_pick.point.label(),
+            hpc_pick.point.label()
+        );
+    }
+
+    #[test]
+    fn mix_validation() {
+        assert!(Mix::new(vec![]).is_err());
+        assert!(Mix::new(vec![(WorkloadParams::hpc_class(), 0.0)]).is_err());
+        assert!(Mix::new(vec![(WorkloadParams::hpc_class(), f64::NAN)]).is_err());
+    }
+
+    #[test]
+    fn evaluate_rejects_empty_grid() {
+        let (sys, curve) = setup();
+        assert!(evaluate(&[], &Mix::balanced(), &sys, &curve).is_err());
+    }
+}

@@ -1,0 +1,94 @@
+//! Analytic memory-performance model from *"Quantifying the Performance
+//! Impact of Memory Latency and Bandwidth for Big Data Workloads"*
+//! (Clapp et al., IISWC 2015).
+//!
+//! The model predicts a workload's effective CPI from four counter-derived
+//! parameters — infinite-cache CPI, blocking factor, misses per instruction,
+//! and writeback rate — plus a platform description (cores, clock, memory
+//! channels, compulsory latency) and an empirical queueing-delay curve:
+//!
+//! * [`cpi`] — Eqs. 1–3: latency-limited CPI and the blocking factor's
+//!   relationship to memory-level parallelism.
+//! * [`bandwidth`] — Eq. 4: bandwidth demand and bandwidth-limited CPI.
+//! * [`queueing`] — the Fig. 7 queueing-delay-vs-utilization curve.
+//! * [`solver`] — the fixed point coupling all three, with explicit
+//!   core-bound / latency-limited / bandwidth-bound regimes.
+//! * [`sensitivity`] — the Fig. 8–11 sweeps and the Tab. 7
+//!   latency⇄bandwidth equivalence.
+//! * [`hierarchy`] — Eq. 5: multi-level (tiered) memories.
+//! * [`colocation`] — co-located tenants sharing one memory system
+//!   (noisy-neighbour interference).
+//! * [`design`] — Sec. VI.D design-tradeoff search (Pareto frontier over
+//!   channel count × speed × latency for a weighted class mix).
+//! * [`numa`] — the multi-socket extension sketched in Sec. VIII.
+//! * [`phases`] — instruction-weighted multi-phase modeling (Sec. IV.D).
+//! * [`workload`] / [`system`] / [`units`] — parameters and typed units.
+//!
+//! # Examples
+//!
+//! How much does the big data class lose if compulsory latency grows by
+//! 30 ns (e.g. moving to a slower memory technology)?
+//!
+//! ```
+//! use memsense_model::queueing::QueueingCurve;
+//! use memsense_model::sensitivity::latency_sweep;
+//! use memsense_model::system::SystemConfig;
+//! use memsense_model::workload::WorkloadParams;
+//!
+//! let sweep = latency_sweep(
+//!     &WorkloadParams::big_data_class(),
+//!     &SystemConfig::paper_baseline(),
+//!     &QueueingCurve::composite_default(),
+//!     &[0.0, 30.0],
+//! ).unwrap();
+//! let loss_pct = sweep[1].cpi_increase_pct();
+//! assert!(loss_pct > 5.0 && loss_pct < 12.0); // ≈ 2.5%/10 ns × 3
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bandwidth;
+pub mod colocation;
+pub mod cpi;
+pub mod design;
+pub mod hierarchy;
+pub mod numa;
+pub mod phases;
+pub mod queueing;
+pub mod sensitivity;
+pub mod solver;
+pub mod system;
+pub mod units;
+pub mod workload;
+
+pub use queueing::QueueingCurve;
+pub use solver::{solve_cpi, Regime, SolvedCpi};
+pub use system::SystemConfig;
+pub use workload::{Segment, WorkloadParams};
+
+/// Error type for the analytic model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// A parameter was outside its valid domain.
+    InvalidParameter(&'static str),
+    /// The fixed-point iteration failed to converge.
+    DidNotConverge {
+        /// Number of iterations attempted.
+        iterations: usize,
+    },
+}
+
+impl core::fmt::Display for ModelError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ModelError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+            ModelError::DidNotConverge { iterations } => {
+                write!(f, "solver did not converge after {iterations} iterations")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}

@@ -1,0 +1,304 @@
+//! Multi-socket (NUMA) extension of the model (paper Sec. VIII).
+//!
+//! The paper notes the model "can be extended in a straightforward way to
+//! model additional memory architectures such as multi-socket". On a
+//! multi-socket machine a fraction of LLC misses is served by a remote
+//! socket over the interconnect, adding hop latency and consuming remote
+//! bandwidth. This module implements that extension: the miss penalty
+//! becomes a mix of local and remote loaded latencies, and each socket's
+//! channels serve local demand plus incoming remote traffic.
+
+use crate::bandwidth;
+use crate::cpi;
+use crate::queueing::QueueingCurve;
+use crate::system::SystemConfig;
+use crate::units::Nanoseconds;
+use crate::workload::WorkloadParams;
+use crate::ModelError;
+
+/// NUMA traffic description for a symmetric multi-socket system.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NumaConfig {
+    /// Fraction of LLC misses served by a *remote* socket, in `[0, 1]`.
+    /// Well-tuned software (the paper's one-JVM-per-socket setup) keeps this
+    /// near zero; naive placement on two sockets approaches 0.5.
+    pub remote_fraction: f64,
+    /// One-way interconnect hop latency added to remote accesses (ns).
+    /// QPI-era links cost ~50–60 ns per round trip.
+    pub hop_latency: Nanoseconds,
+}
+
+impl NumaConfig {
+    /// Creates a config, validating ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidParameter`] for a fraction outside
+    /// `[0, 1]` or a negative hop latency.
+    pub fn new(remote_fraction: f64, hop_latency: Nanoseconds) -> Result<Self, ModelError> {
+        if !(0.0..=1.0).contains(&remote_fraction) {
+            return Err(ModelError::InvalidParameter(
+                "remote_fraction must be in [0, 1]",
+            ));
+        }
+        if !(hop_latency.value() >= 0.0 && hop_latency.is_finite()) {
+            return Err(ModelError::InvalidParameter("hop latency must be >= 0"));
+        }
+        Ok(NumaConfig {
+            remote_fraction,
+            hop_latency,
+        })
+    }
+
+    /// Perfect locality: everything served by the local socket.
+    pub fn local_only() -> Self {
+        NumaConfig {
+            remote_fraction: 0.0,
+            hop_latency: Nanoseconds(0.0),
+        }
+    }
+}
+
+/// Converged NUMA operating point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NumaSolved {
+    /// Effective CPI under the mixed local/remote miss penalty.
+    pub cpi_eff: f64,
+    /// Loaded latency of a local miss (ns).
+    pub local_latency: Nanoseconds,
+    /// Loaded latency of a remote miss (ns), including the hop.
+    pub remote_latency: Nanoseconds,
+    /// Average miss penalty across the local/remote mix (ns).
+    pub avg_miss_penalty: Nanoseconds,
+    /// Per-socket channel utilization (symmetric workload: each socket
+    /// serves its locals plus the remote traffic from the peer).
+    pub utilization: f64,
+}
+
+/// Solves the symmetric two-socket case: every socket runs the same
+/// workload on all its threads; `numa.remote_fraction` of each socket's
+/// misses cross to the peer. By symmetry, each socket's memory serves the
+/// same total request rate it would serve with perfect locality — remote
+/// traffic changes *latency* (the hop) but not per-socket *bandwidth*.
+///
+/// # Errors
+///
+/// Returns [`ModelError::InvalidParameter`] if `system` has fewer than two
+/// sockets; propagates solver failures.
+///
+/// # Examples
+///
+/// ```
+/// use memsense_model::numa::{solve_numa, NumaConfig};
+/// use memsense_model::queueing::QueueingCurve;
+/// use memsense_model::system::SystemConfig;
+/// use memsense_model::units::Nanoseconds;
+/// use memsense_model::workload::WorkloadParams;
+///
+/// let sys = SystemConfig::characterization_platform(); // 2 sockets
+/// let curve = QueueingCurve::composite_default();
+/// let w = WorkloadParams::enterprise_class();
+///
+/// let local = solve_numa(&w, &sys, &curve,
+///     &NumaConfig::local_only()).unwrap();
+/// let naive = solve_numa(&w, &sys, &curve,
+///     &NumaConfig::new(0.5, Nanoseconds(60.0)).unwrap()).unwrap();
+/// assert!(naive.cpi_eff > local.cpi_eff, "NUMA misses cost CPI");
+/// ```
+pub fn solve_numa(
+    workload: &WorkloadParams,
+    system: &SystemConfig,
+    curve: &QueueingCurve,
+    numa: &NumaConfig,
+) -> Result<NumaSolved, ModelError> {
+    if system.sockets() < 2 && numa.remote_fraction > 0.0 {
+        return Err(ModelError::InvalidParameter(
+            "remote traffic requires at least two sockets",
+        ));
+    }
+    let clock = system.core_clock();
+    // Per-socket view: threads and bandwidth of one socket.
+    let threads = system.hardware_threads() / system.sockets().max(1);
+    let available = system.effective_bandwidth() / system.sockets().max(1) as f64;
+    let unloaded = system.unloaded_latency();
+    let max_util = curve.max_stable_utilization();
+
+    // Same bisection structure as the flat solver, with the mixed-latency
+    // miss penalty. Residual is decreasing in the queueing delay q.
+    let mixed_mp = |q: f64| -> (f64, f64, f64) {
+        let local = unloaded.value() + q;
+        let remote = unloaded.value() + q + numa.hop_latency.value();
+        let avg = (1.0 - numa.remote_fraction) * local + numa.remote_fraction * remote;
+        (local, remote, avg)
+    };
+    let util_at = |q: f64| -> f64 {
+        let (_, _, avg) = mixed_mp(q);
+        let cpi = cpi::effective_cpi(workload, Nanoseconds(avg).to_cycles(clock));
+        bandwidth::utilization(workload, cpi, clock, threads, available)
+    };
+
+    let residual = |q: f64| -> f64 { curve.delay(util_at(q)).value() - q };
+    let mut lo = 0.0;
+    let mut hi = curve.max_stable_delay().value().max(1.0);
+    if residual(lo) <= 0.0 {
+        hi = lo;
+    } else {
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if residual(mid) > 0.0 {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+    }
+    let q = 0.5 * (lo + hi);
+    let (local, remote, avg) = mixed_mp(q);
+    let mut cpi_eff = cpi::effective_cpi(workload, Nanoseconds(avg).to_cycles(clock));
+    let mut utilization = util_at(q);
+
+    if utilization > max_util {
+        // Bandwidth bound per socket: Eq. 4 with BW = per-socket available.
+        let bw_cpi = bandwidth::bandwidth_limited_cpi(workload, available, clock, threads)?;
+        cpi_eff = bw_cpi.max(cpi_eff);
+        utilization = 1.0;
+    }
+
+    Ok(NumaSolved {
+        cpi_eff,
+        local_latency: Nanoseconds(local),
+        remote_latency: Nanoseconds(remote),
+        avg_miss_penalty: Nanoseconds(avg),
+        utilization,
+    })
+}
+
+/// The NUMA penalty: CPI ratio of a given placement vs perfect locality.
+///
+/// # Errors
+///
+/// Propagates [`solve_numa`] failures.
+pub fn numa_penalty(
+    workload: &WorkloadParams,
+    system: &SystemConfig,
+    curve: &QueueingCurve,
+    numa: &NumaConfig,
+) -> Result<f64, ModelError> {
+    let local = solve_numa(workload, system, curve, &NumaConfig::local_only())?;
+    let mixed = solve_numa(workload, system, curve, numa)?;
+    Ok(mixed.cpi_eff / local.cpi_eff)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (SystemConfig, QueueingCurve) {
+        (
+            SystemConfig::characterization_platform(),
+            QueueingCurve::composite_default(),
+        )
+    }
+
+    #[test]
+    fn local_only_matches_flat_solver_per_socket() {
+        let (sys, curve) = setup();
+        let w = WorkloadParams::enterprise_class();
+        let numa = solve_numa(&w, &sys, &curve, &NumaConfig::local_only()).unwrap();
+        // A single socket of the 2S platform is itself a valid system.
+        let one_socket = SystemConfig::new(
+            1,
+            8,
+            2,
+            sys.core_clock(),
+            4,
+            sys.channel_mega_transfers(),
+            sys.efficiency(),
+            sys.unloaded_latency(),
+        )
+        .unwrap();
+        let flat = crate::solver::solve_cpi(&w, &one_socket, &curve).unwrap();
+        assert!((numa.cpi_eff - flat.cpi_eff).abs() < 1e-6);
+    }
+
+    #[test]
+    fn remote_fraction_monotonically_hurts() {
+        let (sys, curve) = setup();
+        let w = WorkloadParams::big_data_class();
+        let mut last = 0.0;
+        for frac in [0.0, 0.1, 0.25, 0.5, 1.0] {
+            let s = solve_numa(
+                &w,
+                &sys,
+                &curve,
+                &NumaConfig::new(frac, Nanoseconds(60.0)).unwrap(),
+            )
+            .unwrap();
+            assert!(s.cpi_eff >= last, "CPI must grow with remote fraction");
+            last = s.cpi_eff;
+        }
+    }
+
+    #[test]
+    fn enterprise_pays_more_than_hpc_for_numa() {
+        // Latency-sensitive classes suffer from remote hops; the
+        // bandwidth-bound HPC class does not (per-socket bandwidth is
+        // unchanged in the symmetric case).
+        let (sys, curve) = setup();
+        let numa = NumaConfig::new(0.5, Nanoseconds(60.0)).unwrap();
+        let ent = numa_penalty(&WorkloadParams::enterprise_class(), &sys, &curve, &numa).unwrap();
+        let hpc = numa_penalty(&WorkloadParams::hpc_class(), &sys, &curve, &numa).unwrap();
+        assert!(ent > 1.05, "enterprise NUMA penalty {ent}");
+        assert!(hpc < ent, "HPC penalty {hpc} below enterprise {ent}");
+        assert!((hpc - 1.0).abs() < 0.01, "HPC unaffected: {hpc}");
+    }
+
+    #[test]
+    fn hop_latency_scales_penalty() {
+        let (sys, curve) = setup();
+        let w = WorkloadParams::enterprise_class();
+        let short = numa_penalty(
+            &w,
+            &sys,
+            &curve,
+            &NumaConfig::new(0.5, Nanoseconds(30.0)).unwrap(),
+        )
+        .unwrap();
+        let long = numa_penalty(
+            &w,
+            &sys,
+            &curve,
+            &NumaConfig::new(0.5, Nanoseconds(120.0)).unwrap(),
+        )
+        .unwrap();
+        assert!(long > short);
+    }
+
+    #[test]
+    fn remote_latency_includes_hop() {
+        let (sys, curve) = setup();
+        let numa = NumaConfig::new(0.3, Nanoseconds(55.0)).unwrap();
+        let s = solve_numa(&WorkloadParams::big_data_class(), &sys, &curve, &numa).unwrap();
+        assert!(
+            (s.remote_latency.value() - s.local_latency.value() - 55.0).abs() < 1e-9
+        );
+        let expect_avg = 0.7 * s.local_latency.value() + 0.3 * s.remote_latency.value();
+        assert!((s.avg_miss_penalty.value() - expect_avg).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(NumaConfig::new(-0.1, Nanoseconds(10.0)).is_err());
+        assert!(NumaConfig::new(1.1, Nanoseconds(10.0)).is_err());
+        assert!(NumaConfig::new(0.5, Nanoseconds(-1.0)).is_err());
+        let single = SystemConfig::paper_baseline();
+        let curve = QueueingCurve::composite_default();
+        assert!(solve_numa(
+            &WorkloadParams::big_data_class(),
+            &single,
+            &curve,
+            &NumaConfig::new(0.5, Nanoseconds(60.0)).unwrap()
+        )
+        .is_err());
+    }
+}

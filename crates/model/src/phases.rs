@@ -1,0 +1,196 @@
+//! Phase-weighted modeling (paper Sec. IV.D).
+//!
+//! "We can apply our model to multiple program phases independently …
+//! provided we are able to apply a weight to each phase based on the
+//! relative number of instructions contained in that phase." A
+//! [`PhasedWorkload`] is a set of `(WorkloadParams, weight)` pairs; solving
+//! it solves each phase at its own operating point and combines the CPIs by
+//! instruction weight.
+
+use crate::queueing::QueueingCurve;
+use crate::solver::{solve_cpi, SolvedCpi};
+use crate::system::SystemConfig;
+use crate::workload::WorkloadParams;
+use crate::ModelError;
+
+/// A workload composed of weighted phases.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhasedWorkload {
+    /// Display name.
+    pub name: String,
+    phases: Vec<(WorkloadParams, f64)>,
+}
+
+impl PhasedWorkload {
+    /// Builds a phased workload from `(params, instruction_weight)` pairs.
+    /// Weights are normalized internally; they must be positive.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidParameter`] for an empty phase list or
+    /// non-positive/non-finite weights.
+    pub fn new(
+        name: impl Into<String>,
+        phases: Vec<(WorkloadParams, f64)>,
+    ) -> Result<Self, ModelError> {
+        if phases.is_empty() {
+            return Err(ModelError::InvalidParameter("at least one phase required"));
+        }
+        if phases.iter().any(|(_, w)| !(w.is_finite() && *w > 0.0)) {
+            return Err(ModelError::InvalidParameter(
+                "phase weights must be positive",
+            ));
+        }
+        Ok(PhasedWorkload {
+            name: name.into(),
+            phases,
+        })
+    }
+
+    /// The phases and their (unnormalized) weights.
+    pub fn phases(&self) -> &[(WorkloadParams, f64)] {
+        &self.phases
+    }
+
+    /// Instruction-weighted mean of a per-phase quantity.
+    fn weighted<F: Fn(&WorkloadParams) -> f64>(&self, f: F) -> f64 {
+        let total: f64 = self.phases.iter().map(|(_, w)| w).sum();
+        self.phases.iter().map(|(p, w)| f(p) * w).sum::<f64>() / total
+    }
+
+    /// The *aggregate* single-phase approximation: instruction-weighted
+    /// means of every parameter. Used to quantify the error of ignoring
+    /// phase structure.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parameter validation.
+    pub fn collapsed(&self) -> Result<WorkloadParams, ModelError> {
+        let seg = self.phases[0].0.segment;
+        WorkloadParams::new(
+            format!("{} (collapsed)", self.name),
+            seg,
+            self.weighted(|p| p.cpi_cache),
+            self.weighted(|p| p.bf),
+            self.weighted(|p| p.mpki),
+            self.weighted(|p| p.wbr),
+        )
+    }
+}
+
+/// Result of solving a phased workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhasedSolved {
+    /// Instruction-weighted effective CPI across phases.
+    pub cpi_eff: f64,
+    /// Per-phase operating points, in phase order.
+    pub phases: Vec<SolvedCpi>,
+    /// CPI of the collapsed single-phase approximation, for comparison.
+    pub collapsed_cpi: f64,
+}
+
+impl PhasedSolved {
+    /// Relative error of collapsing phases into one:
+    /// `(collapsed − phased) / phased`.
+    pub fn collapse_error(&self) -> f64 {
+        (self.collapsed_cpi - self.cpi_eff) / self.cpi_eff
+    }
+}
+
+/// Solves each phase at its own operating point and combines by weight.
+///
+/// # Errors
+///
+/// Propagates solver failures.
+pub fn solve_phased(
+    workload: &PhasedWorkload,
+    system: &SystemConfig,
+    curve: &QueueingCurve,
+) -> Result<PhasedSolved, ModelError> {
+    let total: f64 = workload.phases.iter().map(|(_, w)| w).sum();
+    let mut phases = Vec::with_capacity(workload.phases.len());
+    let mut cpi = 0.0;
+    for (params, weight) in &workload.phases {
+        let solved = solve_cpi(params, system, curve)?;
+        cpi += solved.cpi_eff * weight / total;
+        phases.push(solved);
+    }
+    let collapsed_cpi = solve_cpi(&workload.collapsed()?, system, curve)?.cpi_eff;
+    Ok(PhasedSolved {
+        cpi_eff: cpi,
+        phases,
+        collapsed_cpi,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::Segment;
+
+    fn two_phase() -> PhasedWorkload {
+        // A Spark-like job: memory-heavy shuffle phase + compute-heavy map.
+        let shuffle =
+            WorkloadParams::new("shuffle", Segment::BigData, 0.85, 0.30, 9.0, 0.8).unwrap();
+        let map = WorkloadParams::new("map", Segment::BigData, 1.0, 0.10, 1.5, 0.3).unwrap();
+        PhasedWorkload::new("spark job", vec![(shuffle, 1.0), (map, 3.0)]).unwrap()
+    }
+
+    #[test]
+    fn weighted_cpi_between_phase_extremes() {
+        let sys = SystemConfig::paper_baseline();
+        let curve = QueueingCurve::composite_default();
+        let solved = solve_phased(&two_phase(), &sys, &curve).unwrap();
+        let cpis: Vec<f64> = solved.phases.iter().map(|p| p.cpi_eff).collect();
+        let lo = cpis.iter().cloned().fold(f64::MAX, f64::min);
+        let hi = cpis.iter().cloned().fold(f64::MIN, f64::max);
+        assert!(solved.cpi_eff >= lo && solved.cpi_eff <= hi);
+    }
+
+    #[test]
+    fn single_phase_equals_flat_solver() {
+        let sys = SystemConfig::paper_baseline();
+        let curve = QueueingCurve::composite_default();
+        let params = WorkloadParams::big_data_class();
+        let phased =
+            PhasedWorkload::new("one", vec![(params.clone(), 5.0)]).unwrap();
+        let a = solve_phased(&phased, &sys, &curve).unwrap().cpi_eff;
+        let b = solve_cpi(&params, &sys, &curve).unwrap().cpi_eff;
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weights_matter() {
+        let sys = SystemConfig::paper_baseline();
+        let curve = QueueingCurve::composite_default();
+        let w = two_phase();
+        let heavy_shuffle = PhasedWorkload::new(
+            "job",
+            vec![(w.phases()[0].0.clone(), 3.0), (w.phases()[1].0.clone(), 1.0)],
+        )
+        .unwrap();
+        let balanced = solve_phased(&w, &sys, &curve).unwrap().cpi_eff;
+        let shuffled = solve_phased(&heavy_shuffle, &sys, &curve).unwrap().cpi_eff;
+        // Shuffle has higher CPI under memory pressure, so weighting it
+        // more must raise the aggregate.
+        assert!(shuffled > balanced);
+    }
+
+    #[test]
+    fn collapse_error_reported() {
+        let sys = SystemConfig::paper_baseline();
+        let curve = QueueingCurve::composite_default();
+        let solved = solve_phased(&two_phase(), &sys, &curve).unwrap();
+        // The collapsed approximation is close but not exact (the model is
+        // nonlinear through the queueing coupling).
+        assert!(solved.collapse_error().abs() < 0.10);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(PhasedWorkload::new("x", vec![]).is_err());
+        let p = WorkloadParams::big_data_class();
+        assert!(PhasedWorkload::new("x", vec![(p.clone(), 0.0)]).is_err());
+        assert!(PhasedWorkload::new("x", vec![(p, f64::NAN)]).is_err());
+    }
+}

@@ -1,0 +1,265 @@
+//! Queueing delay vs. bandwidth utilization (paper Fig. 7 / Sec. VI.C.1).
+//!
+//! The miss penalty decomposes into the *compulsory* (unloaded) latency plus
+//! a *queueing delay* that grows with memory-channel utilization. The paper
+//! measures this relationship with Intel MLC for four speed/mix combinations,
+//! observes they coincide below ~95% utilization, and averages them into a
+//! single composite curve used for every workload class.
+
+use crate::units::Nanoseconds;
+use crate::ModelError;
+use memsense_stats::PiecewiseLinear;
+
+/// Utilization beyond which the paper stops trusting the measured curve and
+/// treats the system as bandwidth bound ("some higher amount of error in the
+/// area between 95% and 100%").
+pub const DEFAULT_MAX_STABLE_UTILIZATION: f64 = 0.95;
+
+/// An empirical queueing-delay curve: utilization in `[0, 1]` → delay (ns).
+///
+/// # Examples
+///
+/// ```
+/// use memsense_model::queueing::QueueingCurve;
+/// let q = QueueingCurve::composite_default();
+/// // Queueing delay is small at low utilization and large near the knee.
+/// assert!(q.delay(0.10).value() < 5.0);
+/// assert!(q.delay(0.93).value() > 20.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueueingCurve {
+    curve: PiecewiseLinear,
+    max_stable_utilization: f64,
+}
+
+impl QueueingCurve {
+    /// Builds a curve from `(utilization, delay_ns)` measurements.
+    ///
+    /// Points are sorted and duplicate utilizations averaged. The delay must
+    /// be non-decreasing in utilization once merged.
+    ///
+    /// # Errors
+    ///
+    /// * [`ModelError::InvalidParameter`] for an empty point set, utilizations
+    ///   outside `[0, 1]`, negative delays, a non-monotone curve, or a
+    ///   `max_stable_utilization` outside `(0, 1]`.
+    pub fn from_measurements(
+        points: Vec<(f64, f64)>,
+        max_stable_utilization: f64,
+    ) -> Result<Self, ModelError> {
+        if points.is_empty() {
+            return Err(ModelError::InvalidParameter("no queueing measurements"));
+        }
+        if points
+            .iter()
+            .any(|&(u, d)| !(0.0..=1.0).contains(&u) || !d.is_finite() || d < 0.0)
+        {
+            return Err(ModelError::InvalidParameter(
+                "utilization must be in [0,1] and delay >= 0",
+            ));
+        }
+        if !(0.0 < max_stable_utilization && max_stable_utilization <= 1.0) {
+            return Err(ModelError::InvalidParameter(
+                "max_stable_utilization must be in (0, 1]",
+            ));
+        }
+        let curve = PiecewiseLinear::from_unsorted(points, 1e-9)
+            .map_err(|_| ModelError::InvalidParameter("could not build queueing curve"))?;
+        if !curve.is_monotone_nondecreasing() {
+            return Err(ModelError::InvalidParameter(
+                "queueing delay must be non-decreasing in utilization",
+            ));
+        }
+        Ok(QueueingCurve {
+            curve,
+            max_stable_utilization,
+        })
+    }
+
+    /// The built-in composite curve, shaped like the average of the four
+    /// Fig. 7 measurements: a roughly linear climb (~30 ns per unit of
+    /// utilization) through the stable region, then a hockey-stick above
+    /// ~90% as the channels saturate.
+    ///
+    /// [`crate::queueing::QueueingCurve::from_measurements`] should be
+    /// preferred when curves measured with `memsense-mlc` are available; this
+    /// constant curve makes the analytic model usable standalone.
+    pub fn composite_default() -> Self {
+        QueueingCurve::from_measurements(
+            vec![
+                (0.00, 0.0),
+                (0.05, 1.0),
+                (0.10, 2.5),
+                (0.20, 5.5),
+                (0.30, 8.7),
+                (0.40, 12.0),
+                (0.50, 15.0),
+                (0.60, 18.0),
+                (0.70, 21.5),
+                (0.80, 25.0),
+                (0.90, 30.0),
+                (0.93, 38.0),
+                (0.95, 55.0),
+                (0.98, 110.0),
+                (1.00, 180.0),
+            ],
+            DEFAULT_MAX_STABLE_UTILIZATION,
+        )
+        .expect("built-in curve is valid")
+    }
+
+    /// An analytic M/M/1-like alternative: `delay = service × u / (1 − u)`,
+    /// clamped at `u = 0.99`. Used by the ablation study comparing the
+    /// composite empirical curve against textbook queueing theory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidParameter`] when `service_time` is not
+    /// strictly positive.
+    pub fn mm1(service_time: Nanoseconds) -> Result<Self, ModelError> {
+        if service_time.value().is_nan() || service_time.value() <= 0.0 {
+            return Err(ModelError::InvalidParameter("service time must be > 0"));
+        }
+        let s = service_time.value();
+        let points: Vec<(f64, f64)> = (0..=99)
+            .map(|i| {
+                let u = i as f64 / 100.0;
+                (u, s * u / (1.0 - u))
+            })
+            .collect();
+        QueueingCurve::from_measurements(points, DEFAULT_MAX_STABLE_UTILIZATION)
+    }
+
+    /// Averages several measured curves into a composite, as the paper does
+    /// with its four speed/mix combinations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidParameter`] when `curves` is empty. The
+    /// composite adopts the *minimum* `max_stable_utilization` of the inputs.
+    pub fn composite(curves: &[QueueingCurve]) -> Result<Self, ModelError> {
+        if curves.is_empty() {
+            return Err(ModelError::InvalidParameter("no curves to composite"));
+        }
+        let inner: Vec<PiecewiseLinear> = curves.iter().map(|c| c.curve.clone()).collect();
+        let curve = PiecewiseLinear::composite(&inner)
+            .map_err(|_| ModelError::InvalidParameter("could not composite curves"))?;
+        let max_stable = curves
+            .iter()
+            .map(|c| c.max_stable_utilization)
+            .fold(f64::INFINITY, f64::min);
+        Ok(QueueingCurve {
+            curve,
+            max_stable_utilization: max_stable,
+        })
+    }
+
+    /// Queueing delay at a given utilization. Inputs are clamped to the
+    /// stable region: anything above [`Self::max_stable_utilization`] returns
+    /// the delay at that boundary (the "maximum stable queueing delay" the
+    /// paper uses for bandwidth-bound workloads).
+    pub fn delay(&self, utilization: f64) -> Nanoseconds {
+        let u = utilization.clamp(0.0, self.max_stable_utilization);
+        Nanoseconds(self.curve.eval(u))
+    }
+
+    /// The maximum stable queueing delay (delay at the stability boundary).
+    pub fn max_stable_delay(&self) -> Nanoseconds {
+        self.delay(self.max_stable_utilization)
+    }
+
+    /// Utilization beyond which the curve is not trusted.
+    pub fn max_stable_utilization(&self) -> f64 {
+        self.max_stable_utilization
+    }
+
+    /// The underlying knots, for rendering Fig. 7.
+    pub fn knots(&self) -> &[(f64, f64)] {
+        self.curve.knots()
+    }
+}
+
+impl Default for QueueingCurve {
+    fn default() -> Self {
+        Self::composite_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_curve_monotone_and_anchored() {
+        let q = QueueingCurve::composite_default();
+        assert_eq!(q.delay(0.0).value(), 0.0);
+        let mut last = -1.0;
+        for i in 0..=100 {
+            let d = q.delay(i as f64 / 100.0).value();
+            assert!(d >= last, "delay must be monotone");
+            last = d;
+        }
+    }
+
+    #[test]
+    fn delay_clamps_above_stable() {
+        let q = QueueingCurve::composite_default();
+        assert_eq!(q.delay(0.99), q.max_stable_delay());
+        assert_eq!(q.delay(5.0), q.max_stable_delay());
+        assert_eq!(q.delay(-1.0).value(), 0.0);
+    }
+
+    #[test]
+    fn max_stable_delay_value() {
+        let q = QueueingCurve::composite_default();
+        assert_eq!(q.max_stable_delay().value(), 55.0);
+        assert_eq!(q.max_stable_utilization(), 0.95);
+    }
+
+    #[test]
+    fn from_measurements_rejects_bad_input() {
+        assert!(QueueingCurve::from_measurements(vec![], 0.95).is_err());
+        assert!(QueueingCurve::from_measurements(vec![(1.5, 0.0)], 0.95).is_err());
+        assert!(QueueingCurve::from_measurements(vec![(0.5, -1.0)], 0.95).is_err());
+        assert!(QueueingCurve::from_measurements(vec![(0.5, 1.0)], 0.0).is_err());
+        assert!(QueueingCurve::from_measurements(vec![(0.5, 1.0)], 1.5).is_err());
+        // Non-monotone:
+        assert!(
+            QueueingCurve::from_measurements(vec![(0.1, 5.0), (0.2, 1.0)], 0.95).is_err()
+        );
+    }
+
+    #[test]
+    fn from_measurements_merges_duplicates() {
+        let q = QueueingCurve::from_measurements(
+            vec![(0.5, 10.0), (0.5, 20.0), (0.0, 0.0)],
+            0.95,
+        )
+        .unwrap();
+        assert_eq!(q.delay(0.5).value(), 15.0);
+    }
+
+    #[test]
+    fn mm1_shape() {
+        let q = QueueingCurve::mm1(Nanoseconds(10.0)).unwrap();
+        assert_eq!(q.delay(0.0).value(), 0.0);
+        assert!((q.delay(0.5).value() - 10.0).abs() < 0.5);
+        assert!(q.delay(0.9).value() > 80.0);
+        assert!(QueueingCurve::mm1(Nanoseconds(0.0)).is_err());
+    }
+
+    #[test]
+    fn composite_averages_and_takes_min_stability() {
+        let a = QueueingCurve::from_measurements(vec![(0.0, 0.0), (1.0, 10.0)], 0.95).unwrap();
+        let b = QueueingCurve::from_measurements(vec![(0.0, 0.0), (1.0, 30.0)], 0.90).unwrap();
+        let c = QueueingCurve::composite(&[a, b]).unwrap();
+        assert_eq!(c.max_stable_utilization(), 0.90);
+        assert!((c.delay(0.5).value() - 10.0).abs() < 1e-9);
+        assert!(QueueingCurve::composite(&[]).is_err());
+    }
+
+    #[test]
+    fn default_trait_matches_composite_default() {
+        assert_eq!(QueueingCurve::default(), QueueingCurve::composite_default());
+    }
+}

@@ -1,0 +1,256 @@
+//! Typed units for the performance equations.
+//!
+//! Eq. 4 of the paper mixes per-instruction rates, cache-line sizes, core
+//! clocks, and bandwidths; getting a unit wrong silently produces garbage.
+//! These zero-cost newtypes make the conversions explicit: a miss penalty in
+//! nanoseconds must be converted through a [`GigaHertz`] core clock to become
+//! the [`Cycles`] value Eq. 1 consumes.
+
+use core::fmt;
+use core::ops::{Add, Div, Mul, Sub};
+
+macro_rules! unit {
+    ($(#[$meta:meta])* $name:ident, $suffix:literal) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+        pub struct $name(pub f64);
+
+        impl $name {
+            /// Returns the raw value.
+            pub fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Returns `true` when the value is finite.
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                if let Some(prec) = f.precision() {
+                    write!(f, "{:.*} {}", prec, self.0, $suffix)
+                } else {
+                    write!(f, "{} {}", self.0, $suffix)
+                }
+            }
+        }
+
+        impl From<f64> for $name {
+            fn from(v: f64) -> Self {
+                $name(v)
+            }
+        }
+
+        impl Add for $name {
+            type Output = $name;
+            fn add(self, rhs: $name) -> $name {
+                $name(self.0 + rhs.0)
+            }
+        }
+
+        impl Sub for $name {
+            type Output = $name;
+            fn sub(self, rhs: $name) -> $name {
+                $name(self.0 - rhs.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = $name;
+            fn mul(self, rhs: f64) -> $name {
+                $name(self.0 * rhs)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = $name;
+            fn div(self, rhs: f64) -> $name {
+                $name(self.0 / rhs)
+            }
+        }
+
+        impl Div for $name {
+            type Output = f64;
+            fn div(self, rhs: $name) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+    };
+}
+
+unit!(
+    /// A duration measured in core clock cycles.
+    ///
+    /// The miss penalty `MP` of Eq. 1 is expressed in core cycles, which is
+    /// why frequency scaling changes the *apparent* memory latency: the same
+    /// nanosecond latency costs more cycles on a faster core.
+    Cycles,
+    "cycles"
+);
+
+unit!(
+    /// A duration in nanoseconds (wall-clock).
+    Nanoseconds,
+    "ns"
+);
+
+unit!(
+    /// A clock frequency in gigahertz (`cycles / ns`).
+    GigaHertz,
+    "GHz"
+);
+
+unit!(
+    /// A data rate in gigabytes per second (`10^9` bytes, decimal, matching
+    /// DDR marketing rates and the paper's GB/s figures).
+    GigabytesPerSecond,
+    "GB/s"
+);
+
+unit!(
+    /// Bytes of memory traffic generated per retired instruction.
+    BytesPerInstruction,
+    "B/instr"
+);
+
+unit!(
+    /// Memory references (reads + writebacks) per core cycle — the y-axis of
+    /// Fig. 6.
+    RefsPerCycle,
+    "refs/cycle"
+);
+
+impl Nanoseconds {
+    /// Converts a wall-clock duration into core cycles at clock `freq`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use memsense_model::units::{GigaHertz, Nanoseconds};
+    /// let mp = Nanoseconds(75.0).to_cycles(GigaHertz(2.0));
+    /// assert_eq!(mp.value(), 150.0);
+    /// ```
+    pub fn to_cycles(self, freq: GigaHertz) -> Cycles {
+        Cycles(self.0 * freq.0)
+    }
+}
+
+impl Cycles {
+    /// Converts a cycle count into wall-clock nanoseconds at clock `freq`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use memsense_model::units::{Cycles, GigaHertz};
+    /// let t = Cycles(402.0).to_nanoseconds(GigaHertz(2.1));
+    /// assert!((t.value() - 191.43).abs() < 0.01);
+    /// ```
+    pub fn to_nanoseconds(self, freq: GigaHertz) -> Nanoseconds {
+        Nanoseconds(self.0 / freq.0)
+    }
+}
+
+impl GigaHertz {
+    /// Cycles per second (`CPS` in Eq. 4).
+    pub fn cycles_per_second(self) -> f64 {
+        self.0 * 1e9
+    }
+}
+
+impl GigabytesPerSecond {
+    /// Bytes per second.
+    pub fn bytes_per_second(self) -> f64 {
+        self.0 * 1e9
+    }
+
+    /// Builds a rate from raw bytes/second.
+    pub fn from_bytes_per_second(bps: f64) -> Self {
+        GigabytesPerSecond(bps / 1e9)
+    }
+}
+
+/// Cache line size in bytes (`LS` in Eq. 4). 64 bytes on every platform the
+/// paper measures.
+pub const LINE_SIZE_BYTES: f64 = 64.0;
+
+/// DDR3/DDR4 bus width in bytes: 8 bytes (64 bits) per channel transfer.
+pub const DDR_BUS_BYTES: f64 = 8.0;
+
+/// Converts a DDR transfer rate in mega-transfers/second into a per-channel
+/// peak bandwidth.
+///
+/// # Examples
+///
+/// ```
+/// use memsense_model::units::ddr_channel_bandwidth;
+/// // DDR3-1867 moves 8 bytes per transfer: ~14.9 GB/s per channel.
+/// let bw = ddr_channel_bandwidth(1866.7);
+/// assert!((bw.value() - 14.93).abs() < 0.01);
+/// ```
+pub fn ddr_channel_bandwidth(mega_transfers_per_sec: f64) -> GigabytesPerSecond {
+    GigabytesPerSecond(mega_transfers_per_sec * 1e6 * DDR_BUS_BYTES / 1e9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ns_to_cycles_roundtrip() {
+        let f = GigaHertz(2.7);
+        let ns = Nanoseconds(75.0);
+        let cy = ns.to_cycles(f);
+        assert!((cy.value() - 202.5).abs() < 1e-12);
+        let back = cy.to_nanoseconds(f);
+        assert!((back.value() - 75.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic_ops() {
+        let a = Nanoseconds(10.0) + Nanoseconds(5.0);
+        assert_eq!(a, Nanoseconds(15.0));
+        let b = a - Nanoseconds(5.0);
+        assert_eq!(b, Nanoseconds(10.0));
+        let c = b * 2.0;
+        assert_eq!(c, Nanoseconds(20.0));
+        let d = c / 4.0;
+        assert_eq!(d, Nanoseconds(5.0));
+        let ratio = Nanoseconds(10.0) / Nanoseconds(5.0);
+        assert_eq!(ratio, 2.0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{:.1}", GigaHertz(2.7)), "2.7 GHz");
+        assert_eq!(format!("{}", Cycles(402.0)), "402 cycles");
+    }
+
+    #[test]
+    fn ddr_bandwidth_values() {
+        // DDR3-1333: ~10.7 GB/s; DDR3-1867: ~14.9 GB/s.
+        assert!((ddr_channel_bandwidth(1333.0).value() - 10.664).abs() < 1e-3);
+        assert!((ddr_channel_bandwidth(1866.7).value() - 14.9336).abs() < 1e-3);
+    }
+
+    #[test]
+    fn cps_conversion() {
+        assert_eq!(GigaHertz(3.0).cycles_per_second(), 3e9);
+    }
+
+    #[test]
+    fn gbps_bytes_roundtrip() {
+        let bw = GigabytesPerSecond::from_bytes_per_second(42e9);
+        assert_eq!(bw.value(), 42.0);
+        assert_eq!(bw.bytes_per_second(), 42e9);
+    }
+
+    #[test]
+    fn from_f64_and_finiteness() {
+        let c: Cycles = 5.0.into();
+        assert_eq!(c.value(), 5.0);
+        assert!(c.is_finite());
+        assert!(!Cycles(f64::NAN).is_finite());
+    }
+}

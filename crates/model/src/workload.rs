@@ -1,0 +1,432 @@
+//! Workload model parameters.
+//!
+//! A workload is characterized by four counter-derived quantities (paper
+//! Tabs. 2, 4, 5): the infinite-cache CPI (`CPI_cache`), the blocking factor
+//! (`BF`), the LLC misses per kilo-instruction (`MPKI`), and the writeback
+//! rate (`WBR`, expressed as a fraction of misses — NITS exceeds 1.0 because
+//! of non-temporal stores). I/O-intensive workloads additionally carry the
+//! Eq. 4 I/O terms (`IOPI`, `IOSZ`).
+
+use crate::units::BytesPerInstruction;
+use crate::ModelError;
+
+/// Usage segment a workload belongs to (paper Sec. III).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Segment {
+    /// Big data analytics: column stores, search, Spark (Sec. III.A).
+    BigData,
+    /// Enterprise: OLTP, JVM, virtualization, web caching (Sec. III.B).
+    Enterprise,
+    /// High-performance computing: SPECfp rate components (Sec. III.C).
+    Hpc,
+}
+
+impl core::fmt::Display for Segment {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Segment::BigData => write!(f, "Big Data"),
+            Segment::Enterprise => write!(f, "Enterprise"),
+            Segment::Hpc => write!(f, "HPC"),
+        }
+    }
+}
+
+/// Calibrated model parameters for one workload (or one workload class).
+///
+/// All rates are per retired instruction of a single hardware thread, which is
+/// how the paper's counters report them.
+///
+/// # Examples
+///
+/// ```
+/// use memsense_model::workload::WorkloadParams;
+///
+/// let sd = WorkloadParams::structured_data();
+/// // Tab. 2: CPI_cache = 0.89, BF = 0.20, MPKI = 5.6, WBR = 32%.
+/// assert_eq!(sd.cpi_cache, 0.89);
+/// assert_eq!(sd.mpki, 5.6);
+/// // Misses per instruction:
+/// assert!((sd.mpi() - 0.0056).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadParams {
+    /// Human-readable workload name.
+    pub name: String,
+    /// Usage segment the workload belongs to.
+    pub segment: Segment,
+    /// CPI with an infinite last-level cache (`CPI_cache`, Eq. 1 intercept).
+    pub cpi_cache: f64,
+    /// Blocking factor (`BF`, Eq. 1 slope): the fraction of the miss penalty
+    /// that contributes to CPI, ≈ `1 / MLP` (Eq. 3).
+    pub bf: f64,
+    /// Last-level-cache misses (demand + prefetch) per 1000 instructions.
+    pub mpki: f64,
+    /// Writeback rate: dirty-victim writebacks as a fraction of misses.
+    /// May exceed 1.0 in the presence of non-temporal stores (NITS, Tab. 2).
+    pub wbr: f64,
+    /// I/O events per instruction (`IOPI`, Eq. 4); zero for non-I/O workloads.
+    pub iopi: f64,
+    /// Average memory bytes read or written per I/O event (`IOSZ`, Eq. 4).
+    pub iosz: f64,
+}
+
+impl WorkloadParams {
+    /// Creates a parameter set, validating ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidParameter`] when any value is negative or
+    /// non-finite, or when `cpi_cache` is zero.
+    pub fn new(
+        name: impl Into<String>,
+        segment: Segment,
+        cpi_cache: f64,
+        bf: f64,
+        mpki: f64,
+        wbr: f64,
+    ) -> Result<Self, ModelError> {
+        let p = WorkloadParams {
+            name: name.into(),
+            segment,
+            cpi_cache,
+            bf,
+            mpki,
+            wbr,
+            iopi: 0.0,
+            iosz: 0.0,
+        };
+        p.validate()?;
+        Ok(p)
+    }
+
+    /// Adds the Eq. 4 I/O traffic terms.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidParameter`] for negative or non-finite
+    /// values.
+    pub fn with_io(mut self, iopi: f64, iosz: f64) -> Result<Self, ModelError> {
+        self.iopi = iopi;
+        self.iosz = iosz;
+        self.validate()?;
+        Ok(self)
+    }
+
+    fn validate(&self) -> Result<(), ModelError> {
+        let finite = [self.cpi_cache, self.bf, self.mpki, self.wbr, self.iopi, self.iosz]
+            .iter()
+            .all(|v| v.is_finite());
+        if !finite {
+            return Err(ModelError::InvalidParameter("non-finite workload parameter"));
+        }
+        if self.cpi_cache <= 0.0 {
+            return Err(ModelError::InvalidParameter("cpi_cache must be > 0"));
+        }
+        if self.bf < 0.0 || self.mpki < 0.0 || self.wbr < 0.0 || self.iopi < 0.0 || self.iosz < 0.0
+        {
+            return Err(ModelError::InvalidParameter(
+                "workload parameters must be non-negative",
+            ));
+        }
+        Ok(())
+    }
+
+    /// LLC misses per instruction (`MPI = MPKI / 1000`).
+    pub fn mpi(&self) -> f64 {
+        self.mpki / 1000.0
+    }
+
+    /// Cache-line traffic per instruction: `MPI × (1 + WBR) × LS` plus the
+    /// I/O term `IOPI × IOSZ` (the numerator of Eq. 4 before the clock).
+    pub fn bytes_per_instruction(&self) -> BytesPerInstruction {
+        BytesPerInstruction(
+            self.mpi() * (1.0 + self.wbr) * crate::units::LINE_SIZE_BYTES + self.iopi * self.iosz,
+        )
+    }
+
+    /// Memory-level parallelism implied by the blocking factor under the
+    /// approximation `BF ≈ 1 / MLP` (Eq. 3 with negligible overlap term).
+    ///
+    /// Returns `f64::INFINITY` for a zero blocking factor (perfect overlap).
+    pub fn implied_mlp(&self) -> f64 {
+        crate::cpi::mlp_from_blocking_factor(self.bf)
+    }
+
+    /// Intrinsic memory references (reads + writebacks) per core cycle when
+    /// running at `CPI_cache` — the y-axis of Fig. 6. This is Eq. 4 with the
+    /// clock, line size, and I/O terms removed and `CPI_eff` replaced by
+    /// `CPI_cache` (paper Sec. VI.B).
+    pub fn refs_per_cycle(&self) -> crate::units::RefsPerCycle {
+        crate::units::RefsPerCycle(self.mpi() * (1.0 + self.wbr) / self.cpi_cache)
+    }
+
+    // ----- Paper Tab. 2: big data workloads -------------------------------
+
+    /// In-memory column store running decision-support queries (Tab. 2).
+    pub fn structured_data() -> Self {
+        WorkloadParams::new("Structured Data", Segment::BigData, 0.89, 0.20, 5.6, 0.32)
+            .expect("paper constants are valid")
+    }
+
+    /// Needle-in-the-haystack unstructured search (Tab. 2). I/O-intensive:
+    /// the paper reports >2 GB/s of storage traffic, modeled here as the
+    /// Eq. 4 I/O term (~0.9 B/instr of DMA traffic).
+    pub fn nits() -> Self {
+        WorkloadParams::new("NITS", Segment::BigData, 0.96, 0.18, 5.0, 1.17)
+            .expect("paper constants are valid")
+            .with_io(0.00022, 4096.0)
+            .expect("paper constants are valid")
+    }
+
+    /// Spark iterative graph analytics (Tab. 2).
+    pub fn spark() -> Self {
+        WorkloadParams::new("Spark", Segment::BigData, 0.90, 0.25, 6.0, 0.64)
+            .expect("paper constants are valid")
+    }
+
+    /// Proximity (dense) search — core bound (Tab. 2).
+    pub fn proximity() -> Self {
+        WorkloadParams::new("Proximity", Segment::BigData, 0.93, 0.03, 0.5, 0.47)
+            .expect("paper constants are valid")
+    }
+
+    // ----- Paper Tab. 4: enterprise workloads -----------------------------
+    //
+    // Tab. 4 prints only class-level means in the copy of the paper we have;
+    // per-workload values are chosen to be consistent with the printed class
+    // mean (CPI_cache 1.47, BF 0.41, MPKI 6.7, WBR 27%) and the qualitative
+    // descriptions in Secs. V.J–V.M.
+
+    /// OLTP brokerage workload on a commercial DBMS (Sec. V.J): high
+    /// `CPI_cache`, poor prefetchability, moderate I/O.
+    pub fn oltp() -> Self {
+        WorkloadParams::new("OLTP", Segment::Enterprise, 1.65, 0.45, 7.5, 0.25)
+            .expect("constants are valid")
+            .with_io(0.00008, 4096.0)
+            .expect("constants are valid")
+    }
+
+    /// Java middle-tier benchmark (Sec. V.K): GC pointer chasing, little I/O.
+    pub fn jvm() -> Self {
+        WorkloadParams::new("JVM", Segment::Enterprise, 1.20, 0.38, 5.2, 0.35)
+            .expect("constants are valid")
+    }
+
+    /// Virtualized server-consolidation benchmark (Sec. V.L).
+    pub fn virtualization() -> Self {
+        WorkloadParams::new("Virtualization", Segment::Enterprise, 1.55, 0.42, 7.0, 0.24)
+            .expect("constants are valid")
+    }
+
+    /// Memcached-like web-tier cache, 64 B objects, random keys (Sec. V.M).
+    pub fn web_caching() -> Self {
+        WorkloadParams::new("Web Caching", Segment::Enterprise, 1.48, 0.39, 7.1, 0.24)
+            .expect("constants are valid")
+    }
+
+    // ----- Paper Tab. 5: HPC (SPECfp rate) workloads -----------------------
+    //
+    // Like Tab. 4, per-component values are reconstructed around the printed
+    // class mean (CPI_cache 0.75, BF 0.07, MPKI 26.7, WBR 27%): bwaves and
+    // milc are the bandwidth monsters, soplex and wrf more moderate.
+
+    /// 470.bwaves — blast-wave CFD, heavily streaming.
+    pub fn bwaves() -> Self {
+        WorkloadParams::new("bwaves", Segment::Hpc, 0.70, 0.06, 33.0, 0.30)
+            .expect("constants are valid")
+    }
+
+    /// 433.milc — lattice QCD, strided sweeps over large arrays.
+    pub fn milc() -> Self {
+        WorkloadParams::new("milc", Segment::Hpc, 0.72, 0.08, 30.0, 0.28)
+            .expect("constants are valid")
+    }
+
+    /// 450.soplex — sparse linear programming.
+    pub fn soplex() -> Self {
+        WorkloadParams::new("soplex", Segment::Hpc, 0.80, 0.09, 21.0, 0.25)
+            .expect("constants are valid")
+    }
+
+    /// 481.wrf — weather stencil.
+    pub fn wrf() -> Self {
+        WorkloadParams::new("wrf", Segment::Hpc, 0.78, 0.05, 22.8, 0.25)
+            .expect("constants are valid")
+    }
+
+    // ----- Paper Tab. 6: class means ---------------------------------------
+
+    /// Enterprise class mean (Tab. 6): CPI_cache 1.47, BF 0.41, MPKI 6.7,
+    /// WBR 27%.
+    pub fn enterprise_class() -> Self {
+        WorkloadParams::new("Enterprise class", Segment::Enterprise, 1.47, 0.41, 6.7, 0.27)
+            .expect("paper constants are valid")
+    }
+
+    /// Big data class mean (Tab. 6): CPI_cache 0.91, BF 0.21, MPKI 5.5,
+    /// WBR 92%.
+    pub fn big_data_class() -> Self {
+        WorkloadParams::new("Big Data class", Segment::BigData, 0.91, 0.21, 5.5, 0.92)
+            .expect("paper constants are valid")
+    }
+
+    /// HPC class mean (Tab. 6): CPI_cache 0.75, BF 0.07, MPKI 26.7, WBR 27%.
+    pub fn hpc_class() -> Self {
+        WorkloadParams::new("HPC class", Segment::Hpc, 0.75, 0.07, 26.7, 0.27)
+            .expect("paper constants are valid")
+    }
+
+    /// All three Tab. 6 class means, in paper order.
+    pub fn all_classes() -> Vec<WorkloadParams> {
+        vec![
+            Self::enterprise_class(),
+            Self::big_data_class(),
+            Self::hpc_class(),
+        ]
+    }
+
+    /// The eleven individual modeled workloads (big data + enterprise + HPC;
+    /// proximity included — the classifier marks it core-bound).
+    pub fn all_workloads() -> Vec<WorkloadParams> {
+        vec![
+            Self::structured_data(),
+            Self::nits(),
+            Self::spark(),
+            Self::proximity(),
+            Self::oltp(),
+            Self::jvm(),
+            Self::virtualization(),
+            Self::web_caching(),
+            Self::bwaves(),
+            Self::milc(),
+            Self::soplex(),
+            Self::wrf(),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tab2_constants_match_paper() {
+        let sd = WorkloadParams::structured_data();
+        assert_eq!((sd.cpi_cache, sd.bf, sd.mpki, sd.wbr), (0.89, 0.20, 5.6, 0.32));
+        let nits = WorkloadParams::nits();
+        assert_eq!((nits.cpi_cache, nits.bf, nits.mpki), (0.96, 0.18, 5.0));
+        assert!(nits.wbr > 1.0, "NITS WBR exceeds 100% (non-temporal writes)");
+        let spark = WorkloadParams::spark();
+        assert_eq!((spark.cpi_cache, spark.bf, spark.mpki, spark.wbr), (0.90, 0.25, 6.0, 0.64));
+        let prox = WorkloadParams::proximity();
+        assert_eq!((prox.cpi_cache, prox.bf, prox.mpki, prox.wbr), (0.93, 0.03, 0.5, 0.47));
+    }
+
+    #[test]
+    fn tab6_class_means_match_paper() {
+        let e = WorkloadParams::enterprise_class();
+        assert_eq!((e.cpi_cache, e.bf, e.mpki, e.wbr), (1.47, 0.41, 6.7, 0.27));
+        let b = WorkloadParams::big_data_class();
+        assert_eq!((b.cpi_cache, b.bf, b.mpki, b.wbr), (0.91, 0.21, 5.5, 0.92));
+        let h = WorkloadParams::hpc_class();
+        assert_eq!((h.cpi_cache, h.bf, h.mpki, h.wbr), (0.75, 0.07, 26.7, 0.27));
+    }
+
+    #[test]
+    fn reconstructed_enterprise_mean_is_consistent() {
+        let ws = [
+            WorkloadParams::oltp(),
+            WorkloadParams::jvm(),
+            WorkloadParams::virtualization(),
+            WorkloadParams::web_caching(),
+        ];
+        let n = ws.len() as f64;
+        let mean_cpi = ws.iter().map(|w| w.cpi_cache).sum::<f64>() / n;
+        let mean_bf = ws.iter().map(|w| w.bf).sum::<f64>() / n;
+        let mean_mpki = ws.iter().map(|w| w.mpki).sum::<f64>() / n;
+        let mean_wbr = ws.iter().map(|w| w.wbr).sum::<f64>() / n;
+        assert!((mean_cpi - 1.47).abs() < 0.02, "CPI_cache mean {mean_cpi}");
+        assert!((mean_bf - 0.41).abs() < 0.02, "BF mean {mean_bf}");
+        assert!((mean_mpki - 6.7).abs() < 0.2, "MPKI mean {mean_mpki}");
+        assert!((mean_wbr - 0.27).abs() < 0.02, "WBR mean {mean_wbr}");
+    }
+
+    #[test]
+    fn reconstructed_hpc_mean_is_consistent() {
+        let ws = [
+            WorkloadParams::bwaves(),
+            WorkloadParams::milc(),
+            WorkloadParams::soplex(),
+            WorkloadParams::wrf(),
+        ];
+        let n = ws.len() as f64;
+        let mean_cpi = ws.iter().map(|w| w.cpi_cache).sum::<f64>() / n;
+        let mean_bf = ws.iter().map(|w| w.bf).sum::<f64>() / n;
+        let mean_mpki = ws.iter().map(|w| w.mpki).sum::<f64>() / n;
+        let mean_wbr = ws.iter().map(|w| w.wbr).sum::<f64>() / n;
+        assert!((mean_cpi - 0.75).abs() < 0.01, "CPI_cache mean {mean_cpi}");
+        assert!((mean_bf - 0.07).abs() < 0.005, "BF mean {mean_bf}");
+        assert!((mean_mpki - 26.7).abs() < 0.3, "MPKI mean {mean_mpki}");
+        assert!((mean_wbr - 0.27).abs() < 0.01, "WBR mean {mean_wbr}");
+    }
+
+    #[test]
+    fn mpi_and_bytes_per_instruction() {
+        let b = WorkloadParams::big_data_class();
+        assert!((b.mpi() - 0.0055).abs() < 1e-12);
+        // 0.0055 × 1.92 × 64 = 0.67584 B/instr
+        assert!((b.bytes_per_instruction().value() - 0.67584).abs() < 1e-9);
+    }
+
+    #[test]
+    fn io_terms_add_bandwidth() {
+        let no_io = WorkloadParams::structured_data();
+        let with_io = no_io.clone().with_io(0.0001, 4096.0).unwrap();
+        let delta =
+            with_io.bytes_per_instruction().value() - no_io.bytes_per_instruction().value();
+        assert!((delta - 0.4096).abs() < 1e-9);
+    }
+
+    #[test]
+    fn refs_per_cycle_hpc_dominates() {
+        let h = WorkloadParams::hpc_class().refs_per_cycle().value();
+        let e = WorkloadParams::enterprise_class().refs_per_cycle().value();
+        let b = WorkloadParams::big_data_class().refs_per_cycle().value();
+        assert!(h > b && b > e, "Fig. 6 ordering: HPC {h} > big data {b} > enterprise {e}");
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        assert!(WorkloadParams::new("x", Segment::Hpc, 0.0, 0.1, 1.0, 0.1).is_err());
+        assert!(WorkloadParams::new("x", Segment::Hpc, 1.0, -0.1, 1.0, 0.1).is_err());
+        assert!(WorkloadParams::new("x", Segment::Hpc, 1.0, 0.1, -1.0, 0.1).is_err());
+        assert!(WorkloadParams::new("x", Segment::Hpc, f64::NAN, 0.1, 1.0, 0.1).is_err());
+        assert!(WorkloadParams::new("x", Segment::Hpc, 1.0, 0.1, 1.0, 0.1)
+            .unwrap()
+            .with_io(-1.0, 10.0)
+            .is_err());
+    }
+
+    #[test]
+    fn implied_mlp_inverse_of_bf() {
+        let sd = WorkloadParams::structured_data();
+        assert!((sd.implied_mlp() - 5.0).abs() < 1e-12);
+        let core_bound = WorkloadParams::new("cb", Segment::BigData, 1.0, 0.0, 0.1, 0.0).unwrap();
+        assert!(core_bound.implied_mlp().is_infinite());
+    }
+
+    #[test]
+    fn all_workloads_has_all_segments() {
+        let ws = WorkloadParams::all_workloads();
+        assert_eq!(ws.len(), 12);
+        for seg in [Segment::BigData, Segment::Enterprise, Segment::Hpc] {
+            assert!(ws.iter().any(|w| w.segment == seg));
+        }
+    }
+
+    #[test]
+    fn segment_display() {
+        assert_eq!(Segment::BigData.to_string(), "Big Data");
+        assert_eq!(Segment::Hpc.to_string(), "HPC");
+    }
+}

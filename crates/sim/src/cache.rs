@@ -1,0 +1,417 @@
+//! Set-associative caches and the private three-level hierarchy.
+//!
+//! Each simulated hardware thread owns an L1, an L2, and a slice of LLC
+//! (the paper's machines provision 2.5 MB of LLC per core). Write-back,
+//! write-allocate, LRU replacement. Dirty LLC victims become memory write
+//! traffic — the writeback rate `WBR` of Eq. 4 is measured here.
+
+use crate::config::{CacheConfig, SimConfig};
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    last_use: u64,
+}
+
+/// Result of a cache access at one level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lookup {
+    /// The line was present.
+    Hit,
+    /// The line was absent and has been allocated; if the victim was dirty,
+    /// its base address is returned for write-back to the next level.
+    Miss {
+        /// Dirty victim address, if any.
+        writeback: Option<u64>,
+    },
+}
+
+/// A single set-associative, write-back, write-allocate cache with LRU
+/// replacement.
+#[derive(Debug, Clone)]
+pub struct SetAssocCache {
+    lines: Vec<Line>,
+    sets: usize,
+    ways: usize,
+    line_shift: u32,
+    stamp: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl SetAssocCache {
+    /// Builds a cache from a validated [`CacheConfig`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent (non-power-of-two sets); the
+    /// owning [`SimConfig`] validates this first.
+    pub fn new(config: &CacheConfig, line_size: usize) -> Self {
+        let sets = config.sets(line_size);
+        assert!(sets.is_power_of_two() && sets > 0, "sets must be a power of two");
+        SetAssocCache {
+            lines: vec![Line::default(); sets * config.ways],
+            sets,
+            ways: config.ways,
+            line_shift: line_size.trailing_zeros(),
+            stamp: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    fn index(&self, addr: u64) -> (usize, u64) {
+        let line_addr = addr >> self.line_shift;
+        let set = (line_addr as usize) & (self.sets - 1);
+        (set, line_addr)
+    }
+
+    /// Accesses `addr`; allocates on miss. `write` marks the line dirty.
+    pub fn access(&mut self, addr: u64, write: bool) -> Lookup {
+        self.stamp += 1;
+        let (set, tag) = self.index(addr);
+        let base = set * self.ways;
+        let slot = &mut self.lines[base..base + self.ways];
+
+        for line in slot.iter_mut() {
+            if line.valid && line.tag == tag {
+                line.last_use = self.stamp;
+                line.dirty |= write;
+                self.hits += 1;
+                return Lookup::Hit;
+            }
+        }
+        self.misses += 1;
+        // Choose victim: an invalid way, else LRU.
+        let victim_idx = slot
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, l)| if l.valid { l.last_use } else { 0 })
+            .map(|(i, _)| i)
+            .expect("ways >= 1");
+        let victim = slot[victim_idx];
+        let writeback = if victim.valid && victim.dirty {
+            // The stored tag is the full line address, so the victim's base
+            // address is just the tag shifted back up.
+            Some(victim.tag << self.line_shift)
+        } else {
+            None
+        };
+        slot[victim_idx] = Line {
+            tag,
+            valid: true,
+            dirty: write,
+            last_use: self.stamp,
+        };
+        Lookup::Miss { writeback }
+    }
+
+    /// Checks for presence without updating replacement state.
+    pub fn probe(&self, addr: u64) -> bool {
+        let (set, tag) = self.index(addr);
+        let base = set * self.ways;
+        self.lines[base..base + self.ways]
+            .iter()
+            .any(|l| l.valid && l.tag == tag)
+    }
+
+    /// Marks `addr` dirty if present, returning whether it was found.
+    pub fn mark_dirty(&mut self, addr: u64) -> bool {
+        let (set, tag) = self.index(addr);
+        let base = set * self.ways;
+        for line in &mut self.lines[base..base + self.ways] {
+            if line.valid && line.tag == tag {
+                line.dirty = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Hit count since construction.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Miss count since construction.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Hit ratio in `[0, 1]`; 0 when never accessed.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Where in the hierarchy an access was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum HitLevel {
+    /// L1 data cache.
+    L1,
+    /// Private L2.
+    L2,
+    /// LLC slice.
+    Llc,
+    /// Missed everywhere; goes to memory.
+    Memory,
+}
+
+/// Outcome of a hierarchy access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HierarchyAccess {
+    /// Level that satisfied the access ([`HitLevel::Memory`] = LLC miss).
+    pub level: HitLevel,
+    /// Dirty LLC victim that must be written back to memory, if any.
+    pub memory_writeback: Option<u64>,
+}
+
+/// A private L1/L2/LLC-slice stack for one hardware thread.
+#[derive(Debug, Clone)]
+pub struct CacheHierarchy {
+    l1: SetAssocCache,
+    l2: SetAssocCache,
+    llc: SetAssocCache,
+    /// Load-to-use latencies (cycles) for L2/LLC hits.
+    pub l2_hit_latency: u32,
+    /// LLC hit latency in cycles.
+    pub llc_hit_latency: u32,
+}
+
+impl CacheHierarchy {
+    /// Builds the hierarchy described by `config`.
+    pub fn new(config: &SimConfig) -> Self {
+        CacheHierarchy {
+            l1: SetAssocCache::new(&config.l1, config.line_size),
+            l2: SetAssocCache::new(&config.l2, config.line_size),
+            llc: SetAssocCache::new(&config.llc, config.line_size),
+            l2_hit_latency: config.l2.hit_latency,
+            llc_hit_latency: config.llc.hit_latency,
+        }
+    }
+
+    /// Performs an access. On an LLC miss the line is allocated at every
+    /// level; a dirty LLC victim is surfaced for memory write-back. Dirty
+    /// L1/L2 victims are absorbed by marking the corresponding LLC line
+    /// dirty (a first-order inclusive-hierarchy approximation).
+    pub fn access(&mut self, addr: u64, write: bool) -> HierarchyAccess {
+        if self.l1.access(addr, write) == Lookup::Hit {
+            // Keep the LLC's dirtiness conservative: stores that hit L1
+            // will eventually be written back through L2 to the LLC.
+            if write {
+                self.llc.mark_dirty(addr);
+            }
+            return HierarchyAccess {
+                level: HitLevel::L1,
+                memory_writeback: None,
+            };
+        }
+        match self.l2.access(addr, write) {
+            Lookup::Hit => {
+                if write {
+                    self.llc.mark_dirty(addr);
+                }
+                HierarchyAccess {
+                    level: HitLevel::L2,
+                    memory_writeback: None,
+                }
+            }
+            Lookup::Miss { writeback: l2_wb } => {
+                if let Some(wb) = l2_wb {
+                    self.llc.mark_dirty(wb);
+                }
+                match self.llc.access(addr, write) {
+                    Lookup::Hit => HierarchyAccess {
+                        level: HitLevel::Llc,
+                        memory_writeback: None,
+                    },
+                    Lookup::Miss { writeback } => HierarchyAccess {
+                        level: HitLevel::Memory,
+                        memory_writeback: writeback,
+                    },
+                }
+            }
+        }
+    }
+
+    /// Installs a prefetched line into the LLC and L2 (modeling the L2
+    /// streamer bringing data close to the core). Returns a dirty LLC
+    /// victim, if any.
+    pub fn install_prefetch(&mut self, addr: u64) -> Option<u64> {
+        if let Lookup::Miss { writeback: Some(wb) } = self.l2.access(addr, false) {
+            self.llc.mark_dirty(wb);
+        }
+        if self.llc.probe(addr) {
+            return None;
+        }
+        match self.llc.access(addr, false) {
+            Lookup::Hit => None,
+            Lookup::Miss { writeback } => writeback,
+        }
+    }
+
+    /// Whether `addr` is present in the LLC.
+    pub fn llc_contains(&self, addr: u64) -> bool {
+        self.llc.probe(addr)
+    }
+
+    /// LLC statistics `(hits, misses)`.
+    pub fn llc_stats(&self) -> (u64, u64) {
+        (self.llc.hits(), self.llc.misses())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cache() -> SetAssocCache {
+        // 4 sets × 2 ways × 64 B lines = 512 B.
+        SetAssocCache::new(
+            &CacheConfig {
+                capacity: 512,
+                ways: 2,
+                hit_latency: 4,
+            },
+            64,
+        )
+    }
+
+    #[test]
+    fn first_access_misses_then_hits() {
+        let mut c = small_cache();
+        assert!(matches!(c.access(0x1000, false), Lookup::Miss { writeback: None }));
+        assert_eq!(c.access(0x1000, false), Lookup::Hit);
+        assert_eq!(c.access(0x1010, false), Lookup::Hit, "same line");
+        assert_eq!(c.hits(), 2);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let mut c = small_cache();
+        // Set 0 holds line addresses with (line_addr & 3) == 0: 0x000, 0x400…
+        c.access(0x000, false);
+        c.access(0x400, false);
+        c.access(0x000, false); // touch 0x000 → 0x400 becomes LRU
+        c.access(0x800, false); // evicts 0x400
+        assert!(c.probe(0x000));
+        assert!(!c.probe(0x400));
+        assert!(c.probe(0x800));
+    }
+
+    #[test]
+    fn dirty_eviction_reports_victim() {
+        let mut c = small_cache();
+        c.access(0x000, true);
+        c.access(0x400, false);
+        let r = c.access(0x800, false); // evicts dirty 0x000
+        assert_eq!(r, Lookup::Miss { writeback: Some(0x000) });
+    }
+
+    #[test]
+    fn clean_eviction_no_writeback() {
+        let mut c = small_cache();
+        c.access(0x000, false);
+        c.access(0x400, false);
+        assert_eq!(c.access(0x800, false), Lookup::Miss { writeback: None });
+    }
+
+    #[test]
+    fn mark_dirty_and_probe() {
+        let mut c = small_cache();
+        assert!(!c.mark_dirty(0x123));
+        c.access(0x100, false);
+        assert!(c.mark_dirty(0x100));
+        c.access(0x500, false);
+        let r = c.access(0x900, false);
+        assert_eq!(r, Lookup::Miss { writeback: Some(0x100) });
+    }
+
+    #[test]
+    fn hit_ratio() {
+        let mut c = small_cache();
+        assert_eq!(c.hit_ratio(), 0.0);
+        c.access(0, false);
+        c.access(0, false);
+        assert_eq!(c.hit_ratio(), 0.5);
+    }
+
+    #[test]
+    fn hierarchy_levels() {
+        let cfg = SimConfig::default();
+        let mut h = CacheHierarchy::new(&cfg);
+        let a = h.access(0x10000, false);
+        assert_eq!(a.level, HitLevel::Memory);
+        let a = h.access(0x10000, false);
+        assert_eq!(a.level, HitLevel::L1);
+    }
+
+    #[test]
+    fn hierarchy_l2_hit_after_l1_eviction() {
+        let cfg = SimConfig::default();
+        let mut h = CacheHierarchy::new(&cfg);
+        // Fill far beyond L1 (1 KiB) but within L2 (8 KiB).
+        for i in 0..64u64 {
+            h.access(i * 64, false);
+        }
+        // 0 was evicted from L1 (16 lines) but still in L2.
+        let a = h.access(0, false);
+        assert_eq!(a.level, HitLevel::L2);
+    }
+
+    #[test]
+    fn hierarchy_dirty_llc_eviction_reaches_memory() {
+        let cfg = SimConfig::default();
+        let mut h = CacheHierarchy::new(&cfg);
+        let lines = cfg.llc.capacity / cfg.line_size;
+        // Write a line, then stream enough lines mapping everywhere to
+        // force it out of the LLC.
+        h.access(0, true);
+        let mut wrote_back = false;
+        for i in 1..(lines as u64 * 4) {
+            let a = h.access(i * 64, false);
+            if a.memory_writeback == Some(0) {
+                wrote_back = true;
+            }
+        }
+        assert!(wrote_back, "dirty line must eventually be written back");
+    }
+
+    #[test]
+    fn prefetch_installs_into_llc() {
+        let cfg = SimConfig::default();
+        let mut h = CacheHierarchy::new(&cfg);
+        assert!(!h.llc_contains(0x4000));
+        h.install_prefetch(0x4000);
+        assert!(h.llc_contains(0x4000));
+        // Prefetching an already-present line reports no LLC victim.
+        assert_eq!(h.install_prefetch(0x4000), None);
+        // A prefetch-hit access hits in L2 (the streamer fills L2 too).
+        let a = h.access(0x4000, false);
+        assert_eq!(a.level, HitLevel::L2);
+    }
+
+    #[test]
+    fn store_through_hierarchy_marks_llc_dirty() {
+        let cfg = SimConfig::default();
+        let mut h = CacheHierarchy::new(&cfg);
+        h.access(0x2000, true); // miss, allocate dirty everywhere
+        h.access(0x2000, true); // L1 hit, still dirty in LLC
+        let lines = cfg.llc.capacity / cfg.line_size;
+        let mut wb = 0;
+        for i in 1..(lines as u64 * 4) {
+            if h.access(0x2000 + i * 64, false).memory_writeback == Some(0x2000) {
+                wb += 1;
+            }
+        }
+        assert_eq!(wb, 1, "exactly one writeback of the dirty line");
+    }
+}

@@ -1,0 +1,305 @@
+//! Performance counters and derived measurements.
+//!
+//! The paper's methodology is counter-driven: `CPI_eff`, `MPI`, `MP`,
+//! writeback rates, bandwidth, and utilization all come from hardware
+//! performance counters sampled at 100 ms–1 s granularity (Secs. IV–V).
+//! [`CoreCounters`] is the per-thread counter file; [`Measurement`] is the
+//! derived view the modeling equations consume.
+
+use crate::mem::MemStats;
+
+/// Raw per-thread event counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CoreCounters {
+    /// Retired instructions.
+    pub instructions: u64,
+    /// Core busy time in nanoseconds (excludes halted/idle time).
+    pub busy_ns: f64,
+    /// Halted (idle) time in nanoseconds.
+    pub idle_ns: f64,
+    /// L1 data hits.
+    pub l1_hits: u64,
+    /// L2 hits.
+    pub l2_hits: u64,
+    /// LLC hits.
+    pub llc_hits: u64,
+    /// Demand LLC misses (loads and stores reaching memory).
+    pub llc_demand_misses: u64,
+    /// Prefetch fills brought into the LLC.
+    pub prefetch_fills: u64,
+    /// Dirty-victim writebacks from the LLC to memory.
+    pub writebacks: u64,
+    /// Non-temporal stores sent straight to memory.
+    pub nt_stores: u64,
+    /// Sum of demand-miss load latencies (ns).
+    pub demand_miss_latency_ns: f64,
+    /// Number of latency-sampled demand misses.
+    pub demand_miss_samples: u64,
+    /// DMA bytes injected on behalf of this thread's I/O.
+    pub io_bytes: u64,
+    /// Cycles lost to memory stalls (window-full, MSHR, dependent loads).
+    pub stall_ns: f64,
+    /// Data-TLB misses (0 when the TLB model is disabled).
+    pub tlb_misses: u64,
+}
+
+impl CoreCounters {
+    /// Field-wise difference (`self − earlier`), for interval sampling.
+    pub fn delta(&self, earlier: &CoreCounters) -> CoreCounters {
+        CoreCounters {
+            instructions: self.instructions - earlier.instructions,
+            busy_ns: self.busy_ns - earlier.busy_ns,
+            idle_ns: self.idle_ns - earlier.idle_ns,
+            l1_hits: self.l1_hits - earlier.l1_hits,
+            l2_hits: self.l2_hits - earlier.l2_hits,
+            llc_hits: self.llc_hits - earlier.llc_hits,
+            llc_demand_misses: self.llc_demand_misses - earlier.llc_demand_misses,
+            prefetch_fills: self.prefetch_fills - earlier.prefetch_fills,
+            writebacks: self.writebacks - earlier.writebacks,
+            nt_stores: self.nt_stores - earlier.nt_stores,
+            demand_miss_latency_ns: self.demand_miss_latency_ns - earlier.demand_miss_latency_ns,
+            demand_miss_samples: self.demand_miss_samples - earlier.demand_miss_samples,
+            io_bytes: self.io_bytes - earlier.io_bytes,
+            stall_ns: self.stall_ns - earlier.stall_ns,
+            tlb_misses: self.tlb_misses - earlier.tlb_misses,
+        }
+    }
+
+    /// Accumulates another counter file into this one.
+    pub fn merge(&mut self, other: &CoreCounters) {
+        self.instructions += other.instructions;
+        self.busy_ns += other.busy_ns;
+        self.idle_ns += other.idle_ns;
+        self.l1_hits += other.l1_hits;
+        self.l2_hits += other.l2_hits;
+        self.llc_hits += other.llc_hits;
+        self.llc_demand_misses += other.llc_demand_misses;
+        self.prefetch_fills += other.prefetch_fills;
+        self.writebacks += other.writebacks;
+        self.nt_stores += other.nt_stores;
+        self.demand_miss_latency_ns += other.demand_miss_latency_ns;
+        self.demand_miss_samples += other.demand_miss_samples;
+        self.io_bytes += other.io_bytes;
+        self.stall_ns += other.stall_ns;
+        self.tlb_misses += other.tlb_misses;
+    }
+
+    /// Total LLC misses, demand plus prefetch (the paper's `MPI` counts
+    /// "either demand or prefetch" misses).
+    pub fn llc_total_misses(&self) -> u64 {
+        self.llc_demand_misses + self.prefetch_fills
+    }
+}
+
+/// Counter-derived metrics over a measurement window, in the units the
+/// paper's equations use.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Measurement {
+    /// Effective cycles per instruction.
+    pub cpi_eff: f64,
+    /// LLC misses (demand + prefetch) per 1000 instructions.
+    pub mpki: f64,
+    /// Average demand-miss penalty in nanoseconds.
+    pub miss_penalty_ns: f64,
+    /// Average demand-miss penalty in core cycles.
+    pub miss_penalty_cycles: f64,
+    /// Writebacks as a fraction of LLC misses (+ non-temporal stores folded
+    /// in, which can push it above 1.0, cf. NITS in Tab. 2).
+    pub wbr: f64,
+    /// Delivered memory bandwidth in GB/s over the window.
+    pub bandwidth_gbps: f64,
+    /// CPU utilization (busy / wall) in `[0, 1]`.
+    pub cpu_utilization: f64,
+    /// Retired instructions in the window (all threads).
+    pub instructions: u64,
+    /// `MPI × MP` in cycles — the x-axis of the Fig. 3 calibration fits.
+    pub latency_per_instruction: f64,
+    /// Fraction of cache accesses satisfied in L1 (Jia et al.-style
+    /// per-level characterization).
+    pub l1_hit_ratio: f64,
+    /// Fraction of L1 misses satisfied in L2.
+    pub l2_hit_ratio: f64,
+    /// Fraction of L2 misses satisfied in the LLC.
+    pub llc_hit_ratio: f64,
+}
+
+impl Measurement {
+    /// Derives a measurement from summed core counters, memory statistics,
+    /// a wall-clock window, and the core clock.
+    ///
+    /// Returns `None` when no instructions retired in the window.
+    pub fn derive(
+        cores: &CoreCounters,
+        mem: &MemStats,
+        wall_ns: f64,
+        clock_ghz: f64,
+        thread_count: u32,
+    ) -> Option<Measurement> {
+        if cores.instructions == 0 || wall_ns <= 0.0 {
+            return None;
+        }
+        let cycles = cores.busy_ns * clock_ghz;
+        let cpi_eff = cycles / cores.instructions as f64;
+        let mpki = cores.llc_total_misses() as f64 / cores.instructions as f64 * 1000.0;
+        let mp_ns = if cores.demand_miss_samples == 0 {
+            0.0
+        } else {
+            cores.demand_miss_latency_ns / cores.demand_miss_samples as f64
+        };
+        let misses = cores.llc_total_misses();
+        let wbr = if misses == 0 {
+            0.0
+        } else {
+            (cores.writebacks + cores.nt_stores) as f64 / misses as f64
+        };
+        let bandwidth_gbps = mem.total_bytes() as f64 / wall_ns;
+        let cpu_utilization = (cores.busy_ns / (wall_ns * thread_count as f64)).clamp(0.0, 1.0);
+        let ratio = |hit: u64, miss: u64| {
+            if hit + miss == 0 {
+                0.0
+            } else {
+                hit as f64 / (hit + miss) as f64
+            }
+        };
+        let below_l1 = cores.l2_hits + cores.llc_hits + cores.llc_demand_misses;
+        let below_l2 = cores.llc_hits + cores.llc_demand_misses;
+        Some(Measurement {
+            cpi_eff,
+            mpki,
+            miss_penalty_ns: mp_ns,
+            miss_penalty_cycles: mp_ns * clock_ghz,
+            wbr,
+            bandwidth_gbps,
+            cpu_utilization,
+            instructions: cores.instructions,
+            latency_per_instruction: mpki / 1000.0 * mp_ns * clock_ghz,
+            l1_hit_ratio: ratio(cores.l1_hits, below_l1),
+            l2_hit_ratio: ratio(cores.l2_hits, below_l2),
+            llc_hit_ratio: ratio(cores.llc_hits, cores.llc_demand_misses),
+        })
+    }
+}
+
+/// One row of a sampled characterization time series (Figs. 2/4/5).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sample {
+    /// Window start, seconds of simulated time.
+    pub time_s: f64,
+    /// Derived metrics for the window.
+    pub measurement: Measurement,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counters() -> CoreCounters {
+        CoreCounters {
+            instructions: 1_000_000,
+            busy_ns: 500_000.0,
+            idle_ns: 0.0,
+            llc_demand_misses: 5_000,
+            prefetch_fills: 600,
+            writebacks: 1_800,
+            nt_stores: 0,
+            demand_miss_latency_ns: 5_000.0 * 90.0,
+            demand_miss_samples: 5_000,
+            io_bytes: 0,
+            ..CoreCounters::default()
+        }
+    }
+
+    #[test]
+    fn derive_basic_metrics() {
+        let mem = MemStats {
+            reads: 5_600,
+            writes: 1_800,
+            read_bytes: 5_600 * 64,
+            write_bytes: 1_800 * 64,
+            ..MemStats::default()
+        };
+        let m = Measurement::derive(&counters(), &mem, 500_000.0, 2.0, 1).unwrap();
+        assert!((m.cpi_eff - 1.0).abs() < 1e-12, "1e6 cycles / 1e6 instr");
+        assert!((m.mpki - 5.6).abs() < 1e-12);
+        assert!((m.miss_penalty_ns - 90.0).abs() < 1e-12);
+        assert!((m.miss_penalty_cycles - 180.0).abs() < 1e-12);
+        assert!((m.wbr - 1800.0 / 5600.0).abs() < 1e-12);
+        assert!((m.bandwidth_gbps - (7_400 * 64) as f64 / 500_000.0).abs() < 1e-12);
+        assert_eq!(m.cpu_utilization, 1.0);
+        assert!((m.latency_per_instruction - 0.0056 * 180.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_level_hit_ratios() {
+        let mut c = counters();
+        c.l1_hits = 900_000;
+        c.l2_hits = 60_000;
+        c.llc_hits = 20_000;
+        c.llc_demand_misses = 5_000;
+        let m = Measurement::derive(&c, &MemStats::default(), 500_000.0, 2.0, 1).unwrap();
+        assert!((m.l1_hit_ratio - 900_000.0 / 985_000.0).abs() < 1e-12);
+        assert!((m.l2_hit_ratio - 60_000.0 / 85_000.0).abs() < 1e-12);
+        assert!((m.llc_hit_ratio - 20_000.0 / 25_000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn derive_handles_idle() {
+        let mut c = counters();
+        c.busy_ns = 350_000.0;
+        c.idle_ns = 150_000.0;
+        let m = Measurement::derive(&c, &MemStats::default(), 500_000.0, 2.0, 1).unwrap();
+        assert!((m.cpu_utilization - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn derive_empty_returns_none() {
+        let c = CoreCounters::default();
+        assert!(Measurement::derive(&c, &MemStats::default(), 1000.0, 2.0, 1).is_none());
+        assert!(Measurement::derive(&counters(), &MemStats::default(), 0.0, 2.0, 1).is_none());
+    }
+
+    #[test]
+    fn nt_stores_push_wbr_above_one() {
+        let mut c = counters();
+        c.prefetch_fills = 0;
+        c.nt_stores = 6_000;
+        c.writebacks = 0;
+        let m = Measurement::derive(&c, &MemStats::default(), 500_000.0, 2.0, 1).unwrap();
+        assert!(m.wbr > 1.0, "WBR {} must exceed 100%", m.wbr);
+    }
+
+    #[test]
+    fn delta_and_merge_roundtrip() {
+        let a = counters();
+        let mut b = counters();
+        b.instructions += 500;
+        b.busy_ns += 100.0;
+        b.llc_demand_misses += 7;
+        let d = b.delta(&a);
+        assert_eq!(d.instructions, 500);
+        assert_eq!(d.busy_ns, 100.0);
+        assert_eq!(d.llc_demand_misses, 7);
+        let mut acc = a;
+        acc.merge(&d);
+        assert_eq!(acc, b);
+    }
+
+    #[test]
+    fn total_misses_counts_prefetch() {
+        let c = counters();
+        assert_eq!(c.llc_total_misses(), 5_600);
+    }
+
+    #[test]
+    fn no_misses_zero_wbr_and_mp() {
+        let c = CoreCounters {
+            instructions: 100,
+            busy_ns: 100.0,
+            ..CoreCounters::default()
+        };
+        let m = Measurement::derive(&c, &MemStats::default(), 100.0, 1.0, 1).unwrap();
+        assert_eq!(m.wbr, 0.0);
+        assert_eq!(m.miss_penalty_ns, 0.0);
+        assert_eq!(m.mpki, 0.0);
+    }
+}

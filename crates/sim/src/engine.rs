@@ -1,0 +1,1021 @@
+//! The multicore simulation engine.
+//!
+//! [`Machine`] assembles per-thread cores (instruction window, MSHRs, cache
+//! hierarchy, stream prefetcher), a shared [`MemoryController`], and I/O
+//! injection, then interleaves threads in simulated-time order. Memory-level
+//! parallelism — and therefore the blocking factor the calibration recovers —
+//! *emerges* from the window/MSHR limits and the dependence structure of the
+//! instruction stream, rather than being dialed in.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+use crate::cache::{CacheHierarchy, HitLevel};
+use crate::config::SimConfig;
+use crate::counters::{CoreCounters, Measurement, Sample};
+use crate::mem::MemoryController;
+use crate::prefetch::StreamPrefetcher;
+use crate::tlb::Tlb;
+use crate::trace::{AccessKind, BoxedStream};
+use crate::SimError;
+
+/// Fraction of the hit latency an *independent* access exposes to the core
+/// (the pipeline overlaps most of it); dependent accesses expose all of it.
+const INDEPENDENT_HIT_EXPOSURE: f64 = 0.25;
+
+/// Maximum prefetched lines in flight per core before the prefetcher backs
+/// off (models the prefetch queue of the real part).
+const MAX_PENDING_PREFETCHES: usize = 64;
+
+/// Ops executed per scheduling quantum before re-electing the laggard core.
+const BATCH_OPS: u32 = 32;
+
+struct Core {
+    stream: BoxedStream,
+    hierarchy: CacheHierarchy,
+    prefetcher: StreamPrefetcher,
+    tlb: Tlb,
+    /// Simulated time of this thread, ns.
+    time_ns: f64,
+    counters: CoreCounters,
+    /// Outstanding independent misses: (completion ns, retired index).
+    outstanding: VecDeque<(f64, u64)>,
+    /// Prefetched lines (line address → memory completion time).
+    pending_prefetch: HashMap<u64, f64>,
+    io_credit: f64,
+    io_toggle: bool,
+    /// Instructions retired per phase label (Sec. IV.D weights, measured).
+    phase_instructions: BTreeMap<String, u64>,
+}
+
+/// A background DMA agent: device traffic (storage, NIC) that hits memory
+/// at a fixed rate independent of instruction progress — the explicit form
+/// of the paper's I/O terms, usable to study analytics under storage
+/// pressure.
+#[derive(Debug, Clone)]
+struct BackgroundAgent {
+    rate_gbps: f64,
+    read_fraction: f64,
+    next_ns: f64,
+    addr_state: u64,
+    socket: usize,
+}
+
+/// A simulated multicore machine bound to one instruction stream per thread.
+pub struct Machine {
+    config: SimConfig,
+    cores: Vec<Core>,
+    /// One controller per socket (exactly one for non-NUMA configs).
+    memory: Vec<MemoryController>,
+    background: Vec<BackgroundAgent>,
+    cycle_ns: f64,
+    issue_ns: f64,
+}
+
+/// Routes a request to its home socket's controller, charging interconnect
+/// hops for remote accesses. Free function so `step_core` can call it while
+/// holding a mutable borrow of a core.
+fn numa_request(
+    config: &SimConfig,
+    memory: &mut [MemoryController],
+    core_socket: usize,
+    now_ns: f64,
+    addr: u64,
+    write: bool,
+) -> crate::mem::MemResponse {
+    let sockets = memory.len();
+    let home = if sockets == 1 {
+        0
+    } else if config.numa.interleaved {
+        // Interleave at 4 KiB granularity across sockets, hashed so strided
+        // patterns don't alias.
+        let page = addr >> 12;
+        ((page ^ (page >> 7)) % sockets as u64) as usize
+    } else {
+        core_socket
+    };
+    let hop = if home == core_socket {
+        0.0
+    } else {
+        2.0 * config.numa.hop_ns
+    };
+    let mut resp = memory[home].request(now_ns + hop * 0.5, addr, write);
+    resp.complete_ns += hop * 0.5;
+    resp.latency_ns += hop;
+    resp
+}
+
+impl Machine {
+    /// Builds a machine running `streams[i]` on hardware thread `i`.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::InvalidConfig`] if the configuration fails validation.
+    /// * [`SimError::StreamCountMismatch`] if `streams.len()` differs from
+    ///   `config.cores`.
+    pub fn new(config: SimConfig, streams: Vec<BoxedStream>) -> Result<Self, SimError> {
+        config.validate()?;
+        if streams.len() != config.cores as usize {
+            return Err(SimError::StreamCountMismatch {
+                cores: config.cores,
+                streams: streams.len(),
+            });
+        }
+        let cycle_ns = 1.0 / config.core_clock_ghz;
+        let issue_ns = cycle_ns / config.issue_width as f64;
+        let cores = streams
+            .into_iter()
+            .map(|stream| Core {
+                stream,
+                hierarchy: CacheHierarchy::new(&config),
+                prefetcher: StreamPrefetcher::new(config.prefetch, config.line_size),
+                tlb: Tlb::new(config.tlb),
+                time_ns: 0.0,
+                counters: CoreCounters::default(),
+                outstanding: VecDeque::new(),
+                pending_prefetch: HashMap::new(),
+                io_credit: 0.0,
+                io_toggle: false,
+                phase_instructions: BTreeMap::new(),
+            })
+            .collect();
+        let memory = (0..config.numa.sockets)
+            .map(|_| MemoryController::new(config.memory, config.line_size))
+            .collect();
+        Ok(Machine {
+            config,
+            cores,
+            memory,
+            background: Vec::new(),
+            cycle_ns,
+            issue_ns,
+        })
+    }
+
+    /// The machine's configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Attaches a background DMA agent injecting `rate_gbps` of device
+    /// traffic (a `read_fraction` share of reads) into `socket`'s memory,
+    /// starting at the current simulated time. Models storage/NIC pressure
+    /// that is independent of instruction progress.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the rate is not positive, the fraction is outside
+    /// `[0, 1]`, or the socket index is out of range.
+    pub fn add_background_traffic(&mut self, rate_gbps: f64, read_fraction: f64, socket: usize) {
+        assert!(rate_gbps > 0.0 && rate_gbps.is_finite(), "rate must be > 0");
+        assert!((0.0..=1.0).contains(&read_fraction), "fraction in [0, 1]");
+        assert!(socket < self.memory.len(), "socket out of range");
+        let start = self.now_ns().max(0.0);
+        self.background.push(BackgroundAgent {
+            rate_gbps,
+            read_fraction,
+            next_ns: start,
+            addr_state: 0xb6_0000_0000 ^ (self.background.len() as u64) << 40,
+            socket,
+        });
+    }
+
+    /// Services background agents up to `deadline_ns`.
+    fn run_background_until(&mut self, deadline_ns: f64) {
+        let line = self.config.line_size as f64;
+        for agent in &mut self.background {
+            let interval = line / agent.rate_gbps; // ns between lines
+            while agent.next_ns < deadline_ns {
+                agent.addr_state = agent
+                    .addr_state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let addr = (0xb0_0000_0000u64 + (agent.addr_state % (1 << 30))) & !63;
+                let write = (agent.addr_state >> 32) as f64 / u32::MAX as f64
+                    >= agent.read_fraction;
+                self.memory[agent.socket].request(agent.next_ns, addr, write);
+                agent.next_ns += interval;
+            }
+        }
+    }
+
+    /// Summed counters across all threads.
+    pub fn total_counters(&self) -> CoreCounters {
+        let mut total = CoreCounters::default();
+        for c in &self.cores {
+            total.merge(&c.counters);
+        }
+        total
+    }
+
+    /// Per-thread counters.
+    pub fn core_counters(&self) -> Vec<CoreCounters> {
+        self.cores.iter().map(|c| c.counters).collect()
+    }
+
+    /// Memory-controller statistics, summed across sockets.
+    pub fn memory_stats(&self) -> crate::mem::MemStats {
+        let mut total = crate::mem::MemStats::default();
+        for m in &self.memory {
+            let s = m.stats();
+            total.reads += s.reads;
+            total.writes += s.writes;
+            total.read_bytes += s.read_bytes;
+            total.write_bytes += s.write_bytes;
+            total.total_read_latency_ns += s.total_read_latency_ns;
+            total.bus_busy_ns += s.bus_busy_ns;
+            total.row_hits += s.row_hits;
+            total.row_conflicts += s.row_conflicts;
+        }
+        total
+    }
+
+    /// Per-socket memory statistics.
+    pub fn socket_memory_stats(&self) -> Vec<crate::mem::MemStats> {
+        self.memory.iter().map(|m| m.stats()).collect()
+    }
+
+    /// Instructions retired per phase label, summed across threads — the
+    /// empirical Sec. IV.D phase weights.
+    pub fn phase_instruction_counts(&self) -> BTreeMap<String, u64> {
+        let mut total: BTreeMap<String, u64> = BTreeMap::new();
+        for core in &self.cores {
+            for (phase, n) in &core.phase_instructions {
+                *total.entry(phase.clone()).or_insert(0) += n;
+            }
+        }
+        total
+    }
+
+    fn socket_of(&self, core_idx: usize) -> usize {
+        core_idx * self.config.numa.sockets as usize / self.cores.len()
+    }
+
+    /// Current simulated time: the laggard thread's clock (ns).
+    pub fn now_ns(&self) -> f64 {
+        self.cores
+            .iter()
+            .map(|c| c.time_ns)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Runs until every thread has retired at least `ops_per_core`
+    /// additional instructions. Used for warm-up.
+    pub fn run_ops(&mut self, ops_per_core: u64) {
+        let targets: Vec<u64> = self
+            .cores
+            .iter()
+            .map(|c| c.counters.instructions + ops_per_core)
+            .collect();
+        loop {
+            let mut best: Option<(usize, f64)> = None;
+            for (i, c) in self.cores.iter().enumerate() {
+                if c.counters.instructions < targets[i] {
+                    match best {
+                        Some((_, t)) if c.time_ns >= t => {}
+                        _ => best = Some((i, c.time_ns)),
+                    }
+                }
+            }
+            let Some((idx, t)) = best else { break };
+            if !self.background.is_empty() {
+                self.run_background_until(t);
+            }
+            let remaining = targets[idx] - self.cores[idx].counters.instructions;
+            self.step_core(idx, BATCH_OPS.min(remaining as u32).max(1));
+        }
+    }
+
+    /// Runs until every thread's clock reaches `deadline_ns` (absolute).
+    pub fn run_until_ns(&mut self, deadline_ns: f64) {
+        loop {
+            let mut best: Option<(usize, f64)> = None;
+            for (i, c) in self.cores.iter().enumerate() {
+                if c.time_ns < deadline_ns {
+                    match best {
+                        Some((_, t)) if c.time_ns >= t => {}
+                        _ => best = Some((i, c.time_ns)),
+                    }
+                }
+            }
+            let Some((idx, t)) = best else { break };
+            if !self.background.is_empty() {
+                self.run_background_until(t);
+            }
+            self.step_core(idx, BATCH_OPS);
+        }
+    }
+
+    /// Runs `window_ns` of simulated time and derives one [`Measurement`]
+    /// over that window.
+    ///
+    /// Returns `None` if no instruction retired in the window (a fully idle
+    /// machine).
+    pub fn measure_for_ns(&mut self, window_ns: f64) -> Option<Measurement> {
+        let start = self.now_ns();
+        let before_cores = self.total_counters();
+        let before_mem = self.memory_stats();
+        self.run_until_ns(start + window_ns);
+        let cores = self.total_counters().delta(&before_cores);
+        let mem = self.memory_stats().delta(&before_mem);
+        Measurement::derive(
+            &cores,
+            &mem,
+            window_ns,
+            self.config.core_clock_ghz,
+            self.config.cores,
+        )
+    }
+
+    /// Collects `count` consecutive samples of `interval_ns` each — the
+    /// Figs. 2/4/5 characterization time series.
+    pub fn sample_series(&mut self, interval_ns: f64, count: usize) -> Vec<Sample> {
+        let mut out = Vec::with_capacity(count);
+        for k in 0..count {
+            let t = self.now_ns();
+            if let Some(measurement) = self.measure_for_ns(interval_ns) {
+                out.push(Sample {
+                    time_s: t / 1e9,
+                    measurement,
+                });
+            } else {
+                let _ = k;
+            }
+        }
+        out
+    }
+
+    fn step_core(&mut self, idx: usize, ops: u32) {
+        let socket = self.socket_of(idx);
+        let config = &self.config;
+        let core = &mut self.cores[idx];
+        let rob = config.rob_size as u64;
+        let mshrs = config.mshrs as usize;
+
+        for _ in 0..ops {
+            let op = core.stream.next_op();
+
+            if op.idle {
+                let dur = op.extra_cycles as f64 * self.cycle_ns;
+                core.time_ns += dur;
+                core.counters.idle_ns += dur;
+                continue;
+            }
+
+            // Issue slot + extra compute latency.
+            let op_start_ns = core.time_ns;
+            let mut advance = self.issue_ns + op.extra_cycles as f64 * self.cycle_ns;
+
+            // I/O traffic owed by this thread's device activity.
+            core.io_credit += core.stream.io_bytes_per_instruction();
+            while core.io_credit >= config.line_size as f64 {
+                core.io_credit -= config.line_size as f64;
+                let io_addr = core.counters.io_bytes
+                    .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                    & !(config.line_size as u64 - 1);
+                let write = core.io_toggle;
+                core.io_toggle = !core.io_toggle;
+                numa_request(config, &mut self.memory, socket, core.time_ns, io_addr, write);
+                core.counters.io_bytes += config.line_size as u64;
+            }
+
+            if let Some((addr, kind)) = op.access {
+                let is_store = !matches!(kind, AccessKind::Load { .. });
+                let dependent = matches!(kind, AccessKind::Load { dependent: true });
+
+                // Address translation: a DTLB miss stalls for the walk.
+                if !core.tlb.access(addr) {
+                    let walk = core.tlb.walk_cycles() as f64 * self.cycle_ns;
+                    advance += walk;
+                    core.counters.stall_ns += walk;
+                    core.counters.tlb_misses += 1;
+                }
+
+                if matches!(kind, AccessKind::NonTemporalStore) {
+                    numa_request(config, &mut self.memory, socket, core.time_ns, addr, true);
+                    core.counters.nt_stores += 1;
+                } else {
+                    let res = core.hierarchy.access(addr, is_store);
+                    match res.level {
+                        HitLevel::L1 => core.counters.l1_hits += 1,
+                        HitLevel::L2 => {
+                            core.counters.l2_hits += 1;
+                            let lat = core.hierarchy.l2_hit_latency as f64 * self.cycle_ns;
+                            advance += if dependent {
+                                lat
+                            } else {
+                                lat * INDEPENDENT_HIT_EXPOSURE
+                            };
+                            let line = addr >> config.line_size.trailing_zeros();
+                            if let Some(ready) = core.pending_prefetch.remove(&line) {
+                                if dependent {
+                                    let t = core.time_ns + advance;
+                                    if ready > t {
+                                        core.counters.stall_ns += ready - t;
+                                        advance += ready - t;
+                                    }
+                                } else if ready > core.time_ns {
+                                    core.outstanding
+                                        .push_back((ready, core.counters.instructions));
+                                }
+                                Self::issue_prefetches(
+                                    config,
+                                    &mut self.memory,
+                                    socket,
+                                    core,
+                                    addr,
+                                );
+                            }
+                        }
+                        HitLevel::Llc => {
+                            core.counters.llc_hits += 1;
+                            let lat = core.hierarchy.llc_hit_latency as f64 * self.cycle_ns;
+                            advance += if dependent {
+                                lat
+                            } else {
+                                lat * INDEPENDENT_HIT_EXPOSURE
+                            };
+                            // A hit on a still-in-flight prefetched line
+                            // exposes the remaining memory latency.
+                            let line = addr >> config.line_size.trailing_zeros();
+                            if let Some(ready) = core.pending_prefetch.remove(&line) {
+                                if dependent {
+                                    let t = core.time_ns + advance;
+                                    if ready > t {
+                                        core.counters.stall_ns += ready - t;
+                                        advance += ready - t;
+                                    }
+                                } else if ready > core.time_ns {
+                                    core.outstanding
+                                        .push_back((ready, core.counters.instructions));
+                                }
+                                // Keep the stream running ahead.
+                                Self::issue_prefetches(
+                                    config,
+                                    &mut self.memory,
+                                    socket,
+                                    core,
+                                    addr,
+                                );
+                            }
+                        }
+                        HitLevel::Memory => {
+                            core.counters.llc_demand_misses += 1;
+                            if let Some(victim) = res.memory_writeback {
+                                numa_request(
+                                    config,
+                                    &mut self.memory,
+                                    socket,
+                                    core.time_ns,
+                                    victim,
+                                    true,
+                                );
+                                core.counters.writebacks += 1;
+                            }
+                            Self::issue_prefetches(config, &mut self.memory, socket, core, addr);
+
+                            // Retire completed misses, then respect MSHRs.
+                            while let Some(&(done, _)) = core.outstanding.front() {
+                                if done <= core.time_ns {
+                                    core.outstanding.pop_front();
+                                } else {
+                                    break;
+                                }
+                            }
+                            if core.outstanding.len() >= mshrs {
+                                let (done, _) =
+                                    core.outstanding.pop_front().expect("len >= mshrs >= 1");
+                                if done > core.time_ns {
+                                    core.counters.stall_ns += done - core.time_ns;
+                                    core.time_ns = done;
+                                }
+                            }
+
+                            let resp = numa_request(
+                                config,
+                                &mut self.memory,
+                                socket,
+                                core.time_ns,
+                                addr,
+                                false,
+                            );
+                            if !is_store {
+                                core.counters.demand_miss_latency_ns += resp.latency_ns;
+                                core.counters.demand_miss_samples += 1;
+                            }
+
+                            if dependent {
+                                // Pointer chase: the core cannot proceed.
+                                let stall = resp.complete_ns - core.time_ns;
+                                core.counters.stall_ns += stall.max(0.0);
+                                core.time_ns = resp.complete_ns.max(core.time_ns);
+                            } else if !is_store {
+                                core.outstanding
+                                    .push_back((resp.complete_ns, core.counters.instructions));
+                            }
+                            // Stores retire via the store buffer: traffic
+                            // counted, no core stall.
+                        }
+                    }
+                }
+            }
+
+            // Reorder-window limit: the core may run at most `rob` retired
+            // instructions past the oldest incomplete miss.
+            while let Some(&(done, ridx)) = core.outstanding.front() {
+                if done <= core.time_ns {
+                    core.outstanding.pop_front();
+                } else if core.counters.instructions.saturating_sub(ridx) >= rob {
+                    core.counters.stall_ns += done - core.time_ns;
+                    core.time_ns = done;
+                    core.outstanding.pop_front();
+                } else {
+                    break;
+                }
+            }
+
+            core.time_ns += advance;
+            core.counters.busy_ns += core.time_ns - op_start_ns;
+            core.counters.instructions += 1;
+            *core
+                .phase_instructions
+                .entry(core.stream.phase().to_string())
+                .or_insert(0) += 1;
+        }
+    }
+
+    fn issue_prefetches(
+        config: &SimConfig,
+        memory: &mut [MemoryController],
+        socket: usize,
+        core: &mut Core,
+        addr: u64,
+    ) {
+        if core.pending_prefetch.len() >= MAX_PENDING_PREFETCHES {
+            return;
+        }
+        let line_shift = config.line_size.trailing_zeros();
+        for pf_addr in core.prefetcher.on_miss(addr) {
+            if core.hierarchy.llc_contains(pf_addr) {
+                continue;
+            }
+            let resp = numa_request(config, memory, socket, core.time_ns, pf_addr, false);
+            if let Some(victim) = core.hierarchy.install_prefetch(pf_addr) {
+                numa_request(config, memory, socket, core.time_ns, victim, true);
+                core.counters.writebacks += 1;
+            }
+            core.counters.prefetch_fills += 1;
+            core.pending_prefetch
+                .insert(pf_addr >> line_shift, resp.complete_ns);
+            if core.pending_prefetch.len() >= MAX_PENDING_PREFETCHES {
+                break;
+            }
+        }
+    }
+}
+
+impl core::fmt::Debug for Machine {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Machine")
+            .field("cores", &self.cores.len())
+            .field("now_ns", &self.now_ns())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{InstructionStream, Op, PatternStream};
+
+    fn machine_with(pattern: Vec<Op>, cores: u32) -> Machine {
+        let cfg = SimConfig::xeon_like(cores);
+        let streams: Vec<BoxedStream> = (0..cores)
+            .map(|_| Box::new(PatternStream::new(pattern.clone())) as BoxedStream)
+            .collect();
+        Machine::new(cfg, streams).unwrap()
+    }
+
+    #[test]
+    fn stream_count_must_match() {
+        let cfg = SimConfig::xeon_like(2);
+        let streams: Vec<BoxedStream> =
+            vec![Box::new(PatternStream::new(vec![Op::compute()]))];
+        assert!(matches!(
+            Machine::new(cfg, streams),
+            Err(SimError::StreamCountMismatch { cores: 2, streams: 1 })
+        ));
+    }
+
+    #[test]
+    fn pure_compute_hits_issue_width_cpi() {
+        let mut m = machine_with(vec![Op::compute()], 1);
+        m.run_ops(10_000);
+        let c = m.total_counters();
+        let cpi = c.busy_ns * m.config().core_clock_ghz / c.instructions as f64;
+        assert!((cpi - 0.25).abs() < 0.01, "4-wide issue → CPI 0.25, got {cpi}");
+    }
+
+    #[test]
+    fn heavy_compute_raises_cpi() {
+        let mut m = machine_with(vec![Op::compute(), Op::compute_heavy(3)], 1);
+        m.run_ops(10_000);
+        let c = m.total_counters();
+        let cpi = c.busy_ns * m.config().core_clock_ghz / c.instructions as f64;
+        // (0.25 + 3.25) / 2 = 1.75
+        assert!((cpi - 1.75).abs() < 0.02, "got {cpi}");
+    }
+
+    #[test]
+    fn idle_ops_counted_as_idle_not_instructions() {
+        let mut m = machine_with(vec![Op::compute(), Op::idle(100)], 1);
+        m.run_ops(100);
+        let c = m.total_counters();
+        assert!(c.idle_ns > 0.0);
+        assert_eq!(c.instructions, 100);
+    }
+
+    #[test]
+    fn l1_resident_loads_do_not_miss() {
+        // Two lines, hammered forever: everything after warmup is an L1 hit.
+        let mut m = machine_with(vec![Op::load(0), Op::load(64)], 1);
+        m.run_ops(10_000);
+        let c = m.total_counters();
+        assert!(c.llc_demand_misses <= 2);
+        assert!(c.l1_hits > 9_900);
+    }
+
+    #[test]
+    fn random_dependent_loads_expose_memory_latency() {
+        // A pointer chase over a footprint far larger than the LLC: CPI must
+        // approach the full memory latency per access.
+        struct Chase {
+            addr: u64,
+        }
+        impl InstructionStream for Chase {
+            fn next_op(&mut self) -> Op {
+                self.addr = self.addr.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let a = self.addr % (64 * 1024 * 1024);
+                Op::dependent_load(a & !63)
+            }
+        }
+        let cfg = SimConfig::xeon_like(1);
+        let mut m = Machine::new(cfg, vec![Box::new(Chase { addr: 1 })]).unwrap();
+        m.run_ops(20_000);
+        let c = m.total_counters();
+        let cpi = c.busy_ns * m.config().core_clock_ghz / c.instructions as f64;
+        // ~75 ns × 2.7 GHz ≈ 200 cycles per chased load.
+        assert!(cpi > 100.0, "pointer chase CPI {cpi}");
+        assert!(c.llc_demand_misses > 15_000);
+    }
+
+    #[test]
+    fn independent_loads_overlap() {
+        // Random independent loads: MLP ≈ MSHR count, CPI far below the
+        // dependent-chase case.
+        struct RandLoad {
+            addr: u64,
+        }
+        impl InstructionStream for RandLoad {
+            fn next_op(&mut self) -> Op {
+                self.addr = self.addr.wrapping_mul(6364136223846793005).wrapping_add(99);
+                let a = self.addr % (64 * 1024 * 1024);
+                Op::load(a & !63)
+            }
+        }
+        let cfg = SimConfig::xeon_like(1);
+        let mut m = Machine::new(cfg, vec![Box::new(RandLoad { addr: 7 })]).unwrap();
+        m.run_ops(20_000);
+        let c = m.total_counters();
+        let cpi = c.busy_ns * m.config().core_clock_ghz / c.instructions as f64;
+        assert!(cpi < 60.0, "independent loads must overlap, CPI {cpi}");
+    }
+
+    #[test]
+    fn sequential_scan_mostly_prefetched() {
+        struct Scan {
+            addr: u64,
+        }
+        impl InstructionStream for Scan {
+            fn next_op(&mut self) -> Op {
+                self.addr += 64;
+                Op::load(self.addr % (256 * 1024 * 1024))
+            }
+        }
+        let cfg = SimConfig::xeon_like(1);
+        let mut m = Machine::new(cfg, vec![Box::new(Scan { addr: 0 })]).unwrap();
+        m.run_ops(50_000);
+        let c = m.total_counters();
+        assert!(
+            c.prefetch_fills > c.llc_demand_misses,
+            "prefetches {} should dominate demand misses {}",
+            c.prefetch_fills,
+            c.llc_demand_misses
+        );
+        let cpi = c.busy_ns * m.config().core_clock_ghz / c.instructions as f64;
+        assert!(cpi < 30.0, "prefetched scan CPI {cpi}");
+    }
+
+    #[test]
+    fn prefetcher_off_hurts_scan() {
+        struct Scan {
+            addr: u64,
+        }
+        impl InstructionStream for Scan {
+            fn next_op(&mut self) -> Op {
+                self.addr += 64;
+                Op::load(self.addr % (256 * 1024 * 1024))
+            }
+        }
+        let on_cfg = SimConfig::xeon_like(1);
+        let off_cfg = SimConfig::xeon_like(1).with_prefetcher(false);
+        let mut on = Machine::new(on_cfg, vec![Box::new(Scan { addr: 0 })]).unwrap();
+        let mut off = Machine::new(off_cfg, vec![Box::new(Scan { addr: 0 })]).unwrap();
+        on.run_ops(30_000);
+        off.run_ops(30_000);
+        let cpi = |m: &Machine| {
+            let c = m.total_counters();
+            c.busy_ns * m.config().core_clock_ghz / c.instructions as f64
+        };
+        assert!(cpi(&off) > cpi(&on) * 1.3, "off {} vs on {}", cpi(&off), cpi(&on));
+    }
+
+    #[test]
+    fn writebacks_flow_from_dirty_stores() {
+        struct StoreScan {
+            addr: u64,
+        }
+        impl InstructionStream for StoreScan {
+            fn next_op(&mut self) -> Op {
+                self.addr += 64;
+                Op::store(self.addr % (64 * 1024 * 1024))
+            }
+        }
+        let cfg = SimConfig::xeon_like(1);
+        let mut m = Machine::new(cfg, vec![Box::new(StoreScan { addr: 0 })]).unwrap();
+        m.run_ops(50_000);
+        let c = m.total_counters();
+        assert!(c.writebacks > 1_000, "dirty evictions: {}", c.writebacks);
+        assert!(m.memory_stats().writes >= c.writebacks);
+    }
+
+    #[test]
+    fn nt_stores_generate_write_traffic_without_caching() {
+        struct NtScan {
+            addr: u64,
+        }
+        impl InstructionStream for NtScan {
+            fn next_op(&mut self) -> Op {
+                self.addr += 64;
+                Op::nt_store(self.addr)
+            }
+        }
+        let cfg = SimConfig::xeon_like(1);
+        let mut m = Machine::new(cfg, vec![Box::new(NtScan { addr: 0 })]).unwrap();
+        m.run_ops(5_000);
+        let c = m.total_counters();
+        assert_eq!(c.nt_stores, 5_000);
+        assert_eq!(m.memory_stats().writes, 5_000);
+        assert_eq!(c.llc_demand_misses, 0);
+    }
+
+    #[test]
+    fn io_traffic_injected() {
+        let pattern = PatternStream::new(vec![Op::compute()]).with_io_rate(32.0);
+        let cfg = SimConfig::xeon_like(1);
+        let mut m = Machine::new(cfg, vec![Box::new(pattern)]).unwrap();
+        m.run_ops(1_000);
+        let c = m.total_counters();
+        // 32 B/instr × 1000 instr = 32 000 B = 500 lines.
+        assert_eq!(c.io_bytes, 32_000);
+        assert_eq!(m.memory_stats().total_bytes(), 32_000);
+    }
+
+    #[test]
+    fn measure_window_produces_metrics() {
+        let mut m = machine_with(vec![Op::compute(), Op::load(0)], 2);
+        m.run_ops(1_000);
+        let meas = m.measure_for_ns(10_000.0).expect("instructions retired");
+        assert!(meas.cpi_eff > 0.0);
+        assert!(meas.cpu_utilization > 0.9);
+        assert!(meas.instructions > 0);
+    }
+
+    #[test]
+    fn sample_series_advances_time() {
+        let mut m = machine_with(vec![Op::compute()], 1);
+        let samples = m.sample_series(1_000.0, 5);
+        assert_eq!(samples.len(), 5);
+        for w in samples.windows(2) {
+            assert!(w[1].time_s > w[0].time_s);
+        }
+    }
+
+    #[test]
+    fn multicore_contention_raises_latency() {
+        // The same random-load stream on 1 vs 16 threads: shared channels
+        // must show higher average miss latency under load.
+        struct RandLoad {
+            addr: u64,
+        }
+        impl InstructionStream for RandLoad {
+            fn next_op(&mut self) -> Op {
+                self.addr = self.addr.wrapping_mul(6364136223846793005).wrapping_add(99);
+                Op::load((self.addr % (64 * 1024 * 1024)) & !63)
+            }
+        }
+        let one = {
+            let cfg = SimConfig::xeon_like(1);
+            let mut m = Machine::new(cfg, vec![Box::new(RandLoad { addr: 3 })]).unwrap();
+            m.run_ops(10_000);
+            let c = m.total_counters();
+            c.demand_miss_latency_ns / c.demand_miss_samples as f64
+        };
+        let many = {
+            let cfg = SimConfig::xeon_like(16);
+            let streams: Vec<BoxedStream> = (0..16)
+                .map(|i| Box::new(RandLoad { addr: 3 + i }) as BoxedStream)
+                .collect();
+            let mut m = Machine::new(cfg, streams).unwrap();
+            m.run_ops(10_000);
+            let c = m.total_counters();
+            c.demand_miss_latency_ns / c.demand_miss_samples as f64
+        };
+        assert!(
+            many > one * 1.2,
+            "16-thread latency {many} must exceed 1-thread {one}"
+        );
+    }
+
+    #[test]
+    fn tlb_misses_slow_scattered_access() {
+        struct PageHopper {
+            page: u64,
+        }
+        impl InstructionStream for PageHopper {
+            fn next_op(&mut self) -> Op {
+                self.page = self.page.wrapping_add(1);
+                // One access per page over a huge footprint, but always the
+                // same line within the L1 set — cache hits, TLB misses.
+                Op::load((self.page % 100_000) << 12)
+            }
+        }
+        let without = {
+            let cfg = SimConfig::xeon_like(1);
+            let mut m = Machine::new(cfg, vec![Box::new(PageHopper { page: 0 })]).unwrap();
+            m.run_ops(5_000);
+            m.total_counters()
+        };
+        let with = {
+            let cfg = SimConfig::xeon_like(1).with_tlb(crate::tlb::TlbConfig::dtlb_64());
+            let mut m = Machine::new(cfg, vec![Box::new(PageHopper { page: 0 })]).unwrap();
+            m.run_ops(5_000);
+            m.total_counters()
+        };
+        assert_eq!(without.tlb_misses, 0);
+        assert!(with.tlb_misses > 4_000, "page hopping misses the TLB: {}", with.tlb_misses);
+        assert!(with.busy_ns > without.busy_ns * 1.1, "walks cost time");
+    }
+
+    #[test]
+    fn numa_interleaved_slower_than_local() {
+        use crate::config::NumaSimConfig;
+        struct RandLoad {
+            addr: u64,
+        }
+        impl InstructionStream for RandLoad {
+            fn next_op(&mut self) -> Op {
+                self.addr = self.addr.wrapping_mul(6364136223846793005).wrapping_add(17);
+                Op::dependent_load((self.addr % (32 * 1024 * 1024)) & !63)
+            }
+        }
+        let run = |numa: NumaSimConfig| {
+            let cfg = SimConfig::xeon_like(4).with_numa(numa);
+            let streams: Vec<BoxedStream> = (0..4)
+                .map(|i| Box::new(RandLoad { addr: 11 + i }) as BoxedStream)
+                .collect();
+            let mut m = Machine::new(cfg, streams).unwrap();
+            m.run_ops(5_000);
+            let c = m.total_counters();
+            c.demand_miss_latency_ns / c.demand_miss_samples as f64
+        };
+        let local = run(NumaSimConfig::dual_socket(false));
+        let interleaved = run(NumaSimConfig::dual_socket(true));
+        // Interleaved placement sends ~half the misses across the 2×30 ns
+        // hop: average latency rises by roughly 30 ns.
+        assert!(
+            interleaved > local + 15.0,
+            "interleaved {interleaved} vs local {local}"
+        );
+    }
+
+    #[test]
+    fn numa_socket_stats_split() {
+        use crate::config::NumaSimConfig;
+        let cfg = SimConfig::xeon_like(4).with_numa(NumaSimConfig::dual_socket(true));
+        let streams: Vec<BoxedStream> = (0..4)
+            .map(|_| Box::new(PatternStream::new(vec![Op::nt_store(0), Op::compute()])) as BoxedStream)
+            .collect();
+        let mut m = Machine::new(cfg, streams).unwrap();
+        m.run_ops(2_000);
+        let per_socket = m.socket_memory_stats();
+        assert_eq!(per_socket.len(), 2);
+        let total = m.memory_stats();
+        assert_eq!(
+            per_socket.iter().map(|s| s.writes).sum::<u64>(),
+            total.writes
+        );
+    }
+
+    #[test]
+    fn numa_validation_rejects_odd_split() {
+        use crate::config::NumaSimConfig;
+        let mut cfg = SimConfig::xeon_like(3);
+        cfg.numa = NumaSimConfig::dual_socket(true);
+        assert!(cfg.validate().is_err(), "3 cores over 2 sockets rejected");
+    }
+
+    #[test]
+    fn phase_instruction_counts_attributed() {
+        struct Phased {
+            n: u64,
+        }
+        impl InstructionStream for Phased {
+            fn next_op(&mut self) -> Op {
+                self.n += 1;
+                Op::compute()
+            }
+            fn phase(&self) -> &str {
+                // next_op has already advanced n for the op being counted.
+                if self.n.is_multiple_of(4) {
+                    "minor"
+                } else {
+                    "major"
+                }
+            }
+        }
+        let cfg = SimConfig::xeon_like(1);
+        let mut m = Machine::new(cfg, vec![Box::new(Phased { n: 0 })]).unwrap();
+        m.run_ops(4_000);
+        let counts = m.phase_instruction_counts();
+        let major = counts["major"];
+        let minor = counts["minor"];
+        assert_eq!(major + minor, 4_000);
+        assert!((major as f64 / minor as f64 - 3.0).abs() < 0.1, "{major}/{minor}");
+    }
+
+    #[test]
+    fn background_traffic_slows_foreground() {
+        struct Chase {
+            addr: u64,
+        }
+        impl InstructionStream for Chase {
+            fn next_op(&mut self) -> Op {
+                self.addr = self.addr.wrapping_mul(6364136223846793005).wrapping_add(3);
+                Op::dependent_load((self.addr % (32 * 1024 * 1024)) & !63)
+            }
+        }
+        let run = |bg: Option<f64>| {
+            let cfg = SimConfig::xeon_like(2);
+            let streams: Vec<BoxedStream> = (0..2)
+                .map(|i| Box::new(Chase { addr: 5 + i }) as BoxedStream)
+                .collect();
+            let mut m = Machine::new(cfg, streams).unwrap();
+            if let Some(rate) = bg {
+                m.add_background_traffic(rate, 0.5, 0);
+            }
+            m.run_ops(8_000);
+            let c = m.total_counters();
+            (
+                c.busy_ns * m.config().core_clock_ghz / c.instructions as f64,
+                m.memory_stats().total_bytes(),
+            )
+        };
+        let (quiet_cpi, quiet_bytes) = run(None);
+        let (loud_cpi, loud_bytes) = run(Some(25.0));
+        assert!(
+            loud_cpi > quiet_cpi * 1.05,
+            "25 GB/s of DMA must slow a pointer chase: {quiet_cpi} -> {loud_cpi}"
+        );
+        assert!(loud_bytes > quiet_bytes * 2, "DMA bytes visible in the controller");
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be > 0")]
+    fn background_rejects_zero_rate() {
+        let cfg = SimConfig::xeon_like(1);
+        let mut m =
+            Machine::new(cfg, vec![Box::new(PatternStream::new(vec![Op::compute()]))]).unwrap();
+        m.add_background_traffic(0.0, 0.5, 0);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let mut m = machine_with(vec![Op::compute(), Op::load(0), Op::store(4096)], 4);
+            m.run_ops(5_000);
+            let c = m.total_counters();
+            (c.instructions, c.busy_ns.to_bits(), c.llc_demand_misses)
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,244 @@
+//! Two-tier memory for the simulator (paper Sec. VII).
+//!
+//! The paper's Eq. 5 models hierarchical memories analytically; this module
+//! lets the simulator *measure* one: a DRAM-cache "near tier" (a large
+//! set-associative array of cache lines with its own access latency) in
+//! front of a slower "far tier" (non-volatile or remote memory). LLC misses
+//! first probe the near tier; near-tier misses pay the far latency and
+//! install into the near tier, evicting (and, when dirty, writing back)
+//! older lines.
+//!
+//! The tier sits in front of a [`MemoryController`], so far-tier accesses
+//! still experience channel/bank queueing — the far tier is typically
+//! narrower as well as slower.
+
+use crate::cache::{Lookup, SetAssocCache};
+use crate::config::{CacheConfig, MemoryConfig};
+use crate::mem::{MemResponse, MemoryController};
+
+/// Configuration of a two-tier memory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TieredMemConfig {
+    /// Near-tier capacity in bytes (a DRAM cache).
+    pub near_capacity: usize,
+    /// Near-tier associativity.
+    pub near_ways: usize,
+    /// Loaded latency of a near-tier hit (ns) — flat, the near tier is
+    /// assumed to have abundant bandwidth.
+    pub near_latency_ns: f64,
+    /// Far-tier channel timing (typically fewer/slower channels).
+    pub far: MemoryConfig,
+}
+
+impl TieredMemConfig {
+    /// A scaled-down demo: 256 KiB near tier at 60 ns over a 2-channel
+    /// far tier with 300 ns-class latency.
+    pub fn dram_cache_over_nvm() -> Self {
+        let mut far = MemoryConfig::ddr3_1333();
+        far.channels = 2;
+        far.bank_access_ns = 250.0;
+        far.controller_overhead_ns = 45.0;
+        TieredMemConfig {
+            near_capacity: 256 * 1024,
+            near_ways: 16,
+            near_latency_ns: 60.0,
+            far,
+        }
+    }
+}
+
+/// Statistics of the tier.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TierStats {
+    /// Requests satisfied by the near tier.
+    pub near_hits: u64,
+    /// Requests that went to the far tier.
+    pub far_accesses: u64,
+    /// Dirty near-tier victims written back to the far tier.
+    pub writebacks: u64,
+}
+
+impl TierStats {
+    /// Near-tier hit fraction in `[0, 1]` (0 when unused).
+    pub fn hit_fraction(&self) -> f64 {
+        let total = self.near_hits + self.far_accesses;
+        if total == 0 {
+            0.0
+        } else {
+            self.near_hits as f64 / total as f64
+        }
+    }
+}
+
+/// A near tier fronting a far-tier memory controller.
+#[derive(Debug, Clone)]
+pub struct TieredMemory {
+    near: SetAssocCache,
+    near_latency_ns: f64,
+    far: MemoryController,
+    stats: TierStats,
+}
+
+impl TieredMemory {
+    /// Builds the tier; geometry must satisfy the usual power-of-two set
+    /// constraint.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid near-tier geometry (non-power-of-two set count).
+    pub fn new(config: &TieredMemConfig, line_size: usize) -> Self {
+        let near_cfg = CacheConfig {
+            capacity: config.near_capacity,
+            ways: config.near_ways,
+            hit_latency: 0, // latency carried separately in ns
+        };
+        TieredMemory {
+            near: SetAssocCache::new(&near_cfg, line_size),
+            near_latency_ns: config.near_latency_ns,
+            far: MemoryController::new(config.far, line_size),
+            stats: TierStats::default(),
+        }
+    }
+
+    /// Serves a request at `now_ns`, returning its completion.
+    pub fn request(&mut self, now_ns: f64, addr: u64, write: bool) -> MemResponse {
+        match self.near.access(addr, write) {
+            Lookup::Hit => {
+                self.stats.near_hits += 1;
+                MemResponse {
+                    complete_ns: now_ns + self.near_latency_ns,
+                    latency_ns: self.near_latency_ns,
+                }
+            }
+            Lookup::Miss { writeback } => {
+                self.stats.far_accesses += 1;
+                if let Some(victim) = writeback {
+                    self.stats.writebacks += 1;
+                    self.far.request(now_ns, victim, true);
+                }
+                // Fetch from the far tier; the near tier's fill latency is
+                // folded into the far access.
+                self.far.request(now_ns, addr, write)
+            }
+        }
+    }
+
+    /// Tier statistics.
+    pub fn stats(&self) -> TierStats {
+        self.stats
+    }
+
+    /// Far-tier controller statistics.
+    pub fn far_stats(&self) -> crate::mem::MemStats {
+        self.far.stats()
+    }
+
+    /// Average observed latency across near and far accesses so far (ns).
+    pub fn average_latency_ns(&self) -> f64 {
+        let far = self.far_stats();
+        let total = self.stats.near_hits + far.reads;
+        if total == 0 {
+            return 0.0;
+        }
+        (self.stats.near_hits as f64 * self.near_latency_ns + far.total_read_latency_ns)
+            / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tier() -> TieredMemory {
+        TieredMemory::new(&TieredMemConfig::dram_cache_over_nvm(), 64)
+    }
+
+    #[test]
+    fn first_access_goes_far_then_near() {
+        let mut t = tier();
+        let cold = t.request(0.0, 0x10_0000, false);
+        assert!(cold.latency_ns > 200.0, "cold miss pays far latency: {}", cold.latency_ns);
+        let warm = t.request(cold.complete_ns, 0x10_0000, false);
+        assert!((warm.latency_ns - 60.0).abs() < 1e-9, "near hit: {}", warm.latency_ns);
+        assert_eq!(t.stats().near_hits, 1);
+        assert_eq!(t.stats().far_accesses, 1);
+    }
+
+    #[test]
+    fn working_set_within_near_tier_hits() {
+        let mut t = tier();
+        let lines = 256 * 1024 / 64 / 2; // half the near capacity
+        let mut now = 0.0;
+        for round in 0..3 {
+            for i in 0..lines as u64 {
+                let r = t.request(now, i * 64, false);
+                now = r.complete_ns;
+                if round > 0 {
+                    assert!((r.latency_ns - 60.0).abs() < 1e-9, "round {round}");
+                }
+            }
+        }
+        assert!(t.stats().hit_fraction() > 0.6);
+    }
+
+    #[test]
+    fn streaming_beyond_capacity_mostly_far() {
+        let mut t = tier();
+        let mut now = 0.0;
+        for i in 0..20_000u64 {
+            let r = t.request(now, i * 64, false);
+            now = r.complete_ns;
+        }
+        assert!(t.stats().hit_fraction() < 0.05, "{}", t.stats().hit_fraction());
+    }
+
+    #[test]
+    fn dirty_near_victims_written_back_to_far() {
+        let mut t = tier();
+        let lines = (256 * 1024 / 64) as u64;
+        let mut now = 0.0;
+        // Dirty the whole near tier, then stream reads to evict it.
+        for i in 0..lines {
+            now = t.request(now, i * 64, true).complete_ns;
+        }
+        for i in lines..(lines * 3) {
+            now = t.request(now, i * 64, false).complete_ns;
+        }
+        assert!(t.stats().writebacks > lines / 2, "{:?}", t.stats());
+        assert!(t.far_stats().writes >= t.stats().writebacks);
+    }
+
+    #[test]
+    fn average_latency_between_tiers() {
+        let mut t = tier();
+        let mut now = 0.0;
+        // A mix: hot set (hits) + cold streaming (misses).
+        for i in 0..5_000u64 {
+            let addr = if i % 2 == 0 { (i % 64) * 64 } else { (100_000 + i) * 64 };
+            now = t.request(now, addr, false).complete_ns;
+        }
+        let avg = t.average_latency_ns();
+        assert!(avg > 60.0 && avg < 400.0, "avg {avg}");
+    }
+
+    #[test]
+    fn eq5_predicts_measured_average_latency() {
+        // Cross-check with the analytic Eq. 5 machinery: the measured
+        // average latency matches hit_fraction × near + (1 − h) × far_avg.
+        let mut t = tier();
+        let mut now = 0.0;
+        for i in 0..10_000u64 {
+            let addr = if i % 3 != 0 { (i % 400) * 64 } else { (50_000 + i) * 64 };
+            now = t.request(now, addr, false).complete_ns;
+        }
+        let h = t.stats().hit_fraction();
+        let far = t.far_stats();
+        let far_avg = far.total_read_latency_ns / far.reads as f64;
+        let predicted = h * 60.0 + (1.0 - h) * far_avg;
+        let measured = t.average_latency_ns();
+        assert!(
+            (predicted - measured).abs() / measured < 0.02,
+            "Eq. 5 style mix: predicted {predicted} vs measured {measured}"
+        );
+    }
+}

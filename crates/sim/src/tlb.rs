@@ -1,0 +1,191 @@
+//! Data-TLB model (optional fidelity feature).
+//!
+//! The paper cites page-table overheads for big data (Basu et al. \[11\]) as
+//! related work but does not model them; the simulator offers an optional
+//! DTLB so the effect can be studied: a fully-pragmatic set-associative TLB
+//! whose misses cost a fixed page-walk penalty plus, optionally, memory
+//! traffic. Disabled by default (`TlbConfig::disabled`) so the calibrated
+//! workload parameters are unaffected unless explicitly enabled.
+
+/// TLB configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlbConfig {
+    /// Number of entries; 0 disables the TLB entirely.
+    pub entries: usize,
+    /// Page size shift (12 → 4 KiB pages).
+    pub page_shift: u32,
+    /// Core cycles a page walk stalls the pipeline.
+    pub walk_cycles: u32,
+}
+
+impl TlbConfig {
+    /// No TLB modeling (the default).
+    pub fn disabled() -> Self {
+        TlbConfig {
+            entries: 0,
+            page_shift: 12,
+            walk_cycles: 0,
+        }
+    }
+
+    /// A Sandy-Bridge-era DTLB: 64 entries, 4 KiB pages, ~30-cycle walks
+    /// (scaled to the simulator's reduced cache latencies).
+    pub fn dtlb_64() -> Self {
+        TlbConfig {
+            entries: 64,
+            page_shift: 12,
+            walk_cycles: 30,
+        }
+    }
+
+    /// Whether the TLB is modeled at all.
+    pub fn enabled(&self) -> bool {
+        self.entries > 0
+    }
+}
+
+impl Default for TlbConfig {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+/// A fully-associative TLB with LRU replacement (small enough that full
+/// associativity is both accurate and fast).
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    config: TlbConfig,
+    entries: Vec<(u64, u64)>, // (page, last_use)
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl Tlb {
+    /// Creates a TLB from its configuration.
+    pub fn new(config: TlbConfig) -> Self {
+        Tlb {
+            config,
+            entries: Vec::with_capacity(config.entries),
+            clock: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Translates `addr`; returns `true` on a hit, `false` on a miss (the
+    /// caller charges [`TlbConfig::walk_cycles`]). A disabled TLB always
+    /// hits.
+    pub fn access(&mut self, addr: u64) -> bool {
+        if !self.config.enabled() {
+            return true;
+        }
+        self.clock += 1;
+        let page = addr >> self.config.page_shift;
+        if let Some(e) = self.entries.iter_mut().find(|(p, _)| *p == page) {
+            e.1 = self.clock;
+            self.hits += 1;
+            return true;
+        }
+        self.misses += 1;
+        if self.entries.len() == self.config.entries {
+            let lru = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, t))| *t)
+                .map(|(i, _)| i)
+                .expect("non-empty");
+            self.entries.swap_remove(lru);
+        }
+        self.entries.push((page, self.clock));
+        false
+    }
+
+    /// Configured walk penalty in cycles.
+    pub fn walk_cycles(&self) -> u32 {
+        self.config.walk_cycles
+    }
+
+    /// `(hits, misses)` counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Miss ratio in `[0, 1]`; 0 when never accessed or disabled.
+    pub fn miss_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tlb_always_hits() {
+        let mut t = Tlb::new(TlbConfig::disabled());
+        for i in 0..100u64 {
+            assert!(t.access(i * 4096));
+        }
+        assert_eq!(t.stats(), (0, 0));
+        assert_eq!(t.miss_ratio(), 0.0);
+    }
+
+    #[test]
+    fn first_touch_misses_then_hits() {
+        let mut t = Tlb::new(TlbConfig::dtlb_64());
+        assert!(!t.access(0x1000));
+        assert!(t.access(0x1000));
+        assert!(t.access(0x1fff), "same page");
+        assert!(!t.access(0x2000), "next page");
+        assert_eq!(t.stats(), (2, 2));
+    }
+
+    #[test]
+    fn lru_eviction_beyond_capacity() {
+        let cfg = TlbConfig {
+            entries: 4,
+            page_shift: 12,
+            walk_cycles: 30,
+        };
+        let mut t = Tlb::new(cfg);
+        for p in 0..4u64 {
+            t.access(p << 12);
+        }
+        t.access(0); // refresh page 0
+        t.access(4 << 12); // evicts page 1 (LRU)
+        assert!(t.access(0), "page 0 retained");
+        assert!(!t.access(1 << 12), "page 1 evicted");
+    }
+
+    #[test]
+    fn working_set_within_capacity_never_misses_again() {
+        let mut t = Tlb::new(TlbConfig::dtlb_64());
+        for round in 0..3 {
+            for p in 0..64u64 {
+                let hit = t.access(p << 12);
+                if round > 0 {
+                    assert!(hit, "round {round} page {p}");
+                }
+            }
+        }
+        assert_eq!(t.stats().1, 64, "only compulsory misses");
+    }
+
+    #[test]
+    fn miss_ratio_of_streaming() {
+        let mut t = Tlb::new(TlbConfig::dtlb_64());
+        // Touch 1000 distinct pages once each: everything misses.
+        for p in 0..1000u64 {
+            t.access(p << 12);
+        }
+        assert!((t.miss_ratio() - 1.0).abs() < 1e-12);
+        assert_eq!(t.walk_cycles(), 30);
+    }
+}

@@ -1,0 +1,239 @@
+//! The instruction-stream abstraction between workloads and the engine.
+//!
+//! A workload is an infinite generator of [`Op`]s — retired instructions with
+//! optional memory or I/O side effects. The engine pulls one op at a time per
+//! hardware thread; phase labels let samplers attribute counters to workload
+//! phases (paper Sec. IV.D).
+
+/// Kind of memory access an instruction performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A load. `dependent` loads cannot issue until every older outstanding
+    /// miss has completed (pointer chasing); independent loads overlap.
+    Load {
+        /// Whether the load serializes behind outstanding misses.
+        dependent: bool,
+    },
+    /// A store (write-allocate, written back on eviction).
+    Store,
+    /// A non-temporal store: bypasses the cache hierarchy and writes straight
+    /// to memory (the NITS workload's >100% writeback rate, paper Tab. 2).
+    NonTemporalStore,
+}
+
+/// One retired instruction — or, when `idle` is set, a halted interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Op {
+    /// Extra execution cycles this instruction costs beyond the pipelined
+    /// `1 / issue_width` (data dependencies, long-latency ALU ops, …).
+    /// This is what gives each workload its distinct `CPI_cache`.
+    /// For idle ops, this is the halted duration in cycles.
+    pub extra_cycles: u32,
+    /// Optional memory access: byte address and kind.
+    pub access: Option<(u64, AccessKind)>,
+    /// When true, the op represents halted time: the thread is idle for
+    /// `extra_cycles` and *no instruction retires*. Used to model the
+    /// sub-100% CPU utilization of Spark or web caching (paper Figs. 2/4)
+    /// without diluting CPI — the paper notes halted idle "does not include
+    /// spinning … and thus the CPI is not diluted" (Sec. V.J).
+    pub idle: bool,
+}
+
+impl Op {
+    /// A plain single-slot compute instruction.
+    pub fn compute() -> Self {
+        Op {
+            extra_cycles: 0,
+            access: None,
+            idle: false,
+        }
+    }
+
+    /// A compute instruction with extra latency cycles.
+    pub fn compute_heavy(extra_cycles: u32) -> Self {
+        Op {
+            extra_cycles,
+            access: None,
+            idle: false,
+        }
+    }
+
+    /// A halted interval of `cycles` core cycles (no instruction retires).
+    pub fn idle(cycles: u32) -> Self {
+        Op {
+            extra_cycles: cycles,
+            access: None,
+            idle: true,
+        }
+    }
+
+    /// An independent (overlappable) load.
+    pub fn load(addr: u64) -> Self {
+        Op {
+            extra_cycles: 0,
+            access: Some((addr, AccessKind::Load { dependent: false })),
+            idle: false,
+        }
+    }
+
+    /// A dependent load: serializes behind all outstanding misses.
+    pub fn dependent_load(addr: u64) -> Self {
+        Op {
+            extra_cycles: 0,
+            access: Some((addr, AccessKind::Load { dependent: true })),
+            idle: false,
+        }
+    }
+
+    /// A cacheable store.
+    pub fn store(addr: u64) -> Self {
+        Op {
+            extra_cycles: 0,
+            access: Some((addr, AccessKind::Store)),
+            idle: false,
+        }
+    }
+
+    /// A non-temporal store.
+    pub fn nt_store(addr: u64) -> Self {
+        Op {
+            extra_cycles: 0,
+            access: Some((addr, AccessKind::NonTemporalStore)),
+            idle: false,
+        }
+    }
+
+    /// Attaches extra compute cycles to any op.
+    pub fn with_extra_cycles(mut self, extra: u32) -> Self {
+        self.extra_cycles = extra;
+        self
+    }
+}
+
+/// An infinite instruction stream bound to one hardware thread.
+///
+/// Implementors are the workload generators in `memsense-workloads`; the
+/// engine never stores ops, it pulls them one at a time.
+pub trait InstructionStream {
+    /// Produces the next retired instruction.
+    fn next_op(&mut self) -> Op;
+
+    /// A short label for the currently executing phase ("scan", "probe",
+    /// "gc", …). Used by samplers; defaults to `"steady"`.
+    fn phase(&self) -> &str {
+        "steady"
+    }
+
+    /// I/O bytes of DMA traffic this thread's device activity should inject
+    /// per retired instruction (`IOPI × IOSZ` from Eq. 4). Zero by default.
+    fn io_bytes_per_instruction(&self) -> f64 {
+        0.0
+    }
+}
+
+/// A boxed stream, the form the engine consumes.
+pub type BoxedStream = Box<dyn InstructionStream>;
+
+/// A trivial stream for tests and micro-benchmarks: cycles through a fixed
+/// pattern of ops.
+#[derive(Debug, Clone)]
+pub struct PatternStream {
+    ops: Vec<Op>,
+    next: usize,
+    io_rate: f64,
+}
+
+impl PatternStream {
+    /// Creates a stream cycling through `ops` forever.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ops` is empty.
+    pub fn new(ops: Vec<Op>) -> Self {
+        assert!(!ops.is_empty(), "pattern must not be empty");
+        PatternStream {
+            ops,
+            next: 0,
+            io_rate: 0.0,
+        }
+    }
+
+    /// Sets the per-instruction I/O byte rate.
+    pub fn with_io_rate(mut self, bytes_per_instr: f64) -> Self {
+        self.io_rate = bytes_per_instr;
+        self
+    }
+}
+
+impl InstructionStream for PatternStream {
+    fn next_op(&mut self) -> Op {
+        let op = self.ops[self.next];
+        self.next = (self.next + 1) % self.ops.len();
+        op
+    }
+
+    fn io_bytes_per_instruction(&self) -> f64 {
+        self.io_rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_op() {
+        let op = Op::idle(100);
+        assert!(op.idle);
+        assert_eq!(op.extra_cycles, 100);
+        assert_eq!(op.access, None);
+    }
+
+    #[test]
+    fn with_extra_cycles_builder() {
+        let op = Op::load(64).with_extra_cycles(5);
+        assert_eq!(op.extra_cycles, 5);
+        assert!(op.access.is_some());
+    }
+
+    #[test]
+    fn constructors_set_kinds() {
+        assert_eq!(Op::compute().access, None);
+        assert_eq!(Op::compute_heavy(3).extra_cycles, 3);
+        assert!(matches!(
+            Op::load(64).access,
+            Some((64, AccessKind::Load { dependent: false }))
+        ));
+        assert!(matches!(
+            Op::dependent_load(128).access,
+            Some((128, AccessKind::Load { dependent: true }))
+        ));
+        assert!(matches!(Op::store(0).access, Some((0, AccessKind::Store))));
+        assert!(matches!(
+            Op::nt_store(0).access,
+            Some((0, AccessKind::NonTemporalStore))
+        ));
+    }
+
+    #[test]
+    fn pattern_cycles() {
+        let mut s = PatternStream::new(vec![Op::compute(), Op::load(64)]);
+        assert_eq!(s.next_op(), Op::compute());
+        assert_eq!(s.next_op(), Op::load(64));
+        assert_eq!(s.next_op(), Op::compute());
+        assert_eq!(s.phase(), "steady");
+        assert_eq!(s.io_bytes_per_instruction(), 0.0);
+    }
+
+    #[test]
+    fn pattern_io_rate() {
+        let s = PatternStream::new(vec![Op::compute()]).with_io_rate(0.5);
+        assert_eq!(s.io_bytes_per_instruction(), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "pattern must not be empty")]
+    fn empty_pattern_panics() {
+        let _ = PatternStream::new(vec![]);
+    }
+}

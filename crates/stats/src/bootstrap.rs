@@ -1,0 +1,171 @@
+//! Bootstrap confidence intervals for line fits.
+//!
+//! The calibration sweeps have only eight points, so the normal-theory
+//! standard error on the blocking factor can be optimistic. Case-resampling
+//! bootstrap gives a distribution-free alternative: refit on resampled
+//! point sets and take percentile intervals. Deterministic via an explicit
+//! seed, like everything else in memsense.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::ols::fit_line;
+use crate::StatsError;
+
+/// Result of a bootstrap over a line fit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BootstrapFit {
+    /// Point estimate of the slope (fit on the full data).
+    pub slope: f64,
+    /// Point estimate of the intercept.
+    pub intercept: f64,
+    /// Percentile confidence interval on the slope.
+    pub slope_ci: (f64, f64),
+    /// Percentile confidence interval on the intercept.
+    pub intercept_ci: (f64, f64),
+    /// Number of successful resamples behind the intervals.
+    pub resamples: usize,
+}
+
+/// Case-resampling bootstrap of a least-squares line fit.
+///
+/// Draws `resamples` datasets of the original size with replacement, refits
+/// each, and reports the `confidence` (e.g. `0.95`) percentile interval of
+/// the slope and intercept. Degenerate resamples (all-identical `x`) are
+/// skipped; at least half must succeed.
+///
+/// # Errors
+///
+/// * Propagates [`fit_line`] errors on the full dataset.
+/// * [`StatsError::InvalidParameter`] for `resamples == 0` or a confidence
+///   outside `(0, 1)`.
+/// * [`StatsError::NotEnoughData`] when too many resamples are degenerate.
+///
+/// # Examples
+///
+/// ```
+/// use memsense_stats::bootstrap::bootstrap_fit;
+/// let xs = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+/// let ys = [1.1, 1.9, 3.2, 3.8, 5.1, 6.1, 6.8, 8.2];
+/// let b = bootstrap_fit(&xs, &ys, 200, 0.95, 7).unwrap();
+/// assert!(b.slope_ci.0 < 1.0 && 1.0 < b.slope_ci.1);
+/// ```
+pub fn bootstrap_fit(
+    xs: &[f64],
+    ys: &[f64],
+    resamples: usize,
+    confidence: f64,
+    seed: u64,
+) -> Result<BootstrapFit, StatsError> {
+    if resamples == 0 {
+        return Err(StatsError::InvalidParameter("resamples must be > 0"));
+    }
+    if !(0.0 < confidence && confidence < 1.0) {
+        return Err(StatsError::InvalidParameter("confidence must be in (0, 1)"));
+    }
+    let full = fit_line(xs, ys)?;
+    let n = xs.len();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut slopes = Vec::with_capacity(resamples);
+    let mut intercepts = Vec::with_capacity(resamples);
+    let mut bx = vec![0.0; n];
+    let mut by = vec![0.0; n];
+    for _ in 0..resamples {
+        for i in 0..n {
+            let j = rng.gen_range(0..n);
+            bx[i] = xs[j];
+            by[i] = ys[j];
+        }
+        if let Ok(fit) = fit_line(&bx, &by) {
+            slopes.push(fit.slope);
+            intercepts.push(fit.intercept);
+        }
+    }
+    if slopes.len() < resamples / 2 {
+        return Err(StatsError::NotEnoughData {
+            needed: resamples / 2,
+            got: slopes.len(),
+        });
+    }
+    let alpha = (1.0 - confidence) / 2.0 * 100.0;
+    let slope_ci = (
+        crate::descriptive::percentile(&slopes, alpha)?,
+        crate::descriptive::percentile(&slopes, 100.0 - alpha)?,
+    );
+    let intercept_ci = (
+        crate::descriptive::percentile(&intercepts, alpha)?,
+        crate::descriptive::percentile(&intercepts, 100.0 - alpha)?,
+    );
+    Ok(BootstrapFit {
+        slope: full.slope,
+        intercept: full.intercept,
+        slope_ci,
+        intercept_ci,
+        resamples: slopes.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noisy_line() -> (Vec<f64>, Vec<f64>) {
+        let xs: Vec<f64> = (0..16).map(|i| i as f64 / 2.0).collect();
+        let noise = [0.08, -0.06, 0.02, -0.09, 0.05, -0.01, 0.07, -0.04];
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| 0.9 + 0.2 * x + noise[i % 8])
+            .collect();
+        (xs, ys)
+    }
+
+    #[test]
+    fn ci_covers_true_parameters() {
+        let (xs, ys) = noisy_line();
+        let b = bootstrap_fit(&xs, &ys, 500, 0.95, 42).unwrap();
+        assert!(b.slope_ci.0 < 0.2 && 0.2 < b.slope_ci.1, "{:?}", b.slope_ci);
+        assert!(
+            b.intercept_ci.0 < 0.9 && 0.9 < b.intercept_ci.1,
+            "{:?}",
+            b.intercept_ci
+        );
+        assert!(b.resamples >= 250);
+    }
+
+    #[test]
+    fn wider_confidence_wider_interval() {
+        let (xs, ys) = noisy_line();
+        let narrow = bootstrap_fit(&xs, &ys, 500, 0.80, 42).unwrap();
+        let wide = bootstrap_fit(&xs, &ys, 500, 0.99, 42).unwrap();
+        assert!(wide.slope_ci.1 - wide.slope_ci.0 >= narrow.slope_ci.1 - narrow.slope_ci.0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (xs, ys) = noisy_line();
+        let a = bootstrap_fit(&xs, &ys, 100, 0.95, 7).unwrap();
+        let b = bootstrap_fit(&xs, &ys, 100, 0.95, 7).unwrap();
+        assert_eq!(a, b);
+        let c = bootstrap_fit(&xs, &ys, 100, 0.95, 8).unwrap();
+        assert_ne!(a.slope_ci, c.slope_ci);
+    }
+
+    #[test]
+    fn exact_line_gives_degenerate_interval() {
+        let xs: Vec<f64> = (0..8).map(f64::from).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 1.0 + 2.0 * x).collect();
+        let b = bootstrap_fit(&xs, &ys, 200, 0.95, 1).unwrap();
+        assert!((b.slope_ci.0 - 2.0).abs() < 1e-9);
+        assert!((b.slope_ci.1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validation() {
+        let (xs, ys) = noisy_line();
+        assert!(bootstrap_fit(&xs, &ys, 0, 0.95, 1).is_err());
+        assert!(bootstrap_fit(&xs, &ys, 100, 0.0, 1).is_err());
+        assert!(bootstrap_fit(&xs, &ys, 100, 1.0, 1).is_err());
+        assert!(bootstrap_fit(&[1.0], &[1.0], 100, 0.95, 1).is_err());
+    }
+}

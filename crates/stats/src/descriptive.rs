@@ -1,0 +1,250 @@
+//! Descriptive statistics for counter samples.
+//!
+//! The characterization figures of the paper (Figs. 2, 4, 5) are time series
+//! of CPU utilization, CPI, and memory bandwidth. [`Summary`] condenses such a
+//! series into the statistics the paper discusses: the mean, the spread
+//! ("the vast majority of CPI samples are within a narrow range"), and the
+//! coefficient of variation used to validate the constant-pathlength
+//! assumption (Sec. V.B).
+
+use crate::StatsError;
+
+/// Summary statistics for a sample of `f64` values.
+///
+/// # Examples
+///
+/// ```
+/// use memsense_stats::Summary;
+/// let s = Summary::from_samples(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+/// assert_eq!(s.mean, 2.5);
+/// assert_eq!(s.min, 1.0);
+/// assert_eq!(s.max, 4.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (`n - 1` denominator; 0 for a single sample).
+    pub stddev: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Median (50th percentile, linear interpolation).
+    pub median: f64,
+    /// 5th percentile.
+    pub p05: f64,
+    /// 95th percentile.
+    pub p95: f64,
+}
+
+impl Summary {
+    /// Computes summary statistics over `samples`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::NotEnoughData`] when `samples` is empty.
+    pub fn from_samples(samples: &[f64]) -> Result<Self, StatsError> {
+        if samples.is_empty() {
+            return Err(StatsError::NotEnoughData { needed: 1, got: 0 });
+        }
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n as f64 - 1.0)
+        } else {
+            0.0
+        };
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in samples"));
+        Ok(Summary {
+            n,
+            mean,
+            stddev: var.sqrt(),
+            min: sorted[0],
+            max: sorted[n - 1],
+            median: percentile_sorted(&sorted, 50.0),
+            p05: percentile_sorted(&sorted, 5.0),
+            p95: percentile_sorted(&sorted, 95.0),
+        })
+    }
+
+    /// Coefficient of variation `stddev / mean`.
+    ///
+    /// Returns `f64::INFINITY` when the mean is zero but the spread is not,
+    /// and `0.0` when both are zero.
+    pub fn coefficient_of_variation(&self) -> f64 {
+        if self.mean == 0.0 {
+            if self.stddev == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.stddev / self.mean.abs()
+        }
+    }
+
+    /// Range between the 95th and 5th percentile, a robust spread measure.
+    pub fn p90_range(&self) -> f64 {
+        self.p95 - self.p05
+    }
+}
+
+/// Computes the `p`-th percentile (0–100) of `samples` using linear
+/// interpolation between order statistics.
+///
+/// # Errors
+///
+/// * [`StatsError::NotEnoughData`] when `samples` is empty.
+/// * [`StatsError::InvalidParameter`] when `p` is outside `[0, 100]`.
+///
+/// # Examples
+///
+/// ```
+/// let p = memsense_stats::descriptive::percentile(&[4.0, 1.0, 3.0, 2.0], 50.0).unwrap();
+/// assert_eq!(p, 2.5);
+/// ```
+pub fn percentile(samples: &[f64], p: f64) -> Result<f64, StatsError> {
+    if samples.is_empty() {
+        return Err(StatsError::NotEnoughData { needed: 1, got: 0 });
+    }
+    if !(0.0..=100.0).contains(&p) {
+        return Err(StatsError::InvalidParameter("percentile out of [0, 100]"));
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in samples"));
+    Ok(percentile_sorted(&sorted, p))
+}
+
+fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let rank = p / 100.0 * (n as f64 - 1.0);
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+/// Arithmetic mean of a sample.
+///
+/// # Errors
+///
+/// Returns [`StatsError::NotEnoughData`] when `samples` is empty.
+pub fn mean(samples: &[f64]) -> Result<f64, StatsError> {
+    if samples.is_empty() {
+        return Err(StatsError::NotEnoughData { needed: 1, got: 0 });
+    }
+    Ok(samples.iter().sum::<f64>() / samples.len() as f64)
+}
+
+/// Geometric mean of a sample of positive values.
+///
+/// Used for aggregating speedup ratios across workloads within a class.
+///
+/// # Errors
+///
+/// * [`StatsError::NotEnoughData`] when `samples` is empty.
+/// * [`StatsError::InvalidParameter`] when any sample is not positive.
+pub fn geometric_mean(samples: &[f64]) -> Result<f64, StatsError> {
+    if samples.is_empty() {
+        return Err(StatsError::NotEnoughData { needed: 1, got: 0 });
+    }
+    if samples.iter().any(|&x| x <= 0.0) {
+        return Err(StatsError::InvalidParameter(
+            "geometric mean requires positive samples",
+        ));
+    }
+    let log_sum: f64 = samples.iter().map(|x| x.ln()).sum();
+    Ok((log_sum / samples.len() as f64).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::from_samples(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert_eq!(s.n, 8);
+        assert_eq!(s.mean, 5.0);
+        assert!((s.stddev - 2.138089935).abs() < 1e-6);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert_eq!(s.median, 4.5);
+    }
+
+    #[test]
+    fn summary_single_sample() {
+        let s = Summary::from_samples(&[3.5]).unwrap();
+        assert_eq!(s.mean, 3.5);
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!(s.median, 3.5);
+        assert_eq!(s.p05, 3.5);
+        assert_eq!(s.p95, 3.5);
+    }
+
+    #[test]
+    fn summary_empty_rejected() {
+        assert!(Summary::from_samples(&[]).is_err());
+    }
+
+    #[test]
+    fn cv_zero_mean() {
+        let s = Summary::from_samples(&[-1.0, 1.0]).unwrap();
+        assert!(s.coefficient_of_variation().is_infinite());
+        let z = Summary::from_samples(&[0.0, 0.0]).unwrap();
+        assert_eq!(z.coefficient_of_variation(), 0.0);
+    }
+
+    #[test]
+    fn cv_regular() {
+        let s = Summary::from_samples(&[9.0, 10.0, 11.0]).unwrap();
+        assert!((s.coefficient_of_variation() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile(&xs, 0.0).unwrap(), 10.0);
+        assert_eq!(percentile(&xs, 100.0).unwrap(), 40.0);
+        assert_eq!(percentile(&xs, 50.0).unwrap(), 25.0);
+        assert!((percentile(&xs, 25.0).unwrap() - 17.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_rejects_bad_p() {
+        assert!(percentile(&[1.0], 101.0).is_err());
+        assert!(percentile(&[1.0], -0.1).is_err());
+        assert!(percentile(&[], 50.0).is_err());
+    }
+
+    #[test]
+    fn geometric_mean_of_ratios() {
+        let g = geometric_mean(&[2.0, 8.0]).unwrap();
+        assert!((g - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geometric_mean_rejects_nonpositive() {
+        assert!(geometric_mean(&[1.0, 0.0]).is_err());
+        assert!(geometric_mean(&[-1.0]).is_err());
+        assert!(geometric_mean(&[]).is_err());
+    }
+
+    #[test]
+    fn mean_empty_rejected() {
+        assert!(mean(&[]).is_err());
+    }
+
+    #[test]
+    fn p90_range() {
+        let s = Summary::from_samples(&(0..101).map(f64::from).collect::<Vec<_>>()).unwrap();
+        assert!((s.p90_range() - 90.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,224 @@
+//! Fixed-bin histograms.
+//!
+//! The characterization figures show *distributions* over time ("the vast
+//! majority of CPI samples are within a narrow range"); [`Histogram`] makes
+//! that statement quantitative and renderable in a terminal.
+
+use crate::StatsError;
+
+/// A histogram over `[min, max)` with uniform bins (plus outlier counters).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    min: f64,
+    max: f64,
+    bins: Vec<u64>,
+    below: u64,
+    above: u64,
+    count: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` uniform bins over `[min, max)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] when `bins` is zero or the
+    /// range is empty/non-finite.
+    pub fn new(min: f64, max: f64, bins: usize) -> Result<Self, StatsError> {
+        if bins == 0 {
+            return Err(StatsError::InvalidParameter("bins must be > 0"));
+        }
+        if !min.is_finite() || !max.is_finite() || min >= max {
+            return Err(StatsError::InvalidParameter("need finite min < max"));
+        }
+        Ok(Histogram {
+            min,
+            max,
+            bins: vec![0; bins],
+            below: 0,
+            above: 0,
+            count: 0,
+        })
+    }
+
+    /// Builds a histogram spanning the sample range exactly (widened by a
+    /// relative epsilon so the maximum lands in the last bin; constant
+    /// samples all land in one bin).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::NotEnoughData`] for an empty sample.
+    pub fn from_samples(samples: &[f64], bins: usize) -> Result<Self, StatsError> {
+        if samples.is_empty() {
+            return Err(StatsError::NotEnoughData { needed: 1, got: 0 });
+        }
+        let min = samples.iter().cloned().fold(f64::MAX, f64::min);
+        let max = samples.iter().cloned().fold(f64::MIN, f64::max);
+        // Relative widening keeps min < max representable even for constant
+        // or large-magnitude samples.
+        let pad = ((max - min) * 1e-9).max(max.abs().max(min.abs()).max(1.0) * 1e-9);
+        let mut h = Histogram::new(min, max + pad, bins)?;
+        for &s in samples {
+            h.add(s);
+        }
+        Ok(h)
+    }
+
+    /// Records one sample (out-of-range samples land in the outlier
+    /// counters).
+    pub fn add(&mut self, value: f64) {
+        self.count += 1;
+        if value < self.min {
+            self.below += 1;
+        } else if value >= self.max {
+            self.above += 1;
+        } else {
+            let n = self.bins.len();
+            let idx = ((value - self.min) / (self.max - self.min) * n as f64) as usize;
+            self.bins[idx.min(n - 1)] += 1;
+        }
+    }
+
+    /// Total samples recorded (including outliers).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Per-bin counts.
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// `(below_range, above_range)` outlier counts.
+    pub fn outliers(&self) -> (u64, u64) {
+        (self.below, self.above)
+    }
+
+    /// The `(lo, hi)` bounds of bin `i`.
+    pub fn bin_range(&self, i: usize) -> (f64, f64) {
+        let width = (self.max - self.min) / self.bins.len() as f64;
+        (self.min + width * i as f64, self.min + width * (i + 1) as f64)
+    }
+
+    /// Fraction of in-range samples inside the smallest window of
+    /// consecutive bins covering at least `fraction` of them — a direct
+    /// "how narrow is the range holding X% of samples" measure.
+    pub fn concentration(&self, fraction: f64) -> f64 {
+        let total: u64 = self.bins.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let need = (total as f64 * fraction).ceil() as u64;
+        let mut best = self.bins.len();
+        let mut lo = 0;
+        let mut acc = 0u64;
+        for hi in 0..self.bins.len() {
+            acc += self.bins[hi];
+            while acc >= need {
+                best = best.min(hi - lo + 1);
+                acc -= self.bins[lo];
+                lo += 1;
+            }
+        }
+        best as f64 / self.bins.len() as f64
+    }
+
+    /// Renders a compact vertical-bar sparkline (one char per bin).
+    pub fn sparkline(&self) -> String {
+        const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+        let max = self.bins.iter().max().copied().unwrap_or(0);
+        if max == 0 {
+            return "▁".repeat(self.bins.len());
+        }
+        self.bins
+            .iter()
+            .map(|&b| {
+                let lvl = (b as f64 / max as f64 * (LEVELS.len() - 1) as f64).round() as usize;
+                LEVELS[lvl]
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_fill_correctly() {
+        let mut h = Histogram::new(0.0, 10.0, 10).unwrap();
+        for v in [0.5, 1.5, 1.6, 9.9] {
+            h.add(v);
+        }
+        assert_eq!(h.bins()[0], 1);
+        assert_eq!(h.bins()[1], 2);
+        assert_eq!(h.bins()[9], 1);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.outliers(), (0, 0));
+    }
+
+    #[test]
+    fn outliers_counted() {
+        let mut h = Histogram::new(0.0, 1.0, 4).unwrap();
+        h.add(-1.0);
+        h.add(2.0);
+        h.add(1.0); // == max → above
+        assert_eq!(h.outliers(), (1, 2));
+        assert_eq!(h.count(), 3);
+    }
+
+    #[test]
+    fn from_samples_spans_range() {
+        let h = Histogram::from_samples(&[1.0, 2.0, 3.0, 4.0], 4).unwrap();
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.outliers(), (0, 0));
+        assert_eq!(h.bins().iter().sum::<u64>(), 4);
+    }
+
+    #[test]
+    fn bin_range_math() {
+        let h = Histogram::new(0.0, 10.0, 5).unwrap();
+        assert_eq!(h.bin_range(0), (0.0, 2.0));
+        assert_eq!(h.bin_range(4), (8.0, 10.0));
+    }
+
+    #[test]
+    fn concentration_narrow_vs_wide() {
+        // Narrow: all samples in one bin.
+        let mut narrow = Histogram::new(0.0, 10.0, 10).unwrap();
+        for _ in 0..100 {
+            narrow.add(5.1);
+        }
+        assert!((narrow.concentration(0.9) - 0.1).abs() < 1e-12);
+        // Wide: uniform across bins.
+        let mut wide = Histogram::new(0.0, 10.0, 10).unwrap();
+        for i in 0..100 {
+            wide.add(i as f64 / 10.0);
+        }
+        assert!(wide.concentration(0.9) >= 0.9);
+    }
+
+    #[test]
+    fn sparkline_shape() {
+        let mut h = Histogram::new(0.0, 3.0, 3).unwrap();
+        for _ in 0..8 {
+            h.add(0.5);
+        }
+        h.add(1.5);
+        let s = h.sparkline();
+        assert_eq!(s.chars().count(), 3);
+        assert!(s.starts_with('█'));
+    }
+
+    #[test]
+    fn invalid_construction() {
+        assert!(Histogram::new(0.0, 10.0, 0).is_err());
+        assert!(Histogram::new(5.0, 5.0, 4).is_err());
+        assert!(Histogram::new(f64::NAN, 1.0, 4).is_err());
+        assert!(Histogram::from_samples(&[], 4).is_err());
+        // Constant samples are fine via from_samples (relative widening).
+        let h = Histogram::from_samples(&[500.0, 500.0, 500.0], 4).unwrap();
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.outliers(), (0, 0));
+    }
+}

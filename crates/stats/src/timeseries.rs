@@ -1,0 +1,175 @@
+//! Sampled time series.
+//!
+//! The characterization methodology samples performance counters at a fixed
+//! interval (~100 ms for Figs. 2 and 4, ~1 s for Fig. 5) and reports derived
+//! metrics over time. [`TimeSeries`] is the container those samplers fill.
+
+use crate::descriptive::Summary;
+use crate::StatsError;
+
+/// A uniformly-sampled time series of `f64` values.
+///
+/// Samples are implicitly spaced `interval` seconds apart starting at
+/// `start`; the series stores only values, keeping memory proportional to the
+/// number of samples.
+///
+/// # Examples
+///
+/// ```
+/// use memsense_stats::TimeSeries;
+/// let mut ts = TimeSeries::new(0.0, 0.1);
+/// ts.push(1.0);
+/// ts.push(2.0);
+/// assert_eq!(ts.len(), 2);
+/// assert_eq!(ts.time_at(1), 0.1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeSeries {
+    start: f64,
+    interval: f64,
+    values: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series with samples `interval` seconds apart starting
+    /// at time `start` (seconds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is not strictly positive and finite.
+    pub fn new(start: f64, interval: f64) -> Self {
+        assert!(
+            interval > 0.0 && interval.is_finite(),
+            "interval must be positive and finite"
+        );
+        TimeSeries {
+            start,
+            interval,
+            values: Vec::new(),
+        }
+    }
+
+    /// Appends a sample.
+    pub fn push(&mut self, value: f64) {
+        self.values.push(value);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the series holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Sampling interval in seconds.
+    pub fn interval(&self) -> f64 {
+        self.interval
+    }
+
+    /// Timestamp (seconds) of the `i`-th sample.
+    pub fn time_at(&self, i: usize) -> f64 {
+        self.start + self.interval * i as f64
+    }
+
+    /// The sample values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Iterates over `(time, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
+        self.values
+            .iter()
+            .enumerate()
+            .map(move |(i, &v)| (self.time_at(i), v))
+    }
+
+    /// Summary statistics over the sample values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::NotEnoughData`] when the series is empty.
+    pub fn summary(&self) -> Result<Summary, StatsError> {
+        Summary::from_samples(&self.values)
+    }
+
+    /// Downsamples by averaging consecutive groups of `factor` samples
+    /// (a trailing partial group is averaged too). Used to render the 1 s
+    /// granularity of Fig. 5 from finer-grained simulation samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] when `factor` is zero.
+    pub fn downsample(&self, factor: usize) -> Result<TimeSeries, StatsError> {
+        if factor == 0 {
+            return Err(StatsError::InvalidParameter("factor must be > 0"));
+        }
+        let mut out = TimeSeries::new(self.start, self.interval * factor as f64);
+        for chunk in self.values.chunks(factor) {
+            out.push(chunk.iter().sum::<f64>() / chunk.len() as f64);
+        }
+        Ok(out)
+    }
+}
+
+impl Extend<f64> for TimeSeries {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        self.values.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_times() {
+        let mut ts = TimeSeries::new(1.0, 0.5);
+        ts.extend([10.0, 20.0, 30.0]);
+        assert_eq!(ts.len(), 3);
+        assert!(!ts.is_empty());
+        assert_eq!(ts.time_at(0), 1.0);
+        assert_eq!(ts.time_at(2), 2.0);
+        let pairs: Vec<_> = ts.iter().collect();
+        assert_eq!(pairs[1], (1.5, 20.0));
+    }
+
+    #[test]
+    fn summary_matches() {
+        let mut ts = TimeSeries::new(0.0, 1.0);
+        ts.extend([1.0, 3.0]);
+        let s = ts.summary().unwrap();
+        assert_eq!(s.mean, 2.0);
+    }
+
+    #[test]
+    fn empty_summary_err() {
+        let ts = TimeSeries::new(0.0, 1.0);
+        assert!(ts.summary().is_err());
+        assert!(ts.is_empty());
+    }
+
+    #[test]
+    fn downsample_averages() {
+        let mut ts = TimeSeries::new(0.0, 0.1);
+        ts.extend([1.0, 3.0, 5.0, 7.0, 9.0]);
+        let d = ts.downsample(2).unwrap();
+        assert_eq!(d.values(), &[2.0, 6.0, 9.0]);
+        assert!((d.interval() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn downsample_zero_rejected() {
+        let ts = TimeSeries::new(0.0, 0.1);
+        assert!(ts.downsample(0).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "interval must be positive")]
+    fn zero_interval_panics() {
+        let _ = TimeSeries::new(0.0, 0.0);
+    }
+}

@@ -1,0 +1,186 @@
+//! HPC proxy workloads: SPEC CPU2006 floating-point components
+//! (paper Sec. III.C, Tab. 5).
+//!
+//! Target calibrated parameters (class mean: CPI_cache 0.75, BF 0.07,
+//! MPKI 26.7, WBR 27%):
+//!
+//! | Component | CPI_cache | BF    | MPKI | WBR |
+//! |-----------|-----------|-------|------|-----|
+//! | bwaves    | ~0.70     | ~0.06 | 33   | 30% |
+//! | milc      | ~0.72     | ~0.08 | 30   | 28% |
+//! | soplex    | ~0.80     | ~0.09 | 21   | 25% |
+//! | wrf       | ~0.78     | ~0.05 | 22.8 | 25% |
+//!
+//! These codes stream through arrays far larger than the LLC with regular
+//! (unit-stride or small-stride) access — "the data access is also regular,
+//! making prefetching highly effective" (Sec. VI.A) — which is exactly what
+//! gives them enormous bandwidth demand and near-zero latency sensitivity.
+
+use crate::mix::{MixSpec, MixWorkload};
+
+/// 410.bwaves: blast-wave CFD. Dense unit-stride sweeps over multiple large
+/// state arrays with fused multiply-add chains.
+pub fn bwaves() -> MixSpec {
+    MixSpec {
+        seq_lines: 4.0,
+        loads_per_line: 4,
+        store_lines: 1.6,
+        compute: 145,
+        extra_dist: [0.72, 0.17, 0.07, 0.04, 0.0],
+        big_region: 64 * 1024 * 1024,
+        ..MixSpec::base("bwaves")
+    }
+}
+
+/// 433.milc: lattice QCD. Dense sweeps over the lattice (SU(3) matrix
+/// fields) with a small amount of gather traffic into neighbour tables.
+pub fn milc() -> MixSpec {
+    MixSpec {
+        seq_lines: 4.0,
+        loads_per_line: 4,
+        store_lines: 1.5,
+        indep_loads: 0.35,
+        compute: 165,
+        extra_dist: [0.70, 0.18, 0.08, 0.04, 0.0],
+        big_region: 64 * 1024 * 1024,
+        ..MixSpec::base("milc")
+    }
+}
+
+/// 450.soplex: simplex LP solver. Sparse-matrix column sweeps with
+/// irregular gathers into the constraint matrix.
+pub fn soplex() -> MixSpec {
+    MixSpec {
+        seq_lines: 3.0,
+        loads_per_line: 4,
+        store_lines: 0.9,
+        indep_loads: 0.2,
+        hot_loads: 4.0,
+        compute: 180,
+        extra_dist: [0.62, 0.20, 0.10, 0.08, 0.0],
+        big_region: 64 * 1024 * 1024,
+        ..MixSpec::base("soplex")
+    }
+}
+
+/// 481.wrf: weather stencil. Unit-stride sweeps over atmospheric state with
+/// heavier per-point arithmetic than bwaves.
+pub fn wrf() -> MixSpec {
+    MixSpec {
+        seq_lines: 3.4,
+        loads_per_line: 4,
+        store_lines: 0.9,
+        indep_loads: 0.15,
+        compute: 170,
+        extra_dist: [0.66, 0.20, 0.08, 0.06, 0.0],
+        big_region: 64 * 1024 * 1024,
+        ..MixSpec::base("wrf")
+    }
+}
+
+/// 453.povray-like ray tracer: almost entirely cache-resident — one of the
+/// core-bound SPEC components the paper plots near the origin of Fig. 6
+/// ("some components of the SPEC CPU suite also exhibit this
+/// characteristic").
+pub fn povray() -> MixSpec {
+    MixSpec {
+        seq_lines: 0.08,
+        loads_per_line: 4,
+        store_lines: 0.04,
+        hot_loads: 14.0,
+        compute: 420,
+        extra_dist: [0.58, 0.26, 0.10, 0.06, 0.0],
+        ..MixSpec::base("povray")
+    }
+}
+
+/// 400.perlbench-like interpreter: branchy, pointer-rich, but within the
+/// caches — the second core-bound SPEC component of Fig. 6's origin cluster.
+pub fn perlbench() -> MixSpec {
+    MixSpec {
+        seq_lines: 0.10,
+        loads_per_line: 4,
+        store_lines: 0.06,
+        hot_loads: 22.0,
+        compute: 380,
+        extra_dist: [0.48, 0.30, 0.13, 0.09, 0.0],
+        ..MixSpec::base("perlbench")
+    }
+}
+
+/// Builds the generator for an HPC spec.
+pub fn build(spec: MixSpec, seed: u64) -> MixWorkload {
+    MixWorkload::new(spec, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicted_mpki_near_paper() {
+        assert!((bwaves().predicted_mpki() - 33.0).abs() < 4.0, "{}", bwaves().predicted_mpki());
+        assert!((milc().predicted_mpki() - 30.0).abs() < 4.0, "{}", milc().predicted_mpki());
+        assert!((soplex().predicted_mpki() - 21.0).abs() < 3.0, "{}", soplex().predicted_mpki());
+        assert!((wrf().predicted_mpki() - 22.8).abs() < 3.0, "{}", wrf().predicted_mpki());
+    }
+
+    #[test]
+    fn specs_valid() {
+        for s in [bwaves(), milc(), soplex(), wrf()] {
+            s.assert_valid();
+        }
+    }
+
+    #[test]
+    fn hpc_mpki_dwarfs_other_classes() {
+        let hpc_min = [bwaves(), milc(), soplex(), wrf()]
+            .iter()
+            .map(|s| s.predicted_mpki())
+            .fold(f64::INFINITY, f64::min);
+        let ent_max = [
+            crate::enterprise::oltp(),
+            crate::enterprise::jvm(),
+            crate::enterprise::virtualization(),
+            crate::enterprise::web_caching(),
+        ]
+        .iter()
+        .map(|s| s.predicted_mpki())
+        .fold(0.0, f64::max);
+        assert!(hpc_min > 2.0 * ent_max, "{hpc_min} vs {ent_max}");
+    }
+
+    #[test]
+    fn hpc_has_few_dependent_probes() {
+        for s in [bwaves(), milc(), soplex(), wrf()] {
+            let stall_frac =
+                (s.dep_probes + s.indep_loads) / s.expected_misses_per_unit();
+            assert!(stall_frac < 0.12, "{}: stall fraction {stall_frac}", s.name);
+        }
+    }
+
+    #[test]
+    fn hpc_light_compute_mix() {
+        for s in [bwaves(), milc(), soplex(), wrf()] {
+            assert!(s.mean_extra_cycles() < 0.85, "{}", s.name);
+        }
+    }
+
+    #[test]
+    fn core_bound_spec_components_near_origin() {
+        for s in [povray(), perlbench()] {
+            assert!(s.predicted_mpki() < 1.2, "{}: MPKI {}", s.name, s.predicted_mpki());
+            assert_eq!(s.dep_probes, 0.0, "{}", s.name);
+            s.assert_valid();
+        }
+    }
+
+    #[test]
+    fn build_produces_stream() {
+        use memsense_sim::trace::InstructionStream;
+        let mut w = build(milc(), 1);
+        for _ in 0..100 {
+            let _ = w.next_op();
+        }
+    }
+}

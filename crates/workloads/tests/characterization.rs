@@ -1,0 +1,123 @@
+//! Characterization tests: run every workload on the simulated testbed and
+//! check that the counter-derived parameters land in the neighbourhood of
+//! the paper's Tab. 2/4/5 values.
+//!
+//! The `report` test (ignored by default) prints the full measurement table
+//! for tuning: `cargo test -p memsense-workloads --test characterization -- --ignored --nocapture report`.
+
+use memsense_sim::{Machine, SimConfig};
+use memsense_workloads::Workload;
+
+const WARMUP_OPS: u64 = 60_000;
+const MEASURE_NS: f64 = 120_000.0;
+
+fn measure(w: Workload) -> memsense_sim::Measurement {
+    // The paper runs big data / enterprise on all logical processors but
+    // characterizes SPECfp with only 3 cores per socket so the latency-
+    // limited model applies (Sec. V.N); we mirror that with 8 vs 4 threads.
+    let threads = match w.class() {
+        memsense_workloads::Class::Hpc => 4,
+        _ => 8,
+    };
+    let config = SimConfig::xeon_like(threads);
+    let mut machine = Machine::new(config, w.streams(threads, 0xbeef)).expect("valid machine");
+    machine.run_ops(WARMUP_OPS);
+    machine.measure_for_ns(MEASURE_NS).expect("instructions retired")
+}
+
+#[test]
+#[ignore = "tuning aid; prints the characterization table"]
+fn report() {
+    println!(
+        "{:<16} {:>7} {:>7} {:>9} {:>9} {:>7} {:>7} {:>8}",
+        "workload", "CPI", "MPKI", "MP(ns)", "MP(cyc)", "WBR", "util", "BW GB/s"
+    );
+    for w in Workload::all() {
+        let m = measure(w);
+        println!(
+            "{:<16} {:>7.3} {:>7.2} {:>9.1} {:>9.0} {:>6.0}% {:>6.0}% {:>8.2}",
+            w.name(),
+            m.cpi_eff,
+            m.mpki,
+            m.miss_penalty_ns,
+            m.miss_penalty_cycles,
+            m.wbr * 100.0,
+            m.cpu_utilization * 100.0,
+            m.bandwidth_gbps
+        );
+    }
+}
+
+#[test]
+fn big_data_measured_parameters() {
+    // Tab. 2 neighbourhood (tolerances acknowledge this is a simulator).
+    let sd = measure(Workload::StructuredData);
+    assert!((sd.mpki - 5.6).abs() < 1.6, "SD MPKI {}", sd.mpki);
+    assert!((sd.wbr - 0.32).abs() < 0.12, "SD WBR {}", sd.wbr);
+    assert!(sd.cpi_eff > 0.9 && sd.cpi_eff < 1.8, "SD CPI {}", sd.cpi_eff);
+    assert!(sd.cpu_utilization > 0.95, "SD util {}", sd.cpu_utilization);
+
+    let nits = measure(Workload::Nits);
+    assert!((nits.mpki - 5.0).abs() < 1.5, "NITS MPKI {}", nits.mpki);
+    assert!(nits.wbr > 1.0, "NITS WBR {} must exceed 100%", nits.wbr);
+
+    let spark = measure(Workload::Spark);
+    assert!((spark.mpki - 6.0).abs() < 1.8, "Spark MPKI {}", spark.mpki);
+    assert!(spark.wbr > 0.4, "Spark WBR {}", spark.wbr);
+    assert!(
+        spark.cpu_utilization > 0.55 && spark.cpu_utilization < 0.9,
+        "Spark util {} should be ~70%",
+        spark.cpu_utilization
+    );
+
+    let prox = measure(Workload::Proximity);
+    assert!(prox.mpki < 1.2, "Proximity MPKI {}", prox.mpki);
+    assert!(prox.cpi_eff < 1.3, "Proximity CPI {}", prox.cpi_eff);
+}
+
+#[test]
+fn enterprise_measured_parameters() {
+    for (w, mpki, wbr) in [
+        (Workload::Oltp, 7.5, 0.25),
+        (Workload::Jvm, 5.2, 0.35),
+        (Workload::Virtualization, 7.0, 0.24),
+        (Workload::WebCaching, 7.1, 0.24),
+    ] {
+        let m = measure(w);
+        assert!((m.mpki - mpki).abs() < 0.35 * mpki, "{}: MPKI {} vs {}", w, m.mpki, mpki);
+        assert!((m.wbr - wbr).abs() < 0.12, "{}: WBR {} vs {}", w, m.wbr, wbr);
+        assert!(m.cpi_eff > 1.3, "{}: enterprise CPI {} should be high", w, m.cpi_eff);
+    }
+    let web = measure(Workload::WebCaching);
+    assert!(
+        web.cpu_utilization < 0.75,
+        "web caching util {} should be reduced",
+        web.cpu_utilization
+    );
+}
+
+#[test]
+fn hpc_measured_parameters() {
+    for (w, mpki) in [
+        (Workload::Bwaves, 33.0),
+        (Workload::Milc, 30.0),
+        (Workload::Soplex, 21.0),
+        (Workload::Wrf, 22.8),
+    ] {
+        let m = measure(w);
+        assert!((m.mpki - mpki).abs() < 0.35 * mpki, "{}: MPKI {} vs {}", w, m.mpki, mpki);
+        assert!(m.cpi_eff < 2.0, "{}: HPC CPI {} (prefetch keeps it low-ish)", w, m.cpi_eff);
+        assert!(m.bandwidth_gbps > 5.0, "{}: HPC BW {}", w, m.bandwidth_gbps);
+    }
+}
+
+#[test]
+fn class_ordering_matches_figure6() {
+    // Bandwidth per instruction: HPC ≫ big data; latency exposure (stall
+    // share of CPI): enterprise > big data > HPC.
+    let hpc = measure(Workload::Bwaves);
+    let ent = measure(Workload::Oltp);
+    let big = measure(Workload::StructuredData);
+    assert!(hpc.mpki > 2.5 * big.mpki);
+    assert!(ent.cpi_eff > big.cpi_eff);
+}

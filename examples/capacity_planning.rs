@@ -1,0 +1,108 @@
+//! Capacity planning: size the memory system of a big-data analytics server.
+//!
+//! ```sh
+//! cargo run --release --example capacity_planning
+//! ```
+//!
+//! Scenario (the paper's intro motivation): you run an in-memory analytics
+//! cluster (column store + Spark) and must choose the next server's memory
+//! configuration. Channel count and speed cost money; this example sweeps
+//! the design space with the paper's model and prints throughput per
+//! configuration, the knee where the class becomes bandwidth bound, and the
+//! cheapest configuration within 5% of peak performance.
+
+use memsense::model::queueing::QueueingCurve;
+use memsense::model::solver::{solve_cpi, Regime};
+use memsense::model::system::SystemConfig;
+use memsense::model::units::{GigaHertz, Nanoseconds};
+use memsense::model::workload::WorkloadParams;
+
+#[derive(Debug, Clone)]
+struct Option_ {
+    label: String,
+    channels: u32,
+    mts: f64,
+    relative_cost: f64,
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let workload = WorkloadParams::big_data_class();
+    let curve = QueueingCurve::composite_default();
+
+    // Candidate memory configurations for a 16-core (32-thread) socket.
+    let options = vec![
+        Option_ { label: "2ch DDR3-1333".into(), channels: 2, mts: 1333.0, relative_cost: 0.6 },
+        Option_ { label: "2ch DDR3-1867".into(), channels: 2, mts: 1866.7, relative_cost: 0.7 },
+        Option_ { label: "4ch DDR3-1333".into(), channels: 4, mts: 1333.0, relative_cost: 0.85 },
+        Option_ { label: "4ch DDR3-1867".into(), channels: 4, mts: 1866.7, relative_cost: 1.0 },
+        Option_ { label: "6ch DDR3-1867".into(), channels: 6, mts: 1866.7, relative_cost: 1.25 },
+        Option_ { label: "8ch DDR3-1867".into(), channels: 8, mts: 1866.7, relative_cost: 1.5 },
+    ];
+
+    println!("big data class on a 16-core socket; throughput = threads / CPI\n");
+    println!(
+        "{:<16} {:>9} {:>8} {:>8} {:>11} {:>18} {:>10}",
+        "config", "BW GB/s", "CPI", "util", "throughput", "regime", "perf/cost"
+    );
+
+    let mut results = Vec::new();
+    for opt in &options {
+        let sys = SystemConfig::new(
+            1,
+            16,
+            2,
+            GigaHertz(2.7),
+            opt.channels,
+            opt.mts,
+            0.70,
+            Nanoseconds(75.0),
+        )?;
+        let solved = solve_cpi(&workload, &sys, &curve)?;
+        // Relative throughput: instructions/second across threads.
+        let throughput = sys.hardware_threads() as f64 * sys.core_clock().value() / solved.cpi_eff;
+        results.push((opt.clone(), solved, throughput));
+    }
+
+    let best = results
+        .iter()
+        .map(|(_, _, t)| *t)
+        .fold(f64::MIN, f64::max);
+    for (opt, solved, throughput) in &results {
+        println!(
+            "{:<16} {:>9.1} {:>8.3} {:>7.0}% {:>10.1}G {:>18} {:>10.2}",
+            opt.label,
+            solved.bandwidth_demand.value(),
+            solved.cpi_eff,
+            solved.utilization * 100.0,
+            throughput,
+            solved.regime,
+            throughput / best / opt.relative_cost,
+        );
+    }
+
+    // Find the knee: the narrowest configuration that is NOT bandwidth bound.
+    let knee = results
+        .iter()
+        .find(|(_, s, _)| s.regime != Regime::BandwidthBound)
+        .map(|(o, _, _)| o.label.clone())
+        .unwrap_or_else(|| "none".into());
+    println!("\nfirst configuration free of the bandwidth wall: {knee}");
+
+    // Cheapest within 5% of peak.
+    let pick = results
+        .iter()
+        .filter(|(_, _, t)| *t >= 0.95 * best)
+        .min_by(|a, b| a.0.relative_cost.total_cmp(&b.0.relative_cost))
+        .expect("non-empty");
+    println!(
+        "recommendation: {} — within 5% of peak at {:.0}% of the flagship cost",
+        pick.0.label,
+        pick.0.relative_cost * 100.0
+    );
+    println!(
+        "\n(the paper's Sec. VI.D guidance: \"cost savings can be achieved by \
+         reducing available bandwidth without significantly impacting \
+         performance\" when the target class is not bandwidth bound)"
+    );
+    Ok(())
+}

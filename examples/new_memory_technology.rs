@@ -1,0 +1,85 @@
+//! Evaluating an emerging memory technology behind a DRAM cache
+//! (paper Sec. VII).
+//!
+//! ```sh
+//! cargo run --release --example new_memory_technology
+//! ```
+//!
+//! Scenario: a storage-class memory offers 4× the capacity at 300 ns load
+//! latency (vs 75 ns DRAM). Deployed behind a DRAM "near tier", what hit
+//! rate must the near tier sustain for each workload class to break even
+//! with flat DRAM? And how does the latency⇄bandwidth equivalence (Tab. 7)
+//! tell us which class should adopt it first?
+
+use memsense::model::hierarchy::{break_even_near_hit, hierarchical_cpi, TieredMemory};
+use memsense::model::queueing::QueueingCurve;
+use memsense::model::sensitivity::equivalence;
+use memsense::model::system::SystemConfig;
+use memsense::model::units::{GigaHertz, Nanoseconds};
+use memsense::model::workload::WorkloadParams;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let clock = GigaHertz(2.7);
+    let dram = Nanoseconds(75.0);
+    let scm = Nanoseconds(300.0); // storage-class memory, 4x slower
+    let classes = WorkloadParams::all_classes();
+
+    println!("Eq. 5 tiered-memory analysis: DRAM near tier + 300 ns far tier\n");
+    println!(
+        "{:<18} {:>10} {:>12} {:>12} {:>16}",
+        "class", "flat CPI", "50% near", "90% near", "break-even hit"
+    );
+    for class in &classes {
+        let flat = hierarchical_cpi(class, &TieredMemory::flat(dram)?, clock);
+        let h50 = hierarchical_cpi(class, &TieredMemory::two_tier(0.5, dram, scm)?, clock);
+        let h90 = hierarchical_cpi(class, &TieredMemory::two_tier(0.9, dram, scm)?, clock);
+        let be = break_even_near_hit(class, dram, scm, dram, clock)?;
+        println!(
+            "{:<18} {:>10.3} {:>12.3} {:>12.3} {:>16}",
+            class.name,
+            flat,
+            h50,
+            h90,
+            be.map(|h| format!("{:.0}%", h * 100.0))
+                .unwrap_or_else(|| "unreachable".into()),
+        );
+    }
+    println!(
+        "\nWith the near tier at DRAM latency, only a 100% hit rate matches flat \
+         DRAM — the interesting question is how much slowdown each class absorbs."
+    );
+
+    // Slowdown each class tolerates at a realistic 85% near-tier hit rate.
+    println!("\nslowdown at an 85% near-tier hit rate:");
+    for class in &classes {
+        let flat = hierarchical_cpi(class, &TieredMemory::flat(dram)?, clock);
+        let tiered = hierarchical_cpi(class, &TieredMemory::two_tier(0.85, dram, scm)?, clock);
+        println!(
+            "  {:<18} {:+.1}% CPI  (4x capacity in exchange)",
+            class.name,
+            (tiered / flat - 1.0) * 100.0
+        );
+    }
+
+    // Tab. 7 equivalence: how many GB/s one would trade for the latency hit.
+    let system = SystemConfig::paper_baseline();
+    let curve = QueueingCurve::composite_default();
+    println!("\nTab. 7 equivalence on the baseline platform:");
+    for class in &classes {
+        let e = equivalence(class, &system, &curve)?;
+        println!(
+            "  {:<18} 10 ns of latency is worth {}",
+            class.name,
+            e.bandwidth_equivalent_of_10ns
+                .map(|g| format!("{g:.1} GB/s of bandwidth"))
+                .unwrap_or_else(|| "more bandwidth than exists".into()),
+        );
+    }
+    println!(
+        "\nReading: the enterprise class pays the most for added latency, so it \
+         needs the highest near-tier hit rate before adopting slower media; the \
+         HPC class cares only about bandwidth and can adopt capacity-optimized \
+         media freely if channel bandwidth is preserved."
+    );
+    Ok(())
+}

@@ -1,0 +1,86 @@
+//! Quickstart: predict how a workload responds to memory subsystem changes.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! This walks the three moving parts of memsense in ~60 lines:
+//! 1. pick (or calibrate) workload parameters,
+//! 2. describe a platform,
+//! 3. solve for the operating point and ask "what if".
+
+use memsense::model::queueing::QueueingCurve;
+use memsense::model::solver::solve_cpi;
+use memsense::model::system::SystemConfig;
+use memsense::model::units::{GigabytesPerSecond, Nanoseconds};
+use memsense::model::workload::WorkloadParams;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Workload classes straight out of the paper's Tab. 6.
+    let classes = WorkloadParams::all_classes();
+
+    // 2. The paper's baseline platform: 8 cores (16 threads) at 2.7 GHz,
+    //    four channels of DDR3-1867 at ~70% efficiency, 75 ns unloaded.
+    let baseline = SystemConfig::paper_baseline();
+    let curve = QueueingCurve::composite_default();
+
+    println!(
+        "baseline: {} threads, {:.1} GB/s effective ({:.2} GB/s per core), {} unloaded\n",
+        baseline.hardware_threads(),
+        baseline.effective_bandwidth().value(),
+        baseline.bandwidth_per_core().value(),
+        baseline.unloaded_latency(),
+    );
+
+    println!(
+        "{:<18} {:>8} {:>10} {:>8} {:>18}",
+        "class", "CPI", "BW GB/s", "util", "regime"
+    );
+    for class in &classes {
+        let solved = solve_cpi(class, &baseline, &curve)?;
+        println!(
+            "{:<18} {:>8.3} {:>10.1} {:>7.0}% {:>18}",
+            class.name,
+            solved.cpi_eff,
+            solved.bandwidth_demand.value(),
+            solved.utilization * 100.0,
+            solved.regime,
+        );
+    }
+
+    // 3. What-if: 30 ns slower memory (e.g. a denser but slower technology)?
+    let slower = baseline
+        .clone()
+        .with_unloaded_latency(Nanoseconds(105.0))?;
+    // What-if: half the memory channels?
+    let narrower = baseline.clone().with_channels(2)?;
+
+    println!("\nCPI change vs baseline:");
+    println!("{:<18} {:>14} {:>14}", "class", "+30ns latency", "half channels");
+    for class in &classes {
+        let base = solve_cpi(class, &baseline, &curve)?;
+        let slow = solve_cpi(class, &slower, &curve)?;
+        let narrow = solve_cpi(class, &narrower, &curve)?;
+        println!(
+            "{:<18} {:>13.1}% {:>13.1}%",
+            class.name,
+            (slow.cpi_eff / base.cpi_eff - 1.0) * 100.0,
+            (narrow.cpi_eff / base.cpi_eff - 1.0) * 100.0,
+        );
+    }
+
+    // The punchline the paper closes with: bandwidth-bound workloads want
+    // channels; latency-bound workloads want nanoseconds.
+    let hpc = &classes[2];
+    let more_bw = baseline
+        .clone()
+        .with_bandwidth_per_core_delta(GigabytesPerSecond(1.0))?;
+    let hpc_gain = solve_cpi(hpc, &baseline, &curve)?.cpi_eff
+        / solve_cpi(hpc, &more_bw, &curve)?.cpi_eff;
+    println!(
+        "\nHPC speedup from +1 GB/s/core: {:.1}% — provision bandwidth first, \
+         then optimize latency.",
+        (hpc_gain - 1.0) * 100.0
+    );
+    Ok(())
+}

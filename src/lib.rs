@@ -1,0 +1,47 @@
+//! # memsense
+//!
+//! Quantifying the performance impact of memory latency and bandwidth for big
+//! data workloads — a full reproduction of Clapp et al., IISWC 2015.
+//!
+//! This facade crate re-exports the whole workspace so downstream users can
+//! depend on a single crate:
+//!
+//! * [`model`] — the analytic performance model (Eqs. 1–5 of the paper):
+//!   latency-limited CPI, bandwidth demand, queueing delay, the fixed-point
+//!   loaded-latency solver, and the sensitivity/equivalence analyses.
+//! * [`sim`] — the simulated "testbed": multicore with caches, a stream
+//!   prefetcher, and a DDR-style memory controller, instrumented with
+//!   performance counters.
+//! * [`workloads`] — synthetic big data / enterprise / HPC workload
+//!   generators matching the paper's twelve workloads.
+//! * [`mlc`] — a Memory Latency Checker analogue for loaded-latency curves.
+//! * [`stats`] — regression, clustering, and summary statistics.
+//! * [`experiments`] — calibration, validation, classification, and
+//!   reproduction of every table and figure.
+//!
+//! # Quickstart
+//!
+//! Predict how a workload class responds to a memory subsystem change:
+//!
+//! ```
+//! use memsense::model::{
+//!     queueing::QueueingCurve, solver::solve_cpi, system::SystemConfig,
+//!     workload::WorkloadParams,
+//! };
+//!
+//! // The paper's big data class (Tab. 6) on the paper's baseline platform:
+//! // 8 cores, 4 channels of DDR3-1867 at ~70% efficiency, 75 ns unloaded.
+//! let class = WorkloadParams::big_data_class();
+//! let system = SystemConfig::paper_baseline();
+//! let curve = QueueingCurve::composite_default();
+//!
+//! let solved = solve_cpi(&class, &system, &curve).unwrap();
+//! assert!(solved.cpi_eff > class.cpi_cache);
+//! ```
+
+pub use memsense_experiments as experiments;
+pub use memsense_mlc as mlc;
+pub use memsense_model as model;
+pub use memsense_sim as sim;
+pub use memsense_stats as stats;
+pub use memsense_workloads as workloads;
