@@ -24,7 +24,10 @@ fn fig1_trends_bench(c: &mut Criterion) {
     c.bench_function("fig1_trends", |b| {
         b.iter(|| {
             let t = fig1_trends(8);
-            check(t.last().unwrap().cpu_capability > t.last().unwrap().dram_density, "gap");
+            check(
+                t.last().unwrap().cpu_capability > t.last().unwrap().dram_density,
+                "gap",
+            );
             black_box(t.len())
         })
     });
@@ -74,7 +77,10 @@ fn fig7_queueing(c: &mut Criterion) {
                 }),
             ];
             let curve = composite_queueing_curve(&sweeps).unwrap();
-            check(curve.delay(0.9).value() > curve.delay(0.2).value(), "monotone");
+            check(
+                curve.delay(0.9).value() > curve.delay(0.2).value(),
+                "monotone",
+            );
             let fig = memsense_experiments::figures::Fig7 {
                 sweeps,
                 composite: curve,

@@ -36,7 +36,9 @@ fn fig8_bw_sweep(c: &mut Criterion) {
                 // Shape: HPC is bandwidth bound at every point.
                 if class.name.contains("HPC") {
                     check(
-                        sweep.iter().all(|p| p.solved.regime == Regime::BandwidthBound),
+                        sweep
+                            .iter()
+                            .all(|p| p.solved.regime == Regime::BandwidthBound),
                         "HPC bandwidth bound across Fig. 8",
                     );
                 }
@@ -72,7 +74,10 @@ fn fig10_latency_sweep(c: &mut Criterion) {
                 last_ratio.push(sweep.last().unwrap().cpi_ratio);
             }
             // Enterprise > big data > HPC (flat).
-            check(last_ratio[0] > last_ratio[1], "enterprise most latency sensitive");
+            check(
+                last_ratio[0] > last_ratio[1],
+                "enterprise most latency sensitive",
+            );
             check(last_ratio[2] < 1.0 + 1e-9, "HPC latency-flat");
             black_box(last_ratio)
         })
@@ -83,11 +88,9 @@ fn fig11_latency_derivative(c: &mut Criterion) {
     let (classes, sys, curve) = inputs();
     c.bench_function("fig11_latency_derivative", |b| {
         b.iter(|| {
-            let sweep =
-                latency_sweep(&classes[0], &sys, &curve, &default_latency_steps()).unwrap();
+            let sweep = latency_sweep(&classes[0], &sys, &curve, &default_latency_steps()).unwrap();
             let deriv = latency_derivative(&sweep).unwrap();
-            let avg =
-                deriv.iter().map(|d| d.pct_per_unit).sum::<f64>() / deriv.len() as f64;
+            let avg = deriv.iter().map(|d| d.pct_per_unit).sum::<f64>() / deriv.len() as f64;
             check((avg - 3.5).abs() < 1.0, "enterprise ~3.5% per 10 ns");
             black_box(avg)
         })
@@ -198,8 +201,7 @@ fn phased_solve(c: &mut Criterion) {
     use memsense_model::phases::{solve_phased, PhasedWorkload};
     use memsense_model::workload::Segment;
     let (_, sys, curve) = inputs();
-    let shuffle =
-        WorkloadParams::new("shuffle", Segment::BigData, 0.85, 0.30, 9.0, 0.8).unwrap();
+    let shuffle = WorkloadParams::new("shuffle", Segment::BigData, 0.85, 0.30, 9.0, 0.8).unwrap();
     let map = WorkloadParams::new("map", Segment::BigData, 1.0, 0.10, 1.5, 0.3).unwrap();
     let phased = PhasedWorkload::new("job", vec![(shuffle, 1.0), (map, 3.0)]).unwrap();
     c.bench_function("phased_solve", |b| {

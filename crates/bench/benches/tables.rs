@@ -78,7 +78,10 @@ fn fig6_tab6_classification(c: &mut Criterion) {
         b.iter(|| {
             let means = class_means(&cals).unwrap();
             check(means.len() == 3, "three class means");
-            black_box((fig6_table(&cals).unwrap().len(), tab6_table(&cals).unwrap().len()))
+            black_box((
+                fig6_table(&cals).unwrap().len(),
+                tab6_table(&cals).unwrap().len(),
+            ))
         })
     });
 }

@@ -20,7 +20,7 @@ use memsense_model::workload::WorkloadParams;
 use memsense_sim::config::MemoryConfig;
 use memsense_workloads::Workload;
 
-use crate::calibrate::{calibrate, measure_at, CalibrationBudget, CalibratedWorkload};
+use crate::calibrate::{calibrate, measure_at, CalibratedWorkload, CalibrationBudget};
 use crate::render::{f, Table};
 use crate::ExperimentError;
 
@@ -35,8 +35,7 @@ pub fn implied_bf_per_point(calibration: &CalibratedWorkload) -> Vec<f64> {
         .iter()
         .filter(|s| s.measurement.latency_per_instruction > 1e-6)
         .map(|s| {
-            (s.measurement.cpi_eff - calibration.cpi_cache)
-                / s.measurement.latency_per_instruction
+            (s.measurement.cpi_eff - calibration.cpi_cache) / s.measurement.latency_per_instruction
         })
         .collect()
 }
@@ -46,7 +45,13 @@ pub fn implied_bf_per_point(calibration: &CalibratedWorkload) -> Vec<f64> {
 pub fn constant_bf_table(calibrations: &[CalibratedWorkload]) -> Table {
     let mut t = Table::new(
         "Ablation: constant-BF assumption (fitted vs per-point implied BF)",
-        &["workload", "fitted_bf", "implied_min", "implied_max", "spread"],
+        &[
+            "workload",
+            "fitted_bf",
+            "implied_min",
+            "implied_max",
+            "spread",
+        ],
     );
     for c in calibrations {
         let implied = implied_bf_per_point(c);
@@ -80,7 +85,13 @@ pub fn queueing_curve_table(
     let flat = QueueingCurve::from_measurements(vec![(0.0, 0.0), (1.0, 0.0)], 0.95)?;
     let mut t = Table::new(
         "Ablation: queueing-curve choice (CPI per class)",
-        &["class", "composite", "mm1", "no_queueing", "composite_vs_none"],
+        &[
+            "class",
+            "composite",
+            "mm1",
+            "no_queueing",
+            "composite_vs_none",
+        ],
     );
     for class in classes {
         let a = solve_cpi(class, system, &composite)?.cpi_eff;

@@ -7,17 +7,27 @@
 //! repro tab2 ... tab7       # individual tables
 //! repro hierarchy           # Sec. VII tiered-memory demo
 //! repro ablation            # DESIGN.md ablation studies
+//! repro --report all        # append run telemetry (table + JSON)
 //! ```
 //!
 //! Each experiment prints an ASCII table and writes a CSV under
 //! `target/repro/`.
+//!
+//! Stages run concurrently on the experiment executor (thread count from
+//! `MEMSENSE_THREADS`; unset or `0` means all cores). Output is buffered
+//! per stage and printed in deterministic target order, so stdout is
+//! byte-identical to a serial run. `--report` additionally prints per-stage
+//! wall-clock/job/solver telemetry and writes `run_report.json`.
 
 use std::collections::BTreeSet;
+use std::fmt::Write as _;
 use std::path::Path;
 use std::process::ExitCode;
 use std::sync::OnceLock;
+use std::time::Instant;
 
 use memsense_experiments::calibrate::{calibrate_all, CalibratedWorkload, CalibrationBudget};
+use memsense_experiments::executor::{self, RunReport};
 use memsense_experiments::figures;
 use memsense_experiments::render::{default_output_dir, Table};
 use memsense_experiments::tables;
@@ -25,56 +35,155 @@ use memsense_experiments::timeseries::{class_series, summary_table, SeriesBudget
 use memsense_experiments::validate;
 use memsense_experiments::{ablation, classify};
 use memsense_model::queueing::QueueingCurve;
+use memsense_model::solver::telemetry;
 use memsense_model::system::SystemConfig;
 use memsense_model::units::{GigaHertz, Nanoseconds};
 use memsense_workloads::{Class, Workload};
 
+/// Stage errors cross executor threads, so they must be `Send + Sync`.
+type StageError = Box<dyn std::error::Error + Send + Sync>;
+
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let want_report = args.iter().any(|a| a == "--report");
+    args.retain(|a| a != "--report");
     if args.is_empty() || args.iter().any(|a| a == "-h" || a == "--help") {
         eprintln!(
-            "usage: repro <target>...\n  targets: all fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 \
-             fig9 fig10 fig11 tab2 tab3 tab4 tab5 tab6 tab7 hierarchy ablation futuretech numa tornado cpistack report channels scorecard design fidelity colocation io"
+            "usage: repro [--report] <target>...\n  targets: all fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 \
+             fig9 fig10 fig11 tab2 tab3 tab4 tab5 tab6 tab7 hierarchy ablation futuretech numa tornado cpistack report channels scorecard design fidelity colocation io\n  \
+             --report: print per-stage run telemetry and write run_report.json\n  \
+             MEMSENSE_THREADS=<n>: executor threads (1 = serial, 0/unset = all cores)"
         );
         return ExitCode::from(2);
     }
     let mut targets: BTreeSet<String> = args.iter().map(|s| s.to_lowercase()).collect();
     if targets.remove("all") {
         for t in [
-            "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
-            "fig11", "tab2", "tab3", "tab4", "tab5", "tab6", "tab7", "hierarchy", "ablation",
-            "futuretech", "numa", "tornado", "cpistack", "report", "channels", "scorecard", "design", "fidelity", "colocation", "io",
+            "fig1",
+            "fig2",
+            "fig3",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10",
+            "fig11",
+            "tab2",
+            "tab3",
+            "tab4",
+            "tab5",
+            "tab6",
+            "tab7",
+            "hierarchy",
+            "ablation",
+            "futuretech",
+            "numa",
+            "tornado",
+            "cpistack",
+            "report",
+            "channels",
+            "scorecard",
+            "design",
+            "fidelity",
+            "colocation",
+            "io",
         ] {
             targets.insert(t.to_string());
         }
     }
+    let order: Vec<String> = targets.into_iter().collect();
 
     let out = default_output_dir();
-    for target in &targets {
-        if let Err(e) = run_target(target, &out) {
-            eprintln!("error running {target}: {e}");
-            return ExitCode::FAILURE;
+    let started = Instant::now();
+    executor::drain_job_log();
+    let solver_before = telemetry::snapshot();
+
+    // Every stage is one executor job writing into its own stdout buffer;
+    // buffers are printed in target order below, so output matches a
+    // serial run byte for byte.
+    let outcomes: Vec<Result<String, String>> = executor::par_map_full(
+        order.clone(),
+        |_, target| format!("{}{target}", executor::STAGE_LABEL_PREFIX),
+        |target| {
+            let mut buf = String::new();
+            match run_target(&target, &out, &mut buf) {
+                Ok(()) => Ok(buf),
+                Err(e) => Err(e.to_string()),
+            }
+        },
+    );
+
+    let report = RunReport::from_run(
+        executor::thread_count(),
+        started.elapsed(),
+        executor::drain_job_log(),
+        &order,
+        telemetry::snapshot().since(&solver_before),
+    );
+
+    let mut failed = false;
+    for (target, outcome) in order.iter().zip(outcomes) {
+        match outcome {
+            Ok(buf) => print!("{buf}"),
+            Err(e) => {
+                eprintln!("error running {target}: {e}");
+                failed = true;
+                break;
+            }
         }
     }
-    ExitCode::SUCCESS
+
+    if want_report {
+        println!("{}", report.to_table().to_ascii());
+        match write_report_json(&report, &out) {
+            Ok(path) => println!("[wrote {path}]"),
+            Err(e) => {
+                eprintln!("error writing run report: {e}");
+                failed = true;
+            }
+        }
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }
 
-fn emit(table: &Table, out: &Path, name: &str) -> Result<(), Box<dyn std::error::Error>> {
-    println!("{}", table.to_ascii());
+fn write_report_json(report: &RunReport, out: &Path) -> Result<String, std::io::Error> {
+    std::fs::create_dir_all(out)?;
+    let path = out.join("run_report.json");
+    std::fs::write(&path, report.to_json())?;
+    Ok(path.display().to_string())
+}
+
+fn emit(buf: &mut String, table: &Table, out: &Path, name: &str) -> Result<(), StageError> {
+    writeln!(buf, "{}", table.to_ascii())?;
     let path = table.write_csv(out, name)?;
-    println!("[wrote {}]\n", path.display());
+    writeln!(buf, "[wrote {}]\n", path.display())?;
     Ok(())
 }
 
-fn calibrations() -> &'static Vec<CalibratedWorkload> {
-    static CACHE: OnceLock<Vec<CalibratedWorkload>> = OnceLock::new();
-    CACHE.get_or_init(|| {
-        eprintln!("[calibrating all 12 workloads: frequency × memory sweeps …]");
-        calibrate_all(&CalibrationBudget::default()).expect("calibration failed")
-    })
+fn calibrations() -> Result<&'static Vec<CalibratedWorkload>, StageError> {
+    static CACHE: OnceLock<Result<Vec<CalibratedWorkload>, String>> = OnceLock::new();
+    CACHE
+        .get_or_init(|| {
+            eprintln!("[calibrating all 12 workloads: frequency × memory sweeps …]");
+            calibrate_all(&CalibrationBudget::default())
+                .map_err(|e| format!("calibration failed: {e}"))
+        })
+        .as_ref()
+        .map_err(|e| StageError::from(e.clone()))
 }
 
-fn model_inputs() -> (Vec<memsense_model::WorkloadParams>, SystemConfig, QueueingCurve) {
+fn model_inputs() -> (
+    Vec<memsense_model::WorkloadParams>,
+    SystemConfig,
+    QueueingCurve,
+) {
     (
         figures::paper_classes(),
         SystemConfig::paper_baseline(),
@@ -82,9 +191,9 @@ fn model_inputs() -> (Vec<memsense_model::WorkloadParams>, SystemConfig, Queuein
     )
 }
 
-fn run_target(target: &str, out: &Path) -> Result<(), Box<dyn std::error::Error>> {
+fn run_target(target: &str, out: &Path, buf: &mut String) -> Result<(), StageError> {
     match target {
-        "fig1" => emit(&figures::fig1_table(8), out, "fig1")?,
+        "fig1" => emit(buf, &figures::fig1_table(8), out, "fig1")?,
         "fig2" | "fig4" | "fig5" => {
             let (class, name) = match target {
                 "fig2" => (Class::BigData, "fig2"),
@@ -105,7 +214,8 @@ fn run_target(target: &str, out: &Path) -> Result<(), Box<dyn std::error::Error>
                     )
                 })
                 .collect();
-            println!(
+            writeln!(
+                buf,
                 "{}",
                 memsense_experiments::plot::ascii_plot(
                     &format!("{name} (shape): effective CPI over time"),
@@ -115,8 +225,9 @@ fn run_target(target: &str, out: &Path) -> Result<(), Box<dyn std::error::Error>
                     64,
                     14,
                 )
-            );
+            )?;
             emit(
+                buf,
                 &summary_table(&format!("{name}: characterization summary"), &series),
                 out,
                 name,
@@ -126,20 +237,21 @@ fn run_target(target: &str, out: &Path) -> Result<(), Box<dyn std::error::Error>
                 s.to_table().write_csv(out, &format!("{name}_{slug}"))?;
             }
         }
-        "fig3" => emit(&tables::fig3(calibrations()), out, "fig3")?,
-        "fig6" => emit(&classify::fig6_table(calibrations())?, out, "fig6")?,
+        "fig3" => emit(buf, &tables::fig3(calibrations()?), out, "fig3")?,
+        "fig6" => emit(buf, &classify::fig6_table(calibrations()?)?, out, "fig6")?,
         "fig7" => {
             let fig = figures::fig7()?;
             for sweep in &fig.sweeps {
-                println!(
+                writeln!(
+                    buf,
                     "{}: unloaded {:.1} ns, max stable {:.1} GB/s ({:.0}% efficiency)",
                     sweep.label,
                     sweep.unloaded_latency_ns,
                     sweep.max_stable_gbps,
                     sweep.efficiency() * 100.0
-                );
+                )?;
             }
-            emit(&figures::fig7_table(&fig), out, "fig7")?;
+            emit(buf, &figures::fig7_table(&fig), out, "fig7")?;
         }
         "fig8" => {
             let (classes, sys, curve) = model_inputs();
@@ -161,7 +273,8 @@ fn run_target(target: &str, out: &Path) -> Result<(), Box<dyn std::error::Error>
                     ))
                 })
                 .collect::<Result<_, memsense_experiments::ExperimentError>>()?;
-            println!(
+            writeln!(
+                buf,
                 "{}",
                 memsense_experiments::plot::ascii_plot(
                     "Fig. 8 (shape): CPI increase vs available bandwidth per core",
@@ -171,12 +284,22 @@ fn run_target(target: &str, out: &Path) -> Result<(), Box<dyn std::error::Error>
                     64,
                     16,
                 )
-            );
-            emit(&figures::fig8_table(&classes, &sys, &curve)?, out, "fig8")?;
+            )?;
+            emit(
+                buf,
+                &figures::fig8_table(&classes, &sys, &curve)?,
+                out,
+                "fig8",
+            )?;
         }
         "fig9" => {
             let (classes, sys, curve) = model_inputs();
-            emit(&figures::fig9_table(&classes, &sys, &curve)?, out, "fig9")?;
+            emit(
+                buf,
+                &figures::fig9_table(&classes, &sys, &curve)?,
+                out,
+                "fig9",
+            )?;
         }
         "fig10" => {
             let (classes, sys, curve) = model_inputs();
@@ -198,7 +321,8 @@ fn run_target(target: &str, out: &Path) -> Result<(), Box<dyn std::error::Error>
                     ))
                 })
                 .collect::<Result<_, memsense_experiments::ExperimentError>>()?;
-            println!(
+            writeln!(
+                buf,
                 "{}",
                 memsense_experiments::plot::ascii_plot(
                     "Fig. 10 (shape): CPI increase vs compulsory latency",
@@ -208,32 +332,48 @@ fn run_target(target: &str, out: &Path) -> Result<(), Box<dyn std::error::Error>
                     64,
                     16,
                 )
-            );
-            emit(&figures::fig10_table(&classes, &sys, &curve)?, out, "fig10")?;
+            )?;
+            emit(
+                buf,
+                &figures::fig10_table(&classes, &sys, &curve)?,
+                out,
+                "fig10",
+            )?;
         }
         "fig11" => {
             let (classes, sys, curve) = model_inputs();
-            emit(&figures::fig11_table(&classes, &sys, &curve)?, out, "fig11")?;
+            emit(
+                buf,
+                &figures::fig11_table(&classes, &sys, &curve)?,
+                out,
+                "fig11",
+            )?;
         }
-        "tab2" => emit(&tables::tab2(calibrations()), out, "tab2")?,
+        "tab2" => emit(buf, &tables::tab2(calibrations()?), out, "tab2")?,
         "tab3" => {
-            let cal = calibrations()
+            let cal = calibrations()?
                 .iter()
                 .find(|c| c.workload == Workload::StructuredData)
-                .expect("structured data calibrated")
+                .ok_or("structured data missing from calibration set")?
                 .clone();
             let v = validate::validate_calibration(cal);
-            emit(&v.to_table(), out, "tab3")?;
+            emit(buf, &v.to_table(), out, "tab3")?;
         }
-        "tab4" => emit(&tables::tab4(calibrations()), out, "tab4")?,
-        "tab5" => emit(&tables::tab5(calibrations()), out, "tab5")?,
-        "tab6" => emit(&classify::tab6_table(calibrations())?, out, "tab6")?,
+        "tab4" => emit(buf, &tables::tab4(calibrations()?), out, "tab4")?,
+        "tab5" => emit(buf, &tables::tab5(calibrations()?), out, "tab5")?,
+        "tab6" => emit(buf, &classify::tab6_table(calibrations()?)?, out, "tab6")?,
         "tab7" => {
             let (classes, sys, curve) = model_inputs();
-            emit(&figures::tab7_table(&classes, &sys, &curve)?, out, "tab7")?;
+            emit(
+                buf,
+                &figures::tab7_table(&classes, &sys, &curve)?,
+                out,
+                "tab7",
+            )?;
         }
         "io" => {
             emit(
+                buf,
                 &memsense_experiments::io_pressure::io_pressure_table(8, 120_000, 200_000.0)?,
                 out,
                 "io_pressure",
@@ -245,19 +385,44 @@ fn run_target(target: &str, out: &Path) -> Result<(), Box<dyn std::error::Error>
             let classes = memsense_model::WorkloadParams::all_classes();
             let mut t = Table::new(
                 "Colocation: interference when classes share the baseline's channels (8+8 threads)",
-                &["tenant_a", "tenant_b", "cpi_a", "interference_a", "cpi_b", "interference_b", "util"],
+                &[
+                    "tenant_a",
+                    "tenant_b",
+                    "cpi_a",
+                    "interference_a",
+                    "cpi_b",
+                    "interference_b",
+                    "util",
+                ],
             );
-            for a in &classes {
-                for b in &classes {
+            // Every tenant pairing solves independently; run the pair grid
+            // on the executor in row-major order.
+            let pairs: Vec<(
+                memsense_model::WorkloadParams,
+                memsense_model::WorkloadParams,
+            )> = classes
+                .iter()
+                .flat_map(|a| classes.iter().map(move |b| (a.clone(), b.clone())))
+                .collect();
+            let rows = executor::par_map_full(
+                pairs,
+                |_, (a, b)| format!("colocation/{} + {}", a.name, b.name),
+                |(a, b)| -> Result<Vec<String>, memsense_experiments::ExperimentError> {
                     let solved = solve_colocated(
                         &[
-                            Tenant { workload: a.clone(), threads: 8 },
-                            Tenant { workload: b.clone(), threads: 8 },
+                            Tenant {
+                                workload: a.clone(),
+                                threads: 8,
+                            },
+                            Tenant {
+                                workload: b.clone(),
+                                threads: 8,
+                            },
                         ],
                         &sys,
                         &curve,
                     )?;
-                    t.row(vec![
+                    Ok(vec![
                         a.name.clone(),
                         b.name.clone(),
                         format!("{:.3}", solved.tenants[0].cpi_eff),
@@ -265,13 +430,20 @@ fn run_target(target: &str, out: &Path) -> Result<(), Box<dyn std::error::Error>
                         format!("{:.3}", solved.tenants[1].cpi_eff),
                         format!("{:.3}", solved.tenants[1].interference),
                         format!("{:.0}%", solved.utilization * 100.0),
-                    ]);
-                }
+                    ])
+                },
+            )
+            .into_iter()
+            .collect::<Result<Vec<_>, _>>()?;
+            for row in rows {
+                t.row(row);
             }
-            emit(&t, out, "colocation")?;
+            emit(buf, &t, out, "colocation")?;
         }
         "design" => {
-            use memsense_model::design::{best_per_cost, evaluate, default_grid, pareto_frontier, Mix};
+            use memsense_model::design::{
+                best_per_cost, default_grid, evaluate, pareto_frontier, Mix,
+            };
             let (_, sys, curve) = model_inputs();
             let mut t = Table::new(
                 "Design-space Pareto frontier (balanced class mix)",
@@ -286,22 +458,37 @@ fn run_target(target: &str, out: &Path) -> Result<(), Box<dyn std::error::Error>
                     format!("{:.3}", e.efficiency),
                 ]);
             }
-            emit(&t, out, "design_pareto")?;
+            emit(buf, &t, out, "design_pareto")?;
             let mut picks = Table::new(
                 "Best perf-per-cost design by dominant class (Sec. VI.D guidance)",
-                &["dominant_class", "design", "rel_throughput", "perf_per_cost"],
+                &[
+                    "dominant_class",
+                    "design",
+                    "rel_throughput",
+                    "perf_per_cost",
+                ],
             );
-            for class in memsense_model::WorkloadParams::all_classes() {
-                let name = class.name.clone();
-                let pick = best_per_cost(&Mix::dominated_by(class), &sys, &curve)?;
-                picks.row(vec![
-                    name,
-                    pick.point.label(),
-                    format!("{:.3}", pick.throughput),
-                    format!("{:.3}", pick.efficiency),
-                ]);
+            // One grid evaluation per dominant class, in class order.
+            let pick_rows = executor::par_map_full(
+                memsense_model::WorkloadParams::all_classes(),
+                |_, class| format!("design/{}", class.name),
+                |class| -> Result<Vec<String>, memsense_experiments::ExperimentError> {
+                    let name = class.name.clone();
+                    let pick = best_per_cost(&Mix::dominated_by(class), &sys, &curve)?;
+                    Ok(vec![
+                        name,
+                        pick.point.label(),
+                        format!("{:.3}", pick.throughput),
+                        format!("{:.3}", pick.efficiency),
+                    ])
+                },
+            )
+            .into_iter()
+            .collect::<Result<Vec<_>, _>>()?;
+            for row in pick_rows {
+                picks.row(row);
             }
-            emit(&picks, out, "design_picks")?;
+            emit(buf, &picks, out, "design_picks")?;
         }
         "fidelity" => {
             // Ablation: how much do the opt-in fidelity features change the
@@ -309,7 +496,10 @@ fn run_target(target: &str, out: &Path) -> Result<(), Box<dyn std::error::Error>
             use memsense_mlc::{loaded_latency_sweep, MlcConfig};
             use memsense_sim::config::{MemoryConfig, RefreshConfig, RowPolicy};
             let variants: Vec<(&str, MemoryConfig)> = vec![
-                ("baseline (closed page, no refresh)", MemoryConfig::ddr3_1867()),
+                (
+                    "baseline (closed page, no refresh)",
+                    MemoryConfig::ddr3_1867(),
+                ),
                 ("open page", {
                     let mut c = MemoryConfig::ddr3_1867();
                     c.row_policy = RowPolicy::open_page_ddr3();
@@ -325,23 +515,33 @@ fn run_target(target: &str, out: &Path) -> Result<(), Box<dyn std::error::Error>
                 "Fidelity ablation: MLC sweep under optional memory features",
                 &["variant", "unloaded_ns", "max_stable_gbps", "efficiency"],
             );
-            for (label, memory) in variants {
-                let sweep = loaded_latency_sweep(&MlcConfig {
-                    memory,
-                    ..MlcConfig::default()
-                });
-                t.row(vec![
-                    label.to_string(),
-                    format!("{:.1}", sweep.unloaded_latency_ns),
-                    format!("{:.1}", sweep.max_stable_gbps),
-                    format!("{:.0}%", sweep.efficiency() * 100.0),
-                ]);
+            // Each variant simulates its own MLC sweep; run them on the
+            // executor in slate order (infallible jobs).
+            let rows = executor::par_map_full(
+                variants,
+                |_, (label, _)| format!("fidelity/{label}"),
+                |(label, memory)| -> Result<Vec<String>, core::convert::Infallible> {
+                    let sweep = loaded_latency_sweep(&MlcConfig {
+                        memory,
+                        ..MlcConfig::default()
+                    });
+                    Ok(vec![
+                        label.to_string(),
+                        format!("{:.1}", sweep.unloaded_latency_ns),
+                        format!("{:.1}", sweep.max_stable_gbps),
+                        format!("{:.0}%", sweep.efficiency() * 100.0),
+                    ])
+                },
+            );
+            for row in rows {
+                let Ok(row) = row;
+                t.row(row);
             }
-            emit(&t, out, "fidelity")?;
+            emit(buf, &t, out, "fidelity")?;
         }
         "scorecard" => {
-            let sc = memsense_experiments::scorecard::scorecard(calibrations())?;
-            emit(&sc.to_table(), out, "scorecard")?;
+            let sc = memsense_experiments::scorecard::scorecard(calibrations()?)?;
+            emit(buf, &sc.to_table(), out, "scorecard")?;
             if !sc.all_pass() {
                 return Err("scorecard has failing checks".into());
             }
@@ -349,16 +549,19 @@ fn run_target(target: &str, out: &Path) -> Result<(), Box<dyn std::error::Error>
         "channels" => {
             let (classes, sys, curve) = model_inputs();
             emit(
+                buf,
                 &memsense_experiments::sweeps::channel_sweep_table(&classes, &sys, &curve)?,
                 out,
                 "channels",
             )?;
             emit(
+                buf,
                 &memsense_experiments::sweeps::speed_sweep_table(&classes, &sys, &curve)?,
                 out,
                 "speeds",
             )?;
             emit(
+                buf,
                 &memsense_experiments::sweeps::frequency_sweep_table(&classes, &sys, &curve)?,
                 out,
                 "frequencies",
@@ -368,7 +571,15 @@ fn run_target(target: &str, out: &Path) -> Result<(), Box<dyn std::error::Error>
             let (classes, sys, curve) = model_inputs();
             let mut t = Table::new(
                 "CPI stacks on the paper baseline",
-                &["class", "core", "compulsory", "queueing", "bw_wall", "total", "mem_frac"],
+                &[
+                    "class",
+                    "core",
+                    "compulsory",
+                    "queueing",
+                    "bw_wall",
+                    "total",
+                    "mem_frac",
+                ],
             );
             for class in &classes {
                 let solved = memsense_model::solver::solve_cpi(class, &sys, &curve)?;
@@ -383,11 +594,12 @@ fn run_target(target: &str, out: &Path) -> Result<(), Box<dyn std::error::Error>
                     format!("{:.0}%", stack.memory_fraction() * 100.0),
                 ]);
             }
-            emit(&t, out, "cpistack")?;
+            emit(buf, &t, out, "cpistack")?;
         }
         "tornado" => {
             let (classes, sys, curve) = model_inputs();
             emit(
+                buf,
                 &memsense_experiments::tornado::tornado_table(&classes, &sys, &curve, 0.2)?,
                 out,
                 "tornado",
@@ -395,11 +607,16 @@ fn run_target(target: &str, out: &Path) -> Result<(), Box<dyn std::error::Error>
         }
         "futuretech" => {
             let (classes, _, curve) = model_inputs();
-            emit(&figures::future_tech_table(&classes, &curve)?, out, "futuretech")?;
+            emit(
+                buf,
+                &figures::future_tech_table(&classes, &curve)?,
+                out,
+                "futuretech",
+            )?;
         }
         "numa" => {
             let (classes, _, curve) = model_inputs();
-            emit(&figures::numa_table(&classes, &curve)?, out, "numa")?;
+            emit(buf, &figures::numa_table(&classes, &curve)?, out, "numa")?;
         }
         "hierarchy" => {
             let (classes, _, _) = model_inputs();
@@ -410,12 +627,18 @@ fn run_target(target: &str, out: &Path) -> Result<(), Box<dyn std::error::Error>
                 Nanoseconds(75.0),
                 GigaHertz(2.7),
             )?;
-            emit(&t, out, "hierarchy")?;
+            emit(buf, &t, out, "hierarchy")?;
         }
         "ablation" => {
-            emit(&ablation::constant_bf_table(calibrations()), out, "ablation_bf")?;
+            emit(
+                buf,
+                &ablation::constant_bf_table(calibrations()?),
+                out,
+                "ablation_bf",
+            )?;
             let (classes, sys, _) = model_inputs();
             emit(
+                buf,
                 &ablation::queueing_curve_table(&classes, &sys)?,
                 out,
                 "ablation_queueing",
@@ -424,15 +647,25 @@ fn run_target(target: &str, out: &Path) -> Result<(), Box<dyn std::error::Error>
                 "Ablation: prefetcher effect on blocking factor",
                 &["workload", "bf_on", "bf_off"],
             );
-            for w in [Workload::Bwaves, Workload::StructuredData] {
-                let ab = ablation::prefetch_ablation(w, &CalibrationBudget::default())?;
-                t.row(vec![
-                    w.name().to_string(),
-                    format!("{:.3}", ab.bf_prefetch_on),
-                    format!("{:.3}", ab.bf_prefetch_off),
-                ]);
+            // The two prefetch ablations calibrate independent machines.
+            let rows = executor::par_map_full(
+                vec![Workload::Bwaves, Workload::StructuredData],
+                |_, w| format!("ablation/prefetch {}", w.name()),
+                |w| -> Result<Vec<String>, memsense_experiments::ExperimentError> {
+                    let ab = ablation::prefetch_ablation(w, &CalibrationBudget::default())?;
+                    Ok(vec![
+                        w.name().to_string(),
+                        format!("{:.3}", ab.bf_prefetch_on),
+                        format!("{:.3}", ab.bf_prefetch_off),
+                    ])
+                },
+            )
+            .into_iter()
+            .collect::<Result<Vec<_>, _>>()?;
+            for row in rows {
+                t.row(row);
             }
-            emit(&t, out, "ablation_prefetch")?;
+            emit(buf, &t, out, "ablation_prefetch")?;
         }
         "report" => {
             // A single markdown report combining every reproduced artifact.
@@ -447,17 +680,17 @@ fn run_target(target: &str, out: &Path) -> Result<(), Box<dyn std::error::Error>
             };
             push(&mut md, &figures::fig1_table(8));
             let (classes, sys, curve) = model_inputs();
-            push(&mut md, &tables::tab2(calibrations()));
-            let cal = calibrations()
+            push(&mut md, &tables::tab2(calibrations()?));
+            let cal = calibrations()?
                 .iter()
                 .find(|c| c.workload == Workload::StructuredData)
-                .expect("calibrated")
+                .ok_or("structured data missing from calibration set")?
                 .clone();
             push(&mut md, &validate::validate_calibration(cal).to_table());
-            push(&mut md, &tables::tab4(calibrations()));
-            push(&mut md, &tables::tab5(calibrations()));
-            push(&mut md, &classify::fig6_table(calibrations())?);
-            push(&mut md, &classify::tab6_table(calibrations())?);
+            push(&mut md, &tables::tab4(calibrations()?));
+            push(&mut md, &tables::tab5(calibrations()?));
+            push(&mut md, &classify::fig6_table(calibrations()?)?);
+            push(&mut md, &classify::tab6_table(calibrations()?)?);
             let fig = figures::fig7()?;
             push(&mut md, &figures::fig7_table(&fig));
             push(&mut md, &figures::fig8_table(&classes, &sys, &curve)?);
@@ -474,7 +707,7 @@ fn run_target(target: &str, out: &Path) -> Result<(), Box<dyn std::error::Error>
             std::fs::create_dir_all(out)?;
             let path = out.join("REPORT.md");
             std::fs::write(&path, md)?;
-            println!("[wrote {}]", path.display());
+            writeln!(buf, "[wrote {}]", path.display())?;
         }
         other => return Err(format!("unknown target: {other}").into()),
     }

@@ -13,7 +13,7 @@ use memsense_sim::{Machine, Measurement, SimConfig};
 use memsense_stats::fit_line;
 use memsense_workloads::{Class, Workload};
 
-use crate::ExperimentError;
+use crate::{executor, ExperimentError};
 
 /// Core frequencies swept (GHz) — the Tab. 3 set.
 pub const CORE_SPEEDS_GHZ: [f64; 4] = [2.1, 2.4, 2.7, 3.1];
@@ -81,9 +81,7 @@ impl CalibratedWorkload {
     ///
     /// Propagates parameter-validation errors (e.g. a negative fitted BF on
     /// a degenerate sweep).
-    pub fn to_params(
-        &self,
-    ) -> Result<memsense_model::WorkloadParams, memsense_model::ModelError> {
+    pub fn to_params(&self) -> Result<memsense_model::WorkloadParams, memsense_model::ModelError> {
         let segment = match self.workload.class() {
             Class::BigData => Segment::BigData,
             Class::Enterprise => Segment::Enterprise,
@@ -160,8 +158,8 @@ pub fn measure_at(
     let config = SimConfig::xeon_like(threads)
         .with_core_clock(core_ghz)
         .with_memory(memory);
-    let mut machine = Machine::new(config, workload.streams(threads, 0xca11b))
-        .map_err(ExperimentError::Sim)?;
+    let mut machine =
+        Machine::new(config, workload.streams(threads, 0xca11b)).map_err(ExperimentError::Sim)?;
     machine.run_ops(budget.warmup_ops);
     let measurement = machine
         .measure_for_ns(budget.window_ns)
@@ -184,12 +182,28 @@ pub fn calibrate(
     workload: Workload,
     budget: &CalibrationBudget,
 ) -> Result<CalibratedWorkload, ExperimentError> {
-    let mut samples = Vec::new();
+    let mut points = Vec::new();
     for memory in [MemoryConfig::ddr3_1867(), MemoryConfig::ddr3_1333()] {
         for ghz in CORE_SPEEDS_GHZ {
-            samples.push(measure_at(workload, ghz, memory, budget)?);
+            points.push((memory, ghz));
         }
     }
+    // Each operating point simulates an independent machine; run the sweep
+    // grid on the executor (serial-equivalent ordering keeps the fit input,
+    // and therefore the fitted parameters, bit-identical).
+    let samples = executor::par_map_full(
+        points,
+        |_, (memory, ghz)| {
+            format!(
+                "calibrate/{} @ {ghz:.1} GHz {:.0} MT/s",
+                workload.name(),
+                memory.mega_transfers
+            )
+        },
+        |(memory, ghz)| measure_at(workload, ghz, memory, budget),
+    )
+    .into_iter()
+    .collect::<Result<Vec<_>, _>>()?;
     fit_from_samples(workload, samples)
 }
 
@@ -246,10 +260,13 @@ pub fn fit_from_samples(
 pub fn calibrate_all(
     budget: &CalibrationBudget,
 ) -> Result<Vec<CalibratedWorkload>, ExperimentError> {
-    Workload::all()
-        .into_iter()
-        .map(|w| calibrate(w, budget))
-        .collect()
+    executor::par_map_full(
+        Workload::all().to_vec(),
+        |_, w| format!("calibrate/{}", w.name()),
+        |w| calibrate(w, budget),
+    )
+    .into_iter()
+    .collect()
 }
 
 #[cfg(test)]
@@ -262,7 +279,11 @@ mod tests {
         // Fig. 3(a): good linear fit, BF ≈ 0.20, CPI_cache ≈ 0.9.
         assert!(cal.r_squared > 0.8, "R² = {}", cal.r_squared);
         assert!((cal.bf - 0.20).abs() < 0.10, "BF = {}", cal.bf);
-        assert!((cal.cpi_cache - 0.89).abs() < 0.30, "CPI_cache = {}", cal.cpi_cache);
+        assert!(
+            (cal.cpi_cache - 0.89).abs() < 0.30,
+            "CPI_cache = {}",
+            cal.cpi_cache
+        );
         assert_eq!(cal.samples.len(), 8);
     }
 

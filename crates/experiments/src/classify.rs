@@ -92,7 +92,14 @@ impl ClassMean {
             Class::Enterprise => ("Enterprise class", memsense_model::Segment::Enterprise),
             Class::Hpc => ("HPC class", memsense_model::Segment::Hpc),
         };
-        WorkloadParams::new(name, segment, self.cpi_cache, self.bf.max(0.0), self.mpki, self.wbr)
+        WorkloadParams::new(
+            name,
+            segment,
+            self.cpi_cache,
+            self.bf.max(0.0),
+            self.mpki,
+            self.wbr,
+        )
     }
 }
 
@@ -101,9 +108,7 @@ impl ClassMean {
 /// # Errors
 ///
 /// Propagates point-construction failures.
-pub fn class_means(
-    calibrations: &[CalibratedWorkload],
-) -> Result<Vec<ClassMean>, ExperimentError> {
+pub fn class_means(calibrations: &[CalibratedWorkload]) -> Result<Vec<ClassMean>, ExperimentError> {
     let points = class_points(calibrations)?;
     let mut out = Vec::new();
     for class in [Class::Enterprise, Class::BigData, Class::Hpc] {
@@ -144,7 +149,11 @@ pub fn clustering_agreement(calibrations: &[CalibratedWorkload]) -> Result<f64, 
         return Err(ExperimentError::NoData);
     }
     // Normalize both axes to comparable scale before clustering.
-    let max_bf = active.iter().map(|p| p.bf).fold(f64::MIN, f64::max).max(1e-9);
+    let max_bf = active
+        .iter()
+        .map(|p| p.bf)
+        .fold(f64::MIN, f64::max)
+        .max(1e-9);
     let max_refs = active
         .iter()
         .map(|p| p.refs_per_cycle)
@@ -280,7 +289,11 @@ mod tests {
         let means = class_means(cals()).unwrap();
         let get = |c: Class| means.iter().find(|m| m.class == c).unwrap();
         let ent = get(Class::Enterprise);
-        assert!((ent.cpi_cache - 1.47).abs() < 0.5, "ent CPI_cache {}", ent.cpi_cache);
+        assert!(
+            (ent.cpi_cache - 1.47).abs() < 0.5,
+            "ent CPI_cache {}",
+            ent.cpi_cache
+        );
         assert!((ent.bf - 0.41).abs() < 0.15, "ent BF {}", ent.bf);
         assert!((ent.mpki - 6.7).abs() < 2.0, "ent MPKI {}", ent.mpki);
         let hpc = get(Class::Hpc);

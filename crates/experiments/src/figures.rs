@@ -14,7 +14,28 @@ use memsense_model::units::{GigaHertz, Nanoseconds};
 use memsense_model::workload::WorkloadParams;
 
 use crate::render::{f, pct, Table};
-use crate::ExperimentError;
+use crate::{executor, ExperimentError};
+
+/// Runs one executor job per class, each producing a block of table rows;
+/// blocks are concatenated in class order so the table is byte-identical to
+/// the serial nested loop.
+fn per_class_rows<F>(
+    label: &str,
+    classes: &[WorkloadParams],
+    job: F,
+) -> Result<Vec<Vec<String>>, ExperimentError>
+where
+    F: Fn(&WorkloadParams) -> Result<Vec<Vec<String>>, ExperimentError> + Sync,
+{
+    let blocks = executor::par_map_full(
+        classes.iter().collect(),
+        |_, class| format!("{label}/{}", class.name),
+        job,
+    )
+    .into_iter()
+    .collect::<Result<Vec<_>, _>>()?;
+    Ok(blocks.into_iter().flatten().collect())
+}
 
 // ---------------------------------------------------------------------------
 // Fig. 1 — CPU vs DRAM scaling trends
@@ -51,7 +72,13 @@ pub fn fig1_trends(years: u32) -> Vec<TrendPoint> {
 pub fn fig1_table(years: u32) -> Table {
     let mut t = Table::new(
         "Fig. 1: CPU vs DRAM scaling trends (relative to year 0)",
-        &["year", "cpu_capability", "dram_density", "ddr_bw_per_channel", "gap"],
+        &[
+            "year",
+            "cpu_capability",
+            "dram_density",
+            "ddr_bw_per_channel",
+            "gap",
+        ],
     );
     for p in fig1_trends(years) {
         t.row(vec![
@@ -130,20 +157,32 @@ pub fn fig8_table(
 ) -> Result<Table, ExperimentError> {
     let mut t = Table::new(
         "Fig. 8: CPI increase vs per-core bandwidth reduction",
-        &["class", "delta_gbps_per_core", "bw_per_core", "cpi", "cpi_increase", "regime"],
+        &[
+            "class",
+            "delta_gbps_per_core",
+            "bw_per_core",
+            "cpi",
+            "cpi_increase",
+            "regime",
+        ],
     );
-    for class in classes {
+    for row in per_class_rows("fig8", classes, |class| {
         let sweep = bandwidth_sweep(class, system, curve, &default_bandwidth_deltas())?;
-        for p in &sweep {
-            t.row(vec![
-                class.name.clone(),
-                f(p.delta, 1),
-                f(p.bandwidth_per_core, 2),
-                f(p.solved.cpi_eff, 3),
-                pct(p.cpi_ratio - 1.0, 1),
-                p.solved.regime.to_string(),
-            ]);
-        }
+        Ok(sweep
+            .iter()
+            .map(|p| {
+                vec![
+                    class.name.clone(),
+                    f(p.delta, 1),
+                    f(p.bandwidth_per_core, 2),
+                    f(p.solved.cpi_eff, 3),
+                    pct(p.cpi_ratio - 1.0, 1),
+                    p.solved.regime.to_string(),
+                ]
+            })
+            .collect())
+    })? {
+        t.row(row);
     }
     Ok(t)
 }
@@ -162,11 +201,14 @@ pub fn fig9_table(
         "Fig. 9: CPI impact per GB/s/core removed vs available bandwidth per core",
         &["class", "bw_per_core", "pct_cpi_per_gbps"],
     );
-    for class in classes {
+    for row in per_class_rows("fig9", classes, |class| {
         let sweep = bandwidth_sweep(class, system, curve, &default_bandwidth_deltas())?;
-        for d in bandwidth_derivative(&sweep)? {
-            t.row(vec![class.name.clone(), f(d.at, 2), f(d.pct_per_unit, 2)]);
-        }
+        Ok(bandwidth_derivative(&sweep)?
+            .into_iter()
+            .map(|d| vec![class.name.clone(), f(d.at, 2), f(d.pct_per_unit, 2)])
+            .collect())
+    })? {
+        t.row(row);
     }
     Ok(t)
 }
@@ -183,20 +225,32 @@ pub fn fig10_table(
 ) -> Result<Table, ExperimentError> {
     let mut t = Table::new(
         "Fig. 10: CPI vs compulsory latency increase",
-        &["class", "added_ns", "latency_ns", "cpi", "cpi_increase", "regime"],
+        &[
+            "class",
+            "added_ns",
+            "latency_ns",
+            "cpi",
+            "cpi_increase",
+            "regime",
+        ],
     );
-    for class in classes {
+    for row in per_class_rows("fig10", classes, |class| {
         let sweep = latency_sweep(class, system, curve, &default_latency_steps())?;
-        for p in &sweep {
-            t.row(vec![
-                class.name.clone(),
-                f(p.delta, 0),
-                f(p.unloaded_latency_ns, 0),
-                f(p.solved.cpi_eff, 3),
-                pct(p.cpi_ratio - 1.0, 1),
-                p.solved.regime.to_string(),
-            ]);
-        }
+        Ok(sweep
+            .iter()
+            .map(|p| {
+                vec![
+                    class.name.clone(),
+                    f(p.delta, 0),
+                    f(p.unloaded_latency_ns, 0),
+                    f(p.solved.cpi_eff, 3),
+                    pct(p.cpi_ratio - 1.0, 1),
+                    p.solved.regime.to_string(),
+                ]
+            })
+            .collect())
+    })? {
+        t.row(row);
     }
     Ok(t)
 }
@@ -215,11 +269,14 @@ pub fn fig11_table(
         "Fig. 11: CPI impact per 10 ns of added compulsory latency",
         &["class", "at_latency_ns", "pct_cpi_per_10ns"],
     );
-    for class in classes {
+    for row in per_class_rows("fig11", classes, |class| {
         let sweep = latency_sweep(class, system, curve, &default_latency_steps())?;
-        for d in latency_derivative(&sweep)? {
-            t.row(vec![class.name.clone(), f(d.at, 0), f(d.pct_per_unit, 2)]);
-        }
+        Ok(latency_derivative(&sweep)?
+            .into_iter()
+            .map(|d| vec![class.name.clone(), f(d.at, 0), f(d.pct_per_unit, 2)])
+            .collect())
+    })? {
+        t.row(row);
     }
     Ok(t)
 }
@@ -244,9 +301,9 @@ pub fn tab7_table(
             "8GBs_equals_ns",
         ],
     );
-    for class in classes {
+    for row in per_class_rows("tab7", classes, |class| {
         let e = equivalence(class, system, curve)?;
-        t.row(vec![
+        Ok(vec![vec![
             class.name.clone(),
             pct(e.benefit_of_bandwidth_pct / 100.0, 1),
             pct(e.benefit_of_latency_pct / 100.0, 1),
@@ -256,7 +313,9 @@ pub fn tab7_table(
             e.latency_equivalent_of_bandwidth
                 .map(|v| f(v, 1))
                 .unwrap_or_else(|| "unreachable".into()),
-        ]);
+        ]])
+    })? {
+        t.row(row);
     }
     Ok(t)
 }
@@ -287,12 +346,13 @@ pub fn hierarchy_table(
         ),
         &["class", "near_hit", "cpi", "flat_cpi", "break_even_hit"],
     );
-    for class in classes {
+    for row in per_class_rows("hierarchy", classes, |class| {
         let flat_cpi = hierarchical_cpi(class, &TieredMemory::flat(flat)?, clock);
         let break_even = break_even_near_hit(class, near, far, flat, clock)?;
+        let mut rows = Vec::new();
         for hit in [0.0, 0.25, 0.5, 0.75, 0.9, 1.0] {
             let mem = TieredMemory::two_tier(hit, near, far)?;
-            t.row(vec![
+            rows.push(vec![
                 class.name.clone(),
                 f(hit, 2),
                 f(hierarchical_cpi(class, &mem, clock), 3),
@@ -302,6 +362,9 @@ pub fn hierarchy_table(
                     .unwrap_or_else(|| "unreachable".into()),
             ]);
         }
+        Ok(rows)
+    })? {
+        t.row(row);
     }
     Ok(t)
 }
@@ -330,12 +393,48 @@ pub struct MemoryTechnology {
 /// (NVM-like) designs.
 pub fn technology_slate() -> Vec<MemoryTechnology> {
     vec![
-        MemoryTechnology { name: "4ch DDR3-1867 (baseline)", channels: 4, mega_transfers: 1866.7, efficiency: 0.70, unloaded_ns: 75.0 },
-        MemoryTechnology { name: "4ch DDR4-2400", channels: 4, mega_transfers: 2400.0, efficiency: 0.72, unloaded_ns: 80.0 },
-        MemoryTechnology { name: "6ch DDR4-2933", channels: 6, mega_transfers: 2933.0, efficiency: 0.72, unloaded_ns: 82.0 },
-        MemoryTechnology { name: "8ch DDR5-4800", channels: 8, mega_transfers: 4800.0, efficiency: 0.65, unloaded_ns: 95.0 },
-        MemoryTechnology { name: "HBM-like (wide, near)", channels: 16, mega_transfers: 3200.0, efficiency: 0.60, unloaded_ns: 60.0 },
-        MemoryTechnology { name: "NVM-like (capacity)", channels: 4, mega_transfers: 1600.0, efficiency: 0.55, unloaded_ns: 350.0 },
+        MemoryTechnology {
+            name: "4ch DDR3-1867 (baseline)",
+            channels: 4,
+            mega_transfers: 1866.7,
+            efficiency: 0.70,
+            unloaded_ns: 75.0,
+        },
+        MemoryTechnology {
+            name: "4ch DDR4-2400",
+            channels: 4,
+            mega_transfers: 2400.0,
+            efficiency: 0.72,
+            unloaded_ns: 80.0,
+        },
+        MemoryTechnology {
+            name: "6ch DDR4-2933",
+            channels: 6,
+            mega_transfers: 2933.0,
+            efficiency: 0.72,
+            unloaded_ns: 82.0,
+        },
+        MemoryTechnology {
+            name: "8ch DDR5-4800",
+            channels: 8,
+            mega_transfers: 4800.0,
+            efficiency: 0.65,
+            unloaded_ns: 95.0,
+        },
+        MemoryTechnology {
+            name: "HBM-like (wide, near)",
+            channels: 16,
+            mega_transfers: 3200.0,
+            efficiency: 0.60,
+            unloaded_ns: 60.0,
+        },
+        MemoryTechnology {
+            name: "NVM-like (capacity)",
+            channels: 4,
+            mega_transfers: 1600.0,
+            efficiency: 0.55,
+            unloaded_ns: 350.0,
+        },
     ]
 }
 
@@ -353,32 +452,49 @@ pub fn future_tech_table(
     let baseline = SystemConfig::paper_baseline();
     let mut t = Table::new(
         "Future memory technologies: CPI per class (normalized to DDR3 baseline)",
-        &["technology", "eff_bw_gbps", "latency_ns", "Enterprise", "Big Data", "HPC"],
+        &[
+            "technology",
+            "eff_bw_gbps",
+            "latency_ns",
+            "Enterprise",
+            "Big Data",
+            "HPC",
+        ],
     );
     let base_cpis: Vec<f64> = classes
         .iter()
         .map(|c| solve_cpi(c, &baseline, curve).map(|s| s.cpi_eff))
         .collect::<Result<_, _>>()?;
-    for tech in technology_slate() {
-        let sys = SystemConfig::new(
-            1,
-            8,
-            2,
-            baseline.core_clock(),
-            tech.channels,
-            tech.mega_transfers,
-            tech.efficiency,
-            Nanoseconds(tech.unloaded_ns),
-        )?;
-        let mut row = vec![
-            tech.name.to_string(),
-            f(sys.effective_bandwidth().value(), 1),
-            f(tech.unloaded_ns, 0),
-        ];
-        for (class, base) in classes.iter().zip(&base_cpis) {
-            let cpi = solve_cpi(class, &sys, curve)?.cpi_eff;
-            row.push(f(cpi / base, 3));
-        }
+    // One executor job per candidate technology, in slate order.
+    let rows = executor::par_map_full(
+        technology_slate(),
+        |_, tech| format!("futuretech/{}", tech.name),
+        |tech| -> Result<Vec<String>, ExperimentError> {
+            let sys = SystemConfig::new(
+                1,
+                8,
+                2,
+                baseline.core_clock(),
+                tech.channels,
+                tech.mega_transfers,
+                tech.efficiency,
+                Nanoseconds(tech.unloaded_ns),
+            )?;
+            let mut row = vec![
+                tech.name.to_string(),
+                f(sys.effective_bandwidth().value(), 1),
+                f(tech.unloaded_ns, 0),
+            ];
+            for (class, base) in classes.iter().zip(&base_cpis) {
+                let cpi = solve_cpi(class, &sys, curve)?.cpi_eff;
+                row.push(f(cpi / base, 3));
+            }
+            Ok(row)
+        },
+    )
+    .into_iter()
+    .collect::<Result<Vec<_>, _>>()?;
+    for row in rows {
         t.row(row);
     }
     Ok(t)
@@ -400,7 +516,7 @@ pub fn numa_table(
         "NUMA: CPI penalty vs remote-access fraction (2S, 60 ns hop)",
         &["class", "remote_10pct", "remote_25pct", "remote_50pct"],
     );
-    for class in classes {
+    for row in per_class_rows("numa", classes, |class| {
         let mut row = vec![class.name.clone()];
         for frac in [0.10, 0.25, 0.50] {
             let p = numa_penalty(
@@ -411,6 +527,8 @@ pub fn numa_table(
             )?;
             row.push(pct(p - 1.0, 1));
         }
+        Ok(vec![row])
+    })? {
         t.row(row);
     }
     Ok(t)
@@ -474,7 +592,10 @@ mod tests {
         assert_eq!(f11.len(), 3 * (default_latency_steps().len() - 1));
         let t7 = tab7_table(&classes, &sys, &curve).unwrap();
         assert_eq!(t7.len(), 3);
-        assert!(t7.to_ascii().contains("unreachable"), "HPC latency equivalence");
+        assert!(
+            t7.to_ascii().contains("unreachable"),
+            "HPC latency equivalence"
+        );
     }
 
     #[test]

@@ -72,7 +72,13 @@ pub fn io_pressure_table(
 ) -> Result<Table, ExperimentError> {
     let mut t = Table::new(
         "Background DMA pressure: big data CPI vs device traffic",
-        &["workload", "dma_gbps", "cpi", "cpi_increase", "total_bw_gbps"],
+        &[
+            "workload",
+            "dma_gbps",
+            "cpi",
+            "cpi_increase",
+            "total_bw_gbps",
+        ],
     );
     for w in Workload::all()
         .into_iter()

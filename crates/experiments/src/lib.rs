@@ -23,6 +23,10 @@
 //! * [`io_pressure`] — workload CPI under background DMA traffic.
 //! * [`scorecard`] — every paper claim verified programmatically.
 //! * [`plot`] — terminal line charts of the figures.
+//! * [`executor`] — the parallel experiment executor: every independent
+//!   cell/stage above runs on a work-stealing thread pool with
+//!   deterministic (serial-equivalent) output ordering, feeding the
+//!   `--report` run telemetry.
 //!
 //! Each experiment returns a [`render::Table`] (ASCII + CSV) so results are
 //! regenerable; the `repro` binary drives them from the command line.
@@ -33,6 +37,7 @@
 pub mod ablation;
 pub mod calibrate;
 pub mod classify;
+pub mod executor;
 pub mod figures;
 pub mod io_pressure;
 pub mod plot;

@@ -40,7 +40,10 @@ pub fn ascii_plot(
 ) -> String {
     let width = width.clamp(16, 200);
     let height = height.clamp(6, 60);
-    let all: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    let all: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .collect();
     if all.is_empty() {
         return String::new();
     }

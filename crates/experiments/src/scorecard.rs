@@ -119,7 +119,9 @@ pub fn scorecard(calibrations: &[CalibratedWorkload]) -> Result<Scorecard, Exper
 
     let means = class_means(calibrations)?;
     let get = |c: Class| means.iter().find(|m| m.class == c);
-    if let (Some(e), Some(b), Some(h)) = (get(Class::Enterprise), get(Class::BigData), get(Class::Hpc)) {
+    if let (Some(e), Some(b), Some(h)) =
+        (get(Class::Enterprise), get(Class::BigData), get(Class::Hpc))
+    {
         checks.push(Check {
             artifact: "Fig. 6",
             claim: "blocking-factor continuum: enterprise > big data > HPC",
@@ -150,12 +152,7 @@ pub fn scorecard(calibrations: &[CalibratedWorkload]) -> Result<Scorecard, Exper
     checks.push(Check {
         artifact: "Sec. VI",
         claim: "baseline regimes: enterprise/big data latency limited, HPC bandwidth bound",
-        measured: format!(
-            "{} / {} / {}",
-            regime(ent)?,
-            regime(big)?,
-            regime(hpc)?
-        ),
+        measured: format!("{} / {} / {}", regime(ent)?, regime(big)?, regime(hpc)?),
         expected: "latency / latency / bandwidth".into(),
         pass: regime(ent)? == Regime::LatencyLimited
             && regime(big)? == Regime::LatencyLimited
@@ -276,12 +273,13 @@ mod tests {
     #[test]
     fn scorecard_all_claims_hold() {
         let sc = scorecard(cals()).unwrap();
-        assert!(sc.checks.len() >= 12, "comprehensive coverage: {}", sc.checks.len());
-        let failing: Vec<&Check> = sc.checks.iter().filter(|c| !c.pass).collect();
         assert!(
-            sc.all_pass(),
-            "failing checks: {failing:#?}"
+            sc.checks.len() >= 12,
+            "comprehensive coverage: {}",
+            sc.checks.len()
         );
+        let failing: Vec<&Check> = sc.checks.iter().filter(|c| !c.pass).collect();
+        assert!(sc.all_pass(), "failing checks: {failing:#?}");
     }
 
     #[test]

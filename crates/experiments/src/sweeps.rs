@@ -13,7 +13,7 @@ use memsense_model::units::GigaHertz;
 use memsense_model::workload::WorkloadParams;
 
 use crate::render::{f, pct, Table};
-use crate::ExperimentError;
+use crate::{executor, ExperimentError};
 
 /// Channel counts explored by [`channel_sweep_table`].
 pub const CHANNEL_COUNTS: [u32; 5] = [1, 2, 3, 4, 6];
@@ -34,21 +34,43 @@ pub fn channel_sweep_table(
 ) -> Result<Table, ExperimentError> {
     let mut t = Table::new(
         "Channel-count sweep: CPI per class (reference: 4 channels)",
-        &["class", "channels", "eff_bw_gbps", "cpi", "vs_4ch", "regime"],
+        &[
+            "class",
+            "channels",
+            "eff_bw_gbps",
+            "cpi",
+            "vs_4ch",
+            "regime",
+        ],
     );
-    for class in classes {
-        let reference = solve_cpi(class, &baseline.clone().with_channels(4)?, curve)?.cpi_eff;
-        for ch in CHANNEL_COUNTS {
-            let sys = baseline.clone().with_channels(ch)?;
-            let solved = solve_cpi(class, &sys, curve)?;
-            t.row(vec![
-                class.name.clone(),
-                ch.to_string(),
-                f(sys.effective_bandwidth().value(), 1),
-                f(solved.cpi_eff, 3),
-                pct(solved.cpi_eff / reference - 1.0, 1),
-                solved.regime.to_string(),
-            ]);
+    // Each class cell is independent; run them on the executor and append
+    // the returned row blocks in class order (serial-equivalent output).
+    let blocks = executor::par_map_full(
+        classes.iter().collect(),
+        |_, class| format!("channel-sweep/{}", class.name),
+        |class| -> Result<Vec<Vec<String>>, ExperimentError> {
+            let reference = solve_cpi(class, &baseline.clone().with_channels(4)?, curve)?.cpi_eff;
+            let mut rows = Vec::new();
+            for ch in CHANNEL_COUNTS {
+                let sys = baseline.clone().with_channels(ch)?;
+                let solved = solve_cpi(class, &sys, curve)?;
+                rows.push(vec![
+                    class.name.clone(),
+                    ch.to_string(),
+                    f(sys.effective_bandwidth().value(), 1),
+                    f(solved.cpi_eff, 3),
+                    pct(solved.cpi_eff / reference - 1.0, 1),
+                    solved.regime.to_string(),
+                ]);
+            }
+            Ok(rows)
+        },
+    )
+    .into_iter()
+    .collect::<Result<Vec<_>, _>>()?;
+    for rows in blocks {
+        for row in rows {
+            t.row(row);
         }
     }
     Ok(t)
@@ -68,20 +90,33 @@ pub fn speed_sweep_table(
         "Channel-speed sweep: CPI per class (reference: DDR3-1867)",
         &["class", "mts", "eff_bw_gbps", "cpi", "vs_1867", "regime"],
     );
-    for class in classes {
-        let reference =
-            solve_cpi(class, &baseline.clone().with_channel_speed(1866.7)?, curve)?.cpi_eff;
-        for mts in CHANNEL_SPEEDS {
-            let sys = baseline.clone().with_channel_speed(mts)?;
-            let solved = solve_cpi(class, &sys, curve)?;
-            t.row(vec![
-                class.name.clone(),
-                format!("{mts:.0}"),
-                f(sys.effective_bandwidth().value(), 1),
-                f(solved.cpi_eff, 3),
-                pct(solved.cpi_eff / reference - 1.0, 1),
-                solved.regime.to_string(),
-            ]);
+    let blocks = executor::par_map_full(
+        classes.iter().collect(),
+        |_, class| format!("speed-sweep/{}", class.name),
+        |class| -> Result<Vec<Vec<String>>, ExperimentError> {
+            let reference =
+                solve_cpi(class, &baseline.clone().with_channel_speed(1866.7)?, curve)?.cpi_eff;
+            let mut rows = Vec::new();
+            for mts in CHANNEL_SPEEDS {
+                let sys = baseline.clone().with_channel_speed(mts)?;
+                let solved = solve_cpi(class, &sys, curve)?;
+                rows.push(vec![
+                    class.name.clone(),
+                    format!("{mts:.0}"),
+                    f(sys.effective_bandwidth().value(), 1),
+                    f(solved.cpi_eff, 3),
+                    pct(solved.cpi_eff / reference - 1.0, 1),
+                    solved.regime.to_string(),
+                ]);
+            }
+            Ok(rows)
+        },
+    )
+    .into_iter()
+    .collect::<Result<Vec<_>, _>>()?;
+    for rows in blocks {
+        for row in rows {
+            t.row(row);
         }
     }
     Ok(t)
@@ -103,18 +138,31 @@ pub fn frequency_sweep_table(
         "Core-frequency sweep: CPI vs wall-clock performance",
         &["class", "ghz", "cpi", "rel_performance"],
     );
-    for class in classes {
-        let base_sys = baseline.clone().with_core_clock(GigaHertz(2.7))?;
-        let base_perf = 2.7 / solve_cpi(class, &base_sys, curve)?.cpi_eff;
-        for ghz in crate::calibrate::CORE_SPEEDS_GHZ {
-            let sys = baseline.clone().with_core_clock(GigaHertz(ghz))?;
-            let solved = solve_cpi(class, &sys, curve)?;
-            t.row(vec![
-                class.name.clone(),
-                f(ghz, 1),
-                f(solved.cpi_eff, 3),
-                f(ghz / solved.cpi_eff / base_perf, 3),
-            ]);
+    let blocks = executor::par_map_full(
+        classes.iter().collect(),
+        |_, class| format!("frequency-sweep/{}", class.name),
+        |class| -> Result<Vec<Vec<String>>, ExperimentError> {
+            let base_sys = baseline.clone().with_core_clock(GigaHertz(2.7))?;
+            let base_perf = 2.7 / solve_cpi(class, &base_sys, curve)?.cpi_eff;
+            let mut rows = Vec::new();
+            for ghz in crate::calibrate::CORE_SPEEDS_GHZ {
+                let sys = baseline.clone().with_core_clock(GigaHertz(ghz))?;
+                let solved = solve_cpi(class, &sys, curve)?;
+                rows.push(vec![
+                    class.name.clone(),
+                    f(ghz, 1),
+                    f(solved.cpi_eff, 3),
+                    f(ghz / solved.cpi_eff / base_perf, 3),
+                ]);
+            }
+            Ok(rows)
+        },
+    )
+    .into_iter()
+    .collect::<Result<Vec<_>, _>>()?;
+    for rows in blocks {
+        for row in rows {
+            t.row(row);
         }
     }
     Ok(t)
@@ -139,10 +187,7 @@ mod tests {
         assert_eq!(t.len(), 3 * CHANNEL_COUNTS.len());
         let csv = t.to_csv();
         // HPC at 1 channel: catastrophic vs 4 channels.
-        let hpc_1ch = csv
-            .lines()
-            .find(|l| l.starts_with("HPC class,1,"))
-            .unwrap();
+        let hpc_1ch = csv.lines().find(|l| l.starts_with("HPC class,1,")).unwrap();
         let pct: f64 = hpc_1ch
             .split(',')
             .nth(4)

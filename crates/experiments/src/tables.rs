@@ -43,21 +43,35 @@ fn class_table(title: &str, class: Class, calibrations: &[CalibratedWorkload]) -
             "paper_WBR",
         ],
     );
-    for c in calibrations.iter().filter(|c| c.workload.class() == class) {
-        let (p_cpi, p_bf, p_mpki, p_wbr) = paper_reference(c.workload);
-        t.row(vec![
-            c.workload.name().to_string(),
-            f(c.cpi_cache, 2),
-            f(c.bf, 2),
-            format!("[{:.2},{:.2}]", c.bf_ci95.0, c.bf_ci95.1),
-            f(c.mpki, 1),
-            pct(c.wbr, 0),
-            f(c.r_squared, 2),
-            f(p_cpi, 2),
-            f(p_bf, 2),
-            f(p_mpki, 1),
-            pct(p_wbr, 0),
-        ]);
+    // Each row cell is independent; render them on the executor in
+    // calibration order (infallible jobs — the Ok type is the row itself).
+    let members: Vec<&CalibratedWorkload> = calibrations
+        .iter()
+        .filter(|c| c.workload.class() == class)
+        .collect();
+    let rows = crate::executor::par_map_full(
+        members,
+        |_, c| format!("tables/{}", c.workload.name()),
+        |c| -> Result<Vec<String>, core::convert::Infallible> {
+            let (p_cpi, p_bf, p_mpki, p_wbr) = paper_reference(c.workload);
+            Ok(vec![
+                c.workload.name().to_string(),
+                f(c.cpi_cache, 2),
+                f(c.bf, 2),
+                format!("[{:.2},{:.2}]", c.bf_ci95.0, c.bf_ci95.1),
+                f(c.mpki, 1),
+                pct(c.wbr, 0),
+                f(c.r_squared, 2),
+                f(p_cpi, 2),
+                f(p_bf, 2),
+                f(p_mpki, 1),
+                pct(p_wbr, 0),
+            ])
+        },
+    );
+    for row in rows {
+        let Ok(row) = row;
+        t.row(row);
     }
     t
 }
@@ -94,7 +108,14 @@ pub fn tab5(calibrations: &[CalibratedWorkload]) -> Table {
 pub fn fig3(calibrations: &[CalibratedWorkload]) -> Table {
     let mut t = Table::new(
         "Fig. 3: CPI vs per-instruction miss latency (fit points)",
-        &["workload", "core_ghz", "mem_mts", "mpi_x_mp_cycles", "cpi_eff", "fit_cpi"],
+        &[
+            "workload",
+            "core_ghz",
+            "mem_mts",
+            "mpi_x_mp_cycles",
+            "cpi_eff",
+            "fit_cpi",
+        ],
     );
     for c in calibrations {
         for s in &c.samples {
@@ -147,7 +168,10 @@ mod tests {
 
     #[test]
     fn paper_reference_values() {
-        assert_eq!(paper_reference(Workload::StructuredData), (0.89, 0.20, 5.6, 0.32));
+        assert_eq!(
+            paper_reference(Workload::StructuredData),
+            (0.89, 0.20, 5.6, 0.32)
+        );
         assert_eq!(paper_reference(Workload::Bwaves).2, 26.7);
     }
 }

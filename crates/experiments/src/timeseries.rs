@@ -133,11 +133,19 @@ pub fn class_series(
     class: Class,
     budget: &SeriesBudget,
 ) -> Result<Vec<CharacterizationSeries>, ExperimentError> {
-    Workload::all()
+    let workloads: Vec<Workload> = Workload::all()
         .into_iter()
         .filter(|w| w.class() == class)
-        .map(|w| characterize(w, budget))
-        .collect()
+        .collect();
+    // Each workload simulates its own machine; characterize them on the
+    // executor, keeping workload order (serial-equivalent output).
+    crate::executor::par_map_full(
+        workloads,
+        |_, w| format!("timeseries/{}", w.name()),
+        |w| characterize(w, budget),
+    )
+    .into_iter()
+    .collect()
 }
 
 /// Summary table across a class (one row per workload) — the headline
@@ -145,7 +153,13 @@ pub fn class_series(
 pub fn summary_table(title: &str, series: &[CharacterizationSeries]) -> Table {
     let mut t = Table::new(
         title,
-        &["workload", "mean_util", "mean_cpi", "cpi_cv", "mean_bw_gbps"],
+        &[
+            "workload",
+            "mean_util",
+            "mean_cpi",
+            "cpi_cv",
+            "mean_bw_gbps",
+        ],
     );
     for s in series {
         t.row(vec![

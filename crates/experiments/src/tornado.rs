@@ -12,7 +12,7 @@ use memsense_model::system::SystemConfig;
 use memsense_model::workload::WorkloadParams;
 
 use crate::render::{f, pct, Table};
-use crate::ExperimentError;
+use crate::{executor, ExperimentError};
 
 /// Which parameter a tornado bar perturbs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,7 +30,12 @@ pub enum Parameter {
 impl Parameter {
     /// All parameters in display order.
     pub fn all() -> [Parameter; 4] {
-        [Parameter::CpiCache, Parameter::Bf, Parameter::Mpki, Parameter::Wbr]
+        [
+            Parameter::CpiCache,
+            Parameter::Bf,
+            Parameter::Mpki,
+            Parameter::Wbr,
+        ]
     }
 
     fn apply(self, base: &WorkloadParams, factor: f64) -> WorkloadParams {
@@ -116,11 +121,29 @@ pub fn tornado_table(
     spread: f64,
 ) -> Result<Table, ExperimentError> {
     let mut t = Table::new(
-        format!("Tornado: CPI swing from ±{:.0}% parameter perturbation", spread * 100.0),
-        &["class", "parameter", "cpi_low", "cpi_base", "cpi_high", "swing"],
+        format!(
+            "Tornado: CPI swing from ±{:.0}% parameter perturbation",
+            spread * 100.0
+        ),
+        &[
+            "class",
+            "parameter",
+            "cpi_low",
+            "cpi_base",
+            "cpi_high",
+            "swing",
+        ],
     );
-    for class in classes {
-        for bar in tornado(class, system, curve, spread)? {
+    // One executor job per class (9 solves each); class order is preserved.
+    let per_class = executor::par_map_full(
+        classes.iter().collect(),
+        |_, class| format!("tornado/{}", class.name),
+        |class| tornado(class, system, curve, spread),
+    )
+    .into_iter()
+    .collect::<Result<Vec<_>, _>>()?;
+    for (class, bars) in classes.iter().zip(per_class) {
+        for bar in bars {
             t.row(vec![
                 class.name.clone(),
                 bar.parameter.to_string(),
@@ -178,7 +201,11 @@ mod tests {
         // Bandwidth-bound: CPI ∝ MPI × (1 + WBR); BF is irrelevant.
         assert_eq!(bars[0].parameter, Parameter::Mpki);
         let bf = bars.iter().find(|b| b.parameter == Parameter::Bf).unwrap();
-        assert!(bf.swing() < 1e-9, "BF swing {} for bandwidth-bound class", bf.swing());
+        assert!(
+            bf.swing() < 1e-9,
+            "BF swing {} for bandwidth-bound class",
+            bf.swing()
+        );
         let wbr = bars.iter().find(|b| b.parameter == Parameter::Wbr).unwrap();
         assert!(wbr.swing() > 0.05, "WBR matters when traffic-bound");
     }

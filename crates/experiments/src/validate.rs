@@ -64,7 +64,15 @@ impl Validation {
                 self.calibration.cpi_cache,
                 self.calibration.bf
             ),
-            &["core_ghz", "mem_mts", "MPI", "MP_cycles", "cpi_computed", "cpi_measured", "error"],
+            &[
+                "core_ghz",
+                "mem_mts",
+                "MPI",
+                "MP_cycles",
+                "cpi_computed",
+                "cpi_measured",
+                "error",
+            ],
         );
         for p in &self.points {
             t.row(vec![
@@ -132,11 +140,7 @@ mod tests {
         let v = validate(Workload::StructuredData, &CalibrationBudget::quick()).unwrap();
         assert_eq!(v.points.len(), 8);
         // Paper: ≤ ±3%; allow a simulator margin.
-        assert!(
-            v.max_abs_error() < 0.06,
-            "max error {}",
-            v.max_abs_error()
-        );
+        assert!(v.max_abs_error() < 0.06, "max error {}", v.max_abs_error());
     }
 
     #[test]

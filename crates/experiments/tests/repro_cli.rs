@@ -9,6 +9,14 @@ fn repro(args: &[&str]) -> std::process::Output {
         .expect("repro binary runs")
 }
 
+fn repro_with_threads(threads: &str, args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+        .env("MEMSENSE_THREADS", threads)
+        .args(args)
+        .output()
+        .expect("repro binary runs")
+}
+
 #[test]
 fn help_lists_targets() {
     let out = repro(&["--help"]);
@@ -29,7 +37,11 @@ fn unknown_target_fails() {
 #[test]
 fn fig1_prints_and_writes_csv() {
     let out = repro(&["fig1"]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("Fig. 1"));
     assert!(stdout.contains("cpu_capability"));
@@ -39,7 +51,19 @@ fn fig1_prints_and_writes_csv() {
 #[test]
 fn model_only_targets_run_quickly() {
     // These need no calibration, so they must run fast and cleanly.
-    for target in ["fig8", "fig9", "fig10", "fig11", "tab7", "hierarchy", "numa", "futuretech", "tornado", "cpistack", "design"] {
+    for target in [
+        "fig8",
+        "fig9",
+        "fig10",
+        "fig11",
+        "tab7",
+        "hierarchy",
+        "numa",
+        "futuretech",
+        "tornado",
+        "cpistack",
+        "design",
+    ] {
         let out = repro(&[target]);
         assert!(
             out.status.success(),
@@ -48,6 +72,94 @@ fn model_only_targets_run_quickly() {
         );
         assert!(!out.stdout.is_empty(), "{target} produced output");
     }
+}
+
+#[test]
+fn parallel_output_is_byte_identical_to_serial() {
+    // The executor's serial-equivalence guarantee: tables and figures
+    // rendered with 1 thread and with 8 threads must match byte for byte,
+    // including stage ordering (the model-only targets cover solver-backed
+    // tables, sweeps, and multi-table stages).
+    let targets = [
+        "fig8",
+        "fig9",
+        "fig10",
+        "fig11",
+        "tab7",
+        "hierarchy",
+        "numa",
+        "futuretech",
+        "tornado",
+        "cpistack",
+        "design",
+        "channels",
+    ];
+    let serial = repro_with_threads("1", &targets);
+    let parallel = repro_with_threads("8", &targets);
+    assert!(
+        serial.status.success(),
+        "{}",
+        String::from_utf8_lossy(&serial.stderr)
+    );
+    assert!(
+        parallel.status.success(),
+        "{}",
+        String::from_utf8_lossy(&parallel.stderr)
+    );
+    assert!(!serial.stdout.is_empty());
+    assert_eq!(
+        serial.stdout, parallel.stdout,
+        "1-thread and 8-thread stdout must be byte-identical"
+    );
+}
+
+#[test]
+fn report_flag_prints_telemetry_and_writes_json() {
+    let out = repro_with_threads("4", &["--report", "fig8", "tornado"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("Run report: 2 stages on 4 threads"),
+        "{stdout}"
+    );
+    for column in ["stage", "wall_ms", "jobs", "failures"] {
+        assert!(stdout.contains(column), "report table has {column}");
+    }
+    assert!(stdout.contains("solves"), "solver tallies included");
+    let json_line = stdout
+        .lines()
+        .find(|l| l.contains("run_report.json"))
+        .expect("JSON path echoed");
+    let path = json_line
+        .trim_start_matches("[wrote ")
+        .trim_end_matches(']');
+    let json = std::fs::read_to_string(path).expect("run_report.json written");
+    for key in [
+        "\"threads\": 4",
+        "\"stages\"",
+        "\"jobs\"",
+        "\"solver\"",
+        "\"total_wall_ms\"",
+    ] {
+        assert!(json.contains(key), "JSON has {key}: {json}");
+    }
+    assert!(json.contains("\"name\": \"fig8\""));
+    assert!(json.contains("\"name\": \"tornado\""));
+}
+
+#[test]
+fn failing_stage_exits_via_error_path_not_panic() {
+    // An unknown target must produce the one-line diagnostic and a failure
+    // exit code — never a panic backtrace.
+    let out = repro(&["fig8", "zzz"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("error running zzz"), "{err}");
+    assert!(!err.contains("panicked"), "no panic on bad target: {err}");
 }
 
 #[test]

@@ -75,8 +75,14 @@ fn main() -> ExitCode {
             );
         }
         _ => {
-            println!("{}  (idle {:.1} ns)", sweep.label, sweep.unloaded_latency_ns);
-            println!("{:>12} {:>12} {:>12} {:>8}", "offered", "delivered", "latency", "stable");
+            println!(
+                "{}  (idle {:.1} ns)",
+                sweep.label, sweep.unloaded_latency_ns
+            );
+            println!(
+                "{:>12} {:>12} {:>12} {:>8}",
+                "offered", "delivered", "latency", "stable"
+            );
             for p in &sweep.points {
                 println!(
                     "{:>9.1} GB/s {:>9.2} GB/s {:>9.1} ns {:>8}",

@@ -292,9 +292,7 @@ mod tests {
 
     fn quick_config() -> MlcConfig {
         MlcConfig {
-            offered_gbps: vec![
-                2.0, 10.0, 20.0, 28.0, 32.0, 36.0, 40.0, 46.0, 52.0, 60.0,
-            ],
+            offered_gbps: vec![2.0, 10.0, 20.0, 28.0, 32.0, 36.0, 40.0, 46.0, 52.0, 60.0],
             window_ns: 150_000.0,
             ..MlcConfig::default()
         }

@@ -32,9 +32,7 @@ pub fn demand_per_thread(
     clock: GigaHertz,
 ) -> GigabytesPerSecond {
     let bytes_per_instr = workload.bytes_per_instruction().value();
-    GigabytesPerSecond::from_bytes_per_second(
-        bytes_per_instr * clock.cycles_per_second() / cpi_eff,
-    )
+    GigabytesPerSecond::from_bytes_per_second(bytes_per_instr * clock.cycles_per_second() / cpi_eff)
 }
 
 /// System-wide bandwidth demand: [`demand_per_thread`] scaled by the number
@@ -81,13 +79,13 @@ pub fn bandwidth_limited_cpi(
         ));
     }
     if hardware_threads == 0 {
-        return Err(ModelError::InvalidParameter(
-            "hardware_threads must be > 0",
-        ));
+        return Err(ModelError::InvalidParameter("hardware_threads must be > 0"));
     }
     let bytes_per_instr = workload.bytes_per_instruction().value();
-    Ok(bytes_per_instr * clock.cycles_per_second() * hardware_threads as f64
-        / available.bytes_per_second())
+    Ok(
+        bytes_per_instr * clock.cycles_per_second() * hardware_threads as f64
+            / available.bytes_per_second(),
+    )
 }
 
 /// Fraction of available bandwidth consumed at a given CPI, clamped to
@@ -151,7 +149,13 @@ mod tests {
             &w,
             crate::units::Nanoseconds(75.0).to_cycles(GigaHertz(2.7)),
         );
-        let util = utilization(&w, latency_limited_cpi, GigaHertz(2.7), 16, GigabytesPerSecond(42.0));
+        let util = utilization(
+            &w,
+            latency_limited_cpi,
+            GigaHertz(2.7),
+            16,
+            GigabytesPerSecond(42.0),
+        );
         assert!(util > 1.0, "HPC utilization {util} must exceed supply");
     }
 

@@ -121,7 +121,10 @@ pub fn solve_colocated(
             .sum::<f64>()
     };
     let residual = |q: f64| -> f64 {
-        curve.delay((total_demand(q) / available.value()).min(10.0)).value() - q
+        curve
+            .delay((total_demand(q) / available.value()).min(10.0))
+            .value()
+            - q
     };
 
     let mut lo = 0.0;
@@ -197,7 +200,12 @@ fn solo_cpi(
         let cpi_t = cpi::effective_cpi(&solo[0].workload, mp);
         bandwidth::demand_system(&solo[0].workload, cpi_t, clock, threads).value()
     };
-    let residual = |q: f64| curve.delay((demand(q) / available.value()).min(10.0)).value() - q;
+    let residual = |q: f64| {
+        curve
+            .delay((demand(q) / available.value()).min(10.0))
+            .value()
+            - q
+    };
     let mut lo = 0.0;
     let mut hi = curve.max_stable_delay().value().max(1.0);
     if residual(lo) <= 0.0 {
@@ -259,7 +267,11 @@ mod tests {
             "enterprise pays for the HPC neighbour: {}",
             ent.interference
         );
-        assert!(mixed.utilization > 0.8, "channels loaded: {}", mixed.utilization);
+        assert!(
+            mixed.utilization > 0.8,
+            "channels loaded: {}",
+            mixed.utilization
+        );
     }
 
     #[test]
@@ -340,17 +352,7 @@ mod tests {
     fn validation() {
         let (sys, curve) = setup();
         assert!(solve_colocated(&[], &sys, &curve).is_err());
-        assert!(solve_colocated(
-            &[tenant(WorkloadParams::hpc_class(), 0)],
-            &sys,
-            &curve
-        )
-        .is_err());
-        assert!(solve_colocated(
-            &[tenant(WorkloadParams::hpc_class(), 17)],
-            &sys,
-            &curve
-        )
-        .is_err());
+        assert!(solve_colocated(&[tenant(WorkloadParams::hpc_class(), 0)], &sys, &curve).is_err());
+        assert!(solve_colocated(&[tenant(WorkloadParams::hpc_class(), 17)], &sys, &curve).is_err());
     }
 }

@@ -138,7 +138,10 @@ mod tests {
     #[test]
     fn core_bound_workload_insensitive() {
         let w = WorkloadParams::new("cb", Segment::BigData, 0.93, 0.0, 0.5, 0.47).unwrap();
-        assert_eq!(effective_cpi(&w, Cycles(0.0)), effective_cpi(&w, Cycles(1000.0)));
+        assert_eq!(
+            effective_cpi(&w, Cycles(0.0)),
+            effective_cpi(&w, Cycles(1000.0))
+        );
     }
 
     #[test]

@@ -109,9 +109,8 @@ pub fn default_grid() -> Vec<DesignPoint> {
                 // A simple additive cost model: channels are the dominant
                 // cost (pins/board), speed next (signal integrity), and low
                 // latency carries a premium.
-                let cost = 0.25 + 0.15 * channels as f64
-                    + 0.10 * (mts / 1866.7)
-                    + 0.20 * (75.0 / lat);
+                let cost =
+                    0.25 + 0.15 * channels as f64 + 0.10 * (mts / 1866.7) + 0.20 * (75.0 / lat);
                 grid.push(DesignPoint {
                     channels,
                     mega_transfers: mts,
@@ -240,15 +239,26 @@ mod tests {
         let grid = default_grid();
         let ev = evaluate(&grid, &Mix::balanced(), &sys, &curve).unwrap();
         assert_eq!(ev.len(), grid.len());
-        assert!((ev[0].throughput - 1.0).abs() < 1e-12, "normalized to first point");
+        assert!(
+            (ev[0].throughput - 1.0).abs() < 1e-12,
+            "normalized to first point"
+        );
         // More of everything (8ch, 2400, 60ns) beats less (2ch, 1333, 95ns).
         let best = ev
             .iter()
-            .find(|e| e.point.channels == 8 && e.point.mega_transfers == 2400.0 && e.point.unloaded_ns == 60.0)
+            .find(|e| {
+                e.point.channels == 8
+                    && e.point.mega_transfers == 2400.0
+                    && e.point.unloaded_ns == 60.0
+            })
             .unwrap();
         let worst = ev
             .iter()
-            .find(|e| e.point.channels == 2 && e.point.mega_transfers == 1333.0 && e.point.unloaded_ns == 95.0)
+            .find(|e| {
+                e.point.channels == 2
+                    && e.point.mega_transfers == 1333.0
+                    && e.point.unloaded_ns == 95.0
+            })
             .unwrap();
         assert!(best.throughput > worst.throughput);
     }
@@ -267,8 +277,9 @@ mod tests {
         // No evaluated point dominates a frontier point.
         for f in &frontier {
             assert!(
-                !ev.iter().any(|e| e.point.cost < f.point.cost - 1e-12
-                    && e.throughput > f.throughput + 1e-12),
+                !ev.iter()
+                    .any(|e| e.point.cost < f.point.cost - 1e-12
+                        && e.throughput > f.throughput + 1e-12),
                 "dominated frontier point {:?}",
                 f.point.label()
             );

@@ -245,8 +245,7 @@ mod tests {
         let clock = GigaHertz(2.7);
         let mem = TieredMemory::flat(Nanoseconds(75.0)).unwrap();
         let via_eq5 = hierarchical_cpi(&big(), &mem, clock);
-        let via_eq1 =
-            crate::cpi::effective_cpi(&big(), Nanoseconds(75.0).to_cycles(clock));
+        let via_eq1 = crate::cpi::effective_cpi(&big(), Nanoseconds(75.0).to_cycles(clock));
         assert!((via_eq5 - via_eq1).abs() < 1e-12);
     }
 
@@ -344,8 +343,12 @@ mod tests {
         assert!((bf - big().bf / 2.0).abs() < 1e-12);
         // Verify equality of CPIs with the reduced BF.
         let clock = GigaHertz(2.7);
-        let fast_cpi =
-            crate::cpi::effective_cpi_raw(big().cpi_cache, big().mpi(), Nanoseconds(75.0).to_cycles(clock), big().bf);
+        let fast_cpi = crate::cpi::effective_cpi_raw(
+            big().cpi_cache,
+            big().mpi(),
+            Nanoseconds(75.0).to_cycles(clock),
+            big().bf,
+        );
         let slow_cpi = crate::cpi::effective_cpi_raw(
             big().cpi_cache,
             big().mpi(),

@@ -279,9 +279,7 @@ mod tests {
         let (sys, curve) = setup();
         let numa = NumaConfig::new(0.3, Nanoseconds(55.0)).unwrap();
         let s = solve_numa(&WorkloadParams::big_data_class(), &sys, &curve, &numa).unwrap();
-        assert!(
-            (s.remote_latency.value() - s.local_latency.value() - 55.0).abs() < 1e-9
-        );
+        assert!((s.remote_latency.value() - s.local_latency.value() - 55.0).abs() < 1e-9);
         let expect_avg = 0.7 * s.local_latency.value() + 0.3 * s.remote_latency.value();
         assert!((s.avg_miss_penalty.value() - expect_avg).abs() < 1e-9);
     }

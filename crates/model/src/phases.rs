@@ -152,8 +152,7 @@ mod tests {
         let sys = SystemConfig::paper_baseline();
         let curve = QueueingCurve::composite_default();
         let params = WorkloadParams::big_data_class();
-        let phased =
-            PhasedWorkload::new("one", vec![(params.clone(), 5.0)]).unwrap();
+        let phased = PhasedWorkload::new("one", vec![(params.clone(), 5.0)]).unwrap();
         let a = solve_phased(&phased, &sys, &curve).unwrap().cpi_eff;
         let b = solve_cpi(&params, &sys, &curve).unwrap().cpi_eff;
         assert!((a - b).abs() < 1e-12);
@@ -166,7 +165,10 @@ mod tests {
         let w = two_phase();
         let heavy_shuffle = PhasedWorkload::new(
             "job",
-            vec![(w.phases()[0].0.clone(), 3.0), (w.phases()[1].0.clone(), 1.0)],
+            vec![
+                (w.phases()[0].0.clone(), 3.0),
+                (w.phases()[1].0.clone(), 1.0),
+            ],
         )
         .unwrap();
         let balanced = solve_phased(&w, &sys, &curve).unwrap().cpi_eff;

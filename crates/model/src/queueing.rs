@@ -224,18 +224,13 @@ mod tests {
         assert!(QueueingCurve::from_measurements(vec![(0.5, 1.0)], 0.0).is_err());
         assert!(QueueingCurve::from_measurements(vec![(0.5, 1.0)], 1.5).is_err());
         // Non-monotone:
-        assert!(
-            QueueingCurve::from_measurements(vec![(0.1, 5.0), (0.2, 1.0)], 0.95).is_err()
-        );
+        assert!(QueueingCurve::from_measurements(vec![(0.1, 5.0), (0.2, 1.0)], 0.95).is_err());
     }
 
     #[test]
     fn from_measurements_merges_duplicates() {
-        let q = QueueingCurve::from_measurements(
-            vec![(0.5, 10.0), (0.5, 20.0), (0.0, 0.0)],
-            0.95,
-        )
-        .unwrap();
+        let q = QueueingCurve::from_measurements(vec![(0.5, 10.0), (0.5, 20.0), (0.0, 0.0)], 0.95)
+            .unwrap();
         assert_eq!(q.delay(0.5).value(), 15.0);
     }
 

@@ -137,9 +137,9 @@ pub fn latency_sweep(
     added_ns
         .iter()
         .map(|&d| {
-            let sys = baseline.clone().with_unloaded_latency(Nanoseconds(
-                baseline.unloaded_latency().value() + d,
-            ))?;
+            let sys = baseline
+                .clone()
+                .with_unloaded_latency(Nanoseconds(baseline.unloaded_latency().value() + d))?;
             let solved = solve_cpi(workload, &sys, curve)?;
             Ok(SweepPoint {
                 delta: d,
@@ -231,9 +231,9 @@ pub fn equivalence(
     let benefit_bw = (cpi_minus_bw / base.cpi_eff - 1.0) * 100.0;
 
     // Benefit of 10 ns: baseline vs. baseline + 10 ns.
-    let plus_lat = baseline.clone().with_unloaded_latency(Nanoseconds(
-        baseline.unloaded_latency().value() + 10.0,
-    ))?;
+    let plus_lat = baseline
+        .clone()
+        .with_unloaded_latency(Nanoseconds(baseline.unloaded_latency().value() + 10.0))?;
     let cpi_plus_lat = solve_cpi(workload, &plus_lat, curve)?.cpi_eff;
     let benefit_lat = (cpi_plus_lat / base.cpi_eff - 1.0) * 100.0;
 
@@ -303,7 +303,10 @@ mod tests {
     use crate::solver::Regime;
 
     fn setup() -> (SystemConfig, QueueingCurve) {
-        (SystemConfig::paper_baseline(), QueueingCurve::composite_default())
+        (
+            SystemConfig::paper_baseline(),
+            QueueingCurve::composite_default(),
+        )
     }
 
     #[test]
@@ -324,7 +327,11 @@ mod tests {
             assert!(w[1].cpi_ratio > w[0].cpi_ratio);
         }
         // Enterprise sees only small, slowly-growing impact.
-        assert!(ent[last].cpi_increase_pct() < 10.0, "{}", ent[last].cpi_increase_pct());
+        assert!(
+            ent[last].cpi_increase_pct() < 10.0,
+            "{}",
+            ent[last].cpi_increase_pct()
+        );
     }
 
     #[test]
@@ -376,15 +383,17 @@ mod tests {
     fn fig10_latency_ordering_matches_paper() {
         let (sys, curve) = setup();
         let steps = default_latency_steps();
-        let ent =
-            latency_sweep(&WorkloadParams::enterprise_class(), &sys, &curve, &steps).unwrap();
+        let ent = latency_sweep(&WorkloadParams::enterprise_class(), &sys, &curve, &steps).unwrap();
         let big = latency_sweep(&WorkloadParams::big_data_class(), &sys, &curve, &steps).unwrap();
         let hpc = latency_sweep(&WorkloadParams::hpc_class(), &sys, &curve, &steps).unwrap();
         let last = steps.len() - 1;
         // Enterprise most latency sensitive, then big data, HPC flat.
         assert!(ent[last].cpi_increase_pct() > big[last].cpi_increase_pct());
         assert!(big[last].cpi_increase_pct() > 5.0);
-        assert!(hpc[last].cpi_increase_pct().abs() < 1e-6, "HPC shows no latency sensitivity");
+        assert!(
+            hpc[last].cpi_increase_pct().abs() < 1e-6,
+            "HPC shows no latency sensitivity"
+        );
     }
 
     #[test]
@@ -400,10 +409,8 @@ mod tests {
             &latency_sweep(&WorkloadParams::big_data_class(), &sys, &curve, &steps).unwrap(),
         )
         .unwrap();
-        let ent_avg =
-            ent.iter().map(|d| d.pct_per_unit).sum::<f64>() / ent.len() as f64;
-        let big_avg =
-            big.iter().map(|d| d.pct_per_unit).sum::<f64>() / big.len() as f64;
+        let ent_avg = ent.iter().map(|d| d.pct_per_unit).sum::<f64>() / ent.len() as f64;
+        let big_avg = big.iter().map(|d| d.pct_per_unit).sum::<f64>() / big.len() as f64;
         assert!((ent_avg - 3.5).abs() < 0.7, "enterprise {ent_avg}%/10ns");
         assert!((big_avg - 2.5).abs() < 0.7, "big data {big_avg}%/10ns");
         // Near-constant steps ("the impact is nearly constant").
@@ -411,7 +418,10 @@ mod tests {
             .iter()
             .map(|d| (d.pct_per_unit - ent_avg).abs())
             .fold(0.0, f64::max);
-        assert!(spread < 0.5, "Fig. 11 steps nearly constant, spread {spread}");
+        assert!(
+            spread < 0.5,
+            "Fig. 11 steps nearly constant, spread {spread}"
+        );
     }
 
     #[test]
@@ -436,8 +446,12 @@ mod tests {
 
         // Equivalences: 10 ns is worth tens of GB/s for the latency-bound
         // classes (paper: 39.7 and 27.1 GB/s), nothing for HPC.
-        let ent_bw = ent.bandwidth_equivalent_of_10ns.expect("finite for enterprise");
-        let big_bw = big.bandwidth_equivalent_of_10ns.expect("finite for big data");
+        let ent_bw = ent
+            .bandwidth_equivalent_of_10ns
+            .expect("finite for enterprise");
+        let big_bw = big
+            .bandwidth_equivalent_of_10ns
+            .expect("finite for big data");
         assert!(ent_bw > big_bw, "enterprise 10 ns worth more bandwidth");
         assert!((15.0..90.0).contains(&ent_bw), "enterprise {ent_bw} GB/s");
         assert!((10.0..60.0).contains(&big_bw), "big data {big_bw} GB/s");
@@ -449,7 +463,10 @@ mod tests {
         let big_ns = big.latency_equivalent_of_bandwidth.expect("finite");
         assert!((0.5..6.0).contains(&ent_ns), "enterprise {ent_ns} ns");
         assert!((0.5..8.0).contains(&big_ns), "big data {big_ns} ns");
-        assert!(big_ns > ent_ns, "big data values bandwidth more in latency terms");
+        assert!(
+            big_ns > ent_ns,
+            "big data values bandwidth more in latency terms"
+        );
         assert_eq!(hpc.latency_equivalent_of_bandwidth, None);
     }
 

@@ -109,8 +109,14 @@ impl CpiStack {
     }
 
     /// Fraction of CPI spent stalled on memory (everything but `cpi_cache`).
+    /// An all-zero stack has no memory component, so the fraction is 0.
     pub fn memory_fraction(&self) -> f64 {
-        1.0 - self.cpi_cache / self.total()
+        let total = self.total();
+        if total == 0.0 {
+            0.0
+        } else {
+            1.0 - self.cpi_cache / total
+        }
     }
 }
 
@@ -125,6 +131,73 @@ impl core::fmt::Display for CpiStack {
             self.bandwidth_residual,
             self.total()
         )
+    }
+}
+
+/// Process-wide solver telemetry: counts of solves, fixed-point iterations,
+/// and regime outcomes, accumulated across threads with relaxed atomics.
+///
+/// The experiment executor snapshots these around each pipeline stage to
+/// build its run report; nothing in the model reads them. Counters are
+/// cumulative — take [`telemetry::snapshot`] deltas to scope a window.
+pub mod telemetry {
+    use super::Regime;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static SOLVES: AtomicU64 = AtomicU64::new(0);
+    static ITERATIONS: AtomicU64 = AtomicU64::new(0);
+    static CORE_BOUND: AtomicU64 = AtomicU64::new(0);
+    static LATENCY_LIMITED: AtomicU64 = AtomicU64::new(0);
+    static BANDWIDTH_BOUND: AtomicU64 = AtomicU64::new(0);
+
+    /// A point-in-time copy of the cumulative solver counters.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+    pub struct SolverStats {
+        /// Completed `solve_cpi` calls.
+        pub solves: u64,
+        /// Total bisection iterations across all solves.
+        pub iterations: u64,
+        /// Solves that classified the workload core bound.
+        pub core_bound: u64,
+        /// Solves that classified the workload latency limited.
+        pub latency_limited: u64,
+        /// Solves that classified the workload bandwidth bound.
+        pub bandwidth_bound: u64,
+    }
+
+    impl SolverStats {
+        /// Counter-wise difference `self − earlier` (saturating).
+        pub fn since(&self, earlier: &SolverStats) -> SolverStats {
+            SolverStats {
+                solves: self.solves.saturating_sub(earlier.solves),
+                iterations: self.iterations.saturating_sub(earlier.iterations),
+                core_bound: self.core_bound.saturating_sub(earlier.core_bound),
+                latency_limited: self.latency_limited.saturating_sub(earlier.latency_limited),
+                bandwidth_bound: self.bandwidth_bound.saturating_sub(earlier.bandwidth_bound),
+            }
+        }
+    }
+
+    /// Reads the cumulative counters.
+    pub fn snapshot() -> SolverStats {
+        SolverStats {
+            solves: SOLVES.load(Ordering::Relaxed),
+            iterations: ITERATIONS.load(Ordering::Relaxed),
+            core_bound: CORE_BOUND.load(Ordering::Relaxed),
+            latency_limited: LATENCY_LIMITED.load(Ordering::Relaxed),
+            bandwidth_bound: BANDWIDTH_BOUND.load(Ordering::Relaxed),
+        }
+    }
+
+    pub(super) fn record(iterations: usize, regime: Regime) {
+        SOLVES.fetch_add(1, Ordering::Relaxed);
+        ITERATIONS.fetch_add(iterations as u64, Ordering::Relaxed);
+        let counter = match regime {
+            Regime::CoreBound => &CORE_BOUND,
+            Regime::LatencyLimited => &LATENCY_LIMITED,
+            Regime::BandwidthBound => &BANDWIDTH_BOUND,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -225,6 +298,7 @@ pub fn solve_cpi(
         let lat_cpi = cpi::effective_cpi(workload, mp.to_cycles(clock));
         let cpi_eff = bw_cpi.max(lat_cpi);
         let demand = bandwidth::demand_system(workload, cpi_eff, clock, threads);
+        telemetry::record(iterations, Regime::BandwidthBound);
         return Ok(SolvedCpi {
             cpi_eff,
             miss_penalty: mp,
@@ -246,6 +320,7 @@ pub fn solve_cpi(
         Regime::LatencyLimited
     };
     let demand = bandwidth::demand_system(workload, latency_limited_cpi, clock, threads);
+    telemetry::record(iterations, regime);
     Ok(SolvedCpi {
         cpi_eff: latency_limited_cpi,
         miss_penalty: mp,
@@ -291,8 +366,15 @@ mod tests {
         )
         .unwrap();
         assert_eq!(s.regime, Regime::LatencyLimited);
-        assert!(s.utilization > 0.4 && s.utilization < 0.8, "util = {}", s.utilization);
-        assert!(s.queueing_delay.value() > 1.0, "big data sees some queueing");
+        assert!(
+            s.utilization > 0.4 && s.utilization < 0.8,
+            "util = {}",
+            s.utilization
+        );
+        assert!(
+            s.queueing_delay.value() > 1.0,
+            "big data sees some queueing"
+        );
     }
 
     #[test]
@@ -347,7 +429,10 @@ mod tests {
         assert!(e1.cpi_eff < e0.cpi_eff - 0.05);
         let h0 = solve_cpi(&hpc, &base, &c).unwrap();
         let h1 = solve_cpi(&hpc, &fast, &c).unwrap();
-        assert!((h1.cpi_eff - h0.cpi_eff).abs() < 1e-9, "HPC stays bandwidth bound");
+        assert!(
+            (h1.cpi_eff - h0.cpi_eff).abs() < 1e-9,
+            "HPC stays bandwidth bound"
+        );
     }
 
     #[test]
@@ -441,6 +526,45 @@ mod tests {
         let s = solve_cpi(&w, &sys, &c).unwrap();
         let text = s.cpi_stack(&w, &sys).to_string();
         assert!(text.contains("compulsory") && text.contains("queueing"));
+    }
+
+    #[test]
+    fn memory_fraction_zero_stack_is_zero_not_nan() {
+        let stack = CpiStack {
+            cpi_cache: 0.0,
+            compulsory_stall: 0.0,
+            queueing_stall: 0.0,
+            bandwidth_residual: 0.0,
+        };
+        assert_eq!(stack.total(), 0.0);
+        let frac = stack.memory_fraction();
+        assert!(!frac.is_nan(), "all-zero stack must not be NaN");
+        assert_eq!(frac, 0.0);
+    }
+
+    #[test]
+    fn memory_fraction_pure_core_stack_is_zero() {
+        let stack = CpiStack {
+            cpi_cache: 1.5,
+            compulsory_stall: 0.0,
+            queueing_stall: 0.0,
+            bandwidth_residual: 0.0,
+        };
+        assert_eq!(stack.memory_fraction(), 0.0);
+    }
+
+    #[test]
+    fn telemetry_counts_solves_and_regimes() {
+        let before = telemetry::snapshot();
+        let sys = SystemConfig::paper_baseline();
+        let c = curve();
+        solve_cpi(&WorkloadParams::enterprise_class(), &sys, &c).unwrap();
+        solve_cpi(&WorkloadParams::hpc_class(), &sys, &c).unwrap();
+        let delta = telemetry::snapshot().since(&before);
+        assert!(delta.solves >= 2);
+        assert!(delta.latency_limited >= 1);
+        assert!(delta.bandwidth_bound >= 1);
+        assert!(delta.iterations > 0, "bisection iterations recorded");
     }
 
     #[test]

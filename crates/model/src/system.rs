@@ -92,33 +92,15 @@ impl SystemConfig {
     /// 8 cores × 2 hardware threads at 2.7 GHz, four channels of DDR3-1867
     /// at 70% efficiency, 75 ns compulsory latency.
     pub fn paper_baseline() -> Self {
-        SystemConfig::new(
-            1,
-            8,
-            2,
-            GigaHertz(2.7),
-            4,
-            1866.7,
-            0.70,
-            Nanoseconds(75.0),
-        )
-        .expect("paper baseline is valid")
+        SystemConfig::new(1, 8, 2, GigaHertz(2.7), 4, 1866.7, 0.70, Nanoseconds(75.0))
+            .expect("paper baseline is valid")
     }
 
     /// A dual-socket Xeon E5-2600-like characterization platform
     /// (paper Sec. V.B): 2 × 8 cores × 2 threads, 4 channels/socket.
     pub fn characterization_platform() -> Self {
-        SystemConfig::new(
-            2,
-            8,
-            2,
-            GigaHertz(2.7),
-            4,
-            1600.0,
-            0.70,
-            Nanoseconds(80.0),
-        )
-        .expect("platform is valid")
+        SystemConfig::new(2, 8, 2, GigaHertz(2.7), 4, 1600.0, 0.70, Nanoseconds(80.0))
+            .expect("platform is valid")
     }
 
     // ----- Accessors -------------------------------------------------------
@@ -311,11 +293,21 @@ mod tests {
     #[test]
     fn invalid_configs_rejected() {
         let ok = SystemConfig::paper_baseline();
-        assert!(SystemConfig::new(0, 8, 2, GigaHertz(2.7), 4, 1866.7, 0.7, Nanoseconds(75.0)).is_err());
-        assert!(SystemConfig::new(1, 8, 2, GigaHertz(0.0), 4, 1866.7, 0.7, Nanoseconds(75.0)).is_err());
-        assert!(SystemConfig::new(1, 8, 2, GigaHertz(2.7), 0, 1866.7, 0.7, Nanoseconds(75.0)).is_err());
-        assert!(SystemConfig::new(1, 8, 2, GigaHertz(2.7), 4, 1866.7, 1.5, Nanoseconds(75.0)).is_err());
-        assert!(SystemConfig::new(1, 8, 2, GigaHertz(2.7), 4, 1866.7, 0.7, Nanoseconds(-1.0)).is_err());
+        assert!(
+            SystemConfig::new(0, 8, 2, GigaHertz(2.7), 4, 1866.7, 0.7, Nanoseconds(75.0)).is_err()
+        );
+        assert!(
+            SystemConfig::new(1, 8, 2, GigaHertz(0.0), 4, 1866.7, 0.7, Nanoseconds(75.0)).is_err()
+        );
+        assert!(
+            SystemConfig::new(1, 8, 2, GigaHertz(2.7), 0, 1866.7, 0.7, Nanoseconds(75.0)).is_err()
+        );
+        assert!(
+            SystemConfig::new(1, 8, 2, GigaHertz(2.7), 4, 1866.7, 1.5, Nanoseconds(75.0)).is_err()
+        );
+        assert!(
+            SystemConfig::new(1, 8, 2, GigaHertz(2.7), 4, 1866.7, 0.7, Nanoseconds(-1.0)).is_err()
+        );
         assert!(ok.clone().with_core_clock(GigaHertz(-1.0)).is_err());
         assert!(ok.clone().with_unloaded_latency(Nanoseconds(-5.0)).is_err());
         assert!(ok.clone().with_channels(0).is_err());
@@ -329,7 +321,10 @@ mod tests {
         let faster = base.clone().with_channel_speed(2133.0).unwrap();
         assert!(faster.effective_bandwidth().value() > base.effective_bandwidth().value());
         let fewer = base.clone().with_channels(2).unwrap();
-        assert!((fewer.effective_bandwidth().value() - base.effective_bandwidth().value() / 2.0).abs() < 1e-9);
+        assert!(
+            (fewer.effective_bandwidth().value() - base.effective_bandwidth().value() / 2.0).abs()
+                < 1e-9
+        );
     }
 
     #[test]

@@ -113,11 +113,20 @@ impl WorkloadParams {
     }
 
     fn validate(&self) -> Result<(), ModelError> {
-        let finite = [self.cpi_cache, self.bf, self.mpki, self.wbr, self.iopi, self.iosz]
-            .iter()
-            .all(|v| v.is_finite());
+        let finite = [
+            self.cpi_cache,
+            self.bf,
+            self.mpki,
+            self.wbr,
+            self.iopi,
+            self.iosz,
+        ]
+        .iter()
+        .all(|v| v.is_finite());
         if !finite {
-            return Err(ModelError::InvalidParameter("non-finite workload parameter"));
+            return Err(ModelError::InvalidParameter(
+                "non-finite workload parameter",
+            ));
         }
         if self.cpi_cache <= 0.0 {
             return Err(ModelError::InvalidParameter("cpi_cache must be > 0"));
@@ -259,8 +268,15 @@ impl WorkloadParams {
     /// Enterprise class mean (Tab. 6): CPI_cache 1.47, BF 0.41, MPKI 6.7,
     /// WBR 27%.
     pub fn enterprise_class() -> Self {
-        WorkloadParams::new("Enterprise class", Segment::Enterprise, 1.47, 0.41, 6.7, 0.27)
-            .expect("paper constants are valid")
+        WorkloadParams::new(
+            "Enterprise class",
+            Segment::Enterprise,
+            1.47,
+            0.41,
+            6.7,
+            0.27,
+        )
+        .expect("paper constants are valid")
     }
 
     /// Big data class mean (Tab. 6): CPI_cache 0.91, BF 0.21, MPKI 5.5,
@@ -312,14 +328,26 @@ mod tests {
     #[test]
     fn tab2_constants_match_paper() {
         let sd = WorkloadParams::structured_data();
-        assert_eq!((sd.cpi_cache, sd.bf, sd.mpki, sd.wbr), (0.89, 0.20, 5.6, 0.32));
+        assert_eq!(
+            (sd.cpi_cache, sd.bf, sd.mpki, sd.wbr),
+            (0.89, 0.20, 5.6, 0.32)
+        );
         let nits = WorkloadParams::nits();
         assert_eq!((nits.cpi_cache, nits.bf, nits.mpki), (0.96, 0.18, 5.0));
-        assert!(nits.wbr > 1.0, "NITS WBR exceeds 100% (non-temporal writes)");
+        assert!(
+            nits.wbr > 1.0,
+            "NITS WBR exceeds 100% (non-temporal writes)"
+        );
         let spark = WorkloadParams::spark();
-        assert_eq!((spark.cpi_cache, spark.bf, spark.mpki, spark.wbr), (0.90, 0.25, 6.0, 0.64));
+        assert_eq!(
+            (spark.cpi_cache, spark.bf, spark.mpki, spark.wbr),
+            (0.90, 0.25, 6.0, 0.64)
+        );
         let prox = WorkloadParams::proximity();
-        assert_eq!((prox.cpi_cache, prox.bf, prox.mpki, prox.wbr), (0.93, 0.03, 0.5, 0.47));
+        assert_eq!(
+            (prox.cpi_cache, prox.bf, prox.mpki, prox.wbr),
+            (0.93, 0.03, 0.5, 0.47)
+        );
     }
 
     #[test]
@@ -382,8 +410,7 @@ mod tests {
     fn io_terms_add_bandwidth() {
         let no_io = WorkloadParams::structured_data();
         let with_io = no_io.clone().with_io(0.0001, 4096.0).unwrap();
-        let delta =
-            with_io.bytes_per_instruction().value() - no_io.bytes_per_instruction().value();
+        let delta = with_io.bytes_per_instruction().value() - no_io.bytes_per_instruction().value();
         assert!((delta - 0.4096).abs() < 1e-9);
     }
 
@@ -392,7 +419,10 @@ mod tests {
         let h = WorkloadParams::hpc_class().refs_per_cycle().value();
         let e = WorkloadParams::enterprise_class().refs_per_cycle().value();
         let b = WorkloadParams::big_data_class().refs_per_cycle().value();
-        assert!(h > b && b > e, "Fig. 6 ordering: HPC {h} > big data {b} > enterprise {e}");
+        assert!(
+            h > b && b > e,
+            "Fig. 6 ordering: HPC {h} > big data {b} > enterprise {e}"
+        );
     }
 
     #[test]

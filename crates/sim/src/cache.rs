@@ -50,7 +50,10 @@ impl SetAssocCache {
     /// owning [`SimConfig`] validates this first.
     pub fn new(config: &CacheConfig, line_size: usize) -> Self {
         let sets = config.sets(line_size);
-        assert!(sets.is_power_of_two() && sets > 0, "sets must be a power of two");
+        assert!(
+            sets.is_power_of_two() && sets > 0,
+            "sets must be a power of two"
+        );
         SetAssocCache {
             lines: vec![Line::default(); sets * config.ways],
             sets,
@@ -245,7 +248,10 @@ impl CacheHierarchy {
     /// streamer bringing data close to the core). Returns a dirty LLC
     /// victim, if any.
     pub fn install_prefetch(&mut self, addr: u64) -> Option<u64> {
-        if let Lookup::Miss { writeback: Some(wb) } = self.l2.access(addr, false) {
+        if let Lookup::Miss {
+            writeback: Some(wb),
+        } = self.l2.access(addr, false)
+        {
             self.llc.mark_dirty(wb);
         }
         if self.llc.probe(addr) {
@@ -287,7 +293,10 @@ mod tests {
     #[test]
     fn first_access_misses_then_hits() {
         let mut c = small_cache();
-        assert!(matches!(c.access(0x1000, false), Lookup::Miss { writeback: None }));
+        assert!(matches!(
+            c.access(0x1000, false),
+            Lookup::Miss { writeback: None }
+        ));
         assert_eq!(c.access(0x1000, false), Lookup::Hit);
         assert_eq!(c.access(0x1010, false), Lookup::Hit, "same line");
         assert_eq!(c.hits(), 2);
@@ -313,7 +322,12 @@ mod tests {
         c.access(0x000, true);
         c.access(0x400, false);
         let r = c.access(0x800, false); // evicts dirty 0x000
-        assert_eq!(r, Lookup::Miss { writeback: Some(0x000) });
+        assert_eq!(
+            r,
+            Lookup::Miss {
+                writeback: Some(0x000)
+            }
+        );
     }
 
     #[test]
@@ -332,7 +346,12 @@ mod tests {
         assert!(c.mark_dirty(0x100));
         c.access(0x500, false);
         let r = c.access(0x900, false);
-        assert_eq!(r, Lookup::Miss { writeback: Some(0x100) });
+        assert_eq!(
+            r,
+            Lookup::Miss {
+                writeback: Some(0x100)
+            }
+        );
     }
 
     #[test]

@@ -190,8 +190,8 @@ impl Machine {
                     .wrapping_mul(6364136223846793005)
                     .wrapping_add(1442695040888963407);
                 let addr = (0xb0_0000_0000u64 + (agent.addr_state % (1 << 30))) & !63;
-                let write = (agent.addr_state >> 32) as f64 / u32::MAX as f64
-                    >= agent.read_fraction;
+                let write =
+                    (agent.addr_state >> 32) as f64 / u32::MAX as f64 >= agent.read_fraction;
                 self.memory[agent.socket].request(agent.next_ns, addr, write);
                 agent.next_ns += interval;
             }
@@ -369,12 +369,18 @@ impl Machine {
             core.io_credit += core.stream.io_bytes_per_instruction();
             while core.io_credit >= config.line_size as f64 {
                 core.io_credit -= config.line_size as f64;
-                let io_addr = core.counters.io_bytes
-                    .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                let io_addr = core.counters.io_bytes.wrapping_mul(0x9e37_79b9_7f4a_7c15)
                     & !(config.line_size as u64 - 1);
                 let write = core.io_toggle;
                 core.io_toggle = !core.io_toggle;
-                numa_request(config, &mut self.memory, socket, core.time_ns, io_addr, write);
+                numa_request(
+                    config,
+                    &mut self.memory,
+                    socket,
+                    core.time_ns,
+                    io_addr,
+                    write,
+                );
                 core.counters.io_bytes += config.line_size as u64;
             }
 
@@ -598,11 +604,13 @@ mod tests {
     #[test]
     fn stream_count_must_match() {
         let cfg = SimConfig::xeon_like(2);
-        let streams: Vec<BoxedStream> =
-            vec![Box::new(PatternStream::new(vec![Op::compute()]))];
+        let streams: Vec<BoxedStream> = vec![Box::new(PatternStream::new(vec![Op::compute()]))];
         assert!(matches!(
             Machine::new(cfg, streams),
-            Err(SimError::StreamCountMismatch { cores: 2, streams: 1 })
+            Err(SimError::StreamCountMismatch {
+                cores: 2,
+                streams: 1
+            })
         ));
     }
 
@@ -612,7 +620,10 @@ mod tests {
         m.run_ops(10_000);
         let c = m.total_counters();
         let cpi = c.busy_ns * m.config().core_clock_ghz / c.instructions as f64;
-        assert!((cpi - 0.25).abs() < 0.01, "4-wide issue → CPI 0.25, got {cpi}");
+        assert!(
+            (cpi - 0.25).abs() < 0.01,
+            "4-wide issue → CPI 0.25, got {cpi}"
+        );
     }
 
     #[test]
@@ -736,7 +747,12 @@ mod tests {
             let c = m.total_counters();
             c.busy_ns * m.config().core_clock_ghz / c.instructions as f64
         };
-        assert!(cpi(&off) > cpi(&on) * 1.3, "off {} vs on {}", cpi(&off), cpi(&on));
+        assert!(
+            cpi(&off) > cpi(&on) * 1.3,
+            "off {} vs on {}",
+            cpi(&off),
+            cpi(&on)
+        );
     }
 
     #[test]
@@ -872,7 +888,11 @@ mod tests {
             m.total_counters()
         };
         assert_eq!(without.tlb_misses, 0);
-        assert!(with.tlb_misses > 4_000, "page hopping misses the TLB: {}", with.tlb_misses);
+        assert!(
+            with.tlb_misses > 4_000,
+            "page hopping misses the TLB: {}",
+            with.tlb_misses
+        );
         assert!(with.busy_ns > without.busy_ns * 1.1, "walks cost time");
     }
 
@@ -913,7 +933,9 @@ mod tests {
         use crate::config::NumaSimConfig;
         let cfg = SimConfig::xeon_like(4).with_numa(NumaSimConfig::dual_socket(true));
         let streams: Vec<BoxedStream> = (0..4)
-            .map(|_| Box::new(PatternStream::new(vec![Op::nt_store(0), Op::compute()])) as BoxedStream)
+            .map(|_| {
+                Box::new(PatternStream::new(vec![Op::nt_store(0), Op::compute()])) as BoxedStream
+            })
             .collect();
         let mut m = Machine::new(cfg, streams).unwrap();
         m.run_ops(2_000);
@@ -960,7 +982,10 @@ mod tests {
         let major = counts["major"];
         let minor = counts["minor"];
         assert_eq!(major + minor, 4_000);
-        assert!((major as f64 / minor as f64 - 3.0).abs() < 0.1, "{major}/{minor}");
+        assert!(
+            (major as f64 / minor as f64 - 3.0).abs() < 0.1,
+            "{major}/{minor}"
+        );
     }
 
     #[test]
@@ -996,7 +1021,10 @@ mod tests {
             loud_cpi > quiet_cpi * 1.05,
             "25 GB/s of DMA must slow a pointer chase: {quiet_cpi} -> {loud_cpi}"
         );
-        assert!(loud_bytes > quiet_bytes * 2, "DMA bytes visible in the controller");
+        assert!(
+            loud_bytes > quiet_bytes * 2,
+            "DMA bytes visible in the controller"
+        );
     }
 
     #[test]

@@ -256,7 +256,10 @@ mod tests {
         // Same channel, same bank: second request waits for the bank.
         let a = m.request(0.0, 0, false);
         let b = m.request(0.0, 0, false);
-        assert!(b.latency_ns > a.latency_ns + 30.0, "bank conflict must queue");
+        assert!(
+            b.latency_ns > a.latency_ns + 30.0,
+            "bank conflict must queue"
+        );
     }
 
     #[test]

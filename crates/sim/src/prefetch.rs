@@ -129,7 +129,10 @@ mod tests {
     fn sequential_stream_trains_and_prefetches() {
         let mut p = pf();
         assert!(p.on_miss(0x0000).is_empty());
-        assert!(p.on_miss(0x0040).is_empty(), "first delta only builds confidence");
+        assert!(
+            p.on_miss(0x0040).is_empty(),
+            "first delta only builds confidence"
+        );
         let out = p.on_miss(0x0080);
         assert_eq!(out, vec![0x00c0, 0x0100, 0x0140, 0x0180]);
         assert_eq!(p.issued(), 4);
@@ -188,7 +191,7 @@ mod tests {
         p.on_miss(0x0_0000); // page 0
         p.on_miss(0x1_0000); // page 16
         p.on_miss(0x2_0000); // page 32 — evicts page 0 (LRU)
-        // Re-missing page 0 must retrain from scratch.
+                             // Re-missing page 0 must retrain from scratch.
         assert!(p.on_miss(0x0_0000).is_empty());
         assert!(p.on_miss(0x0_0040).is_empty());
         assert!(!p.on_miss(0x0_0080).is_empty());

@@ -89,7 +89,11 @@ pub struct ParseTraceError {
 
 impl core::fmt::Display for ParseTraceError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        write!(f, "trace parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "trace parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -295,8 +299,7 @@ mod tests {
     use crate::trace::PatternStream;
 
     fn pattern() -> PatternStream {
-        PatternStream::new(vec![Op::compute(), Op::load(64), Op::store(4096)])
-            .with_io_rate(1.5)
+        PatternStream::new(vec![Op::compute(), Op::load(64), Op::store(4096)]).with_io_rate(1.5)
     }
 
     #[test]

@@ -157,9 +157,17 @@ mod tests {
     fn first_access_goes_far_then_near() {
         let mut t = tier();
         let cold = t.request(0.0, 0x10_0000, false);
-        assert!(cold.latency_ns > 200.0, "cold miss pays far latency: {}", cold.latency_ns);
+        assert!(
+            cold.latency_ns > 200.0,
+            "cold miss pays far latency: {}",
+            cold.latency_ns
+        );
         let warm = t.request(cold.complete_ns, 0x10_0000, false);
-        assert!((warm.latency_ns - 60.0).abs() < 1e-9, "near hit: {}", warm.latency_ns);
+        assert!(
+            (warm.latency_ns - 60.0).abs() < 1e-9,
+            "near hit: {}",
+            warm.latency_ns
+        );
         assert_eq!(t.stats().near_hits, 1);
         assert_eq!(t.stats().far_accesses, 1);
     }
@@ -189,7 +197,11 @@ mod tests {
             let r = t.request(now, i * 64, false);
             now = r.complete_ns;
         }
-        assert!(t.stats().hit_fraction() < 0.05, "{}", t.stats().hit_fraction());
+        assert!(
+            t.stats().hit_fraction() < 0.05,
+            "{}",
+            t.stats().hit_fraction()
+        );
     }
 
     #[test]
@@ -214,7 +226,11 @@ mod tests {
         let mut now = 0.0;
         // A mix: hot set (hits) + cold streaming (misses).
         for i in 0..5_000u64 {
-            let addr = if i % 2 == 0 { (i % 64) * 64 } else { (100_000 + i) * 64 };
+            let addr = if i % 2 == 0 {
+                (i % 64) * 64
+            } else {
+                (100_000 + i) * 64
+            };
             now = t.request(now, addr, false).complete_ns;
         }
         let avg = t.average_latency_ns();
@@ -228,7 +244,11 @@ mod tests {
         let mut t = tier();
         let mut now = 0.0;
         for i in 0..10_000u64 {
-            let addr = if i % 3 != 0 { (i % 400) * 64 } else { (50_000 + i) * 64 };
+            let addr = if i % 3 != 0 {
+                (i % 400) * 64
+            } else {
+                (50_000 + i) * 64
+            };
             now = t.request(now, addr, false).complete_ns;
         }
         let h = t.stats().hit_fraction();

@@ -97,7 +97,10 @@ impl Histogram {
     /// The `(lo, hi)` bounds of bin `i`.
     pub fn bin_range(&self, i: usize) -> (f64, f64) {
         let width = (self.max - self.min) / self.bins.len() as f64;
-        (self.min + width * i as f64, self.min + width * (i + 1) as f64)
+        (
+            self.min + width * i as f64,
+            self.min + width * (i + 1) as f64,
+        )
     }
 
     /// Fraction of in-range samples inside the smallest window of

@@ -125,8 +125,7 @@ impl PiecewiseLinear {
         let knots = xs
             .into_iter()
             .map(|x| {
-                let mean_y =
-                    curves.iter().map(|c| c.eval(x)).sum::<f64>() / curves.len() as f64;
+                let mean_y = curves.iter().map(|c| c.eval(x)).sum::<f64>() / curves.len() as f64;
                 (x, mean_y)
             })
             .collect();
@@ -189,11 +188,8 @@ mod tests {
 
     #[test]
     fn from_unsorted_merges_duplicates() {
-        let f = PiecewiseLinear::from_unsorted(
-            vec![(1.0, 4.0), (0.0, 0.0), (1.0, 2.0)],
-            1e-9,
-        )
-        .unwrap();
+        let f =
+            PiecewiseLinear::from_unsorted(vec![(1.0, 4.0), (0.0, 0.0), (1.0, 2.0)], 1e-9).unwrap();
         assert_eq!(f.knots().len(), 2);
         assert_eq!(f.eval(1.0), 3.0); // mean of 4 and 2
     }

@@ -93,8 +93,16 @@ mod tests {
 
     #[test]
     fn predicted_mpki_near_paper() {
-        assert!((oltp().predicted_mpki() - 7.5).abs() < 1.0, "{}", oltp().predicted_mpki());
-        assert!((jvm().predicted_mpki() - 5.2).abs() < 0.8, "{}", jvm().predicted_mpki());
+        assert!(
+            (oltp().predicted_mpki() - 7.5).abs() < 1.0,
+            "{}",
+            oltp().predicted_mpki()
+        );
+        assert!(
+            (jvm().predicted_mpki() - 5.2).abs() < 0.8,
+            "{}",
+            jvm().predicted_mpki()
+        );
         assert!(
             (virtualization().predicted_mpki() - 7.0).abs() < 1.0,
             "{}",
@@ -123,8 +131,7 @@ mod tests {
             (virtualization(), 0.42),
             (web_caching(), 0.39),
         ] {
-            let stalled =
-                s.dep_probes + s.zipf_loads * MixSpec::ZIPF_MISS_ESTIMATE;
+            let stalled = s.dep_probes + s.zipf_loads * MixSpec::ZIPF_MISS_ESTIMATE;
             let frac = stalled / s.expected_misses_per_unit();
             assert!(
                 (frac - bf).abs() < 0.06,

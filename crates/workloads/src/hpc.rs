@@ -119,10 +119,26 @@ mod tests {
 
     #[test]
     fn predicted_mpki_near_paper() {
-        assert!((bwaves().predicted_mpki() - 33.0).abs() < 4.0, "{}", bwaves().predicted_mpki());
-        assert!((milc().predicted_mpki() - 30.0).abs() < 4.0, "{}", milc().predicted_mpki());
-        assert!((soplex().predicted_mpki() - 21.0).abs() < 3.0, "{}", soplex().predicted_mpki());
-        assert!((wrf().predicted_mpki() - 22.8).abs() < 3.0, "{}", wrf().predicted_mpki());
+        assert!(
+            (bwaves().predicted_mpki() - 33.0).abs() < 4.0,
+            "{}",
+            bwaves().predicted_mpki()
+        );
+        assert!(
+            (milc().predicted_mpki() - 30.0).abs() < 4.0,
+            "{}",
+            milc().predicted_mpki()
+        );
+        assert!(
+            (soplex().predicted_mpki() - 21.0).abs() < 3.0,
+            "{}",
+            soplex().predicted_mpki()
+        );
+        assert!(
+            (wrf().predicted_mpki() - 22.8).abs() < 3.0,
+            "{}",
+            wrf().predicted_mpki()
+        );
     }
 
     #[test]
@@ -153,8 +169,7 @@ mod tests {
     #[test]
     fn hpc_has_few_dependent_probes() {
         for s in [bwaves(), milc(), soplex(), wrf()] {
-            let stall_frac =
-                (s.dep_probes + s.indep_loads) / s.expected_misses_per_unit();
+            let stall_frac = (s.dep_probes + s.indep_loads) / s.expected_misses_per_unit();
             assert!(stall_frac < 0.12, "{}: stall fraction {stall_frac}", s.name);
         }
     }
@@ -169,7 +184,12 @@ mod tests {
     #[test]
     fn core_bound_spec_components_near_origin() {
         for s in [povray(), perlbench()] {
-            assert!(s.predicted_mpki() < 1.2, "{}: MPKI {}", s.name, s.predicted_mpki());
+            assert!(
+                s.predicted_mpki() < 1.2,
+                "{}: MPKI {}",
+                s.name,
+                s.predicted_mpki()
+            );
             assert_eq!(s.dep_probes, 0.0, "{}", s.name);
             s.assert_valid();
         }

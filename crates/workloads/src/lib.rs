@@ -211,8 +211,16 @@ mod tests {
     fn fourteen_workloads_with_classes() {
         let all = Workload::all();
         assert_eq!(all.len(), 14);
-        assert_eq!(all.iter().filter(|w| w.class() == Class::BigData).count(), 4);
-        assert_eq!(all.iter().filter(|w| w.class() == Class::Enterprise).count(), 4);
+        assert_eq!(
+            all.iter().filter(|w| w.class() == Class::BigData).count(),
+            4
+        );
+        assert_eq!(
+            all.iter()
+                .filter(|w| w.class() == Class::Enterprise)
+                .count(),
+            4
+        );
         assert_eq!(all.iter().filter(|w| w.class() == Class::Hpc).count(), 6);
     }
 
@@ -234,8 +242,14 @@ mod tests {
 
     #[test]
     fn parse_workload_names() {
-        assert_eq!("structured data".parse::<Workload>().unwrap(), Workload::StructuredData);
-        assert_eq!("Structured_Data".parse::<Workload>().unwrap(), Workload::StructuredData);
+        assert_eq!(
+            "structured data".parse::<Workload>().unwrap(),
+            Workload::StructuredData
+        );
+        assert_eq!(
+            "Structured_Data".parse::<Workload>().unwrap(),
+            Workload::StructuredData
+        );
         assert_eq!("NITS".parse::<Workload>().unwrap(), Workload::Nits);
         assert_eq!("bwaves".parse::<Workload>().unwrap(), Workload::Bwaves);
         assert!("nonexistent".parse::<Workload>().is_err());

@@ -16,7 +16,9 @@ use memsense_sim::trace::{InstructionStream, Op};
 use rand::rngs::SmallRng;
 use rand::Rng;
 
-use crate::patterns::{mix_rng, PointerChase, SequentialScan, StridedScan, UniformRandom, ZipfSampler};
+use crate::patterns::{
+    mix_rng, PointerChase, SequentialScan, StridedScan, UniformRandom, ZipfSampler,
+};
 
 /// Probabilities of an instruction costing 0, 1, 2, 4, or 8 extra cycles.
 /// Controls the workload's `CPI_cache`.
@@ -267,7 +269,11 @@ impl MixWorkload {
         let scan = if spec.seq_stride == 64 {
             ScanKind::Dense(SequentialScan::new(SCAN_BASE, spec.big_region, 64))
         } else {
-            ScanKind::Strided(StridedScan::new(SCAN_BASE, spec.big_region, spec.seq_stride))
+            ScanKind::Strided(StridedScan::new(
+                SCAN_BASE,
+                spec.big_region,
+                spec.seq_stride,
+            ))
         };
         MixWorkload {
             store_scan: SequentialScan::new(STORE_BASE, spec.big_region, 64),
@@ -322,12 +328,10 @@ impl MixWorkload {
 
         // Phase modulation of compute intensity (Spark's variable CPI).
         let compute = if self.spec.phase_period > 0 {
-            let phase =
-                (self.unit % self.spec.phase_period) as f64 / self.spec.phase_period as f64;
+            let phase = (self.unit % self.spec.phase_period) as f64 / self.spec.phase_period as f64;
             let wave = (phase * core::f64::consts::TAU).sin();
             self.phase_name = if wave >= 0.0 { "map" } else { "reduce" };
-            ((self.spec.compute as f64) * (1.0 + self.spec.phase_amplitude * wave)).round()
-                as u32
+            ((self.spec.compute as f64) * (1.0 + self.spec.phase_amplitude * wave)).round() as u32
         } else {
             self.spec.compute
         };
@@ -355,7 +359,8 @@ impl MixWorkload {
         ];
         // Interleave event types round-robin so e.g. all dependent probes
         // don't cluster at the front of the unit.
-        let mut remaining: Vec<(u32, Ev)> = spec_rates.into_iter().filter(|(n, _)| *n > 0).collect();
+        let mut remaining: Vec<(u32, Ev)> =
+            spec_rates.into_iter().filter(|(n, _)| *n > 0).collect();
         while !remaining.is_empty() {
             remaining.retain_mut(|(n, ev)| {
                 events.push(*ev);
@@ -369,7 +374,9 @@ impl MixWorkload {
         let slots = events.len().max(1);
         let per_slot = compute as usize / slots;
         let mut extra_budget = compute as usize % slots;
-        let idle_total = self.idle_credit.take(self.spec.idle_cycles_per_unit / slots as f64 * slots as f64);
+        let idle_total = self
+            .idle_credit
+            .take(self.spec.idle_cycles_per_unit / slots as f64 * slots as f64);
         let idle_chunk = idle_total / slots as u32;
         let mut idle_left = idle_total;
 
@@ -399,7 +406,8 @@ impl MixWorkload {
                         .sample() as u64;
                     // Popular ranks (low numbers) map to a compact region
                     // that stays cache resident; the tail misses.
-                    self.queue.push_back(Op::dependent_load(ZIPF_BASE + rank * 64));
+                    self.queue
+                        .push_back(Op::dependent_load(ZIPF_BASE + rank * 64));
                 }
                 Ev::Indep => {
                     let addr = self.gather.next_addr();
@@ -600,7 +608,10 @@ mod tests {
             w.next_op();
             labels.insert(w.phase().to_string());
         }
-        assert!(labels.contains("map") && labels.contains("reduce"), "{labels:?}");
+        assert!(
+            labels.contains("map") && labels.contains("reduce"),
+            "{labels:?}"
+        );
     }
 
     #[test]

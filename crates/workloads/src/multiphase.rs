@@ -146,10 +146,8 @@ mod tests {
             compute: 10,
             ..MixSpec::base("b")
         };
-        let mut w = MultiPhaseWorkload::new(vec![
-            Phase::new("a", a, 100, 1),
-            Phase::new("b", b, 50, 2),
-        ]);
+        let mut w =
+            MultiPhaseWorkload::new(vec![Phase::new("a", a, 100, 1), Phase::new("b", b, 50, 2)]);
         let mut seen = Vec::new();
         for _ in 0..300 {
             w.next_op();

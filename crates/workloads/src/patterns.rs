@@ -31,7 +31,10 @@ impl SequentialScan {
     ///
     /// Panics if `region` or `element_size` is zero.
     pub fn new(base: u64, region: u64, element_size: u64) -> Self {
-        assert!(region > 0 && element_size > 0, "region and element must be > 0");
+        assert!(
+            region > 0 && element_size > 0,
+            "region and element must be > 0"
+        );
         SequentialScan {
             base,
             region,
@@ -286,7 +289,11 @@ mod tests {
             assert_eq!(a % 64, 0);
             seen.insert(a);
         }
-        assert!(seen.len() > 900, "chase must not cycle quickly: {}", seen.len());
+        assert!(
+            seen.len() > 900,
+            "chase must not cycle quickly: {}",
+            seen.len()
+        );
     }
 
     #[test]

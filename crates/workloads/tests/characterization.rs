@@ -22,7 +22,9 @@ fn measure(w: Workload) -> memsense_sim::Measurement {
     let config = SimConfig::xeon_like(threads);
     let mut machine = Machine::new(config, w.streams(threads, 0xbeef)).expect("valid machine");
     machine.run_ops(WARMUP_OPS);
-    machine.measure_for_ns(MEASURE_NS).expect("instructions retired")
+    machine
+        .measure_for_ns(MEASURE_NS)
+        .expect("instructions retired")
 }
 
 #[test]
@@ -54,7 +56,11 @@ fn big_data_measured_parameters() {
     let sd = measure(Workload::StructuredData);
     assert!((sd.mpki - 5.6).abs() < 1.6, "SD MPKI {}", sd.mpki);
     assert!((sd.wbr - 0.32).abs() < 0.12, "SD WBR {}", sd.wbr);
-    assert!(sd.cpi_eff > 0.9 && sd.cpi_eff < 1.8, "SD CPI {}", sd.cpi_eff);
+    assert!(
+        sd.cpi_eff > 0.9 && sd.cpi_eff < 1.8,
+        "SD CPI {}",
+        sd.cpi_eff
+    );
     assert!(sd.cpu_utilization > 0.95, "SD util {}", sd.cpu_utilization);
 
     let nits = measure(Workload::Nits);
@@ -84,9 +90,26 @@ fn enterprise_measured_parameters() {
         (Workload::WebCaching, 7.1, 0.24),
     ] {
         let m = measure(w);
-        assert!((m.mpki - mpki).abs() < 0.35 * mpki, "{}: MPKI {} vs {}", w, m.mpki, mpki);
-        assert!((m.wbr - wbr).abs() < 0.12, "{}: WBR {} vs {}", w, m.wbr, wbr);
-        assert!(m.cpi_eff > 1.3, "{}: enterprise CPI {} should be high", w, m.cpi_eff);
+        assert!(
+            (m.mpki - mpki).abs() < 0.35 * mpki,
+            "{}: MPKI {} vs {}",
+            w,
+            m.mpki,
+            mpki
+        );
+        assert!(
+            (m.wbr - wbr).abs() < 0.12,
+            "{}: WBR {} vs {}",
+            w,
+            m.wbr,
+            wbr
+        );
+        assert!(
+            m.cpi_eff > 1.3,
+            "{}: enterprise CPI {} should be high",
+            w,
+            m.cpi_eff
+        );
     }
     let web = measure(Workload::WebCaching);
     assert!(
@@ -105,8 +128,19 @@ fn hpc_measured_parameters() {
         (Workload::Wrf, 22.8),
     ] {
         let m = measure(w);
-        assert!((m.mpki - mpki).abs() < 0.35 * mpki, "{}: MPKI {} vs {}", w, m.mpki, mpki);
-        assert!(m.cpi_eff < 2.0, "{}: HPC CPI {} (prefetch keeps it low-ish)", w, m.cpi_eff);
+        assert!(
+            (m.mpki - mpki).abs() < 0.35 * mpki,
+            "{}: MPKI {} vs {}",
+            w,
+            m.mpki,
+            mpki
+        );
+        assert!(
+            m.cpi_eff < 2.0,
+            "{}: HPC CPI {} (prefetch keeps it low-ish)",
+            w,
+            m.cpi_eff
+        );
         assert!(m.bandwidth_gbps > 5.0, "{}: HPC BW {}", w, m.bandwidth_gbps);
     }
 }

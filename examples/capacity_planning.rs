@@ -31,12 +31,42 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Candidate memory configurations for a 16-core (32-thread) socket.
     let options = vec![
-        Option_ { label: "2ch DDR3-1333".into(), channels: 2, mts: 1333.0, relative_cost: 0.6 },
-        Option_ { label: "2ch DDR3-1867".into(), channels: 2, mts: 1866.7, relative_cost: 0.7 },
-        Option_ { label: "4ch DDR3-1333".into(), channels: 4, mts: 1333.0, relative_cost: 0.85 },
-        Option_ { label: "4ch DDR3-1867".into(), channels: 4, mts: 1866.7, relative_cost: 1.0 },
-        Option_ { label: "6ch DDR3-1867".into(), channels: 6, mts: 1866.7, relative_cost: 1.25 },
-        Option_ { label: "8ch DDR3-1867".into(), channels: 8, mts: 1866.7, relative_cost: 1.5 },
+        Option_ {
+            label: "2ch DDR3-1333".into(),
+            channels: 2,
+            mts: 1333.0,
+            relative_cost: 0.6,
+        },
+        Option_ {
+            label: "2ch DDR3-1867".into(),
+            channels: 2,
+            mts: 1866.7,
+            relative_cost: 0.7,
+        },
+        Option_ {
+            label: "4ch DDR3-1333".into(),
+            channels: 4,
+            mts: 1333.0,
+            relative_cost: 0.85,
+        },
+        Option_ {
+            label: "4ch DDR3-1867".into(),
+            channels: 4,
+            mts: 1866.7,
+            relative_cost: 1.0,
+        },
+        Option_ {
+            label: "6ch DDR3-1867".into(),
+            channels: 6,
+            mts: 1866.7,
+            relative_cost: 1.25,
+        },
+        Option_ {
+            label: "8ch DDR3-1867".into(),
+            channels: 8,
+            mts: 1866.7,
+            relative_cost: 1.5,
+        },
     ];
 
     println!("big data class on a 16-core socket; throughput = threads / CPI\n");
@@ -63,10 +93,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         results.push((opt.clone(), solved, throughput));
     }
 
-    let best = results
-        .iter()
-        .map(|(_, _, t)| *t)
-        .fold(f64::MIN, f64::max);
+    let best = results.iter().map(|(_, _, t)| *t).fold(f64::MIN, f64::max);
     for (opt, solved, throughput) in &results {
         println!(
             "{:<16} {:>9.1} {:>8.3} {:>7.0}% {:>10.1}G {:>18} {:>10.2}",

@@ -61,7 +61,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .collect();
             let mut machine = Machine::new(config, streams)?;
             machine.run_ops(120_000);
-            let m = machine.measure_for_ns(150_000.0).expect("retired instructions");
+            let m = machine
+                .measure_for_ns(150_000.0)
+                .expect("retired instructions");
             println!(
                 "  {ghz:.1} GHz / DDR3-{:>4.0}: MPI×MP = {:>6.3}, CPI = {:.3}",
                 memory.mega_transfers, m.latency_per_instruction, m.cpi_eff

@@ -38,7 +38,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .collect();
         let mut machine = Machine::new(cfg, streams)?;
         machine.run_ops(60_000);
-        let m = machine.measure_for_ns(100_000.0).expect("instructions retired");
+        let m = machine
+            .measure_for_ns(100_000.0)
+            .expect("instructions retired");
         println!(
             "  {:<8} weight {:>6.0}: CPI {:.3}, MPKI {:>5.2}, BW {:>5.2} GB/s",
             spec.name, weight, m.cpi_eff, m.mpki, m.bandwidth_gbps
@@ -111,7 +113,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let a = run(&trace)?;
     let b = run(&trace)?;
-    println!("  replay #1 CPI {a:.6}, replay #2 CPI {b:.6} (bit-identical: {})", a == b);
+    println!(
+        "  replay #1 CPI {a:.6}, replay #2 CPI {b:.6} (bit-identical: {})",
+        a == b
+    );
 
     // Sanity against the flat solver for the collapsed job.
     let flat = solve_cpi(&phased.collapsed()?, &sys, &curve)?;

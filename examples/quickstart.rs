@@ -49,14 +49,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // 3. What-if: 30 ns slower memory (e.g. a denser but slower technology)?
-    let slower = baseline
-        .clone()
-        .with_unloaded_latency(Nanoseconds(105.0))?;
+    let slower = baseline.clone().with_unloaded_latency(Nanoseconds(105.0))?;
     // What-if: half the memory channels?
     let narrower = baseline.clone().with_channels(2)?;
 
     println!("\nCPI change vs baseline:");
-    println!("{:<18} {:>14} {:>14}", "class", "+30ns latency", "half channels");
+    println!(
+        "{:<18} {:>14} {:>14}",
+        "class", "+30ns latency", "half channels"
+    );
     for class in &classes {
         let base = solve_cpi(class, &baseline, &curve)?;
         let slow = solve_cpi(class, &slower, &curve)?;
@@ -75,8 +76,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let more_bw = baseline
         .clone()
         .with_bandwidth_per_core_delta(GigabytesPerSecond(1.0))?;
-    let hpc_gain = solve_cpi(hpc, &baseline, &curve)?.cpi_eff
-        / solve_cpi(hpc, &more_bw, &curve)?.cpi_eff;
+    let hpc_gain =
+        solve_cpi(hpc, &baseline, &curve)?.cpi_eff / solve_cpi(hpc, &more_bw, &curve)?.cpi_eff;
     println!(
         "\nHPC speedup from +1 GB/s/core: {:.1}% — provision bandwidth first, \
          then optimize latency.",

@@ -220,12 +220,18 @@ fn phase_weighted_model_predicts_multiphase_job() {
 
     // And the analytic phased solver agrees with its collapsed
     // approximation within 10% for a synthetic two-phase class.
-    let shuffle =
-        WorkloadParams::new("shuffle", Segment::BigData, 0.85, 0.30, 9.0, 0.8).unwrap();
+    let shuffle = WorkloadParams::new("shuffle", Segment::BigData, 0.85, 0.30, 9.0, 0.8).unwrap();
     let map = WorkloadParams::new("map", Segment::BigData, 1.0, 0.10, 1.5, 0.3).unwrap();
     let phased = PhasedWorkload::new("job", vec![(shuffle, 1.0), (map, 3.0)]).unwrap();
     let sys = memsense::model::system::SystemConfig::new(
-        1, 8, 2, GigaHertz(2.7), 4, 1866.7, 0.7, Nanoseconds(75.0),
+        1,
+        8,
+        2,
+        GigaHertz(2.7),
+        4,
+        1866.7,
+        0.7,
+        Nanoseconds(75.0),
     )
     .unwrap();
     let solved = solve_phased(&phased, &sys, &QueueingCurve::composite_default()).unwrap();
@@ -275,8 +281,14 @@ fn colocation_model_agrees_with_mixed_simulation() {
     let sim_interference = mixed / alone;
 
     // Model side with calibrated parameters.
-    let oltp = calibrate(Workload::Oltp, &budget).unwrap().to_params().unwrap();
-    let bwaves = calibrate(Workload::Bwaves, &budget).unwrap().to_params().unwrap();
+    let oltp = calibrate(Workload::Oltp, &budget)
+        .unwrap()
+        .to_params()
+        .unwrap();
+    let bwaves = calibrate(Workload::Bwaves, &budget)
+        .unwrap()
+        .to_params()
+        .unwrap();
     let sys = memsense::model::system::SystemConfig::new(
         1,
         4,
@@ -291,8 +303,14 @@ fn colocation_model_agrees_with_mixed_simulation() {
     let curve = QueueingCurve::composite_default();
     let solved = solve_colocated(
         &[
-            Tenant { workload: oltp, threads: oltp_threads },
-            Tenant { workload: bwaves, threads: 4 },
+            Tenant {
+                workload: oltp,
+                threads: oltp_threads,
+            },
+            Tenant {
+                workload: bwaves,
+                threads: 4,
+            },
         ],
         &sys,
         &curve,

@@ -69,7 +69,10 @@ fn fig8_bandwidth_impact_ordering() {
     assert!(hpc > big && big > ent, "HPC {hpc} > big {big} > ent {ent}");
     // "the HPC class shows the most impact, while the enterprise class
     //  shows the least" — and the impact is dramatic for HPC.
-    assert!(hpc > 100.0, "HPC CPI more than doubles at −3.5 GB/s/core: {hpc}");
+    assert!(
+        hpc > 100.0,
+        "HPC CPI more than doubles at −3.5 GB/s/core: {hpc}"
+    );
     assert!(ent < 10.0, "enterprise suffers modestly: {ent}");
 }
 
@@ -96,7 +99,12 @@ fn big_data_knee_at_2_5_gbps_per_core() {
             );
         }
         if p.delta <= -3.0 {
-            assert_eq!(p.solved.regime, Regime::BandwidthBound, "past the knee at {}", p.delta);
+            assert_eq!(
+                p.solved.regime,
+                Regime::BandwidthBound,
+                "past the knee at {}",
+                p.delta
+            );
         }
     }
 }
@@ -130,8 +138,14 @@ fn tab7_equivalences() {
     // Paper: 10 ns ≈ 39.7 GB/s (enterprise) and 27.1 GB/s (big data).
     let ent_bw = ent.bandwidth_equivalent_of_10ns.unwrap();
     let big_bw = big.bandwidth_equivalent_of_10ns.unwrap();
-    assert!((ent_bw - 39.7).abs() < 12.0, "enterprise {ent_bw} GB/s vs 39.7");
-    assert!((big_bw - 27.1).abs() < 14.0, "big data {big_bw} GB/s vs 27.1");
+    assert!(
+        (ent_bw - 39.7).abs() < 12.0,
+        "enterprise {ent_bw} GB/s vs 39.7"
+    );
+    assert!(
+        (big_bw - 27.1).abs() < 14.0,
+        "big data {big_bw} GB/s vs 27.1"
+    );
     assert!(ent_bw > big_bw);
     // Paper: 8 GB/s/socket ≈ 2.0 ns (enterprise), 2.9 ns (big data).
     let ent_ns = ent.latency_equivalent_of_bandwidth.unwrap();
@@ -175,8 +189,7 @@ fn hierarchical_model_reduces_to_flat() {
     let w = WorkloadParams::big_data_class();
     let clock = GigaHertz(2.7);
     let flat = TieredMemory::flat(Nanoseconds(75.0)).unwrap();
-    let split =
-        TieredMemory::two_tier(0.5, Nanoseconds(75.0), Nanoseconds(75.0)).unwrap();
+    let split = TieredMemory::two_tier(0.5, Nanoseconds(75.0), Nanoseconds(75.0)).unwrap();
     assert!(
         (hierarchical_cpi(&w, &flat, clock) - hierarchical_cpi(&w, &split, clock)).abs() < 1e-12,
         "equal tiers collapse to flat"

@@ -13,10 +13,10 @@ use proptest::prelude::*;
 
 fn arb_workload() -> impl Strategy<Value = WorkloadParams> {
     (
-        0.3f64..3.0,   // cpi_cache
-        0.0f64..0.8,   // bf
-        0.1f64..40.0,  // mpki
-        0.0f64..1.5,   // wbr
+        0.3f64..3.0,  // cpi_cache
+        0.0f64..0.8,  // bf
+        0.1f64..40.0, // mpki
+        0.0f64..1.5,  // wbr
     )
         .prop_map(|(cpi_cache, bf, mpki, wbr)| {
             WorkloadParams::new("prop", Segment::BigData, cpi_cache, bf, mpki, wbr).unwrap()
@@ -25,14 +25,14 @@ fn arb_workload() -> impl Strategy<Value = WorkloadParams> {
 
 fn arb_system() -> impl Strategy<Value = SystemConfig> {
     (
-        1u32..=2,        // sockets
-        2u32..=16,       // cores/socket
-        1u32..=2,        // threads/core
-        1.0f64..4.0,     // GHz
-        1u32..=8,        // channels/socket
+        1u32..=2,         // sockets
+        2u32..=16,        // cores/socket
+        1u32..=2,         // threads/core
+        1.0f64..4.0,      // GHz
+        1u32..=8,         // channels/socket
         800.0f64..3200.0, // MT/s
-        0.5f64..1.0,     // efficiency
-        40.0f64..150.0,  // unloaded ns
+        0.5f64..1.0,      // efficiency
+        40.0f64..150.0,   // unloaded ns
     )
         .prop_map(|(s, c, t, ghz, ch, mts, eff, lat)| {
             SystemConfig::new(s, c, t, GigaHertz(ghz), ch, mts, eff, Nanoseconds(lat)).unwrap()
@@ -320,6 +320,47 @@ mod sim_properties {
             prop_assert_eq!(s.reads, n_reads);
             prop_assert_eq!(s.writes, n_writes);
             prop_assert_eq!(s.total_bytes(), (n_reads + n_writes) * 64);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Executor-facing invariants: the solver must be safe to call concurrently.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// `solve_cpi` takes only shared references and keeps no mutable state
+    /// besides the relaxed telemetry counters, so concurrent calls sharing
+    /// one `SystemConfig` and one `QueueingCurve` must return exactly the
+    /// serial results — the invariant the parallel experiment executor
+    /// relies on for byte-identical tables.
+    #[test]
+    fn solve_cpi_is_thread_safe_under_shared_inputs(
+        ws in proptest::collection::vec(arb_workload(), 4..12),
+        sys in arb_system()
+    ) {
+        let curve = QueueingCurve::composite_default();
+        let serial: Vec<_> = ws.iter()
+            .map(|w| solve_cpi(w, &sys, &curve).unwrap())
+            .collect();
+        let concurrent: Vec<_> = std::thread::scope(|scope| {
+            let handles: Vec<_> = ws.iter()
+                .map(|w| {
+                    let (sys, curve) = (&sys, &curve);
+                    scope.spawn(move || solve_cpi(w, sys, curve).unwrap())
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for (s, c) in serial.iter().zip(&concurrent) {
+            prop_assert_eq!(s.cpi_eff.to_bits(), c.cpi_eff.to_bits(),
+                "CPI must be bitwise identical: {} vs {}", s.cpi_eff, c.cpi_eff);
+            prop_assert_eq!(s.iterations, c.iterations);
+            prop_assert_eq!(s.regime, c.regime);
+            prop_assert_eq!(s.miss_penalty.value().to_bits(),
+                c.miss_penalty.value().to_bits());
         }
     }
 }
