@@ -33,6 +33,7 @@ use std::time::{Duration, Instant};
 
 use memsense_model::solver::telemetry::SolverStats;
 
+use crate::json::Json;
 use crate::render::{f, Table};
 
 // ---------------------------------------------------------------------------
@@ -41,17 +42,31 @@ use crate::render::{f, Table};
 
 /// Worker threads the executor may use, resolved once per process from
 /// `MEMSENSE_THREADS` (unset or `0` → all available cores, minimum 1).
+///
+/// A set-but-unparseable value (`abc`, `-2`, `1.5`) is a configuration
+/// error; silently falling back to a default would hide it, so the process
+/// exits with a one-line diagnostic instead.
 pub fn thread_count() -> usize {
     static COUNT: OnceLock<usize> = OnceLock::new();
     *COUNT.get_or_init(|| {
-        match std::env::var("MEMSENSE_THREADS")
-            .ok()
-            .and_then(|v| v.trim().parse::<usize>().ok())
-        {
-            Some(0) | None => std::thread::available_parallelism()
+        let all_cores = || {
+            std::thread::available_parallelism()
                 .map(|n| n.get())
-                .unwrap_or(1),
-            Some(n) => n,
+                .unwrap_or(1)
+        };
+        match std::env::var("MEMSENSE_THREADS") {
+            Err(_) => all_cores(),
+            Ok(raw) => match raw.trim().parse::<usize>() {
+                Ok(0) => all_cores(),
+                Ok(n) => n,
+                Err(_) => {
+                    eprintln!(
+                        "error: invalid MEMSENSE_THREADS value {raw:?} \
+                         (expected a non-negative integer; 0 or unset = all cores)"
+                    );
+                    std::process::exit(2);
+                }
+            },
         }
     })
 }
@@ -315,65 +330,71 @@ impl RunReport {
         t
     }
 
-    /// Machine-readable form (documented in EXPERIMENTS.md). Stable schema:
-    /// `{threads, total_wall_ms, stages[], jobs[], solver{}}`.
-    pub fn to_json(&self) -> String {
-        let mut out = String::from("{\n");
-        out.push_str(&format!("  \"threads\": {},\n", self.threads));
-        out.push_str(&format!(
-            "  \"total_wall_ms\": {:.3},\n",
-            self.total_wall.as_secs_f64() * 1e3
-        ));
-        out.push_str("  \"stages\": [\n");
-        for (i, s) in self.stages.iter().enumerate() {
-            out.push_str(&format!(
-                "    {{\"name\": {}, \"wall_ms\": {:.3}, \"jobs\": {}, \"failures\": {}}}{}\n",
-                json_string(&s.name),
-                s.wall.as_secs_f64() * 1e3,
-                s.jobs,
-                s.failures,
-                if i + 1 == self.stages.len() { "" } else { "," },
-            ));
-        }
-        out.push_str("  ],\n  \"jobs\": [\n");
-        for (i, j) in self.jobs.iter().enumerate() {
-            out.push_str(&format!(
-                "    {{\"label\": {}, \"wall_ms\": {:.3}, \"ok\": {}}}{}\n",
-                json_string(&j.label),
-                j.wall.as_secs_f64() * 1e3,
-                j.ok,
-                if i + 1 == self.jobs.len() { "" } else { "," },
-            ));
-        }
-        out.push_str(&format!(
-            "  ],\n  \"solver\": {{\"solves\": {}, \"iterations\": {}, \"core_bound\": {}, \
-             \"latency_limited\": {}, \"bandwidth_bound\": {}}}\n}}\n",
-            self.solver.solves,
-            self.solver.iterations,
-            self.solver.core_bound,
-            self.solver.latency_limited,
-            self.solver.bandwidth_bound,
-        ));
-        out
+    /// The report as a [`Json`] value (schema:
+    /// `{threads, total_wall_ms, stages[], jobs[], solver{}}`).
+    pub fn to_json_value(&self) -> Json {
+        let wall_ms = |d: &Duration| {
+            // Keep the historical 3-decimal precision of the report file.
+            Json::num((d.as_secs_f64() * 1e6).round() / 1e3)
+        };
+        Json::obj(vec![
+            ("threads", Json::num(self.threads as f64)),
+            ("total_wall_ms", wall_ms(&self.total_wall)),
+            (
+                "stages",
+                Json::Arr(
+                    self.stages
+                        .iter()
+                        .map(|s| {
+                            Json::obj(vec![
+                                ("name", Json::str(s.name.clone())),
+                                ("wall_ms", wall_ms(&s.wall)),
+                                ("jobs", Json::num(s.jobs as f64)),
+                                ("failures", Json::num(s.failures as f64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "jobs",
+                Json::Arr(
+                    self.jobs
+                        .iter()
+                        .map(|j| {
+                            Json::obj(vec![
+                                ("label", Json::str(j.label.clone())),
+                                ("wall_ms", wall_ms(&j.wall)),
+                                ("ok", Json::Bool(j.ok)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "solver",
+                Json::obj(vec![
+                    ("solves", Json::num(self.solver.solves as f64)),
+                    ("iterations", Json::num(self.solver.iterations as f64)),
+                    ("core_bound", Json::num(self.solver.core_bound as f64)),
+                    (
+                        "latency_limited",
+                        Json::num(self.solver.latency_limited as f64),
+                    ),
+                    (
+                        "bandwidth_bound",
+                        Json::num(self.solver.bandwidth_bound as f64),
+                    ),
+                ]),
+            ),
+        ])
     }
-}
 
-fn json_string(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
+    /// Machine-readable form (documented in EXPERIMENTS.md), rendered
+    /// through the shared escaping-correct [`crate::json`] module.
+    pub fn to_json(&self) -> String {
+        self.to_json_value().to_string_pretty()
     }
-    out.push('"');
-    out
 }
 
 #[cfg(test)]
@@ -507,10 +528,40 @@ mod tests {
         assert!(json.contains("\"name\": \"fig8\""));
         assert!(json.contains("\"label\": \"fig8/Enterprise class\""));
         assert!(json.contains("\"solver\""));
+        // The report is valid JSON by construction (shared json module).
+        let parsed = Json::parse(&json).expect("report parses");
+        assert_eq!(parsed.get("threads").unwrap().as_u64(), Some(4));
+        assert_eq!(
+            parsed.get("stages").unwrap().as_arr().unwrap()[0]
+                .get("jobs")
+                .unwrap()
+                .as_u64(),
+            Some(2)
+        );
     }
 
     #[test]
-    fn json_string_escapes() {
-        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    fn report_json_escapes_label_content() {
+        let log = vec![JobRecord {
+            label: "weird/\"quoted\"\nlabel\\path".into(),
+            wall: Duration::from_millis(1),
+            ok: true,
+        }];
+        let report = RunReport::from_run(
+            1,
+            Duration::from_millis(1),
+            log,
+            &[],
+            SolverStats::default(),
+        );
+        let json = report.to_json();
+        let parsed = Json::parse(&json).expect("escaped report parses");
+        let label = parsed.get("jobs").unwrap().as_arr().unwrap()[0]
+            .get("label")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .to_string();
+        assert_eq!(label, "weird/\"quoted\"\nlabel\\path");
     }
 }

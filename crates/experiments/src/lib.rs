@@ -23,6 +23,8 @@
 //! * [`io_pressure`] — workload CPI under background DMA traffic.
 //! * [`scorecard`] — every paper claim verified programmatically.
 //! * [`plot`] — terminal line charts of the figures.
+//! * [`json`] — the shared escaping-correct JSON value/parser/serializer
+//!   used by the `--report` writer and the `memsense-serve` daemon.
 //! * [`executor`] — the parallel experiment executor: every independent
 //!   cell/stage above runs on a work-stealing thread pool with
 //!   deterministic (serial-equivalent) output ordering, feeding the
@@ -40,6 +42,7 @@ pub mod classify;
 pub mod executor;
 pub mod figures;
 pub mod io_pressure;
+pub mod json;
 pub mod plot;
 pub mod render;
 pub mod scorecard;

@@ -152,6 +152,21 @@ fn report_flag_prints_telemetry_and_writes_json() {
 }
 
 #[test]
+fn invalid_thread_count_is_a_one_line_diagnostic() {
+    for bad in ["abc", "-2", "1.5", ""] {
+        let out = repro_with_threads(bad, &["fig1"]);
+        assert_eq!(out.status.code(), Some(2), "MEMSENSE_THREADS={bad:?}");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            err.contains("invalid MEMSENSE_THREADS value"),
+            "MEMSENSE_THREADS={bad:?}: {err}"
+        );
+        assert_eq!(err.lines().count(), 1, "one-line diagnostic: {err}");
+        assert!(!err.contains("panicked"), "{err}");
+    }
+}
+
+#[test]
 fn failing_stage_exits_via_error_path_not_panic() {
     // An unknown target must produce the one-line diagnostic and a failure
     // exit code — never a panic backtrace.

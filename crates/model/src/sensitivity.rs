@@ -75,7 +75,10 @@ pub fn bandwidth_sweep(
 
 /// The default Fig. 8 x-axis: 0 to −3.5 GB/s/core in 0.5 GB/s steps.
 pub fn default_bandwidth_deltas() -> Vec<f64> {
-    (0..=7).map(|i| -0.5 * i as f64).collect()
+    // `0.0 - x` keeps the first point at +0.0; `-0.5 * 0` would produce the
+    // negative zero, which leaks a spurious "-0.0" into tables and wire
+    // formats that canonicalize the sign away.
+    (0..=7).map(|i| 0.0 - 0.5 * f64::from(i)).collect()
 }
 
 /// The default Fig. 10 x-axis: +0 ns to +60 ns in 10 ns steps.

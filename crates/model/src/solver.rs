@@ -41,6 +41,35 @@ impl core::fmt::Display for Regime {
     }
 }
 
+impl Regime {
+    /// Stable machine-readable token (snake_case), for wire formats that
+    /// should not depend on the human-facing [`Display`](core::fmt::Display)
+    /// text.
+    pub fn token(&self) -> &'static str {
+        match self {
+            Regime::CoreBound => "core_bound",
+            Regime::LatencyLimited => "latency_limited",
+            Regime::BandwidthBound => "bandwidth_bound",
+        }
+    }
+
+    /// Parses a regime from its [`token`](Regime::token) (or the display
+    /// text), case-insensitively and tolerant of `-`/`_`/space separators.
+    pub fn from_token(s: &str) -> Option<Regime> {
+        match s
+            .trim()
+            .to_lowercase()
+            .replace(['-', '_', ' '], "")
+            .as_str()
+        {
+            "corebound" => Some(Regime::CoreBound),
+            "latencylimited" => Some(Regime::LatencyLimited),
+            "bandwidthbound" => Some(Regime::BandwidthBound),
+            _ => None,
+        }
+    }
+}
+
 /// The converged operating point for a workload on a system.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SolvedCpi {
@@ -565,6 +594,23 @@ mod tests {
         assert!(delta.latency_limited >= 1);
         assert!(delta.bandwidth_bound >= 1);
         assert!(delta.iterations > 0, "bisection iterations recorded");
+    }
+
+    #[test]
+    fn regime_tokens_round_trip() {
+        for regime in [
+            Regime::CoreBound,
+            Regime::LatencyLimited,
+            Regime::BandwidthBound,
+        ] {
+            assert_eq!(Regime::from_token(regime.token()), Some(regime));
+            assert_eq!(Regime::from_token(&regime.to_string()), Some(regime));
+        }
+        assert_eq!(
+            Regime::from_token("latency_limited"),
+            Some(Regime::LatencyLimited)
+        );
+        assert_eq!(Regime::from_token("io bound"), None);
     }
 
     #[test]

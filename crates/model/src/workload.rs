@@ -31,6 +31,35 @@ impl core::fmt::Display for Segment {
     }
 }
 
+impl Segment {
+    /// Stable machine-readable token (snake_case), for wire formats that
+    /// should not depend on the human-facing [`Display`](core::fmt::Display)
+    /// text.
+    pub fn token(&self) -> &'static str {
+        match self {
+            Segment::BigData => "big_data",
+            Segment::Enterprise => "enterprise",
+            Segment::Hpc => "hpc",
+        }
+    }
+
+    /// Parses a segment from its [`token`](Segment::token) (or the display
+    /// name), case-insensitively and tolerant of `-`/`_`/space separators.
+    pub fn from_token(s: &str) -> Option<Segment> {
+        match s
+            .trim()
+            .to_lowercase()
+            .replace(['-', '_', ' '], "")
+            .as_str()
+        {
+            "bigdata" => Some(Segment::BigData),
+            "enterprise" => Some(Segment::Enterprise),
+            "hpc" => Some(Segment::Hpc),
+            _ => None,
+        }
+    }
+}
+
 /// Calibrated model parameters for one workload (or one workload class).
 ///
 /// All rates are per retired instruction of a single hardware thread, which is
@@ -301,6 +330,29 @@ impl WorkloadParams {
         ]
     }
 
+    /// Looks up a built-in class mean or individual workload by name,
+    /// case-insensitively and tolerant of `-`/`_`/space separators.
+    /// Segment shorthands (`enterprise`, `big_data`, `hpc`) resolve to the
+    /// Tab. 6 class means. This is the Serialize-free entry point wire
+    /// formats (e.g. `memsense-serve` request bodies) use to name workloads.
+    pub fn by_name(name: &str) -> Option<WorkloadParams> {
+        let canon = |s: &str| s.trim().to_lowercase().replace(['-', '_', ' '], "");
+        let needle = canon(name);
+        if needle.is_empty() {
+            return None;
+        }
+        match needle.as_str() {
+            "enterprise" => return Some(Self::enterprise_class()),
+            "bigdata" => return Some(Self::big_data_class()),
+            "hpc" => return Some(Self::hpc_class()),
+            _ => {}
+        }
+        Self::all_classes()
+            .into_iter()
+            .chain(Self::all_workloads())
+            .find(|w| canon(&w.name) == needle)
+    }
+
     /// The eleven individual modeled workloads (big data + enterprise + HPC;
     /// proximity included — the classifier marks it core-bound).
     pub fn all_workloads() -> Vec<WorkloadParams> {
@@ -458,5 +510,41 @@ mod tests {
     fn segment_display() {
         assert_eq!(Segment::BigData.to_string(), "Big Data");
         assert_eq!(Segment::Hpc.to_string(), "HPC");
+    }
+
+    #[test]
+    fn segment_tokens_round_trip() {
+        for seg in [Segment::BigData, Segment::Enterprise, Segment::Hpc] {
+            assert_eq!(Segment::from_token(seg.token()), Some(seg));
+            assert_eq!(Segment::from_token(&seg.to_string()), Some(seg));
+        }
+        assert_eq!(Segment::from_token("Big-Data"), Some(Segment::BigData));
+        assert_eq!(Segment::from_token("warehouse"), None);
+    }
+
+    #[test]
+    fn by_name_resolves_classes_workloads_and_shorthands() {
+        assert_eq!(
+            WorkloadParams::by_name("Enterprise class"),
+            Some(WorkloadParams::enterprise_class())
+        );
+        assert_eq!(
+            WorkloadParams::by_name("big_data"),
+            Some(WorkloadParams::big_data_class())
+        );
+        assert_eq!(
+            WorkloadParams::by_name("HPC"),
+            Some(WorkloadParams::hpc_class())
+        );
+        assert_eq!(
+            WorkloadParams::by_name("structured-data"),
+            Some(WorkloadParams::structured_data())
+        );
+        assert_eq!(
+            WorkloadParams::by_name("  BWAVES "),
+            Some(WorkloadParams::bwaves())
+        );
+        assert_eq!(WorkloadParams::by_name("no such workload"), None);
+        assert_eq!(WorkloadParams::by_name(""), None);
     }
 }

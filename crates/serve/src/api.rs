@@ -1,0 +1,867 @@
+//! JSON request/response conversion over the calibrated model.
+//!
+//! Each handler takes a parsed request body ([`Json`]) and returns either a
+//! response [`Json`] or an [`ApiError`] carrying an HTTP status. All numeric
+//! output goes through the shared canonical float formatter
+//! (`memsense_experiments::json`), so responses are reproducible
+//! byte-for-byte and never contain NaN/infinity literals.
+//!
+//! Request schemas (all fields optional unless noted):
+//!
+//! * `workload` — a name (`"big data"`, `"spark"`, …, resolved by
+//!   [`WorkloadParams::by_name`]) or an object
+//!   `{name, segment, cpi_cache*, bf*, mpki*, wbr*, iopi, iosz}` (`*` =
+//!   required). Defaults to the big data class.
+//! * `workloads` — an array of the above. Defaults to the three Tab. 6
+//!   workload classes.
+//! * `system` — overrides on the paper baseline:
+//!   `{sockets, cores_per_socket, threads_per_core, core_clock_ghz,
+//!   channels_per_socket, channel_mega_transfers, efficiency,
+//!   unloaded_latency_ns}`.
+//! * `deltas` (bandwidth sweep) / `steps_ns` (latency sweep) — the sweep
+//!   axis; defaults to the paper's Fig. 8 / Fig. 10 axes.
+//! * `tag` — opaque client value, echoed nowhere but part of the cache key
+//!   (use a unique tag to force a cold solve).
+//!
+//! Unknown fields are rejected with a 400 so typos cannot silently fall
+//! back to defaults.
+
+use memsense_experiments::executor;
+use memsense_experiments::json::Json;
+use memsense_model::queueing::QueueingCurve;
+use memsense_model::sensitivity::{
+    bandwidth_sweep, default_bandwidth_deltas, default_latency_steps, equivalence, latency_sweep,
+    SweepPoint,
+};
+use memsense_model::solver::{solve_cpi, Regime, SolvedCpi};
+use memsense_model::system::SystemConfig;
+use memsense_model::units::{GigaHertz, Nanoseconds};
+use memsense_model::workload::{Segment, WorkloadParams};
+use memsense_model::ModelError;
+
+/// Most workloads accepted in one sweep/equivalence request.
+pub const MAX_WORKLOADS: usize = 256;
+
+/// Most points accepted on one sweep axis.
+pub const MAX_AXIS_POINTS: usize = 4096;
+
+/// A request that could not be served, with the HTTP status to report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApiError {
+    /// HTTP status code (4xx for caller mistakes, 5xx otherwise).
+    pub status: u16,
+    /// Human-readable explanation, returned as `{"error": …}`.
+    pub message: String,
+}
+
+impl ApiError {
+    /// A 400 Bad Request.
+    pub fn bad(message: impl Into<String>) -> ApiError {
+        ApiError {
+            status: 400,
+            message: message.into(),
+        }
+    }
+
+    /// Renders the JSON error body for this error.
+    pub fn body(&self) -> String {
+        error_body(&self.message)
+    }
+}
+
+/// The JSON error body used for every non-2xx response.
+pub fn error_body(message: &str) -> String {
+    Json::obj(vec![("error", Json::str(message))]).to_string()
+}
+
+fn model_err(e: ModelError) -> ApiError {
+    ApiError::bad(format!("model error: {e}"))
+}
+
+// ---------------------------------------------------------------------------
+// Request parsing
+// ---------------------------------------------------------------------------
+
+/// Rejects bodies that are not objects and object keys outside `allowed`.
+fn check_keys(body: &Json, allowed: &[&str]) -> Result<(), ApiError> {
+    let Json::Obj(fields) = body else {
+        return Err(ApiError::bad("request body must be a JSON object"));
+    };
+    for (key, _) in fields {
+        if !allowed.contains(&key.as_str()) {
+            return Err(ApiError::bad(format!(
+                "unknown field {key:?} (expected one of: {})",
+                allowed.join(", ")
+            )));
+        }
+    }
+    Ok(())
+}
+
+fn need_f64(obj: &Json, key: &str) -> Result<f64, ApiError> {
+    obj.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| ApiError::bad(format!("field {key:?} must be a number")))
+}
+
+fn opt_f64(obj: &Json, key: &str, default: f64) -> Result<f64, ApiError> {
+    match obj.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .as_f64()
+            .ok_or_else(|| ApiError::bad(format!("field {key:?} must be a number"))),
+    }
+}
+
+fn opt_u32(obj: &Json, key: &str, default: u32) -> Result<u32, ApiError> {
+    match obj.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .as_u64()
+            .and_then(|n| u32::try_from(n).ok())
+            .ok_or_else(|| ApiError::bad(format!("field {key:?} must be a non-negative integer"))),
+    }
+}
+
+fn parse_workload_value(value: &Json) -> Result<WorkloadParams, ApiError> {
+    match value {
+        Json::Str(name) => WorkloadParams::by_name(name)
+            .ok_or_else(|| ApiError::bad(format!("unknown workload {name:?}"))),
+        Json::Obj(_) => {
+            check_keys(
+                value,
+                &[
+                    "name",
+                    "segment",
+                    "cpi_cache",
+                    "bf",
+                    "mpki",
+                    "wbr",
+                    "iopi",
+                    "iosz",
+                ],
+            )?;
+            let name = match value.get("name") {
+                None => "custom",
+                Some(v) => v
+                    .as_str()
+                    .ok_or_else(|| ApiError::bad("field \"name\" must be a string"))?,
+            };
+            let segment = match value.get("segment") {
+                None => Segment::BigData,
+                Some(v) => v.as_str().and_then(Segment::from_token).ok_or_else(|| {
+                    ApiError::bad(
+                        "field \"segment\" must be \"big_data\", \"enterprise\", or \"hpc\"",
+                    )
+                })?,
+            };
+            let workload = WorkloadParams::new(
+                name,
+                segment,
+                need_f64(value, "cpi_cache")?,
+                need_f64(value, "bf")?,
+                need_f64(value, "mpki")?,
+                need_f64(value, "wbr")?,
+            )
+            .map_err(model_err)?;
+            if value.get("iopi").is_some() || value.get("iosz").is_some() {
+                workload
+                    .with_io(opt_f64(value, "iopi", 0.0)?, opt_f64(value, "iosz", 0.0)?)
+                    .map_err(model_err)
+            } else {
+                Ok(workload)
+            }
+        }
+        _ => Err(ApiError::bad(
+            "\"workload\" must be a workload name or a parameter object",
+        )),
+    }
+}
+
+fn parse_workload(body: &Json) -> Result<WorkloadParams, ApiError> {
+    match body.get("workload") {
+        None => Ok(WorkloadParams::big_data_class()),
+        Some(v) => parse_workload_value(v),
+    }
+}
+
+fn parse_workloads(body: &Json) -> Result<Vec<WorkloadParams>, ApiError> {
+    match body.get("workloads") {
+        None => Ok(WorkloadParams::all_classes()),
+        Some(v) => {
+            let items = v
+                .as_arr()
+                .ok_or_else(|| ApiError::bad("field \"workloads\" must be an array"))?;
+            if items.is_empty() {
+                return Err(ApiError::bad("field \"workloads\" must not be empty"));
+            }
+            if items.len() > MAX_WORKLOADS {
+                return Err(ApiError::bad(format!(
+                    "field \"workloads\" accepts at most {MAX_WORKLOADS} entries"
+                )));
+            }
+            items.iter().map(parse_workload_value).collect()
+        }
+    }
+}
+
+fn parse_system(body: &Json) -> Result<SystemConfig, ApiError> {
+    let base = SystemConfig::paper_baseline();
+    let overrides = match body.get("system") {
+        None => return Ok(base),
+        Some(v) => v,
+    };
+    check_keys(
+        overrides,
+        &[
+            "sockets",
+            "cores_per_socket",
+            "threads_per_core",
+            "core_clock_ghz",
+            "channels_per_socket",
+            "channel_mega_transfers",
+            "efficiency",
+            "unloaded_latency_ns",
+        ],
+    )?;
+    SystemConfig::new(
+        opt_u32(overrides, "sockets", base.sockets())?,
+        opt_u32(overrides, "cores_per_socket", base.cores() / base.sockets())?,
+        opt_u32(
+            overrides,
+            "threads_per_core",
+            base.hardware_threads() / base.cores(),
+        )?,
+        GigaHertz(opt_f64(
+            overrides,
+            "core_clock_ghz",
+            base.core_clock().value(),
+        )?),
+        opt_u32(
+            overrides,
+            "channels_per_socket",
+            base.channels() / base.sockets(),
+        )?,
+        opt_f64(
+            overrides,
+            "channel_mega_transfers",
+            base.channel_mega_transfers(),
+        )?,
+        opt_f64(overrides, "efficiency", base.efficiency())?,
+        Nanoseconds(opt_f64(
+            overrides,
+            "unloaded_latency_ns",
+            base.unloaded_latency().value(),
+        )?),
+    )
+    .map_err(model_err)
+}
+
+fn parse_axis(body: &Json, key: &str, default: Vec<f64>) -> Result<Vec<f64>, ApiError> {
+    match body.get(key) {
+        None => Ok(default),
+        Some(v) => {
+            let items = v.as_arr().ok_or_else(|| {
+                ApiError::bad(format!("field {key:?} must be an array of numbers"))
+            })?;
+            if items.is_empty() {
+                return Err(ApiError::bad(format!("field {key:?} must not be empty")));
+            }
+            if items.len() > MAX_AXIS_POINTS {
+                return Err(ApiError::bad(format!(
+                    "field {key:?} accepts at most {MAX_AXIS_POINTS} points"
+                )));
+            }
+            items
+                .iter()
+                .map(|p| {
+                    p.as_f64().ok_or_else(|| {
+                        ApiError::bad(format!("field {key:?} must contain only numbers"))
+                    })
+                })
+                .collect()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Response rendering
+// ---------------------------------------------------------------------------
+
+fn system_json(system: &SystemConfig) -> Json {
+    Json::obj(vec![
+        ("sockets", Json::num(system.sockets() as f64)),
+        ("cores", Json::num(system.cores() as f64)),
+        (
+            "hardware_threads",
+            Json::num(system.hardware_threads() as f64),
+        ),
+        ("core_clock_ghz", Json::num(system.core_clock().value())),
+        ("channels", Json::num(system.channels() as f64)),
+        (
+            "channel_mega_transfers",
+            Json::num(system.channel_mega_transfers()),
+        ),
+        ("efficiency", Json::num(system.efficiency())),
+        (
+            "unloaded_latency_ns",
+            Json::num(system.unloaded_latency().value()),
+        ),
+        (
+            "peak_bandwidth_gbps",
+            Json::num(system.peak_bandwidth().value()),
+        ),
+        (
+            "effective_bandwidth_gbps",
+            Json::num(system.effective_bandwidth().value()),
+        ),
+        (
+            "bandwidth_per_core_gbps",
+            Json::num(system.bandwidth_per_core().value()),
+        ),
+    ])
+}
+
+fn solved_json(workload: &WorkloadParams, system: &SystemConfig, solved: &SolvedCpi) -> Json {
+    let stack = solved.cpi_stack(workload, system);
+    Json::obj(vec![
+        ("cpi_eff", Json::num(solved.cpi_eff)),
+        ("miss_penalty_ns", Json::num(solved.miss_penalty.value())),
+        (
+            "miss_penalty_cycles",
+            Json::num(solved.miss_penalty_cycles.value()),
+        ),
+        (
+            "queueing_delay_ns",
+            Json::num(solved.queueing_delay.value()),
+        ),
+        (
+            "bandwidth_demand_gbps",
+            Json::num(solved.bandwidth_demand.value()),
+        ),
+        ("utilization", Json::num(solved.utilization)),
+        ("regime", Json::str(solved.regime.token())),
+        ("iterations", Json::num(solved.iterations as f64)),
+        (
+            "cpi_stack",
+            Json::obj(vec![
+                ("cpi_cache", Json::num(stack.cpi_cache)),
+                ("compulsory_stall", Json::num(stack.compulsory_stall)),
+                ("queueing_stall", Json::num(stack.queueing_stall)),
+                ("bandwidth_residual", Json::num(stack.bandwidth_residual)),
+                ("total", Json::num(stack.total())),
+                ("memory_fraction", Json::num(stack.memory_fraction())),
+            ]),
+        ),
+    ])
+}
+
+fn point_json(point: &SweepPoint) -> Json {
+    Json::obj(vec![
+        ("delta", Json::num(point.delta)),
+        (
+            "bandwidth_per_core_gbps",
+            Json::num(point.bandwidth_per_core),
+        ),
+        ("unloaded_latency_ns", Json::num(point.unloaded_latency_ns)),
+        ("cpi", Json::num(point.solved.cpi_eff)),
+        ("cpi_ratio", Json::num(point.cpi_ratio)),
+        ("cpi_increase_pct", Json::num(point.cpi_increase_pct())),
+        ("utilization", Json::num(point.solved.utilization)),
+        ("regime", Json::str(point.solved.regime.token())),
+    ])
+}
+
+// ---------------------------------------------------------------------------
+// Handlers
+// ---------------------------------------------------------------------------
+
+/// `POST /v1/solve` — one fixed-point solve with regime and CPI stack.
+///
+/// # Errors
+///
+/// [`ApiError`] (400) for malformed requests or infeasible parameters.
+pub fn solve(body: &Json) -> Result<Json, ApiError> {
+    check_keys(body, &["workload", "system", "tag"])?;
+    let workload = parse_workload(body)?;
+    let system = parse_system(body)?;
+    let curve = QueueingCurve::composite_default();
+    let solved = solve_cpi(&workload, &system, &curve).map_err(model_err)?;
+    Ok(Json::obj(vec![
+        ("workload", Json::str(&workload.name)),
+        ("segment", Json::str(workload.segment.token())),
+        ("system", system_json(&system)),
+        ("solved", solved_json(&workload, &system, &solved)),
+    ]))
+}
+
+/// Which axis a sweep request walks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepKind {
+    /// Fig. 8: per-core bandwidth deltas (GB/s, negative = reduction).
+    Bandwidth,
+    /// Fig. 10: added compulsory latency (ns).
+    Latency,
+}
+
+/// `POST /v1/sweep/{bandwidth,latency}` — Fig. 8 / Fig. 10-style sweeps,
+/// fanned over the requested workloads through the shared parallel executor.
+///
+/// # Errors
+///
+/// [`ApiError`] (400) for malformed requests or infeasible sweep points.
+pub fn sweep(kind: SweepKind, body: &Json) -> Result<Json, ApiError> {
+    let (axis_key, axis_default, label, kind_name) = match kind {
+        SweepKind::Bandwidth => (
+            "deltas",
+            default_bandwidth_deltas(),
+            "serve.sweep.bandwidth",
+            "bandwidth",
+        ),
+        SweepKind::Latency => (
+            "steps_ns",
+            default_latency_steps(),
+            "serve.sweep.latency",
+            "latency",
+        ),
+    };
+    check_keys(body, &["workloads", "system", axis_key, "tag"])?;
+    let workloads = parse_workloads(body)?;
+    let system = parse_system(body)?;
+    let axis = parse_axis(body, axis_key, axis_default)?;
+    let curve = QueueingCurve::composite_default();
+
+    let results = executor::par_map(label, workloads, |workload| {
+        let baseline = solve_cpi(&workload, &system, &curve)?;
+        let points = match kind {
+            SweepKind::Bandwidth => bandwidth_sweep(&workload, &system, &curve, &axis),
+            SweepKind::Latency => latency_sweep(&workload, &system, &curve, &axis),
+        }?;
+        Ok::<_, ModelError>((workload, baseline, points))
+    })
+    .map_err(model_err);
+    // The executor's job log exists for one-shot CLI run reports; a
+    // long-lived daemon must drain it so it cannot grow without bound.
+    executor::drain_job_log();
+    let results = results?;
+
+    let workloads_json: Vec<Json> = results
+        .iter()
+        .map(|(workload, baseline, points)| {
+            Json::obj(vec![
+                ("workload", Json::str(&workload.name)),
+                ("segment", Json::str(workload.segment.token())),
+                ("baseline_cpi", Json::num(baseline.cpi_eff)),
+                ("points", Json::Arr(points.iter().map(point_json).collect())),
+            ])
+        })
+        .collect();
+    Ok(Json::obj(vec![
+        ("sweep", Json::str(kind_name)),
+        ("system", system_json(&system)),
+        (
+            axis_key,
+            Json::Arr(axis.iter().map(|&v| Json::num(v)).collect()),
+        ),
+        ("workloads", Json::Arr(workloads_json)),
+    ]))
+}
+
+/// `POST /v1/equivalence` — Tab. 7 latency ⇄ bandwidth equivalences.
+///
+/// # Errors
+///
+/// [`ApiError`] (400) for malformed requests or solver failures.
+pub fn equivalence_endpoint(body: &Json) -> Result<Json, ApiError> {
+    check_keys(body, &["workloads", "system", "tag"])?;
+    let workloads = parse_workloads(body)?;
+    let system = parse_system(body)?;
+    let curve = QueueingCurve::composite_default();
+
+    let results = executor::par_map("serve.equivalence", workloads, |workload| {
+        equivalence(&workload, &system, &curve).map(|eq| (workload, eq))
+    })
+    .map_err(model_err);
+    executor::drain_job_log();
+    let results = results?;
+
+    let rows: Vec<Json> = results
+        .iter()
+        .map(|(workload, eq)| {
+            let opt = |v: Option<f64>| v.map(Json::num).unwrap_or(Json::Null);
+            Json::obj(vec![
+                ("workload", Json::str(&workload.name)),
+                ("segment", Json::str(workload.segment.token())),
+                (
+                    "benefit_of_bandwidth_pct",
+                    Json::num(eq.benefit_of_bandwidth_pct),
+                ),
+                (
+                    "benefit_of_latency_pct",
+                    Json::num(eq.benefit_of_latency_pct),
+                ),
+                (
+                    "bandwidth_equivalent_of_10ns_gbps",
+                    opt(eq.bandwidth_equivalent_of_10ns),
+                ),
+                (
+                    "latency_equivalent_of_bandwidth_ns",
+                    opt(eq.latency_equivalent_of_bandwidth),
+                ),
+            ])
+        })
+        .collect();
+    Ok(Json::obj(vec![
+        ("system", system_json(&system)),
+        ("workloads", Json::Arr(rows)),
+    ]))
+}
+
+struct CapacityOption {
+    label: String,
+    channels: u32,
+    mega_transfers: f64,
+    relative_cost: f64,
+}
+
+fn default_capacity_options() -> Vec<CapacityOption> {
+    let mk = |label: &str, channels, mega_transfers, relative_cost| CapacityOption {
+        label: label.to_string(),
+        channels,
+        mega_transfers,
+        relative_cost,
+    };
+    vec![
+        mk("2ch DDR3-1333", 2, 1333.0, 0.6),
+        mk("2ch DDR3-1867", 2, 1866.7, 0.7),
+        mk("4ch DDR3-1333", 4, 1333.0, 0.85),
+        mk("4ch DDR3-1867", 4, 1866.7, 1.0),
+        mk("6ch DDR3-1867", 6, 1866.7, 1.25),
+        mk("8ch DDR3-1867", 8, 1866.7, 1.5),
+    ]
+}
+
+fn parse_capacity_options(body: &Json) -> Result<Vec<CapacityOption>, ApiError> {
+    let Some(value) = body.get("options") else {
+        return Ok(default_capacity_options());
+    };
+    let items = value
+        .as_arr()
+        .ok_or_else(|| ApiError::bad("field \"options\" must be an array"))?;
+    if items.is_empty() {
+        return Err(ApiError::bad("field \"options\" must not be empty"));
+    }
+    if items.len() > MAX_WORKLOADS {
+        return Err(ApiError::bad(format!(
+            "field \"options\" accepts at most {MAX_WORKLOADS} entries"
+        )));
+    }
+    items
+        .iter()
+        .map(|item| {
+            check_keys(
+                item,
+                &["label", "channels", "mega_transfers", "relative_cost"],
+            )?;
+            let channels = opt_u32(item, "channels", 0)?;
+            if channels == 0 {
+                return Err(ApiError::bad(
+                    "each option needs a positive \"channels\" count",
+                ));
+            }
+            let mega_transfers = need_f64(item, "mega_transfers")?;
+            let label = match item.get("label") {
+                None => format!("{channels}ch @{mega_transfers} MT/s"),
+                Some(v) => v
+                    .as_str()
+                    .ok_or_else(|| ApiError::bad("field \"label\" must be a string"))?
+                    .to_string(),
+            };
+            Ok(CapacityOption {
+                label,
+                channels,
+                mega_transfers,
+                relative_cost: opt_f64(item, "relative_cost", 1.0)?,
+            })
+        })
+        .collect()
+}
+
+/// `POST /v1/capacity` — capacity planning: solve each candidate memory
+/// configuration for the workload, report throughput, the knee where the
+/// bandwidth wall lifts, and the cheapest option within `within_pct` of peak.
+///
+/// # Errors
+///
+/// [`ApiError`] (400) for malformed requests or infeasible configurations.
+pub fn capacity(body: &Json) -> Result<Json, ApiError> {
+    check_keys(
+        body,
+        &["workload", "system", "options", "within_pct", "tag"],
+    )?;
+    let workload = parse_workload(body)?;
+    let system = parse_system(body)?;
+    let options = parse_capacity_options(body)?;
+    let within_pct = opt_f64(body, "within_pct", 5.0)?;
+    if !(0.0..=100.0).contains(&within_pct) {
+        return Err(ApiError::bad(
+            "field \"within_pct\" must be between 0 and 100",
+        ));
+    }
+    let curve = QueueingCurve::composite_default();
+
+    let results = executor::par_map("serve.capacity", options, |opt| {
+        let sys = system
+            .clone()
+            .with_channels(opt.channels)?
+            .with_channel_speed(opt.mega_transfers)?;
+        let solved = solve_cpi(&workload, &sys, &curve)?;
+        // Relative throughput in G instructions/s across hardware threads.
+        let throughput = sys.hardware_threads() as f64 * sys.core_clock().value() / solved.cpi_eff;
+        Ok::<_, ModelError>((opt, sys, solved, throughput))
+    })
+    .map_err(model_err);
+    executor::drain_job_log();
+    let results = results?;
+
+    let best = results
+        .iter()
+        .map(|(_, _, _, t)| *t)
+        .fold(f64::MIN, f64::max);
+    let knee = results
+        .iter()
+        .find(|(_, _, solved, _)| solved.regime != Regime::BandwidthBound)
+        .map(|(opt, _, _, _)| Json::str(&opt.label))
+        .unwrap_or(Json::Null);
+    let pick = results
+        .iter()
+        .filter(|(_, _, _, t)| *t >= (1.0 - within_pct / 100.0) * best)
+        .min_by(|a, b| a.0.relative_cost.total_cmp(&b.0.relative_cost));
+
+    let options_json: Vec<Json> = results
+        .iter()
+        .map(|(opt, sys, solved, throughput)| {
+            Json::obj(vec![
+                ("label", Json::str(&opt.label)),
+                ("channels", Json::num(opt.channels as f64)),
+                ("mega_transfers", Json::num(opt.mega_transfers)),
+                ("relative_cost", Json::num(opt.relative_cost)),
+                (
+                    "effective_bandwidth_gbps",
+                    Json::num(sys.effective_bandwidth().value()),
+                ),
+                (
+                    "bandwidth_demand_gbps",
+                    Json::num(solved.bandwidth_demand.value()),
+                ),
+                ("cpi", Json::num(solved.cpi_eff)),
+                ("utilization", Json::num(solved.utilization)),
+                ("regime", Json::str(solved.regime.token())),
+                ("throughput_gips", Json::num(*throughput)),
+                (
+                    "perf_per_cost",
+                    Json::num(throughput / best / opt.relative_cost),
+                ),
+            ])
+        })
+        .collect();
+
+    Ok(Json::obj(vec![
+        ("workload", Json::str(&workload.name)),
+        ("segment", Json::str(workload.segment.token())),
+        ("system", system_json(&system)),
+        ("within_pct", Json::num(within_pct)),
+        ("best_throughput_gips", Json::num(best)),
+        ("options", Json::Arr(options_json)),
+        ("knee", knee),
+        (
+            "recommendation",
+            pick.map(|(opt, _, _, throughput)| {
+                Json::obj(vec![
+                    ("label", Json::str(&opt.label)),
+                    ("relative_cost", Json::num(opt.relative_cost)),
+                    ("throughput_gips", Json::num(*throughput)),
+                ])
+            })
+            .unwrap_or(Json::Null),
+        ),
+    ]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn body(raw: &str) -> Json {
+        Json::parse(raw).expect("test body parses")
+    }
+
+    #[test]
+    fn solve_matches_direct_library_call() {
+        let response = solve(&body("{}")).unwrap();
+        let direct = solve_cpi(
+            &WorkloadParams::big_data_class(),
+            &SystemConfig::paper_baseline(),
+            &QueueingCurve::composite_default(),
+        )
+        .unwrap();
+        let solved = response.get("solved").unwrap();
+        assert_eq!(
+            solved.get("cpi_eff").and_then(Json::as_f64),
+            Some(direct.cpi_eff)
+        );
+        assert_eq!(
+            solved.get("regime").and_then(Json::as_str),
+            Some(direct.regime.token())
+        );
+        assert_eq!(
+            response.get("workload").and_then(Json::as_str),
+            Some("Big Data class")
+        );
+    }
+
+    #[test]
+    fn solve_accepts_named_workload_and_system_overrides() {
+        let response = solve(&body(
+            r#"{"workload": "hpc", "system": {"unloaded_latency_ns": 135, "channels_per_socket": 2}}"#,
+        ))
+        .unwrap();
+        let system = response.get("system").unwrap();
+        assert_eq!(
+            system.get("unloaded_latency_ns").and_then(Json::as_f64),
+            Some(135.0)
+        );
+        assert_eq!(system.get("channels").and_then(Json::as_u64), Some(2));
+        assert_eq!(response.get("segment").and_then(Json::as_str), Some("hpc"));
+    }
+
+    #[test]
+    fn solve_accepts_custom_workload_object() {
+        let response = solve(&body(
+            r#"{"workload": {"name": "mine", "segment": "enterprise",
+                "cpi_cache": 1.0, "bf": 0.4, "mpki": 5.0, "wbr": 0.3}}"#,
+        ))
+        .unwrap();
+        assert_eq!(
+            response.get("workload").and_then(Json::as_str),
+            Some("mine")
+        );
+        let cpi = response
+            .get("solved")
+            .and_then(|s| s.get("cpi_eff"))
+            .and_then(Json::as_f64)
+            .unwrap();
+        assert!(cpi > 1.0);
+    }
+
+    #[test]
+    fn unknown_fields_and_workloads_are_rejected() {
+        assert_eq!(
+            solve(&body(r#"{"wrkload": "hpc"}"#)).unwrap_err().status,
+            400
+        );
+        assert_eq!(
+            solve(&body(r#"{"workload": "no-such-thing"}"#))
+                .unwrap_err()
+                .status,
+            400
+        );
+        assert_eq!(solve(&body("[1,2,3]")).unwrap_err().status, 400);
+    }
+
+    #[test]
+    fn bandwidth_sweep_matches_direct_library_call() {
+        let response = sweep(SweepKind::Bandwidth, &body("{}")).unwrap();
+        let direct = bandwidth_sweep(
+            &WorkloadParams::big_data_class(),
+            &SystemConfig::paper_baseline(),
+            &QueueingCurve::composite_default(),
+            &default_bandwidth_deltas(),
+        )
+        .unwrap();
+        let classes = response.get("workloads").and_then(Json::as_arr).unwrap();
+        assert_eq!(classes.len(), 3, "defaults to the three Tab. 6 classes");
+        let big_data = classes
+            .iter()
+            .find(|c| c.get("segment").and_then(Json::as_str) == Some("big_data"))
+            .unwrap();
+        let points = big_data.get("points").and_then(Json::as_arr).unwrap();
+        assert_eq!(points.len(), direct.len());
+        for (got, want) in points.iter().zip(&direct) {
+            assert_eq!(
+                got.get("cpi").and_then(Json::as_f64),
+                Some(want.solved.cpi_eff)
+            );
+            assert_eq!(
+                got.get("cpi_ratio").and_then(Json::as_f64),
+                Some(want.cpi_ratio)
+            );
+        }
+    }
+
+    #[test]
+    fn latency_sweep_uses_steps_axis() {
+        let response = sweep(
+            SweepKind::Latency,
+            &body(r#"{"workloads": ["enterprise"], "steps_ns": [0, 25, 50]}"#),
+        )
+        .unwrap();
+        assert_eq!(
+            response.get("sweep").and_then(Json::as_str),
+            Some("latency")
+        );
+        let classes = response.get("workloads").and_then(Json::as_arr).unwrap();
+        assert_eq!(classes.len(), 1);
+        let points = classes[0].get("points").and_then(Json::as_arr).unwrap();
+        assert_eq!(points.len(), 3);
+        assert_eq!(
+            points[2].get("unloaded_latency_ns").and_then(Json::as_f64),
+            Some(125.0)
+        );
+    }
+
+    #[test]
+    fn equivalence_matches_direct_library_call() {
+        let response = equivalence_endpoint(&body(r#"{"workloads": ["hpc"]}"#)).unwrap();
+        let direct = equivalence(
+            &WorkloadParams::hpc_class(),
+            &SystemConfig::paper_baseline(),
+            &QueueingCurve::composite_default(),
+        )
+        .unwrap();
+        let row = &response.get("workloads").and_then(Json::as_arr).unwrap()[0];
+        assert_eq!(
+            row.get("benefit_of_bandwidth_pct").and_then(Json::as_f64),
+            Some(direct.benefit_of_bandwidth_pct)
+        );
+        // HPC: no latency reduction compensates for bandwidth (Sec. VI.D).
+        assert!(row
+            .get("latency_equivalent_of_bandwidth_ns")
+            .is_some_and(Json::is_null));
+    }
+
+    #[test]
+    fn capacity_reports_knee_and_recommendation() {
+        let response = capacity(&body("{}")).unwrap();
+        let options = response.get("options").and_then(Json::as_arr).unwrap();
+        assert_eq!(options.len(), 6);
+        assert!(response.get("knee").is_some());
+        let recommendation = response.get("recommendation").unwrap();
+        assert!(
+            recommendation.get("label").is_some(),
+            "default scenario has a recommendation"
+        );
+        let best = response
+            .get("best_throughput_gips")
+            .and_then(Json::as_f64)
+            .unwrap();
+        assert!(best > 0.0);
+    }
+
+    #[test]
+    fn infeasible_parameters_surface_as_400() {
+        let err = sweep(SweepKind::Bandwidth, &body(r#"{"deltas": [-1000.0]}"#)).unwrap_err();
+        assert_eq!(err.status, 400);
+        assert!(err.message.contains("model error"), "{}", err.message);
+    }
+}

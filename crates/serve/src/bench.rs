@@ -1,0 +1,259 @@
+//! Built-in load generator: drive a server and measure cache-hit speedup.
+//!
+//! The bench sends one *cold* request first (a cache miss — the request
+//! body carries a unique `tag`, so even a warmed server must solve it), then
+//! hammers the identical request from `connections` keep-alive connections
+//! for the configured duration. Because every warm request is byte-identical
+//! to the cold one, the steady state measures the content-addressed cache;
+//! the reported `cache_speedup` is cold latency over warm median.
+
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant, SystemTime};
+
+use memsense_experiments::json::Json;
+use memsense_stats::descriptive::{mean, percentile};
+
+use crate::http::Client;
+use crate::server::{Server, ServerConfig};
+
+/// Load-generator parameters.
+#[derive(Debug, Clone)]
+pub struct BenchConfig {
+    /// Target `host:port`; `None` starts a throwaway in-process server.
+    pub addr: Option<String>,
+    /// Concurrent keep-alive connections.
+    pub connections: usize,
+    /// Warm-phase duration.
+    pub duration: Duration,
+    /// Optional cap on total warm requests (useful for CI determinism).
+    pub max_requests: Option<u64>,
+    /// Endpoint to hammer.
+    pub path: String,
+    /// JSON request body; empty = a dense default bandwidth sweep.
+    pub body: String,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        BenchConfig {
+            addr: None,
+            connections: 4,
+            duration: Duration::from_secs(5),
+            max_requests: None,
+            path: "/v1/sweep/bandwidth".to_string(),
+            body: String::new(),
+        }
+    }
+}
+
+/// What the load generator measured.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// Endpoint exercised.
+    pub path: String,
+    /// Concurrent connections used.
+    pub connections: usize,
+    /// Warm requests completed.
+    pub requests: u64,
+    /// Warm-phase wall time in seconds.
+    pub wall_s: f64,
+    /// Warm requests per second.
+    pub throughput_rps: f64,
+    /// Latency of the cold (cache-miss) request, milliseconds.
+    pub cold_ms: f64,
+    /// Warm (cache-hit) latency statistics, milliseconds.
+    pub warm_mean_ms: f64,
+    /// Warm median latency, milliseconds.
+    pub warm_p50_ms: f64,
+    /// Warm 90th-percentile latency, milliseconds.
+    pub warm_p90_ms: f64,
+    /// Warm 99th-percentile latency, milliseconds.
+    pub warm_p99_ms: f64,
+    /// Cold latency over warm median: the benefit of the result cache.
+    pub cache_speedup: f64,
+}
+
+impl BenchReport {
+    /// Renders the report as JSON.
+    pub fn to_json(&self) -> Json {
+        let ms = |v: f64| Json::num((v * 1e3).round() / 1e3);
+        Json::obj(vec![
+            ("path", Json::str(&self.path)),
+            ("connections", Json::num(self.connections as f64)),
+            ("requests", Json::num(self.requests as f64)),
+            ("wall_s", ms(self.wall_s)),
+            ("throughput_rps", ms(self.throughput_rps)),
+            ("cold_ms", ms(self.cold_ms)),
+            ("warm_mean_ms", ms(self.warm_mean_ms)),
+            ("warm_p50_ms", ms(self.warm_p50_ms)),
+            ("warm_p90_ms", ms(self.warm_p90_ms)),
+            ("warm_p99_ms", ms(self.warm_p99_ms)),
+            ("cache_speedup", ms(self.cache_speedup)),
+        ])
+    }
+
+    /// Renders the report as human-readable text.
+    pub fn to_text(&self) -> String {
+        format!(
+            "bench: POST {path}\n\
+             connections: {conns}\n\
+             requests:    {reqs} in {wall:.2} s ({rps:.1} req/s)\n\
+             cold (miss): {cold:.3} ms\n\
+             warm (hit):  p50 {p50:.3} ms  p90 {p90:.3} ms  p99 {p99:.3} ms  mean {mean:.3} ms\n\
+             cache speedup (cold / warm p50): {speedup:.1}x\n",
+            path = self.path,
+            conns = self.connections,
+            reqs = self.requests,
+            wall = self.wall_s,
+            rps = self.throughput_rps,
+            cold = self.cold_ms,
+            p50 = self.warm_p50_ms,
+            p90 = self.warm_p90_ms,
+            p99 = self.warm_p99_ms,
+            mean = self.warm_mean_ms,
+            speedup = self.cache_speedup,
+        )
+    }
+}
+
+/// A dense Fig. 8-style axis (0 to −3.5 GB/s/core in 0.05 steps) over the
+/// three workload classes — enough model work to make a cold solve clearly
+/// measurable.
+fn default_body() -> Json {
+    let deltas: Vec<Json> = (0..=70)
+        .map(|i| Json::num(0.0 - 0.05 * f64::from(i)))
+        .collect();
+    Json::obj(vec![("deltas", Json::Arr(deltas))])
+}
+
+fn invalid(message: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, message)
+}
+
+/// Runs the load generator against `config.addr` (or a fresh in-process
+/// server) and reports throughput, latency percentiles, and cache speedup.
+///
+/// # Errors
+///
+/// Transport failures, non-200 responses, or an unparsable request body.
+pub fn run(config: &BenchConfig) -> io::Result<BenchReport> {
+    let mut body = if config.body.is_empty() {
+        default_body()
+    } else {
+        Json::parse(&config.body).map_err(|e| invalid(format!("invalid bench body: {e}")))?
+    };
+    // Salt the body so the first request misses even a warmed cache.
+    let salt = SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map(|d| d.as_nanos())
+        .unwrap_or(0);
+    let tag = format!("bench-{}-{salt}", std::process::id());
+    match &mut body {
+        Json::Obj(fields) => fields.push(("tag".to_string(), Json::Str(tag))),
+        _ => return Err(invalid("bench body must be a JSON object".to_string())),
+    }
+    let body = body.to_string();
+
+    let mut local = None;
+    let addr = match &config.addr {
+        Some(addr) => addr.clone(),
+        None => {
+            let server = Server::start(&ServerConfig::default())?;
+            let addr = server.addr().to_string();
+            local = Some(server);
+            addr
+        }
+    };
+
+    let result = drive(config, &addr, &body);
+
+    if let Some(mut server) = local {
+        server.stop();
+        server.join();
+    }
+    result
+}
+
+fn drive(config: &BenchConfig, addr: &str, body: &str) -> io::Result<BenchReport> {
+    let check = |status: u16, text: &str| {
+        if status == 200 {
+            Ok(())
+        } else {
+            Err(invalid(format!("server returned {status}: {text}")))
+        }
+    };
+
+    // Cold request: the one and only cache miss for this body.
+    let mut client = Client::connect(addr)?;
+    let started = Instant::now();
+    let (status, text) = client.request("POST", &config.path, body)?;
+    let cold_ms = started.elapsed().as_secs_f64() * 1e3;
+    check(status, &text)?;
+
+    // Warm phase: identical request from N keep-alive connections.
+    let connections = config.connections.max(1);
+    let budget = config.max_requests.unwrap_or(u64::MAX);
+    let issued = AtomicU64::new(0);
+    let failure: Mutex<Option<io::Error>> = Mutex::new(None);
+    let deadline = Instant::now() + config.duration;
+    let warm_started = Instant::now();
+    let mut all_samples: Vec<f64> = Vec::new();
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(connections);
+        for _ in 0..connections {
+            handles.push(scope.spawn(|| -> io::Result<Vec<f64>> {
+                let mut samples = Vec::new();
+                let mut client = Client::connect(addr)?;
+                while Instant::now() < deadline {
+                    if issued.fetch_add(1, Ordering::Relaxed) >= budget {
+                        break;
+                    }
+                    let started = Instant::now();
+                    let (status, text) = client.request("POST", &config.path, body)?;
+                    samples.push(started.elapsed().as_secs_f64() * 1e3);
+                    check(status, &text)?;
+                }
+                Ok(samples)
+            }));
+        }
+        for handle in handles {
+            match handle.join() {
+                Ok(Ok(samples)) => all_samples.extend(samples),
+                Ok(Err(e)) => {
+                    let mut slot = failure.lock().expect("bench failure lock");
+                    slot.get_or_insert(e);
+                }
+                Err(_) => {
+                    let mut slot = failure.lock().expect("bench failure lock");
+                    slot.get_or_insert_with(|| invalid("bench worker panicked".to_string()));
+                }
+            }
+        }
+    });
+    if let Some(e) = failure.into_inner().expect("bench failure lock") {
+        return Err(e);
+    }
+    let wall_s = warm_started.elapsed().as_secs_f64();
+
+    if all_samples.is_empty() {
+        return Err(invalid("warm phase completed zero requests".to_string()));
+    }
+    let stat = |p: f64| percentile(&all_samples, p).expect("non-empty samples");
+    let warm_p50_ms = stat(50.0);
+    Ok(BenchReport {
+        path: config.path.clone(),
+        connections,
+        requests: all_samples.len() as u64,
+        wall_s,
+        throughput_rps: all_samples.len() as f64 / wall_s,
+        cold_ms,
+        warm_mean_ms: mean(&all_samples).expect("non-empty samples"),
+        warm_p50_ms,
+        warm_p90_ms: stat(90.0),
+        warm_p99_ms: stat(99.0),
+        cache_speedup: cold_ms / warm_p50_ms,
+    })
+}

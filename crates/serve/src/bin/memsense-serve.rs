@@ -1,0 +1,180 @@
+//! CLI for the model-as-a-service daemon.
+//!
+//! ```sh
+//! memsense-serve serve --addr 127.0.0.1:7878   # run the daemon
+//! memsense-serve bench --connections 4 --duration 5
+//! ```
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use memsense_serve::bench::{self, BenchConfig};
+use memsense_serve::server::{Server, ServerConfig};
+
+const USAGE: &str = "\
+memsense-serve: the calibrated memory-sensitivity model as a service
+
+USAGE:
+    memsense-serve serve [--addr HOST:PORT] [--max-connections N] [--cache-mb N]
+    memsense-serve bench [--addr HOST:PORT] [--connections N] [--duration S]
+                         [--requests N] [--path PATH] [--body JSON]
+                         [--expect-speedup X] [--json]
+
+serve options:
+    --addr HOST:PORT    bind address (default 127.0.0.1:7878; port 0 = any)
+    --max-connections N simultaneous connection cap (default 256)
+    --cache-mb N        result-cache budget in MiB (default 64)
+
+bench options:
+    --addr HOST:PORT    target server (default: throwaway in-process server)
+    --connections N     concurrent keep-alive connections (default 4)
+    --duration S        warm-phase seconds (default 5)
+    --requests N        stop the warm phase after N requests
+    --path PATH         endpoint to hammer (default /v1/sweep/bandwidth)
+    --body JSON         request body (default: dense bandwidth sweep)
+    --expect-speedup X  exit non-zero unless cache_speedup >= X
+    --json              print the report as JSON instead of text
+
+Endpoints: POST /v1/solve, /v1/sweep/bandwidth, /v1/sweep/latency,
+/v1/equivalence, /v1/capacity, /v1/admin/shutdown; GET /healthz, /metrics.
+";
+
+fn fail(message: &str) -> ExitCode {
+    eprintln!("error: {message}");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("serve") => run_serve(&args[1..]),
+        Some("bench") => run_bench(&args[1..]),
+        Some("--help") | Some("-h") | Some("help") | None => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => fail(&format!("unknown command {other:?} (see --help)")),
+    }
+}
+
+/// Pulls the value of `--flag VALUE` out of `args`, parsing it with `parse`.
+fn take_flag<T>(
+    args: &mut Vec<String>,
+    flag: &str,
+    parse: impl Fn(&str) -> Option<T>,
+) -> Result<Option<T>, String> {
+    let Some(pos) = args.iter().position(|a| a == flag) else {
+        return Ok(None);
+    };
+    if pos + 1 >= args.len() {
+        return Err(format!("{flag} needs a value"));
+    }
+    let value = args.remove(pos + 1);
+    args.remove(pos);
+    parse(&value)
+        .map(Some)
+        .ok_or_else(|| format!("invalid value {value:?} for {flag}"))
+}
+
+fn take_switch(args: &mut Vec<String>, flag: &str) -> bool {
+    match args.iter().position(|a| a == flag) {
+        Some(pos) => {
+            args.remove(pos);
+            true
+        }
+        None => false,
+    }
+}
+
+fn run_serve(args: &[String]) -> ExitCode {
+    let mut args = args.to_vec();
+    let mut config = ServerConfig {
+        addr: "127.0.0.1:7878".to_string(),
+        ..ServerConfig::default()
+    };
+    let parsed = (|| -> Result<(), String> {
+        if let Some(addr) = take_flag(&mut args, "--addr", |v| Some(v.to_string()))? {
+            config.addr = addr;
+        }
+        if let Some(n) = take_flag(&mut args, "--max-connections", |v| v.parse().ok())? {
+            config.max_connections = n;
+        }
+        if let Some(mb) = take_flag(&mut args, "--cache-mb", |v| v.parse::<usize>().ok())? {
+            config.cache_budget = mb.saturating_mul(1024 * 1024);
+        }
+        Ok(())
+    })();
+    if let Err(message) = parsed {
+        return fail(&message);
+    }
+    if let Some(extra) = args.first() {
+        return fail(&format!("unexpected argument {extra:?}"));
+    }
+    let mut server = match Server::start(&config) {
+        Ok(server) => server,
+        Err(e) => return fail(&format!("cannot bind {}: {e}", config.addr)),
+    };
+    println!("memsense-serve listening on {}", server.addr());
+    server.join();
+    println!("memsense-serve shut down cleanly");
+    ExitCode::SUCCESS
+}
+
+fn run_bench(args: &[String]) -> ExitCode {
+    let mut args = args.to_vec();
+    let mut config = BenchConfig::default();
+    let mut expect_speedup: Option<f64> = None;
+    let json_output = take_switch(&mut args, "--json");
+    let parsed = (|| -> Result<(), String> {
+        config.addr = take_flag(&mut args, "--addr", |v| Some(v.to_string()))?;
+        if let Some(n) = take_flag(&mut args, "--connections", |v| v.parse().ok())? {
+            config.connections = n;
+        }
+        if let Some(s) = take_flag(&mut args, "--duration", |v| v.parse::<f64>().ok())? {
+            if !s.is_finite() || s <= 0.0 {
+                return Err("--duration must be positive".to_string());
+            }
+            config.duration = Duration::from_secs_f64(s);
+        }
+        if let Some(n) = take_flag(&mut args, "--requests", |v| v.parse().ok())? {
+            config.max_requests = Some(n);
+        }
+        if let Some(path) = take_flag(&mut args, "--path", |v| Some(v.to_string()))? {
+            config.path = path;
+        }
+        if let Some(body) = take_flag(&mut args, "--body", |v| Some(v.to_string()))? {
+            config.body = body;
+        }
+        expect_speedup = take_flag(&mut args, "--expect-speedup", |v| v.parse::<f64>().ok())?;
+        Ok(())
+    })();
+    if let Err(message) = parsed {
+        return fail(&message);
+    }
+    if let Some(extra) = args.first() {
+        return fail(&format!("unexpected argument {extra:?}"));
+    }
+    let report = match bench::run(&config) {
+        Ok(report) => report,
+        Err(e) => return fail(&format!("bench failed: {e}")),
+    };
+    if json_output {
+        println!("{}", report.to_json().to_string_pretty());
+    } else {
+        print!("{}", report.to_text());
+    }
+    if let Some(expected) = expect_speedup {
+        if report.cache_speedup < expected {
+            eprintln!(
+                "error: cache speedup {:.2}x is below the required {expected:.2}x",
+                report.cache_speedup
+            );
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "cache speedup {:.1}x meets the required {expected:.1}x",
+            report.cache_speedup
+        );
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,215 @@
+//! Content-addressed result cache: canonicalized request → response body.
+//!
+//! The key is the request's canonical form (method, path, and the body's
+//! key-sorted, float-canonicalized JSON — see
+//! `memsense_experiments::json::Json::canonical`), so two requests that
+//! differ only in whitespace, key order, or `-0.0` vs `0.0` hit the same
+//! entry. Values are complete response bodies; a hit is returned verbatim,
+//! byte-identical to the originally computed response.
+//!
+//! Eviction is LRU under a byte budget: each entry is charged its key and
+//! body length, and inserting past the budget evicts least-recently-used
+//! entries first. Recency is tracked with a monotonically increasing
+//! sequence number and a `BTreeMap<seq, key>` index, so get/insert/evict are
+//! all `O(log n)`.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Mutex;
+
+/// Default byte budget (64 MiB) — thousands of sweep responses.
+pub const DEFAULT_BUDGET_BYTES: usize = 64 * 1024 * 1024;
+
+/// Point-in-time cache counters, for `/metrics`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups that returned a stored body.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries evicted to stay within the byte budget.
+    pub evictions: u64,
+    /// Entries currently stored.
+    pub entries: usize,
+    /// Bytes currently charged (keys + bodies).
+    pub bytes: usize,
+}
+
+#[derive(Debug)]
+struct Entry {
+    body: String,
+    seq: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    map: HashMap<String, Entry>,
+    /// Recency index: sequence number → key. Oldest first.
+    order: BTreeMap<u64, String>,
+    next_seq: u64,
+    bytes: usize,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// A thread-safe LRU response cache with a byte budget.
+#[derive(Debug)]
+pub struct ResultCache {
+    inner: Mutex<Inner>,
+    budget: usize,
+}
+
+impl ResultCache {
+    /// Creates a cache bounded to `budget` bytes (keys + bodies).
+    pub fn new(budget: usize) -> ResultCache {
+        ResultCache {
+            inner: Mutex::new(Inner::default()),
+            budget,
+        }
+    }
+
+    /// Looks up `key`, refreshing its recency on a hit.
+    pub fn get(&self, key: &str) -> Option<String> {
+        let mut inner = self.inner.lock().expect("cache lock poisoned");
+        let seq = inner.next_seq;
+        match inner.map.get_mut(key) {
+            Some(entry) => {
+                let old = entry.seq;
+                entry.seq = seq;
+                let body = entry.body.clone();
+                inner.next_seq += 1;
+                inner.order.remove(&old);
+                inner.order.insert(seq, key.to_string());
+                inner.hits += 1;
+                Some(body)
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores `body` under `key`, evicting LRU entries past the budget.
+    /// Entries larger than the whole budget are not stored at all.
+    pub fn put(&self, key: &str, body: &str) {
+        let cost = key.len() + body.len();
+        if cost > self.budget {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("cache lock poisoned");
+        if let Some(existing) = inner.map.remove(key) {
+            inner.order.remove(&existing.seq);
+            inner.bytes -= key.len() + existing.body.len();
+        }
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        inner.map.insert(
+            key.to_string(),
+            Entry {
+                body: body.to_string(),
+                seq,
+            },
+        );
+        inner.order.insert(seq, key.to_string());
+        inner.bytes += cost;
+        while inner.bytes > self.budget {
+            let Some((&oldest, _)) = inner.order.iter().next() else {
+                break;
+            };
+            let victim = inner.order.remove(&oldest).expect("index entry exists");
+            let entry = inner.map.remove(&victim).expect("map entry exists");
+            inner.bytes -= victim.len() + entry.body.len();
+            inner.evictions += 1;
+        }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().expect("cache lock poisoned");
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+            entries: inner.map.len(),
+            bytes: inner.bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_hit_returns_identical_body() {
+        let cache = ResultCache::new(1024);
+        assert_eq!(cache.get("k"), None);
+        cache.put("k", "{\"v\":1}");
+        assert_eq!(cache.get("k").as_deref(), Some("{\"v\":1}"));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        assert_eq!(stats.bytes, 1 + 7);
+    }
+
+    #[test]
+    fn byte_budget_evicts_least_recently_used() {
+        // Each entry costs key (1) + body (9) = 10 bytes; budget holds 3.
+        let cache = ResultCache::new(30);
+        for key in ["a", "b", "c"] {
+            cache.put(key, "123456789");
+        }
+        assert_eq!(cache.stats().entries, 3);
+        // Touch "a" so "b" is now the LRU entry.
+        assert!(cache.get("a").is_some());
+        cache.put("d", "123456789");
+        assert_eq!(cache.get("b"), None, "LRU entry evicted");
+        assert!(cache.get("a").is_some());
+        assert!(cache.get("c").is_some());
+        assert!(cache.get("d").is_some());
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 1);
+        assert!(stats.bytes <= 30);
+    }
+
+    #[test]
+    fn reinsert_replaces_without_double_charging() {
+        let cache = ResultCache::new(100);
+        cache.put("k", "short");
+        cache.put("k", "a longer body than before");
+        assert_eq!(cache.stats().entries, 1);
+        assert_eq!(cache.stats().bytes, 1 + 25);
+        assert_eq!(cache.get("k").as_deref(), Some("a longer body than before"));
+    }
+
+    #[test]
+    fn oversized_entries_are_not_cached() {
+        let cache = ResultCache::new(10);
+        cache.put("key", &"x".repeat(100));
+        assert_eq!(cache.stats().entries, 0);
+        assert_eq!(cache.get("key"), None);
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        let cache = std::sync::Arc::new(ResultCache::new(10_000));
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let cache = cache.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100 {
+                    let key = format!("k{}", (t * 31 + i) % 16);
+                    if cache.get(&key).is_none() {
+                        cache.put(&key, &format!("body-{key}"));
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let stats = cache.stats();
+        assert!(stats.entries <= 16);
+        assert_eq!(stats.hits + stats.misses, 400);
+    }
+}

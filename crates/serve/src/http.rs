@@ -1,0 +1,404 @@
+//! Minimal HTTP/1.1 codec over `TcpStream`.
+//!
+//! Supports exactly what the daemon needs: request-line + headers +
+//! `Content-Length` bodies, keep-alive, and a handful of response status
+//! codes — with hard limits on header and body size so untrusted input
+//! cannot exhaust memory. No chunked transfer encoding (requests using it
+//! are rejected with 411/413-class errors).
+
+use std::io::{self, BufRead, Write};
+
+/// Maximum accepted size of the request line plus all headers.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Maximum accepted request body size.
+pub const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Request method, uppercased (`GET`, `POST`, …).
+    pub method: String,
+    /// Request path (no query-string splitting; the API does not use one).
+    pub path: String,
+    /// Headers as `(lowercased-name, value)` pairs in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of a header, by case-insensitive name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let lower = name.to_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == lower)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked to close the connection after this request.
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Why reading a request failed.
+#[derive(Debug)]
+pub enum ReadError {
+    /// The peer closed the connection before sending a request (normal for
+    /// keep-alive teardown).
+    Eof,
+    /// The request was malformed or exceeded a limit; the enclosed response
+    /// status/message should be sent before closing.
+    Bad(u16, &'static str),
+    /// Transport error.
+    Io(io::Error),
+}
+
+impl From<io::Error> for ReadError {
+    fn from(e: io::Error) -> Self {
+        ReadError::Io(e)
+    }
+}
+
+/// Reads one request from a buffered stream.
+///
+/// # Errors
+///
+/// [`ReadError::Eof`] on clean end-of-stream before any bytes,
+/// [`ReadError::Bad`] for malformed or over-limit requests, and
+/// [`ReadError::Io`] for transport failures (including read timeouts).
+pub fn read_request(stream: &mut impl BufRead) -> Result<Request, ReadError> {
+    let mut head = Vec::with_capacity(256);
+    // Read up to the blank line terminating the header block.
+    loop {
+        let mut line = Vec::with_capacity(64);
+        let n = read_limited_line(stream, &mut line, MAX_HEAD_BYTES + 2)?;
+        if n == 0 {
+            if head.is_empty() {
+                return Err(ReadError::Eof);
+            }
+            return Err(ReadError::Bad(400, "truncated request head"));
+        }
+        if head.len() + line.len() > MAX_HEAD_BYTES {
+            return Err(ReadError::Bad(431, "request head too large"));
+        }
+        let is_blank = line == b"\r\n" || line == b"\n";
+        head.extend_from_slice(&line);
+        if is_blank && !head_is_only_blank(&head) {
+            break;
+        }
+        if is_blank {
+            // Tolerate leading blank lines (RFC 9112 §2.2), keep reading.
+            head.clear();
+        }
+    }
+
+    let text = std::str::from_utf8(&head).map_err(|_| ReadError::Bad(400, "non-UTF-8 head"))?;
+    let mut lines = text.split("\r\n").flat_map(|l| l.split('\n'));
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_ascii_whitespace();
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v)) => (m, p, v),
+        _ => return Err(ReadError::Bad(400, "malformed request line")),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(ReadError::Bad(505, "unsupported HTTP version"));
+    }
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(ReadError::Bad(400, "malformed header"));
+        };
+        headers.push((name.trim().to_lowercase(), value.trim().to_string()));
+    }
+
+    let request = Request {
+        method: method.to_uppercase(),
+        path: path.to_string(),
+        headers,
+        body: Vec::new(),
+    };
+
+    if request.header("transfer-encoding").is_some() {
+        return Err(ReadError::Bad(411, "chunked bodies are not supported"));
+    }
+    let length = match request.header("content-length") {
+        None => 0,
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| ReadError::Bad(400, "invalid Content-Length"))?,
+    };
+    if length > MAX_BODY_BYTES {
+        return Err(ReadError::Bad(413, "request body too large"));
+    }
+    let mut body = vec![0u8; length];
+    if length > 0 {
+        io::Read::read_exact(stream, &mut body)
+            .map_err(|_| ReadError::Bad(400, "truncated request body"))?;
+    }
+    Ok(Request { body, ..request })
+}
+
+/// Reads one `\n`-terminated line, erroring out past `max` bytes.
+fn read_limited_line(
+    stream: &mut impl BufRead,
+    out: &mut Vec<u8>,
+    max: usize,
+) -> Result<usize, ReadError> {
+    let mut total = 0;
+    loop {
+        let buf = stream.fill_buf()?;
+        if buf.is_empty() {
+            return Ok(total);
+        }
+        let newline = buf.iter().position(|&b| b == b'\n');
+        let take = newline.map(|i| i + 1).unwrap_or(buf.len());
+        if total + take > max {
+            return Err(ReadError::Bad(431, "header line too long"));
+        }
+        out.extend_from_slice(&buf[..take]);
+        stream.consume(take);
+        total += take;
+        if newline.is_some() {
+            return Ok(total);
+        }
+    }
+}
+
+fn head_is_only_blank(head: &[u8]) -> bool {
+    head.iter().all(|&b| b == b'\r' || b == b'\n')
+}
+
+/// An HTTP response: status code plus a JSON body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response body (always `application/json` in this daemon).
+    pub body: String,
+}
+
+impl Response {
+    /// A 200 response with the given JSON body.
+    pub fn ok(body: String) -> Response {
+        Response { status: 200, body }
+    }
+}
+
+/// Reason phrase for the handful of status codes the daemon emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        411 => "Length Required",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        505 => "HTTP Version Not Supported",
+        _ => "Unknown",
+    }
+}
+
+/// Writes `response`, setting `Connection: close` unless `keep_alive`.
+///
+/// # Errors
+///
+/// Propagates transport failures.
+pub fn write_response(
+    stream: &mut impl Write,
+    response: &Response,
+    keep_alive: bool,
+) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        response.status,
+        reason(response.status),
+        response.body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(response.body.as_bytes())?;
+    stream.flush()
+}
+
+/// A minimal keep-alive HTTP/1.1 client for the bench tool and tests.
+#[derive(Debug)]
+pub struct Client {
+    reader: io::BufReader<std::net::TcpStream>,
+}
+
+impl Client {
+    /// Connects to `addr` (anything `ToSocketAddrs` accepts).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect(addr: impl std::net::ToSocketAddrs) -> io::Result<Client> {
+        let stream = std::net::TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            reader: io::BufReader::new(stream),
+        })
+    }
+
+    /// Sends one request and reads the response, reusing the connection.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, or `InvalidData` for malformed responses.
+    pub fn request(&mut self, method: &str, path: &str, body: &str) -> io::Result<(u16, String)> {
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: memsense\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        let stream = self.reader.get_mut();
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(body.as_bytes())?;
+        stream.flush()?;
+
+        let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+        let mut line = String::new();
+        self.reader.read_line(&mut line)?;
+        let status: u16 = line
+            .split_ascii_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| bad("malformed status line"))?;
+        let mut length: Option<usize> = None;
+        loop {
+            let mut header = String::new();
+            if self.reader.read_line(&mut header)? == 0 {
+                return Err(bad("truncated response head"));
+            }
+            let header = header.trim_end();
+            if header.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = header.split_once(':') {
+                if name.trim().eq_ignore_ascii_case("content-length") {
+                    length = value.trim().parse().ok();
+                }
+            }
+        }
+        let length = length.ok_or_else(|| bad("response without Content-Length"))?;
+        let mut body = vec![0u8; length];
+        io::Read::read_exact(&mut self.reader, &mut body)?;
+        String::from_utf8(body)
+            .map(|text| (status, text))
+            .map_err(|_| bad("non-UTF-8 response body"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Result<Request, ReadError> {
+        read_request(&mut BufReader::new(raw.as_bytes()))
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let r = parse("GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/healthz");
+        assert_eq!(r.header("host"), Some("x"));
+        assert!(r.body.is_empty());
+        assert!(!r.wants_close());
+    }
+
+    #[test]
+    fn parses_post_with_content_length() {
+        let r = parse("POST /v1/solve HTTP/1.1\r\nContent-Length: 7\r\n\r\n{\"a\":1}").unwrap();
+        assert_eq!(r.method, "POST");
+        assert_eq!(r.body, b"{\"a\":1}");
+    }
+
+    #[test]
+    fn header_lookup_is_case_insensitive_and_close_detected() {
+        let r = parse("GET / HTTP/1.1\r\nConnection: Close\r\n\r\n").unwrap();
+        assert!(r.wants_close());
+        assert_eq!(r.header("CONNECTION"), Some("Close"));
+    }
+
+    #[test]
+    fn eof_before_request_is_clean() {
+        assert!(matches!(parse(""), Err(ReadError::Eof)));
+    }
+
+    #[test]
+    fn malformed_requests_are_4xx() {
+        assert!(matches!(parse("NOPE\r\n\r\n"), Err(ReadError::Bad(400, _))));
+        assert!(matches!(
+            parse("GET / HTTP/2\r\n\r\n"),
+            Err(ReadError::Bad(505, _))
+        ));
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n"),
+            Err(ReadError::Bad(400, _))
+        ));
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort"),
+            Err(ReadError::Bad(400, _))
+        ));
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
+            Err(ReadError::Bad(411, _))
+        ));
+    }
+
+    #[test]
+    fn oversized_inputs_are_rejected() {
+        let huge_header = format!(
+            "GET / HTTP/1.1\r\nX-Pad: {}\r\n\r\n",
+            "y".repeat(MAX_HEAD_BYTES)
+        );
+        assert!(matches!(parse(&huge_header), Err(ReadError::Bad(431, _))));
+        let huge_body = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert!(matches!(parse(&huge_body), Err(ReadError::Bad(413, _))));
+    }
+
+    #[test]
+    fn response_writes_headers_and_body() {
+        let mut out = Vec::new();
+        write_response(&mut out, &Response::ok("{}".into()), true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+        let mut out = Vec::new();
+        write_response(
+            &mut out,
+            &Response {
+                status: 404,
+                body: String::new(),
+            },
+            false,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 404 Not Found\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+    }
+
+    #[test]
+    fn tolerates_leading_blank_lines() {
+        let r = parse("\r\n\r\nGET / HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(r.method, "GET");
+    }
+}

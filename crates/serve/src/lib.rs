@@ -1,0 +1,53 @@
+//! `memsense-serve` — the calibrated model as a service.
+//!
+//! The ROADMAP's north star is a system that answers memory-subsystem
+//! what-if queries for heavy interactive traffic; hyperscalers ask exactly
+//! these latency/bandwidth-sensitivity and capacity-planning questions as an
+//! online service over calibrated models. The Eq. 1–5 machinery in
+//! `memsense-model` solves in microseconds, so this crate puts it behind a
+//! dependency-free HTTP/1.1 daemon:
+//!
+//! | endpoint                  | answers                                        |
+//! |---------------------------|------------------------------------------------|
+//! | `POST /v1/solve`          | fixed-point CPI solve with regime + CPI stack  |
+//! | `POST /v1/sweep/bandwidth`| Fig. 8-style per-core bandwidth sweep          |
+//! | `POST /v1/sweep/latency`  | Fig. 10-style compulsory-latency sweep         |
+//! | `POST /v1/equivalence`    | Tab. 7 latency ⇄ bandwidth equivalence         |
+//! | `POST /v1/capacity`       | capacity planning over candidate memory configs|
+//! | `GET /healthz`            | liveness                                       |
+//! | `GET /metrics`            | request counts, latency percentiles, cache     |
+//! | `POST /v1/admin/shutdown` | clean shutdown                                 |
+//!
+//! Architecture (all `std`, no external crates):
+//!
+//! * [`http`] — a minimal, limit-enforcing HTTP/1.1 request/response codec
+//!   over `TcpStream` with keep-alive.
+//! * [`server`] — `TcpListener` accept loop spawning one worker thread per
+//!   connection (bounded by a connection cap); connection threads only do
+//!   I/O, while model fan-out inside a request (sweeps over many workloads,
+//!   capacity grids) goes through the worker pool of
+//!   `memsense_experiments::executor`, so `MEMSENSE_THREADS` bounds total
+//!   model parallelism process-wide no matter how many connections are in
+//!   flight.
+//! * [`api`] — JSON request/response conversion over the model, via the
+//!   shared `memsense_experiments::json` module (escaping-correct, canonical
+//!   floats).
+//! * [`cache`] — a content-addressed in-memory result cache: canonicalized
+//!   request (method + path + key-sorted body) → response body, LRU with a
+//!   byte-budget; repeated sweep queries are served without re-solving and
+//!   return byte-identical bodies.
+//! * [`metrics`] — per-endpoint request counts and latency percentiles
+//!   (via `memsense-stats`), plus cache hit/miss/eviction counters.
+//! * [`bench`] — a built-in load generator (`memsense-serve bench`) that
+//!   drives the server and reports throughput, latency percentiles, and the
+//!   cache-hit speedup, so the service layer is self-benchmarkable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod api;
+pub mod bench;
+pub mod cache;
+pub mod http;
+pub mod metrics;
+pub mod server;

@@ -1,0 +1,173 @@
+//! Request telemetry: per-endpoint counts and latency percentiles.
+//!
+//! Each handled request records its endpoint label, status class, and
+//! service time. Latencies are kept in a bounded per-endpoint ring (newest
+//! samples win) and summarized with `memsense-stats` percentiles on demand,
+//! so `/metrics` costs are paid by the scraper, not the request path.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::Duration;
+
+use memsense_experiments::json::Json;
+use memsense_stats::descriptive::{mean, percentile};
+
+use crate::cache::CacheStats;
+
+/// Per-endpoint latency samples retained for percentile estimates.
+const MAX_SAMPLES_PER_ENDPOINT: usize = 4096;
+
+#[derive(Debug, Default)]
+struct EndpointStats {
+    requests: u64,
+    errors: u64,
+    /// Service times in milliseconds; bounded ring, `next` is the write head.
+    samples: Vec<f64>,
+    next: usize,
+}
+
+/// Thread-safe registry of per-endpoint request telemetry.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    endpoints: Mutex<BTreeMap<String, EndpointStats>>,
+}
+
+impl Metrics {
+    /// Creates an empty registry.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Records one handled request for `endpoint` with the given response
+    /// `status` and service time.
+    pub fn record(&self, endpoint: &str, status: u16, elapsed: Duration) {
+        let mut endpoints = self.endpoints.lock().expect("metrics lock poisoned");
+        let stats = endpoints.entry(endpoint.to_string()).or_default();
+        stats.requests += 1;
+        if status >= 400 {
+            stats.errors += 1;
+        }
+        let ms = elapsed.as_secs_f64() * 1e3;
+        if stats.samples.len() < MAX_SAMPLES_PER_ENDPOINT {
+            stats.samples.push(ms);
+        } else {
+            stats.samples[stats.next] = ms;
+            stats.next = (stats.next + 1) % MAX_SAMPLES_PER_ENDPOINT;
+        }
+    }
+
+    /// Total requests recorded across all endpoints.
+    pub fn total_requests(&self) -> u64 {
+        let endpoints = self.endpoints.lock().expect("metrics lock poisoned");
+        endpoints.values().map(|s| s.requests).sum()
+    }
+
+    /// Renders the registry (plus `cache` counters) as the `/metrics` body.
+    pub fn to_json(&self, cache: CacheStats) -> Json {
+        let endpoints = self.endpoints.lock().expect("metrics lock poisoned");
+        let per_endpoint: Vec<Json> = endpoints
+            .iter()
+            .map(|(name, stats)| {
+                let mut fields = vec![
+                    ("endpoint", Json::str(name)),
+                    ("requests", Json::num(stats.requests as f64)),
+                    ("errors", Json::num(stats.errors as f64)),
+                ];
+                if !stats.samples.is_empty() {
+                    let quantile =
+                        |p: f64| percentile(&stats.samples, p).expect("non-empty samples");
+                    fields.push((
+                        "latency_ms_mean",
+                        Json::num(round3(mean(&stats.samples).expect("non-empty samples"))),
+                    ));
+                    fields.push(("latency_ms_p50", Json::num(round3(quantile(50.0)))));
+                    fields.push(("latency_ms_p90", Json::num(round3(quantile(90.0)))));
+                    fields.push(("latency_ms_p99", Json::num(round3(quantile(99.0)))));
+                }
+                Json::obj(fields)
+            })
+            .collect();
+        Json::obj(vec![
+            (
+                "requests_total",
+                Json::num(endpoints.values().map(|s| s.requests).sum::<u64>() as f64),
+            ),
+            ("endpoints", Json::Arr(per_endpoint)),
+            (
+                "cache",
+                Json::obj(vec![
+                    ("hits", Json::num(cache.hits as f64)),
+                    ("misses", Json::num(cache.misses as f64)),
+                    ("evictions", Json::num(cache.evictions as f64)),
+                    ("entries", Json::num(cache.entries as f64)),
+                    ("bytes", Json::num(cache.bytes as f64)),
+                ]),
+            ),
+        ])
+    }
+}
+
+/// Rounds to 3 decimals: enough for millisecond latencies, and keeps the
+/// JSON bodies free of 17-digit float noise.
+fn round3(v: f64) -> f64 {
+    (v * 1e3).round() / 1e3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_counts_errors_and_percentiles() {
+        let metrics = Metrics::new();
+        for i in 0..10 {
+            metrics.record("/v1/solve", 200, Duration::from_millis(i + 1));
+        }
+        metrics.record("/v1/solve", 400, Duration::from_millis(100));
+        metrics.record("/healthz", 200, Duration::from_micros(50));
+        assert_eq!(metrics.total_requests(), 12);
+
+        let json = metrics.to_json(CacheStats::default());
+        assert_eq!(json.get("requests_total").and_then(Json::as_u64), Some(12));
+        let endpoints = json.get("endpoints").and_then(Json::as_arr).unwrap();
+        assert_eq!(endpoints.len(), 2);
+        let solve = endpoints
+            .iter()
+            .find(|e| e.get("endpoint").and_then(Json::as_str) == Some("/v1/solve"))
+            .unwrap();
+        assert_eq!(solve.get("requests").and_then(Json::as_u64), Some(11));
+        assert_eq!(solve.get("errors").and_then(Json::as_u64), Some(1));
+        let p99 = solve.get("latency_ms_p99").and_then(Json::as_f64).unwrap();
+        let p50 = solve.get("latency_ms_p50").and_then(Json::as_f64).unwrap();
+        assert!(p99 >= p50);
+        assert!(p99 <= 100.0 + 1e-9);
+    }
+
+    #[test]
+    fn sample_ring_is_bounded() {
+        let metrics = Metrics::new();
+        for _ in 0..(MAX_SAMPLES_PER_ENDPOINT + 100) {
+            metrics.record("/v1/sweep/bandwidth", 200, Duration::from_millis(1));
+        }
+        let endpoints = metrics.endpoints.lock().unwrap();
+        let stats = endpoints.get("/v1/sweep/bandwidth").unwrap();
+        assert_eq!(stats.samples.len(), MAX_SAMPLES_PER_ENDPOINT);
+        assert_eq!(stats.requests, (MAX_SAMPLES_PER_ENDPOINT + 100) as u64);
+    }
+
+    #[test]
+    fn cache_stats_are_embedded() {
+        let metrics = Metrics::new();
+        let json = metrics.to_json(CacheStats {
+            hits: 3,
+            misses: 5,
+            evictions: 1,
+            entries: 2,
+            bytes: 1234,
+        });
+        let cache = json.get("cache").unwrap();
+        assert_eq!(cache.get("hits").and_then(Json::as_u64), Some(3));
+        assert_eq!(cache.get("misses").and_then(Json::as_u64), Some(5));
+        assert_eq!(cache.get("bytes").and_then(Json::as_u64), Some(1234));
+    }
+}

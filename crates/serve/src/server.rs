@@ -1,0 +1,316 @@
+//! The daemon: `TcpListener` accept loop, per-connection workers, routing,
+//! and the cache/metrics glue.
+//!
+//! Each accepted connection gets its own worker thread speaking keep-alive
+//! HTTP/1.1 (with blocking std-only I/O, a *fixed* pool would let one idle
+//! keep-alive connection starve every queued connection), capped at
+//! [`ServerConfig::max_connections`] — excess connections are turned away
+//! with a 503. Connection threads do no model math themselves: model work
+//! *inside* a request (sweeping many workloads, capacity grids) is fanned
+//! through `memsense_experiments::executor`, so `MEMSENSE_THREADS` bounds
+//! model parallelism process-wide regardless of how many connections are
+//! open.
+//!
+//! Caching: successful `POST /v1/*` responses are stored in the
+//! content-addressed [`ResultCache`](crate::cache::ResultCache) keyed by
+//! `"{method} {path}#{canonical body}"`. A hit skips the model entirely and
+//! returns the original body byte-for-byte.
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use memsense_experiments::json::Json;
+
+use crate::api::{self, error_body, ApiError, SweepKind};
+use crate::cache::{ResultCache, DEFAULT_BUDGET_BYTES};
+use crate::http::{read_request, write_response, ReadError, Request, Response};
+use crate::metrics::Metrics;
+
+/// How long a keep-alive connection may sit idle before being dropped.
+const IDLE_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Server construction parameters.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:7878` (`:0` picks a free port).
+    pub addr: String,
+    /// Most simultaneously open connections; excess get a 503. `0` = 256.
+    pub max_connections: usize,
+    /// Result-cache byte budget.
+    pub cache_budget: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            max_connections: 0,
+            cache_budget: DEFAULT_BUDGET_BYTES,
+        }
+    }
+}
+
+/// Shared state visible to every connection worker.
+struct State {
+    addr: SocketAddr,
+    cache: ResultCache,
+    metrics: Metrics,
+    shutdown: AtomicBool,
+    active_connections: AtomicUsize,
+}
+
+/// A running daemon; dropping the handle does not stop it — call
+/// [`Server::stop`] or POST `/v1/admin/shutdown`.
+pub struct Server {
+    addr: SocketAddr,
+    state: Arc<State>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds and starts serving in background threads.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from binding the listener.
+    pub fn start(config: &ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let max_connections = if config.max_connections == 0 {
+            256
+        } else {
+            config.max_connections
+        };
+        let state = Arc::new(State {
+            addr,
+            cache: ResultCache::new(config.cache_budget),
+            metrics: Metrics::new(),
+            shutdown: AtomicBool::new(false),
+            active_connections: AtomicUsize::new(0),
+        });
+
+        let accept_state = Arc::clone(&state);
+        let accept_thread = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if accept_state.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(mut stream) = stream else { continue };
+                if accept_state
+                    .active_connections
+                    .fetch_add(1, Ordering::SeqCst)
+                    >= max_connections
+                {
+                    accept_state
+                        .active_connections
+                        .fetch_sub(1, Ordering::SeqCst);
+                    let response = Response {
+                        status: 503,
+                        body: error_body("connection limit reached"),
+                    };
+                    let _ = write_response(&mut stream, &response, false);
+                    continue;
+                }
+                let state = Arc::clone(&accept_state);
+                // One thread per connection: a blocked keep-alive read only
+                // ever parks its own thread, never another connection. The
+                // threads are detached; they exit when their peer closes (or
+                // times out) and the process does not wait on them at
+                // shutdown.
+                std::thread::spawn(move || {
+                    handle_connection(stream, &state);
+                    state.active_connections.fetch_sub(1, Ordering::SeqCst);
+                });
+            }
+        });
+
+        Ok(Server {
+            addr,
+            state,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (useful with `:0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests shutdown and unblocks the accept loop.
+    pub fn stop(&self) {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+        // `accept` only returns on a connection; poke it so it re-checks.
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    /// Waits for the accept loop to finish. Connection threads are detached
+    /// and wind down on their own once their peers hang up.
+    pub fn join(&mut self) {
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+
+    /// Whether shutdown has been requested (via [`Server::stop`] or the
+    /// `/v1/admin/shutdown` endpoint).
+    pub fn shutdown_requested(&self) -> bool {
+        self.state.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+/// Serves one connection: keep-alive request loop with routing + telemetry.
+fn handle_connection(stream: TcpStream, state: &State) {
+    let _ = stream.set_read_timeout(Some(IDLE_TIMEOUT));
+    // Responses are written as head + body; without nodelay, Nagle plus
+    // delayed ACKs can add ~40 ms to every small response.
+    let _ = stream.set_nodelay(true);
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut write_half = write_half;
+    let mut reader = BufReader::new(stream);
+    loop {
+        let request = match read_request(&mut reader) {
+            Ok(request) => request,
+            Err(ReadError::Eof) | Err(ReadError::Io(_)) => return,
+            Err(ReadError::Bad(status, message)) => {
+                let response = Response {
+                    status,
+                    body: error_body(message),
+                };
+                let _ = write_response(&mut write_half, &response, false);
+                return;
+            }
+        };
+        let keep_alive = !request.wants_close() && !state.shutdown.load(Ordering::SeqCst);
+        let started = Instant::now();
+        let (endpoint, response) = route(state, &request);
+        state
+            .metrics
+            .record(endpoint, response.status, started.elapsed());
+        if write_response(&mut write_half, &response, keep_alive).is_err() || !keep_alive {
+            return;
+        }
+    }
+}
+
+/// Routes one request; returns the metrics endpoint label and the response.
+fn route(state: &State, request: &Request) -> (&'static str, Response) {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => (
+            "/healthz",
+            Response::ok(Json::obj(vec![("status", Json::str("ok"))]).to_string()),
+        ),
+        ("GET", "/metrics") => (
+            "/metrics",
+            Response::ok(state.metrics.to_json(state.cache.stats()).to_string()),
+        ),
+        ("POST", "/v1/admin/shutdown") => {
+            state.shutdown.store(true, Ordering::SeqCst);
+            // The accept loop only re-checks the flag when `accept` returns,
+            // so poke it with a throwaway connection.
+            let _ = TcpStream::connect(state.addr);
+            (
+                "/v1/admin/shutdown",
+                Response::ok(Json::obj(vec![("status", Json::str("shutting-down"))]).to_string()),
+            )
+        }
+        ("POST", "/v1/solve") => ("/v1/solve", cached(state, request, api::solve)),
+        ("POST", "/v1/sweep/bandwidth") => (
+            "/v1/sweep/bandwidth",
+            cached(state, request, |body| {
+                api::sweep(SweepKind::Bandwidth, body)
+            }),
+        ),
+        ("POST", "/v1/sweep/latency") => (
+            "/v1/sweep/latency",
+            cached(state, request, |body| api::sweep(SweepKind::Latency, body)),
+        ),
+        ("POST", "/v1/equivalence") => (
+            "/v1/equivalence",
+            cached(state, request, api::equivalence_endpoint),
+        ),
+        ("POST", "/v1/capacity") => ("/v1/capacity", cached(state, request, api::capacity)),
+        (_, "/healthz" | "/metrics") | ("GET" | "PUT" | "DELETE" | "HEAD" | "PATCH", _)
+            if known_path(&request.path) =>
+        {
+            (
+                "other",
+                Response {
+                    status: 405,
+                    body: error_body("method not allowed for this endpoint"),
+                },
+            )
+        }
+        _ => (
+            "other",
+            Response {
+                status: 404,
+                body: error_body(&format!("no such endpoint: {}", request.path)),
+            },
+        ),
+    }
+}
+
+fn known_path(path: &str) -> bool {
+    matches!(
+        path,
+        "/healthz"
+            | "/metrics"
+            | "/v1/solve"
+            | "/v1/sweep/bandwidth"
+            | "/v1/sweep/latency"
+            | "/v1/equivalence"
+            | "/v1/capacity"
+            | "/v1/admin/shutdown"
+    )
+}
+
+/// Parses the body, consults the result cache, and runs `handler` on a miss.
+fn cached(
+    state: &State,
+    request: &Request,
+    handler: impl Fn(&Json) -> Result<Json, ApiError>,
+) -> Response {
+    let body = if request.body.is_empty() {
+        Json::obj(Vec::new())
+    } else {
+        let text = match std::str::from_utf8(&request.body) {
+            Ok(text) => text,
+            Err(_) => {
+                return Response {
+                    status: 400,
+                    body: error_body("request body must be UTF-8"),
+                }
+            }
+        };
+        match Json::parse(text) {
+            Ok(body) => body,
+            Err(e) => {
+                return Response {
+                    status: 400,
+                    body: error_body(&format!("invalid JSON: {e}")),
+                }
+            }
+        }
+    };
+    let key = format!("{} {}#{}", request.method, request.path, body.canonical());
+    if let Some(hit) = state.cache.get(&key) {
+        return Response::ok(hit);
+    }
+    match handler(&body) {
+        Ok(response) => {
+            let body = response.to_string();
+            state.cache.put(&key, &body);
+            Response::ok(body)
+        }
+        Err(e) => Response {
+            status: e.status,
+            body: e.body(),
+        },
+    }
+}

@@ -1,0 +1,269 @@
+//! End-to-end tests: a real server on a loopback port, driven over TCP.
+//!
+//! The load-bearing guarantees: responses match direct library calls
+//! bit-for-bit, cache hits return byte-identical bodies, sweep responses
+//! carry enough precision to reconstruct the repro CLI's CSV output
+//! byte-for-byte, and malformed input maps to 4xx JSON errors.
+
+use std::time::Duration;
+
+use memsense_experiments::figures::fig8_table;
+use memsense_experiments::json::Json;
+use memsense_experiments::render::{f, pct, Table};
+use memsense_model::queueing::QueueingCurve;
+use memsense_model::sensitivity::equivalence;
+use memsense_model::solver::solve_cpi;
+use memsense_model::system::SystemConfig;
+use memsense_model::workload::WorkloadParams;
+use memsense_serve::bench::{self, BenchConfig};
+use memsense_serve::http::Client;
+use memsense_serve::server::{Server, ServerConfig};
+
+fn start() -> Server {
+    Server::start(&ServerConfig::default()).expect("bind loopback")
+}
+
+fn call(server: &Server, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut client = Client::connect(server.addr()).expect("connect");
+    client.request(method, path, body).expect("request")
+}
+
+/// Parses a response body, asserting it is valid JSON.
+fn parsed(body: &str) -> Json {
+    Json::parse(body).unwrap_or_else(|e| panic!("response is not valid JSON ({e}): {body}"))
+}
+
+#[test]
+fn healthz_metrics_and_error_routes() {
+    let mut server = start();
+
+    let (status, body) = call(&server, "GET", "/healthz", "");
+    assert_eq!(status, 200);
+    assert_eq!(body, r#"{"status":"ok"}"#);
+
+    // Unknown route: 404 with a JSON error body.
+    let (status, body) = call(&server, "GET", "/no/such/route", "");
+    assert_eq!(status, 404);
+    assert!(parsed(&body).get("error").is_some(), "{body}");
+
+    // Wrong method on a known route: 405 with a JSON error body.
+    let (status, body) = call(&server, "POST", "/healthz", "{}");
+    assert_eq!(status, 405);
+    assert!(parsed(&body).get("error").is_some(), "{body}");
+    let (status, _) = call(&server, "GET", "/v1/solve", "");
+    assert_eq!(status, 405);
+
+    // Malformed JSON: 400 with a JSON error body naming the problem.
+    let (status, body) = call(&server, "POST", "/v1/solve", "{not json");
+    assert_eq!(status, 400);
+    let error = parsed(&body);
+    assert!(
+        error
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("invalid JSON"),
+        "{body}"
+    );
+
+    // Unknown field: 400, so typos cannot silently fall back to defaults.
+    let (status, _) = call(&server, "POST", "/v1/solve", r#"{"workloud": "hpc"}"#);
+    assert_eq!(status, 400);
+
+    // /metrics reflects what just happened.
+    let (status, body) = call(&server, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    let metrics = parsed(&body);
+    assert!(
+        metrics
+            .get("requests_total")
+            .and_then(Json::as_u64)
+            .unwrap()
+            >= 5
+    );
+    assert!(metrics.get("cache").is_some());
+
+    server.stop();
+    server.join();
+}
+
+#[test]
+fn solve_round_trip_matches_library_bit_for_bit() {
+    let mut server = start();
+    let (status, body) = call(
+        &server,
+        "POST",
+        "/v1/solve",
+        r#"{"workload": "enterprise"}"#,
+    );
+    assert_eq!(status, 200);
+    let response = parsed(&body);
+
+    let direct = solve_cpi(
+        &WorkloadParams::enterprise_class(),
+        &SystemConfig::paper_baseline(),
+        &QueueingCurve::composite_default(),
+    )
+    .unwrap();
+    let solved = response.get("solved").unwrap();
+    // f64s survive the wire exactly: the canonical formatter emits the
+    // shortest decimal that round-trips to the same bits.
+    assert_eq!(
+        solved
+            .get("cpi_eff")
+            .and_then(Json::as_f64)
+            .unwrap()
+            .to_bits(),
+        direct.cpi_eff.to_bits()
+    );
+    assert_eq!(
+        solved
+            .get("utilization")
+            .and_then(Json::as_f64)
+            .unwrap()
+            .to_bits(),
+        direct.utilization.to_bits()
+    );
+    assert_eq!(
+        solved.get("regime").and_then(Json::as_str),
+        Some(direct.regime.token())
+    );
+    server.stop();
+    server.join();
+}
+
+#[test]
+fn equivalence_round_trip_matches_library() {
+    let mut server = start();
+    let (status, body) = call(&server, "POST", "/v1/equivalence", "{}");
+    assert_eq!(status, 200);
+    let rows = parsed(&body);
+    let rows = rows.get("workloads").and_then(Json::as_arr).unwrap();
+    let classes = WorkloadParams::all_classes();
+    assert_eq!(rows.len(), classes.len());
+    for (row, class) in rows.iter().zip(&classes) {
+        let direct = equivalence(
+            class,
+            &SystemConfig::paper_baseline(),
+            &QueueingCurve::composite_default(),
+        )
+        .unwrap();
+        assert_eq!(
+            row.get("workload").and_then(Json::as_str),
+            Some(class.name.as_str())
+        );
+        assert_eq!(
+            row.get("benefit_of_latency_pct")
+                .and_then(Json::as_f64)
+                .unwrap()
+                .to_bits(),
+            direct.benefit_of_latency_pct.to_bits()
+        );
+    }
+    server.stop();
+    server.join();
+}
+
+#[test]
+fn cache_hit_is_byte_identical_and_ignores_formatting() {
+    let mut server = start();
+    let first = r#"{"workloads": ["big data"], "steps_ns": [0, 10, 20]}"#;
+    // Same request, different key order, whitespace, and float spelling
+    // (-0.0 vs 0): must hit the same cache entry.
+    let second = r#"{ "steps_ns": [ -0.0, 10.0, 2e1 ], "workloads": ["big data"] }"#;
+
+    let (status, body_a) = call(&server, "POST", "/v1/sweep/latency", first);
+    assert_eq!(status, 200);
+    let (status, body_b) = call(&server, "POST", "/v1/sweep/latency", second);
+    assert_eq!(status, 200);
+    assert_eq!(body_a, body_b, "cache hit must be byte-identical");
+
+    let (_, metrics) = call(&server, "GET", "/metrics", "");
+    let metrics = parsed(&metrics);
+    let cache = metrics.get("cache").unwrap();
+    assert_eq!(cache.get("hits").and_then(Json::as_u64), Some(1));
+    assert_eq!(cache.get("misses").and_then(Json::as_u64), Some(1));
+    assert_eq!(cache.get("entries").and_then(Json::as_u64), Some(1));
+
+    server.stop();
+    server.join();
+}
+
+#[test]
+fn sweep_response_reconstructs_fig8_csv_byte_for_byte() {
+    let mut server = start();
+    // Defaults: the three Tab. 6 classes over the paper's Fig. 8 axis —
+    // exactly what the repro CLI tabulates.
+    let (status, body) = call(&server, "POST", "/v1/sweep/bandwidth", "{}");
+    assert_eq!(status, 200);
+    let response = parsed(&body);
+
+    let mut table = Table::new(
+        "Fig. 8: CPI increase vs per-core bandwidth reduction",
+        &[
+            "class",
+            "delta_gbps_per_core",
+            "bw_per_core",
+            "cpi",
+            "cpi_increase",
+            "regime",
+        ],
+    );
+    for class in response.get("workloads").and_then(Json::as_arr).unwrap() {
+        let name = class.get("workload").and_then(Json::as_str).unwrap();
+        for point in class.get("points").and_then(Json::as_arr).unwrap() {
+            let num = |key: &str| point.get(key).and_then(Json::as_f64).unwrap();
+            let regime = point.get("regime").and_then(Json::as_str).unwrap();
+            table.row(vec![
+                name.to_string(),
+                f(num("delta"), 1),
+                f(num("bandwidth_per_core_gbps"), 2),
+                f(num("cpi"), 3),
+                pct(num("cpi_ratio") - 1.0, 1),
+                regime.replace('_', " "),
+            ]);
+        }
+    }
+
+    let direct = fig8_table(
+        &WorkloadParams::all_classes(),
+        &SystemConfig::paper_baseline(),
+        &QueueingCurve::composite_default(),
+    )
+    .unwrap();
+    assert_eq!(
+        table.to_csv(),
+        direct.to_csv(),
+        "server sweep must reconstruct the repro CSV byte-for-byte"
+    );
+    server.stop();
+    server.join();
+}
+
+#[test]
+fn shutdown_endpoint_stops_the_server() {
+    let mut server = start();
+    let (status, body) = call(&server, "POST", "/v1/admin/shutdown", "");
+    assert_eq!(status, 200);
+    assert!(body.contains("shutting-down"));
+    server.join(); // returns because the accept loop observed the flag
+    assert!(server.shutdown_requested());
+}
+
+#[test]
+fn bench_measures_a_cache_speedup_in_process() {
+    let report = bench::run(&BenchConfig {
+        connections: 2,
+        duration: Duration::from_millis(500),
+        max_requests: Some(200),
+        ..BenchConfig::default()
+    })
+    .expect("bench run");
+    assert!(report.requests > 0);
+    assert!(report.cold_ms > 0.0);
+    assert!(
+        report.cache_speedup > 1.0,
+        "cache hits should beat the cold solve (got {:.2}x)",
+        report.cache_speedup
+    );
+}
