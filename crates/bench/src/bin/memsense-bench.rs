@@ -1,0 +1,154 @@
+//! `memsense-bench` — record and check the simulator performance baseline.
+//!
+//! ```text
+//! memsense-bench sim-baseline                         # record BENCH_sim.json
+//! memsense-bench sim-baseline --out path.json         # record elsewhere
+//! memsense-bench sim-baseline --check BENCH_sim.json  # gate against a baseline
+//! memsense-bench sim-baseline --check BENCH_sim.json --tolerance 0.5 \
+//!     --repeats 1 --report gate.json                  # CI mode
+//! ```
+//!
+//! Recording times the sim-heavy repro stages (reduced budgets) serially —
+//! the binary forces `MEMSENSE_THREADS=1` before the executor starts so
+//! stage walls are undiluted by co-running stages — keeping the minimum
+//! wall per stage across `--repeats` runs. `--check` re-measures and fails
+//! (exit 1) when any stage, or the total, exceeds the recorded baseline by
+//! more than `--tolerance` (fraction, default 0.5 = allow up to 1.5×).
+//! Use a release build; debug timings are not comparable.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use memsense_experiments::simbench::{
+    self, compare, from_json, measure, to_json, DEFAULT_REPEATS, DEFAULT_TOLERANCE,
+};
+
+const USAGE: &str = "usage: memsense-bench sim-baseline \
+[--out PATH] [--check PATH] [--tolerance T] [--repeats N] [--report PATH]";
+
+struct Args {
+    out: PathBuf,
+    check: Option<PathBuf>,
+    tolerance: f64,
+    repeats: usize,
+    report: Option<PathBuf>,
+}
+
+fn parse_args(mut argv: std::env::Args) -> Result<Args, String> {
+    let _exe = argv.next();
+    match argv.next().as_deref() {
+        Some("sim-baseline") => {}
+        Some(other) => return Err(format!("unknown command {other:?}\n{USAGE}")),
+        None => return Err(USAGE.to_string()),
+    }
+    let mut args = Args {
+        out: PathBuf::from("BENCH_sim.json"),
+        check: None,
+        tolerance: DEFAULT_TOLERANCE,
+        repeats: DEFAULT_REPEATS,
+        report: None,
+    };
+    while let Some(flag) = argv.next() {
+        let mut value = |name: &str| {
+            argv.next()
+                .ok_or_else(|| format!("{name} requires a value\n{USAGE}"))
+        };
+        match flag.as_str() {
+            "--out" => args.out = PathBuf::from(value("--out")?),
+            "--check" => args.check = Some(PathBuf::from(value("--check")?)),
+            "--report" => args.report = Some(PathBuf::from(value("--report")?)),
+            "--tolerance" => {
+                let v = value("--tolerance")?;
+                args.tolerance = v
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|t| t.is_finite() && *t >= 0.0)
+                    .ok_or_else(|| format!("invalid --tolerance {v:?}"))?;
+            }
+            "--repeats" => {
+                let v = value("--repeats")?;
+                args.repeats = v
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|n| *n >= 1)
+                    .ok_or_else(|| format!("invalid --repeats {v:?}"))?;
+            }
+            other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args(std::env::args()) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    // Pin the executor serial before its OnceLock initializes: baseline
+    // walls must measure single-stage throughput, not pool contention.
+    std::env::set_var("MEMSENSE_THREADS", "1");
+
+    // Read the baseline up front so a bad path fails before measurement.
+    let baseline = match &args.check {
+        None => None,
+        Some(check_path) => match std::fs::read_to_string(check_path)
+            .map_err(|e| format!("cannot read {}: {e}", check_path.display()))
+            .and_then(|text| from_json(&text).map_err(|e| e.to_string()))
+        {
+            Ok(b) => Some(b),
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+
+    eprintln!(
+        "measuring {} sim stages x {} repeat(s), serial (best-of-N walls)...",
+        simbench::STAGES.len(),
+        args.repeats
+    );
+    let current = match measure(args.repeats) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let Some(baseline) = baseline else {
+        // Record mode.
+        if let Err(e) = std::fs::write(&args.out, to_json(&current)) {
+            eprintln!("error: cannot write {}: {e}", args.out.display());
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "recorded {} ({} stages, total {:.1} ms)",
+            args.out.display(),
+            current.stages.len(),
+            current.total_ms()
+        );
+        return ExitCode::SUCCESS;
+    };
+
+    // Check mode.
+    let comparison = compare(&current, &baseline, args.tolerance);
+    print!("{}", comparison.to_table().to_ascii());
+    if let Some(report) = &args.report {
+        if let Err(e) = std::fs::write(report, comparison.to_json_value().to_string_pretty()) {
+            eprintln!("error: cannot write {}: {e}", report.display());
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {}", report.display());
+    }
+    if comparison.passed() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("sim perf gate FAILED (tolerance {:.2})", args.tolerance);
+        ExitCode::FAILURE
+    }
+}

@@ -4,15 +4,26 @@
 //! (the paper's machines provision 2.5 MB of LLC per core). Write-back,
 //! write-allocate, LRU replacement. Dirty LLC victims become memory write
 //! traffic — the writeback rate `WBR` of Eq. 4 is measured here.
+//!
+//! Layout: each cache stores its ways as one flat set-major array of
+//! 16-byte [`Way`] records, so a set lookup walks a single contiguous
+//! slice. Recency is tracked with per-set `u32` generation stamps (LRU
+//! comparisons only ever happen within a set, so per-set clocks reproduce
+//! the exact decisions of a global counter while halving the per-way
+//! footprint). The hierarchy keeps a one-entry way predictor so the common
+//! consecutive-hits-to-one-line case skips the set walk entirely.
 
 use crate::config::{CacheConfig, SimConfig};
 
+const VALID: u32 = 1;
+const DIRTY: u32 = 2;
+
+/// One way slot: line-address tag, LRU generation stamp, and state bits.
 #[derive(Debug, Clone, Copy, Default)]
-struct Line {
+struct Way {
     tag: u64,
-    valid: bool,
-    dirty: bool,
-    last_use: u64,
+    stamp: u32,
+    flags: u32,
 }
 
 /// Result of a cache access at one level.
@@ -32,11 +43,13 @@ pub enum Lookup {
 /// replacement.
 #[derive(Debug, Clone)]
 pub struct SetAssocCache {
-    lines: Vec<Line>,
+    /// Way records, set-major: set `s` occupies `s*ways .. (s+1)*ways`.
+    lines: Box<[Way]>,
+    /// Per-set generation clocks backing the LRU stamps.
+    clocks: Box<[u32]>,
     sets: usize,
     ways: usize,
     line_shift: u32,
-    stamp: u64,
     hits: u64,
     misses: u64,
 }
@@ -55,14 +68,20 @@ impl SetAssocCache {
             "sets must be a power of two"
         );
         SetAssocCache {
-            lines: vec![Line::default(); sets * config.ways],
+            lines: vec![Way::default(); sets * config.ways].into_boxed_slice(),
+            clocks: vec![0u32; sets].into_boxed_slice(),
             sets,
             ways: config.ways,
             line_shift: line_size.trailing_zeros(),
-            stamp: 0,
             hits: 0,
             misses: 0,
         }
+    }
+
+    /// The line-size shift (`log2(line_size)`), for callers that need the
+    /// line address of `addr`.
+    pub(crate) fn line_shift(&self) -> u32 {
+        self.line_shift
     }
 
     fn index(&self, addr: u64) -> (usize, u64) {
@@ -71,44 +90,99 @@ impl SetAssocCache {
         (set, line_addr)
     }
 
+    /// Advances `set`'s generation clock and returns the new stamp.
+    /// Stamps for resident lines are therefore always ≥ 1.
+    fn tick(&mut self, set: usize) -> u32 {
+        let clock = &mut self.clocks[set];
+        if *clock == u32::MAX {
+            // Wrapping would corrupt the LRU order; re-rank the set's
+            // stamps to 1..=ways (preserving relative recency) and restart
+            // the clock from there. Needs 4 billion accesses to one set to
+            // trigger, so the cost is irrelevant.
+            let base = set * self.ways;
+            let slot = &mut self.lines[base..base + self.ways];
+            let mut order: Vec<usize> = (0..slot.len()).collect();
+            order.sort_by_key(|&i| slot[i].stamp);
+            for (rank, &i) in order.iter().enumerate() {
+                if slot[i].flags & VALID != 0 {
+                    slot[i].stamp = rank as u32 + 1;
+                }
+            }
+            self.clocks[set] = self.ways as u32;
+        }
+        let clock = &mut self.clocks[set];
+        *clock += 1;
+        *clock
+    }
+
     /// Accesses `addr`; allocates on miss. `write` marks the line dirty.
     pub fn access(&mut self, addr: u64, write: bool) -> Lookup {
-        self.stamp += 1;
+        self.access_indexed(addr, write).0
+    }
+
+    /// [`SetAssocCache::access`], additionally returning the flat slot
+    /// index now holding the line (hit slot, or the victim slot the line
+    /// was installed into) — the hierarchy's way predictor remembers it.
+    pub(crate) fn access_indexed(&mut self, addr: u64, write: bool) -> (Lookup, u32) {
         let (set, tag) = self.index(addr);
+        let stamp = self.tick(set);
         let base = set * self.ways;
         let slot = &mut self.lines[base..base + self.ways];
 
-        for line in slot.iter_mut() {
-            if line.valid && line.tag == tag {
-                line.last_use = self.stamp;
-                line.dirty |= write;
+        for (i, way) in slot.iter_mut().enumerate() {
+            if way.flags & VALID != 0 && way.tag == tag {
+                way.stamp = stamp;
+                way.flags |= (write as u32) * DIRTY;
                 self.hits += 1;
-                return Lookup::Hit;
+                return (Lookup::Hit, (base + i) as u32);
             }
         }
         self.misses += 1;
-        // Choose victim: an invalid way, else LRU.
-        let victim_idx = slot
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, l)| if l.valid { l.last_use } else { 0 })
-            .map(|(i, _)| i)
-            .expect("ways >= 1");
+        // Choose victim: the first invalid way, else LRU (lowest stamp).
+        let mut victim_idx = 0;
+        let mut victim_key = u64::MAX;
+        for (i, way) in slot.iter().enumerate() {
+            let key = if way.flags & VALID != 0 {
+                way.stamp as u64
+            } else {
+                0
+            };
+            if key < victim_key {
+                victim_key = key;
+                victim_idx = i;
+            }
+        }
         let victim = slot[victim_idx];
-        let writeback = if victim.valid && victim.dirty {
+        let writeback = if victim.flags & (VALID | DIRTY) == VALID | DIRTY {
             // The stored tag is the full line address, so the victim's base
             // address is just the tag shifted back up.
             Some(victim.tag << self.line_shift)
         } else {
             None
         };
-        slot[victim_idx] = Line {
+        slot[victim_idx] = Way {
             tag,
-            valid: true,
-            dirty: write,
-            last_use: self.stamp,
+            stamp,
+            flags: VALID | ((write as u32) * DIRTY),
         };
-        Lookup::Miss { writeback }
+        (Lookup::Miss { writeback }, (base + victim_idx) as u32)
+    }
+
+    /// Way-predictor fast path: if flat slot `index` still holds the line
+    /// `tag`, performs the hit (stamp/dirty/counter updates identical to
+    /// [`SetAssocCache::access`]) and returns `true`. A stale prediction
+    /// leaves all state untouched and returns `false`.
+    pub(crate) fn hit_at(&mut self, index: u32, tag: u64, write: bool) -> bool {
+        let way = self.lines[index as usize];
+        if way.flags & VALID == 0 || way.tag != tag {
+            return false;
+        }
+        let stamp = self.tick(index as usize / self.ways);
+        let way = &mut self.lines[index as usize];
+        way.stamp = stamp;
+        way.flags |= (write as u32) * DIRTY;
+        self.hits += 1;
+        true
     }
 
     /// Checks for presence without updating replacement state.
@@ -117,16 +191,16 @@ impl SetAssocCache {
         let base = set * self.ways;
         self.lines[base..base + self.ways]
             .iter()
-            .any(|l| l.valid && l.tag == tag)
+            .any(|w| w.flags & VALID != 0 && w.tag == tag)
     }
 
     /// Marks `addr` dirty if present, returning whether it was found.
     pub fn mark_dirty(&mut self, addr: u64) -> bool {
         let (set, tag) = self.index(addr);
         let base = set * self.ways;
-        for line in &mut self.lines[base..base + self.ways] {
-            if line.valid && line.tag == tag {
-                line.dirty = true;
+        for way in &mut self.lines[base..base + self.ways] {
+            if way.flags & VALID != 0 && way.tag == tag {
+                way.flags |= DIRTY;
                 return true;
             }
         }
@@ -186,6 +260,11 @@ pub struct CacheHierarchy {
     pub l2_hit_latency: u32,
     /// LLC hit latency in cycles.
     pub llc_hit_latency: u32,
+    /// One-entry way predictor: the line address the last access touched
+    /// and the L1 slot it lives in. Consecutive accesses to one line (the
+    /// overwhelmingly common case) verify the slot and skip the set walk.
+    predicted_line: u64,
+    predicted_slot: u32,
 }
 
 impl CacheHierarchy {
@@ -197,6 +276,8 @@ impl CacheHierarchy {
             llc: SetAssocCache::new(&config.llc, config.line_size),
             l2_hit_latency: config.l2.hit_latency,
             llc_hit_latency: config.llc.hit_latency,
+            predicted_line: u64::MAX,
+            predicted_slot: 0,
         }
     }
 
@@ -205,7 +286,25 @@ impl CacheHierarchy {
     /// L1/L2 victims are absorbed by marking the corresponding LLC line
     /// dirty (a first-order inclusive-hierarchy approximation).
     pub fn access(&mut self, addr: u64, write: bool) -> HierarchyAccess {
-        if self.l1.access(addr, write) == Lookup::Hit {
+        let line = addr >> self.l1.line_shift();
+        // Way-predictor fast path: a repeat access to the last-touched
+        // line hits L1 without walking the set (stale predictions fall
+        // through to the full lookup).
+        if line == self.predicted_line && self.l1.hit_at(self.predicted_slot, line, write) {
+            if write {
+                self.llc.mark_dirty(addr);
+            }
+            return HierarchyAccess {
+                level: HitLevel::L1,
+                memory_writeback: None,
+            };
+        }
+        let (l1_lookup, l1_slot) = self.l1.access_indexed(addr, write);
+        // Whether it hit or was just allocated, the line now lives in
+        // `l1_slot` — remember it for the next access.
+        self.predicted_line = line;
+        self.predicted_slot = l1_slot;
+        if l1_lookup == Lookup::Hit {
             // Keep the LLC's dirtiness conservative: stores that hit L1
             // will eventually be written back through L2 to the LLC.
             if write {
@@ -364,6 +463,23 @@ mod tests {
     }
 
     #[test]
+    fn hit_at_verifies_slot_and_updates_like_access() {
+        let mut c = small_cache();
+        let (_, slot) = c.access_indexed(0x000, false);
+        c.access(0x400, false);
+        // Correct prediction: a hit, counted as such, refreshing recency.
+        assert!(c.hit_at(slot, 0x000 >> 6, false));
+        assert_eq!(c.hits(), 1);
+        let r = c.access(0x800, false); // evicts LRU 0x400, keeps touched 0x000
+        assert_eq!(r, Lookup::Miss { writeback: None });
+        assert!(c.probe(0x000), "hit_at refreshed 0x000's recency");
+        // Stale prediction (slot now holds another tag): no state change.
+        let hits_before = c.hits();
+        assert!(!c.hit_at(slot, 0xdead, false));
+        assert_eq!(c.hits(), hits_before);
+    }
+
+    #[test]
     fn hierarchy_levels() {
         let cfg = SimConfig::default();
         let mut h = CacheHierarchy::new(&cfg);
@@ -423,7 +539,7 @@ mod tests {
         let cfg = SimConfig::default();
         let mut h = CacheHierarchy::new(&cfg);
         h.access(0x2000, true); // miss, allocate dirty everywhere
-        h.access(0x2000, true); // L1 hit, still dirty in LLC
+        h.access(0x2000, true); // L1 hit (predictor path), still dirty in LLC
         let lines = cfg.llc.capacity / cfg.line_size;
         let mut wb = 0;
         for i in 1..(lines as u64 * 4) {
@@ -432,5 +548,17 @@ mod tests {
             }
         }
         assert_eq!(wb, 1, "exactly one writeback of the dirty line");
+    }
+
+    #[test]
+    fn predictor_survives_unrelated_set_traffic() {
+        let cfg = SimConfig::default();
+        let mut h = CacheHierarchy::new(&cfg);
+        h.access(0x2000, false);
+        // Touch lines in other sets, then come back: still an L1 hit.
+        h.access(0x2040, false);
+        h.access(0x2080, false);
+        let a = h.access(0x2000, false);
+        assert_eq!(a.level, HitLevel::L1);
     }
 }

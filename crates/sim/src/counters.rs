@@ -6,7 +6,84 @@
 //! [`CoreCounters`] is the per-thread counter file; [`Measurement`] is the
 //! derived view the modeling equations consume.
 
+use std::collections::BTreeMap;
+
 use crate::mem::MemStats;
+
+/// An interned phase label: an index into a [`PhaseCounts`] table. The
+/// engine's retire path counts instructions against a `PhaseId` instead of a
+/// `String` key, so no allocation or string comparison tree walk happens per
+/// op; names are resolved back only when a count table is materialized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseId(u32);
+
+/// Per-thread instruction counts keyed by interned phase label.
+///
+/// Workloads expose at most a handful of phases ("map", "reduce", "gc", …),
+/// so the intern table is a flat vector searched linearly on the rare label
+/// change; the hot path is a single string equality against the label seen
+/// by the previous retired instruction.
+#[derive(Debug, Clone, Default)]
+pub struct PhaseCounts {
+    names: Vec<String>,
+    counts: Vec<u64>,
+    /// Index of the most recently resolved label — the fast-path guess.
+    last: u32,
+}
+
+impl PhaseCounts {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning its stable id.
+    pub fn resolve(&mut self, name: &str) -> PhaseId {
+        if let Some(i) = self.names.iter().position(|n| n == name) {
+            return PhaseId(i as u32);
+        }
+        self.names.push(name.to_string());
+        self.counts.push(0);
+        PhaseId(self.names.len() as u32 - 1)
+    }
+
+    /// Counts one retired instruction against `name`.
+    ///
+    /// Deliberately compares label *content* (not pointer identity): a
+    /// stream may legally rebuild its label string in place between ops, so
+    /// only a content match may take the fast path.
+    #[inline]
+    pub fn bump(&mut self, name: &str) {
+        let last = self.last as usize;
+        if let Some(n) = self.names.get(last) {
+            if n == name {
+                self.counts[last] += 1;
+                return;
+            }
+        }
+        let id = self.resolve(name);
+        self.last = id.0;
+        self.counts[id.0 as usize] += 1;
+    }
+
+    /// Instructions counted against `id`.
+    pub fn count(&self, id: PhaseId) -> u64 {
+        self.counts[id.0 as usize]
+    }
+
+    /// Whether no instructions have been counted.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Accumulates this table's counts into a name-keyed map (the
+    /// measurement-facing view; ordering is the map's, i.e. lexicographic).
+    pub fn merge_into(&self, total: &mut BTreeMap<String, u64>) {
+        for (name, &n) in self.names.iter().zip(&self.counts) {
+            *total.entry(name.clone()).or_insert(0) += n;
+        }
+    }
+}
 
 /// Raw per-thread event counts.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -288,6 +365,36 @@ mod tests {
     fn total_misses_counts_prefetch() {
         let c = counters();
         assert_eq!(c.llc_total_misses(), 5_600);
+    }
+
+    #[test]
+    fn phase_counts_bump_and_merge() {
+        let mut p = PhaseCounts::new();
+        assert!(p.is_empty());
+        p.bump("map");
+        p.bump("map");
+        p.bump("reduce");
+        p.bump("map"); // label change exercises the slow path both ways
+        let id = p.resolve("map");
+        assert_eq!(p.count(id), 3);
+        let mut total = BTreeMap::new();
+        p.merge_into(&mut total);
+        let mut q = PhaseCounts::new();
+        q.bump("reduce");
+        q.merge_into(&mut total);
+        assert_eq!(total["map"], 3);
+        assert_eq!(total["reduce"], 2);
+        assert_eq!(total.keys().collect::<Vec<_>>(), ["map", "reduce"]);
+    }
+
+    #[test]
+    fn phase_resolve_is_stable() {
+        let mut p = PhaseCounts::new();
+        let a = p.resolve("steady");
+        let b = p.resolve("gc");
+        assert_ne!(a, b);
+        assert_eq!(p.resolve("steady"), a);
+        assert_eq!(p.count(b), 0);
     }
 
     #[test]

@@ -7,11 +7,11 @@
 //! *emerges* from the window/MSHR limits and the dependence structure of the
 //! instruction stream, rather than being dialed in.
 
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use crate::cache::{CacheHierarchy, HitLevel};
 use crate::config::SimConfig;
-use crate::counters::{CoreCounters, Measurement, Sample};
+use crate::counters::{CoreCounters, Measurement, PhaseCounts, Sample};
 use crate::mem::MemoryController;
 use crate::prefetch::StreamPrefetcher;
 use crate::tlb::Tlb;
@@ -29,6 +29,168 @@ const MAX_PENDING_PREFETCHES: usize = 64;
 /// Ops executed per scheduling quantum before re-electing the laggard core.
 const BATCH_OPS: u32 = 32;
 
+/// Slot count of the per-core prefetch table. Twice
+/// [`MAX_PENDING_PREFETCHES`], so the load factor never exceeds 0.5 and
+/// probe chains stay short. Must be a power of two.
+const PREFETCH_SLOTS: usize = 2 * MAX_PENDING_PREFETCHES;
+
+/// Sentinel for an empty prefetch-table slot. Line addresses are byte
+/// addresses shifted down by `line_shift ≥ 1`, so no real key collides.
+const PREFETCH_EMPTY: u64 = u64::MAX;
+
+/// A fixed-capacity open-addressed map from in-flight prefetched line
+/// address to memory completion time.
+///
+/// Replaces a `HashMap<u64, f64>` on the engine's per-access hot path:
+/// fibonacci-hashed linear probing over two flat arrays, no allocation, no
+/// SipHash. Deletion uses backward shifting, so no tombstones accumulate.
+/// Semantics match the map it replaced: `insert` overwrites an existing
+/// key, `len` counts distinct keys.
+struct PrefetchTable {
+    keys: [u64; PREFETCH_SLOTS],
+    vals: [f64; PREFETCH_SLOTS],
+    len: usize,
+}
+
+impl PrefetchTable {
+    fn new() -> Self {
+        PrefetchTable {
+            keys: [PREFETCH_EMPTY; PREFETCH_SLOTS],
+            vals: [0.0; PREFETCH_SLOTS],
+            len: 0,
+        }
+    }
+
+    fn home(key: u64) -> usize {
+        debug_assert!(PREFETCH_SLOTS.is_power_of_two());
+        // Fibonacci hashing: multiply by 2^64/φ and keep the top bits.
+        (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> (64 - PREFETCH_SLOTS.trailing_zeros())) as usize
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn insert(&mut self, key: u64, val: f64) {
+        debug_assert_ne!(key, PREFETCH_EMPTY);
+        debug_assert!(self.len < PREFETCH_SLOTS - 1, "table kept half-full");
+        let mask = PREFETCH_SLOTS - 1;
+        let mut i = Self::home(key);
+        loop {
+            if self.keys[i] == key {
+                self.vals[i] = val;
+                return;
+            }
+            if self.keys[i] == PREFETCH_EMPTY {
+                self.keys[i] = key;
+                self.vals[i] = val;
+                self.len += 1;
+                return;
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    fn remove(&mut self, key: u64) -> Option<f64> {
+        let mask = PREFETCH_SLOTS - 1;
+        let mut i = Self::home(key);
+        loop {
+            if self.keys[i] == PREFETCH_EMPTY {
+                return None;
+            }
+            if self.keys[i] == key {
+                break;
+            }
+            i = (i + 1) & mask;
+        }
+        let val = self.vals[i];
+        self.len -= 1;
+        // Backward-shift deletion: pull each follower whose home precedes
+        // the hole into the hole, preserving every probe chain.
+        let mut hole = i;
+        let mut j = i;
+        loop {
+            j = (j + 1) & mask;
+            if self.keys[j] == PREFETCH_EMPTY {
+                break;
+            }
+            let h = Self::home(self.keys[j]);
+            // Movable iff its home is cyclically at or before the hole —
+            // i.e. the probe from `h` reaches `hole` no later than `j`.
+            if (j.wrapping_sub(h) & mask) >= (j.wrapping_sub(hole) & mask) {
+                self.keys[hole] = self.keys[j];
+                self.vals[hole] = self.vals[j];
+                hole = j;
+            }
+        }
+        self.keys[hole] = PREFETCH_EMPTY;
+        Some(val)
+    }
+}
+
+/// An index-min binary heap electing the laggard core: entries are
+/// `(time_ns, core index)` ordered lexicographically, so equal times resolve
+/// to the lowest index — exactly the election the former linear scan made.
+/// Each eligible core holds one entry; stepping a core mutates only that
+/// core's clock, so remaining entries stay valid without re-keying.
+struct CoreHeap {
+    data: Vec<(f64, u32)>,
+}
+
+impl CoreHeap {
+    fn with_capacity(n: usize) -> Self {
+        CoreHeap {
+            data: Vec::with_capacity(n),
+        }
+    }
+
+    fn less(a: (f64, u32), b: (f64, u32)) -> bool {
+        // Core clocks are always finite, so `<` is a total order here.
+        a.0 < b.0 || (a.0 == b.0 && a.1 < b.1)
+    }
+
+    fn push(&mut self, time_ns: f64, idx: u32) {
+        self.data.push((time_ns, idx));
+        let mut child = self.data.len() - 1;
+        while child > 0 {
+            let parent = (child - 1) / 2;
+            if Self::less(self.data[child], self.data[parent]) {
+                self.data.swap(child, parent);
+                child = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn pop(&mut self) -> Option<(f64, u32)> {
+        let last = self.data.len().checked_sub(1)?;
+        self.data.swap(0, last);
+        let top = self.data.pop().expect("non-empty");
+        let mut parent = 0;
+        loop {
+            let left = 2 * parent + 1;
+            if left >= self.data.len() {
+                break;
+            }
+            let right = left + 1;
+            let child = if right < self.data.len() && Self::less(self.data[right], self.data[left])
+            {
+                right
+            } else {
+                left
+            };
+            if Self::less(self.data[child], self.data[parent]) {
+                self.data.swap(child, parent);
+                parent = child;
+            } else {
+                break;
+            }
+        }
+        Some(top)
+    }
+}
+
 struct Core {
     stream: BoxedStream,
     hierarchy: CacheHierarchy,
@@ -40,11 +202,14 @@ struct Core {
     /// Outstanding independent misses: (completion ns, retired index).
     outstanding: VecDeque<(f64, u64)>,
     /// Prefetched lines (line address → memory completion time).
-    pending_prefetch: HashMap<u64, f64>,
+    pending_prefetch: PrefetchTable,
     io_credit: f64,
     io_toggle: bool,
     /// Instructions retired per phase label (Sec. IV.D weights, measured).
-    phase_instructions: BTreeMap<String, u64>,
+    phase_instructions: PhaseCounts,
+    /// Reused prefetch-target buffer — keeps `issue_prefetches` allocation-
+    /// free after the first trained miss.
+    pf_scratch: Vec<u64>,
 }
 
 /// A background DMA agent: device traffic (storage, NIC) that hits memory
@@ -132,10 +297,11 @@ impl Machine {
                 time_ns: 0.0,
                 counters: CoreCounters::default(),
                 outstanding: VecDeque::new(),
-                pending_prefetch: HashMap::new(),
+                pending_prefetch: PrefetchTable::new(),
                 io_credit: 0.0,
                 io_toggle: false,
-                phase_instructions: BTreeMap::new(),
+                phase_instructions: PhaseCounts::new(),
+                pf_scratch: Vec::new(),
             })
             .collect();
         let memory = (0..config.numa.sockets)
@@ -239,9 +405,7 @@ impl Machine {
     pub fn phase_instruction_counts(&self) -> BTreeMap<String, u64> {
         let mut total: BTreeMap<String, u64> = BTreeMap::new();
         for core in &self.cores {
-            for (phase, n) in &core.phase_instructions {
-                *total.entry(phase.clone()).or_insert(0) += n;
-            }
+            core.phase_instructions.merge_into(&mut total);
         }
         total
     }
@@ -266,42 +430,46 @@ impl Machine {
             .iter()
             .map(|c| c.counters.instructions + ops_per_core)
             .collect();
-        loop {
-            let mut best: Option<(usize, f64)> = None;
-            for (i, c) in self.cores.iter().enumerate() {
-                if c.counters.instructions < targets[i] {
-                    match best {
-                        Some((_, t)) if c.time_ns >= t => {}
-                        _ => best = Some((i, c.time_ns)),
-                    }
-                }
+        let mut heap = CoreHeap::with_capacity(self.cores.len());
+        for (i, c) in self.cores.iter().enumerate() {
+            if c.counters.instructions < targets[i] {
+                heap.push(c.time_ns, i as u32);
             }
-            let Some((idx, t)) = best else { break };
+        }
+        // Each eligible core holds exactly one heap entry; stepping a core
+        // changes only its own clock and counters, so the rest stay valid.
+        while let Some((t, i)) = heap.pop() {
+            let idx = i as usize;
             if !self.background.is_empty() {
                 self.run_background_until(t);
             }
             let remaining = targets[idx] - self.cores[idx].counters.instructions;
             self.step_core(idx, BATCH_OPS.min(remaining as u32).max(1));
+            let c = &self.cores[idx];
+            if c.counters.instructions < targets[idx] {
+                heap.push(c.time_ns, i);
+            }
         }
     }
 
     /// Runs until every thread's clock reaches `deadline_ns` (absolute).
     pub fn run_until_ns(&mut self, deadline_ns: f64) {
-        loop {
-            let mut best: Option<(usize, f64)> = None;
-            for (i, c) in self.cores.iter().enumerate() {
-                if c.time_ns < deadline_ns {
-                    match best {
-                        Some((_, t)) if c.time_ns >= t => {}
-                        _ => best = Some((i, c.time_ns)),
-                    }
-                }
+        let mut heap = CoreHeap::with_capacity(self.cores.len());
+        for (i, c) in self.cores.iter().enumerate() {
+            if c.time_ns < deadline_ns {
+                heap.push(c.time_ns, i as u32);
             }
-            let Some((idx, t)) = best else { break };
+        }
+        while let Some((t, i)) = heap.pop() {
+            let idx = i as usize;
             if !self.background.is_empty() {
                 self.run_background_until(t);
             }
             self.step_core(idx, BATCH_OPS);
+            let c = &self.cores[idx];
+            if c.time_ns < deadline_ns {
+                heap.push(c.time_ns, i);
+            }
         }
     }
 
@@ -412,7 +580,7 @@ impl Machine {
                                 lat * INDEPENDENT_HIT_EXPOSURE
                             };
                             let line = addr >> config.line_size.trailing_zeros();
-                            if let Some(ready) = core.pending_prefetch.remove(&line) {
+                            if let Some(ready) = core.pending_prefetch.remove(line) {
                                 if dependent {
                                     let t = core.time_ns + advance;
                                     if ready > t {
@@ -443,7 +611,7 @@ impl Machine {
                             // A hit on a still-in-flight prefetched line
                             // exposes the remaining memory latency.
                             let line = addr >> config.line_size.trailing_zeros();
-                            if let Some(ready) = core.pending_prefetch.remove(&line) {
+                            if let Some(ready) = core.pending_prefetch.remove(line) {
                                 if dependent {
                                     let t = core.time_ns + advance;
                                     if ready > t {
@@ -542,10 +710,7 @@ impl Machine {
             core.time_ns += advance;
             core.counters.busy_ns += core.time_ns - op_start_ns;
             core.counters.instructions += 1;
-            *core
-                .phase_instructions
-                .entry(core.stream.phase().to_string())
-                .or_insert(0) += 1;
+            core.phase_instructions.bump(core.stream.phase());
         }
     }
 
@@ -560,7 +725,9 @@ impl Machine {
             return;
         }
         let line_shift = config.line_size.trailing_zeros();
-        for pf_addr in core.prefetcher.on_miss(addr) {
+        let mut targets = std::mem::take(&mut core.pf_scratch);
+        core.prefetcher.on_miss_into(addr, &mut targets);
+        for &pf_addr in &targets {
             if core.hierarchy.llc_contains(pf_addr) {
                 continue;
             }
@@ -576,6 +743,7 @@ impl Machine {
                 break;
             }
         }
+        core.pf_scratch = targets;
     }
 }
 
@@ -595,10 +763,66 @@ mod tests {
 
     fn machine_with(pattern: Vec<Op>, cores: u32) -> Machine {
         let cfg = SimConfig::xeon_like(cores);
+        // One Arc-backed pattern; per-core clones share the op buffer and
+        // keep private cursors.
+        let proto = PatternStream::new(pattern);
         let streams: Vec<BoxedStream> = (0..cores)
-            .map(|_| Box::new(PatternStream::new(pattern.clone())) as BoxedStream)
+            .map(|_| Box::new(proto.clone()) as BoxedStream)
             .collect();
         Machine::new(cfg, streams).unwrap()
+    }
+
+    #[test]
+    fn prefetch_table_matches_map_semantics() {
+        let mut t = PrefetchTable::new();
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.remove(42), None);
+        t.insert(42, 1.5);
+        t.insert(42, 2.5); // overwrite, not a second entry
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.remove(42), Some(2.5));
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.remove(42), None);
+    }
+
+    #[test]
+    fn prefetch_table_survives_collisions_and_deletion() {
+        // Fill to the MAX_PENDING_PREFETCHES operating point, then delete
+        // in an interleaved order and verify every survivor is reachable
+        // (backward-shift must keep all probe chains intact).
+        let mut t = PrefetchTable::new();
+        let keys: Vec<u64> = (0..MAX_PENDING_PREFETCHES as u64)
+            .map(|k| k * 977)
+            .collect();
+        for &k in &keys {
+            t.insert(k, k as f64);
+        }
+        assert_eq!(t.len(), MAX_PENDING_PREFETCHES);
+        for &k in keys.iter().step_by(3) {
+            assert_eq!(t.remove(k), Some(k as f64));
+        }
+        for (i, &k) in keys.iter().enumerate() {
+            if i % 3 == 0 {
+                assert_eq!(t.remove(k), None, "key {k} already removed");
+            } else {
+                assert_eq!(t.remove(k), Some(k as f64), "key {k} lost in shift");
+            }
+        }
+        assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    fn core_heap_orders_by_time_then_index() {
+        let mut h = CoreHeap::with_capacity(4);
+        h.push(5.0, 2);
+        h.push(1.0, 3);
+        h.push(1.0, 1); // ties resolve to the lowest index
+        h.push(9.0, 0);
+        assert_eq!(h.pop(), Some((1.0, 1)));
+        assert_eq!(h.pop(), Some((1.0, 3)));
+        assert_eq!(h.pop(), Some((5.0, 2)));
+        assert_eq!(h.pop(), Some((9.0, 0)));
+        assert_eq!(h.pop(), None);
     }
 
     #[test]

@@ -118,9 +118,22 @@ impl MemoryController {
         // controllers hash) so strided streams don't alias onto a subset of
         // channels.
         let hashed = line ^ (line >> 4) ^ (line >> 9) ^ (line >> 15);
-        let chan_idx = (hashed % self.channels.len() as u64) as usize;
-        let nbanks = self.channels[chan_idx].bank_free_ns.len() as u64;
-        let bank_idx = ((hashed / self.channels.len() as u64) % nbanks) as usize;
+        let nchan = self.channels.len() as u64;
+        let nbanks = self.config.banks_per_channel as u64;
+        // Power-of-two counts (the common DDR geometry) select with
+        // mask/shift instead of two 64-bit divisions; the quotient/remainder
+        // split is bit-identical in that case.
+        let (chan_idx, bank_idx) = if nchan.is_power_of_two() && nbanks.is_power_of_two() {
+            (
+                (hashed & (nchan - 1)) as usize,
+                ((hashed >> nchan.trailing_zeros()) & (nbanks - 1)) as usize,
+            )
+        } else {
+            (
+                (hashed % nchan) as usize,
+                ((hashed / nchan) % nbanks) as usize,
+            )
+        };
         let chan = &mut self.channels[chan_idx];
 
         // Request path to the controller.

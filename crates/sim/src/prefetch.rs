@@ -45,8 +45,18 @@ impl StreamPrefetcher {
     /// addresses that should be prefetched (empty when disabled or not yet
     /// trained).
     pub fn on_miss(&mut self, addr: u64) -> Vec<u64> {
+        let mut out = Vec::new();
+        self.on_miss_into(addr, &mut out);
+        out
+    }
+
+    /// As [`StreamPrefetcher::on_miss`], but writes the prefetch targets
+    /// into `out` (cleared first). With a reused scratch buffer the call is
+    /// allocation-free — the form the engine's hot path uses.
+    pub fn on_miss_into(&mut self, addr: u64, out: &mut Vec<u64>) {
+        out.clear();
         if !self.config.enabled {
-            return Vec::new();
+            return;
         }
         self.clock += 1;
         let line = addr >> self.line_shift;
@@ -64,26 +74,22 @@ impl StreamPrefetcher {
             s.last_line = line;
             if s.confidence >= self.config.train_threshold {
                 let dir = s.direction;
-                let degree = self.config.degree;
                 let shift = self.line_shift;
-                let out: Vec<u64> = (1..=degree as i64)
-                    .filter_map(|k| {
-                        let target = line as i64 + dir * k;
-                        if target < 0 {
-                            return None;
-                        }
-                        let target = target as u64;
-                        // Stay within the page, as hardware prefetchers do.
-                        if target >> (PAGE_SHIFT - shift) != page {
-                            return None;
-                        }
-                        Some(target << shift)
-                    })
-                    .collect();
+                for k in 1..=self.config.degree as i64 {
+                    let target = line as i64 + dir * k;
+                    if target < 0 {
+                        continue;
+                    }
+                    let target = target as u64;
+                    // Stay within the page, as hardware prefetchers do.
+                    if target >> (PAGE_SHIFT - shift) != page {
+                        continue;
+                    }
+                    out.push(target << shift);
+                }
                 self.issued += out.len() as u64;
-                return out;
             }
-            return Vec::new();
+            return;
         }
 
         // New stream: evict LRU slot if full.
@@ -104,7 +110,6 @@ impl StreamPrefetcher {
             confidence: 0,
             last_use: self.clock,
         });
-        Vec::new()
     }
 
     /// Total prefetches issued.

@@ -7,12 +7,17 @@
 //! once and replaying it (looped) everywhere — also useful for regression
 //! corpora and for feeding externally-captured traces into the simulator.
 
+use std::sync::Arc;
+
 use crate::trace::{InstructionStream, Op};
 
 /// A finite recorded trace.
+///
+/// The op buffer is `Arc`-shared: cloning a trace or building replay streams
+/// from it never copies the ops, so an N-core replay holds one buffer, not N.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Trace {
-    ops: Vec<Op>,
+    ops: Arc<[Op]>,
     io_bytes_per_instruction: f64,
 }
 
@@ -24,9 +29,9 @@ impl Trace {
     /// Panics if `n` is zero (a replayable trace needs at least one op).
     pub fn record<S: InstructionStream + ?Sized>(stream: &mut S, n: usize) -> Self {
         assert!(n > 0, "trace must contain at least one op");
-        let ops = (0..n).map(|_| stream.next_op()).collect();
+        let ops: Vec<Op> = (0..n).map(|_| stream.next_op()).collect();
         Trace {
-            ops,
+            ops: ops.into(),
             io_bytes_per_instruction: stream.io_bytes_per_instruction(),
         }
     }
@@ -39,7 +44,7 @@ impl Trace {
     pub fn from_ops(ops: Vec<Op>, io_bytes_per_instruction: f64) -> Self {
         assert!(!ops.is_empty(), "trace must contain at least one op");
         Trace {
-            ops,
+            ops: ops.into(),
             io_bytes_per_instruction,
         }
     }
@@ -69,10 +74,12 @@ impl Trace {
         self.ops.iter().filter(|o| o.access.is_some()).count()
     }
 
-    /// Creates a looping replay stream over this trace.
+    /// Creates a looping replay stream over this trace. The stream shares
+    /// the recorded op buffer — no copy per replaying core.
     pub fn replay(&self) -> ReplayStream {
         ReplayStream {
-            trace: self.clone(),
+            ops: Arc::clone(&self.ops),
+            io_bytes_per_instruction: self.io_bytes_per_instruction,
             next: 0,
         }
     }
@@ -119,7 +126,7 @@ impl Trace {
         let mut out = String::with_capacity(self.ops.len() * 10 + 32);
         out.push_str("# memsense trace v1\n");
         out.push_str(&format!("io {}\n", self.io_bytes_per_instruction));
-        for op in &self.ops {
+        for op in self.ops.iter() {
             let line = if op.idle {
                 format!("i {}", op.extra_cycles)
             } else {
@@ -213,16 +220,18 @@ impl Trace {
 }
 
 /// An [`InstructionStream`] that loops over a recorded [`Trace`] forever.
+/// Clones share the op buffer; each clone keeps a private cursor.
 #[derive(Debug, Clone)]
 pub struct ReplayStream {
-    trace: Trace,
+    ops: Arc<[Op]>,
+    io_bytes_per_instruction: f64,
     next: usize,
 }
 
 impl InstructionStream for ReplayStream {
     fn next_op(&mut self) -> Op {
-        let op = self.trace.ops[self.next];
-        self.next = (self.next + 1) % self.trace.ops.len();
+        let op = self.ops[self.next];
+        self.next = (self.next + 1) % self.ops.len();
         op
     }
 
@@ -231,7 +240,7 @@ impl InstructionStream for ReplayStream {
     }
 
     fn io_bytes_per_instruction(&self) -> f64 {
-        self.trace.io_bytes_per_instruction
+        self.io_bytes_per_instruction
     }
 }
 

@@ -52,11 +52,20 @@ impl Default for TlbConfig {
 
 /// A fully-associative TLB with LRU replacement (small enough that full
 /// associativity is both accurate and fast).
+///
+/// Pages and `u32` LRU generation stamps live in parallel arrays, and the
+/// last-hit index is remembered so the common stay-on-one-page case resolves
+/// with a single comparison. Stamps are unique within the TLB (each enabled
+/// access ticks the clock exactly once), so LRU choice is unambiguous; the
+/// clock renormalizes near `u32::MAX` preserving relative recency.
 #[derive(Debug, Clone)]
 pub struct Tlb {
     config: TlbConfig,
-    entries: Vec<(u64, u64)>, // (page, last_use)
-    clock: u64,
+    pages: Vec<u64>,
+    stamps: Vec<u32>,
+    clock: u32,
+    /// Index of the most recent hit — checked first on the next access.
+    last_hit: usize,
     hits: u64,
     misses: u64,
 }
@@ -66,11 +75,29 @@ impl Tlb {
     pub fn new(config: TlbConfig) -> Self {
         Tlb {
             config,
-            entries: Vec::with_capacity(config.entries),
+            pages: Vec::with_capacity(config.entries),
+            stamps: Vec::with_capacity(config.entries),
             clock: 0,
+            last_hit: 0,
             hits: 0,
             misses: 0,
         }
+    }
+
+    /// Advances the generation clock, renormalizing stamps before a wrap
+    /// would corrupt the LRU order (stamps re-ranked to 1..=len, oldest
+    /// first).
+    fn tick(&mut self) -> u32 {
+        if self.clock == u32::MAX {
+            let mut order: Vec<usize> = (0..self.stamps.len()).collect();
+            order.sort_by_key(|&i| self.stamps[i]);
+            for (rank, &i) in order.iter().enumerate() {
+                self.stamps[i] = rank as u32 + 1;
+            }
+            self.clock = self.stamps.len() as u32;
+        }
+        self.clock += 1;
+        self.clock
     }
 
     /// Translates `addr`; returns `true` on a hit, `false` on a miss (the
@@ -80,25 +107,36 @@ impl Tlb {
         if !self.config.enabled() {
             return true;
         }
-        self.clock += 1;
+        let stamp = self.tick();
         let page = addr >> self.config.page_shift;
-        if let Some(e) = self.entries.iter_mut().find(|(p, _)| *p == page) {
-            e.1 = self.clock;
+        // Fast path: repeat access to the last-hit page.
+        if let Some(&p) = self.pages.get(self.last_hit) {
+            if p == page {
+                self.stamps[self.last_hit] = stamp;
+                self.hits += 1;
+                return true;
+            }
+        }
+        if let Some(i) = self.pages.iter().position(|&p| p == page) {
+            self.stamps[i] = stamp;
+            self.last_hit = i;
             self.hits += 1;
             return true;
         }
         self.misses += 1;
-        if self.entries.len() == self.config.entries {
-            let lru = self
-                .entries
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, (_, t))| *t)
-                .map(|(i, _)| i)
-                .expect("non-empty");
-            self.entries.swap_remove(lru);
+        if self.pages.len() == self.config.entries {
+            // Stamps are unique, so the minimum identifies the LRU entry.
+            let mut lru = 0;
+            for (i, &s) in self.stamps.iter().enumerate() {
+                if s < self.stamps[lru] {
+                    lru = i;
+                }
+            }
+            self.pages.swap_remove(lru);
+            self.stamps.swap_remove(lru);
         }
-        self.entries.push((page, self.clock));
+        self.pages.push(page);
+        self.stamps.push(stamp);
         false
     }
 
@@ -187,5 +225,22 @@ mod tests {
         }
         assert!((t.miss_ratio() - 1.0).abs() < 1e-12);
         assert_eq!(t.walk_cycles(), 30);
+    }
+
+    #[test]
+    fn renormalization_preserves_lru_order() {
+        let cfg = TlbConfig {
+            entries: 3,
+            page_shift: 12,
+            walk_cycles: 30,
+        };
+        let mut t = Tlb::new(cfg);
+        t.access(1 << 12);
+        t.access(2 << 12);
+        t.access(3 << 12);
+        t.access(1 << 12); // recency now 2, 3, 1 (oldest first)
+        t.clock = u32::MAX; // force renormalization on the next access
+        t.access(4 << 12); // must evict page 2, the true LRU
+        assert!(!t.access(2 << 12), "page 2 was evicted across the wrap");
     }
 }

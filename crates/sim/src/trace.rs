@@ -136,9 +136,12 @@ pub type BoxedStream = Box<dyn InstructionStream>;
 
 /// A trivial stream for tests and micro-benchmarks: cycles through a fixed
 /// pattern of ops.
+///
+/// The op buffer is immutable and `Arc`-shared: cloning the stream (one per
+/// hardware thread) shares the pattern and gives each clone its own cursor.
 #[derive(Debug, Clone)]
 pub struct PatternStream {
-    ops: Vec<Op>,
+    ops: std::sync::Arc<[Op]>,
     next: usize,
     io_rate: f64,
 }
@@ -152,7 +155,7 @@ impl PatternStream {
     pub fn new(ops: Vec<Op>) -> Self {
         assert!(!ops.is_empty(), "pattern must not be empty");
         PatternStream {
-            ops,
+            ops: ops.into(),
             next: 0,
             io_rate: 0.0,
         }
