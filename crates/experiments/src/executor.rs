@@ -64,6 +64,7 @@ pub fn thread_count() -> usize {
                         "error: invalid MEMSENSE_THREADS value {raw:?} \
                          (expected a non-negative integer; 0 or unset = all cores)"
                     );
+                    // memsense-lint: allow(no-process-exit-in-lib) — documented exit-2 contract for malformed MEMSENSE_THREADS, pinned by the seed tests
                     std::process::exit(2);
                 }
             },
@@ -126,12 +127,14 @@ fn job_log() -> &'static Mutex<Vec<JobRecord>> {
 
 /// Takes every job record accumulated since the last drain.
 pub fn drain_job_log() -> Vec<JobRecord> {
+    // memsense-lint: allow(no-panic-in-lib) — push/take cannot panic mid-hold, so the log lock cannot poison
     std::mem::take(&mut *job_log().lock().expect("job log poisoned"))
 }
 
 fn log_job(label: String, wall: Duration, ok: bool) {
     job_log()
         .lock()
+        // memsense-lint: allow(no-panic-in-lib) — push/take cannot panic mid-hold, so the log lock cannot poison
         .expect("job log poisoned")
         .push(JobRecord { label, wall, ok });
 }
@@ -166,6 +169,7 @@ where
     let mut slots: Vec<Option<Result<T, E>>> = (0..n).map(|_| None).collect();
 
     let work = |tx: &mpsc::Sender<(usize, Result<T, E>)>| loop {
+        // memsense-lint: allow(no-panic-in-lib) — pop_front cannot panic mid-hold, so the queue lock cannot poison
         let job = queue.lock().expect("job queue poisoned").pop_front();
         let Some((index, item)) = job else { break };
         let label = label(index, &item);
@@ -195,6 +199,7 @@ where
 
     slots
         .into_iter()
+        // memsense-lint: allow(no-panic-in-lib) — every queued index sends exactly one result before the scope joins
         .map(|slot| slot.expect("executor lost a job result"))
         .collect()
 }

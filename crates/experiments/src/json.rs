@@ -295,6 +295,7 @@ pub fn fmt_f64(v: f64) -> String {
     if v == 0.0 {
         return "0".to_string();
     }
+    // memsense-lint: allow(no-raw-float-format) — this IS the canonical formatter every wire path must route through
     format!("{v}")
 }
 

@@ -1,0 +1,349 @@
+//! Scanned-file model and the workspace walker.
+//!
+//! [`SourceFile`] wraps one lexed `.rs` file with everything the rules need:
+//!
+//! * its workspace-relative path and [`Role`] (library, binary, test,
+//!   bench, example) — rules scope themselves by role and path;
+//! * a comment-free code-token stream, with a parallel mask marking tokens
+//!   inside `#[cfg(test)]` / `#[test]` / `#[bench]` items (panic-style rules
+//!   skip those regions);
+//! * the inline suppressions: `// memsense-lint: allow(rule-id)` on a line
+//!   of code suppresses that rule on that line; on a line of its own it
+//!   suppresses the next line of code. Multiple ids may be listed,
+//!   comma-separated.
+//!
+//! [`scan_workspace`] walks a workspace root for `.rs` files, skipping
+//! `vendor/` (third-party shims), `target/`, `fixtures/` directories (lint
+//! test inputs), and dot-directories.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{lex, Tok, TokKind};
+
+/// What kind of compilation target a file belongs to, inferred from its
+/// workspace-relative path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Library code: the default, and the strictest scope.
+    Lib,
+    /// A binary (`src/bin/`, `src/main.rs`, `build.rs`).
+    Bin,
+    /// An integration test (under a `tests/` directory).
+    Test,
+    /// A benchmark (under a `benches/` directory).
+    Bench,
+    /// An example (under an `examples/` directory).
+    Example,
+}
+
+/// Classifies a workspace-relative path (with `/` separators) into a [`Role`].
+pub fn classify(rel: &str) -> Role {
+    if rel.starts_with("tests/") || rel.contains("/tests/") {
+        Role::Test
+    } else if rel.starts_with("benches/") || rel.contains("/benches/") {
+        Role::Bench
+    } else if rel.starts_with("examples/") || rel.contains("/examples/") {
+        Role::Example
+    } else if rel.contains("/src/bin/")
+        || rel.ends_with("/main.rs")
+        || rel == "src/main.rs"
+        || rel.ends_with("build.rs")
+    {
+        Role::Bin
+    } else {
+        Role::Lib
+    }
+}
+
+/// One lexed source file plus the derived facts rules consume.
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators.
+    pub rel: String,
+    /// The file contents.
+    pub src: String,
+    /// All tokens, comments included (for `SAFETY:` comment checks).
+    pub toks: Vec<Tok>,
+    /// Code tokens only (comments stripped).
+    pub code: Vec<Tok>,
+    /// The file's role.
+    pub role: Role,
+    /// Parallel to `code`: true for tokens inside test-only items.
+    test_mask: Vec<bool>,
+    /// Line → rule ids suppressed on that line.
+    allows: BTreeMap<u32, BTreeSet<String>>,
+}
+
+/// The marker comment syntax: `// memsense-lint: allow(rule-id, …)`.
+pub const ALLOW_MARKER: &str = "memsense-lint:";
+
+impl SourceFile {
+    /// Lexes `src` and derives roles, test regions, and suppressions.
+    pub fn parse(rel: &str, src: String) -> SourceFile {
+        let toks = lex(&src);
+        let code: Vec<Tok> = toks.iter().copied().filter(|t| !t.is_comment()).collect();
+        let test_mask = test_mask(&src, &code);
+        let allows = collect_allows(&src, &toks, &code);
+        SourceFile {
+            rel: rel.to_string(),
+            src,
+            toks,
+            code,
+            role: classify(rel),
+            test_mask,
+            allows,
+        }
+    }
+
+    /// The text of code token `i`.
+    pub fn txt(&self, i: usize) -> &str {
+        self.code[i].text(&self.src)
+    }
+
+    /// Whether code token `i` is an identifier with exactly this text.
+    pub fn ident_is(&self, i: usize, text: &str) -> bool {
+        self.code
+            .get(i)
+            .is_some_and(|t| t.kind == TokKind::Ident && t.text(&self.src) == text)
+    }
+
+    /// Whether code token `i` is the single punctuation byte `p`.
+    pub fn punct_is(&self, i: usize, p: char) -> bool {
+        self.code
+            .get(i)
+            .is_some_and(|t| t.kind == TokKind::Punct && self.src[t.start..].starts_with(p))
+    }
+
+    /// Whether code token `i` sits inside a `#[cfg(test)]`/`#[test]` item.
+    pub fn in_test_item(&self, i: usize) -> bool {
+        self.test_mask.get(i).copied().unwrap_or(false)
+    }
+
+    /// Whether a diagnostic for `rule` at `line` is suppressed by an inline
+    /// allow comment.
+    pub fn is_allowed(&self, rule: &str, line: u32) -> bool {
+        self.allows.get(&line).is_some_and(|set| set.contains(rule))
+    }
+
+    /// For code token `open` being `[`, `(`, or `{`, the index of its
+    /// matching close bracket.
+    pub fn matching_bracket(&self, open: usize) -> Option<usize> {
+        matching_bracket(&self.src, &self.code, open)
+    }
+}
+
+/// Marks code tokens covered by items annotated `#[cfg(test)]`, `#[test]`,
+/// or `#[bench]` (any attribute mentioning `test`/`bench` outside a `not(…)`
+/// counts). The mask covers the attribute itself through the end of the
+/// annotated item — its matching closing brace, or a top-level `;`.
+fn test_mask(src: &str, code: &[Tok]) -> Vec<bool> {
+    let mut mask = vec![false; code.len()];
+    let mut i = 0;
+    while i < code.len() {
+        if !(is_punct(src, code, i, '#') && is_punct(src, code, i + 1, '[')) {
+            i += 1;
+            continue;
+        }
+        let Some(attr_end) = matching_bracket(src, code, i + 1) else {
+            break;
+        };
+        if !attr_is_test(src, &code[i + 2..attr_end]) {
+            i = attr_end + 1;
+            continue;
+        }
+        // Skip any further attributes between the test attribute and the item.
+        let mut k = attr_end + 1;
+        while is_punct(src, code, k, '#') && is_punct(src, code, k + 1, '[') {
+            match matching_bracket(src, code, k + 1) {
+                Some(end) => k = end + 1,
+                None => break,
+            }
+        }
+        let end = item_end(src, code, k).unwrap_or(code.len() - 1);
+        for m in mask.iter_mut().take(end + 1).skip(i) {
+            *m = true;
+        }
+        i = end + 1;
+    }
+    mask
+}
+
+fn is_punct(src: &str, code: &[Tok], i: usize, p: char) -> bool {
+    code.get(i)
+        .is_some_and(|t| t.kind == TokKind::Punct && src[t.start..].starts_with(p))
+}
+
+/// For `code[open]` being `[`, `(`, or `{`, the index of its matching close.
+fn matching_bracket(src: &str, code: &[Tok], open: usize) -> Option<usize> {
+    let mut depth = 0i64;
+    for (j, tok) in code.iter().enumerate().skip(open) {
+        if tok.kind != TokKind::Punct {
+            continue;
+        }
+        match src.as_bytes()[tok.start] {
+            b'[' | b'(' | b'{' => depth += 1,
+            b']' | b')' | b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(j);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Whether attribute tokens (the part between `#[` and `]`) mark a test-only
+/// item. `not` anywhere makes it non-test (`#[cfg(not(test))]` is code that
+/// ships).
+fn attr_is_test(src: &str, attr: &[Tok]) -> bool {
+    let mut saw_test = false;
+    for t in attr {
+        if t.kind == TokKind::Ident {
+            match t.text(src) {
+                "not" => return false,
+                "test" | "bench" => saw_test = true,
+                _ => {}
+            }
+        }
+    }
+    saw_test
+}
+
+/// The last code-token index of the item starting at `k`: the matching `}`
+/// of the first top-level `{`, or a top-level `;`, whichever comes first.
+fn item_end(src: &str, code: &[Tok], k: usize) -> Option<usize> {
+    let mut depth = 0i64;
+    for (j, tok) in code.iter().enumerate().skip(k) {
+        if tok.kind != TokKind::Punct {
+            continue;
+        }
+        match src.as_bytes()[tok.start] {
+            b';' if depth == 0 => return Some(j),
+            b'{' if depth == 0 => return matching_bracket(src, code, j),
+            b'(' | b'[' | b'{' => depth += 1,
+            b')' | b']' | b'}' => depth -= 1,
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Collects `// memsense-lint: allow(…)` suppressions. A trailing comment
+/// anchors to its own line; a standalone comment anchors to the whole
+/// statement (or list element) that follows, so a rustfmt-wrapped builder
+/// chain stays covered however its lines break.
+fn collect_allows(src: &str, toks: &[Tok], code: &[Tok]) -> BTreeMap<u32, BTreeSet<String>> {
+    let mut allows: BTreeMap<u32, BTreeSet<String>> = BTreeMap::new();
+    for tok in toks.iter().filter(|t| t.is_comment()) {
+        let text = tok.text(src);
+        let Some(marker) = text.find(ALLOW_MARKER) else {
+            continue;
+        };
+        let after = &text[marker + ALLOW_MARKER.len()..];
+        let Some(open) = after.find("allow(") else {
+            continue;
+        };
+        let Some(close) = after[open..].find(')') else {
+            continue;
+        };
+        let ids: Vec<String> = after[open + "allow(".len()..open + close]
+            .split(',')
+            .map(|id| id.trim().to_string())
+            .filter(|id| !id.is_empty())
+            .collect();
+        if ids.is_empty() {
+            continue;
+        }
+        let trailing = code
+            .iter()
+            .any(|c| c.line == tok.line && c.start < tok.start);
+        let (first_line, last_line) = if trailing {
+            (tok.line, tok.line)
+        } else {
+            let end = tok.end_line(src);
+            match code.iter().position(|c| c.line > end) {
+                Some(start) => statement_lines(src, code, start),
+                None => (end + 1, end + 1),
+            }
+        };
+        for line in first_line..=last_line {
+            allows.entry(line).or_default().extend(ids.iter().cloned());
+        }
+    }
+    allows
+}
+
+/// The line span of the statement (or list element) beginning at code token
+/// `start`: it runs until a `;`, `,`, or block-opening `{` at the starting
+/// nesting depth, or until the enclosing bracket closes — whichever comes
+/// first.
+fn statement_lines(src: &str, code: &[Tok], start: usize) -> (u32, u32) {
+    let first = code[start].line;
+    let mut depth = 0i32;
+    let mut last = first;
+    for tok in &code[start..] {
+        let text = tok.text(src);
+        if tok.kind == TokKind::Punct {
+            match text {
+                "(" | "[" => depth += 1,
+                ")" | "]" => {
+                    depth -= 1;
+                    if depth < 0 {
+                        break;
+                    }
+                }
+                "{" if depth == 0 => return (first, tok.line),
+                "}" if depth == 0 => break,
+                ";" | "," if depth == 0 => return (first, tok.line),
+                _ => {}
+            }
+        }
+        last = tok.line;
+    }
+    (first, last)
+}
+
+/// Directory names never scanned: third-party shims, build output, lint
+/// test inputs, and dot-directories.
+fn skip_dir(name: &str) -> bool {
+    name.starts_with('.') || matches!(name, "target" | "vendor" | "fixtures" | "node_modules")
+}
+
+/// Walks `root` and returns every `.rs` file path, sorted for deterministic
+/// reports.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error if a directory cannot be read.
+pub fn scan_workspace(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if entry.file_type()?.is_dir() {
+                if !skip_dir(&name) {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// `path` relative to `root`, with `/` separators.
+pub fn relative(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}

@@ -1,0 +1,385 @@
+//! An error-tolerant Rust token scanner.
+//!
+//! The rules in this crate need real tokens, not regex hits: `unwrap` inside
+//! a string literal, a doc-comment example, or a nested block comment must
+//! not fire a diagnostic. This lexer handles the parts of the Rust grammar
+//! that defeat line-oriented matching:
+//!
+//! * raw strings (`r"…"`, `r#"…"#` with any number of hashes) and their
+//!   byte-string forms (`b"…"`, `br#"…"#`),
+//! * nested block comments (`/* /* */ */`), line comments, and doc comments,
+//! * `'a'` char literals vs `'a` lifetimes (including multi-byte chars and
+//!   escape forms like `'\u{1F600}'`),
+//! * numeric literals with separators, base prefixes, exponents, and type
+//!   suffixes (`1_000u64`, `0xFE`, `2.5e-3f64`).
+//!
+//! The scanner never fails: malformed input (an unterminated string, a stray
+//! byte) degrades to best-effort tokens so the linter can still report on the
+//! rest of the file. Positions are 1-based lines and 1-based byte columns.
+
+/// The kind of a lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`foo`, `unsafe`, `for`).
+    Ident,
+    /// A lifetime or loop label (`'a`, `'static`, `'outer`).
+    Lifetime,
+    /// A char literal (`'x'`, `'\n'`) or byte char (`b'x'`).
+    CharLit,
+    /// A (cooked) string literal, including byte strings.
+    StrLit,
+    /// A raw string literal (`r"…"`, `r#"…"#`, `br"…"`).
+    RawStrLit,
+    /// A numeric literal.
+    NumLit,
+    /// A single punctuation byte (`.`, `:`, `!`, `{`, …).
+    Punct,
+    /// A `//` comment, including `///` and `//!` doc comments.
+    LineComment,
+    /// A `/* … */` comment (nesting handled), including `/** … */`.
+    BlockComment,
+}
+
+/// One token: its kind, byte span in the source, and start position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tok {
+    /// What the token is.
+    pub kind: TokKind,
+    /// Byte offset of the first byte, inclusive.
+    pub start: usize,
+    /// Byte offset past the last byte, exclusive.
+    pub end: usize,
+    /// 1-based line of the first byte.
+    pub line: u32,
+    /// 1-based byte column of the first byte within its line.
+    pub col: u32,
+}
+
+impl Tok {
+    /// The token's source text.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+
+    /// Whether the token is a line or block comment.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+
+    /// The 1-based line of the token's last byte (comments and strings can
+    /// span lines).
+    pub fn end_line(&self, src: &str) -> u32 {
+        let newlines = src[self.start..self.end]
+            .bytes()
+            .filter(|&b| b == b'\n')
+            .count();
+        self.line + newlines as u32
+    }
+}
+
+/// Lexes `src` into a best-effort token stream (comments included).
+pub fn lex(src: &str) -> Vec<Tok> {
+    Lexer {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    }
+    .run()
+}
+
+/// Whether a decimal numeric literal's text denotes a float (`1.5`, `2e3`,
+/// `1f64`) rather than an integer. Base-prefixed literals are never floats.
+pub fn num_is_float(text: &str) -> bool {
+    if text.starts_with("0x") || text.starts_with("0o") || text.starts_with("0b") {
+        return false;
+    }
+    text.contains('.')
+        || text.ends_with("f32")
+        || text.ends_with("f64")
+        || text.contains(['e', 'E'])
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    is_ident_start(b) || b.is_ascii_digit()
+}
+
+/// Byte length of the UTF-8 sequence starting with `b` (1 for ASCII or for
+/// malformed lead bytes, which we tolerate).
+fn utf8_len(b: u8) -> usize {
+    match b {
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        0xF0..=0xF7 => 4,
+        _ => 1,
+    }
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) {
+        if let Some(&b) = self.src.get(self.pos) {
+            self.pos += 1;
+            if b == b'\n' {
+                self.line += 1;
+                self.col = 1;
+            } else {
+                self.col += 1;
+            }
+        }
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    fn run(mut self) -> Vec<Tok> {
+        let mut toks = Vec::new();
+        while let Some(b) = self.peek(0) {
+            if matches!(b, b' ' | b'\t' | b'\r' | b'\n') {
+                self.bump();
+                continue;
+            }
+            let (start, line, col) = (self.pos, self.line, self.col);
+            let kind = match b {
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'r' if self.raw_string_ahead(1) => self.raw_string(),
+                // Raw identifier (`r#type`): one token, like rustc lexes it.
+                b'r' if self.peek(1) == Some(b'#') && self.peek(2).is_some_and(is_ident_start) => {
+                    self.bump_n(2);
+                    self.ident()
+                }
+                b'b' => match self.peek(1) {
+                    Some(b'\'') => {
+                        self.bump();
+                        self.char_or_lifetime();
+                        TokKind::CharLit
+                    }
+                    Some(b'"') => {
+                        self.bump();
+                        self.string()
+                    }
+                    Some(b'r') if self.raw_string_ahead(2) => {
+                        self.bump();
+                        self.raw_string()
+                    }
+                    _ => self.ident(),
+                },
+                b'"' => self.string(),
+                b'\'' => self.char_or_lifetime(),
+                b'0'..=b'9' => self.number(),
+                _ if is_ident_start(b) => self.ident(),
+                _ => {
+                    self.bump();
+                    TokKind::Punct
+                }
+            };
+            toks.push(Tok {
+                kind,
+                start,
+                end: self.pos,
+                line,
+                col,
+            });
+        }
+        toks
+    }
+
+    fn line_comment(&mut self) -> TokKind {
+        while let Some(b) = self.peek(0) {
+            if b == b'\n' {
+                break;
+            }
+            self.bump();
+        }
+        TokKind::LineComment
+    }
+
+    fn block_comment(&mut self) -> TokKind {
+        self.bump_n(2); // consume `/*`
+        let mut depth = 1usize;
+        while let Some(b) = self.peek(0) {
+            if b == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.bump_n(2);
+            } else if b == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.bump_n(2);
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                self.bump();
+            }
+        }
+        TokKind::BlockComment
+    }
+
+    /// Whether, with the cursor `at` bytes before a potential `r`, the bytes
+    /// at the cursor start a raw string: `r`, zero or more `#`, then `"`.
+    /// `r#ident` (a raw identifier) has an identifier character after the
+    /// hash and is not a raw string.
+    fn raw_string_ahead(&self, hashes_from: usize) -> bool {
+        let mut i = hashes_from;
+        while self.peek(i) == Some(b'#') {
+            i += 1;
+        }
+        self.peek(i) == Some(b'"')
+    }
+
+    fn raw_string(&mut self) -> TokKind {
+        self.bump(); // `r`
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            hashes += 1;
+            self.bump();
+        }
+        self.bump(); // opening `"`
+        while let Some(b) = self.peek(0) {
+            self.bump();
+            if b == b'"' {
+                let mut matched = 0usize;
+                while matched < hashes && self.peek(0) == Some(b'#') {
+                    matched += 1;
+                    self.bump();
+                }
+                if matched == hashes {
+                    break;
+                }
+            }
+        }
+        TokKind::RawStrLit
+    }
+
+    fn string(&mut self) -> TokKind {
+        self.bump(); // opening `"`
+        while let Some(b) = self.peek(0) {
+            if b == b'\\' {
+                self.bump_n(2);
+            } else if b == b'"' {
+                self.bump();
+                break;
+            } else {
+                self.bump();
+            }
+        }
+        TokKind::StrLit
+    }
+
+    /// Disambiguates `'a'` (char), `'\n'` (escaped char), and `'a` /
+    /// `'static` (lifetime or label). Called with the cursor on `'`.
+    fn char_or_lifetime(&mut self) -> TokKind {
+        match self.peek(1) {
+            Some(b'\\') => {
+                // Escaped char literal: consume the opening quote, then
+                // escape pairs as units (so `'\''` terminates on the real
+                // closing quote, not the escaped one).
+                self.bump();
+                while let Some(b) = self.peek(0) {
+                    if b == b'\\' {
+                        self.bump_n(2);
+                    } else {
+                        self.bump();
+                        if b == b'\'' {
+                            break;
+                        }
+                    }
+                }
+                TokKind::CharLit
+            }
+            Some(c) if self.peek(1 + utf8_len(c)) == Some(b'\'') => {
+                // One char then a closing quote: `'x'`, `'∂'`.
+                self.bump_n(2 + utf8_len(c));
+                TokKind::CharLit
+            }
+            _ => {
+                // Lifetime or loop label: `'a`, `'static`, `'_`.
+                self.bump();
+                while let Some(b) = self.peek(0) {
+                    if is_ident_continue(b) {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                TokKind::Lifetime
+            }
+        }
+    }
+
+    fn number(&mut self) -> TokKind {
+        if self.peek(0) == Some(b'0') && matches!(self.peek(1), Some(b'x' | b'o' | b'b')) {
+            self.bump_n(2);
+            while let Some(b) = self.peek(0) {
+                if b.is_ascii_hexdigit() || b == b'_' {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        } else {
+            self.digits();
+            // A fractional part only if `.` is followed by a digit (so
+            // `1..n` ranges and `1.method()` are untouched).
+            if self.peek(0) == Some(b'.') && self.peek(1).is_some_and(|b| b.is_ascii_digit()) {
+                self.bump();
+                self.digits();
+            }
+            // Exponent: `e`/`E`, optional sign, required digits.
+            if matches!(self.peek(0), Some(b'e' | b'E')) {
+                let sign = usize::from(matches!(self.peek(1), Some(b'+' | b'-')));
+                if self.peek(1 + sign).is_some_and(|b| b.is_ascii_digit()) {
+                    self.bump_n(1 + sign);
+                    self.digits();
+                }
+            }
+        }
+        // Type suffix (`u64`, `f32`, `usize`).
+        while let Some(b) = self.peek(0) {
+            if is_ident_continue(b) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        TokKind::NumLit
+    }
+
+    fn digits(&mut self) {
+        while let Some(b) = self.peek(0) {
+            if b.is_ascii_digit() || b == b'_' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn ident(&mut self) -> TokKind {
+        while let Some(b) = self.peek(0) {
+            if is_ident_continue(b) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        TokKind::Ident
+    }
+}

@@ -1,0 +1,59 @@
+//! `memsense-lint`: workspace-aware static analysis for the memsense repo.
+//!
+//! The repo's headline guarantees — byte-identical repro output across
+//! thread counts, a canonical JSON wire format with no NaN/`-0.0` leakage,
+//! and bit-exact sim golden snapshots — are enforced dynamically by tests
+//! that must happen to exercise the offending path. This crate closes the
+//! gap statically: a real Rust token scanner ([`lexer`]) feeds a rule engine
+//! ([`rules`]) that walks every workspace `.rs` file ([`engine`]) and
+//! reports `file:line:col rule-id message` diagnostics ([`report`]), with
+//! `// memsense-lint: allow(rule-id)` inline suppressions.
+//!
+//! The `memsense-lint` binary drives it; the CI `lint` job gates on a clean
+//! tree and uploads the JSON report as an artifact. Run `memsense-lint
+//! --list-rules` for the rule set and `--explain <rule-id>` for what each
+//! invariant protects.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+use std::path::Path;
+
+use engine::{relative, scan_workspace, SourceFile};
+use report::{Diagnostic, Report};
+
+/// Lints a single file's source text under its workspace-relative path,
+/// returning unsuppressed diagnostics in source order. This is the
+/// unit-testable core the binary and the fixture tests share.
+pub fn lint_source(rel: &str, source: String) -> Vec<Diagnostic> {
+    rules::check_file(&SourceFile::parse(rel, source))
+}
+
+/// Lints every `.rs` file under `root` and assembles the [`Report`].
+///
+/// # Errors
+///
+/// Returns an I/O error if the tree cannot be walked or a file cannot be
+/// read as UTF-8 text.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Report> {
+    let files = scan_workspace(root)?;
+    let files_scanned = files.len();
+    let mut diagnostics = Vec::new();
+    for path in files {
+        let source = std::fs::read_to_string(&path)?;
+        let rel = relative(root, &path);
+        diagnostics.extend(lint_source(&rel, source));
+    }
+    diagnostics
+        .sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
+    Ok(Report {
+        root: root.display().to_string(),
+        files_scanned,
+        diagnostics,
+    })
+}

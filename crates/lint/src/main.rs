@@ -1,0 +1,130 @@
+//! The `memsense-lint` command-line driver.
+//!
+//! Exit codes follow the workspace convention (the `MEMSENSE_THREADS`
+//! diagnostic convention from the experiments crate): `0` clean, `1` one or
+//! more diagnostics, `2` usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use memsense_lint::rules::{rule, RULES};
+
+const USAGE: &str = "\
+memsense-lint: workspace static analysis for determinism, panic-freedom, and wire-format invariants
+
+USAGE:
+    memsense-lint [--root DIR] [--format human|json] [--out FILE]
+    memsense-lint --list-rules
+    memsense-lint --explain <rule-id>
+
+OPTIONS:
+    --root DIR        Workspace root to scan (default: .)
+    --format FORMAT   Report format: human (default) or json
+    --out FILE        Write the report to FILE; diagnostics still print to stdout
+    --list-rules      List every rule id with a one-line summary
+    --explain ID      Explain the invariant behind a rule and how to fix/suppress it
+
+EXIT CODES:
+    0  clean tree
+    1  one or more diagnostics
+    2  usage or I/O error
+
+Suppression: `// memsense-lint: allow(rule-id)` on the offending line, or on
+the line above, with a one-line justification.";
+
+enum Format {
+    Human,
+    Json,
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run() -> Result<ExitCode, String> {
+    let mut root = PathBuf::from(".");
+    let mut format = Format::Human;
+    let mut out: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(ExitCode::SUCCESS);
+            }
+            "--list-rules" => {
+                for r in RULES {
+                    println!("{:<32} {}", r.id, r.summary);
+                }
+                return Ok(ExitCode::SUCCESS);
+            }
+            "--explain" => {
+                let id = args.next().ok_or("--explain requires a rule id")?;
+                let r = rule(&id).ok_or_else(|| {
+                    format!("unknown rule {id:?}; run --list-rules for the rule set")
+                })?;
+                println!("{}\n", r.id);
+                println!("invariant: {}\n", r.invariant);
+                println!("fix: {}\n", r.fix);
+                println!("suppress: // memsense-lint: allow({})", r.id);
+                return Ok(ExitCode::SUCCESS);
+            }
+            "--root" => {
+                root = PathBuf::from(args.next().ok_or("--root requires a directory")?);
+            }
+            "--format" => {
+                format = match args
+                    .next()
+                    .ok_or("--format requires human or json")?
+                    .as_str()
+                {
+                    "human" => Format::Human,
+                    "json" => Format::Json,
+                    other => return Err(format!("unknown format {other:?} (human or json)")),
+                };
+            }
+            "--out" => {
+                out = Some(PathBuf::from(args.next().ok_or("--out requires a path")?));
+            }
+            other => {
+                return Err(format!("unknown argument {other:?}\n\n{USAGE}"));
+            }
+        }
+    }
+
+    if !root.join("Cargo.toml").exists() {
+        return Err(format!(
+            "{} does not look like a workspace root (no Cargo.toml)",
+            root.display()
+        ));
+    }
+    let report = memsense_lint::lint_workspace(&root)
+        .map_err(|e| format!("scanning {}: {e}", root.display()))?;
+
+    let rendered = match format {
+        Format::Human => report.human(),
+        Format::Json => report.to_json(),
+    };
+    match &out {
+        Some(path) => {
+            std::fs::write(path, &rendered)
+                .map_err(|e| format!("writing {}: {e}", path.display()))?;
+            // Keep the CI log readable even when the artifact is JSON.
+            print!("{}", report.human());
+        }
+        None => print!("{rendered}"),
+    }
+
+    Ok(if report.diagnostics.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    })
+}

@@ -1,0 +1,127 @@
+//! Diagnostics and report rendering (human text and canonical JSON).
+
+use std::collections::BTreeMap;
+
+use memsense_experiments::json::Json;
+
+/// One finding: where, which rule, and what to do about it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based byte column.
+    pub col: u32,
+    /// The rule id that fired.
+    pub rule: &'static str,
+    /// Human-readable explanation with a fix hint.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// The one-line `file:line:col rule-id message` form.
+    pub fn human(&self) -> String {
+        format!(
+            "{}:{}:{} {} {}",
+            self.file, self.line, self.col, self.rule, self.message
+        )
+    }
+}
+
+/// A whole lint run: every diagnostic plus scan statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Report {
+    /// The root that was scanned, as given on the command line.
+    pub root: String,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// All findings, sorted by (file, line, col, rule).
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// Per-rule diagnostic counts, sorted by rule id.
+    pub fn counts(&self) -> BTreeMap<&'static str, usize> {
+        let mut counts: BTreeMap<&'static str, usize> = BTreeMap::new();
+        for d in &self.diagnostics {
+            *counts.entry(d.rule).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// The human rendering: one line per diagnostic, then a summary line.
+    pub fn human(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.human());
+            out.push('\n');
+        }
+        out.push_str(&self.summary());
+        out.push('\n');
+        out
+    }
+
+    /// The one-line summary.
+    pub fn summary(&self) -> String {
+        if self.diagnostics.is_empty() {
+            format!(
+                "memsense-lint: clean ({} files scanned)",
+                self.files_scanned
+            )
+        } else {
+            let by_rule: Vec<String> = self
+                .counts()
+                .into_iter()
+                .map(|(rule, n)| format!("{rule}: {n}"))
+                .collect();
+            format!(
+                "memsense-lint: {} diagnostic(s) in {} files scanned [{}]",
+                self.diagnostics.len(),
+                self.files_scanned,
+                by_rule.join(", ")
+            )
+        }
+    }
+
+    /// The report as a [`Json`] value (schema `memsense-lint/1`).
+    pub fn to_json_value(&self) -> Json {
+        Json::obj(vec![
+            ("version", Json::str("memsense-lint/1")),
+            ("root", Json::str(self.root.clone())),
+            ("files_scanned", Json::num(self.files_scanned as f64)),
+            (
+                "diagnostics",
+                Json::Arr(
+                    self.diagnostics
+                        .iter()
+                        .map(|d| {
+                            Json::obj(vec![
+                                ("file", Json::str(d.file.clone())),
+                                ("line", Json::num(f64::from(d.line))),
+                                ("col", Json::num(f64::from(d.col))),
+                                ("rule", Json::str(d.rule)),
+                                ("message", Json::str(d.message.clone())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "summary",
+                Json::Obj(
+                    self.counts()
+                        .into_iter()
+                        .map(|(rule, n)| (rule.to_string(), Json::num(n as f64)))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// The report as pretty-printed JSON, via the shared escaping-correct
+    /// serializer (`memsense_experiments::json`).
+    pub fn to_json(&self) -> String {
+        self.to_json_value().to_string_pretty()
+    }
+}

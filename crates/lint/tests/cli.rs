@@ -1,0 +1,195 @@
+//! End-to-end tests for the `memsense-lint` binary: exit codes, report
+//! formats, and the `--list-rules` / `--explain` subcommands.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use memsense_experiments::json::Json;
+use memsense_lint::rules::RULES;
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_memsense-lint"))
+        .args(args)
+        .output()
+        .expect("spawn memsense-lint")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+/// A scratch workspace root (with the Cargo.toml marker the binary checks
+/// for), deleted on drop.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new() -> Scratch {
+        static NEXT: AtomicU32 = AtomicU32::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "memsense-lint-test-{}-{}",
+            std::process::id(),
+            NEXT.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).expect("create scratch root");
+        std::fs::write(dir.join("Cargo.toml"), "[workspace]\n").expect("write marker");
+        Scratch(dir)
+    }
+
+    fn write(&self, rel: &str, contents: &str) {
+        let path = self.0.join(rel);
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent).expect("create parent dirs");
+        }
+        std::fs::write(path, contents).expect("write scratch file");
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+#[test]
+fn list_rules_names_every_rule_and_exits_zero() {
+    let out = run(&["--list-rules"]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    let text = stdout(&out);
+    for rule in RULES {
+        assert!(text.contains(rule.id), "missing {} in:\n{text}", rule.id);
+    }
+}
+
+#[test]
+fn explain_prints_invariant_and_fix() {
+    let out = run(&["--explain", "no-panic-in-lib"]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("no-panic-in-lib"));
+    assert!(text.contains("Result"), "fix guidance missing:\n{text}");
+}
+
+#[test]
+fn explain_unknown_rule_is_a_usage_error() {
+    let out = run(&["--explain", "no-such-rule"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("no-such-rule"));
+}
+
+#[test]
+fn unknown_flag_and_bad_root_exit_two() {
+    let out = run(&["--frobnicate"]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+    let out = run(&["--root", "/nonexistent/definitely-not-here"]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+    let out = run(&["--format", "yaml"]);
+    assert_eq!(out.status.code(), Some(2), "{}", stderr(&out));
+}
+
+#[test]
+fn clean_tree_exits_zero() {
+    let ws = Scratch::new();
+    ws.write(
+        "crates/model/src/lib.rs",
+        "pub fn double(x: u64) -> u64 { x * 2 }\n",
+    );
+    let out = run(&["--root", ws.path().to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    assert!(stdout(&out).contains("clean"), "{}", stdout(&out));
+}
+
+#[test]
+fn dirty_tree_exits_one_with_position() {
+    let ws = Scratch::new();
+    ws.write(
+        "crates/model/src/lib.rs",
+        "pub fn f() -> u8 {\n    \"1\".parse().unwrap()\n}\n",
+    );
+    let out = run(&["--root", ws.path().to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1), "{}", stderr(&out));
+    assert!(
+        stdout(&out).contains("crates/model/src/lib.rs:2:17 no-panic-in-lib"),
+        "{}",
+        stdout(&out)
+    );
+}
+
+#[test]
+fn json_report_is_parseable_and_written_to_out() {
+    let ws = Scratch::new();
+    ws.write(
+        "crates/model/src/lib.rs",
+        "pub fn f() -> u8 {\n    \"1\".parse().unwrap()\n}\n",
+    );
+    let report_path = ws.path().join("lint_report.json");
+    let out = run(&[
+        "--root",
+        ws.path().to_str().unwrap(),
+        "--format",
+        "json",
+        "--out",
+        report_path.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(1), "{}", stderr(&out));
+    let body = std::fs::read_to_string(&report_path).expect("report written");
+    let json = Json::parse(&body).expect("report is valid JSON");
+    assert_eq!(
+        json.get("version").and_then(Json::as_str),
+        Some("memsense-lint/1")
+    );
+    assert_eq!(json.get("files_scanned").and_then(Json::as_u64), Some(1));
+    let diags = json
+        .get("diagnostics")
+        .and_then(Json::as_arr)
+        .expect("diagnostics array");
+    assert_eq!(diags.len(), 1);
+    assert_eq!(
+        diags[0].get("rule").and_then(Json::as_str),
+        Some("no-panic-in-lib")
+    );
+    assert_eq!(diags[0].get("line").and_then(Json::as_u64), Some(2));
+    let summary = json.get("summary").expect("summary object");
+    assert_eq!(
+        summary.get("no-panic-in-lib").and_then(Json::as_u64),
+        Some(1)
+    );
+}
+
+#[test]
+fn walker_skips_vendor_target_and_fixture_dirs() {
+    let ws = Scratch::new();
+    let bad = "pub fn f() -> u8 { \"1\".parse().unwrap() }\n";
+    ws.write("vendor/dep/src/lib.rs", bad);
+    ws.write("target/debug/build/gen.rs", bad);
+    ws.write("crates/lint/tests/fixtures/bad.rs", bad);
+    ws.write(".hidden/src/lib.rs", bad);
+    ws.write("crates/model/src/lib.rs", "pub fn ok() {}\n");
+    let out = run(&["--root", ws.path().to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "{}", stdout(&out));
+    assert!(stdout(&out).contains("1 file"), "{}", stdout(&out));
+}
+
+#[test]
+fn repo_workspace_is_clean() {
+    // The merged tree must lint clean — the CI gate runs exactly this.
+    let repo_root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root");
+    let out = run(&["--root", repo_root.to_str().unwrap()]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "workspace must lint clean:\n{}",
+        stdout(&out)
+    );
+}

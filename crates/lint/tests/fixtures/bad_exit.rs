@@ -1,0 +1,6 @@
+//! Fixture: library code deciding the process exit code.
+
+pub fn bail(msg: &str) -> ! {
+    eprintln!("fatal: {msg}");
+    std::process::exit(1)
+}

@@ -1,0 +1,9 @@
+//! Fixture: formatting an f64 with a bare `{}` on a wire path.
+
+pub fn label(mega_transfers: f64) -> String {
+    format!("{} MT/s", mega_transfers)
+}
+
+pub fn debug_label(ratio: f64) -> String {
+    format!("{ratio:?}")
+}

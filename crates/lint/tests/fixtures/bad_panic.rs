@@ -1,0 +1,15 @@
+//! Fixture: library code that panics. Fed to the linter by the tests under a
+//! synthetic `crates/*/src/` path; never compiled or scanned by the real run
+//! (the walker skips `fixtures` directories).
+
+pub fn parse_port(raw: &str) -> u16 {
+    raw.parse().unwrap()
+}
+
+pub fn choose(flag: bool) -> u16 {
+    if flag {
+        parse_port("80")
+    } else {
+        panic!("no port configured")
+    }
+}

@@ -1,0 +1,14 @@
+//! Fixture: iterating a hash-ordered collection in an output-feeding crate.
+
+use std::collections::HashMap;
+
+pub fn render(counts: &HashMap<String, u64>) -> String {
+    let mut out = String::new();
+    for (name, n) in counts.iter() {
+        out.push_str(name);
+        out.push(' ');
+        out.push_str(&n.to_string());
+        out.push('\n');
+    }
+    out
+}

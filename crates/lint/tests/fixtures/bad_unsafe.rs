@@ -1,0 +1,5 @@
+//! Fixture: unsafe without a SAFETY comment.
+
+pub fn reinterpret(v: u64) -> f64 {
+    unsafe { std::mem::transmute(v) }
+}

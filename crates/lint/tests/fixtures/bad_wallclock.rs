@@ -1,0 +1,16 @@
+//! Fixture: a wall-clock read on a deterministic compute path.
+
+use std::time::Instant;
+
+pub fn timed_solve(x: f64) -> (f64, f64) {
+    let started = Instant::now();
+    let y = x * 2.0;
+    (y, started.elapsed().as_secs_f64())
+}
+
+pub fn stamp() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0)
+}

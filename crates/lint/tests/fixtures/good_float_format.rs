@@ -1,0 +1,15 @@
+//! Fixture: the canonical twin of `bad_float_format.rs` — explicit precision,
+//! non-float arguments, and an allow-annotated formatter.
+
+pub fn label(mega_transfers: f64) -> String {
+    format!("{mega_transfers:.1} MT/s")
+}
+
+pub fn count_label(channels: u32) -> String {
+    format!("{channels}ch")
+}
+
+pub fn canonical(v: f64) -> String {
+    // memsense-lint: allow(no-raw-float-format) — fixture twin: the formatter itself
+    format!("{v}")
+}

@@ -1,0 +1,30 @@
+//! Fixture: the allow-annotated twin of `bad_panic.rs`, plus panic sites in
+//! regions the rule must exempt (tests, doc comments).
+
+/// Doc comments mentioning `.unwrap()` or panic! must not fire:
+///
+/// ```
+/// parse_port("80").unwrap();
+/// ```
+pub fn parse_port(raw: &str) -> u16 {
+    // memsense-lint: allow(no-panic-in-lib) — fixture twin: justified constant
+    raw.parse().unwrap()
+}
+
+pub fn chained(raw: &str) -> u16 {
+    // A multi-line statement: the standalone allow above it must cover the
+    // continuation line holding the actual `.expect()` call.
+    // memsense-lint: allow(no-panic-in-lib) — fixture twin: multi-line chain
+    raw.trim()
+        .parse()
+        .expect("fixture constant")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v: u16 = "80".parse().unwrap();
+        assert_eq!(v, 80);
+    }
+}

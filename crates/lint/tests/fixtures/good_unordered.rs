@@ -1,0 +1,20 @@
+//! Fixture: the ordered twin of `bad_unordered.rs` — BTreeMap iteration and
+//! an allow-annotated HashMap site.
+
+use std::collections::{BTreeMap, HashMap};
+
+pub fn render(counts: &BTreeMap<String, u64>) -> String {
+    let mut out = String::new();
+    for (name, n) in counts.iter() {
+        out.push_str(name);
+        out.push(' ');
+        out.push_str(&n.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+pub fn total(counts: &HashMap<String, u64>) -> u64 {
+    // memsense-lint: allow(no-unordered-output) — fixture twin: order-insensitive sum
+    counts.values().sum()
+}

@@ -1,0 +1,7 @@
+//! Fixture: the documented twin of `bad_unsafe.rs`.
+
+pub fn reinterpret(v: u64) -> f64 {
+    // SAFETY: u64 and f64 have the same size and any bit pattern is a valid
+    // f64; this is exactly f64::from_bits.
+    unsafe { std::mem::transmute(v) }
+}

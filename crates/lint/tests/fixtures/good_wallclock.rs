@@ -1,0 +1,11 @@
+//! Fixture: the clock-free twin of `bad_wallclock.rs`.
+
+pub fn solve(x: f64) -> f64 {
+    x * 2.0
+}
+
+pub fn telemetry_probe() -> f64 {
+    // memsense-lint: allow(no-wallclock-in-deterministic) — fixture twin: deliberate telemetry
+    let started = std::time::Instant::now();
+    started.elapsed().as_secs_f64()
+}

@@ -1,0 +1,27 @@
+//! Fixture: every construct the lexer must not trip over. The rule tests
+//! assert this file produces zero diagnostics even under a lib path, because
+//! every `unwrap`/`HashMap`/`Instant` here lives inside a string, comment, or
+//! raw string — never in code position.
+
+pub fn torture() -> String {
+    let raw = r#"this " has .unwrap() and // not a comment"#;
+    let nested_hash = r##"outer r#"inner"# done"##;
+    /* block comment with .unwrap()
+       /* nested block, still commented: HashMap::new().iter() */
+       still outer */
+    let byte_str = b"bytes with \" escape";
+    let raw_byte = br#"raw bytes, Instant::now() is just text"#;
+    let ch = 'x';
+    let quote = '\'';
+    let newline = '\n';
+    let multibyte = 'é';
+    let not_char: &'static str = "lifetime then string";
+    let r#type = 1u32; // raw identifier, not a raw string
+    let exp = 1.5e3_f64;
+    let hex = 0xDEAD_BEEF_u64;
+    format!(
+        "{raw}{nested_hash}{ch}{quote}{newline}{multibyte}{not_char}{}{exp}{hex}{}",
+        r#type,
+        String::from_utf8_lossy(byte_str),
+    ) + &String::from_utf8_lossy(raw_byte)
+}

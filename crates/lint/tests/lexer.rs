@@ -1,0 +1,203 @@
+//! Lexer tests: the constructs that break naive Rust scanners — raw strings,
+//! nested block comments, char vs lifetime, byte strings, doc comments.
+
+use memsense_lint::lexer::{lex, num_is_float, Tok, TokKind};
+
+fn kinds(src: &str) -> Vec<(TokKind, String)> {
+    lex(src)
+        .iter()
+        .map(|t| (t.kind, t.text(src).to_string()))
+        .collect()
+}
+
+fn kind_of(src: &str, text: &str) -> TokKind {
+    let toks = lex(src);
+    let tok = toks
+        .iter()
+        .find(|t| t.text(src) == text)
+        .unwrap_or_else(|| panic!("token {text:?} not found in {src:?}"));
+    tok.kind
+}
+
+#[test]
+fn raw_strings_swallow_quotes_and_comment_markers() {
+    let src = r###"let s = r#"has " quote and // not a comment"#;"###;
+    let toks = kinds(src);
+    assert!(
+        toks.iter()
+            .any(|(k, t)| *k == TokKind::RawStrLit && t.contains("not a comment")),
+        "raw string should be one token: {toks:?}"
+    );
+    assert!(
+        !toks.iter().any(|(k, _)| *k == TokKind::LineComment),
+        "// inside a raw string is not a comment"
+    );
+}
+
+#[test]
+fn raw_strings_respect_hash_depth() {
+    // The inner r#"…"# terminator must not close the outer r##"…"## string.
+    let src = r####"let s = r##"outer r#"inner"# done"##;"####;
+    let toks = lex(src);
+    let raw: Vec<&str> = toks
+        .iter()
+        .filter(|t| t.kind == TokKind::RawStrLit)
+        .map(|t| t.text(src))
+        .collect();
+    assert_eq!(raw, vec![r####"r##"outer r#"inner"# done"##"####]);
+}
+
+#[test]
+fn raw_identifiers_are_idents_not_raw_strings() {
+    let src = "let r#type = 1; let r#match = 2;";
+    let toks = kinds(src);
+    assert!(toks
+        .iter()
+        .any(|(k, t)| *k == TokKind::Ident && t == "r#type"));
+    assert!(!toks.iter().any(|(k, _)| *k == TokKind::RawStrLit));
+}
+
+#[test]
+fn block_comments_nest() {
+    let src = "/* outer /* inner .unwrap() */ still comment */ let x = 1;";
+    let toks = kinds(src);
+    assert_eq!(
+        toks.iter()
+            .filter(|(k, _)| *k == TokKind::BlockComment)
+            .count(),
+        1,
+        "nested block comment lexes as one token: {toks:?}"
+    );
+    // `unwrap` never appears as a code identifier.
+    assert!(!toks
+        .iter()
+        .any(|(k, t)| *k == TokKind::Ident && t == "unwrap"));
+    assert!(toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "x"));
+}
+
+#[test]
+fn char_literal_vs_lifetime() {
+    let src = "fn f<'a>(x: &'a str) -> char { let c = 'a'; let nl = '\\n'; c }";
+    let toks = lex(src);
+    let chars: Vec<&str> = toks
+        .iter()
+        .filter(|t| t.kind == TokKind::CharLit)
+        .map(|t| t.text(src))
+        .collect();
+    let lifetimes: Vec<&str> = toks
+        .iter()
+        .filter(|t| t.kind == TokKind::Lifetime)
+        .map(|t| t.text(src))
+        .collect();
+    assert_eq!(chars, vec!["'a'", "'\\n'"]);
+    assert_eq!(lifetimes, vec!["'a", "'a"]);
+}
+
+#[test]
+fn multibyte_char_literals() {
+    assert_eq!(kind_of("let c = 'é';", "'é'"), TokKind::CharLit);
+    assert_eq!(kind_of("let c = '→';", "'→'"), TokKind::CharLit);
+    assert_eq!(kind_of("let q = '\\'';", "'\\''"), TokKind::CharLit);
+    assert_eq!(
+        kind_of("let s: &'static str = \"x\";", "'static"),
+        TokKind::Lifetime
+    );
+}
+
+#[test]
+fn byte_strings_and_byte_chars() {
+    let src = r##"let a = b"bytes \" esc"; let b = br#"raw // bytes"#; let c = b'x';"##;
+    let toks = lex(src);
+    let get = |kind: TokKind| -> Vec<&str> {
+        toks.iter()
+            .filter(|t| t.kind == kind)
+            .map(|t| t.text(src))
+            .collect()
+    };
+    assert_eq!(get(TokKind::StrLit), vec![r#"b"bytes \" esc""#]);
+    assert_eq!(get(TokKind::RawStrLit), vec![r##"br#"raw // bytes"#"##]);
+    assert_eq!(get(TokKind::CharLit), vec!["b'x'"]);
+    assert!(!toks.iter().any(|t| t.kind == TokKind::LineComment));
+}
+
+#[test]
+fn doc_comments_are_comments() {
+    let src = "/// outer doc with .unwrap()\n//! inner doc\n/** block doc */\nfn f() {}";
+    let toks = lex(src);
+    let comments: Vec<(TokKind, &str)> = toks
+        .iter()
+        .filter(|t| t.is_comment())
+        .map(|t| (t.kind, t.text(src)))
+        .collect();
+    assert_eq!(comments.len(), 3, "{comments:?}");
+    assert!(comments[0].1.starts_with("///"));
+    assert!(comments[1].1.starts_with("//!"));
+    assert_eq!(comments[2].0, TokKind::BlockComment);
+    assert!(!toks
+        .iter()
+        .any(|t| t.kind == TokKind::Ident && t.text(src) == "unwrap"));
+}
+
+#[test]
+fn numeric_literals_and_float_detection() {
+    let src = "let a = 1.5; let b = 1e3; let c = 2f64; let d = 0xDEAD_BEEF; let e = 1_000; let f = 0b1010;";
+    let nums: Vec<String> = lex(src)
+        .iter()
+        .filter(|t| t.kind == TokKind::NumLit)
+        .map(|t| t.text(src).to_string())
+        .collect();
+    assert_eq!(
+        nums,
+        vec!["1.5", "1e3", "2f64", "0xDEAD_BEEF", "1_000", "0b1010"]
+    );
+    assert!(num_is_float("1.5"));
+    assert!(num_is_float("1e3"));
+    assert!(num_is_float("2f64"));
+    assert!(num_is_float("3.0f32"));
+    assert!(
+        !num_is_float("0xDEAD_BEEF"),
+        "hex E/F digits are not exponents"
+    );
+    assert!(!num_is_float("1_000"));
+    assert!(!num_is_float("0b1010"));
+}
+
+#[test]
+fn positions_are_one_based_lines_and_cols() {
+    let src = "let a = 1;\n  let bee = 2;";
+    let toks = lex(src);
+    let bee: &Tok = toks
+        .iter()
+        .find(|t| t.text(src) == "bee")
+        .expect("bee token");
+    assert_eq!((bee.line, bee.col), (2, 7));
+    let strlit = lex("let s = \"a\nb\";");
+    let s = strlit
+        .iter()
+        .find(|t| t.kind == TokKind::StrLit)
+        .expect("string token");
+    assert_eq!(
+        s.end_line("let s = \"a\nb\";"),
+        2,
+        "multi-line string end line"
+    );
+}
+
+#[test]
+fn torture_fixture_lexes_without_stray_code_tokens() {
+    let src = include_str!("fixtures/lexer_torture.rs");
+    let toks = lex(src);
+    // Every suspicious name in the fixture lives inside strings or comments.
+    for name in ["unwrap", "HashMap", "Instant"] {
+        assert!(
+            !toks
+                .iter()
+                .any(|t| t.kind == TokKind::Ident && t.text(src) == name),
+            "{name} leaked out of a string/comment into code position"
+        );
+    }
+    // And the file still has real code.
+    assert!(toks
+        .iter()
+        .any(|t| t.kind == TokKind::Ident && t.text(src) == "torture"));
+}

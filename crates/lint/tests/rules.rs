@@ -1,0 +1,282 @@
+//! Rule-engine tests: every rule fires on its bad fixture and stays quiet on
+//! the allow-annotated (or restructured) twin, scoping and role exemptions
+//! hold, and diagnostics carry usable positions.
+
+use memsense_lint::lint_source;
+use memsense_lint::report::Diagnostic;
+
+/// Lints fixture `source` as if it lived at workspace path `rel`.
+fn lint(rel: &str, source: &str) -> Vec<Diagnostic> {
+    lint_source(rel, source.to_string())
+}
+
+fn rules_of(diags: &[Diagnostic]) -> Vec<&str> {
+    diags.iter().map(|d| d.rule).collect()
+}
+
+// --- no-panic-in-lib -------------------------------------------------------
+
+#[test]
+fn panic_rule_fires_on_bad_fixture() {
+    let diags = lint(
+        "crates/model/src/fake.rs",
+        include_str!("fixtures/bad_panic.rs"),
+    );
+    let rules = rules_of(&diags);
+    assert_eq!(
+        rules.iter().filter(|r| **r == "no-panic-in-lib").count(),
+        2,
+        "unwrap + panic!: {diags:?}"
+    );
+    // Positions point at the offending call, 1-based.
+    let unwrap = diags.iter().find(|d| d.message.contains("unwrap")).unwrap();
+    assert_eq!(unwrap.file, "crates/model/src/fake.rs");
+    assert_eq!(unwrap.line, 6, "{unwrap:?}");
+}
+
+#[test]
+fn panic_rule_quiet_on_annotated_twin() {
+    let diags = lint(
+        "crates/model/src/fake.rs",
+        include_str!("fixtures/good_panic.rs"),
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn panic_rule_exempts_bins_tests_benches_examples() {
+    let bad = include_str!("fixtures/bad_panic.rs");
+    for rel in [
+        "crates/model/src/bin/fake.rs",
+        "crates/model/src/main.rs",
+        "crates/model/tests/fake.rs",
+        "crates/model/benches/fake.rs",
+        "crates/model/examples/fake.rs",
+        "crates/model/build.rs",
+    ] {
+        let diags = lint(rel, bad);
+        assert!(diags.is_empty(), "{rel} should be exempt: {diags:?}");
+    }
+}
+
+#[test]
+fn panic_rule_skips_cfg_test_modules() {
+    let src = "pub fn ok() {}\n\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        \"1\".parse::<u8>().unwrap();\n    }\n}\n";
+    let diags = lint("crates/model/src/fake.rs", src);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+// --- no-unordered-output ---------------------------------------------------
+
+#[test]
+fn unordered_rule_fires_in_output_scopes_only() {
+    let bad = include_str!("fixtures/bad_unordered.rs");
+    for rel in [
+        "crates/model/src/fake.rs",
+        "crates/experiments/src/fake.rs",
+        "crates/serve/src/fake.rs",
+        "crates/sim/src/fake.rs",
+    ] {
+        let diags = lint(rel, bad);
+        assert!(
+            rules_of(&diags).contains(&"no-unordered-output"),
+            "{rel} should fire: {diags:?}"
+        );
+    }
+    // Out of scope: the stats crate never feeds serialized output directly.
+    let diags = lint("crates/stats/src/fake.rs", bad);
+    assert!(
+        !rules_of(&diags).contains(&"no-unordered-output"),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn unordered_rule_quiet_on_btreemap_twin() {
+    let diags = lint(
+        "crates/serve/src/fake.rs",
+        include_str!("fixtures/good_unordered.rs"),
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+// --- no-raw-float-format ---------------------------------------------------
+
+#[test]
+fn float_format_rule_fires_in_wire_scopes_only() {
+    let bad = include_str!("fixtures/bad_float_format.rs");
+    for rel in ["crates/serve/src/fake.rs", "crates/experiments/src/fake.rs"] {
+        let diags = lint(rel, bad);
+        assert_eq!(
+            rules_of(&diags)
+                .iter()
+                .filter(|r| **r == "no-raw-float-format")
+                .count(),
+            2,
+            "{rel}: bare {{}} and {{:?}} both fire: {diags:?}"
+        );
+    }
+    // The model crate formats labels for humans, not the wire.
+    let diags = lint("crates/model/src/fake.rs", bad);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn float_format_rule_quiet_on_precision_twin() {
+    let diags = lint(
+        "crates/serve/src/fake.rs",
+        include_str!("fixtures/good_float_format.rs"),
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+// --- no-wallclock-in-deterministic -----------------------------------------
+
+#[test]
+fn wallclock_rule_fires_outside_allowlist() {
+    let bad = include_str!("fixtures/bad_wallclock.rs");
+    let diags = lint("crates/sim/src/fake.rs", bad);
+    assert_eq!(
+        rules_of(&diags)
+            .iter()
+            .filter(|r| **r == "no-wallclock-in-deterministic")
+            .count(),
+        2,
+        "Instant::now + SystemTime::now: {diags:?}"
+    );
+}
+
+#[test]
+fn wallclock_rule_allowlists_executor_and_serve() {
+    let bad = include_str!("fixtures/bad_wallclock.rs");
+    for rel in [
+        "crates/experiments/src/executor.rs",
+        "crates/serve/src/metrics.rs",
+    ] {
+        let diags = lint(rel, bad);
+        assert!(
+            !rules_of(&diags).contains(&"no-wallclock-in-deterministic"),
+            "{rel} is telemetry-allowlisted: {diags:?}"
+        );
+    }
+}
+
+#[test]
+fn wallclock_rule_quiet_on_annotated_twin() {
+    let diags = lint(
+        "crates/sim/src/fake.rs",
+        include_str!("fixtures/good_wallclock.rs"),
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+// --- unsafe-needs-safety-comment -------------------------------------------
+
+#[test]
+fn unsafe_rule_requires_safety_comment() {
+    let diags = lint(
+        "crates/model/src/fake.rs",
+        include_str!("fixtures/bad_unsafe.rs"),
+    );
+    assert!(
+        rules_of(&diags).contains(&"unsafe-needs-safety-comment"),
+        "{diags:?}"
+    );
+    let diags = lint(
+        "crates/model/src/fake.rs",
+        include_str!("fixtures/good_unsafe.rs"),
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn unsafe_rule_applies_even_in_binaries() {
+    // Unlike the panic rule, a missing SAFETY comment is a defect everywhere.
+    let diags = lint(
+        "crates/model/src/bin/fake.rs",
+        include_str!("fixtures/bad_unsafe.rs"),
+    );
+    assert!(
+        rules_of(&diags).contains(&"unsafe-needs-safety-comment"),
+        "{diags:?}"
+    );
+}
+
+// --- no-process-exit-in-lib ------------------------------------------------
+
+#[test]
+fn process_exit_rule_fires_in_lib_not_bin() {
+    let bad = include_str!("fixtures/bad_exit.rs");
+    let diags = lint("crates/model/src/fake.rs", bad);
+    assert!(
+        rules_of(&diags).contains(&"no-process-exit-in-lib"),
+        "{diags:?}"
+    );
+    let diags = lint("crates/model/src/bin/fake.rs", bad);
+    assert!(diags.is_empty(), "binaries own exit codes: {diags:?}");
+}
+
+// --- cross-cutting ---------------------------------------------------------
+
+#[test]
+fn torture_fixture_is_clean_under_an_output_scope() {
+    // Every suspicious name in the torture file is inside a string or
+    // comment; a scanner that mis-lexes raw strings or nested comments
+    // would report phantom diagnostics here.
+    let diags = lint(
+        "crates/model/src/fake.rs",
+        include_str!("fixtures/lexer_torture.rs"),
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn diagnostics_are_sorted_by_position() {
+    let diags = lint(
+        "crates/model/src/fake.rs",
+        include_str!("fixtures/bad_panic.rs"),
+    );
+    let positions: Vec<(u32, u32)> = diags.iter().map(|d| (d.line, d.col)).collect();
+    let mut sorted = positions.clone();
+    sorted.sort_unstable();
+    assert_eq!(positions, sorted);
+}
+
+#[test]
+fn human_rendering_is_file_line_col_rule_message() {
+    let diags = lint(
+        "crates/model/src/fake.rs",
+        "pub fn f() { panic!(\"boom\") }\n",
+    );
+    assert_eq!(diags.len(), 1);
+    let line = diags[0].human();
+    assert!(
+        line.starts_with("crates/model/src/fake.rs:1:14 no-panic-in-lib "),
+        "{line}"
+    );
+}
+
+#[test]
+fn trailing_allow_suppresses_same_line_only() {
+    let src = "pub fn f() -> u8 {\n    \"1\".parse().unwrap() // memsense-lint: allow(no-panic-in-lib) — fixture\n}\npub fn g() -> u8 {\n    \"2\".parse().unwrap()\n}\n";
+    let diags = lint("crates/model/src/fake.rs", src);
+    assert_eq!(diags.len(), 1, "{diags:?}");
+    assert_eq!(diags[0].line, 5);
+}
+
+#[test]
+fn standalone_allow_covers_the_whole_statement() {
+    // The expect sits two continuation lines below the annotation; the
+    // statement-span anchoring must still cover it (this is how rustfmt
+    // renders annotated builder chains across the workspace).
+    let src = "pub fn f() -> u8 {\n    // memsense-lint: allow(no-panic-in-lib) — fixture\n    \"1\"\n        .parse()\n        .expect(\"fixture\")\n}\n";
+    let diags = lint("crates/model/src/fake.rs", src);
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn allow_of_one_rule_does_not_suppress_another() {
+    let src = "pub fn f() -> u8 {\n    // memsense-lint: allow(no-unordered-output) — wrong rule id\n    \"1\".parse().unwrap()\n}\n";
+    let diags = lint("crates/model/src/fake.rs", src);
+    assert_eq!(rules_of(&diags), vec!["no-panic-in-lib"]);
+}

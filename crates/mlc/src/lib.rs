@@ -208,8 +208,9 @@ fn run_point(config: &MlcConfig, offered_gbps: f64) -> LoadedLatencyPoint {
         if outstanding.len() >= MAX_OUTSTANDING {
             // Blocked: the arrival clock slips, so delivered bandwidth falls
             // below offered and the point reads as unstable.
-            let done = outstanding.pop_front().expect("non-empty");
-            now = now.max(done);
+            if let Some(done) = outstanding.pop_front() {
+                now = now.max(done);
+            }
         }
         let addr = rng.gen_range(0..config.region) & !63;
         let write = rng.gen::<f64>() >= config.read_fraction;

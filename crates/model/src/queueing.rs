@@ -105,6 +105,7 @@ impl QueueingCurve {
             ],
             DEFAULT_MAX_STABLE_UTILIZATION,
         )
+        // memsense-lint: allow(no-panic-in-lib) — compile-time knot table, monotone by construction
         .expect("built-in curve is valid")
     }
 

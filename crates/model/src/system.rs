@@ -93,6 +93,7 @@ impl SystemConfig {
     /// at 70% efficiency, 75 ns compulsory latency.
     pub fn paper_baseline() -> Self {
         SystemConfig::new(1, 8, 2, GigaHertz(2.7), 4, 1866.7, 0.70, Nanoseconds(75.0))
+            // memsense-lint: allow(no-panic-in-lib) — compile-time paper constants, pinned by tests
             .expect("paper baseline is valid")
     }
 
@@ -100,6 +101,7 @@ impl SystemConfig {
     /// (paper Sec. V.B): 2 × 8 cores × 2 threads, 4 channels/socket.
     pub fn characterization_platform() -> Self {
         SystemConfig::new(2, 8, 2, GigaHertz(2.7), 4, 1600.0, 0.70, Nanoseconds(80.0))
+            // memsense-lint: allow(no-panic-in-lib) — compile-time paper constants, pinned by tests
             .expect("platform is valid")
     }
 

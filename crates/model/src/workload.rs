@@ -141,6 +141,29 @@ impl WorkloadParams {
         Ok(self)
     }
 
+    /// Builds one of the built-in paper workloads. Every call site passes
+    /// constants transcribed from the paper's tables, pinned by the tier-1
+    /// paper-claims tests, so construction cannot fail at runtime.
+    fn from_paper(
+        name: &'static str,
+        segment: Segment,
+        cpi_cache: f64,
+        bf: f64,
+        mpki: f64,
+        wbr: f64,
+    ) -> Self {
+        // memsense-lint: allow(no-panic-in-lib) — compile-time paper constants, pinned by tests
+        WorkloadParams::new(name, segment, cpi_cache, bf, mpki, wbr)
+            .expect("paper constants are valid")
+    }
+
+    /// Adds paper-table I/O terms to a built-in workload (same infallibility
+    /// argument as [`Self::from_paper`]).
+    fn with_paper_io(self, iopi: f64, iosz: f64) -> Self {
+        // memsense-lint: allow(no-panic-in-lib) — compile-time paper constants, pinned by tests
+        self.with_io(iopi, iosz).expect("paper constants are valid")
+    }
+
     fn validate(&self) -> Result<(), ModelError> {
         let finite = [
             self.cpi_cache,
@@ -202,30 +225,25 @@ impl WorkloadParams {
 
     /// In-memory column store running decision-support queries (Tab. 2).
     pub fn structured_data() -> Self {
-        WorkloadParams::new("Structured Data", Segment::BigData, 0.89, 0.20, 5.6, 0.32)
-            .expect("paper constants are valid")
+        WorkloadParams::from_paper("Structured Data", Segment::BigData, 0.89, 0.20, 5.6, 0.32)
     }
 
     /// Needle-in-the-haystack unstructured search (Tab. 2). I/O-intensive:
     /// the paper reports >2 GB/s of storage traffic, modeled here as the
     /// Eq. 4 I/O term (~0.9 B/instr of DMA traffic).
     pub fn nits() -> Self {
-        WorkloadParams::new("NITS", Segment::BigData, 0.96, 0.18, 5.0, 1.17)
-            .expect("paper constants are valid")
-            .with_io(0.00022, 4096.0)
-            .expect("paper constants are valid")
+        WorkloadParams::from_paper("NITS", Segment::BigData, 0.96, 0.18, 5.0, 1.17)
+            .with_paper_io(0.00022, 4096.0)
     }
 
     /// Spark iterative graph analytics (Tab. 2).
     pub fn spark() -> Self {
-        WorkloadParams::new("Spark", Segment::BigData, 0.90, 0.25, 6.0, 0.64)
-            .expect("paper constants are valid")
+        WorkloadParams::from_paper("Spark", Segment::BigData, 0.90, 0.25, 6.0, 0.64)
     }
 
     /// Proximity (dense) search — core bound (Tab. 2).
     pub fn proximity() -> Self {
-        WorkloadParams::new("Proximity", Segment::BigData, 0.93, 0.03, 0.5, 0.47)
-            .expect("paper constants are valid")
+        WorkloadParams::from_paper("Proximity", Segment::BigData, 0.93, 0.03, 0.5, 0.47)
     }
 
     // ----- Paper Tab. 4: enterprise workloads -----------------------------
@@ -238,28 +256,23 @@ impl WorkloadParams {
     /// OLTP brokerage workload on a commercial DBMS (Sec. V.J): high
     /// `CPI_cache`, poor prefetchability, moderate I/O.
     pub fn oltp() -> Self {
-        WorkloadParams::new("OLTP", Segment::Enterprise, 1.65, 0.45, 7.5, 0.25)
-            .expect("constants are valid")
-            .with_io(0.00008, 4096.0)
-            .expect("constants are valid")
+        WorkloadParams::from_paper("OLTP", Segment::Enterprise, 1.65, 0.45, 7.5, 0.25)
+            .with_paper_io(0.00008, 4096.0)
     }
 
     /// Java middle-tier benchmark (Sec. V.K): GC pointer chasing, little I/O.
     pub fn jvm() -> Self {
-        WorkloadParams::new("JVM", Segment::Enterprise, 1.20, 0.38, 5.2, 0.35)
-            .expect("constants are valid")
+        WorkloadParams::from_paper("JVM", Segment::Enterprise, 1.20, 0.38, 5.2, 0.35)
     }
 
     /// Virtualized server-consolidation benchmark (Sec. V.L).
     pub fn virtualization() -> Self {
-        WorkloadParams::new("Virtualization", Segment::Enterprise, 1.55, 0.42, 7.0, 0.24)
-            .expect("constants are valid")
+        WorkloadParams::from_paper("Virtualization", Segment::Enterprise, 1.55, 0.42, 7.0, 0.24)
     }
 
     /// Memcached-like web-tier cache, 64 B objects, random keys (Sec. V.M).
     pub fn web_caching() -> Self {
-        WorkloadParams::new("Web Caching", Segment::Enterprise, 1.48, 0.39, 7.1, 0.24)
-            .expect("constants are valid")
+        WorkloadParams::from_paper("Web Caching", Segment::Enterprise, 1.48, 0.39, 7.1, 0.24)
     }
 
     // ----- Paper Tab. 5: HPC (SPECfp rate) workloads -----------------------
@@ -270,26 +283,22 @@ impl WorkloadParams {
 
     /// 470.bwaves — blast-wave CFD, heavily streaming.
     pub fn bwaves() -> Self {
-        WorkloadParams::new("bwaves", Segment::Hpc, 0.70, 0.06, 33.0, 0.30)
-            .expect("constants are valid")
+        WorkloadParams::from_paper("bwaves", Segment::Hpc, 0.70, 0.06, 33.0, 0.30)
     }
 
     /// 433.milc — lattice QCD, strided sweeps over large arrays.
     pub fn milc() -> Self {
-        WorkloadParams::new("milc", Segment::Hpc, 0.72, 0.08, 30.0, 0.28)
-            .expect("constants are valid")
+        WorkloadParams::from_paper("milc", Segment::Hpc, 0.72, 0.08, 30.0, 0.28)
     }
 
     /// 450.soplex — sparse linear programming.
     pub fn soplex() -> Self {
-        WorkloadParams::new("soplex", Segment::Hpc, 0.80, 0.09, 21.0, 0.25)
-            .expect("constants are valid")
+        WorkloadParams::from_paper("soplex", Segment::Hpc, 0.80, 0.09, 21.0, 0.25)
     }
 
     /// 481.wrf — weather stencil.
     pub fn wrf() -> Self {
-        WorkloadParams::new("wrf", Segment::Hpc, 0.78, 0.05, 22.8, 0.25)
-            .expect("constants are valid")
+        WorkloadParams::from_paper("wrf", Segment::Hpc, 0.78, 0.05, 22.8, 0.25)
     }
 
     // ----- Paper Tab. 6: class means ---------------------------------------
@@ -297,7 +306,7 @@ impl WorkloadParams {
     /// Enterprise class mean (Tab. 6): CPI_cache 1.47, BF 0.41, MPKI 6.7,
     /// WBR 27%.
     pub fn enterprise_class() -> Self {
-        WorkloadParams::new(
+        WorkloadParams::from_paper(
             "Enterprise class",
             Segment::Enterprise,
             1.47,
@@ -305,20 +314,17 @@ impl WorkloadParams {
             6.7,
             0.27,
         )
-        .expect("paper constants are valid")
     }
 
     /// Big data class mean (Tab. 6): CPI_cache 0.91, BF 0.21, MPKI 5.5,
     /// WBR 92%.
     pub fn big_data_class() -> Self {
-        WorkloadParams::new("Big Data class", Segment::BigData, 0.91, 0.21, 5.5, 0.92)
-            .expect("paper constants are valid")
+        WorkloadParams::from_paper("Big Data class", Segment::BigData, 0.91, 0.21, 5.5, 0.92)
     }
 
     /// HPC class mean (Tab. 6): CPI_cache 0.75, BF 0.07, MPKI 26.7, WBR 27%.
     pub fn hpc_class() -> Self {
-        WorkloadParams::new("HPC class", Segment::Hpc, 0.75, 0.07, 26.7, 0.27)
-            .expect("paper constants are valid")
+        WorkloadParams::from_paper("HPC class", Segment::Hpc, 0.75, 0.07, 26.7, 0.27)
     }
 
     /// All three Tab. 6 class means, in paper order.

@@ -571,7 +571,14 @@ fn parse_capacity_options(body: &Json) -> Result<Vec<CapacityOption>, ApiError> 
             }
             let mega_transfers = need_f64(item, "mega_transfers")?;
             let label = match item.get("label") {
-                None => format!("{channels}ch @{mega_transfers} MT/s"),
+                // The default label reaches response bodies (and thus cache
+                // keys), so the float must go through the canonical
+                // formatter: a bare `{}` would render -0.0 and 0.0
+                // differently and split otherwise-identical requests.
+                None => {
+                    let mts = memsense_experiments::json::fmt_f64(mega_transfers);
+                    format!("{channels}ch @{mts} MT/s")
+                }
                 Some(v) => v
                     .as_str()
                     .ok_or_else(|| ApiError::bad("field \"label\" must be a string"))?

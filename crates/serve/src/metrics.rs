@@ -38,10 +38,17 @@ impl Metrics {
         Metrics::default()
     }
 
+    /// The registry map. A poisoned lock means a recording thread panicked
+    /// mid-update; the counters are no longer trustworthy, so fail loud.
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, EndpointStats>> {
+        // memsense-lint: allow(no-panic-in-lib) — poisoning implies corrupted telemetry; better to crash the scrape than report garbage
+        self.endpoints.lock().expect("metrics lock poisoned")
+    }
+
     /// Records one handled request for `endpoint` with the given response
     /// `status` and service time.
     pub fn record(&self, endpoint: &str, status: u16, elapsed: Duration) {
-        let mut endpoints = self.endpoints.lock().expect("metrics lock poisoned");
+        let mut endpoints = self.lock();
         let stats = endpoints.entry(endpoint.to_string()).or_default();
         stats.requests += 1;
         if status >= 400 {
@@ -58,13 +65,13 @@ impl Metrics {
 
     /// Total requests recorded across all endpoints.
     pub fn total_requests(&self) -> u64 {
-        let endpoints = self.endpoints.lock().expect("metrics lock poisoned");
+        let endpoints = self.lock();
         endpoints.values().map(|s| s.requests).sum()
     }
 
     /// Renders the registry (plus `cache` counters) as the `/metrics` body.
     pub fn to_json(&self, cache: CacheStats) -> Json {
-        let endpoints = self.endpoints.lock().expect("metrics lock poisoned");
+        let endpoints = self.lock();
         let per_endpoint: Vec<Json> = endpoints
             .iter()
             .map(|(name, stats)| {
@@ -74,10 +81,12 @@ impl Metrics {
                     ("errors", Json::num(stats.errors as f64)),
                 ];
                 if !stats.samples.is_empty() {
+                    // memsense-lint: allow(no-panic-in-lib) — guarded by the is_empty check above; percentile/mean only fail on empty input
                     let quantile =
                         |p: f64| percentile(&stats.samples, p).expect("non-empty samples");
                     fields.push((
                         "latency_ms_mean",
+                        // memsense-lint: allow(no-panic-in-lib) — same non-empty guard
                         Json::num(round3(mean(&stats.samples).expect("non-empty samples"))),
                     ));
                     fields.push(("latency_ms_p50", Json::num(round3(quantile(50.0)))));
@@ -153,6 +162,40 @@ mod tests {
         let stats = endpoints.get("/v1/sweep/bandwidth").unwrap();
         assert_eq!(stats.samples.len(), MAX_SAMPLES_PER_ENDPOINT);
         assert_eq!(stats.requests, (MAX_SAMPLES_PER_ENDPOINT + 100) as u64);
+    }
+
+    #[test]
+    fn metrics_json_is_byte_stable_and_endpoint_sorted() {
+        // Pins the no-unordered-output audit: the registry is a BTreeMap, so
+        // the /metrics body must not depend on recording order and must list
+        // endpoints in sorted order.
+        let record_all = |order: &[&str]| {
+            let metrics = Metrics::new();
+            for name in order {
+                metrics.record(name, 200, Duration::from_millis(2));
+            }
+            metrics.to_json(CacheStats::default()).canonical()
+        };
+        let a = record_all(&["/v1/solve", "/healthz", "/v1/sweep/bandwidth"]);
+        let b = record_all(&["/v1/sweep/bandwidth", "/v1/solve", "/healthz"]);
+        assert_eq!(a, b, "insertion order must not leak into the body");
+
+        let json = Json::parse(&a).unwrap();
+        let names: Vec<String> = json
+            .get("endpoints")
+            .and_then(Json::as_arr)
+            .unwrap()
+            .iter()
+            .map(|e| {
+                e.get("endpoint")
+                    .and_then(Json::as_str)
+                    .unwrap()
+                    .to_string()
+            })
+            .collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted, "endpoints are emitted in sorted order");
     }
 
     #[test]

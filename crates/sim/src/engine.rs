@@ -166,7 +166,7 @@ impl CoreHeap {
     fn pop(&mut self) -> Option<(f64, u32)> {
         let last = self.data.len().checked_sub(1)?;
         self.data.swap(0, last);
-        let top = self.data.pop().expect("non-empty");
+        let top = self.data.pop()?;
         let mut parent = 0;
         loop {
             let left = 2 * parent + 1;
@@ -656,11 +656,11 @@ impl Machine {
                                 }
                             }
                             if core.outstanding.len() >= mshrs {
-                                let (done, _) =
-                                    core.outstanding.pop_front().expect("len >= mshrs >= 1");
-                                if done > core.time_ns {
-                                    core.counters.stall_ns += done - core.time_ns;
-                                    core.time_ns = done;
+                                if let Some((done, _)) = core.outstanding.pop_front() {
+                                    if done > core.time_ns {
+                                        core.counters.stall_ns += done - core.time_ns;
+                                        core.time_ns = done;
+                                    }
                                 }
                             }
 
@@ -1210,6 +1210,13 @@ mod tests {
             (major as f64 / minor as f64 - 3.0).abs() < 0.1,
             "{major}/{minor}"
         );
+        // Pins the no-unordered-output audit: phase counters report through
+        // a BTreeMap, so labels always come back in sorted order regardless
+        // of the order threads first touched them.
+        let labels: Vec<&String> = counts.keys().collect();
+        let mut sorted = labels.clone();
+        sorted.sort();
+        assert_eq!(labels, sorted);
     }
 
     #[test]

@@ -94,14 +94,15 @@ impl StreamPrefetcher {
 
         // New stream: evict LRU slot if full.
         if self.streams.len() == self.config.streams {
-            let lru = self
+            if let Some(lru) = self
                 .streams
                 .iter()
                 .enumerate()
                 .min_by_key(|(_, s)| s.last_use)
                 .map(|(i, _)| i)
-                .expect("non-empty");
-            self.streams.swap_remove(lru);
+            {
+                self.streams.swap_remove(lru);
+            }
         }
         self.streams.push(Stream {
             page,

@@ -58,7 +58,7 @@ impl Summary {
             0.0
         };
         let mut sorted = samples.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in samples"));
+        sorted.sort_by(f64::total_cmp);
         Ok(Summary {
             n,
             mean,
@@ -115,7 +115,7 @@ pub fn percentile(samples: &[f64], p: f64) -> Result<f64, StatsError> {
         return Err(StatsError::InvalidParameter("percentile out of [0, 100]"));
     }
     let mut sorted = samples.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in samples"));
+    sorted.sort_by(f64::total_cmp);
     Ok(percentile_sorted(&sorted, p))
 }
 

@@ -62,7 +62,7 @@ impl PiecewiseLinear {
         if points.is_empty() {
             return Err(StatsError::NotEnoughData { needed: 1, got: 0 });
         }
-        points.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN x"));
+        points.sort_by(|a, b| a.0.total_cmp(&b.0));
         let mut knots: Vec<(f64, f64)> = Vec::with_capacity(points.len());
         let mut i = 0;
         while i < points.len() {
@@ -120,7 +120,7 @@ impl PiecewiseLinear {
             .iter()
             .flat_map(|c| c.knots.iter().map(|&(x, _)| x))
             .collect();
-        xs.sort_by(|a, b| a.partial_cmp(b).expect("NaN x"));
+        xs.sort_by(f64::total_cmp);
         xs.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
         let knots = xs
             .into_iter()

@@ -159,29 +159,26 @@ fn init_farthest_point(points: &[Vec<f64>], k: usize, dim: usize) -> Vec<Vec<f64
         }
         g
     };
-    // First centroid: the point nearest the grand mean.
-    let first = points
+    // First centroid: the point nearest the grand mean. `total_cmp` keeps
+    // the selection deterministic (and panic-free) even for NaN distances.
+    let Some(first) = points
         .iter()
         .enumerate()
-        .min_by(|(_, a), (_, b)| {
-            dist2(a, &grand)
-                .partial_cmp(&dist2(b, &grand))
-                .expect("NaN distance")
-        })
+        .min_by(|(_, a), (_, b)| dist2(a, &grand).total_cmp(&dist2(b, &grand)))
         .map(|(i, _)| i)
-        .expect("non-empty");
+    else {
+        return Vec::new();
+    };
     let mut centroids = vec![points[first].clone()];
     while centroids.len() < k {
-        let next = points
+        let Some(next) = points
             .iter()
             .enumerate()
-            .max_by(|(_, a), (_, b)| {
-                min_dist2(a, &centroids)
-                    .partial_cmp(&min_dist2(b, &centroids))
-                    .expect("NaN distance")
-            })
+            .max_by(|(_, a), (_, b)| min_dist2(a, &centroids).total_cmp(&min_dist2(b, &centroids)))
             .map(|(i, _)| i)
-            .expect("non-empty");
+        else {
+            break;
+        };
         centroids.push(points[next].clone());
     }
     centroids

@@ -399,6 +399,7 @@ impl MixWorkload {
                     self.queue.push_back(Op::dependent_load(addr));
                 }
                 Ev::Zipf => {
+                    // memsense-lint: allow(no-panic-in-lib) — the schedule only emits Ev::Zipf when the sampler was built
                     let rank = self
                         .zipf
                         .as_mut()
