@@ -1,51 +1,88 @@
-//! `memsense-bench` — record and check the simulator performance baseline.
+//! `memsense-bench` — record and check the recorded performance baselines.
 //!
 //! ```text
-//! memsense-bench sim-baseline                         # record BENCH_sim.json
-//! memsense-bench sim-baseline --out path.json         # record elsewhere
-//! memsense-bench sim-baseline --check BENCH_sim.json  # gate against a baseline
+//! memsense-bench sim-baseline                           # record BENCH_sim.json
+//! memsense-bench sim-baseline --out path.json           # record elsewhere
+//! memsense-bench sim-baseline --check BENCH_sim.json    # gate against a baseline
 //! memsense-bench sim-baseline --check BENCH_sim.json --tolerance 0.5 \
-//!     --repeats 1 --report gate.json                  # CI mode
+//!     --repeats 1 --report gate.json                    # CI mode
+//!
+//! memsense-bench serve-baseline                         # record BENCH_serve.json
+//! memsense-bench serve-baseline --check BENCH_serve.json --tolerance 1.0 \
+//!     --report serve_gate.json                          # CI mode
 //! ```
 //!
-//! Recording times the sim-heavy repro stages (reduced budgets) serially —
-//! the binary forces `MEMSENSE_THREADS=1` before the executor starts so
-//! stage walls are undiluted by co-running stages — keeping the minimum
-//! wall per stage across `--repeats` runs. `--check` re-measures and fails
-//! (exit 1) when any stage, or the total, exceeds the recorded baseline by
-//! more than `--tolerance` (fraction, default 0.5 = allow up to 1.5×).
+//! **sim-baseline** times the sim-heavy repro stages (reduced budgets)
+//! serially — the binary forces `MEMSENSE_THREADS=1` before the executor
+//! starts so stage walls are undiluted by co-running stages — keeping the
+//! minimum wall per stage across `--repeats` runs. `--check` re-measures
+//! and fails (exit 1) when any stage, or the total, exceeds the recorded
+//! baseline by more than `--tolerance` (fraction, default 0.5 = allow up to
+//! 1.5×).
+//!
+//! **serve-baseline** drives the `memsense-serve` load generator against a
+//! dedicated in-process server (epoll reactor + worker pool) at a fixed
+//! concurrency and records sustained throughput plus nearest-rank warm
+//! p50/p99 latency. `--check` re-measures with the baseline's recorded
+//! connections/duration/path (overridable) and fails when throughput drops
+//! below `baseline / (1 + tolerance)` or a latency exceeds
+//! `baseline × (1 + tolerance)`.
+//!
 //! Use a release build; debug timings are not comparable.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Duration;
 
-use memsense_experiments::simbench::{
-    self, compare, from_json, measure, to_json, DEFAULT_REPEATS, DEFAULT_TOLERANCE,
-};
+use memsense_experiments::simbench::{self, DEFAULT_REPEATS, DEFAULT_TOLERANCE};
+use memsense_serve::baseline as servebench;
 
 const USAGE: &str = "usage: memsense-bench sim-baseline \
-[--out PATH] [--check PATH] [--tolerance T] [--repeats N] [--report PATH]";
+[--out PATH] [--check PATH] [--tolerance T] [--repeats N] [--report PATH]
+       memsense-bench serve-baseline \
+[--out PATH] [--check PATH] [--tolerance T] [--connections N] [--duration S] \
+[--path ENDPOINT] [--report PATH]";
+
+enum Command {
+    Sim,
+    Serve,
+}
 
 struct Args {
+    command: Command,
     out: PathBuf,
     check: Option<PathBuf>,
     tolerance: f64,
     repeats: usize,
+    connections: Option<usize>,
+    duration: Option<Duration>,
+    path: Option<String>,
     report: Option<PathBuf>,
 }
 
 fn parse_args(mut argv: std::env::Args) -> Result<Args, String> {
     let _exe = argv.next();
-    match argv.next().as_deref() {
-        Some("sim-baseline") => {}
+    let command = match argv.next().as_deref() {
+        Some("sim-baseline") => Command::Sim,
+        Some("serve-baseline") => Command::Serve,
         Some(other) => return Err(format!("unknown command {other:?}\n{USAGE}")),
         None => return Err(USAGE.to_string()),
-    }
+    };
     let mut args = Args {
-        out: PathBuf::from("BENCH_sim.json"),
+        out: PathBuf::from(match command {
+            Command::Sim => "BENCH_sim.json",
+            Command::Serve => "BENCH_serve.json",
+        }),
+        tolerance: match command {
+            Command::Sim => DEFAULT_TOLERANCE,
+            Command::Serve => servebench::DEFAULT_TOLERANCE,
+        },
+        command,
         check: None,
-        tolerance: DEFAULT_TOLERANCE,
         repeats: DEFAULT_REPEATS,
+        connections: None,
+        duration: None,
+        path: None,
         report: None,
     };
     while let Some(flag) = argv.next() {
@@ -73,6 +110,25 @@ fn parse_args(mut argv: std::env::Args) -> Result<Args, String> {
                     .filter(|n| *n >= 1)
                     .ok_or_else(|| format!("invalid --repeats {v:?}"))?;
             }
+            "--connections" => {
+                let v = value("--connections")?;
+                args.connections = Some(
+                    v.parse::<usize>()
+                        .ok()
+                        .filter(|n| *n >= 1)
+                        .ok_or_else(|| format!("invalid --connections {v:?}"))?,
+                );
+            }
+            "--duration" => {
+                let v = value("--duration")?;
+                let s = v
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|s| s.is_finite() && *s > 0.0)
+                    .ok_or_else(|| format!("invalid --duration {v:?}"))?;
+                args.duration = Some(Duration::from_secs_f64(s));
+            }
+            "--path" => args.path = Some(value("--path")?),
             other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
         }
     }
@@ -87,7 +143,13 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    match args.command {
+        Command::Sim => run_sim(&args),
+        Command::Serve => run_serve(&args),
+    }
+}
 
+fn run_sim(args: &Args) -> ExitCode {
     // Pin the executor serial before its OnceLock initializes: baseline
     // walls must measure single-stage throughput, not pool contention.
     std::env::set_var("MEMSENSE_THREADS", "1");
@@ -97,7 +159,7 @@ fn main() -> ExitCode {
         None => None,
         Some(check_path) => match std::fs::read_to_string(check_path)
             .map_err(|e| format!("cannot read {}: {e}", check_path.display()))
-            .and_then(|text| from_json(&text).map_err(|e| e.to_string()))
+            .and_then(|text| simbench::from_json(&text).map_err(|e| e.to_string()))
         {
             Ok(b) => Some(b),
             Err(msg) => {
@@ -112,7 +174,7 @@ fn main() -> ExitCode {
         simbench::STAGES.len(),
         args.repeats
     );
-    let current = match measure(args.repeats) {
+    let current = match simbench::measure(args.repeats) {
         Ok(b) => b,
         Err(e) => {
             eprintln!("error: {e}");
@@ -122,7 +184,7 @@ fn main() -> ExitCode {
 
     let Some(baseline) = baseline else {
         // Record mode.
-        if let Err(e) = std::fs::write(&args.out, to_json(&current)) {
+        if let Err(e) = std::fs::write(&args.out, simbench::to_json(&current)) {
             eprintln!("error: cannot write {}: {e}", args.out.display());
             return ExitCode::FAILURE;
         }
@@ -136,7 +198,7 @@ fn main() -> ExitCode {
     };
 
     // Check mode.
-    let comparison = compare(&current, &baseline, args.tolerance);
+    let comparison = simbench::compare(&current, &baseline, args.tolerance);
     print!("{}", comparison.to_table().to_ascii());
     if let Some(report) = &args.report {
         if let Err(e) = std::fs::write(report, comparison.to_json_value().to_string_pretty()) {
@@ -149,6 +211,95 @@ fn main() -> ExitCode {
         ExitCode::SUCCESS
     } else {
         eprintln!("sim perf gate FAILED (tolerance {:.2})", args.tolerance);
+        ExitCode::FAILURE
+    }
+}
+
+fn run_serve(args: &Args) -> ExitCode {
+    if args.repeats != DEFAULT_REPEATS {
+        eprintln!("error: --repeats applies to sim-baseline only\n{USAGE}");
+        return ExitCode::from(2);
+    }
+
+    // Read the baseline up front so a bad path fails before measurement; in
+    // check mode the recorded load shape (connections/duration/path) is
+    // reused unless overridden, so the gate compares like with like.
+    let baseline = match &args.check {
+        None => None,
+        Some(check_path) => match std::fs::read_to_string(check_path)
+            .map_err(|e| format!("cannot read {}: {e}", check_path.display()))
+            .and_then(|text| servebench::from_json(&text).map_err(|e| e.to_string()))
+        {
+            Ok(b) => Some(b),
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+
+    let connections = args.connections.unwrap_or_else(|| {
+        baseline
+            .as_ref()
+            .map(|b| b.connections)
+            .unwrap_or(servebench::DEFAULT_CONNECTIONS)
+    });
+    let duration = args.duration.unwrap_or_else(|| {
+        baseline
+            .as_ref()
+            .map(|b| Duration::from_secs_f64(b.duration_s))
+            .unwrap_or(servebench::DEFAULT_DURATION)
+    });
+    let path = args.path.clone().unwrap_or_else(|| {
+        baseline
+            .as_ref()
+            .map(|b| b.path.clone())
+            .unwrap_or_else(|| servebench::DEFAULT_PATH.to_string())
+    });
+
+    eprintln!(
+        "driving POST {path} with {connections} connections for {:.1} s...",
+        duration.as_secs_f64()
+    );
+    let current = match servebench::measure(connections, duration, &path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let Some(baseline) = baseline else {
+        // Record mode.
+        if let Err(e) = std::fs::write(&args.out, servebench::to_json(&current)) {
+            eprintln!("error: cannot write {}: {e}", args.out.display());
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "recorded {} ({} requests, {:.1} req/s, warm p50 {:.3} ms, p99 {:.3} ms)",
+            args.out.display(),
+            current.requests,
+            current.throughput_rps,
+            current.warm_p50_ms,
+            current.warm_p99_ms
+        );
+        return ExitCode::SUCCESS;
+    };
+
+    // Check mode.
+    let comparison = servebench::compare(&current, &baseline, args.tolerance);
+    print!("{}", comparison.to_table().to_ascii());
+    if let Some(report) = &args.report {
+        if let Err(e) = std::fs::write(report, comparison.to_json_value().to_string_pretty()) {
+            eprintln!("error: cannot write {}: {e}", report.display());
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {}", report.display());
+    }
+    if comparison.passed() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("serve perf gate FAILED (tolerance {:.2})", args.tolerance);
         ExitCode::FAILURE
     }
 }

@@ -1,0 +1,359 @@
+//! Serve performance baseline: record, persist, and regression-check.
+//!
+//! The epoll-reactor overhaul is a throughput claim, and claims need gates.
+//! This module is the serve-layer twin of
+//! `memsense_experiments::simbench`: [`measure`] drives the built-in load
+//! generator ([`crate::bench`]) against a dedicated in-process server at a
+//! fixed concurrency, [`to_json`]/[`from_json`] persist the result as the
+//! canonical `BENCH_serve.json`, and [`compare`] gates a fresh measurement
+//! against the recorded baseline — throughput may not drop below
+//! `baseline / (1 + tolerance)`, and the warm p50/p99 latencies may not
+//! exceed `baseline × (1 + tolerance)`. The CI `serve-perf` job fails on
+//! either regression.
+//!
+//! Latency percentiles are **nearest-rank** (`memsense-stats`), so short CI
+//! runs with few samples gate on latencies a request actually observed.
+
+use std::io;
+use std::time::Duration;
+
+use memsense_experiments::json::Json;
+use memsense_experiments::render::{f, Table};
+
+use crate::bench::{self, BenchConfig};
+use crate::server::{Server, ServerConfig};
+
+/// Schema tag written into `BENCH_serve.json`.
+pub const SCHEMA: &str = "memsense-serve-baseline/v1";
+
+/// Default regression tolerance. Serve walls mix scheduler, TCP, and
+/// allocator noise on small CI machines, so the default is looser than the
+/// sim gate: 1.0 allows down to half the recorded throughput (and up to
+/// twice the recorded latency) before failing.
+pub const DEFAULT_TOLERANCE: f64 = 1.0;
+
+/// Default concurrent connections for recording.
+pub const DEFAULT_CONNECTIONS: usize = 512;
+
+/// Default warm-phase duration for recording.
+pub const DEFAULT_DURATION: Duration = Duration::from_secs(3);
+
+/// Default endpoint to hammer (the dense bandwidth sweep: a heavy solve,
+/// then pure cache traffic).
+pub const DEFAULT_PATH: &str = "/v1/sweep/bandwidth";
+
+/// Errors from parsing a recorded baseline.
+#[derive(Debug)]
+pub enum BaselineError {
+    /// `BENCH_serve.json` could not be parsed against the schema.
+    Parse(String),
+}
+
+impl core::fmt::Display for BaselineError {
+    fn fmt(&self, fmt: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            BaselineError::Parse(m) => write!(fmt, "invalid serve baseline file: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {}
+
+/// A recorded serve-layer performance baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeBaseline {
+    /// Concurrent keep-alive connections during measurement.
+    pub connections: usize,
+    /// Warm-phase duration, seconds (as configured, not as elapsed).
+    pub duration_s: f64,
+    /// Endpoint exercised.
+    pub path: String,
+    /// Warm requests completed.
+    pub requests: u64,
+    /// Sustained warm throughput, requests per second.
+    pub throughput_rps: f64,
+    /// Warm median latency, milliseconds (nearest-rank).
+    pub warm_p50_ms: f64,
+    /// Warm 99th-percentile latency, milliseconds (nearest-rank).
+    pub warm_p99_ms: f64,
+}
+
+/// Measures a fresh baseline: starts a dedicated in-process server sized
+/// for the load (connection cap = `connections` + slack, so the generator
+/// itself is never 503'd) and runs the warm-phase load generator against it.
+///
+/// # Errors
+///
+/// Propagates server start-up and load-generator failures.
+pub fn measure(connections: usize, duration: Duration, path: &str) -> io::Result<ServeBaseline> {
+    let connections = connections.max(1);
+    let mut server = Server::start(&ServerConfig {
+        max_connections: connections + 64,
+        ..ServerConfig::default()
+    })?;
+    let result = bench::run(&BenchConfig {
+        addr: Some(server.addr().to_string()),
+        connections,
+        duration,
+        path: path.to_string(),
+        ..BenchConfig::default()
+    });
+    server.stop();
+    server.join();
+    let report = result?;
+    Ok(ServeBaseline {
+        connections,
+        duration_s: duration.as_secs_f64(),
+        path: report.path,
+        requests: report.requests,
+        throughput_rps: report.throughput_rps,
+        warm_p50_ms: report.warm_p50_ms,
+        warm_p99_ms: report.warm_p99_ms,
+    })
+}
+
+fn round3(v: f64) -> f64 {
+    (v * 1e3).round() / 1e3
+}
+
+/// Serializes a baseline to the canonical `BENCH_serve.json` form.
+pub fn to_json(baseline: &ServeBaseline) -> String {
+    Json::obj(vec![
+        ("schema", Json::str(SCHEMA)),
+        ("connections", Json::num(baseline.connections as f64)),
+        ("duration_s", Json::num(round3(baseline.duration_s))),
+        ("path", Json::str(&baseline.path)),
+        ("requests", Json::num(baseline.requests as f64)),
+        ("throughput_rps", Json::num(round3(baseline.throughput_rps))),
+        ("warm_p50_ms", Json::num(round3(baseline.warm_p50_ms))),
+        ("warm_p99_ms", Json::num(round3(baseline.warm_p99_ms))),
+    ])
+    .to_string_pretty()
+}
+
+/// Parses a baseline from [`to_json`] output.
+///
+/// # Errors
+///
+/// Returns [`BaselineError::Parse`] on malformed JSON, a wrong schema tag,
+/// or missing fields.
+pub fn from_json(text: &str) -> Result<ServeBaseline, BaselineError> {
+    let parse = |m: &str| BaselineError::Parse(m.to_string());
+    let root = Json::parse(text).map_err(|e| BaselineError::Parse(e.to_string()))?;
+    let schema = root
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or_else(|| parse("missing schema tag"))?;
+    if schema != SCHEMA {
+        return Err(BaselineError::Parse(format!(
+            "schema {schema:?}, expected {SCHEMA:?}"
+        )));
+    }
+    let num = |name: &str| {
+        root.get(name)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| BaselineError::Parse(format!("missing {name}")))
+    };
+    Ok(ServeBaseline {
+        connections: num("connections")? as usize,
+        duration_s: num("duration_s")?,
+        path: root
+            .get("path")
+            .and_then(Json::as_str)
+            .ok_or_else(|| parse("missing path"))?
+            .to_string(),
+        requests: num("requests")? as u64,
+        throughput_rps: num("throughput_rps")?,
+        warm_p50_ms: num("warm_p50_ms")?,
+        warm_p99_ms: num("warm_p99_ms")?,
+    })
+}
+
+/// One gated metric of a baseline comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompareRow {
+    /// Metric name.
+    pub name: &'static str,
+    /// Recorded value.
+    pub baseline: f64,
+    /// Freshly measured value.
+    pub current: f64,
+    /// `true` when larger is better (throughput); `false` for latencies.
+    pub higher_is_better: bool,
+    /// Whether this metric is within tolerance.
+    pub ok: bool,
+}
+
+/// Result of gating a fresh measurement against a recorded baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// Tolerance the gate applied.
+    pub tolerance: f64,
+    /// Gated metrics.
+    pub rows: Vec<CompareRow>,
+}
+
+impl Comparison {
+    /// Whether every gated metric passed.
+    pub fn passed(&self) -> bool {
+        self.rows.iter().all(|r| r.ok)
+    }
+
+    /// Renders the human-readable gate table.
+    pub fn to_table(&self) -> Table {
+        let mut t = Table::new(
+            format!(
+                "Serve perf gate: current vs baseline, tolerance {:.0}% -> {}",
+                self.tolerance * 100.0,
+                if self.passed() { "PASS" } else { "FAIL" }
+            ),
+            &["metric", "baseline", "current", "ratio", "status"],
+        );
+        for r in &self.rows {
+            t.row(vec![
+                r.name.to_string(),
+                f(r.baseline, 3),
+                f(r.current, 3),
+                if r.baseline > 0.0 {
+                    f(r.current / r.baseline, 2)
+                } else {
+                    "-".to_string()
+                },
+                if r.ok { "ok" } else { "REGRESSED" }.to_string(),
+            ]);
+        }
+        t
+    }
+
+    /// The comparison as a [`Json`] value (the CI report artifact).
+    pub fn to_json_value(&self) -> Json {
+        Json::obj(vec![
+            ("schema", Json::str("memsense-serve-baseline-check/v1")),
+            ("tolerance", Json::num(self.tolerance)),
+            ("passed", Json::Bool(self.passed())),
+            (
+                "metrics",
+                Json::Arr(
+                    self.rows
+                        .iter()
+                        .map(|r| {
+                            Json::obj(vec![
+                                ("name", Json::str(r.name)),
+                                ("baseline", Json::num(round3(r.baseline))),
+                                ("current", Json::num(round3(r.current))),
+                                ("higher_is_better", Json::Bool(r.higher_is_better)),
+                                ("ok", Json::Bool(r.ok)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// Gates `current` against `baseline`: throughput must stay at or above
+/// `baseline / (1 + tolerance)`, and each gated latency at or below
+/// `baseline × (1 + tolerance)`.
+pub fn compare(current: &ServeBaseline, baseline: &ServeBaseline, tolerance: f64) -> Comparison {
+    let limit = 1.0 + tolerance;
+    let row = |name: &'static str, base: f64, cur: f64, higher_is_better: bool| CompareRow {
+        name,
+        baseline: base,
+        current: cur,
+        higher_is_better,
+        ok: if higher_is_better {
+            cur >= base / limit
+        } else {
+            cur <= base * limit
+        },
+    };
+    Comparison {
+        tolerance,
+        rows: vec![
+            row(
+                "throughput_rps",
+                baseline.throughput_rps,
+                current.throughput_rps,
+                true,
+            ),
+            row(
+                "warm_p50_ms",
+                baseline.warm_p50_ms,
+                current.warm_p50_ms,
+                false,
+            ),
+            row(
+                "warm_p99_ms",
+                baseline.warm_p99_ms,
+                current.warm_p99_ms,
+                false,
+            ),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ServeBaseline {
+        ServeBaseline {
+            connections: 512,
+            duration_s: 3.0,
+            path: "/v1/sweep/bandwidth".to_string(),
+            requests: 60_000,
+            throughput_rps: 20_000.0,
+            warm_p50_ms: 10.0,
+            warm_p99_ms: 50.0,
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let baseline = sample();
+        let text = to_json(&baseline);
+        let parsed = from_json(&text).expect("round trip");
+        assert_eq!(parsed, baseline);
+    }
+
+    #[test]
+    fn parse_rejects_wrong_schema_and_missing_fields() {
+        assert!(from_json("not json").is_err());
+        assert!(from_json(r#"{"schema":"something-else/v1"}"#).is_err());
+        let missing = format!(r#"{{"schema":{:?}}}"#, SCHEMA);
+        assert!(from_json(&missing).is_err());
+    }
+
+    #[test]
+    fn gate_is_directional() {
+        let baseline = sample();
+        // Faster and lower-latency than recorded: passes trivially.
+        let mut better = baseline.clone();
+        better.throughput_rps *= 3.0;
+        better.warm_p50_ms /= 3.0;
+        better.warm_p99_ms /= 3.0;
+        assert!(compare(&better, &baseline, 0.5).passed());
+
+        // Throughput collapse fails even though latencies are fine.
+        let mut slow = baseline.clone();
+        slow.throughput_rps = baseline.throughput_rps / 4.0;
+        let gate = compare(&slow, &baseline, 0.5);
+        assert!(!gate.passed());
+        assert!(!gate.rows[0].ok);
+        assert!(gate.rows[1].ok && gate.rows[2].ok);
+
+        // Latency blow-up fails even though throughput is fine.
+        let mut laggy = baseline.clone();
+        laggy.warm_p99_ms = baseline.warm_p99_ms * 4.0;
+        let gate = compare(&laggy, &baseline, 0.5);
+        assert!(!gate.passed());
+        assert!(!gate.rows[2].ok);
+
+        // Within tolerance on both sides passes.
+        let mut near = baseline.clone();
+        near.throughput_rps = baseline.throughput_rps / 1.4;
+        near.warm_p99_ms = baseline.warm_p99_ms * 1.4;
+        assert!(compare(&near, &baseline, 0.5).passed());
+    }
+}

@@ -13,7 +13,7 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant, SystemTime};
 
 use memsense_experiments::json::Json;
-use memsense_stats::descriptive::{mean, percentile};
+use memsense_stats::descriptive::{mean, percentile_nearest_rank};
 
 use crate::http::Client;
 use crate::server::{Server, ServerConfig};
@@ -244,8 +244,10 @@ fn drive(config: &BenchConfig, addr: &str, body: &str) -> io::Result<BenchReport
     if all_samples.is_empty() {
         return Err(invalid("warm phase completed zero requests".to_string()));
     }
+    // Nearest-rank percentiles: with few samples (short CI runs), p99 clamps
+    // to the observed maximum instead of interpolating past the sorted data.
     // memsense-lint: allow(no-panic-in-lib) — guarded by the is_empty early return above
-    let stat = |p: f64| percentile(&all_samples, p).expect("non-empty samples");
+    let stat = |p: f64| percentile_nearest_rank(&all_samples, p).expect("non-empty samples");
     let warm_p50_ms = stat(50.0);
     Ok(BenchReport {
         path: config.path.clone(),

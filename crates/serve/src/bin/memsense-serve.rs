@@ -16,6 +16,7 @@ memsense-serve: the calibrated memory-sensitivity model as a service
 
 USAGE:
     memsense-serve serve [--addr HOST:PORT] [--max-connections N] [--cache-mb N]
+                         [--workers N]
     memsense-serve bench [--addr HOST:PORT] [--connections N] [--duration S]
                          [--requests N] [--path PATH] [--body JSON]
                          [--expect-speedup X] [--json]
@@ -24,6 +25,7 @@ serve options:
     --addr HOST:PORT    bind address (default 127.0.0.1:7878; port 0 = any)
     --max-connections N simultaneous connection cap (default 256)
     --cache-mb N        result-cache budget in MiB (default 64)
+    --workers N         model-solve worker threads (default: auto, 2..=8)
 
 bench options:
     --addr HOST:PORT    target server (default: throwaway in-process server)
@@ -101,6 +103,9 @@ fn run_serve(args: &[String]) -> ExitCode {
         }
         if let Some(mb) = take_flag(&mut args, "--cache-mb", |v| v.parse::<usize>().ok())? {
             config.cache_budget = mb.saturating_mul(1024 * 1024);
+        }
+        if let Some(n) = take_flag(&mut args, "--workers", |v| v.parse().ok())? {
+            config.workers = n;
         }
         Ok(())
     })();

@@ -4,20 +4,43 @@
 //! key-sorted, float-canonicalized JSON — see
 //! `memsense_experiments::json::Json::canonical`), so two requests that
 //! differ only in whitespace, key order, or `-0.0` vs `0.0` hit the same
-//! entry. Values are complete response bodies; a hit is returned verbatim,
-//! byte-identical to the originally computed response.
+//! entry. Values are complete response bodies behind `Arc<str>`; a hit bumps
+//! a refcount instead of copying, and the returned body is byte-identical to
+//! the originally computed response.
 //!
-//! Eviction is LRU under a byte budget: each entry is charged its key and
-//! body length, and inserting past the budget evicts least-recently-used
-//! entries first. Recency is tracked with a monotonically increasing
-//! sequence number and a `BTreeMap<seq, key>` index, so get/insert/evict are
-//! all `O(log n)`.
+//! The cache is **sharded**: keys are FNV-1a-hashed onto
+//! [`DEFAULT_SHARDS`] independent shards, each with its own mutex, LRU
+//! index, and an equal slice of the byte budget. Concurrent lookups of
+//! different keys contend only 1-in-N of the time, which removes the
+//! single-mutex serialization the thread-per-connection server suffered
+//! under load (every warm request used to queue on one lock while holding a
+//! multi-kilobyte body copy).
+//!
+//! Eviction is LRU per shard under the shard's byte budget: each entry is
+//! charged its key, body, **and a fixed [`ENTRY_OVERHEAD`]** approximating
+//! the map/index bookkeeping, so thousands of tiny entries cannot blow past
+//! the budget on unaccounted metadata. An insert whose charge exceeds the
+//! shard budget is rejected *up front* — it must never first evict every
+//! resident entry only to discover it still does not fit. Recency is a
+//! monotonically increasing per-shard sequence number with a
+//! `BTreeMap<seq, key>` index, so get/insert/evict are all `O(log n)`.
 
 use std::collections::{BTreeMap, HashMap};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Default byte budget (64 MiB) — thousands of sweep responses.
 pub const DEFAULT_BUDGET_BYTES: usize = 64 * 1024 * 1024;
+
+/// Default shard count. Sixteen mutexes keep contention negligible for a
+/// reactor plus a small worker pool while costing only a few hundred bytes.
+pub const DEFAULT_SHARDS: usize = 16;
+
+/// Bytes charged per entry on top of key + body length: approximates the
+/// `Entry` struct, the hash-map node, the recency-index node, and the two
+/// `String`/`Arc` headers. Without this, byte accounting undercounts real
+/// memory by ~100 bytes per entry, which a flood of tiny entries turns into
+/// unbounded growth.
+pub const ENTRY_OVERHEAD: usize = 128;
 
 /// Point-in-time cache counters, for `/metrics`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -28,15 +51,17 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries evicted to stay within the byte budget.
     pub evictions: u64,
+    /// Inserts rejected up front because the charge exceeded a shard budget.
+    pub rejected: u64,
     /// Entries currently stored.
     pub entries: usize,
-    /// Bytes currently charged (keys + bodies).
+    /// Bytes currently charged (keys + bodies + per-entry overhead).
     pub bytes: usize,
 }
 
 #[derive(Debug)]
 struct Entry {
-    body: String,
+    body: Arc<str>,
     seq: u64,
 }
 
@@ -50,41 +75,74 @@ struct Inner {
     hits: u64,
     misses: u64,
     evictions: u64,
+    rejected: u64,
 }
 
-/// A thread-safe LRU response cache with a byte budget.
 #[derive(Debug)]
-pub struct ResultCache {
+struct Shard {
     inner: Mutex<Inner>,
     budget: usize,
 }
 
+/// A thread-safe sharded LRU response cache with a byte budget.
+#[derive(Debug)]
+pub struct ResultCache {
+    shards: Box<[Shard]>,
+}
+
+/// FNV-1a over the key bytes: deterministic across runs (unlike
+/// `DefaultHasher`), so shard placement — and therefore eviction behavior —
+/// is reproducible.
+fn fnv1a(key: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in key.as_bytes() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// What one entry costs against the byte budget.
+fn charge(key: &str, body: &str) -> usize {
+    key.len() + body.len() + ENTRY_OVERHEAD
+}
+
 impl ResultCache {
-    /// Creates a cache bounded to `budget` bytes (keys + bodies).
+    /// Creates a cache bounded to `budget` bytes across [`DEFAULT_SHARDS`]
+    /// shards.
     pub fn new(budget: usize) -> ResultCache {
+        ResultCache::with_shards(budget, DEFAULT_SHARDS)
+    }
+
+    /// Creates a cache bounded to `budget` bytes split evenly over `shards`
+    /// independent shards (clamped to at least 1). Note the per-shard budget
+    /// is `budget / shards`: an entry larger than that slice is not cacheable.
+    pub fn with_shards(budget: usize, shards: usize) -> ResultCache {
+        let shards = shards.max(1);
+        let per_shard = budget / shards;
         ResultCache {
-            inner: Mutex::new(Inner::default()),
-            budget,
+            shards: (0..shards)
+                .map(|_| Shard {
+                    inner: Mutex::new(Inner::default()),
+                    budget: per_shard,
+                })
+                .collect(),
         }
     }
 
-    /// The cache state. Poisoning is propagated deliberately: cache methods
-    /// never panic themselves, so a poisoned lock means a worker died
-    /// mid-mutation and the byte accounting can no longer be trusted.
-    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
-        // memsense-lint: allow(no-panic-in-lib) — poisoning implies corrupted LRU accounting; failing loud is safer than serving from it
-        self.inner.lock().expect("cache lock poisoned")
+    fn shard(&self, key: &str) -> &Shard {
+        &self.shards[(fnv1a(key) % self.shards.len() as u64) as usize]
     }
 
     /// Looks up `key`, refreshing its recency on a hit.
-    pub fn get(&self, key: &str) -> Option<String> {
-        let mut inner = self.lock();
+    pub fn get(&self, key: &str) -> Option<Arc<str>> {
+        let mut inner = self.shard(key).lock();
         let seq = inner.next_seq;
         match inner.map.get_mut(key) {
             Some(entry) => {
                 let old = entry.seq;
                 entry.seq = seq;
-                let body = entry.body.clone();
+                let body = Arc::clone(&entry.body);
                 inner.next_seq += 1;
                 inner.order.remove(&old);
                 inner.order.insert(seq, key.to_string());
@@ -98,52 +156,70 @@ impl ResultCache {
         }
     }
 
-    /// Stores `body` under `key`, evicting LRU entries past the budget.
-    /// Entries larger than the whole budget are not stored at all.
-    pub fn put(&self, key: &str, body: &str) {
-        let cost = key.len() + body.len();
-        if cost > self.budget {
-            return;
+    /// Stores `body` under `key`, evicting LRU entries in the key's shard
+    /// past its budget. Returns whether the entry was stored: an entry whose
+    /// charge (key + body + [`ENTRY_OVERHEAD`]) exceeds the shard budget is
+    /// rejected up front, before any eviction — never after wiping the shard.
+    pub fn put(&self, key: &str, body: &Arc<str>) -> bool {
+        let shard = self.shard(key);
+        let cost = charge(key, body);
+        let mut inner = shard.lock();
+        if cost > shard.budget {
+            inner.rejected += 1;
+            return false;
         }
-        let mut inner = self.lock();
         if let Some(existing) = inner.map.remove(key) {
             inner.order.remove(&existing.seq);
-            inner.bytes -= key.len() + existing.body.len();
+            inner.bytes -= charge(key, &existing.body);
         }
         let seq = inner.next_seq;
         inner.next_seq += 1;
         inner.map.insert(
             key.to_string(),
             Entry {
-                body: body.to_string(),
+                body: Arc::clone(body),
                 seq,
             },
         );
         inner.order.insert(seq, key.to_string());
         inner.bytes += cost;
-        while inner.bytes > self.budget {
+        while inner.bytes > shard.budget {
             // `pop_first` keeps eviction panic-free: the loop simply stops
             // if the recency index ever runs dry.
             let Some((_, victim)) = inner.order.pop_first() else {
                 break;
             };
             if let Some(entry) = inner.map.remove(&victim) {
-                inner.bytes -= victim.len() + entry.body.len();
+                inner.bytes -= charge(&victim, &entry.body);
             }
             inner.evictions += 1;
         }
+        true
     }
 
-    /// Current counters.
+    /// Current counters, aggregated over all shards.
     pub fn stats(&self) -> CacheStats {
-        let inner = self.lock();
-        CacheStats {
-            hits: inner.hits,
-            misses: inner.misses,
-            evictions: inner.evictions,
-            entries: inner.map.len(),
-            bytes: inner.bytes,
+        let mut stats = CacheStats::default();
+        for shard in self.shards.iter() {
+            let inner = shard.lock();
+            stats.hits += inner.hits;
+            stats.misses += inner.misses;
+            stats.evictions += inner.evictions;
+            stats.rejected += inner.rejected;
+            stats.entries += inner.map.len();
+            stats.bytes += inner.bytes;
         }
+        stats
+    }
+}
+
+impl Shard {
+    /// The shard state. Poisoning is propagated deliberately: cache methods
+    /// never panic themselves, so a poisoned lock means a worker died
+    /// mid-mutation and the byte accounting can no longer be trusted.
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // memsense-lint: allow(no-panic-in-lib) — poisoning implies corrupted LRU accounting; failing loud is safer than serving from it
+        self.inner.lock().expect("cache shard lock poisoned")
     }
 }
 
@@ -151,53 +227,108 @@ impl ResultCache {
 mod tests {
     use super::*;
 
+    fn body(text: &str) -> Arc<str> {
+        Arc::from(text)
+    }
+
+    /// Budget that fits exactly `n` entries of `key_len + body_len` payload
+    /// in a single-shard cache.
+    fn fits(n: usize, key_len: usize, body_len: usize) -> usize {
+        n * (key_len + body_len + ENTRY_OVERHEAD)
+    }
+
     #[test]
     fn miss_then_hit_returns_identical_body() {
-        let cache = ResultCache::new(1024);
+        let cache = ResultCache::new(1024 * 1024);
         assert_eq!(cache.get("k"), None);
-        cache.put("k", "{\"v\":1}");
+        assert!(cache.put("k", &body("{\"v\":1}")));
         assert_eq!(cache.get("k").as_deref(), Some("{\"v\":1}"));
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
-        assert_eq!(stats.bytes, 1 + 7);
+        assert_eq!(stats.bytes, 1 + 7 + ENTRY_OVERHEAD);
     }
 
     #[test]
     fn byte_budget_evicts_least_recently_used() {
-        // Each entry costs key (1) + body (9) = 10 bytes; budget holds 3.
-        let cache = ResultCache::new(30);
+        // Single shard so the LRU order is global; budget holds 3 entries.
+        let cache = ResultCache::with_shards(fits(3, 1, 9), 1);
         for key in ["a", "b", "c"] {
-            cache.put(key, "123456789");
+            cache.put(key, &body("123456789"));
         }
         assert_eq!(cache.stats().entries, 3);
         // Touch "a" so "b" is now the LRU entry.
         assert!(cache.get("a").is_some());
-        cache.put("d", "123456789");
+        cache.put("d", &body("123456789"));
         assert_eq!(cache.get("b"), None, "LRU entry evicted");
         assert!(cache.get("a").is_some());
         assert!(cache.get("c").is_some());
         assert!(cache.get("d").is_some());
         let stats = cache.stats();
         assert_eq!(stats.evictions, 1);
-        assert!(stats.bytes <= 30);
+        assert!(stats.bytes <= fits(3, 1, 9));
     }
 
     #[test]
     fn reinsert_replaces_without_double_charging() {
-        let cache = ResultCache::new(100);
-        cache.put("k", "short");
-        cache.put("k", "a longer body than before");
+        let cache = ResultCache::with_shards(1024, 1);
+        cache.put("k", &body("short"));
+        cache.put("k", &body("a longer body than before"));
         assert_eq!(cache.stats().entries, 1);
-        assert_eq!(cache.stats().bytes, 1 + 25);
+        assert_eq!(cache.stats().bytes, 1 + 25 + ENTRY_OVERHEAD);
         assert_eq!(cache.get("k").as_deref(), Some("a longer body than before"));
     }
 
     #[test]
+    fn accounting_charges_key_body_and_entry_overhead() {
+        let cache = ResultCache::with_shards(1024 * 1024, 1);
+        cache.put("key-one", &body("0123456789"));
+        cache.put("key-two!", &body("0123"));
+        let expected = (7 + 10 + ENTRY_OVERHEAD) + (8 + 4 + ENTRY_OVERHEAD);
+        assert_eq!(cache.stats().bytes, expected);
+        // An empty body still costs its key + overhead, never zero.
+        cache.put("k", &body(""));
+        assert_eq!(
+            cache.stats().bytes,
+            expected + 1 + ENTRY_OVERHEAD,
+            "metadata overhead must be charged even for empty bodies"
+        );
+    }
+
+    #[test]
     fn oversized_entries_are_not_cached() {
-        let cache = ResultCache::new(10);
-        cache.put("key", &"x".repeat(100));
+        let cache = ResultCache::with_shards(10, 1);
+        assert!(!cache.put("key", &body(&"x".repeat(100))));
         assert_eq!(cache.stats().entries, 0);
         assert_eq!(cache.get("key"), None);
+        assert_eq!(cache.stats().rejected, 1);
+    }
+
+    #[test]
+    fn oversized_insert_is_rejected_before_evicting_anything() {
+        // Regression pin: an insert that can never fit must be refused up
+        // front. The buggy order of operations (evict first, check later —
+        // or no check at all) empties the whole shard before failing.
+        let cache = ResultCache::with_shards(fits(3, 1, 9), 1);
+        for key in ["a", "b", "c"] {
+            cache.put(key, &body("123456789"));
+        }
+        let before = cache.stats();
+        assert_eq!(before.entries, 3);
+
+        let huge = "x".repeat(fits(3, 1, 9) + 1);
+        assert!(!cache.put("z", &body(&huge)), "oversized insert must fail");
+
+        let after = cache.stats();
+        assert_eq!(after.entries, 3, "resident entries must survive");
+        assert_eq!(
+            after.evictions, 0,
+            "nothing may be evicted for a doomed insert"
+        );
+        assert_eq!(after.rejected, 1);
+        assert_eq!(after.bytes, before.bytes);
+        for key in ["a", "b", "c"] {
+            assert!(cache.get(key).is_some(), "entry {key:?} must survive");
+        }
     }
 
     #[test]
@@ -206,13 +337,13 @@ mod tests {
         // BTreeMap recency index, never from HashMap iteration, so the same
         // operation sequence always evicts the same keys.
         let run = || {
-            let cache = ResultCache::new(60);
+            let cache = ResultCache::with_shards(fits(6, 1, 9), 1);
             for key in ["a", "b", "c", "d", "e", "f"] {
-                cache.put(key, "123456789");
+                cache.put(key, &body("123456789"));
             }
             let _ = cache.get("b");
-            cache.put("g", "123456789");
-            cache.put("h", "123456789");
+            cache.put("g", &body("123456789"));
+            cache.put("h", &body("123456789"));
             let survivors: Vec<&str> = ["a", "b", "c", "d", "e", "f", "g", "h"]
                 .into_iter()
                 .filter(|k| cache.get(k).is_some())
@@ -229,8 +360,54 @@ mod tests {
     }
 
     #[test]
+    fn sharded_cache_stores_and_aggregates_across_shards() {
+        let cache = ResultCache::new(DEFAULT_BUDGET_BYTES);
+        for i in 0..200 {
+            let key = format!("key-{i}");
+            assert!(cache.put(&key, &body(&format!("body-{i}"))));
+        }
+        for i in 0..200 {
+            let key = format!("key-{i}");
+            assert_eq!(
+                cache.get(&key).as_deref(),
+                Some(format!("body-{i}").as_str())
+            );
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 200);
+        assert_eq!(stats.hits, 200);
+        assert_eq!(stats.misses, 0);
+    }
+
+    #[test]
+    fn shard_overflow_evicts_within_budget() {
+        // Tiny per-shard budgets: hammering many keys must keep total bytes
+        // within the whole budget and evict rather than grow unboundedly.
+        let total = fits(32, 8, 9);
+        let cache = ResultCache::with_shards(total, DEFAULT_SHARDS);
+        for i in 0..500 {
+            cache.put(&format!("key-{i:04}"), &body("123456789"));
+        }
+        let stats = cache.stats();
+        assert!(stats.bytes <= total, "{} > {total}", stats.bytes);
+        assert!(stats.evictions > 0, "overflow must evict");
+    }
+
+    #[test]
+    fn shard_placement_is_deterministic() {
+        // FNV-1a is a fixed function of the key bytes: the same insert
+        // sequence lands on the same shards (and therefore evicts the same
+        // victims) on every run.
+        let place = |key: &str| fnv1a(key) % DEFAULT_SHARDS as u64;
+        for key in ["a", "zebra", "POST /v1/solve#{}", ""] {
+            assert_eq!(place(key), place(key));
+        }
+        assert_eq!(fnv1a(""), 0xcbf2_9ce4_8422_2325);
+    }
+
+    #[test]
     fn concurrent_access_is_safe() {
-        let cache = std::sync::Arc::new(ResultCache::new(10_000));
+        let cache = std::sync::Arc::new(ResultCache::new(1024 * 1024));
         let mut handles = Vec::new();
         for t in 0..4 {
             let cache = cache.clone();
@@ -238,7 +415,7 @@ mod tests {
                 for i in 0..100 {
                     let key = format!("k{}", (t * 31 + i) % 16);
                     if cache.get(&key).is_none() {
-                        cache.put(&key, &format!("body-{key}"));
+                        cache.put(&key, &Arc::from(format!("body-{key}").as_str()));
                     }
                 }
             }));

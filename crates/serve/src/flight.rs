@@ -1,0 +1,143 @@
+//! Single-flight coalescing: N concurrent identical requests, one solve.
+//!
+//! Keyed on the same canonical request key as the result cache
+//! (`"{method} {path}#{canonical body}"`), so any two requests the cache
+//! would consider identical are also coalesced while in flight. The first
+//! admission for a key becomes the **lead** and is the only one dispatched
+//! to the worker pool; later admissions for the same key **join** the flight
+//! and simply wait. When the computation completes, [`SingleFlight::complete`]
+//! returns every waiter (lead first, then joiners in arrival order) so the
+//! reactor can fan the one response out to all of them.
+//!
+//! This table is owned and touched exclusively by the reactor thread, which
+//! serializes request admission — that is what makes the "exactly one cache
+//! miss for N concurrent identical requests" guarantee airtight: between the
+//! lead's cache miss and its completion, every identical request is observed
+//! by the same thread and joins the flight instead of re-missing. No lock is
+//! needed, and a `BTreeMap` keeps the bookkeeping deterministic.
+
+use std::collections::BTreeMap;
+
+/// How an admission was classified.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// First in: the caller must dispatch the computation.
+    Lead,
+    /// An identical request is already in flight: wait for its fan-out.
+    Joined,
+}
+
+/// Point-in-time coalescing counters, for `/metrics`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FlightSnapshot {
+    /// Distinct keys currently being computed.
+    pub in_flight: usize,
+    /// Total admissions that joined an existing flight instead of computing.
+    pub coalesced: u64,
+}
+
+/// The in-flight table: canonical key → waiting connection tokens.
+#[derive(Debug, Default)]
+pub struct SingleFlight {
+    inflight: BTreeMap<String, Vec<u64>>,
+    coalesced: u64,
+}
+
+impl SingleFlight {
+    /// An empty table.
+    pub fn new() -> SingleFlight {
+        SingleFlight::default()
+    }
+
+    /// Admits connection `token` for `key`: [`Admission::Lead`] when no
+    /// identical request is in flight (caller dispatches the work),
+    /// [`Admission::Joined`] otherwise.
+    pub fn admit(&mut self, key: &str, token: u64) -> Admission {
+        match self.inflight.get_mut(key) {
+            Some(waiters) => {
+                waiters.push(token);
+                self.coalesced += 1;
+                Admission::Joined
+            }
+            None => {
+                self.inflight.insert(key.to_string(), vec![token]);
+                Admission::Lead
+            }
+        }
+    }
+
+    /// Ends the flight for `key`, returning every waiting token (lead first,
+    /// joiners in arrival order). Empty when the key was never admitted.
+    pub fn complete(&mut self, key: &str) -> Vec<u64> {
+        self.inflight.remove(key).unwrap_or_default()
+    }
+
+    /// Whether `key` is currently being computed. Callers check this
+    /// *before* consulting the result cache: joining an existing flight must
+    /// not record a spurious cache miss, or "N concurrent identical requests
+    /// miss exactly once" would degrade to "miss up to N times".
+    pub fn is_inflight(&self, key: &str) -> bool {
+        self.inflight.contains_key(key)
+    }
+
+    /// Counters for `/metrics`.
+    pub fn snapshot(&self) -> FlightSnapshot {
+        FlightSnapshot {
+            in_flight: self.inflight.len(),
+            coalesced: self.coalesced,
+        }
+    }
+
+    /// Whether any computation is still in flight (used by shutdown
+    /// draining).
+    pub fn is_empty(&self) -> bool {
+        self.inflight.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_admission_leads_and_later_ones_join() {
+        let mut flight = SingleFlight::new();
+        assert!(!flight.is_inflight("k"));
+        assert_eq!(flight.admit("k", 10), Admission::Lead);
+        assert!(flight.is_inflight("k"));
+        assert_eq!(flight.admit("k", 11), Admission::Joined);
+        assert_eq!(flight.admit("k", 12), Admission::Joined);
+        let snap = flight.snapshot();
+        assert_eq!(snap.in_flight, 1);
+        assert_eq!(snap.coalesced, 2);
+        assert_eq!(flight.complete("k"), vec![10, 11, 12]);
+        assert!(flight.is_empty());
+        // Counters survive completion; the flight itself is gone.
+        assert_eq!(flight.snapshot().coalesced, 2);
+        assert_eq!(flight.complete("k"), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn distinct_keys_fly_independently() {
+        let mut flight = SingleFlight::new();
+        assert_eq!(flight.admit("a", 1), Admission::Lead);
+        assert_eq!(flight.admit("b", 2), Admission::Lead);
+        assert_eq!(flight.admit("a", 3), Admission::Joined);
+        assert_eq!(flight.snapshot().in_flight, 2);
+        assert_eq!(flight.complete("a"), vec![1, 3]);
+        assert_eq!(flight.snapshot().in_flight, 1);
+        assert_eq!(flight.complete("b"), vec![2]);
+        assert!(flight.is_empty());
+    }
+
+    #[test]
+    fn same_key_can_fly_again_after_completion() {
+        let mut flight = SingleFlight::new();
+        assert_eq!(flight.admit("k", 1), Admission::Lead);
+        flight.complete("k");
+        // A fresh flight for the same key leads again (e.g. the first
+        // result was an error and never entered the cache).
+        assert_eq!(flight.admit("k", 2), Admission::Lead);
+        assert_eq!(flight.complete("k"), vec![2]);
+    }
+}

@@ -4,7 +4,19 @@
 //! `Content-Length` bodies, keep-alive, and a handful of response status
 //! codes — with hard limits on header and body size so untrusted input
 //! cannot exhaust memory. No chunked transfer encoding (requests using it
-//! are rejected with 411/413-class errors).
+//! are rejected with 411/413-class errors), and requests carrying duplicate
+//! or conflicting `Content-Length` headers are rejected with 400
+//! (request-smuggling hygiene).
+//!
+//! Two front ends share one head parser:
+//!
+//! * [`read_request`] — blocking, over any [`BufRead`] (the bench client and
+//!   tests).
+//! * [`parse_request`] — incremental, over an in-memory byte buffer: returns
+//!   [`Parse::Partial`] until a full request (head + declared body) has
+//!   accumulated. This is what the nonblocking reactor drives; it never
+//!   blocks and reports how many bytes each complete request consumed so
+//!   pipelined bytes stay in the buffer.
 
 use std::io::{self, BufRead, Write};
 
@@ -63,6 +75,145 @@ impl From<io::Error> for ReadError {
     }
 }
 
+/// Whether an I/O error is the "no data yet" outcome of reading a socket —
+/// either a nonblocking read with nothing buffered or an expired
+/// `set_read_timeout`. Platforms disagree on the kind: Unix surfaces both as
+/// `WouldBlock` (`EAGAIN`), while Windows reports timeouts as `TimedOut`.
+/// Treating only one kind as idle turns routine keep-alive teardown into a
+/// hard error on the other platform family.
+pub fn is_idle_read_error(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// Parses the header block text (request line + header lines, blank line
+/// stripped), returning the request (empty body) and the declared body
+/// length.
+fn parse_head(text: &str) -> Result<(Request, usize), (u16, &'static str)> {
+    let mut lines = text.split("\r\n").flat_map(|l| l.split('\n'));
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_ascii_whitespace();
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v)) => (m, p, v),
+        _ => return Err((400, "malformed request line")),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err((505, "unsupported HTTP version"));
+    }
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err((400, "malformed header"));
+        };
+        headers.push((name.trim().to_lowercase(), value.trim().to_string()));
+    }
+
+    let request = Request {
+        method: method.to_uppercase(),
+        path: path.to_string(),
+        headers,
+        body: Vec::new(),
+    };
+
+    if request.header("transfer-encoding").is_some() {
+        return Err((411, "chunked bodies are not supported"));
+    }
+    // Request-smuggling hygiene: a request must declare its body length at
+    // most once. Two frames disagreeing about where the body ends is exactly
+    // the ambiguity smuggling attacks exploit, so duplicates are rejected
+    // even when the values agree.
+    let mut lengths = request
+        .headers
+        .iter()
+        .filter(|(k, _)| k == "content-length")
+        .map(|(_, v)| v.as_str());
+    let length = match lengths.next() {
+        None => 0,
+        Some(v) => {
+            if lengths.next().is_some() {
+                return Err((400, "duplicate Content-Length"));
+            }
+            v.parse::<usize>()
+                .map_err(|_| (400, "invalid Content-Length"))?
+        }
+    };
+    if length > MAX_BODY_BYTES {
+        return Err((413, "request body too large"));
+    }
+    Ok((request, length))
+}
+
+/// Outcome of [`parse_request`] over an accumulating buffer.
+#[derive(Debug)]
+pub enum Parse {
+    /// More bytes are needed before a full request is available.
+    Partial,
+    /// One complete request, and how many buffer bytes it consumed
+    /// (pipelined followers start at that offset).
+    Complete(Request, usize),
+    /// The buffered bytes are malformed or over-limit; send the enclosed
+    /// status/message and close.
+    Bad(u16, &'static str),
+}
+
+/// Incrementally parses the front of `buf` (bytes read so far from one
+/// connection) into at most one request. Never blocks; call again with more
+/// bytes after [`Parse::Partial`].
+pub fn parse_request(buf: &[u8]) -> Parse {
+    // Tolerate leading blank lines (RFC 9112 §2.2).
+    let start = buf
+        .iter()
+        .position(|&b| b != b'\r' && b != b'\n')
+        .unwrap_or(buf.len());
+    let buf = &buf[start..];
+    let Some(head_len) = find_head_end(buf) else {
+        if buf.len() > MAX_HEAD_BYTES {
+            return Parse::Bad(431, "request head too large");
+        }
+        return Parse::Partial;
+    };
+    if head_len > MAX_HEAD_BYTES {
+        return Parse::Bad(431, "request head too large");
+    }
+    let Ok(text) = std::str::from_utf8(&buf[..head_len]) else {
+        return Parse::Bad(400, "non-UTF-8 head");
+    };
+    match parse_head(text) {
+        Err((status, message)) => Parse::Bad(status, message),
+        Ok((request, length)) => {
+            if buf.len() < head_len + length {
+                return Parse::Partial;
+            }
+            let body = buf[head_len..head_len + length].to_vec();
+            Parse::Complete(Request { body, ..request }, start + head_len + length)
+        }
+    }
+}
+
+/// Offset one past the blank line ending the header block (`\n\n` or
+/// `\n\r\n`), if present.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    let mut i = 0;
+    while i < buf.len() {
+        if buf[i] != b'\n' {
+            i += 1;
+            continue;
+        }
+        match buf.get(i + 1) {
+            Some(b'\n') => return Some(i + 2),
+            Some(b'\r') if buf.get(i + 2) == Some(&b'\n') => return Some(i + 3),
+            _ => i += 1,
+        }
+    }
+    None
+}
+
 /// Reads one request from a buffered stream.
 ///
 /// # Errors
@@ -97,47 +248,8 @@ pub fn read_request(stream: &mut impl BufRead) -> Result<Request, ReadError> {
     }
 
     let text = std::str::from_utf8(&head).map_err(|_| ReadError::Bad(400, "non-UTF-8 head"))?;
-    let mut lines = text.split("\r\n").flat_map(|l| l.split('\n'));
-    let request_line = lines.next().unwrap_or("");
-    let mut parts = request_line.split_ascii_whitespace();
-    let (method, path, version) = match (parts.next(), parts.next(), parts.next()) {
-        (Some(m), Some(p), Some(v)) => (m, p, v),
-        _ => return Err(ReadError::Bad(400, "malformed request line")),
-    };
-    if !version.starts_with("HTTP/1.") {
-        return Err(ReadError::Bad(505, "unsupported HTTP version"));
-    }
-
-    let mut headers = Vec::new();
-    for line in lines {
-        if line.is_empty() {
-            continue;
-        }
-        let Some((name, value)) = line.split_once(':') else {
-            return Err(ReadError::Bad(400, "malformed header"));
-        };
-        headers.push((name.trim().to_lowercase(), value.trim().to_string()));
-    }
-
-    let request = Request {
-        method: method.to_uppercase(),
-        path: path.to_string(),
-        headers,
-        body: Vec::new(),
-    };
-
-    if request.header("transfer-encoding").is_some() {
-        return Err(ReadError::Bad(411, "chunked bodies are not supported"));
-    }
-    let length = match request.header("content-length") {
-        None => 0,
-        Some(v) => v
-            .parse::<usize>()
-            .map_err(|_| ReadError::Bad(400, "invalid Content-Length"))?,
-    };
-    if length > MAX_BODY_BYTES {
-        return Err(ReadError::Bad(413, "request body too large"));
-    }
+    let (request, length) =
+        parse_head(text).map_err(|(status, msg)| ReadError::Bad(status, msg))?;
     let mut body = vec![0u8; length];
     if length > 0 {
         io::Read::read_exact(stream, &mut body)
@@ -209,6 +321,18 @@ pub fn reason(status: u16) -> &'static str {
     }
 }
 
+/// Renders the response head (status line + headers + blank line) for a
+/// JSON body of `body_len` bytes.
+pub fn response_head(status: u16, body_len: usize, keep_alive: bool) -> String {
+    format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        status,
+        reason(status),
+        body_len,
+        if keep_alive { "keep-alive" } else { "close" },
+    )
+}
+
 /// Writes `response`, setting `Connection: close` unless `keep_alive`.
 ///
 /// # Errors
@@ -219,13 +343,7 @@ pub fn write_response(
     response: &Response,
     keep_alive: bool,
 ) -> io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
-        response.status,
-        reason(response.status),
-        response.body.len(),
-        if keep_alive { "keep-alive" } else { "close" },
-    );
+    let head = response_head(response.status, response.body.len(), keep_alive);
     stream.write_all(head.as_bytes())?;
     stream.write_all(response.body.as_bytes())?;
     stream.flush()
@@ -400,5 +518,138 @@ mod tests {
     fn tolerates_leading_blank_lines() {
         let r = parse("\r\n\r\nGET / HTTP/1.1\r\n\r\n").unwrap();
         assert_eq!(r.method, "GET");
+    }
+
+    // --- duplicate Content-Length (request-smuggling hygiene) ---
+    //
+    // Parse twins: the bad variants differ from the good one only in the
+    // duplicated/conflicting header, so a regression reintroducing
+    // first-header-wins parsing flips exactly these assertions.
+
+    #[test]
+    fn single_content_length_is_accepted_twin() {
+        let r = parse("POST / HTTP/1.1\r\nContent-Length: 2\r\n\r\nok").unwrap();
+        assert_eq!(r.body, b"ok");
+    }
+
+    #[test]
+    fn duplicate_content_length_is_rejected() {
+        // Conflicting values: classic smuggling shape.
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 4\r\n\r\nokok"),
+            Err(ReadError::Bad(400, "duplicate Content-Length"))
+        ));
+        // Agreeing values are rejected too: the request is still ambiguous
+        // to any intermediary that picks a different one.
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 2\r\n\r\nok"),
+            Err(ReadError::Bad(400, "duplicate Content-Length"))
+        ));
+        // Comma-folded duplicate in a single field value is not a number.
+        assert!(matches!(
+            parse("POST / HTTP/1.1\r\nContent-Length: 2, 2\r\n\r\nok"),
+            Err(ReadError::Bad(400, "invalid Content-Length"))
+        ));
+    }
+
+    #[test]
+    fn incremental_parser_rejects_duplicate_content_length() {
+        let raw = b"POST / HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 4\r\n\r\nokok";
+        assert!(matches!(
+            parse_request(raw),
+            Parse::Bad(400, "duplicate Content-Length")
+        ));
+    }
+
+    // --- incremental parser ---
+
+    #[test]
+    fn incremental_parser_waits_for_full_head_and_body() {
+        let full = b"POST /v1/solve HTTP/1.1\r\nContent-Length: 7\r\n\r\n{\"a\":1}";
+        // Every strict prefix is Partial; the full buffer parses.
+        for cut in 0..full.len() {
+            assert!(
+                matches!(parse_request(&full[..cut]), Parse::Partial),
+                "prefix of {cut} bytes must be partial"
+            );
+        }
+        let Parse::Complete(request, consumed) = parse_request(full) else {
+            panic!("full request must parse");
+        };
+        assert_eq!(request.method, "POST");
+        assert_eq!(request.body, b"{\"a\":1}");
+        assert_eq!(consumed, full.len());
+    }
+
+    #[test]
+    fn incremental_parser_reports_consumed_bytes_for_pipelining() {
+        let mut buf = b"GET /healthz HTTP/1.1\r\n\r\n".to_vec();
+        buf.extend_from_slice(b"GET /metrics HTTP/1.1\r\n\r\n");
+        let Parse::Complete(first, consumed) = parse_request(&buf) else {
+            panic!("first pipelined request must parse");
+        };
+        assert_eq!(first.path, "/healthz");
+        let Parse::Complete(second, consumed2) = parse_request(&buf[consumed..]) else {
+            panic!("second pipelined request must parse");
+        };
+        assert_eq!(second.path, "/metrics");
+        assert_eq!(consumed + consumed2, buf.len());
+    }
+
+    #[test]
+    fn incremental_parser_tolerates_leading_blanks_and_bare_lf() {
+        let Parse::Complete(r, consumed) = parse_request(b"\r\n\nGET / HTTP/1.1\n\n") else {
+            panic!("must parse");
+        };
+        assert_eq!(r.method, "GET");
+        assert_eq!(consumed, b"\r\n\nGET / HTTP/1.1\n\n".len());
+    }
+
+    #[test]
+    fn incremental_parser_enforces_limits() {
+        let huge_head = format!("GET / HTTP/1.1\r\nX-Pad: {}", "y".repeat(MAX_HEAD_BYTES));
+        assert!(matches!(
+            parse_request(huge_head.as_bytes()),
+            Parse::Bad(431, _)
+        ));
+        let huge_body = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert!(matches!(
+            parse_request(huge_body.as_bytes()),
+            Parse::Bad(413, _)
+        ));
+        assert!(matches!(parse_request(b"NOPE\r\n\r\n"), Parse::Bad(400, _)));
+    }
+
+    // --- idle-read classification (keep-alive teardown portability) ---
+
+    #[test]
+    fn idle_read_errors_cover_both_platform_kinds() {
+        // `set_read_timeout` expiry: EAGAIN/`WouldBlock` on Unix,
+        // `TimedOut` on Windows. Both must be classified as idle, or
+        // keep-alive teardown turns into a hard error on one family.
+        let wouldblock = io::Error::new(io::ErrorKind::WouldBlock, "EAGAIN");
+        let timedout = io::Error::new(io::ErrorKind::TimedOut, "read timeout");
+        assert!(is_idle_read_error(&wouldblock));
+        assert!(is_idle_read_error(&timedout));
+        // Real transport failures stay fatal.
+        let reset = io::Error::new(io::ErrorKind::ConnectionReset, "RST");
+        assert!(!is_idle_read_error(&reset));
+        let eof = io::Error::new(io::ErrorKind::UnexpectedEof, "closed");
+        assert!(!is_idle_read_error(&eof));
+    }
+
+    #[test]
+    fn response_head_matches_write_response() {
+        let mut out = Vec::new();
+        let response = Response::ok("{\"x\":1}".into());
+        write_response(&mut out, &response, true).unwrap();
+        let head = response_head(200, response.body.len(), true);
+        assert_eq!(
+            String::from_utf8(out).unwrap(),
+            format!("{head}{}", response.body)
+        );
     }
 }

@@ -18,36 +18,48 @@
 //! | `GET /metrics`            | request counts, latency percentiles, cache     |
 //! | `POST /v1/admin/shutdown` | clean shutdown                                 |
 //!
-//! Architecture (all `std`, no external crates):
+//! Architecture (all `std`; the only non-`std` code is the raw-syscall
+//! `memsense-epoll` workspace crate):
 //!
-//! * [`http`] — a minimal, limit-enforcing HTTP/1.1 request/response codec
-//!   over `TcpStream` with keep-alive.
-//! * [`server`] — `TcpListener` accept loop spawning one worker thread per
-//!   connection (bounded by a connection cap); connection threads only do
-//!   I/O, while model fan-out inside a request (sweeps over many workloads,
-//!   capacity grids) goes through the worker pool of
-//!   `memsense_experiments::executor`, so `MEMSENSE_THREADS` bounds total
+//! * [`http`] — a minimal, limit-enforcing HTTP/1.1 codec with two front
+//!   ends over one head parser: a blocking reader (bench client, tests) and
+//!   an incremental parser the reactor drives over accumulating buffers
+//!   (partial heads/bodies simply wait for more bytes).
+//! * [`server`] — a nonblocking epoll reactor: one thread owns every
+//!   connection as an edge-triggered state machine, and model solves run on
+//!   a small worker pool so the reactor never blocks. Model fan-out inside
+//!   a request (sweeps over many workloads, capacity grids) still goes
+//!   through `memsense_experiments::executor`, so `MEMSENSE_THREADS` bounds
 //!   model parallelism process-wide no matter how many connections are in
 //!   flight.
+//! * [`flight`] — single-flight coalescing: N concurrent identical requests
+//!   trigger exactly one model solve (and exactly one cache miss); the
+//!   joiners share the lead's response behind an `Arc<str>`.
 //! * [`api`] — JSON request/response conversion over the model, via the
 //!   shared `memsense_experiments::json` module (escaping-correct, canonical
 //!   floats).
-//! * [`cache`] — a content-addressed in-memory result cache: canonicalized
-//!   request (method + path + key-sorted body) → response body, LRU with a
-//!   byte-budget; repeated sweep queries are served without re-solving and
-//!   return byte-identical bodies.
-//! * [`metrics`] — per-endpoint request counts and latency percentiles
-//!   (via `memsense-stats`), plus cache hit/miss/eviction counters.
+//! * [`cache`] — a sharded, content-addressed in-memory result cache:
+//!   canonicalized request (method + path + key-sorted body) → response
+//!   body behind `Arc<str>`, LRU per shard under a per-shard byte budget
+//!   (keys, bodies, and per-entry overhead all charged); repeated sweep
+//!   queries are served without re-solving and return byte-identical
+//!   bodies.
+//! * [`metrics`] — per-endpoint request counts and nearest-rank latency
+//!   percentiles (via `memsense-stats`), plus cache and single-flight
+//!   counters.
 //! * [`bench`] — a built-in load generator (`memsense-serve bench`) that
 //!   drives the server and reports throughput, latency percentiles, and the
-//!   cache-hit speedup, so the service layer is self-benchmarkable.
+//!   cache-hit speedup, so the service layer is self-benchmarkable. The
+//!   recorded-baseline twin lives in [`baseline`] (`BENCH_serve.json`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod api;
+pub mod baseline;
 pub mod bench;
 pub mod cache;
+pub mod flight;
 pub mod http;
 pub mod metrics;
 pub mod server;

@@ -2,17 +2,22 @@
 //!
 //! Each handled request records its endpoint label, status class, and
 //! service time. Latencies are kept in a bounded per-endpoint ring (newest
-//! samples win) and summarized with `memsense-stats` percentiles on demand,
-//! so `/metrics` costs are paid by the scraper, not the request path.
+//! samples win) and summarized with `memsense-stats` **nearest-rank**
+//! percentiles on demand, so `/metrics` costs are paid by the scraper, not
+//! the request path. Nearest-rank matters for small sample counts: a p99
+//! over fewer than 100 samples clamps to the maximum observed latency
+//! instead of interpolating to a value no request ever saw (or, in the
+//! classic off-by-one formulation, indexing past the sorted sample).
 
 use std::collections::BTreeMap;
 use std::sync::Mutex;
 use std::time::Duration;
 
 use memsense_experiments::json::Json;
-use memsense_stats::descriptive::{mean, percentile};
+use memsense_stats::descriptive::{mean, percentile_nearest_rank};
 
 use crate::cache::CacheStats;
+use crate::flight::FlightSnapshot;
 
 /// Per-endpoint latency samples retained for percentile estimates.
 const MAX_SAMPLES_PER_ENDPOINT: usize = 4096;
@@ -69,8 +74,9 @@ impl Metrics {
         endpoints.values().map(|s| s.requests).sum()
     }
 
-    /// Renders the registry (plus `cache` counters) as the `/metrics` body.
-    pub fn to_json(&self, cache: CacheStats) -> Json {
+    /// Renders the registry (plus `cache` and single-flight counters) as the
+    /// `/metrics` body.
+    pub fn to_json(&self, cache: CacheStats, flight: FlightSnapshot) -> Json {
         let endpoints = self.lock();
         let per_endpoint: Vec<Json> = endpoints
             .iter()
@@ -81,9 +87,10 @@ impl Metrics {
                     ("errors", Json::num(stats.errors as f64)),
                 ];
                 if !stats.samples.is_empty() {
-                    // memsense-lint: allow(no-panic-in-lib) — guarded by the is_empty check above; percentile/mean only fail on empty input
-                    let quantile =
-                        |p: f64| percentile(&stats.samples, p).expect("non-empty samples");
+                    let quantile = |p: f64| {
+                        // memsense-lint: allow(no-panic-in-lib) — guarded by the is_empty check above; percentile/mean only fail on empty input
+                        percentile_nearest_rank(&stats.samples, p).expect("non-empty samples")
+                    };
                     fields.push((
                         "latency_ms_mean",
                         // memsense-lint: allow(no-panic-in-lib) — same non-empty guard
@@ -108,8 +115,16 @@ impl Metrics {
                     ("hits", Json::num(cache.hits as f64)),
                     ("misses", Json::num(cache.misses as f64)),
                     ("evictions", Json::num(cache.evictions as f64)),
+                    ("rejected", Json::num(cache.rejected as f64)),
                     ("entries", Json::num(cache.entries as f64)),
                     ("bytes", Json::num(cache.bytes as f64)),
+                ]),
+            ),
+            (
+                "single_flight",
+                Json::obj(vec![
+                    ("in_flight", Json::num(flight.in_flight as f64)),
+                    ("coalesced", Json::num(flight.coalesced as f64)),
                 ]),
             ),
         ])
@@ -136,7 +151,7 @@ mod tests {
         metrics.record("/healthz", 200, Duration::from_micros(50));
         assert_eq!(metrics.total_requests(), 12);
 
-        let json = metrics.to_json(CacheStats::default());
+        let json = metrics.to_json(CacheStats::default(), FlightSnapshot::default());
         assert_eq!(json.get("requests_total").and_then(Json::as_u64), Some(12));
         let endpoints = json.get("endpoints").and_then(Json::as_arr).unwrap();
         assert_eq!(endpoints.len(), 2);
@@ -174,7 +189,9 @@ mod tests {
             for name in order {
                 metrics.record(name, 200, Duration::from_millis(2));
             }
-            metrics.to_json(CacheStats::default()).canonical()
+            metrics
+                .to_json(CacheStats::default(), FlightSnapshot::default())
+                .canonical()
         };
         let a = record_all(&["/v1/solve", "/healthz", "/v1/sweep/bandwidth"]);
         let b = record_all(&["/v1/sweep/bandwidth", "/v1/solve", "/healthz"]);
@@ -201,16 +218,46 @@ mod tests {
     #[test]
     fn cache_stats_are_embedded() {
         let metrics = Metrics::new();
-        let json = metrics.to_json(CacheStats {
-            hits: 3,
-            misses: 5,
-            evictions: 1,
-            entries: 2,
-            bytes: 1234,
-        });
+        let json = metrics.to_json(
+            CacheStats {
+                hits: 3,
+                misses: 5,
+                evictions: 1,
+                rejected: 7,
+                entries: 2,
+                bytes: 1234,
+            },
+            FlightSnapshot {
+                in_flight: 2,
+                coalesced: 9,
+            },
+        );
         let cache = json.get("cache").unwrap();
         assert_eq!(cache.get("hits").and_then(Json::as_u64), Some(3));
         assert_eq!(cache.get("misses").and_then(Json::as_u64), Some(5));
+        assert_eq!(cache.get("rejected").and_then(Json::as_u64), Some(7));
         assert_eq!(cache.get("bytes").and_then(Json::as_u64), Some(1234));
+        let flight = json.get("single_flight").unwrap();
+        assert_eq!(flight.get("in_flight").and_then(Json::as_u64), Some(2));
+        assert_eq!(flight.get("coalesced").and_then(Json::as_u64), Some(9));
+    }
+
+    #[test]
+    fn small_sample_p99_is_the_maximum_latency() {
+        // The small-n off-by-one regression: with fewer than 100 samples the
+        // p99 must clamp to the maximum observed latency, never interpolate
+        // below it or index past the sorted ring.
+        let metrics = Metrics::new();
+        for ms in [1u64, 2, 3] {
+            metrics.record("/v1/solve", 200, Duration::from_millis(ms));
+        }
+        let json = metrics.to_json(CacheStats::default(), FlightSnapshot::default());
+        let endpoints = json.get("endpoints").and_then(Json::as_arr).unwrap();
+        let solve = &endpoints[0];
+        let p99 = solve.get("latency_ms_p99").and_then(Json::as_f64).unwrap();
+        assert!(
+            (p99 - 3.0).abs() < 1e-9,
+            "p99 of [1,2,3] ms is 3 ms, got {p99}"
+        );
     }
 }

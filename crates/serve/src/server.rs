@@ -1,37 +1,80 @@
-//! The daemon: `TcpListener` accept loop, per-connection workers, routing,
-//! and the cache/metrics glue.
+//! The daemon: a nonblocking epoll reactor, a small worker pool for model
+//! solves, and the cache/metrics/single-flight glue.
 //!
-//! Each accepted connection gets its own worker thread speaking keep-alive
-//! HTTP/1.1 (with blocking std-only I/O, a *fixed* pool would let one idle
-//! keep-alive connection starve every queued connection), capped at
-//! [`ServerConfig::max_connections`] — excess connections are turned away
-//! with a 503. Connection threads do no model math themselves: model work
-//! *inside* a request (sweeping many workloads, capacity grids) is fanned
-//! through `memsense_experiments::executor`, so `MEMSENSE_THREADS` bounds
-//! model parallelism process-wide regardless of how many connections are
-//! open.
+//! One **reactor thread** owns every connection. It waits on an
+//! [`Epoll`] instance (via `memsense-epoll`, raw syscalls, no external
+//! crates) with the listener registered level-triggered and every accepted
+//! connection registered edge-triggered (`EPOLLIN | EPOLLOUT | EPOLLRDHUP |
+//! EPOLLET`). Each connection is a small state machine: bytes accumulate in
+//! a read buffer and are parsed incrementally with
+//! [`parse_request`](crate::http::parse_request) (partial heads and bodies
+//! simply wait for more bytes), responses accumulate in a write queue that
+//! is flushed as far as the socket allows. A blocked keep-alive connection
+//! therefore costs one map entry — not a parked thread, which is what the
+//! previous thread-per-connection design paid (and why it collapsed under
+//! hundreds of concurrent connections on small machines: the kernel spent
+//! its time context-switching stacks, not serving requests).
 //!
-//! Caching: successful `POST /v1/*` responses are stored in the
+//! Model endpoints (`POST /v1/*`) never run on the reactor thread. On a
+//! cache miss the request is handed to a fixed **worker pool** over a
+//! channel; workers push completions into a vector and ring an
+//! [`EventFd`] the reactor waits on. Fast endpoints (`/healthz`,
+//! `/metrics`, cache hits, 4xx/5xx) are answered inline.
+//!
+//! Because the reactor serializes request admission, it can coalesce
+//! duplicate work without locks: a [`SingleFlight`] table keyed by the same
+//! canonical request key as the result cache guarantees that N concurrent
+//! identical requests perform **exactly one** model solve (and exactly one
+//! cache miss) — the first admission leads, the rest join and share the
+//! lead's response behind an `Arc<str>`, byte-identical and copy-free.
+//!
+//! Caching: successful `POST /v1/*` responses are stored in the sharded,
 //! content-addressed [`ResultCache`](crate::cache::ResultCache) keyed by
 //! `"{method} {path}#{canonical body}"`. A hit skips the model entirely and
 //! returns the original body byte-for-byte.
 
-use std::io::BufReader;
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use memsense_epoll::{Epoll, EventFd, EPOLLET, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
 use memsense_experiments::json::Json;
 
 use crate::api::{self, error_body, ApiError, SweepKind};
 use crate::cache::{ResultCache, DEFAULT_BUDGET_BYTES};
-use crate::http::{read_request, write_response, ReadError, Request, Response};
+use crate::flight::{Admission, SingleFlight};
+use crate::http::{
+    is_idle_read_error, parse_request, response_head, write_response, Parse, Request, Response,
+};
 use crate::metrics::Metrics;
+
+/// Accept backlog requested at startup (kernel-capped by
+/// `net.core.somaxconn`); sized for synchronized herds of benchmark clients.
+const LISTEN_BACKLOG: u32 = 1024;
+
+/// Entries kept in the raw-request → canonical-key memo before it is
+/// wholesale cleared. Steady-state traffic uses a handful of distinct
+/// requests; the cap only bounds adversarial unique-body streams.
+const KEY_MEMO_CAP: usize = 64;
 
 /// How long a keep-alive connection may sit idle before being dropped.
 const IDLE_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// How long shutdown waits for queued response bytes to drain before the
+/// reactor exits anyway.
+const SHUTDOWN_GRACE: Duration = Duration::from_secs(5);
+
+/// epoll token of the listener (level-triggered).
+const TOKEN_LISTENER: u64 = 0;
+/// epoll token of the cross-thread wakeup eventfd (level-triggered).
+const TOKEN_WAKE: u64 = 1;
+/// First token handed to an accepted connection.
+const TOKEN_FIRST_CONN: u64 = 2;
 
 /// Server construction parameters.
 #[derive(Debug, Clone)]
@@ -42,6 +85,12 @@ pub struct ServerConfig {
     pub max_connections: usize,
     /// Result-cache byte budget.
     pub cache_budget: usize,
+    /// Model-solve worker threads. `0` = auto: the machine's available
+    /// parallelism clamped to `2..=8` (the reactor needs at least one worker
+    /// making progress while another is mid-solve, and past a handful the
+    /// sweep fan-out inside `memsense_experiments::executor` is the real
+    /// parallelism knob).
+    pub workers: usize,
 }
 
 impl Default for ServerConfig {
@@ -50,17 +99,17 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             max_connections: 0,
             cache_budget: DEFAULT_BUDGET_BYTES,
+            workers: 0,
         }
     }
 }
 
-/// Shared state visible to every connection worker.
+/// Shared state visible to the reactor, the workers, and the [`Server`]
+/// handle.
 struct State {
-    addr: SocketAddr,
     cache: ResultCache,
     metrics: Metrics,
     shutdown: AtomicBool,
-    active_connections: AtomicUsize,
 }
 
 /// A running daemon; dropping the handle does not stop it — call
@@ -68,70 +117,85 @@ struct State {
 pub struct Server {
     addr: SocketAddr,
     state: Arc<State>,
-    accept_thread: Option<JoinHandle<()>>,
+    wake: Arc<EventFd>,
+    reactor: Option<JoinHandle<()>>,
 }
 
 impl Server {
-    /// Binds and starts serving in background threads.
+    /// Binds, spawns the reactor thread and the worker pool, and returns.
     ///
     /// # Errors
     ///
-    /// I/O errors from binding the listener.
+    /// I/O errors from binding the listener or creating the epoll/eventfd
+    /// kernel objects (including `Unsupported` on non-Linux targets).
     pub fn start(config: &ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
+        // std hardcodes a listen backlog of 128, which a synchronized herd of
+        // a few hundred connects overflows before the reactor is scheduled
+        // (the victims see RST on their first write). Widen it; best-effort
+        // because the stub syscall layer reports Unsupported off Linux and
+        // the bound-but-short backlog still works for small fleets.
+        let _ = memsense_epoll::widen_listen_backlog(&listener, LISTEN_BACKLOG);
+        listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let max_connections = if config.max_connections == 0 {
             256
         } else {
             config.max_connections
         };
+        let workers = if config.workers == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(2)
+                .clamp(2, 8)
+        } else {
+            config.workers
+        };
+
         let state = Arc::new(State {
-            addr,
             cache: ResultCache::new(config.cache_budget),
             metrics: Metrics::new(),
             shutdown: AtomicBool::new(false),
-            active_connections: AtomicUsize::new(0),
         });
+        let wake = Arc::new(EventFd::new()?);
+        let epoll = Epoll::new(512)?;
+        epoll.add(&listener, TOKEN_LISTENER, EPOLLIN)?;
+        epoll.add(wake.as_ref(), TOKEN_WAKE, EPOLLIN)?;
 
-        let accept_state = Arc::clone(&state);
-        let accept_thread = std::thread::spawn(move || {
-            for stream in listener.incoming() {
-                if accept_state.shutdown.load(Ordering::SeqCst) {
-                    break;
-                }
-                let Ok(mut stream) = stream else { continue };
-                if accept_state
-                    .active_connections
-                    .fetch_add(1, Ordering::SeqCst)
-                    >= max_connections
-                {
-                    accept_state
-                        .active_connections
-                        .fetch_sub(1, Ordering::SeqCst);
-                    let response = Response {
-                        status: 503,
-                        body: error_body("connection limit reached"),
-                    };
-                    let _ = write_response(&mut stream, &response, false);
-                    continue;
-                }
-                let state = Arc::clone(&accept_state);
-                // One thread per connection: a blocked keep-alive read only
-                // ever parks its own thread, never another connection. The
-                // threads are detached; they exit when their peer closes (or
-                // times out) and the process does not wait on them at
-                // shutdown.
-                std::thread::spawn(move || {
-                    handle_connection(stream, &state);
-                    state.active_connections.fetch_sub(1, Ordering::SeqCst);
-                });
-            }
-        });
+        let (jobs, job_rx) = std::sync::mpsc::channel::<Job>();
+        let job_rx = Arc::new(Mutex::new(job_rx));
+        let completions: Arc<Mutex<Vec<Completion>>> = Arc::new(Mutex::new(Vec::new()));
+        let mut worker_handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let job_rx = Arc::clone(&job_rx);
+            let completions = Arc::clone(&completions);
+            let wake = Arc::clone(&wake);
+            worker_handles.push(std::thread::spawn(move || {
+                worker_loop(&job_rx, &completions, &wake);
+            }));
+        }
+
+        let reactor = Reactor {
+            epoll,
+            wake: Arc::clone(&wake),
+            listener: Some(listener),
+            conns: BTreeMap::new(),
+            next_token: TOKEN_FIRST_CONN,
+            max_connections,
+            flight: SingleFlight::new(),
+            key_memo: BTreeMap::new(),
+            jobs,
+            completions,
+            workers: worker_handles,
+            state: Arc::clone(&state),
+        };
+        let handle = std::thread::spawn(move || reactor.run());
 
         Ok(Server {
             addr,
             state,
-            accept_thread: Some(accept_thread),
+            wake,
+            reactor: Some(handle),
         })
     }
 
@@ -140,17 +204,17 @@ impl Server {
         self.addr
     }
 
-    /// Requests shutdown and unblocks the accept loop.
+    /// Requests shutdown and wakes the reactor so it notices immediately.
     pub fn stop(&self) {
         self.state.shutdown.store(true, Ordering::SeqCst);
-        // `accept` only returns on a connection; poke it so it re-checks.
-        let _ = TcpStream::connect(self.addr);
+        self.wake.notify();
     }
 
-    /// Waits for the accept loop to finish. Connection threads are detached
-    /// and wind down on their own once their peers hang up.
+    /// Waits for the reactor thread to finish. The reactor drains in-flight
+    /// model work and flushes queued response bytes (bounded by a grace
+    /// period) before exiting, and joins its worker pool on the way out.
     pub fn join(&mut self) {
-        if let Some(handle) = self.accept_thread.take() {
+        if let Some(handle) = self.reactor.take() {
             let _ = handle.join();
         }
     }
@@ -162,97 +226,589 @@ impl Server {
     }
 }
 
-/// Serves one connection: keep-alive request loop with routing + telemetry.
-fn handle_connection(stream: TcpStream, state: &State) {
-    let _ = stream.set_read_timeout(Some(IDLE_TIMEOUT));
-    // Responses are written as head + body; without nodelay, Nagle plus
-    // delayed ACKs can add ~40 ms to every small response.
-    let _ = stream.set_nodelay(true);
-    let Ok(write_half) = stream.try_clone() else {
-        return;
-    };
-    let mut write_half = write_half;
-    let mut reader = BufReader::new(stream);
-    loop {
-        let request = match read_request(&mut reader) {
-            Ok(request) => request,
-            Err(ReadError::Eof) | Err(ReadError::Io(_)) => return,
-            Err(ReadError::Bad(status, message)) => {
-                let response = Response {
-                    status,
-                    body: error_body(message),
-                };
-                let _ = write_response(&mut write_half, &response, false);
-                return;
-            }
-        };
-        let keep_alive = !request.wants_close() && !state.shutdown.load(Ordering::SeqCst);
-        let started = Instant::now();
-        let (endpoint, response) = route(state, &request);
-        state
-            .metrics
-            .record(endpoint, response.status, started.elapsed());
-        if write_response(&mut write_half, &response, keep_alive).is_err() || !keep_alive {
-            return;
+/// A model computation handed to the worker pool.
+struct Job {
+    key: String,
+    body: Json,
+    endpoint: Endpoint,
+}
+
+/// A finished model computation, pushed by a worker for the reactor to fan
+/// out.
+struct Completion {
+    key: String,
+    status: u16,
+    body: String,
+}
+
+/// The model-backed endpoints (everything the worker pool can run).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Endpoint {
+    Solve,
+    SweepBandwidth,
+    SweepLatency,
+    Equivalence,
+    Capacity,
+}
+
+impl Endpoint {
+    fn from_path(path: &str) -> Option<Endpoint> {
+        match path {
+            "/v1/solve" => Some(Endpoint::Solve),
+            "/v1/sweep/bandwidth" => Some(Endpoint::SweepBandwidth),
+            "/v1/sweep/latency" => Some(Endpoint::SweepLatency),
+            "/v1/equivalence" => Some(Endpoint::Equivalence),
+            "/v1/capacity" => Some(Endpoint::Capacity),
+            _ => None,
+        }
+    }
+
+    /// Metrics label (the request path).
+    fn label(self) -> &'static str {
+        match self {
+            Endpoint::Solve => "/v1/solve",
+            Endpoint::SweepBandwidth => "/v1/sweep/bandwidth",
+            Endpoint::SweepLatency => "/v1/sweep/latency",
+            Endpoint::Equivalence => "/v1/equivalence",
+            Endpoint::Capacity => "/v1/capacity",
+        }
+    }
+
+    /// Runs the model for this endpoint (worker-pool side).
+    fn run(self, body: &Json) -> Result<Json, ApiError> {
+        match self {
+            Endpoint::Solve => api::solve(body),
+            Endpoint::SweepBandwidth => api::sweep(SweepKind::Bandwidth, body),
+            Endpoint::SweepLatency => api::sweep(SweepKind::Latency, body),
+            Endpoint::Equivalence => api::equivalence_endpoint(body),
+            Endpoint::Capacity => api::capacity(body),
         }
     }
 }
 
-/// Routes one request; returns the metrics endpoint label and the response.
-fn route(state: &State, request: &Request) -> (&'static str, Response) {
-    match (request.method.as_str(), request.path.as_str()) {
-        ("GET", "/healthz") => (
+/// One queued slice of response bytes. Large cached bodies are shared
+/// (`Arc<str>` refcount bump), never copied per connection.
+enum Chunk {
+    Owned(Vec<u8>),
+    Shared(Arc<str>),
+}
+
+impl Chunk {
+    fn as_bytes(&self) -> &[u8] {
+        match self {
+            Chunk::Owned(bytes) => bytes,
+            Chunk::Shared(text) => text.as_bytes(),
+        }
+    }
+}
+
+/// Bookkeeping for a request parked on the worker pool (lead or joined).
+struct Waiting {
+    keep_alive: bool,
+    started: Instant,
+    endpoint: Endpoint,
+}
+
+/// Per-connection state machine.
+struct Conn {
+    stream: TcpStream,
+    /// Bytes read but not yet consumed by a complete request.
+    rbuf: Vec<u8>,
+    /// Response bytes not yet accepted by the socket.
+    out: VecDeque<Chunk>,
+    /// Progress into `out.front()`.
+    out_pos: usize,
+    /// `Some` while a model solve for this connection is in flight; request
+    /// handling is serial per connection, so parsing pauses until fan-out.
+    waiting: Option<Waiting>,
+    /// Close once `out` drains (error teardown or `Connection: close`).
+    close_after_flush: bool,
+    last_activity: Instant,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            rbuf: Vec::new(),
+            out: VecDeque::new(),
+            out_pos: 0,
+            waiting: None,
+            close_after_flush: false,
+            last_activity: Instant::now(),
+        }
+    }
+}
+
+/// The reactor: owns the epoll instance, every connection, and the
+/// single-flight table. Runs on its own thread until shutdown.
+struct Reactor {
+    epoll: Epoll,
+    wake: Arc<EventFd>,
+    listener: Option<TcpListener>,
+    conns: BTreeMap<u64, Conn>,
+    next_token: u64,
+    max_connections: usize,
+    flight: SingleFlight,
+    /// Raw request signature → memoized canonical cache key. Steady-state
+    /// traffic repeats byte-identical requests, and deriving the key the
+    /// honest way (JSON parse + canonical float re-formatting) is the single
+    /// hottest per-request cost; a byte-compare memo skips it entirely. Only
+    /// bodies that parsed successfully are memoized, and the parser is
+    /// deterministic, so a memo hit proves the body re-parses cleanly.
+    key_memo: BTreeMap<Vec<u8>, String>,
+    jobs: Sender<Job>,
+    completions: Arc<Mutex<Vec<Completion>>>,
+    workers: Vec<JoinHandle<()>>,
+    state: Arc<State>,
+}
+
+impl Reactor {
+    fn run(mut self) {
+        let mut events = Vec::new();
+        let mut last_sweep = Instant::now();
+        let mut shutdown_at: Option<Instant> = None;
+        loop {
+            if self.epoll.wait(&mut events, 1000).is_err() {
+                break;
+            }
+            for event in &events {
+                match event.token {
+                    TOKEN_LISTENER => self.accept_ready(),
+                    TOKEN_WAKE => {
+                        self.wake.drain();
+                    }
+                    token => self.pump(token),
+                }
+            }
+            self.drain_completions();
+
+            if self.state.shutdown.load(Ordering::SeqCst) {
+                // Stop accepting; deliver what is owed, then leave.
+                if let Some(listener) = self.listener.take() {
+                    let _ = self.epoll.delete(&listener);
+                }
+                let deadline = *shutdown_at.get_or_insert_with(Instant::now);
+                let owes = !self.flight.is_empty()
+                    || self
+                        .conns
+                        .values()
+                        .any(|c| !c.out.is_empty() || c.waiting.is_some());
+                if !owes || deadline.elapsed() > SHUTDOWN_GRACE {
+                    break;
+                }
+            }
+
+            if last_sweep.elapsed() >= Duration::from_secs(1) {
+                last_sweep = Instant::now();
+                let stale: Vec<u64> = self
+                    .conns
+                    .iter()
+                    .filter(|(_, c)| {
+                        c.waiting.is_none() && c.last_activity.elapsed() > IDLE_TIMEOUT
+                    })
+                    .map(|(&token, _)| token)
+                    .collect();
+                for token in stale {
+                    self.conns.remove(&token);
+                }
+            }
+        }
+        // Teardown: dropping the job sender makes every worker's `recv` fail,
+        // so the pool drains and exits; join it so no thread outlives `run`.
+        let Reactor {
+            jobs,
+            workers,
+            conns,
+            ..
+        } = self;
+        drop(conns);
+        drop(jobs);
+        for handle in workers {
+            let _ = handle.join();
+        }
+    }
+
+    /// Accepts until the listener would block. Over-cap connections get a
+    /// one-shot 503 on the still-blocking socket and are dropped.
+    fn accept_ready(&mut self) {
+        loop {
+            let accepted = match self.listener.as_ref() {
+                Some(listener) => listener.accept(),
+                None => return,
+            };
+            match accepted {
+                Ok((mut stream, _)) => {
+                    if self.state.shutdown.load(Ordering::SeqCst) {
+                        continue;
+                    }
+                    if self.conns.len() >= self.max_connections {
+                        let response = Response {
+                            status: 503,
+                            body: error_body("connection limit reached"),
+                        };
+                        let _ = write_response(&mut stream, &response, false);
+                        continue;
+                    }
+                    // Responses are written as head + body; without nodelay,
+                    // Nagle plus delayed ACKs can add ~40 ms per response.
+                    let _ = stream.set_nodelay(true);
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    if self
+                        .epoll
+                        .add(&stream, token, EPOLLIN | EPOLLOUT | EPOLLRDHUP | EPOLLET)
+                        .is_err()
+                    {
+                        continue;
+                    }
+                    self.conns.insert(token, Conn::new(stream));
+                    // Edge-triggered: data may already be buffered; pump now.
+                    self.pump(token);
+                }
+                Err(e) if is_idle_read_error(&e) => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return,
+            }
+        }
+    }
+
+    /// Drives one connection as far as it can go without blocking: flush
+    /// queued output, parse and dispatch buffered requests, read fresh
+    /// bytes. Drops the connection on transport errors or clean teardown.
+    fn pump(&mut self, token: u64) {
+        let Reactor {
+            conns,
+            flight,
+            key_memo,
+            jobs,
+            state,
+            wake,
+            ..
+        } = self;
+        let Some(conn) = conns.get_mut(&token) else {
+            return;
+        };
+
+        let mut alive = flush(conn);
+        while alive && conn.waiting.is_none() && !conn.close_after_flush {
+            match parse_request(&conn.rbuf) {
+                Parse::Partial => match read_some(conn) {
+                    ReadOutcome::Data => continue,
+                    ReadOutcome::WouldBlock => break,
+                    ReadOutcome::Closed => {
+                        if conn.rbuf.iter().any(|&b| b != b'\r' && b != b'\n') {
+                            // Mid-request hangup of the write half: the read
+                            // side may still be open, so report it.
+                            queue_response(
+                                conn,
+                                &Response {
+                                    status: 400,
+                                    body: error_body("truncated request head"),
+                                },
+                                false,
+                            );
+                        }
+                        conn.close_after_flush = true;
+                        break;
+                    }
+                    ReadOutcome::Error => {
+                        alive = false;
+                        break;
+                    }
+                },
+                Parse::Bad(status, message) => {
+                    conn.rbuf.clear();
+                    queue_response(
+                        conn,
+                        &Response {
+                            status,
+                            body: error_body(message),
+                        },
+                        false,
+                    );
+                    conn.close_after_flush = true;
+                }
+                Parse::Complete(request, consumed) => {
+                    conn.rbuf.drain(..consumed);
+                    dispatch(conn, token, &request, state, flight, key_memo, jobs, wake);
+                }
+            }
+        }
+        if alive {
+            alive = flush(conn);
+        }
+        if !alive || (conn.out.is_empty() && conn.close_after_flush) {
+            // Dropping the stream closes the fd, which deregisters it from
+            // epoll implicitly.
+            conns.remove(&token);
+        }
+    }
+
+    /// Fans finished worker computations out to their waiters (lead and
+    /// joined alike share one `Arc<str>` body) and resumes those
+    /// connections.
+    fn drain_completions(&mut self) {
+        let completions = {
+            let Ok(mut guard) = self.completions.lock() else {
+                return;
+            };
+            std::mem::take(&mut *guard)
+        };
+        for done in completions {
+            let body: Arc<str> = Arc::from(done.body.as_str());
+            if done.status == 200 {
+                self.state.cache.put(&done.key, &body);
+            }
+            let waiters = self.flight.complete(&done.key);
+            for &waiter in &waiters {
+                let Some(conn) = self.conns.get_mut(&waiter) else {
+                    continue;
+                };
+                let Some(waiting) = conn.waiting.take() else {
+                    continue;
+                };
+                self.state.metrics.record(
+                    waiting.endpoint.label(),
+                    done.status,
+                    waiting.started.elapsed(),
+                );
+                queue_shared(conn, done.status, &body, waiting.keep_alive);
+                if !waiting.keep_alive {
+                    conn.close_after_flush = true;
+                }
+                conn.last_activity = Instant::now();
+            }
+            for waiter in waiters {
+                self.pump(waiter);
+            }
+        }
+    }
+}
+
+/// Routes one parsed request. Fast endpoints (and every error) are answered
+/// inline; model endpoints consult the cache and otherwise enter the
+/// single-flight table, parking the connection until a worker completes.
+#[allow(clippy::too_many_arguments)] // disjoint reactor fields, split for the borrow checker
+fn dispatch(
+    conn: &mut Conn,
+    token: u64,
+    request: &Request,
+    state: &State,
+    flight: &mut SingleFlight,
+    key_memo: &mut BTreeMap<Vec<u8>, String>,
+    jobs: &Sender<Job>,
+    wake: &EventFd,
+) {
+    // Decided before any route side effect: the response that *requests*
+    // shutdown still says keep-alive; every request parsed after the flag is
+    // set closes.
+    let keep_alive = !request.wants_close() && !state.shutdown.load(Ordering::SeqCst);
+    let started = Instant::now();
+    let path = request.path.as_str();
+
+    let inline: Option<(&'static str, Response)> = match (request.method.as_str(), path) {
+        ("GET", "/healthz") => Some((
             "/healthz",
             Response::ok(Json::obj(vec![("status", Json::str("ok"))]).to_string()),
-        ),
-        ("GET", "/metrics") => (
+        )),
+        ("GET", "/metrics") => Some((
             "/metrics",
-            Response::ok(state.metrics.to_json(state.cache.stats()).to_string()),
-        ),
+            Response::ok(
+                state
+                    .metrics
+                    .to_json(state.cache.stats(), flight.snapshot())
+                    .to_string(),
+            ),
+        )),
         ("POST", "/v1/admin/shutdown") => {
             state.shutdown.store(true, Ordering::SeqCst);
-            // The accept loop only re-checks the flag when `accept` returns,
-            // so poke it with a throwaway connection.
-            let _ = TcpStream::connect(state.addr);
-            (
+            wake.notify();
+            Some((
                 "/v1/admin/shutdown",
                 Response::ok(Json::obj(vec![("status", Json::str("shutting-down"))]).to_string()),
-            )
+            ))
         }
-        ("POST", "/v1/solve") => ("/v1/solve", cached(state, request, api::solve)),
-        ("POST", "/v1/sweep/bandwidth") => (
-            "/v1/sweep/bandwidth",
-            cached(state, request, |body| {
-                api::sweep(SweepKind::Bandwidth, body)
-            }),
-        ),
-        ("POST", "/v1/sweep/latency") => (
-            "/v1/sweep/latency",
-            cached(state, request, |body| api::sweep(SweepKind::Latency, body)),
-        ),
-        ("POST", "/v1/equivalence") => (
-            "/v1/equivalence",
-            cached(state, request, api::equivalence_endpoint),
-        ),
-        ("POST", "/v1/capacity") => ("/v1/capacity", cached(state, request, api::capacity)),
+        ("POST", _) if Endpoint::from_path(path).is_some() => None,
         (_, "/healthz" | "/metrics") | ("GET" | "PUT" | "DELETE" | "HEAD" | "PATCH", _)
-            if known_path(&request.path) =>
+            if known_path(path) =>
         {
-            (
+            Some((
                 "other",
                 Response {
                     status: 405,
                     body: error_body("method not allowed for this endpoint"),
                 },
-            )
+            ))
         }
-        _ => (
+        _ => Some((
             "other",
             Response {
                 status: 404,
-                body: error_body(&format!("no such endpoint: {}", request.path)),
+                body: error_body(&format!("no such endpoint: {path}")),
             },
-        ),
+        )),
+    };
+    if let Some((endpoint, response)) = inline {
+        respond(conn, state, endpoint, &response, started, keep_alive);
+        return;
+    }
+
+    // Model endpoint: parse the body, consult the cache, then single-flight.
+    let Some(endpoint) = Endpoint::from_path(path) else {
+        return; // unreachable by construction of `inline`
+    };
+    // Identical raw bytes always canonicalize to the identical key, so a
+    // byte-compare memo skips the JSON parse + canonical re-formatting on
+    // the steady-state path. Only successfully parsed bodies are memoized;
+    // malformed bodies take (and keep taking) the 400 path below.
+    let mut raw_sig =
+        Vec::with_capacity(request.method.len() + path.len() + request.body.len() + 2);
+    raw_sig.extend_from_slice(request.method.as_bytes());
+    raw_sig.push(b' ');
+    raw_sig.extend_from_slice(path.as_bytes());
+    raw_sig.push(b'\n');
+    raw_sig.extend_from_slice(&request.body);
+
+    // `body` stays unparsed (`None`) on a memo hit; it is only materialized
+    // if this request must actually be dispatched to a worker.
+    let (key, mut body): (String, Option<Json>) = match key_memo.get(&raw_sig) {
+        Some(key) => (key.clone(), None),
+        None => {
+            let body = match parse_model_body(&request.body) {
+                Ok(body) => body,
+                Err(response) => {
+                    respond(
+                        conn,
+                        state,
+                        endpoint.label(),
+                        &response,
+                        started,
+                        keep_alive,
+                    );
+                    return;
+                }
+            };
+            let key = format!("{} {}#{}", request.method, request.path, body.canonical());
+            if key_memo.len() >= KEY_MEMO_CAP {
+                key_memo.clear();
+            }
+            key_memo.insert(raw_sig, key.clone());
+            (key, Some(body))
+        }
+    };
+    // In-flight check BEFORE the cache: joiners must not touch the cache at
+    // all, so N concurrent identical requests record exactly one miss (the
+    // lead's) no matter how they interleave.
+    if flight.is_inflight(&key) {
+        let admission = flight.admit(&key, token);
+        debug_assert_eq!(admission, Admission::Joined);
+        conn.waiting = Some(Waiting {
+            keep_alive,
+            started,
+            endpoint,
+        });
+        return;
+    }
+    if let Some(hit) = state.cache.get(&key) {
+        state
+            .metrics
+            .record(endpoint.label(), 200, started.elapsed());
+        queue_shared(conn, 200, &hit, keep_alive);
+        if !keep_alive {
+            conn.close_after_flush = true;
+        }
+        return;
+    }
+    if body.is_none() {
+        // Memo hit but cache miss (the entry was evicted): materialize the
+        // body for the worker. A memo hit proves these exact bytes parsed
+        // cleanly before, and the parser is deterministic — but stay honest
+        // if that invariant is ever broken rather than panicking.
+        match parse_model_body(&request.body) {
+            Ok(parsed) => body = Some(parsed),
+            Err(response) => {
+                respond(
+                    conn,
+                    state,
+                    endpoint.label(),
+                    &response,
+                    started,
+                    keep_alive,
+                );
+                return;
+            }
+        }
+    }
+    let Some(body) = body else {
+        return; // unreachable: `body` was just materialized
+    };
+    if flight.admit(&key, token) == Admission::Lead
+        && jobs
+            .send(Job {
+                key: key.clone(),
+                body,
+                endpoint,
+            })
+            .is_err()
+    {
+        // Worker pool gone (shutdown race): answer directly.
+        flight.complete(&key);
+        let response = Response {
+            status: 503,
+            body: error_body("server is shutting down"),
+        };
+        respond(
+            conn,
+            state,
+            endpoint.label(),
+            &response,
+            started,
+            keep_alive,
+        );
+        return;
+    }
+    conn.waiting = Some(Waiting {
+        keep_alive,
+        started,
+        endpoint,
+    });
+}
+
+/// Parses a model-endpoint request body (empty = `{}`), mapping failures to
+/// the exact 400 responses the route has always produced.
+fn parse_model_body(raw: &[u8]) -> Result<Json, Response> {
+    if raw.is_empty() {
+        return Ok(Json::obj(Vec::new()));
+    }
+    let text = std::str::from_utf8(raw).map_err(|_| Response {
+        status: 400,
+        body: error_body("request body must be UTF-8"),
+    })?;
+    Json::parse(text).map_err(|e| Response {
+        status: 400,
+        body: error_body(&format!("invalid JSON: {e}")),
+    })
+}
+
+/// Records metrics for an inline response and queues its bytes.
+fn respond(
+    conn: &mut Conn,
+    state: &State,
+    endpoint: &'static str,
+    response: &Response,
+    started: Instant,
+    keep_alive: bool,
+) {
+    state
+        .metrics
+        .record(endpoint, response.status, started.elapsed());
+    queue_response(conn, response, keep_alive);
+    if !keep_alive {
+        conn.close_after_flush = true;
     }
 }
 
@@ -270,47 +826,105 @@ fn known_path(path: &str) -> bool {
     )
 }
 
-/// Parses the body, consults the result cache, and runs `handler` on a miss.
-fn cached(
-    state: &State,
-    request: &Request,
-    handler: impl Fn(&Json) -> Result<Json, ApiError>,
-) -> Response {
-    let body = if request.body.is_empty() {
-        Json::obj(Vec::new())
+/// Queues head + body as one owned chunk (inline responses are small).
+fn queue_response(conn: &mut Conn, response: &Response, keep_alive: bool) {
+    let mut bytes = response_head(response.status, response.body.len(), keep_alive).into_bytes();
+    bytes.extend_from_slice(response.body.as_bytes());
+    conn.out.push_back(Chunk::Owned(bytes));
+}
+
+/// Queues a (possibly large, possibly multiply-fanned-out) shared body:
+/// only the head is owned; the body is an `Arc<str>` refcount bump.
+fn queue_shared(conn: &mut Conn, status: u16, body: &Arc<str>, keep_alive: bool) {
+    // Small responses go out as one owned chunk: a ≤16 KiB memcpy costs less
+    // than the extra write(2) the split head/body representation would take.
+    const INLINE_BODY_LIMIT: usize = 16 * 1024;
+    let head = response_head(status, body.len(), keep_alive);
+    if body.len() <= INLINE_BODY_LIMIT {
+        let mut bytes = head.into_bytes();
+        bytes.extend_from_slice(body.as_bytes());
+        conn.out.push_back(Chunk::Owned(bytes));
     } else {
-        let text = match std::str::from_utf8(&request.body) {
-            Ok(text) => text,
-            Err(_) => {
-                return Response {
-                    status: 400,
-                    body: error_body("request body must be UTF-8"),
+        conn.out.push_back(Chunk::Owned(head.into_bytes()));
+        conn.out.push_back(Chunk::Shared(Arc::clone(body)));
+    }
+}
+
+/// Writes queued chunks until the socket would block or the queue drains.
+/// Returns `false` when the connection died.
+fn flush(conn: &mut Conn) -> bool {
+    while let Some(front) = conn.out.front() {
+        let bytes = front.as_bytes();
+        match conn.stream.write(&bytes[conn.out_pos..]) {
+            Ok(0) => return false,
+            Ok(n) => {
+                conn.out_pos += n;
+                conn.last_activity = Instant::now();
+                if conn.out_pos == bytes.len() {
+                    conn.out.pop_front();
+                    conn.out_pos = 0;
                 }
+            }
+            Err(e) if is_idle_read_error(&e) => return true,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return false,
+        }
+    }
+    true
+}
+
+/// Outcome of one nonblocking read attempt.
+enum ReadOutcome {
+    /// Fresh bytes landed in `rbuf`.
+    Data,
+    /// Nothing buffered; wait for the next readiness edge.
+    WouldBlock,
+    /// Peer closed its write half (clean end-of-stream).
+    Closed,
+    /// Transport failure; tear the connection down.
+    Error,
+}
+
+/// Reads once into the connection's buffer.
+fn read_some(conn: &mut Conn) -> ReadOutcome {
+    let mut chunk = [0u8; 16 * 1024];
+    loop {
+        match conn.stream.read(&mut chunk) {
+            Ok(0) => return ReadOutcome::Closed,
+            Ok(n) => {
+                conn.rbuf.extend_from_slice(&chunk[..n]);
+                conn.last_activity = Instant::now();
+                return ReadOutcome::Data;
+            }
+            Err(e) if is_idle_read_error(&e) => return ReadOutcome::WouldBlock,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return ReadOutcome::Error,
+        }
+    }
+}
+
+/// Worker-pool body: pull jobs until the channel closes, run the model, and
+/// post the completion for the reactor to fan out.
+fn worker_loop(jobs: &Mutex<Receiver<Job>>, completions: &Mutex<Vec<Completion>>, wake: &EventFd) {
+    loop {
+        let job = {
+            let Ok(rx) = jobs.lock() else { return };
+            match rx.recv() {
+                Ok(job) => job,
+                Err(_) => return,
             }
         };
-        match Json::parse(text) {
-            Ok(body) => body,
-            Err(e) => {
-                return Response {
-                    status: 400,
-                    body: error_body(&format!("invalid JSON: {e}")),
-                }
-            }
+        let (status, body) = match job.endpoint.run(&job.body) {
+            Ok(json) => (200, json.to_string()),
+            Err(e) => (e.status, e.body()),
+        };
+        if let Ok(mut done) = completions.lock() {
+            done.push(Completion {
+                key: job.key,
+                status,
+                body,
+            });
         }
-    };
-    let key = format!("{} {}#{}", request.method, request.path, body.canonical());
-    if let Some(hit) = state.cache.get(&key) {
-        return Response::ok(hit);
-    }
-    match handler(&body) {
-        Ok(response) => {
-            let body = response.to_string();
-            state.cache.put(&key, &body);
-            Response::ok(body)
-        }
-        Err(e) => Response {
-            status: e.status,
-            body: e.body(),
-        },
+        wake.notify();
     }
 }

@@ -250,6 +250,184 @@ fn shutdown_endpoint_stops_the_server() {
     assert!(server.shutdown_requested());
 }
 
+/// Reads one full HTTP response (head + Content-Length body) from a raw
+/// stream, returning (status, body).
+fn read_raw_response(stream: &mut std::net::TcpStream) -> (u16, String) {
+    use std::io::Read;
+    let mut raw = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let (mut head_end, mut length) = (None, None);
+    loop {
+        if let (Some(end), Some(len)) = (head_end, length) {
+            if raw.len() >= end + len {
+                break;
+            }
+        }
+        let n = stream.read(&mut chunk).expect("read response");
+        assert!(n > 0 || head_end.is_some(), "connection closed mid-head");
+        if n == 0 {
+            break;
+        }
+        raw.extend_from_slice(&chunk[..n]);
+        if head_end.is_none() {
+            if let Some(pos) = raw.windows(4).position(|w| w == b"\r\n\r\n") {
+                head_end = Some(pos + 4);
+                let head = String::from_utf8_lossy(&raw[..pos]).to_string();
+                for line in head.lines() {
+                    if let Some((name, value)) = line.split_once(':') {
+                        if name.trim().eq_ignore_ascii_case("content-length") {
+                            length = Some(value.trim().parse::<usize>().expect("length"));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let head_end = head_end.expect("response head");
+    let head = String::from_utf8_lossy(&raw[..head_end]).to_string();
+    let status: u16 = head
+        .split_ascii_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let body = String::from_utf8_lossy(&raw[head_end..]).to_string();
+    (status, body)
+}
+
+#[test]
+fn concurrent_identical_requests_coalesce_to_one_cache_miss() {
+    let mut server = start();
+    // A heavy body (dense Fig. 8-style axis) so the solve is slow enough for
+    // later arrivals to find the flight still open — though the assertions
+    // below hold for ANY interleaving: an arrival during the flight joins
+    // (coalesced), an arrival after it hits the cache. Only the lead may
+    // ever miss.
+    const N: usize = 8;
+    let body = r#"{"deltas": [0, -0.05, -0.1, -0.15, -0.2, -0.25, -0.3, -0.35, -0.4, -0.45, -0.5, -0.55, -0.6, -0.65, -0.7, -0.75, -0.8, -0.85, -0.9, -0.95, -1.0], "tag": "single-flight-test"}"#;
+    let addr = server.addr();
+    let barrier = std::sync::Barrier::new(N);
+    let mut bodies: Vec<String> = Vec::new();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for _ in 0..N {
+            handles.push(scope.spawn(|| {
+                let mut client = Client::connect(addr).expect("connect");
+                barrier.wait();
+                client
+                    .request("POST", "/v1/sweep/bandwidth", body)
+                    .expect("request")
+            }));
+        }
+        for handle in handles {
+            let (status, text) = handle.join().expect("thread");
+            assert_eq!(status, 200, "{text}");
+            bodies.push(text);
+        }
+    });
+    for text in &bodies[1..] {
+        assert_eq!(
+            text, &bodies[0],
+            "coalesced responses must be byte-identical"
+        );
+    }
+
+    let (_, metrics) = call(&server, "GET", "/metrics", "");
+    let metrics = parsed(&metrics);
+    let cache = metrics.get("cache").unwrap();
+    let flight = metrics.get("single_flight").unwrap();
+    let misses = cache.get("misses").and_then(Json::as_u64).unwrap();
+    let hits = cache.get("hits").and_then(Json::as_u64).unwrap();
+    let coalesced = flight.get("coalesced").and_then(Json::as_u64).unwrap();
+    assert_eq!(
+        misses, 1,
+        "exactly one cache miss for {N} identical requests"
+    );
+    assert_eq!(
+        hits + coalesced,
+        (N - 1) as u64,
+        "every non-lead request either joined the flight or hit the cache"
+    );
+    assert_eq!(flight.get("in_flight").and_then(Json::as_u64), Some(0));
+
+    server.stop();
+    server.join();
+}
+
+#[test]
+fn duplicate_content_length_is_rejected_on_the_wire() {
+    use std::io::Write;
+    let mut server = start();
+    let mut stream = std::net::TcpStream::connect(server.addr()).expect("connect");
+    stream
+        .write_all(b"POST /v1/solve HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 4\r\n\r\nokok")
+        .expect("write");
+    stream.flush().expect("flush");
+    let (status, body) = read_raw_response(&mut stream);
+    assert_eq!(status, 400);
+    assert!(body.contains("duplicate Content-Length"), "{body}");
+    // Smuggling hygiene: the server must tear the connection down rather
+    // than guess where the next request starts.
+    let mut rest = Vec::new();
+    std::io::Read::read_to_end(&mut stream, &mut rest).expect("drain");
+    assert!(rest.is_empty(), "connection must be closed after the 400");
+    server.stop();
+    server.join();
+}
+
+#[test]
+fn over_capacity_connections_get_a_503() {
+    let mut server = Server::start(&ServerConfig {
+        max_connections: 1,
+        ..ServerConfig::default()
+    })
+    .expect("bind loopback");
+    // Occupy the single slot with a live keep-alive connection.
+    let mut occupant = Client::connect(server.addr()).expect("connect");
+    let (status, _) = occupant.request("GET", "/healthz", "").expect("request");
+    assert_eq!(status, 200);
+    // The next connection is turned away at accept time.
+    let mut stream = std::net::TcpStream::connect(server.addr()).expect("connect");
+    let (status, body) = read_raw_response(&mut stream);
+    assert_eq!(status, 503);
+    assert!(body.contains("connection limit reached"), "{body}");
+    // The occupant keeps working.
+    let (status, _) = occupant.request("GET", "/healthz", "").expect("request");
+    assert_eq!(status, 200);
+    server.stop();
+    server.join();
+}
+
+#[test]
+fn request_arriving_in_dribbles_is_reassembled() {
+    use std::io::Write;
+    let mut server = start();
+    let mut stream = std::net::TcpStream::connect(server.addr()).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    let body = r#"{"workload": "enterprise"}"#;
+    let head = format!(
+        "POST /v1/solve HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    // Trickle the request: head in three fragments, body in two, with
+    // pauses long enough that each fragment is a separate readiness edge.
+    let mut pieces: Vec<&[u8]> = vec![&head.as_bytes()[..7], &head.as_bytes()[7..20]];
+    pieces.push(&head.as_bytes()[20..]);
+    pieces.push(&body.as_bytes()[..9]);
+    pieces.push(&body.as_bytes()[9..]);
+    for piece in pieces {
+        stream.write_all(piece).expect("write");
+        stream.flush().expect("flush");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let (status, text) = read_raw_response(&mut stream);
+    assert_eq!(status, 200, "{text}");
+    // Same bytes as the all-at-once path.
+    let (_, direct) = call(&server, "POST", "/v1/solve", body);
+    assert_eq!(text, direct);
+    server.stop();
+    server.join();
+}
+
 #[test]
 fn bench_measures_a_cache_speedup_in_process() {
     let report = bench::run(&BenchConfig {

@@ -131,6 +131,44 @@ fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
     sorted[lo] + (sorted[hi] - sorted[lo]) * frac
 }
 
+/// Computes the `p`-th percentile (0–100) of `samples` by the
+/// **nearest-rank** definition: the smallest sample such that at least `p`%
+/// of the data is ≤ it (`sorted[⌈p/100·n⌉ − 1]`, rank clamped to `[1, n]`).
+///
+/// This is the right estimator for tail-latency reporting: with fewer than
+/// `100/(100−p)` samples it returns the **maximum observed** value rather
+/// than interpolating below it (a p99 over 3 samples is the worst of the
+/// three, not a number no request ever experienced) — and the clamp means
+/// small `n` can never index past the end of the sorted sample.
+///
+/// # Errors
+///
+/// * [`StatsError::NotEnoughData`] when `samples` is empty.
+/// * [`StatsError::InvalidParameter`] when `p` is outside `[0, 100]`.
+///
+/// # Examples
+///
+/// ```
+/// use memsense_stats::descriptive::percentile_nearest_rank;
+/// // p99 of two samples is the max, not an interpolation.
+/// assert_eq!(percentile_nearest_rank(&[1.0, 9.0], 99.0).unwrap(), 9.0);
+/// ```
+pub fn percentile_nearest_rank(samples: &[f64], p: f64) -> Result<f64, StatsError> {
+    if samples.is_empty() {
+        return Err(StatsError::NotEnoughData { needed: 1, got: 0 });
+    }
+    if !(0.0..=100.0).contains(&p) {
+        return Err(StatsError::InvalidParameter("percentile out of [0, 100]"));
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let n = sorted.len();
+    // ceil can land on 0 (p = 0) or, through float rounding, on n + 1;
+    // clamping to [1, n] makes the 1-based rank safe for every n ≥ 1.
+    let rank = ((p / 100.0) * n as f64).ceil() as usize;
+    Ok(sorted[rank.clamp(1, n) - 1])
+}
+
 /// Arithmetic mean of a sample.
 ///
 /// # Errors
@@ -246,5 +284,56 @@ mod tests {
     fn p90_range() {
         let s = Summary::from_samples(&(0..101).map(f64::from).collect::<Vec<_>>()).unwrap();
         assert!((s.p90_range() - 90.0).abs() < 1e-9);
+    }
+
+    // Golden pins for the small-n off-by-one class of bug: a p99 over fewer
+    // than 100 samples must clamp to the max observed sample, never index
+    // past the end or interpolate below the tail.
+
+    #[test]
+    fn nearest_rank_n1_is_the_sample_for_every_p() {
+        for p in [0.0, 50.0, 90.0, 99.0, 100.0] {
+            assert_eq!(percentile_nearest_rank(&[7.25], p).unwrap(), 7.25);
+        }
+    }
+
+    #[test]
+    fn nearest_rank_n2_golden() {
+        let s = [10.0, 2.0]; // unsorted on purpose
+        assert_eq!(percentile_nearest_rank(&s, 0.0).unwrap(), 2.0);
+        assert_eq!(percentile_nearest_rank(&s, 50.0).unwrap(), 2.0);
+        assert_eq!(percentile_nearest_rank(&s, 51.0).unwrap(), 10.0);
+        assert_eq!(percentile_nearest_rank(&s, 99.0).unwrap(), 10.0);
+        assert_eq!(percentile_nearest_rank(&s, 100.0).unwrap(), 10.0);
+    }
+
+    #[test]
+    fn nearest_rank_n3_golden() {
+        let s = [30.0, 10.0, 20.0];
+        assert_eq!(percentile_nearest_rank(&s, 33.0).unwrap(), 10.0);
+        assert_eq!(percentile_nearest_rank(&s, 34.0).unwrap(), 20.0);
+        assert_eq!(percentile_nearest_rank(&s, 50.0).unwrap(), 20.0);
+        assert_eq!(percentile_nearest_rank(&s, 67.0).unwrap(), 30.0);
+        // p99 of three samples is the worst of the three.
+        assert_eq!(percentile_nearest_rank(&s, 99.0).unwrap(), 30.0);
+        assert_eq!(percentile_nearest_rank(&s, 100.0).unwrap(), 30.0);
+    }
+
+    #[test]
+    fn nearest_rank_n100_golden() {
+        // samples 1..=100: the p-th percentile is exactly p for integral p.
+        let s: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile_nearest_rank(&s, 50.0).unwrap(), 50.0);
+        assert_eq!(percentile_nearest_rank(&s, 90.0).unwrap(), 90.0);
+        assert_eq!(percentile_nearest_rank(&s, 99.0).unwrap(), 99.0);
+        assert_eq!(percentile_nearest_rank(&s, 100.0).unwrap(), 100.0);
+        assert_eq!(percentile_nearest_rank(&s, 0.0).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn nearest_rank_rejects_bad_input() {
+        assert!(percentile_nearest_rank(&[], 50.0).is_err());
+        assert!(percentile_nearest_rank(&[1.0], -0.1).is_err());
+        assert!(percentile_nearest_rank(&[1.0], 100.1).is_err());
     }
 }
