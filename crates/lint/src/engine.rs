@@ -45,7 +45,8 @@ pub fn classify(rel: &str) -> Role {
         Role::Bench
     } else if rel.starts_with("examples/") || rel.contains("/examples/") {
         Role::Example
-    } else if rel.contains("/src/bin/")
+    } else if rel.starts_with("src/bin/")
+        || rel.contains("/src/bin/")
         || rel.ends_with("/main.rs")
         || rel == "src/main.rs"
         || rel.ends_with("build.rs")

@@ -125,10 +125,15 @@ const OUTPUT_SCOPES: &[&str] = &[
     "crates/experiments/src/",
     "crates/serve/src/",
     "crates/sim/src/",
+    "crates/plan/src/",
 ];
 
 /// Path prefixes that assemble wire or CSV text directly.
-const WIRE_SCOPES: &[&str] = &["crates/serve/src/", "crates/experiments/src/"];
+const WIRE_SCOPES: &[&str] = &[
+    "crates/serve/src/",
+    "crates/experiments/src/",
+    "crates/plan/src/",
+];
 
 /// Files and prefixes allowed to read wall clocks: executor job telemetry
 /// and the serve daemon's request metrics/benchmarking.

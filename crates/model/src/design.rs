@@ -169,8 +169,45 @@ pub fn evaluate(
     Ok(out)
 }
 
+/// Comparison slack for Pareto dominance: differences at or below this are
+/// treated as ties so float noise cannot manufacture frontier points.
+pub const PARETO_EPS: f64 = 1e-12;
+
+/// True when `a = (cost, value)` strictly dominates `b`: strictly cheaper
+/// *and* strictly better, beyond [`PARETO_EPS`] in both coordinates.
+pub fn strictly_dominates(a: (f64, f64), b: (f64, f64)) -> bool {
+    a.0 < b.0 - PARETO_EPS && a.1 > b.1 + PARETO_EPS
+}
+
+/// Generic Pareto primitive over `(cost ↓, value ↑)` pairs: returns the
+/// indices of points on the frontier, ordered by ascending cost then
+/// descending value. Among points with identical cost and value the lowest
+/// index wins, so callers that pre-sort their inputs by content get
+/// permutation-stable frontiers regardless of how candidates were produced.
+pub fn pareto_indices(points: &[(f64, f64)]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..points.len()).collect();
+    order.sort_by(|&a, &b| {
+        points[a]
+            .0
+            .total_cmp(&points[b].0)
+            .then(points[b].1.total_cmp(&points[a].1))
+            .then(a.cmp(&b))
+    });
+    let mut frontier = Vec::new();
+    let mut best = f64::MIN;
+    for i in order {
+        if points[i].1 > best + PARETO_EPS {
+            best = points[i].1;
+            frontier.push(i);
+        }
+    }
+    frontier
+}
+
 /// The Pareto frontier of (cost ↓, throughput ↑): designs not dominated by
-/// any cheaper-and-faster alternative, sorted by cost.
+/// any cheaper-and-faster alternative, sorted by cost. Ties in both cost and
+/// throughput are broken by design-point content (channels, then speed, then
+/// latency), so the frontier is invariant under input permutation.
 pub fn pareto_frontier(evaluated: &[Evaluated]) -> Vec<Evaluated> {
     let mut sorted: Vec<Evaluated> = evaluated.to_vec();
     sorted.sort_by(|a, b| {
@@ -178,11 +215,14 @@ pub fn pareto_frontier(evaluated: &[Evaluated]) -> Vec<Evaluated> {
             .cost
             .total_cmp(&b.point.cost)
             .then(b.throughput.total_cmp(&a.throughput))
+            .then(a.point.channels.cmp(&b.point.channels))
+            .then(a.point.mega_transfers.total_cmp(&b.point.mega_transfers))
+            .then(a.point.unloaded_ns.total_cmp(&b.point.unloaded_ns))
     });
     let mut frontier: Vec<Evaluated> = Vec::new();
     let mut best = f64::MIN;
     for e in sorted {
-        if e.throughput > best + 1e-12 {
+        if e.throughput > best + PARETO_EPS {
             best = e.throughput;
             frontier.push(e);
         }
@@ -331,5 +371,123 @@ mod tests {
     fn evaluate_rejects_empty_grid() {
         let (sys, curve) = setup();
         assert!(evaluate(&[], &Mix::balanced(), &sys, &curve).is_err());
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Quantized (cost, value) pairs: a coarse grid manufactures exact
+        /// ties, which is where the ordering/tie-break bugs live.
+        fn points() -> impl Strategy<Value = Vec<(f64, f64)>> {
+            proptest::collection::vec(
+                (0u8..12, 0u8..12).prop_map(|(c, v)| (c as f64 * 0.25, v as f64 * 0.25)),
+                1..40,
+            )
+        }
+
+        /// Random evaluated designs over a coarse grid (many exact
+        /// (cost, throughput) ties).
+        fn evaluated() -> impl Strategy<Value = Vec<Evaluated>> {
+            let one = (1u32..=8, 0usize..3, 0usize..3, 0u8..8, 0u8..8).prop_map(
+                |(channels, mts, lat, cost, thr)| Evaluated {
+                    point: DesignPoint {
+                        channels,
+                        mega_transfers: [1333.0, 1866.7, 2400.0][mts],
+                        unloaded_ns: [60.0, 75.0, 95.0][lat],
+                        cost: cost as f64 * 0.5,
+                    },
+                    throughput: thr as f64 * 0.5,
+                    efficiency: 0.0,
+                },
+            );
+            proptest::collection::vec(one, 1..30)
+        }
+
+        /// A seeded Fisher–Yates shuffle: a deterministic permutation of
+        /// `items` for each `seed`.
+        fn shuffled<T: Clone>(items: &[T], seed: u64) -> Vec<T> {
+            let mut rng = TestRng::new(seed);
+            let mut out = items.to_vec();
+            for i in (1..out.len()).rev() {
+                let j = rng.below(i as u64 + 1) as usize;
+                out.swap(i, j);
+            }
+            out
+        }
+
+        /// The checks behind `no_frontier_point_is_dominated…` — kept out of
+        /// the `proptest!` block, whose token-tree recursion cannot absorb
+        /// nested loops.
+        fn check_nondominated_and_complete(points: &[(f64, f64)]) -> Result<(), TestCaseError> {
+            let frontier = pareto_indices(points);
+            prop_assert!(!frontier.is_empty());
+            for &i in &frontier {
+                for (j, &p) in points.iter().enumerate() {
+                    prop_assert!(
+                        !strictly_dominates(p, points[i]),
+                        "input point {j} {:?} dominates frontier point {i} {:?}",
+                        p,
+                        points[i]
+                    );
+                }
+            }
+            // Completeness: every skipped point is covered by a frontier
+            // point that is at most as expensive and at least as good.
+            for (j, &p) in points.iter().enumerate() {
+                if frontier.contains(&j) {
+                    continue;
+                }
+                prop_assert!(
+                    frontier
+                        .iter()
+                        .any(|&i| points[i].0 <= p.0 && points[i].1 >= p.1 - PARETO_EPS),
+                    "skipped point {j} {p:?} has no covering frontier point"
+                );
+            }
+            Ok(())
+        }
+
+        /// Selected (cost, value) pairs, in frontier order.
+        fn frontier_values(points: &[(f64, f64)]) -> Vec<(f64, f64)> {
+            pareto_indices(points)
+                .into_iter()
+                .map(|i| points[i])
+                .collect()
+        }
+
+        proptest! {
+            #[test]
+            fn no_frontier_point_is_dominated_or_uncovered(points in points()) {
+                check_nondominated_and_complete(&points)?;
+            }
+        }
+
+        proptest! {
+            #[test]
+            fn frontier_is_invariant_under_input_permutation(
+                original in points(),
+                seed in 0u64..=u64::MAX,
+            ) {
+                let permuted = shuffled(&original, seed);
+                // Indices differ across permutations; the selected (cost,
+                // value) sequence must not.
+                prop_assert_eq!(frontier_values(&original), frontier_values(&permuted));
+            }
+        }
+
+        proptest! {
+            #[test]
+            fn evaluated_frontier_is_invariant_under_input_permutation(
+                original in evaluated(),
+                seed in 0u64..=u64::MAX,
+            ) {
+                let permuted = shuffled(&original, seed);
+                // The content tie-break (channels, speed, latency) makes the
+                // full Evaluated frontier permutation-stable even when many
+                // designs share a (cost, throughput) cell.
+                prop_assert_eq!(pareto_frontier(&original), pareto_frontier(&permuted));
+            }
+        }
     }
 }

@@ -1,0 +1,101 @@
+//! `memsense-plan` — fleet-scale capacity planning from the command line.
+//!
+//! ```text
+//! memsense-plan [--spec FILE] [--out FILE] [--report] [--example]
+//! ```
+//!
+//! * `--spec FILE` — plan spec (canonical JSON). Defaults to the built-in
+//!   "millions of users" example mix.
+//! * `--out FILE` — write the plan body (canonical JSON) to FILE.
+//! * `--report` — print the human-readable tables instead of JSON.
+//! * `--example` — print the built-in example spec and exit.
+//!
+//! Exit codes: 0 on success, 2 for an invalid spec (with a structured
+//! `{"error", "field"}` JSON line on stderr), 1 for everything else. The
+//! plan body is byte-identical at any `MEMSENSE_THREADS` setting.
+
+use std::fs;
+use std::process::ExitCode;
+
+use memsense_plan::spec::PlanSpec;
+use memsense_plan::{planner, report, PlanError};
+
+struct Args {
+    spec: Option<String>,
+    out: Option<String>,
+    report: bool,
+    example: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: memsense-plan [--spec FILE] [--out FILE] [--report] [--example]"
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        spec: None,
+        out: None,
+        report: false,
+        example: false,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--spec" => {
+                args.spec = Some(iter.next().ok_or("--spec needs a file argument")?);
+            }
+            "--out" => {
+                args.out = Some(iter.next().ok_or("--out needs a file argument")?);
+            }
+            "--report" => args.report = true,
+            "--example" => args.example = true,
+            "--help" | "-h" => return Err(usage().to_string()),
+            other => return Err(format!("unknown argument {other:?}\n{}", usage())),
+        }
+    }
+    Ok(args)
+}
+
+fn run() -> Result<(), (u8, String)> {
+    let args = parse_args().map_err(|m| (1, m))?;
+    if args.example {
+        println!("{}", PlanSpec::example_json().canonical());
+        return Ok(());
+    }
+    let spec = match &args.spec {
+        None => PlanSpec::example(),
+        Some(path) => {
+            let text = fs::read_to_string(path)
+                .map_err(|e| (1, format!("cannot read spec {path:?}: {e}")))?;
+            PlanSpec::parse(&text).map_err(spec_exit)?
+        }
+    };
+    let plan = planner::plan(&spec).map_err(spec_exit)?;
+    let body = report::plan_json(&plan).canonical();
+    if let Some(path) = &args.out {
+        fs::write(path, format!("{body}\n"))
+            .map_err(|e| (1, format!("cannot write plan {path:?}: {e}")))?;
+    }
+    if args.report {
+        print!("{}", report::render_report(&plan));
+    } else if args.out.is_none() {
+        println!("{body}");
+    }
+    Ok(())
+}
+
+/// Spec errors exit 2 with the structured JSON body; model errors exit 1.
+fn spec_exit(e: PlanError) -> (u8, String) {
+    let code = if e.is_spec() { 2 } else { 1 };
+    (code, e.to_json().canonical())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err((code, message)) => {
+            eprintln!("{message}");
+            ExitCode::from(code)
+        }
+    }
+}

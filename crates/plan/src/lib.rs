@@ -1,0 +1,100 @@
+//! Fleet-scale memory capacity planning over the calibrated CPI model.
+//!
+//! The paper calibrates per-class CPI models; what operators actually do
+//! with such models is pick memory configurations for a fleet. This crate
+//! closes that loop: a **plan spec** describes a traffic mix (requests/s
+//! per workload class — millions of users), SLA targets (per-class CPI and
+//! loaded-latency ceilings, an aggregate bandwidth-headroom floor), and a
+//! hardware menu (channel count × speed × latency × capacity points with
+//! per-node costs). The planner prunes dominated menu entries, evaluates
+//! every surviving candidate as batched model solves fanned through the
+//! shared work-stealing executor, and emits a deterministic, cost-ranked
+//! plan: per-config CPI stacks, SLA pass/fail with binding-constraint
+//! attribution, cost per satisfied request, and a Pareto frontier over
+//! (total cost, worst-class slack).
+//!
+//! Three surfaces share this library: the `memsense-plan` CLI, the `plan`
+//! repro stage, and `POST /v1/plan` on `memsense-serve`.
+//!
+//! ```
+//! use memsense_plan::planner;
+//! use memsense_plan::spec::PlanSpec;
+//!
+//! let plan = planner::plan(&PlanSpec::example()).unwrap();
+//! assert!(plan.recommendation.is_some(), "the example mix is plannable");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod planner;
+pub mod report;
+pub mod spec;
+
+use std::fmt;
+
+use memsense_experiments::json::Json;
+use memsense_model::ModelError;
+
+/// Planning failure: either the spec is invalid (caller mistake) or the
+/// model could not evaluate a candidate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanError {
+    /// The plan spec failed validation; `field` names the offending input.
+    Spec {
+        /// Dotted path of the invalid field, e.g. `traffic[0].mreq_per_s`.
+        field: String,
+        /// What was wrong with it.
+        message: String,
+    },
+    /// The model rejected a candidate evaluation.
+    Model(ModelError),
+}
+
+impl PlanError {
+    /// A spec-validation error for `field`.
+    pub fn spec(field: impl Into<String>, message: impl Into<String>) -> PlanError {
+        PlanError::Spec {
+            field: field.into(),
+            message: message.into(),
+        }
+    }
+
+    /// True for caller mistakes in the spec (CLI exit 2, HTTP 400).
+    pub fn is_spec(&self) -> bool {
+        matches!(self, PlanError::Spec { .. })
+    }
+
+    /// The structured error body: `{"error": …, "field": …}` for spec
+    /// errors, `{"error": …}` for model failures. Canonical JSON.
+    pub fn to_json(&self) -> Json {
+        match self {
+            PlanError::Spec { field, message } => Json::obj(vec![
+                ("error", Json::str(message)),
+                ("field", Json::str(field)),
+            ]),
+            PlanError::Model(e) => {
+                Json::obj(vec![("error", Json::str(format!("model error: {e}")))])
+            }
+        }
+    }
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::Spec { field, message } => {
+                write!(f, "invalid plan spec: {field}: {message}")
+            }
+            PlanError::Model(e) => write!(f, "model error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+impl From<ModelError> for PlanError {
+    fn from(e: ModelError) -> PlanError {
+        PlanError::Model(e)
+    }
+}

@@ -1,0 +1,298 @@
+//! Plan rendering: the canonical JSON body and the human-readable report.
+//!
+//! The JSON body is the wire format for all three surfaces (CLI `--out`,
+//! the `plan` repro stage, `POST /v1/plan`), so every float goes through
+//! the canonical serializer and field order is fixed — the same plan is
+//! byte-identical everywhere, which is what makes serve's result cache and
+//! the golden fixture meaningful.
+
+use memsense_experiments::json::Json;
+use memsense_experiments::render::{f, pct, Table};
+
+use crate::planner::{CandidateOutcome, ClassOutcome, Plan};
+
+/// Schema tag carried by every plan body.
+pub const SCHEMA: &str = "memsense-plan/1";
+
+fn class_json(c: &ClassOutcome) -> Json {
+    let opt = |v: Option<f64>| v.map(Json::num).unwrap_or(Json::Null);
+    Json::obj(vec![
+        ("workload", Json::str(&c.name)),
+        ("segment", Json::str(c.segment)),
+        ("mreq_per_s", Json::num(c.mreq_per_s)),
+        ("demand_gips", Json::num(c.demand_gips)),
+        ("threads", Json::num(c.threads as f64)),
+        ("nodes", Json::num(c.nodes as f64)),
+        ("node_driver", Json::str(c.node_driver)),
+        ("cpi_eff", Json::num(c.cpi_eff)),
+        (
+            "cpi_stack",
+            Json::obj(vec![
+                ("cpi_cache", Json::num(c.stack.cpi_cache)),
+                ("compulsory_stall", Json::num(c.stack.compulsory_stall)),
+                ("queueing_stall", Json::num(c.stack.queueing_stall)),
+                ("bandwidth_residual", Json::num(c.stack.bandwidth_residual)),
+            ]),
+        ),
+        ("loaded_latency_ns", Json::num(c.loaded_latency_ns)),
+        ("utilization", Json::num(c.utilization)),
+        ("interference", Json::num(c.interference)),
+        ("cpi_slack", opt(c.cpi_slack)),
+        ("latency_slack", opt(c.latency_slack)),
+        ("sla_pass", Json::Bool(c.sla_pass)),
+    ])
+}
+
+fn candidate_json(c: &CandidateOutcome) -> Json {
+    Json::obj(vec![
+        ("name", Json::str(&c.hardware.name)),
+        ("tier", Json::str(&c.hardware.tier)),
+        ("channels", Json::num(c.hardware.channels as f64)),
+        ("mega_transfers", Json::num(c.hardware.mega_transfers)),
+        (
+            "unloaded_latency_ns",
+            Json::num(c.hardware.unloaded_latency_ns),
+        ),
+        ("capacity_gb", Json::num(c.hardware.capacity_gb)),
+        ("cost_per_node", Json::num(c.hardware.cost)),
+        ("nodes", Json::num(c.nodes as f64)),
+        ("node_driver", Json::str(c.node_driver)),
+        ("total_cost", Json::num(c.total_cost)),
+        ("cost_per_mreq_s", Json::num(c.cost_per_mreq_s)),
+        ("utilization", Json::num(c.utilization)),
+        ("bandwidth_slack", Json::num(c.bandwidth_slack)),
+        ("feasible", Json::Bool(c.feasible)),
+        ("worst_slack", Json::num(c.worst_slack)),
+        ("binding_constraint", Json::str(&c.binding_constraint)),
+        (
+            "classes",
+            Json::Arr(c.classes.iter().map(class_json).collect()),
+        ),
+    ])
+}
+
+/// Renders the full plan body.
+pub fn plan_json(plan: &Plan) -> Json {
+    Json::obj(vec![
+        ("schema", Json::str(SCHEMA)),
+        ("colocate", Json::Bool(plan.colocate)),
+        ("total_mreq_per_s", Json::num(plan.total_mreq_per_s)),
+        (
+            "candidates",
+            Json::Arr(plan.candidates.iter().map(candidate_json).collect()),
+        ),
+        (
+            "pruned",
+            Json::Arr(
+                plan.pruned
+                    .iter()
+                    .map(|p| {
+                        Json::obj(vec![
+                            ("name", Json::str(&p.name)),
+                            ("dominated_by", Json::str(&p.dominated_by)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "frontier",
+            Json::Arr(
+                plan.frontier
+                    .iter()
+                    .filter_map(|&i| plan.candidates.get(i))
+                    .map(|c| {
+                        Json::obj(vec![
+                            ("name", Json::str(&c.hardware.name)),
+                            ("total_cost", Json::num(c.total_cost)),
+                            ("worst_slack", Json::num(c.worst_slack)),
+                            ("feasible", Json::Bool(c.feasible)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "recommendation",
+            plan.recommendation
+                .as_deref()
+                .map(Json::str)
+                .unwrap_or(Json::Null),
+        ),
+    ])
+}
+
+/// The ranked-candidates table.
+pub fn candidates_table(plan: &Plan) -> Table {
+    let mut table = Table::new(
+        "memsense-plan · cost-ranked candidates",
+        &[
+            "rank",
+            "config",
+            "tier",
+            "nodes",
+            "driver",
+            "total cost",
+            "cost/Mreq/s",
+            "util",
+            "feasible",
+            "worst slack",
+            "binding constraint",
+        ],
+    );
+    for (rank, c) in plan.candidates.iter().enumerate() {
+        table.row(vec![
+            format!("{}", rank + 1),
+            c.hardware.name.clone(),
+            c.hardware.tier.clone(),
+            format!("{}", c.nodes),
+            c.node_driver.to_string(),
+            f(c.total_cost, 2),
+            f(c.cost_per_mreq_s, 4),
+            pct(c.utilization, 1),
+            if c.feasible { "yes" } else { "no" }.to_string(),
+            f(c.worst_slack, 3),
+            c.binding_constraint.clone(),
+        ]);
+    }
+    table
+}
+
+/// The Pareto frontier table (cost vs worst-class slack).
+pub fn frontier_table(plan: &Plan) -> Table {
+    let mut table = Table::new(
+        "Pareto frontier · total cost vs worst-class slack",
+        &["config", "total cost", "worst slack", "feasible"],
+    );
+    for &i in &plan.frontier {
+        if let Some(c) = plan.candidates.get(i) {
+            table.row(vec![
+                c.hardware.name.clone(),
+                f(c.total_cost, 2),
+                f(c.worst_slack, 3),
+                if c.feasible { "yes" } else { "no" }.to_string(),
+            ]);
+        }
+    }
+    table
+}
+
+/// The per-class breakdown table for the best (first-ranked) candidate.
+pub fn best_candidate_table(plan: &Plan) -> Option<Table> {
+    let c = plan.candidates.first()?;
+    let mut table = Table::new(
+        format!("per-class outcome on {}", c.hardware.name),
+        &[
+            "class",
+            "Mreq/s",
+            "threads",
+            "nodes",
+            "CPI",
+            "stall CPI",
+            "loaded ns",
+            "interference",
+            "SLA",
+        ],
+    );
+    for class in &c.classes {
+        let stall = class.stack.compulsory_stall
+            + class.stack.queueing_stall
+            + class.stack.bandwidth_residual;
+        table.row(vec![
+            class.name.clone(),
+            f(class.mreq_per_s, 2),
+            format!("{}", class.threads),
+            format!("{}", class.nodes),
+            f(class.cpi_eff, 3),
+            f(stall, 3),
+            f(class.loaded_latency_ns, 1),
+            f(class.interference, 3),
+            if class.sla_pass { "pass" } else { "FAIL" }.to_string(),
+        ]);
+    }
+    Some(table)
+}
+
+/// The full human-readable report.
+pub fn render_report(plan: &Plan) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "mode: {} | traffic: {} Mreq/s across {} classes\n",
+        if plan.colocate {
+            "colocated"
+        } else {
+            "dedicated"
+        },
+        f(plan.total_mreq_per_s, 2),
+        plan.candidates
+            .first()
+            .map(|c| c.classes.len())
+            .unwrap_or(0),
+    ));
+    match &plan.recommendation {
+        Some(name) => out.push_str(&format!("recommendation: {name}\n")),
+        None => out.push_str("recommendation: none (no candidate meets every SLA)\n"),
+    }
+    for p in &plan.pruned {
+        out.push_str(&format!(
+            "pruned: {} (dominated by {})\n",
+            p.name, p.dominated_by
+        ));
+    }
+    out.push('\n');
+    out.push_str(&candidates_table(plan).to_ascii());
+    out.push('\n');
+    out.push_str(&frontier_table(plan).to_ascii());
+    if let Some(table) = best_candidate_table(plan) {
+        out.push('\n');
+        out.push_str(&table.to_ascii());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::plan;
+    use crate::spec::PlanSpec;
+
+    #[test]
+    fn plan_json_is_canonical_and_complete() {
+        let plan = plan(&PlanSpec::example()).unwrap();
+        let body = plan_json(&plan).canonical();
+        let parsed = Json::parse(&body).unwrap();
+        assert_eq!(
+            parsed.get("schema").and_then(Json::as_str),
+            Some("memsense-plan/1")
+        );
+        assert_eq!(
+            parsed
+                .get("candidates")
+                .and_then(Json::as_arr)
+                .map(|a| a.len()),
+            Some(plan.candidates.len())
+        );
+        assert_eq!(
+            parsed.get("pruned").and_then(Json::as_arr).map(|a| a.len()),
+            Some(1)
+        );
+        assert!(parsed
+            .get("recommendation")
+            .and_then(Json::as_str)
+            .is_some());
+        // Canonical: re-serializing the parse is a fixed point.
+        assert_eq!(parsed.canonical(), body);
+    }
+
+    #[test]
+    fn report_names_every_candidate_and_the_frontier() {
+        let plan = plan(&PlanSpec::example()).unwrap();
+        let report = render_report(&plan);
+        for c in &plan.candidates {
+            assert!(report.contains(&c.hardware.name), "{}", c.hardware.name);
+        }
+        assert!(report.contains("Pareto frontier"));
+        assert!(report.contains("recommendation:"));
+        assert!(report.contains("pruned: 4ch-1333-overpriced"));
+    }
+}

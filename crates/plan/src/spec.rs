@@ -1,0 +1,759 @@
+//! The plan spec: traffic mix + SLA targets + hardware menu.
+//!
+//! Specs travel as canonical JSON (`memsense_experiments::json`). Parsing
+//! is strict in the same way `memsense-serve` is strict about
+//! Content-Length: unknown fields are rejected so typos cannot silently
+//! fall back to defaults, and every rate, cost, and SLA value must be
+//! finite and inside its domain — a spec that parses is a spec the planner
+//! can evaluate.
+
+use memsense_experiments::json::{fmt_f64, Json};
+use memsense_model::units::{GigaHertz, Nanoseconds};
+use memsense_model::workload::{Segment, WorkloadParams};
+use memsense_model::{ModelError, SystemConfig};
+
+use crate::PlanError;
+
+/// Most traffic classes accepted in one spec.
+pub const MAX_TRAFFIC_CLASSES: usize = 64;
+
+/// Most hardware menu entries accepted in one spec.
+pub const MAX_HARDWARE_OPTIONS: usize = 256;
+
+/// Per-class SLA ceilings. Absent ceilings are unconstrained.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ClassSla {
+    /// Ceiling on effective CPI.
+    pub max_cpi: Option<f64>,
+    /// Ceiling on loaded memory latency (compulsory + queueing), in ns.
+    pub max_loaded_latency_ns: Option<f64>,
+}
+
+/// One traffic class: a workload plus how much of it the fleet must carry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrafficClass {
+    /// The workload's calibrated model parameters.
+    pub workload: WorkloadParams,
+    /// Offered load, in millions of requests per second.
+    pub mreq_per_s: f64,
+    /// Average instructions retired per request.
+    pub instructions_per_request: f64,
+    /// Resident dataset this class must hold in memory (GB); 0 = none.
+    pub dataset_gb: f64,
+    /// Hardware threads per node for this class (colocated mode only).
+    pub threads: Option<u32>,
+    /// Per-class SLA ceilings.
+    pub sla: ClassSla,
+}
+
+/// One hardware menu entry: a memory configuration with a per-node cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HardwareOption {
+    /// Display name, unique within the menu.
+    pub name: String,
+    /// Memory channels per socket.
+    pub channels: u32,
+    /// Channel transfer rate (MT/s).
+    pub mega_transfers: f64,
+    /// Compulsory (unloaded) latency, ns.
+    pub unloaded_latency_ns: f64,
+    /// Memory capacity per node, GB.
+    pub capacity_gb: f64,
+    /// Technology tier label (e.g. `"ddr"`, `"hbm"`, `"cxl"`); free-form.
+    pub tier: String,
+    /// Relative cost per node.
+    pub cost: f64,
+}
+
+/// Compute-side node description shared by every menu entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeSpec {
+    /// Sockets per node.
+    pub sockets: u32,
+    /// Cores per socket.
+    pub cores_per_socket: u32,
+    /// Hardware threads per core.
+    pub threads_per_core: u32,
+    /// Core clock, GHz.
+    pub core_clock_ghz: f64,
+    /// Achievable fraction of peak channel bandwidth, in `(0, 1]`.
+    pub efficiency: f64,
+}
+
+impl Default for NodeSpec {
+    fn default() -> NodeSpec {
+        let base = SystemConfig::paper_baseline();
+        NodeSpec {
+            sockets: base.sockets(),
+            cores_per_socket: base.cores() / base.sockets(),
+            threads_per_core: base.hardware_threads() / base.cores(),
+            core_clock_ghz: base.core_clock().value(),
+            efficiency: base.efficiency(),
+        }
+    }
+}
+
+/// A validated plan spec.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanSpec {
+    /// The traffic mix, in input order.
+    pub traffic: Vec<TrafficClass>,
+    /// Aggregate SLA: fraction of effective bandwidth that must stay free,
+    /// in `[0, 1)`. Utilization above `1 - headroom` fails the plan.
+    pub min_bandwidth_headroom: f64,
+    /// The hardware menu, in input order.
+    pub hardware: Vec<HardwareOption>,
+    /// Share each node across all classes (true) or dedicate node pools
+    /// per class (false).
+    pub colocate: bool,
+    /// Compute-side node description.
+    pub node: NodeSpec,
+}
+
+impl PlanSpec {
+    /// Builds the node-level [`SystemConfig`] (memory side still at the
+    /// paper baseline; the planner overrides it per menu entry).
+    ///
+    /// # Errors
+    ///
+    /// [`PlanError::Spec`] when the node description is inconsistent.
+    pub fn node_config(&self) -> Result<SystemConfig, PlanError> {
+        SystemConfig::new(
+            self.node.sockets,
+            self.node.cores_per_socket,
+            self.node.threads_per_core,
+            GigaHertz(self.node.core_clock_ghz),
+            // Placeholder memory side; every candidate overrides it.
+            4,
+            1866.7,
+            self.node.efficiency,
+            Nanoseconds(75.0),
+        )
+        .map_err(|e: ModelError| PlanError::spec("node", format!("{e}")))
+    }
+
+    /// Parses and validates a spec from raw JSON text.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanError::Spec`] naming the first invalid field.
+    pub fn parse(text: &str) -> Result<PlanSpec, PlanError> {
+        let json = Json::parse(text)
+            .map_err(|e| PlanError::spec("(root)", format!("invalid JSON: {e}")))?;
+        PlanSpec::from_json(&json)
+    }
+
+    /// Parses and validates a spec from parsed JSON.
+    ///
+    /// # Errors
+    ///
+    /// [`PlanError::Spec`] naming the first invalid field.
+    pub fn from_json(body: &Json) -> Result<PlanSpec, PlanError> {
+        check_keys(
+            body,
+            "(root)",
+            &["traffic", "sla", "hardware", "colocate", "node"],
+        )?;
+        let traffic = parse_traffic(body)?;
+        let min_bandwidth_headroom = parse_aggregate_sla(body)?;
+        let hardware = parse_hardware(body)?;
+        let colocate = parse_bool(body, "colocate", false)?;
+        let node = parse_node(body)?;
+        let spec = PlanSpec {
+            traffic,
+            min_bandwidth_headroom,
+            hardware,
+            colocate,
+            node,
+        };
+        if !spec.colocate {
+            if let Some((i, _)) = spec
+                .traffic
+                .iter()
+                .enumerate()
+                .find(|(_, t)| t.threads.is_some())
+            {
+                return Err(PlanError::spec(
+                    format!("traffic[{i}].threads"),
+                    "threads is only meaningful with \"colocate\": true",
+                ));
+            }
+        }
+        // The node description must be self-consistent before any candidate
+        // is evaluated, so a bad spec fails at parse time with exit 2.
+        spec.node_config()?;
+        Ok(spec)
+    }
+
+    /// The worked "millions of users" example mix: a latency-sensitive web
+    /// tier, a dataset-heavy analytics tier, and a bandwidth-hungry ML
+    /// tier, planned over a six-entry DDR menu (one entry deliberately
+    /// dominated, to exercise pruning).
+    pub fn example() -> PlanSpec {
+        // memsense-lint: allow(no-panic-in-lib) — compile-time constants, pinned by tests
+        PlanSpec::from_json(&PlanSpec::example_json()).expect("example spec is valid")
+    }
+
+    /// The example spec as JSON (what `memsense-plan --example` prints).
+    pub fn example_json() -> Json {
+        let class =
+            |workload: &str, mreq: f64, ipr: f64, dataset: f64, sla: Option<Json>| -> Json {
+                let mut fields = vec![
+                    ("workload", Json::str(workload)),
+                    ("mreq_per_s", Json::num(mreq)),
+                    ("instructions_per_request", Json::num(ipr)),
+                ];
+                if dataset > 0.0 {
+                    fields.push(("dataset_gb", Json::num(dataset)));
+                }
+                if let Some(sla) = sla {
+                    fields.push(("sla", sla));
+                }
+                Json::obj(fields)
+            };
+        let hw = |name: &str, ch: f64, mts: f64, lat: f64, cap: f64, cost: f64| -> Json {
+            Json::obj(vec![
+                ("name", Json::str(name)),
+                ("channels", Json::num(ch)),
+                ("mega_transfers", Json::num(mts)),
+                ("unloaded_latency_ns", Json::num(lat)),
+                ("capacity_gb", Json::num(cap)),
+                ("cost", Json::num(cost)),
+            ])
+        };
+        Json::obj(vec![
+            (
+                "traffic",
+                Json::Arr(vec![
+                    class(
+                        "enterprise",
+                        40.0,
+                        50e3,
+                        0.0,
+                        Some(Json::obj(vec![
+                            ("max_cpi", Json::num(5.0)),
+                            ("max_loaded_latency_ns", Json::num(140.0)),
+                        ])),
+                    ),
+                    class(
+                        "big data",
+                        2.0,
+                        5e6,
+                        4096.0,
+                        Some(Json::obj(vec![("max_cpi", Json::num(8.0))])),
+                    ),
+                    class("hpc", 0.5, 2e7, 0.0, None),
+                ]),
+            ),
+            (
+                "sla",
+                Json::obj(vec![("min_bandwidth_headroom", Json::num(0.1))]),
+            ),
+            (
+                "hardware",
+                Json::Arr(vec![
+                    hw("2ch-1333-budget", 2.0, 1333.0, 95.0, 128.0, 0.55),
+                    hw("4ch-1333-value", 4.0, 1333.0, 85.0, 256.0, 0.80),
+                    hw("4ch-1867-baseline", 4.0, 1866.7, 75.0, 256.0, 1.0),
+                    // Dominated on every axis by 4ch-1867-baseline: the
+                    // pruning pass must report it instead of evaluating it.
+                    hw("4ch-1333-overpriced", 4.0, 1333.0, 85.0, 256.0, 1.1),
+                    hw("6ch-1867-wide", 6.0, 1866.7, 75.0, 384.0, 1.25),
+                    hw("8ch-2400-max", 8.0, 2400.0, 75.0, 512.0, 1.7),
+                ]),
+            ),
+        ])
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strict field parsing
+// ---------------------------------------------------------------------------
+
+fn check_keys(body: &Json, path: &str, allowed: &[&str]) -> Result<(), PlanError> {
+    let Json::Obj(fields) = body else {
+        return Err(PlanError::spec(path, "must be a JSON object"));
+    };
+    for (key, _) in fields {
+        if !allowed.contains(&key.as_str()) {
+            return Err(PlanError::spec(
+                format!("{path}.{key}"),
+                format!("unknown field (expected one of: {})", allowed.join(", ")),
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn parse_bool(obj: &Json, key: &str, default: bool) -> Result<bool, PlanError> {
+    match obj.get(key) {
+        None => Ok(default),
+        Some(Json::Bool(b)) => Ok(*b),
+        Some(_) => Err(PlanError::spec(key, "must be a boolean")),
+    }
+}
+
+/// A required, finite number.
+fn need_num(obj: &Json, path: &str, key: &str) -> Result<f64, PlanError> {
+    let v = obj
+        .get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| PlanError::spec(format!("{path}.{key}"), "must be a number"))?;
+    if !v.is_finite() {
+        return Err(PlanError::spec(
+            format!("{path}.{key}"),
+            "must be finite (no NaN or infinity)",
+        ));
+    }
+    Ok(v)
+}
+
+/// An optional, finite number.
+fn opt_num(obj: &Json, path: &str, key: &str, default: f64) -> Result<f64, PlanError> {
+    if obj.get(key).is_none() {
+        return Ok(default);
+    }
+    need_num(obj, path, key)
+}
+
+/// A required finite number that must be strictly positive.
+fn need_pos(obj: &Json, path: &str, key: &str) -> Result<f64, PlanError> {
+    let v = need_num(obj, path, key)?;
+    if v <= 0.0 {
+        return Err(PlanError::spec(
+            format!("{path}.{key}"),
+            format!("must be > 0 (got {})", fmt_f64(v)),
+        ));
+    }
+    Ok(v)
+}
+
+fn need_u32(obj: &Json, path: &str, key: &str) -> Result<u32, PlanError> {
+    obj.get(key)
+        .and_then(Json::as_u64)
+        .and_then(|n| u32::try_from(n).ok())
+        .ok_or_else(|| PlanError::spec(format!("{path}.{key}"), "must be a non-negative integer"))
+}
+
+fn opt_u32(obj: &Json, path: &str, key: &str, default: u32) -> Result<u32, PlanError> {
+    if obj.get(key).is_none() {
+        return Ok(default);
+    }
+    need_u32(obj, path, key)
+}
+
+fn parse_workload(value: &Json, path: &str) -> Result<WorkloadParams, PlanError> {
+    match value {
+        Json::Str(name) => WorkloadParams::by_name(name)
+            .ok_or_else(|| PlanError::spec(path, format!("unknown workload {name:?}"))),
+        Json::Obj(_) => {
+            check_keys(
+                value,
+                path,
+                &[
+                    "name",
+                    "segment",
+                    "cpi_cache",
+                    "bf",
+                    "mpki",
+                    "wbr",
+                    "iopi",
+                    "iosz",
+                ],
+            )?;
+            let name = match value.get("name") {
+                None => "custom",
+                Some(v) => v
+                    .as_str()
+                    .ok_or_else(|| PlanError::spec(format!("{path}.name"), "must be a string"))?,
+            };
+            let segment = match value.get("segment") {
+                None => Segment::BigData,
+                Some(v) => v.as_str().and_then(Segment::from_token).ok_or_else(|| {
+                    PlanError::spec(
+                        format!("{path}.segment"),
+                        "must be \"big_data\", \"enterprise\", or \"hpc\"",
+                    )
+                })?,
+            };
+            let workload = WorkloadParams::new(
+                name,
+                segment,
+                need_num(value, path, "cpi_cache")?,
+                need_num(value, path, "bf")?,
+                need_num(value, path, "mpki")?,
+                need_num(value, path, "wbr")?,
+            )
+            .map_err(|e| PlanError::spec(path, format!("{e}")))?;
+            if value.get("iopi").is_some() || value.get("iosz").is_some() {
+                workload
+                    .with_io(
+                        opt_num(value, path, "iopi", 0.0)?,
+                        opt_num(value, path, "iosz", 0.0)?,
+                    )
+                    .map_err(|e| PlanError::spec(path, format!("{e}")))
+            } else {
+                Ok(workload)
+            }
+        }
+        _ => Err(PlanError::spec(
+            path,
+            "must be a workload name or a parameter object",
+        )),
+    }
+}
+
+fn parse_class_sla(value: &Json, path: &str) -> Result<ClassSla, PlanError> {
+    check_keys(value, path, &["max_cpi", "max_loaded_latency_ns"])?;
+    let ceiling = |key: &str| -> Result<Option<f64>, PlanError> {
+        if value.get(key).is_none() {
+            return Ok(None);
+        }
+        Ok(Some(need_pos(value, path, key)?))
+    };
+    Ok(ClassSla {
+        max_cpi: ceiling("max_cpi")?,
+        max_loaded_latency_ns: ceiling("max_loaded_latency_ns")?,
+    })
+}
+
+fn parse_traffic(body: &Json) -> Result<Vec<TrafficClass>, PlanError> {
+    let value = body
+        .get("traffic")
+        .ok_or_else(|| PlanError::spec("traffic", "required field is missing"))?;
+    let items = value
+        .as_arr()
+        .ok_or_else(|| PlanError::spec("traffic", "must be an array"))?;
+    if items.is_empty() {
+        return Err(PlanError::spec("traffic", "must not be empty"));
+    }
+    if items.len() > MAX_TRAFFIC_CLASSES {
+        return Err(PlanError::spec(
+            "traffic",
+            format!("accepts at most {MAX_TRAFFIC_CLASSES} classes"),
+        ));
+    }
+    let mut traffic = Vec::with_capacity(items.len());
+    for (i, item) in items.iter().enumerate() {
+        let path = format!("traffic[{i}]");
+        check_keys(
+            item,
+            &path,
+            &[
+                "workload",
+                "mreq_per_s",
+                "instructions_per_request",
+                "dataset_gb",
+                "threads",
+                "sla",
+            ],
+        )?;
+        let workload = parse_workload(
+            item.get("workload").ok_or_else(|| {
+                PlanError::spec(format!("{path}.workload"), "required field is missing")
+            })?,
+            &format!("{path}.workload"),
+        )?;
+        let mreq_per_s = need_pos(item, &path, "mreq_per_s")?;
+        let instructions_per_request = need_pos(item, &path, "instructions_per_request")?;
+        let dataset_gb = opt_num(item, &path, "dataset_gb", 0.0)?;
+        if dataset_gb < 0.0 {
+            return Err(PlanError::spec(
+                format!("{path}.dataset_gb"),
+                format!("must be >= 0 (got {})", fmt_f64(dataset_gb)),
+            ));
+        }
+        let threads = match item.get("threads") {
+            None => None,
+            Some(_) => {
+                let t = need_u32(item, &path, "threads")?;
+                if t == 0 {
+                    return Err(PlanError::spec(format!("{path}.threads"), "must be > 0"));
+                }
+                Some(t)
+            }
+        };
+        let sla = match item.get("sla") {
+            None => ClassSla::default(),
+            Some(v) => parse_class_sla(v, &format!("{path}.sla"))?,
+        };
+        traffic.push(TrafficClass {
+            workload,
+            mreq_per_s,
+            instructions_per_request,
+            dataset_gb,
+            threads,
+            sla,
+        });
+    }
+    Ok(traffic)
+}
+
+fn parse_aggregate_sla(body: &Json) -> Result<f64, PlanError> {
+    let Some(value) = body.get("sla") else {
+        return Ok(0.0);
+    };
+    check_keys(value, "sla", &["min_bandwidth_headroom"])?;
+    let headroom = opt_num(value, "sla", "min_bandwidth_headroom", 0.0)?;
+    if !(0.0..1.0).contains(&headroom) {
+        return Err(PlanError::spec(
+            "sla.min_bandwidth_headroom",
+            format!("must be in [0, 1) (got {})", fmt_f64(headroom)),
+        ));
+    }
+    Ok(headroom)
+}
+
+fn parse_hardware(body: &Json) -> Result<Vec<HardwareOption>, PlanError> {
+    let value = body
+        .get("hardware")
+        .ok_or_else(|| PlanError::spec("hardware", "required field is missing"))?;
+    let items = value
+        .as_arr()
+        .ok_or_else(|| PlanError::spec("hardware", "must be an array"))?;
+    if items.is_empty() {
+        return Err(PlanError::spec("hardware", "must not be empty"));
+    }
+    if items.len() > MAX_HARDWARE_OPTIONS {
+        return Err(PlanError::spec(
+            "hardware",
+            format!("accepts at most {MAX_HARDWARE_OPTIONS} entries"),
+        ));
+    }
+    let mut hardware: Vec<HardwareOption> = Vec::with_capacity(items.len());
+    for (i, item) in items.iter().enumerate() {
+        let path = format!("hardware[{i}]");
+        check_keys(
+            item,
+            &path,
+            &[
+                "name",
+                "channels",
+                "mega_transfers",
+                "unloaded_latency_ns",
+                "capacity_gb",
+                "tier",
+                "cost",
+            ],
+        )?;
+        let channels = need_u32(item, &path, "channels")?;
+        if channels == 0 {
+            return Err(PlanError::spec(format!("{path}.channels"), "must be > 0"));
+        }
+        let mega_transfers = need_pos(item, &path, "mega_transfers")?;
+        let unloaded_latency_ns = need_num(item, &path, "unloaded_latency_ns")?;
+        if unloaded_latency_ns < 0.0 {
+            return Err(PlanError::spec(
+                format!("{path}.unloaded_latency_ns"),
+                format!("must be >= 0 (got {})", fmt_f64(unloaded_latency_ns)),
+            ));
+        }
+        let capacity_gb = need_pos(item, &path, "capacity_gb")?;
+        let cost = need_pos(item, &path, "cost")?;
+        let name = match item.get("name") {
+            // Default names reach plan bodies (and thus serve cache keys),
+            // so floats must go through the canonical formatter.
+            None => format!("{channels}ch-{}mts", fmt_f64(mega_transfers)),
+            Some(v) => v
+                .as_str()
+                .ok_or_else(|| PlanError::spec(format!("{path}.name"), "must be a string"))?
+                .to_string(),
+        };
+        if hardware.iter().any(|h| h.name == name) {
+            return Err(PlanError::spec(
+                format!("{path}.name"),
+                format!("duplicate name {name:?}"),
+            ));
+        }
+        let tier = match item.get("tier") {
+            None => "ddr".to_string(),
+            Some(v) => v
+                .as_str()
+                .ok_or_else(|| PlanError::spec(format!("{path}.tier"), "must be a string"))?
+                .to_string(),
+        };
+        hardware.push(HardwareOption {
+            name,
+            channels,
+            mega_transfers,
+            unloaded_latency_ns,
+            capacity_gb,
+            tier,
+            cost,
+        });
+    }
+    Ok(hardware)
+}
+
+fn parse_node(body: &Json) -> Result<NodeSpec, PlanError> {
+    let defaults = NodeSpec::default();
+    let Some(value) = body.get("node") else {
+        return Ok(defaults);
+    };
+    check_keys(
+        value,
+        "node",
+        &[
+            "sockets",
+            "cores_per_socket",
+            "threads_per_core",
+            "core_clock_ghz",
+            "efficiency",
+        ],
+    )?;
+    Ok(NodeSpec {
+        sockets: opt_u32(value, "node", "sockets", defaults.sockets)?,
+        cores_per_socket: opt_u32(value, "node", "cores_per_socket", defaults.cores_per_socket)?,
+        threads_per_core: opt_u32(value, "node", "threads_per_core", defaults.threads_per_core)?,
+        core_clock_ghz: opt_num(value, "node", "core_clock_ghz", defaults.core_clock_ghz)?,
+        efficiency: opt_num(value, "node", "efficiency", defaults.efficiency)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example_text() -> String {
+        PlanSpec::example_json().canonical()
+    }
+
+    #[test]
+    fn example_spec_parses_and_round_trips() {
+        let spec = PlanSpec::parse(&example_text()).unwrap();
+        assert_eq!(spec.traffic.len(), 3);
+        assert_eq!(spec.hardware.len(), 6);
+        assert!(!spec.colocate);
+        assert!((spec.min_bandwidth_headroom - 0.1).abs() < 1e-12);
+        assert_eq!(spec, PlanSpec::example());
+    }
+
+    #[test]
+    fn unknown_fields_are_rejected_with_field_paths() {
+        let err = PlanSpec::parse(r#"{"trafic": []}"#).unwrap_err();
+        let PlanError::Spec { field, .. } = &err else {
+            panic!("expected spec error, got {err:?}");
+        };
+        assert_eq!(field, "(root).trafic");
+    }
+
+    #[test]
+    fn negative_and_nonfinite_values_are_rejected() {
+        let mut base = PlanSpec::example_json();
+        // Negative rate.
+        if let Json::Obj(fields) = &mut base {
+            for (key, value) in fields.iter_mut() {
+                if key == "traffic" {
+                    if let Json::Arr(items) = value {
+                        if let Some(Json::Obj(class)) = items.first_mut() {
+                            for (k, v) in class.iter_mut() {
+                                if k == "mreq_per_s" {
+                                    *v = Json::num(-1.0);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let err = PlanSpec::from_json(&base).unwrap_err();
+        let PlanError::Spec { field, message } = &err else {
+            panic!("expected spec error, got {err:?}");
+        };
+        assert_eq!(field, "traffic[0].mreq_per_s");
+        assert!(message.contains("> 0"), "{message}");
+
+        // Non-finite rate: the strict JSON parser refuses NaN/infinity
+        // literals at the wire, so validation is probed on parsed JSON.
+        let infinite = Json::parse(
+            r#"{"traffic": [{"workload": "hpc", "mreq_per_s": 1,
+                "instructions_per_request": 1000}],
+                "hardware": [{"channels": 4, "mega_transfers": 1600,
+                "unloaded_latency_ns": 80, "capacity_gb": 128, "cost": 1}]}"#,
+        )
+        .map(|mut json| {
+            if let Json::Obj(fields) = &mut json {
+                for (key, value) in fields.iter_mut() {
+                    if key == "hardware" {
+                        if let Json::Arr(items) = value {
+                            if let Some(Json::Obj(hw)) = items.first_mut() {
+                                for (k, v) in hw.iter_mut() {
+                                    if k == "cost" {
+                                        *v = Json::Num(f64::INFINITY);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            json
+        })
+        .unwrap();
+        match PlanSpec::from_json(&infinite) {
+            Err(PlanError::Spec { field, message }) => {
+                assert_eq!(field, "hardware[0].cost");
+                assert!(message.contains("finite"), "{message}");
+            }
+            other => panic!("expected a spec error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sla_ceilings_must_be_positive() {
+        let text = r#"{"traffic": [{"workload": "hpc", "mreq_per_s": 1,
+            "instructions_per_request": 1000, "sla": {"max_cpi": 0}}],
+            "hardware": [{"channels": 4, "mega_transfers": 1600,
+            "unloaded_latency_ns": 80, "capacity_gb": 128, "cost": 1}]}"#;
+        let err = PlanSpec::parse(text).unwrap_err();
+        assert!(err.is_spec());
+        assert!(format!("{err}").contains("max_cpi"), "{err}");
+    }
+
+    #[test]
+    fn headroom_outside_unit_interval_is_rejected() {
+        for bad in ["1", "-0.1", "2"] {
+            let text = format!(
+                r#"{{"traffic": [{{"workload": "hpc", "mreq_per_s": 1,
+                "instructions_per_request": 1000}}],
+                "sla": {{"min_bandwidth_headroom": {bad}}},
+                "hardware": [{{"channels": 4, "mega_transfers": 1600,
+                "unloaded_latency_ns": 80, "capacity_gb": 128, "cost": 1}}]}}"#
+            );
+            assert!(PlanSpec::parse(&text).is_err(), "headroom {bad} accepted");
+        }
+    }
+
+    #[test]
+    fn threads_require_colocate_mode() {
+        let text = r#"{"traffic": [{"workload": "hpc", "mreq_per_s": 1,
+            "instructions_per_request": 1000, "threads": 8}],
+            "hardware": [{"channels": 4, "mega_transfers": 1600,
+            "unloaded_latency_ns": 80, "capacity_gb": 128, "cost": 1}]}"#;
+        let err = PlanSpec::parse(text).unwrap_err();
+        assert!(format!("{err}").contains("colocate"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_hardware_names_are_rejected() {
+        let text = r#"{"traffic": [{"workload": "hpc", "mreq_per_s": 1,
+            "instructions_per_request": 1000}],
+            "hardware": [
+              {"name": "a", "channels": 4, "mega_transfers": 1600,
+               "unloaded_latency_ns": 80, "capacity_gb": 128, "cost": 1},
+              {"name": "a", "channels": 2, "mega_transfers": 1333,
+               "unloaded_latency_ns": 95, "capacity_gb": 64, "cost": 0.5}
+            ]}"#;
+        let err = PlanSpec::parse(text).unwrap_err();
+        assert!(format!("{err}").contains("duplicate"), "{err}");
+    }
+
+    #[test]
+    fn structured_error_body_is_canonical_json() {
+        let err = PlanSpec::parse("{not json").unwrap_err();
+        let body = err.to_json().canonical();
+        let parsed = Json::parse(&body).unwrap();
+        assert!(parsed.get("error").is_some());
+        assert_eq!(parsed.get("field").and_then(Json::as_str), Some("(root)"));
+    }
+}

@@ -1,0 +1,108 @@
+//! Golden-plan determinism: the CLI must emit a byte-identical, committed
+//! plan body regardless of `MEMSENSE_THREADS`.
+//!
+//! The executor reads `MEMSENSE_THREADS` once per process, so each thread
+//! count gets its own subprocess — an in-process loop would silently test
+//! one setting three times.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use memsense_experiments::json::Json;
+use memsense_plan::spec::PlanSpec;
+use memsense_plan::{planner, report};
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn run_cli(args: &[&str], threads: &str) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_memsense-plan"))
+        .args(args)
+        .env("MEMSENSE_THREADS", threads)
+        .output()
+        .expect("spawn memsense-plan")
+}
+
+#[test]
+fn golden_plan_is_byte_identical_across_thread_counts() {
+    let golden = std::fs::read(fixture("golden_plan.json")).expect("committed golden plan");
+    let spec = fixture("golden_spec.json");
+    let spec = spec.to_str().expect("utf-8 fixture path");
+    for threads in ["1", "2", "8"] {
+        let out = run_cli(&["--spec", spec], threads);
+        assert!(
+            out.status.success(),
+            "MEMSENSE_THREADS={threads}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert_eq!(
+            out.stdout, golden,
+            "plan body must be byte-identical to the committed golden at \
+             MEMSENSE_THREADS={threads}"
+        );
+    }
+}
+
+#[test]
+fn golden_plan_matches_the_library_and_is_canonical() {
+    // The committed fixture is not stale: re-planning the committed spec
+    // through the library reproduces it, and the body is canonical JSON.
+    let spec_text = std::fs::read_to_string(fixture("golden_spec.json")).expect("spec fixture");
+    let spec = PlanSpec::parse(&spec_text).expect("fixture spec is valid");
+    let body = format!(
+        "{}\n",
+        report::plan_json(&planner::plan(&spec).unwrap()).canonical()
+    );
+    let golden = std::fs::read_to_string(fixture("golden_plan.json")).expect("plan fixture");
+    assert_eq!(
+        body, golden,
+        "committed golden plan is stale; regenerate it"
+    );
+    let parsed = Json::parse(golden.trim_end()).expect("golden plan parses");
+    assert_eq!(format!("{}\n", parsed.canonical()), golden);
+}
+
+#[test]
+fn default_invocation_plans_the_example_spec() {
+    let out = run_cli(&[], "2");
+    assert!(out.status.success());
+    let expected = format!(
+        "{}\n",
+        report::plan_json(&planner::plan(&PlanSpec::example()).unwrap()).canonical()
+    );
+    assert_eq!(String::from_utf8_lossy(&out.stdout), expected);
+
+    // --example prints a spec that parses back into the same plan input.
+    let out = run_cli(&["--example"], "2");
+    assert!(out.status.success());
+    let spec_text = String::from_utf8(out.stdout).expect("utf-8 spec");
+    assert!(PlanSpec::parse(&spec_text).is_ok(), "{spec_text}");
+}
+
+#[test]
+fn invalid_spec_exits_2_with_a_structured_error() {
+    let dir = std::env::temp_dir();
+    let path = dir.join("memsense-plan-golden-bad-spec.json");
+    std::fs::write(
+        &path,
+        r#"{"traffic": [{"workload": "big data", "mreq_per_s": 1,
+            "instructions_per_request": -5}],
+            "hardware": [{"channels": 4, "mega_transfers": 1866.7,
+            "unloaded_latency_ns": 75, "capacity_gb": 256, "cost": 1}]}"#,
+    )
+    .expect("write bad spec");
+    let out = run_cli(&["--spec", path.to_str().expect("utf-8 temp path")], "2");
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(out.status.code(), Some(2), "spec errors must exit 2");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    let error = Json::parse(stderr.trim()).expect("structured stderr");
+    assert_eq!(
+        error.get("field").and_then(Json::as_str),
+        Some("traffic[0].instructions_per_request"),
+        "{stderr}"
+    );
+    assert!(error.get("error").and_then(Json::as_str).is_some());
+}

@@ -38,6 +38,8 @@ use memsense_model::system::SystemConfig;
 use memsense_model::units::{GigaHertz, Nanoseconds};
 use memsense_model::workload::{Segment, WorkloadParams};
 use memsense_model::ModelError;
+use memsense_plan::spec::PlanSpec;
+use memsense_plan::PlanError;
 
 /// Most workloads accepted in one sweep/equivalence request.
 pub const MAX_WORKLOADS: usize = 256;
@@ -52,6 +54,9 @@ pub struct ApiError {
     pub status: u16,
     /// Human-readable explanation, returned as `{"error": …}`.
     pub message: String,
+    /// Dotted path of the offending request field, when one is known
+    /// (plan-spec validation); rendered as a `"field"` key in the body.
+    pub field: Option<String>,
 }
 
 impl ApiError {
@@ -60,12 +65,29 @@ impl ApiError {
         ApiError {
             status: 400,
             message: message.into(),
+            field: None,
+        }
+    }
+
+    /// A 400 Bad Request that names the offending field.
+    pub fn bad_field(field: impl Into<String>, message: impl Into<String>) -> ApiError {
+        ApiError {
+            status: 400,
+            message: message.into(),
+            field: Some(field.into()),
         }
     }
 
     /// Renders the JSON error body for this error.
     pub fn body(&self) -> String {
-        error_body(&self.message)
+        match &self.field {
+            None => error_body(&self.message),
+            Some(field) => Json::obj(vec![
+                ("error", Json::str(&self.message)),
+                ("field", Json::str(field)),
+            ])
+            .to_string(),
+        }
     }
 }
 
@@ -695,6 +717,63 @@ pub fn capacity(body: &Json) -> Result<Json, ApiError> {
     ]))
 }
 
+/// `POST /v1/plan` — fleet-scale capacity planning: design-space search
+/// over a hardware menu against a traffic mix and per-class SLAs, returning
+/// the cost-ranked plan body from `memsense-plan` (`report::plan_json`).
+///
+/// The request body is a plan spec (`traffic`, `sla`, `hardware`,
+/// `colocate`, `node`) plus the usual opaque `tag`; an empty body plans the
+/// worked example mix. Spec-validation failures carry the offending field
+/// path in the error body: `{"error": …, "field": …}`.
+///
+/// # Errors
+///
+/// [`ApiError`] (400) for malformed requests, invalid specs, or candidate
+/// evaluations the model rejects.
+pub fn plan_endpoint(body: &Json) -> Result<Json, ApiError> {
+    check_keys(
+        body,
+        &["traffic", "sla", "hardware", "colocate", "node", "tag"],
+    )?;
+    // `tag` is serve-level (a cache-key salt); the spec parser does not know
+    // it, so strip it before handing the object over.
+    let spec_body = match body {
+        Json::Obj(fields) => Json::Obj(
+            fields
+                .iter()
+                .filter(|(key, _)| key != "tag")
+                .cloned()
+                .collect(),
+        ),
+        _ => body.clone(),
+    };
+    let spec = if matches!(&spec_body, Json::Obj(fields) if fields.is_empty()) {
+        PlanSpec::example()
+    } else {
+        PlanSpec::from_json(&spec_body).map_err(plan_err)?
+    };
+    let plan = memsense_plan::planner::plan(&spec);
+    // The planner fans candidate evaluations through the shared executor;
+    // a long-lived daemon must drain its job log (see `sweep`).
+    executor::drain_job_log();
+    let body = memsense_plan::report::plan_json(&plan.map_err(plan_err)?);
+    // The wire writes `Json::to_string` (insertion order); re-parse the
+    // canonical form so the served bytes equal the `memsense-plan --out`
+    // and repro-stage plan.json bodies exactly, not just semantically.
+    Json::parse(&body.canonical()).map_err(|e| ApiError {
+        status: 500,
+        message: format!("plan body failed to round-trip: {e}"),
+        field: None,
+    })
+}
+
+fn plan_err(e: PlanError) -> ApiError {
+    match e {
+        PlanError::Spec { field, message } => ApiError::bad_field(field, message),
+        PlanError::Model(e) => model_err(e),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -863,6 +942,50 @@ mod tests {
             .and_then(Json::as_f64)
             .unwrap();
         assert!(best > 0.0);
+    }
+
+    #[test]
+    fn plan_matches_direct_library_call() {
+        let response = plan_endpoint(&body("{}")).unwrap();
+        let direct = memsense_plan::planner::plan(&PlanSpec::example()).unwrap();
+        let direct_json = memsense_plan::report::plan_json(&direct);
+        assert_eq!(response.canonical(), direct_json.canonical());
+        // The opaque tag changes nothing but the cache key.
+        let tagged = plan_endpoint(&body(r#"{"tag": "t1"}"#)).unwrap();
+        assert_eq!(tagged.canonical(), direct_json.canonical());
+    }
+
+    #[test]
+    fn plan_accepts_a_full_spec() {
+        let spec = PlanSpec::example_json().canonical();
+        let response = plan_endpoint(&body(&spec)).unwrap();
+        assert_eq!(
+            response.get("schema").and_then(Json::as_str),
+            Some(memsense_plan::report::SCHEMA)
+        );
+        assert!(response
+            .get("recommendation")
+            .and_then(Json::as_str)
+            .is_some());
+    }
+
+    #[test]
+    fn plan_spec_errors_carry_the_field_path() {
+        let err = plan_endpoint(&body(
+            r#"{"traffic": [{"workload": "big data", "mreq_per_s": -1}]}"#,
+        ))
+        .unwrap_err();
+        assert_eq!(err.status, 400);
+        let rendered = Json::parse(&err.body()).unwrap();
+        assert_eq!(
+            rendered.get("field").and_then(Json::as_str),
+            Some("traffic[0].mreq_per_s")
+        );
+        assert!(rendered.get("error").and_then(Json::as_str).is_some());
+        // Unknown top-level fields are still the generic serve 400.
+        let err = plan_endpoint(&body(r#"{"trafic": []}"#)).unwrap_err();
+        assert_eq!(err.status, 400);
+        assert!(err.field.is_none());
     }
 
     #[test]

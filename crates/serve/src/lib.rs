@@ -14,6 +14,7 @@
 //! | `POST /v1/sweep/latency`  | Fig. 10-style compulsory-latency sweep         |
 //! | `POST /v1/equivalence`    | Tab. 7 latency ⇄ bandwidth equivalence         |
 //! | `POST /v1/capacity`       | capacity planning over candidate memory configs|
+//! | `POST /v1/plan`           | fleet-scale plan: design-space search vs SLAs  |
 //! | `GET /healthz`            | liveness                                       |
 //! | `GET /metrics`            | request counts, latency percentiles, cache     |
 //! | `POST /v1/admin/shutdown` | clean shutdown                                 |

@@ -260,4 +260,30 @@ mod tests {
             "p99 of [1,2,3] ms is 3 ms, got {p99}"
         );
     }
+
+    #[test]
+    fn plan_endpoint_percentiles_clamp_at_small_n() {
+        // `/v1/plan` rides the same registry as every other endpoint; pin
+        // that its percentiles obey the small-n nearest-rank clamp too (a
+        // plan solve is the slowest endpoint, so an interpolated p99 below
+        // the observed maximum would be the most misleading here).
+        let metrics = Metrics::new();
+        for ms in [40u64, 55] {
+            metrics.record("/v1/plan", 200, Duration::from_millis(ms));
+        }
+        let json = metrics.to_json(CacheStats::default(), FlightSnapshot::default());
+        let endpoints = json.get("endpoints").and_then(Json::as_arr).unwrap();
+        let plan = endpoints
+            .iter()
+            .find(|e| e.get("endpoint").and_then(Json::as_str) == Some("/v1/plan"))
+            .unwrap();
+        assert_eq!(plan.get("requests").and_then(Json::as_u64), Some(2));
+        for key in ["latency_ms_p90", "latency_ms_p99"] {
+            let v = plan.get(key).and_then(Json::as_f64).unwrap();
+            assert!(
+                (v - 55.0).abs() < 1e-9,
+                "{key} of [40,55] ms must clamp to the 55 ms maximum, got {v}"
+            );
+        }
+    }
 }

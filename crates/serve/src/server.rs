@@ -249,6 +249,7 @@ enum Endpoint {
     SweepLatency,
     Equivalence,
     Capacity,
+    Plan,
 }
 
 impl Endpoint {
@@ -259,6 +260,7 @@ impl Endpoint {
             "/v1/sweep/latency" => Some(Endpoint::SweepLatency),
             "/v1/equivalence" => Some(Endpoint::Equivalence),
             "/v1/capacity" => Some(Endpoint::Capacity),
+            "/v1/plan" => Some(Endpoint::Plan),
             _ => None,
         }
     }
@@ -271,6 +273,7 @@ impl Endpoint {
             Endpoint::SweepLatency => "/v1/sweep/latency",
             Endpoint::Equivalence => "/v1/equivalence",
             Endpoint::Capacity => "/v1/capacity",
+            Endpoint::Plan => "/v1/plan",
         }
     }
 
@@ -282,6 +285,7 @@ impl Endpoint {
             Endpoint::SweepLatency => api::sweep(SweepKind::Latency, body),
             Endpoint::Equivalence => api::equivalence_endpoint(body),
             Endpoint::Capacity => api::capacity(body),
+            Endpoint::Plan => api::plan_endpoint(body),
         }
     }
 }
@@ -822,6 +826,7 @@ fn known_path(path: &str) -> bool {
             | "/v1/sweep/latency"
             | "/v1/equivalence"
             | "/v1/capacity"
+            | "/v1/plan"
             | "/v1/admin/shutdown"
     )
 }

@@ -241,6 +241,66 @@ fn sweep_response_reconstructs_fig8_csv_byte_for_byte() {
 }
 
 #[test]
+fn plan_round_trip_matches_library_and_caches() {
+    let mut server = start();
+
+    // Round trip: the served plan is the library's plan, byte-for-byte.
+    let (status, body_a) = call(&server, "POST", "/v1/plan", "{}");
+    assert_eq!(status, 200);
+    let direct = memsense_plan::planner::plan(&memsense_plan::spec::PlanSpec::example()).unwrap();
+    assert_eq!(
+        body_a,
+        memsense_plan::report::plan_json(&direct).canonical(),
+        "served plan must match the library plan byte-for-byte"
+    );
+
+    // Re-query: byte-identical body from the result cache.
+    let (status, body_b) = call(&server, "POST", "/v1/plan", "{}");
+    assert_eq!(status, 200);
+    assert_eq!(body_a, body_b, "cached re-query must be byte-identical");
+    let (_, metrics) = call(&server, "GET", "/metrics", "");
+    let metrics = parsed(&metrics);
+    let cache = metrics.get("cache").unwrap();
+    assert_eq!(cache.get("hits").and_then(Json::as_u64), Some(1));
+    assert_eq!(cache.get("misses").and_then(Json::as_u64), Some(1));
+
+    // /metrics carries latency percentiles under the /v1/plan label.
+    let endpoints = metrics.get("endpoints").and_then(Json::as_arr).unwrap();
+    let plan_row = endpoints
+        .iter()
+        .find(|e| e.get("endpoint").and_then(Json::as_str) == Some("/v1/plan"))
+        .expect("/v1/plan endpoint row in /metrics");
+    assert_eq!(plan_row.get("requests").and_then(Json::as_u64), Some(2));
+    assert!(plan_row
+        .get("latency_ms_p99")
+        .and_then(Json::as_f64)
+        .is_some());
+
+    // Invalid spec: 400 whose canonical-JSON body names the field.
+    let (status, body) = call(
+        &server,
+        "POST",
+        "/v1/plan",
+        r#"{"traffic": [{"workload": "big data", "mreq_per_s": 1, "instructions_per_request": 1e6}],
+            "hardware": [{"channels": 4, "mega_transfers": 1866.7, "unloaded_latency_ns": 75,
+                          "capacity_gb": 256, "cost": -1}]}"#,
+    );
+    assert_eq!(status, 400);
+    let error = parsed(&body);
+    assert_eq!(
+        error.get("field").and_then(Json::as_str),
+        Some("hardware[0].cost")
+    );
+    assert!(
+        error.get("error").and_then(Json::as_str).is_some(),
+        "{body}"
+    );
+
+    server.stop();
+    server.join();
+}
+
+#[test]
 fn shutdown_endpoint_stops_the_server() {
     let mut server = start();
     let (status, body) = call(&server, "POST", "/v1/admin/shutdown", "");

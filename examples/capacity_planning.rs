@@ -1,135 +1,68 @@
-//! Capacity planning: size the memory system of a big-data analytics server.
+//! Capacity planning: size the memory fleet for a big-data analytics service.
 //!
 //! ```sh
 //! cargo run --release --example capacity_planning
 //! ```
 //!
 //! Scenario (the paper's intro motivation): you run an in-memory analytics
-//! cluster (column store + Spark) and must choose the next server's memory
-//! configuration. Channel count and speed cost money; this example sweeps
-//! the design space with the paper's model and prints throughput per
-//! configuration, the knee where the class becomes bandwidth bound, and the
-//! cheapest configuration within 5% of peak performance.
+//! cluster (column store + Spark) and must choose the next hardware
+//! generation's memory configuration. Channel count and speed cost money;
+//! this example writes the scenario down as a `memsense-plan` spec — a
+//! traffic mix, an SLA, and a hardware menu — and lets the planner sweep
+//! the design space: it prunes dominated menu entries, solves the paper's
+//! CPI model for every surviving candidate, sizes the fleet, and prints the
+//! cost-ranked plan with the Pareto frontier over (cost, worst-class slack).
+//!
+//! The same spec (as JSON) drives the `memsense-plan` CLI and the serve
+//! daemon's `POST /v1/plan` endpoint byte-for-byte.
 
-use memsense::model::queueing::QueueingCurve;
-use memsense::model::solver::{solve_cpi, Regime};
-use memsense::model::system::SystemConfig;
-use memsense::model::units::{GigaHertz, Nanoseconds};
-use memsense::model::workload::WorkloadParams;
-
-#[derive(Debug, Clone)]
-struct Option_ {
-    label: String,
-    channels: u32,
-    mts: f64,
-    relative_cost: f64,
-}
+use memsense::plan::spec::PlanSpec;
+use memsense::plan::{planner, report};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let workload = WorkloadParams::big_data_class();
-    let curve = QueueingCurve::composite_default();
+    // The original single-socket sweep, restated as a plan spec: one
+    // big-data class at fleet scale (1.5M requests/s, ~1M instructions
+    // each — millions of users), a CPI ceiling, and the familiar six-entry
+    // DDR3 menu for a 16-core (32-thread) 2.7 GHz socket. One entry is
+    // priced to be dominated, to show the pruner working.
+    let spec_text = r#"{
+        "traffic": [
+            {"workload": "big data",
+             "mreq_per_s": 1.5,
+             "instructions_per_request": 1e6,
+             "dataset_gb": 2048,
+             "sla": {"max_cpi": 8.0}}
+        ],
+        "sla": {"min_bandwidth_headroom": 0.05},
+        "node": {"sockets": 1, "cores_per_socket": 16, "threads_per_core": 2,
+                 "core_clock_ghz": 2.7, "efficiency": 0.70},
+        "hardware": [
+            {"name": "2ch DDR3-1333", "channels": 2, "mega_transfers": 1333,
+             "unloaded_latency_ns": 75, "capacity_gb": 128, "cost": 0.6},
+            {"name": "2ch DDR3-1867", "channels": 2, "mega_transfers": 1866.7,
+             "unloaded_latency_ns": 75, "capacity_gb": 128, "cost": 0.7},
+            {"name": "4ch DDR3-1333", "channels": 4, "mega_transfers": 1333,
+             "unloaded_latency_ns": 75, "capacity_gb": 256, "cost": 0.85},
+            {"name": "4ch DDR3-1333 (list price)", "channels": 4, "mega_transfers": 1333,
+             "unloaded_latency_ns": 75, "capacity_gb": 256, "cost": 1.05},
+            {"name": "4ch DDR3-1867", "channels": 4, "mega_transfers": 1866.7,
+             "unloaded_latency_ns": 75, "capacity_gb": 256, "cost": 1.0},
+            {"name": "6ch DDR3-1867", "channels": 6, "mega_transfers": 1866.7,
+             "unloaded_latency_ns": 75, "capacity_gb": 384, "cost": 1.25},
+            {"name": "8ch DDR3-1867", "channels": 8, "mega_transfers": 1866.7,
+             "unloaded_latency_ns": 75, "capacity_gb": 512, "cost": 1.5}
+        ]
+    }"#;
 
-    // Candidate memory configurations for a 16-core (32-thread) socket.
-    let options = vec![
-        Option_ {
-            label: "2ch DDR3-1333".into(),
-            channels: 2,
-            mts: 1333.0,
-            relative_cost: 0.6,
-        },
-        Option_ {
-            label: "2ch DDR3-1867".into(),
-            channels: 2,
-            mts: 1866.7,
-            relative_cost: 0.7,
-        },
-        Option_ {
-            label: "4ch DDR3-1333".into(),
-            channels: 4,
-            mts: 1333.0,
-            relative_cost: 0.85,
-        },
-        Option_ {
-            label: "4ch DDR3-1867".into(),
-            channels: 4,
-            mts: 1866.7,
-            relative_cost: 1.0,
-        },
-        Option_ {
-            label: "6ch DDR3-1867".into(),
-            channels: 6,
-            mts: 1866.7,
-            relative_cost: 1.25,
-        },
-        Option_ {
-            label: "8ch DDR3-1867".into(),
-            channels: 8,
-            mts: 1866.7,
-            relative_cost: 1.5,
-        },
-    ];
+    let spec = PlanSpec::parse(spec_text)?;
+    let plan = planner::plan(&spec)?;
+    println!("{}", report::render_report(&plan));
 
-    println!("big data class on a 16-core socket; throughput = threads / CPI\n");
     println!(
-        "{:<16} {:>9} {:>8} {:>8} {:>11} {:>18} {:>10}",
-        "config", "BW GB/s", "CPI", "util", "throughput", "regime", "perf/cost"
-    );
-
-    let mut results = Vec::new();
-    for opt in &options {
-        let sys = SystemConfig::new(
-            1,
-            16,
-            2,
-            GigaHertz(2.7),
-            opt.channels,
-            opt.mts,
-            0.70,
-            Nanoseconds(75.0),
-        )?;
-        let solved = solve_cpi(&workload, &sys, &curve)?;
-        // Relative throughput: instructions/second across threads.
-        let throughput = sys.hardware_threads() as f64 * sys.core_clock().value() / solved.cpi_eff;
-        results.push((opt.clone(), solved, throughput));
-    }
-
-    let best = results.iter().map(|(_, _, t)| *t).fold(f64::MIN, f64::max);
-    for (opt, solved, throughput) in &results {
-        println!(
-            "{:<16} {:>9.1} {:>8.3} {:>7.0}% {:>10.1}G {:>18} {:>10.2}",
-            opt.label,
-            solved.bandwidth_demand.value(),
-            solved.cpi_eff,
-            solved.utilization * 100.0,
-            throughput,
-            solved.regime,
-            throughput / best / opt.relative_cost,
-        );
-    }
-
-    // Find the knee: the narrowest configuration that is NOT bandwidth bound.
-    let knee = results
-        .iter()
-        .find(|(_, s, _)| s.regime != Regime::BandwidthBound)
-        .map(|(o, _, _)| o.label.clone())
-        .unwrap_or_else(|| "none".into());
-    println!("\nfirst configuration free of the bandwidth wall: {knee}");
-
-    // Cheapest within 5% of peak.
-    let pick = results
-        .iter()
-        .filter(|(_, _, t)| *t >= 0.95 * best)
-        .min_by(|a, b| a.0.relative_cost.total_cmp(&b.0.relative_cost))
-        .expect("non-empty");
-    println!(
-        "recommendation: {} — within 5% of peak at {:.0}% of the flagship cost",
-        pick.0.label,
-        pick.0.relative_cost * 100.0
-    );
-    println!(
-        "\n(the paper's Sec. VI.D guidance: \"cost savings can be achieved by \
+        "(the paper's Sec. VI.D guidance: \"cost savings can be achieved by \
          reducing available bandwidth without significantly impacting \
-         performance\" when the target class is not bandwidth bound)"
+         performance\" when the target class is not bandwidth bound — the \
+         frontier above is exactly that trade, priced per node)"
     );
     Ok(())
 }

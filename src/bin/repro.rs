@@ -50,7 +50,7 @@ fn main() -> ExitCode {
     if args.is_empty() || args.iter().any(|a| a == "-h" || a == "--help") {
         eprintln!(
             "usage: repro [--report] <target>...\n  targets: all fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 \
-             fig9 fig10 fig11 tab2 tab3 tab4 tab5 tab6 tab7 hierarchy ablation futuretech numa tornado cpistack report channels scorecard design fidelity colocation io\n  \
+             fig9 fig10 fig11 tab2 tab3 tab4 tab5 tab6 tab7 hierarchy ablation futuretech numa tornado cpistack report channels scorecard design fidelity colocation io plan\n  \
              --report: print per-stage run telemetry and write run_report.json\n  \
              MEMSENSE_THREADS=<n>: executor threads (1 = serial, 0/unset = all cores)"
         );
@@ -89,6 +89,7 @@ fn main() -> ExitCode {
             "fidelity",
             "colocation",
             "io",
+            "plan",
         ] {
             targets.insert(t.to_string());
         }
@@ -370,6 +371,45 @@ fn run_target(target: &str, out: &Path, buf: &mut String) -> Result<(), StageErr
                 out,
                 "tab7",
             )?;
+        }
+        "plan" => {
+            // The fleet-scale capacity planner over the built-in example
+            // mix; candidate evaluations fan out through the executor and
+            // attribute to this stage via the `plan/` job-label prefix.
+            use memsense_plan::spec::PlanSpec;
+            use memsense_plan::{planner, report};
+            let plan = planner::plan(&PlanSpec::example())?;
+            writeln!(
+                buf,
+                "plan: {:.2} Mreq/s over {} candidates ({} pruned), mode: {}",
+                plan.total_mreq_per_s,
+                plan.candidates.len(),
+                plan.pruned.len(),
+                if plan.colocate {
+                    "colocated"
+                } else {
+                    "dedicated"
+                },
+            )?;
+            for p in &plan.pruned {
+                writeln!(buf, "pruned: {} (dominated by {})", p.name, p.dominated_by)?;
+            }
+            match &plan.recommendation {
+                Some(name) => writeln!(buf, "recommendation: {name}")?,
+                None => writeln!(buf, "recommendation: none (no candidate meets every SLA)")?,
+            }
+            writeln!(buf)?;
+            emit(
+                buf,
+                &report::candidates_table(&plan),
+                out,
+                "plan_candidates",
+            )?;
+            emit(buf, &report::frontier_table(&plan), out, "plan_frontier")?;
+            std::fs::create_dir_all(out)?;
+            let path = out.join("plan.json");
+            std::fs::write(&path, format!("{}\n", report::plan_json(&plan).canonical()))?;
+            writeln!(buf, "[wrote {}]\n", path.display())?;
         }
         "io" => {
             emit(

@@ -18,6 +18,9 @@
 //! * [`stats`] — regression, clustering, and summary statistics.
 //! * [`experiments`] — calibration, validation, classification, and
 //!   reproduction of every table and figure.
+//! * [`plan`] — fleet-scale capacity planner: design-space search over a
+//!   hardware menu against per-class SLAs, cost-ranked with a Pareto
+//!   frontier (cost vs worst-class slack).
 //!
 //! # Quickstart
 //!
@@ -42,6 +45,7 @@
 pub use memsense_experiments as experiments;
 pub use memsense_mlc as mlc;
 pub use memsense_model as model;
+pub use memsense_plan as plan;
 pub use memsense_sim as sim;
 pub use memsense_stats as stats;
 pub use memsense_workloads as workloads;
