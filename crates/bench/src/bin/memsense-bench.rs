@@ -10,6 +10,10 @@
 //! memsense-bench serve-baseline                         # record BENCH_serve.json
 //! memsense-bench serve-baseline --check BENCH_serve.json --tolerance 1.0 \
 //!     --report serve_gate.json                          # CI mode
+//!
+//! memsense-bench stream-baseline                        # record BENCH_stream.json
+//! memsense-bench stream-baseline --check BENCH_stream.json --tolerance 1.0 \
+//!     --report stream_gate.json                         # CI mode
 //! ```
 //!
 //! **sim-baseline** times the sim-heavy repro stages (reduced budgets)
@@ -28,6 +32,14 @@
 //! below `baseline / (1 + tolerance)` or a latency exceeds
 //! `baseline × (1 + tolerance)`.
 //!
+//! **stream-baseline** replays a fixed deterministic delta stream into
+//! fresh incremental sweep sessions (`memsense-stream`), once per batch
+//! size, and records the throughput-vs-batch-size table plus the headline
+//! incremental win: the fraction of grid cells a single-point delta
+//! re-solves. `--check` re-measures and fails when the fraction exceeds the
+//! absolute gate or any batch size's deltas/s drops below
+//! `baseline / (1 + tolerance)`.
+//!
 //! Use a release build; debug timings are not comparable.
 
 use std::path::PathBuf;
@@ -36,16 +48,21 @@ use std::time::Duration;
 
 use memsense_experiments::simbench::{self, DEFAULT_REPEATS, DEFAULT_TOLERANCE};
 use memsense_serve::baseline as servebench;
+use memsense_stream::baseline as streambench;
 
 const USAGE: &str = "usage: memsense-bench sim-baseline \
 [--out PATH] [--check PATH] [--tolerance T] [--repeats N] [--report PATH]
        memsense-bench serve-baseline \
 [--out PATH] [--check PATH] [--tolerance T] [--connections N] [--duration S] \
-[--path ENDPOINT] [--report PATH]";
+[--path ENDPOINT] [--report PATH]
+       memsense-bench stream-baseline \
+[--out PATH] [--check PATH] [--tolerance T] [--deltas N] [--repeats N] \
+[--report PATH]";
 
 enum Command {
     Sim,
     Serve,
+    Stream,
 }
 
 struct Args {
@@ -56,6 +73,7 @@ struct Args {
     repeats: usize,
     connections: Option<usize>,
     duration: Option<Duration>,
+    deltas: Option<usize>,
     path: Option<String>,
     report: Option<PathBuf>,
 }
@@ -65,6 +83,7 @@ fn parse_args(mut argv: std::env::Args) -> Result<Args, String> {
     let command = match argv.next().as_deref() {
         Some("sim-baseline") => Command::Sim,
         Some("serve-baseline") => Command::Serve,
+        Some("stream-baseline") => Command::Stream,
         Some(other) => return Err(format!("unknown command {other:?}\n{USAGE}")),
         None => return Err(USAGE.to_string()),
     };
@@ -72,16 +91,19 @@ fn parse_args(mut argv: std::env::Args) -> Result<Args, String> {
         out: PathBuf::from(match command {
             Command::Sim => "BENCH_sim.json",
             Command::Serve => "BENCH_serve.json",
+            Command::Stream => "BENCH_stream.json",
         }),
         tolerance: match command {
             Command::Sim => DEFAULT_TOLERANCE,
             Command::Serve => servebench::DEFAULT_TOLERANCE,
+            Command::Stream => streambench::DEFAULT_TOLERANCE,
         },
         command,
         check: None,
         repeats: DEFAULT_REPEATS,
         connections: None,
         duration: None,
+        deltas: None,
         path: None,
         report: None,
     };
@@ -128,6 +150,15 @@ fn parse_args(mut argv: std::env::Args) -> Result<Args, String> {
                     .ok_or_else(|| format!("invalid --duration {v:?}"))?;
                 args.duration = Some(Duration::from_secs_f64(s));
             }
+            "--deltas" => {
+                let v = value("--deltas")?;
+                args.deltas = Some(
+                    v.parse::<usize>()
+                        .ok()
+                        .filter(|n| *n >= 1)
+                        .ok_or_else(|| format!("invalid --deltas {v:?}"))?,
+                );
+            }
             "--path" => args.path = Some(value("--path")?),
             other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
         }
@@ -146,6 +177,7 @@ fn main() -> ExitCode {
     match args.command {
         Command::Sim => run_sim(&args),
         Command::Serve => run_serve(&args),
+        Command::Stream => run_stream(&args),
     }
 }
 
@@ -211,6 +243,85 @@ fn run_sim(args: &Args) -> ExitCode {
         ExitCode::SUCCESS
     } else {
         eprintln!("sim perf gate FAILED (tolerance {:.2})", args.tolerance);
+        ExitCode::FAILURE
+    }
+}
+
+fn run_stream(args: &Args) -> ExitCode {
+    if args.connections.is_some() || args.duration.is_some() || args.path.is_some() {
+        eprintln!("error: --connections/--duration/--path apply to serve-baseline only\n{USAGE}");
+        return ExitCode::from(2);
+    }
+
+    // Read the baseline up front so a bad path fails before measurement; in
+    // check mode the recorded delta count is reused unless overridden, so
+    // the gate compares like with like.
+    let baseline = match &args.check {
+        None => None,
+        Some(check_path) => match std::fs::read_to_string(check_path)
+            .map_err(|e| format!("cannot read {}: {e}", check_path.display()))
+            .and_then(|text| streambench::from_json(&text).map_err(|e| e.to_string()))
+        {
+            Ok(b) => Some(b),
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+
+    let deltas = args.deltas.unwrap_or_else(|| {
+        baseline
+            .as_ref()
+            .map(|b| b.deltas)
+            .unwrap_or(streambench::DEFAULT_DELTAS)
+    });
+
+    eprintln!(
+        "replaying {deltas} deltas per batch size {:?} x {} repeat(s)...",
+        streambench::BATCH_SIZES,
+        args.repeats
+    );
+    let current = match streambench::measure(deltas, args.repeats) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let Some(baseline) = baseline else {
+        // Record mode.
+        if let Err(e) = std::fs::write(&args.out, streambench::to_json(&current)) {
+            eprintln!("error: cannot write {}: {e}", args.out.display());
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "recorded {} ({} deltas over a {}-cell grid; a single-point delta \
+             re-solves {} cells = {:.1}% of the grid)",
+            args.out.display(),
+            current.deltas,
+            current.grid_cells,
+            current.single_point_resolved,
+            current.single_point_fraction * 100.0
+        );
+        return ExitCode::SUCCESS;
+    };
+
+    // Check mode.
+    let comparison = streambench::compare(&current, &baseline, args.tolerance);
+    print!("{}", comparison.to_table().to_ascii());
+    if let Some(report) = &args.report {
+        if let Err(e) = std::fs::write(report, comparison.to_json_value().to_string_pretty()) {
+            eprintln!("error: cannot write {}: {e}", report.display());
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {}", report.display());
+    }
+    if comparison.passed() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("stream perf gate FAILED (tolerance {:.2})", args.tolerance);
         ExitCode::FAILURE
     }
 }

@@ -126,6 +126,7 @@ const OUTPUT_SCOPES: &[&str] = &[
     "crates/serve/src/",
     "crates/sim/src/",
     "crates/plan/src/",
+    "crates/stream/src/",
 ];
 
 /// Path prefixes that assemble wire or CSV text directly.
@@ -133,11 +134,17 @@ const WIRE_SCOPES: &[&str] = &[
     "crates/serve/src/",
     "crates/experiments/src/",
     "crates/plan/src/",
+    "crates/stream/src/",
 ];
 
-/// Files and prefixes allowed to read wall clocks: executor job telemetry
-/// and the serve daemon's request metrics/benchmarking.
-const WALLCLOCK_ALLOW: &[&str] = &["crates/experiments/src/executor.rs", "crates/serve/src/"];
+/// Files and prefixes allowed to read wall clocks: executor job telemetry,
+/// the serve daemon's request metrics/benchmarking, and the stream
+/// throughput baseline.
+const WALLCLOCK_ALLOW: &[&str] = &[
+    "crates/experiments/src/executor.rs",
+    "crates/serve/src/",
+    "crates/stream/src/baseline.rs",
+];
 
 fn in_scope(rel: &str, scopes: &[&str]) -> bool {
     scopes.iter().any(|s| rel == *s || rel.starts_with(s))

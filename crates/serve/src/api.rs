@@ -40,6 +40,9 @@ use memsense_model::workload::{Segment, WorkloadParams};
 use memsense_model::ModelError;
 use memsense_plan::spec::PlanSpec;
 use memsense_plan::PlanError;
+use memsense_stream::grid::{GridSpec, MixEntry};
+use memsense_stream::session::Delta;
+use memsense_stream::StreamError;
 
 /// Most workloads accepted in one sweep/equivalence request.
 pub const MAX_WORKLOADS: usize = 256;
@@ -771,6 +774,164 @@ fn plan_err(e: PlanError) -> ApiError {
     match e {
         PlanError::Spec { field, message } => ApiError::bad_field(field, message),
         PlanError::Model(e) => model_err(e),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Stream sessions
+// ---------------------------------------------------------------------------
+
+fn stream_err(e: StreamError) -> ApiError {
+    match e {
+        StreamError::InvalidDelta(message) => ApiError::bad(message),
+        StreamError::Model(e) => model_err(e),
+    }
+}
+
+/// Parses `POST /v1/stream/open`: the initial grid spec plus the batching
+/// knob. Fields: `workloads` (default: the three Tab. 6 classes),
+/// `weights` (parallel array, default all 1.0), `deltas`/`steps_ns` (the
+/// two sweep axes, paper defaults), `system` (paper-baseline overrides),
+/// `batch` (default 1).
+///
+/// # Errors
+///
+/// [`ApiError`] (400) for malformed bodies or invalid grid specs.
+pub fn stream_open(body: &Json) -> Result<(GridSpec, usize), ApiError> {
+    check_keys(
+        body,
+        &[
+            "workloads",
+            "weights",
+            "deltas",
+            "steps_ns",
+            "system",
+            "batch",
+        ],
+    )?;
+    let workloads = parse_workloads(body)?;
+    let weights = match body.get("weights") {
+        None => vec![1.0; workloads.len()],
+        Some(v) => {
+            let items = v
+                .as_arr()
+                .ok_or_else(|| ApiError::bad("field \"weights\" must be an array of numbers"))?;
+            if items.len() != workloads.len() {
+                return Err(ApiError::bad(format!(
+                    "field \"weights\" must have one entry per workload ({} != {})",
+                    items.len(),
+                    workloads.len()
+                )));
+            }
+            items
+                .iter()
+                .map(|w| {
+                    w.as_f64()
+                        .ok_or_else(|| ApiError::bad("field \"weights\" must contain only numbers"))
+                })
+                .collect::<Result<Vec<f64>, ApiError>>()?
+        }
+    };
+    let mix = workloads
+        .into_iter()
+        .zip(weights)
+        .map(|(workload, weight)| MixEntry { workload, weight })
+        .collect();
+    let deltas = parse_axis(body, "deltas", default_bandwidth_deltas())?;
+    let steps = parse_axis(body, "steps_ns", default_latency_steps())?;
+    let system = parse_system(body)?;
+    let batch = opt_u32(body, "batch", 1)? as usize;
+    if batch == 0 || batch > MAX_AXIS_POINTS {
+        return Err(ApiError::bad(format!(
+            "field \"batch\" must be in 1..={MAX_AXIS_POINTS}"
+        )));
+    }
+    let spec = GridSpec::validated(mix, deltas, steps, system).map_err(stream_err)?;
+    Ok((spec, batch))
+}
+
+/// Parses `POST /v1/stream/{id}/delta`: `{"deltas": [op, …]}` where each op
+/// is an object tagged by `"op"`:
+///
+/// * `{"op": "add_bandwidth", "delta": x}` / `{"op": "remove_bandwidth",
+///   "delta": x}` — per-core GB/s points on the bandwidth axis,
+/// * `{"op": "add_latency", "step_ns": x}` / `{"op": "remove_latency",
+///   "step_ns": x}` — added-latency points,
+/// * `{"op": "set_weight", "workload": i, "weight": w}` — one mix weight,
+/// * `{"op": "set_system", "system": {…}}` — paper-baseline overrides (the
+///   same shape as every other endpoint's `system` field),
+/// * `{"op": "flush"}` — apply pending deltas regardless of the batch knob.
+///
+/// # Errors
+///
+/// [`ApiError`] (400) for malformed bodies or unknown ops.
+pub fn stream_deltas(body: &Json) -> Result<Vec<Delta>, ApiError> {
+    check_keys(body, &["deltas"])?;
+    let items = body
+        .get("deltas")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| ApiError::bad("field \"deltas\" must be an array of delta ops"))?;
+    if items.is_empty() {
+        return Err(ApiError::bad("field \"deltas\" must not be empty"));
+    }
+    if items.len() > MAX_AXIS_POINTS {
+        return Err(ApiError::bad(format!(
+            "field \"deltas\" accepts at most {MAX_AXIS_POINTS} ops"
+        )));
+    }
+    items.iter().map(parse_delta).collect()
+}
+
+fn parse_delta(op: &Json) -> Result<Delta, ApiError> {
+    let kind = op
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or_else(|| ApiError::bad("each delta op needs a string \"op\" field"))?;
+    match kind {
+        "add_bandwidth" => {
+            check_keys(op, &["op", "delta"])?;
+            Ok(Delta::AddBandwidth(need_f64(op, "delta")?))
+        }
+        "remove_bandwidth" => {
+            check_keys(op, &["op", "delta"])?;
+            Ok(Delta::RemoveBandwidth(need_f64(op, "delta")?))
+        }
+        "add_latency" => {
+            check_keys(op, &["op", "step_ns"])?;
+            Ok(Delta::AddLatency(need_f64(op, "step_ns")?))
+        }
+        "remove_latency" => {
+            check_keys(op, &["op", "step_ns"])?;
+            Ok(Delta::RemoveLatency(need_f64(op, "step_ns")?))
+        }
+        "set_weight" => {
+            check_keys(op, &["op", "workload", "weight"])?;
+            let workload = op
+                .get("workload")
+                .and_then(Json::as_u64)
+                .and_then(|n| usize::try_from(n).ok())
+                .ok_or_else(|| {
+                    ApiError::bad("field \"workload\" must be a non-negative integer index")
+                })?;
+            Ok(Delta::SetWeight {
+                workload,
+                weight: need_f64(op, "weight")?,
+            })
+        }
+        "set_system" => {
+            check_keys(op, &["op", "system"])?;
+            // `parse_system` reads the `system` key of the object it is
+            // given, which is exactly this op's shape.
+            Ok(Delta::SetSystem(parse_system(op)?))
+        }
+        "flush" => {
+            check_keys(op, &["op"])?;
+            Ok(Delta::Flush)
+        }
+        other => Err(ApiError::bad(format!(
+            "unknown delta op {other:?} (expected add_bandwidth, remove_bandwidth, \
+             add_latency, remove_latency, set_weight, set_system, or flush)"
+        ))),
     }
 }
 

@@ -38,7 +38,9 @@ bench options:
     --json              print the report as JSON instead of text
 
 Endpoints: POST /v1/solve, /v1/sweep/bandwidth, /v1/sweep/latency,
-/v1/equivalence, /v1/capacity, /v1/admin/shutdown; GET /healthz, /metrics.
+/v1/equivalence, /v1/capacity, /v1/plan, /v1/stream/open,
+/v1/stream/{id}/delta, /v1/admin/shutdown; GET /v1/stream/{id}/updates
+(chunked NDJSON), /healthz, /metrics.
 ";
 
 fn fail(message: &str) -> ExitCode {

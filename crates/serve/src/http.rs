@@ -3,10 +3,12 @@
 //! Supports exactly what the daemon needs: request-line + headers +
 //! `Content-Length` bodies, keep-alive, and a handful of response status
 //! codes — with hard limits on header and body size so untrusted input
-//! cannot exhaust memory. No chunked transfer encoding (requests using it
-//! are rejected with 411/413-class errors), and requests carrying duplicate
-//! or conflicting `Content-Length` headers are rejected with 400
-//! (request-smuggling hygiene).
+//! cannot exhaust memory. Chunked transfer encoding is rejected on
+//! *requests* (411/413-class errors) but supported on *responses*: the
+//! stream-updates endpoint emits `Transfer-Encoding: chunked` NDJSON frames
+//! ([`chunked_head`] / [`chunk_frame`]), and [`Client`] reads both framings.
+//! Requests carrying duplicate or conflicting `Content-Length` headers are
+//! rejected with 400 (request-smuggling hygiene).
 //!
 //! Two front ends share one head parser:
 //!
@@ -333,6 +335,28 @@ pub fn response_head(status: u16, body_len: usize, keep_alive: bool) -> String {
     )
 }
 
+/// Renders a chunked-transfer response head (status line + headers + blank
+/// line). The body follows as [`chunk_frame`]s closed by
+/// [`CHUNKED_TERMINATOR`]; each frame carries one newline-terminated JSON
+/// record (NDJSON), so consumers can parse records without buffering the
+/// whole stream.
+pub fn chunked_head(status: u16, keep_alive: bool) -> String {
+    format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: application/x-ndjson\r\nTransfer-Encoding: chunked\r\nConnection: {}\r\n\r\n",
+        status,
+        reason(status),
+        if keep_alive { "keep-alive" } else { "close" },
+    )
+}
+
+/// Frames `data` as one HTTP/1.1 chunk: hex length, CRLF, data, CRLF.
+pub fn chunk_frame(data: &str) -> String {
+    format!("{:x}\r\n{}\r\n", data.len(), data)
+}
+
+/// The zero-length chunk ending a chunked response body.
+pub const CHUNKED_TERMINATOR: &str = "0\r\n\r\n";
+
 /// Writes `response`, setting `Connection: close` unless `keep_alive`.
 ///
 /// # Errors
@@ -393,6 +417,7 @@ impl Client {
             .and_then(|s| s.parse().ok())
             .ok_or_else(|| bad("malformed status line"))?;
         let mut length: Option<usize> = None;
+        let mut chunked = false;
         loop {
             let mut header = String::new();
             if self.reader.read_line(&mut header)? == 0 {
@@ -403,17 +428,64 @@ impl Client {
                 break;
             }
             if let Some((name, value)) = header.split_once(':') {
-                if name.trim().eq_ignore_ascii_case("content-length") {
+                let name = name.trim();
+                if name.eq_ignore_ascii_case("content-length") {
                     length = value.trim().parse().ok();
+                } else if name.eq_ignore_ascii_case("transfer-encoding") {
+                    chunked = value.trim().eq_ignore_ascii_case("chunked");
                 }
             }
         }
-        let length = length.ok_or_else(|| bad("response without Content-Length"))?;
-        let mut body = vec![0u8; length];
-        io::Read::read_exact(&mut self.reader, &mut body)?;
+        let body = if chunked {
+            self.read_chunked_body()?
+        } else {
+            let length = length.ok_or_else(|| bad("response without Content-Length"))?;
+            let mut body = vec![0u8; length];
+            io::Read::read_exact(&mut self.reader, &mut body)?;
+            body
+        };
         String::from_utf8(body)
             .map(|text| (status, text))
             .map_err(|_| bad("non-UTF-8 response body"))
+    }
+
+    /// Reads a chunked response body through the terminating zero chunk,
+    /// returning the dechunked bytes.
+    fn read_chunked_body(&mut self) -> io::Result<Vec<u8>> {
+        let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+        let mut body = Vec::new();
+        loop {
+            let mut size_line = String::new();
+            if self.reader.read_line(&mut size_line)? == 0 {
+                return Err(bad("truncated chunked body"));
+            }
+            // Chunk extensions (";...") are legal; this daemon never sends
+            // them but tolerating them costs one split.
+            let size_text = size_line.trim_end();
+            let size_text = size_text.split(';').next().unwrap_or(size_text);
+            let size =
+                usize::from_str_radix(size_text, 16).map_err(|_| bad("malformed chunk size"))?;
+            if size == 0 {
+                // Trailer section: read lines through the blank terminator.
+                loop {
+                    let mut trailer = String::new();
+                    if self.reader.read_line(&mut trailer)? == 0 {
+                        return Err(bad("truncated chunked trailer"));
+                    }
+                    if trailer == "\r\n" || trailer == "\n" {
+                        return Ok(body);
+                    }
+                }
+            }
+            let start = body.len();
+            body.resize(start + size, 0);
+            io::Read::read_exact(&mut self.reader, &mut body[start..])?;
+            let mut crlf = [0u8; 2];
+            io::Read::read_exact(&mut self.reader, &mut crlf)?;
+            if &crlf != b"\r\n" {
+                return Err(bad("chunk not CRLF-terminated"));
+            }
+        }
     }
 }
 
@@ -639,6 +711,49 @@ mod tests {
         assert!(!is_idle_read_error(&reset));
         let eof = io::Error::new(io::ErrorKind::UnexpectedEof, "closed");
         assert!(!is_idle_read_error(&eof));
+    }
+
+    // --- chunked transfer framing (stream-updates responses) ---
+
+    #[test]
+    fn chunk_frames_use_hex_lengths_and_crlf() {
+        assert_eq!(chunk_frame("hello\n"), "6\r\nhello\n\r\n");
+        // 26 bytes → 0x1a: the length really is hex.
+        assert_eq!(
+            chunk_frame("abcdefghijklmnopqrstuvwxyz"),
+            "1a\r\nabcdefghijklmnopqrstuvwxyz\r\n"
+        );
+        assert_eq!(CHUNKED_TERMINATOR, "0\r\n\r\n");
+        let head = chunked_head(200, true);
+        assert!(head.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(head.contains("Transfer-Encoding: chunked\r\n"));
+        assert!(head.contains("Content-Type: application/x-ndjson\r\n"));
+        assert!(!head.contains("Content-Length"));
+    }
+
+    #[test]
+    fn client_reads_chunked_responses() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            // Drain the request head (the client always sends one request).
+            let mut buf = [0u8; 1024];
+            let _ = io::Read::read(&mut stream, &mut buf).unwrap();
+            let payload = format!(
+                "{}{}{}{}",
+                chunked_head(200, true),
+                chunk_frame("{\"seq\":0}\n"),
+                chunk_frame("{\"seq\":1}\n"),
+                CHUNKED_TERMINATOR
+            );
+            stream.write_all(payload.as_bytes()).unwrap();
+        });
+        let mut client = Client::connect(addr).unwrap();
+        let (status, body) = client.request("GET", "/v1/stream/1/updates", "").unwrap();
+        server.join().unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, "{\"seq\":0}\n{\"seq\":1}\n");
     }
 
     #[test]

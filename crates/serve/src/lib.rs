@@ -15,6 +15,9 @@
 //! | `POST /v1/equivalence`    | Tab. 7 latency ⇄ bandwidth equivalence         |
 //! | `POST /v1/capacity`       | capacity planning over candidate memory configs|
 //! | `POST /v1/plan`           | fleet-scale plan: design-space search vs SLAs  |
+//! | `POST /v1/stream/open`    | open an incremental sweep session              |
+//! | `POST /v1/stream/{id}/delta` | submit batched grid deltas to a session     |
+//! | `GET /v1/stream/{id}/updates`| drain per-batch updates (chunked NDJSON)    |
 //! | `GET /healthz`            | liveness                                       |
 //! | `GET /metrics`            | request counts, latency percentiles, cache     |
 //! | `POST /v1/admin/shutdown` | clean shutdown                                 |
@@ -48,6 +51,11 @@
 //! * [`metrics`] — per-endpoint request counts and nearest-rank latency
 //!   percentiles (via `memsense-stats`), plus cache and single-flight
 //!   counters.
+//! * [`streams`] — the sessionful layer over `memsense-stream`: a registry
+//!   of incremental sweep sessions (capped, idle-evicted). Stream endpoints
+//!   are the one route family that *bypasses* the result cache and
+//!   single-flight table — their responses depend on mutable session state,
+//!   not just request bytes (see `server::bypasses_result_cache`).
 //! * [`bench`] — a built-in load generator (`memsense-serve bench`) that
 //!   drives the server and reports throughput, latency percentiles, and the
 //!   cache-hit speedup, so the service layer is self-benchmarkable. The
@@ -64,3 +72,4 @@ pub mod flight;
 pub mod http;
 pub mod metrics;
 pub mod server;
+pub mod streams;

@@ -18,6 +18,7 @@ use memsense_stats::descriptive::{mean, percentile_nearest_rank};
 
 use crate::cache::CacheStats;
 use crate::flight::FlightSnapshot;
+use crate::streams::StreamSnapshot;
 
 /// Per-endpoint latency samples retained for percentile estimates.
 const MAX_SAMPLES_PER_ENDPOINT: usize = 4096;
@@ -74,9 +75,14 @@ impl Metrics {
         endpoints.values().map(|s| s.requests).sum()
     }
 
-    /// Renders the registry (plus `cache` and single-flight counters) as the
-    /// `/metrics` body.
-    pub fn to_json(&self, cache: CacheStats, flight: FlightSnapshot) -> Json {
+    /// Renders the registry (plus `cache`, single-flight, and stream-session
+    /// counters) as the `/metrics` body.
+    pub fn to_json(
+        &self,
+        cache: CacheStats,
+        flight: FlightSnapshot,
+        stream: StreamSnapshot,
+    ) -> Json {
         let endpoints = self.lock();
         let per_endpoint: Vec<Json> = endpoints
             .iter()
@@ -127,6 +133,15 @@ impl Metrics {
                     ("coalesced", Json::num(flight.coalesced as f64)),
                 ]),
             ),
+            (
+                "stream",
+                Json::obj(vec![
+                    ("sessions", Json::num(stream.sessions as f64)),
+                    ("deltas", Json::num(stream.deltas as f64)),
+                    ("cells_resolved", Json::num(stream.cells_resolved as f64)),
+                    ("cells_skipped", Json::num(stream.cells_skipped as f64)),
+                ]),
+            ),
         ])
     }
 }
@@ -151,7 +166,11 @@ mod tests {
         metrics.record("/healthz", 200, Duration::from_micros(50));
         assert_eq!(metrics.total_requests(), 12);
 
-        let json = metrics.to_json(CacheStats::default(), FlightSnapshot::default());
+        let json = metrics.to_json(
+            CacheStats::default(),
+            FlightSnapshot::default(),
+            StreamSnapshot::default(),
+        );
         assert_eq!(json.get("requests_total").and_then(Json::as_u64), Some(12));
         let endpoints = json.get("endpoints").and_then(Json::as_arr).unwrap();
         assert_eq!(endpoints.len(), 2);
@@ -190,7 +209,11 @@ mod tests {
                 metrics.record(name, 200, Duration::from_millis(2));
             }
             metrics
-                .to_json(CacheStats::default(), FlightSnapshot::default())
+                .to_json(
+                    CacheStats::default(),
+                    FlightSnapshot::default(),
+                    StreamSnapshot::default(),
+                )
                 .canonical()
         };
         let a = record_all(&["/v1/solve", "/healthz", "/v1/sweep/bandwidth"]);
@@ -231,6 +254,12 @@ mod tests {
                 in_flight: 2,
                 coalesced: 9,
             },
+            StreamSnapshot {
+                sessions: 4,
+                deltas: 17,
+                cells_resolved: 210,
+                cells_skipped: 630,
+            },
         );
         let cache = json.get("cache").unwrap();
         assert_eq!(cache.get("hits").and_then(Json::as_u64), Some(3));
@@ -240,6 +269,17 @@ mod tests {
         let flight = json.get("single_flight").unwrap();
         assert_eq!(flight.get("in_flight").and_then(Json::as_u64), Some(2));
         assert_eq!(flight.get("coalesced").and_then(Json::as_u64), Some(9));
+        let stream = json.get("stream").unwrap();
+        assert_eq!(stream.get("sessions").and_then(Json::as_u64), Some(4));
+        assert_eq!(stream.get("deltas").and_then(Json::as_u64), Some(17));
+        assert_eq!(
+            stream.get("cells_resolved").and_then(Json::as_u64),
+            Some(210)
+        );
+        assert_eq!(
+            stream.get("cells_skipped").and_then(Json::as_u64),
+            Some(630)
+        );
     }
 
     #[test]
@@ -251,7 +291,11 @@ mod tests {
         for ms in [1u64, 2, 3] {
             metrics.record("/v1/solve", 200, Duration::from_millis(ms));
         }
-        let json = metrics.to_json(CacheStats::default(), FlightSnapshot::default());
+        let json = metrics.to_json(
+            CacheStats::default(),
+            FlightSnapshot::default(),
+            StreamSnapshot::default(),
+        );
         let endpoints = json.get("endpoints").and_then(Json::as_arr).unwrap();
         let solve = &endpoints[0];
         let p99 = solve.get("latency_ms_p99").and_then(Json::as_f64).unwrap();
@@ -271,7 +315,11 @@ mod tests {
         for ms in [40u64, 55] {
             metrics.record("/v1/plan", 200, Duration::from_millis(ms));
         }
-        let json = metrics.to_json(CacheStats::default(), FlightSnapshot::default());
+        let json = metrics.to_json(
+            CacheStats::default(),
+            FlightSnapshot::default(),
+            StreamSnapshot::default(),
+        );
         let endpoints = json.get("endpoints").and_then(Json::as_arr).unwrap();
         let plan = endpoints
             .iter()
@@ -284,6 +332,48 @@ mod tests {
                 (v - 55.0).abs() < 1e-9,
                 "{key} of [40,55] ms must clamp to the 55 ms maximum, got {v}"
             );
+        }
+    }
+
+    #[test]
+    fn stream_endpoint_percentiles_clamp_at_small_n() {
+        // The stream endpoints are new labels in the same registry; a fresh
+        // session typically records only a handful of open/delta/updates
+        // requests, so small-n clamping is their *normal* operating regime,
+        // not a corner case. Pin the nearest-rank clamp for all three.
+        let metrics = Metrics::new();
+        for (label, ms) in [
+            ("/v1/stream/open", [12u64, 30]),
+            ("/v1/stream/delta", [3, 8]),
+            ("/v1/stream/updates", [1, 2]),
+        ] {
+            for m in ms {
+                metrics.record(label, 200, Duration::from_millis(m));
+            }
+        }
+        let json = metrics.to_json(
+            CacheStats::default(),
+            FlightSnapshot::default(),
+            StreamSnapshot::default(),
+        );
+        let endpoints = json.get("endpoints").and_then(Json::as_arr).unwrap();
+        for (label, max_ms) in [
+            ("/v1/stream/open", 30.0),
+            ("/v1/stream/delta", 8.0),
+            ("/v1/stream/updates", 2.0),
+        ] {
+            let entry = endpoints
+                .iter()
+                .find(|e| e.get("endpoint").and_then(Json::as_str) == Some(label))
+                .unwrap();
+            assert_eq!(entry.get("requests").and_then(Json::as_u64), Some(2));
+            for key in ["latency_ms_p90", "latency_ms_p99"] {
+                let v = entry.get(key).and_then(Json::as_f64).unwrap();
+                assert!(
+                    (v - max_ms).abs() < 1e-9,
+                    "{label} {key} must clamp to the {max_ms} ms maximum at n=2, got {v}"
+                );
+            }
         }
     }
 }

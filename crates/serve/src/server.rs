@@ -49,9 +49,11 @@ use crate::api::{self, error_body, ApiError, SweepKind};
 use crate::cache::{ResultCache, DEFAULT_BUDGET_BYTES};
 use crate::flight::{Admission, SingleFlight};
 use crate::http::{
-    is_idle_read_error, parse_request, response_head, write_response, Parse, Request, Response,
+    chunk_frame, chunked_head, is_idle_read_error, parse_request, response_head, write_response,
+    Parse, Request, Response, CHUNKED_TERMINATOR,
 };
 use crate::metrics::Metrics;
+use crate::streams::{StreamRegistry, SESSION_IDLE_TIMEOUT};
 
 /// Accept backlog requested at startup (kernel-capped by
 /// `net.core.somaxconn`); sized for synchronized herds of benchmark clients.
@@ -109,6 +111,7 @@ impl Default for ServerConfig {
 struct State {
     cache: ResultCache,
     metrics: Metrics,
+    streams: StreamRegistry,
     shutdown: AtomicBool,
 }
 
@@ -155,6 +158,7 @@ impl Server {
         let state = Arc::new(State {
             cache: ResultCache::new(config.cache_budget),
             metrics: Metrics::new(),
+            streams: StreamRegistry::new(),
             shutdown: AtomicBool::new(false),
         });
         let wake = Arc::new(EventFd::new()?);
@@ -170,8 +174,9 @@ impl Server {
             let job_rx = Arc::clone(&job_rx);
             let completions = Arc::clone(&completions);
             let wake = Arc::clone(&wake);
+            let state = Arc::clone(&state);
             worker_handles.push(std::thread::spawn(move || {
-                worker_loop(&job_rx, &completions, &wake);
+                worker_loop(&job_rx, &completions, &wake, &state);
             }));
         }
 
@@ -226,17 +231,39 @@ impl Server {
     }
 }
 
-/// A model computation handed to the worker pool.
+/// A computation handed to the worker pool.
 struct Job {
-    key: String,
-    body: Json,
-    endpoint: Endpoint,
+    reply: Reply,
+    work: Work,
 }
 
-/// A finished model computation, pushed by a worker for the reactor to fan
-/// out.
+/// Where a finished computation's response goes.
+///
+/// Cacheable model work fans out through the single-flight table by key;
+/// stream work is sessionful (two identical requests mutate state twice), so
+/// its response goes straight back to the one connection that asked —
+/// never near the cache or the flight table.
+enum Reply {
+    /// Fan out to every waiter admitted under this single-flight key.
+    Flight(String),
+    /// Deliver directly to one connection token.
+    Conn(u64),
+}
+
+/// What the worker actually runs.
+enum Work {
+    /// A stateless model endpoint (cacheable, single-flighted).
+    Model { body: Json, endpoint: Endpoint },
+    /// `POST /v1/stream/open` — may solve a full grid; too slow for the
+    /// reactor thread.
+    StreamOpen { body: Json },
+    /// `POST /v1/stream/{id}/delta` — may re-solve dirty cells.
+    StreamDelta { id: u64, body: Json },
+}
+
+/// A finished computation, pushed by a worker for the reactor to fan out.
 struct Completion {
-    key: String,
+    reply: Reply,
     status: u16,
     body: String,
 }
@@ -310,7 +337,8 @@ impl Chunk {
 struct Waiting {
     keep_alive: bool,
     started: Instant,
-    endpoint: Endpoint,
+    /// Metrics label (the endpoint path).
+    label: &'static str,
 }
 
 /// Per-connection state machine.
@@ -416,6 +444,10 @@ impl Reactor {
                 for token in stale {
                     self.conns.remove(&token);
                 }
+                // Stream sessions ride the same sweep, on their own (much
+                // longer) timeout: clients poll updates between batches, so
+                // a session outlives any one connection.
+                self.state.streams.evict_idle(SESSION_IDLE_TIMEOUT);
             }
         }
         // Teardown: dropping the job sender makes every worker's `recv` fail,
@@ -563,33 +595,69 @@ impl Reactor {
             std::mem::take(&mut *guard)
         };
         for done in completions {
-            let body: Arc<str> = Arc::from(done.body.as_str());
-            if done.status == 200 {
-                self.state.cache.put(&done.key, &body);
-            }
-            let waiters = self.flight.complete(&done.key);
-            for &waiter in &waiters {
-                let Some(conn) = self.conns.get_mut(&waiter) else {
-                    continue;
-                };
-                let Some(waiting) = conn.waiting.take() else {
-                    continue;
-                };
-                self.state.metrics.record(
-                    waiting.endpoint.label(),
-                    done.status,
-                    waiting.started.elapsed(),
-                );
-                queue_shared(conn, done.status, &body, waiting.keep_alive);
-                if !waiting.keep_alive {
-                    conn.close_after_flush = true;
-                }
-                conn.last_activity = Instant::now();
-            }
-            for waiter in waiters {
-                self.pump(waiter);
+            match done.reply {
+                Reply::Flight(key) => self.fan_out(&key, done.status, &done.body),
+                Reply::Conn(token) => self.deliver(token, done.status, &done.body),
             }
         }
+    }
+
+    /// Completes a single-flight key: caches a 200, then hands the shared
+    /// body to every admitted waiter.
+    fn fan_out(&mut self, key: &str, status: u16, body: &str) {
+        let body: Arc<str> = Arc::from(body);
+        if status == 200 {
+            self.state.cache.put(key, &body);
+        }
+        let waiters = self.flight.complete(key);
+        for &waiter in &waiters {
+            let Some(conn) = self.conns.get_mut(&waiter) else {
+                continue;
+            };
+            let Some(waiting) = conn.waiting.take() else {
+                continue;
+            };
+            self.state
+                .metrics
+                .record(waiting.label, status, waiting.started.elapsed());
+            queue_shared(conn, status, &body, waiting.keep_alive);
+            if !waiting.keep_alive {
+                conn.close_after_flush = true;
+            }
+            conn.last_activity = Instant::now();
+        }
+        for waiter in waiters {
+            self.pump(waiter);
+        }
+    }
+
+    /// Delivers a sessionful (stream) completion straight to its one
+    /// connection — no caching, no fan-out.
+    fn deliver(&mut self, token: u64, status: u16, body: &str) {
+        {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            let Some(waiting) = conn.waiting.take() else {
+                return;
+            };
+            self.state
+                .metrics
+                .record(waiting.label, status, waiting.started.elapsed());
+            queue_response(
+                conn,
+                &Response {
+                    status,
+                    body: body.to_string(),
+                },
+                waiting.keep_alive,
+            );
+            if !waiting.keep_alive {
+                conn.close_after_flush = true;
+            }
+            conn.last_activity = Instant::now();
+        }
+        self.pump(token);
     }
 }
 
@@ -614,6 +682,14 @@ fn dispatch(
     let started = Instant::now();
     let path = request.path.as_str();
 
+    // Session-bearing endpoints are routed around the result cache and the
+    // single-flight table entirely: their responses depend on mutable
+    // session state, so byte-identical requests must each execute.
+    if bypasses_result_cache(path) {
+        dispatch_stream(conn, token, request, state, jobs, keep_alive, started);
+        return;
+    }
+
     let inline: Option<(&'static str, Response)> = match (request.method.as_str(), path) {
         ("GET", "/healthz") => Some((
             "/healthz",
@@ -624,7 +700,11 @@ fn dispatch(
             Response::ok(
                 state
                     .metrics
-                    .to_json(state.cache.stats(), flight.snapshot())
+                    .to_json(
+                        state.cache.stats(),
+                        flight.snapshot(),
+                        state.streams.snapshot(),
+                    )
                     .to_string(),
             ),
         )),
@@ -713,7 +793,7 @@ fn dispatch(
         conn.waiting = Some(Waiting {
             keep_alive,
             started,
-            endpoint,
+            label: endpoint.label(),
         });
         return;
     }
@@ -753,9 +833,8 @@ fn dispatch(
     if flight.admit(&key, token) == Admission::Lead
         && jobs
             .send(Job {
-                key: key.clone(),
-                body,
-                endpoint,
+                reply: Reply::Flight(key.clone()),
+                work: Work::Model { body, endpoint },
             })
             .is_err()
     {
@@ -778,7 +857,150 @@ fn dispatch(
     conn.waiting = Some(Waiting {
         keep_alive,
         started,
-        endpoint,
+        label: endpoint.label(),
+    });
+}
+
+/// Whether `path` belongs to the session-bearing route family that must
+/// never be served from the result cache or coalesced by the single-flight
+/// table. Stream requests mutate per-session state, so two byte-identical
+/// `POST .../delta` requests must both execute — serving the second from
+/// the cache (or joining it to the first's solve) would silently drop ops.
+pub fn bypasses_result_cache(path: &str) -> bool {
+    path == "/v1/stream" || path.starts_with("/v1/stream/")
+}
+
+/// A parsed `/v1/stream/...` route.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StreamRoute {
+    Open,
+    Delta(u64),
+    Updates(u64),
+}
+
+impl StreamRoute {
+    fn from_path(path: &str) -> Option<StreamRoute> {
+        let rest = path.strip_prefix("/v1/stream/")?;
+        if rest == "open" {
+            return Some(StreamRoute::Open);
+        }
+        let (id, tail) = rest.split_once('/')?;
+        let id: u64 = id.parse().ok()?;
+        match tail {
+            "delta" => Some(StreamRoute::Delta(id)),
+            "updates" => Some(StreamRoute::Updates(id)),
+            _ => None,
+        }
+    }
+}
+
+/// Routes one `/v1/stream/...` request. Open/delta run on the worker pool
+/// (they solve grid cells) with the response delivered straight back to
+/// this connection; updates drains the session's buffer inline and streams
+/// it as chunked NDJSON — the first consumer of the reactor's queued-write
+/// machinery that is not a single `Content-Length` body.
+fn dispatch_stream(
+    conn: &mut Conn,
+    token: u64,
+    request: &Request,
+    state: &State,
+    jobs: &Sender<Job>,
+    keep_alive: bool,
+    started: Instant,
+) {
+    let route = StreamRoute::from_path(&request.path);
+    let method = request.method.as_str();
+    let (label, work) = match (method, route) {
+        ("POST", Some(StreamRoute::Open)) => ("/v1/stream/open", None),
+        ("POST", Some(StreamRoute::Delta(id))) => ("/v1/stream/delta", Some(id)),
+        ("GET", Some(StreamRoute::Updates(id))) => {
+            let response = match state.streams.take_updates(id) {
+                None => {
+                    respond(
+                        conn,
+                        state,
+                        "/v1/stream/updates",
+                        &Response {
+                            status: 404,
+                            body: error_body(&format!("no such session: {id}")),
+                        },
+                        started,
+                        keep_alive,
+                    );
+                    return;
+                }
+                Some(updates) => updates,
+            };
+            let mut bytes = chunked_head(200, keep_alive).into_bytes();
+            for update in &response {
+                bytes.extend_from_slice(chunk_frame(&format!("{}\n", update.body)).as_bytes());
+            }
+            bytes.extend_from_slice(CHUNKED_TERMINATOR.as_bytes());
+            state
+                .metrics
+                .record("/v1/stream/updates", 200, started.elapsed());
+            conn.out.push_back(Chunk::Owned(bytes));
+            if !keep_alive {
+                conn.close_after_flush = true;
+            }
+            return;
+        }
+        (_, Some(_)) => {
+            respond(
+                conn,
+                state,
+                "other",
+                &Response {
+                    status: 405,
+                    body: error_body("method not allowed for this endpoint"),
+                },
+                started,
+                keep_alive,
+            );
+            return;
+        }
+        (_, None) => {
+            respond(
+                conn,
+                state,
+                "other",
+                &Response {
+                    status: 404,
+                    body: error_body(&format!("no such endpoint: {}", request.path)),
+                },
+                started,
+                keep_alive,
+            );
+            return;
+        }
+    };
+
+    let body = match parse_model_body(&request.body) {
+        Ok(body) => body,
+        Err(response) => {
+            respond(conn, state, label, &response, started, keep_alive);
+            return;
+        }
+    };
+    let job = Job {
+        reply: Reply::Conn(token),
+        work: match work {
+            None => Work::StreamOpen { body },
+            Some(id) => Work::StreamDelta { id, body },
+        },
+    };
+    if jobs.send(job).is_err() {
+        let response = Response {
+            status: 503,
+            body: error_body("server is shutting down"),
+        };
+        respond(conn, state, label, &response, started, keep_alive);
+        return;
+    }
+    conn.waiting = Some(Waiting {
+        keep_alive,
+        started,
+        label,
     });
 }
 
@@ -908,9 +1130,14 @@ fn read_some(conn: &mut Conn) -> ReadOutcome {
     }
 }
 
-/// Worker-pool body: pull jobs until the channel closes, run the model, and
+/// Worker-pool body: pull jobs until the channel closes, run the work, and
 /// post the completion for the reactor to fan out.
-fn worker_loop(jobs: &Mutex<Receiver<Job>>, completions: &Mutex<Vec<Completion>>, wake: &EventFd) {
+fn worker_loop(
+    jobs: &Mutex<Receiver<Job>>,
+    completions: &Mutex<Vec<Completion>>,
+    wake: &EventFd,
+    state: &State,
+) {
     loop {
         let job = {
             let Ok(rx) = jobs.lock() else { return };
@@ -919,17 +1146,66 @@ fn worker_loop(jobs: &Mutex<Receiver<Job>>, completions: &Mutex<Vec<Completion>>
                 Err(_) => return,
             }
         };
-        let (status, body) = match job.endpoint.run(&job.body) {
-            Ok(json) => (200, json.to_string()),
-            Err(e) => (e.status, e.body()),
+        let (status, body) = match job.work {
+            Work::Model { body, endpoint } => match endpoint.run(&body) {
+                Ok(json) => (200, json.to_string()),
+                Err(e) => (e.status, e.body()),
+            },
+            Work::StreamOpen { body } => state.streams.open(&body),
+            Work::StreamDelta { id, body } => state.streams.delta(id, &body),
         };
         if let Ok(mut done) = completions.lock() {
             done.push(Completion {
-                key: job.key,
+                reply: job.reply,
                 status,
                 body,
             });
         }
         wake.notify();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_bypass_covers_exactly_the_stream_family() {
+        // Session-bearing endpoints must never be cache-served or coalesced.
+        assert!(bypasses_result_cache("/v1/stream/open"));
+        assert!(bypasses_result_cache("/v1/stream/7/delta"));
+        assert!(bypasses_result_cache("/v1/stream/7/updates"));
+        // Even unroutable stream-prefixed paths bypass: they 404 in the
+        // stream dispatcher, not through the cached route.
+        assert!(bypasses_result_cache("/v1/stream"));
+        assert!(bypasses_result_cache("/v1/stream/nope"));
+        // Stateless endpoints keep the cache.
+        assert!(!bypasses_result_cache("/v1/solve"));
+        assert!(!bypasses_result_cache("/v1/sweep/bandwidth"));
+        assert!(!bypasses_result_cache("/v1/plan"));
+        assert!(!bypasses_result_cache("/metrics"));
+        // Prefix means path segments, not string prefix of another route.
+        assert!(!bypasses_result_cache("/v1/streaming"));
+    }
+
+    #[test]
+    fn stream_routes_parse_ids_and_reject_junk() {
+        assert_eq!(
+            StreamRoute::from_path("/v1/stream/open"),
+            Some(StreamRoute::Open)
+        );
+        assert_eq!(
+            StreamRoute::from_path("/v1/stream/42/delta"),
+            Some(StreamRoute::Delta(42))
+        );
+        assert_eq!(
+            StreamRoute::from_path("/v1/stream/1/updates"),
+            Some(StreamRoute::Updates(1))
+        );
+        assert_eq!(StreamRoute::from_path("/v1/stream"), None);
+        assert_eq!(StreamRoute::from_path("/v1/stream/"), None);
+        assert_eq!(StreamRoute::from_path("/v1/stream/x/delta"), None);
+        assert_eq!(StreamRoute::from_path("/v1/stream/1/nope"), None);
+        assert_eq!(StreamRoute::from_path("/v1/stream/1"), None);
     }
 }

@@ -1,0 +1,351 @@
+//! The stream-session registry: serve's stateful layer over
+//! `memsense-stream`.
+//!
+//! Every other endpoint is stateless — identical bytes in, identical bytes
+//! out, which is why the result cache and single-flight table work. Stream
+//! sessions are the opposite: a `POST /v1/stream/{id}/delta` *mutates*
+//! session state, so these endpoints bypass the cache entirely (see
+//! [`crate::server`]'s bypass predicate) and live here, keyed by a numeric
+//! session id.
+//!
+//! Locking: the registry map lock is only ever held for id lookup and
+//! insert/remove — never across a solve. Each session sits behind its own
+//! `Mutex` inside an `Arc`, so concurrent deltas to *different* sessions
+//! solve in parallel on the worker pool while deltas to the *same* session
+//! serialize (the session API is sequential by design). The reactor's idle
+//! sweep calls [`StreamRegistry::evict_idle`], which skips busy sessions
+//! via `try_lock` and only reaps sessions idle past the timeout.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use memsense_experiments::executor;
+use memsense_experiments::json::Json;
+use memsense_stream::session::{Session, Update};
+
+use crate::api::{self, ApiError};
+
+/// Most concurrently open sessions; opens beyond this get a 503.
+pub const MAX_SESSIONS: usize = 64;
+
+/// How long a session may go without a delta or updates poll before the
+/// reactor's sweep evicts it.
+pub const SESSION_IDLE_TIMEOUT: Duration = Duration::from_secs(300);
+
+/// Counters for the `/metrics` `stream` object.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamSnapshot {
+    /// Sessions currently open.
+    pub sessions: u64,
+    /// Delta ops accepted over the registry's lifetime.
+    pub deltas: u64,
+    /// Cells re-solved (including opening full solves).
+    pub cells_resolved: u64,
+    /// Cells the dependency index skipped.
+    pub cells_skipped: u64,
+}
+
+struct SessionState {
+    session: Session,
+    last_used: Instant,
+}
+
+/// The registry: session id → session, plus lifetime counters.
+#[derive(Default)]
+pub struct StreamRegistry {
+    sessions: Mutex<BTreeMap<u64, Arc<Mutex<SessionState>>>>,
+    next_id: AtomicU64,
+    deltas: AtomicU64,
+    cells_resolved: AtomicU64,
+    cells_skipped: AtomicU64,
+}
+
+impl StreamRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> StreamRegistry {
+        StreamRegistry::default()
+    }
+
+    /// The registry map. Poisoning means a panic mid-insert/lookup; session
+    /// bookkeeping is no longer trustworthy, so fail loud.
+    fn map(&self) -> std::sync::MutexGuard<'_, BTreeMap<u64, Arc<Mutex<SessionState>>>> {
+        // memsense-lint: allow(no-panic-in-lib) — poisoned registry = corrupted session table
+        self.sessions.lock().expect("stream registry lock poisoned")
+    }
+
+    fn slot(&self, id: u64) -> Option<Arc<Mutex<SessionState>>> {
+        self.map().get(&id).cloned()
+    }
+
+    /// `POST /v1/stream/open` (worker-pool side): validates the spec,
+    /// solves the full grid, and registers the session. Returns the
+    /// response status and body.
+    pub fn open(&self, body: &Json) -> (u16, String) {
+        let (spec, batch) = match api::stream_open(body) {
+            Ok(parsed) => parsed,
+            Err(e) => return (e.status, e.body()),
+        };
+        // Optimistic cap check before paying for the full-grid solve; the
+        // authoritative check happens again at insert.
+        if self.map().len() >= MAX_SESSIONS {
+            return session_cap_response();
+        }
+        let session = match Session::open(spec, batch) {
+            Ok(session) => session,
+            Err(e) => {
+                let e = stream_api_error(e);
+                return (e.status, e.body());
+            }
+        };
+        // The opening solve fans out through the shared executor; a
+        // long-lived daemon must drain its job log.
+        executor::drain_job_log();
+        let (_, resolved, skipped) = session.counters();
+        self.cells_resolved.fetch_add(resolved, Ordering::Relaxed);
+        self.cells_skipped.fetch_add(skipped, Ordering::Relaxed);
+
+        let response = Json::obj(vec![
+            ("batch", Json::num(session.batch() as f64)),
+            (
+                "bandwidth_points",
+                Json::num(session.spec().bandwidth_deltas.len() as f64),
+            ),
+            ("grid_cells", Json::num(session.grid_cells() as f64)),
+            (
+                "latency_points",
+                Json::num(session.spec().latency_steps_ns.len() as f64),
+            ),
+            ("seq", Json::num(session.seq() as f64)),
+            (
+                "workloads",
+                Json::num(session.spec().workloads.len() as f64),
+            ),
+        ]);
+        let slot = Arc::new(Mutex::new(SessionState {
+            session,
+            last_used: Instant::now(),
+        }));
+        let id = {
+            let mut map = self.map();
+            if map.len() >= MAX_SESSIONS {
+                return session_cap_response();
+            }
+            let id = self.next_id.fetch_add(1, Ordering::Relaxed) + 1;
+            map.insert(id, slot);
+            id
+        };
+        let Json::Obj(mut fields) = response else {
+            // memsense-lint: allow(no-panic-in-lib) — constructed as an object above
+            unreachable!("open response is an object");
+        };
+        fields.push(("session".to_string(), Json::num(id as f64)));
+        (200, Json::Obj(fields).canonical())
+    }
+
+    /// `POST /v1/stream/{id}/delta` (worker-pool side): parses and submits
+    /// the ops. Returns the response status and body.
+    pub fn delta(&self, id: u64, body: &Json) -> (u16, String) {
+        let ops = match api::stream_deltas(body) {
+            Ok(ops) => ops,
+            Err(e) => return (e.status, e.body()),
+        };
+        let Some(slot) = self.slot(id) else {
+            return unknown_session_response(id);
+        };
+        // memsense-lint: allow(no-panic-in-lib) — per-session lock, same poisoning rationale as the map
+        let mut state = slot.lock().expect("stream session lock poisoned");
+        state.last_used = Instant::now();
+        let ack = match state.session.submit(&ops) {
+            Ok(ack) => ack,
+            Err(e) => {
+                executor::drain_job_log();
+                let e = stream_api_error(e);
+                return (e.status, e.body());
+            }
+        };
+        executor::drain_job_log();
+        self.deltas
+            .fetch_add(ack.accepted as u64, Ordering::Relaxed);
+        self.cells_resolved
+            .fetch_add(ack.cells_resolved, Ordering::Relaxed);
+        self.cells_skipped
+            .fetch_add(ack.cells_skipped, Ordering::Relaxed);
+        let body = Json::obj(vec![
+            ("accepted", Json::num(ack.accepted as f64)),
+            ("applied_batches", Json::num(ack.applied_batches as f64)),
+            ("cells_resolved", Json::num(ack.cells_resolved as f64)),
+            ("cells_skipped", Json::num(ack.cells_skipped as f64)),
+            ("pending", Json::num(ack.pending as f64)),
+            ("seq", Json::num(ack.seq as f64)),
+            ("session", Json::num(id as f64)),
+        ])
+        .canonical();
+        (200, body)
+    }
+
+    /// `GET /v1/stream/{id}/updates` (reactor-inline): drains the session's
+    /// buffered update records. `None` for unknown sessions.
+    pub fn take_updates(&self, id: u64) -> Option<Vec<Update>> {
+        let slot = self.slot(id)?;
+        // memsense-lint: allow(no-panic-in-lib) — same poisoning rationale
+        let mut state = slot.lock().expect("stream session lock poisoned");
+        state.last_used = Instant::now();
+        Some(state.session.take_updates())
+    }
+
+    /// Evicts sessions idle longer than `timeout`; sessions currently
+    /// mid-delta are busy by definition and skipped. Returns how many were
+    /// evicted.
+    pub fn evict_idle(&self, timeout: Duration) -> usize {
+        let mut map = self.map();
+        let stale: Vec<u64> = map
+            .iter()
+            .filter(|(_, slot)| match slot.try_lock() {
+                Ok(state) => state.last_used.elapsed() >= timeout,
+                Err(_) => false,
+            })
+            .map(|(&id, _)| id)
+            .collect();
+        for id in &stale {
+            map.remove(id);
+        }
+        stale.len()
+    }
+
+    /// Open-session count.
+    pub fn sessions(&self) -> usize {
+        self.map().len()
+    }
+
+    /// Counters for `/metrics`.
+    pub fn snapshot(&self) -> StreamSnapshot {
+        StreamSnapshot {
+            sessions: self.map().len() as u64,
+            deltas: self.deltas.load(Ordering::Relaxed),
+            cells_resolved: self.cells_resolved.load(Ordering::Relaxed),
+            cells_skipped: self.cells_skipped.load(Ordering::Relaxed),
+        }
+    }
+}
+
+fn stream_api_error(e: memsense_stream::StreamError) -> ApiError {
+    match e {
+        memsense_stream::StreamError::InvalidDelta(message) => ApiError::bad(message),
+        memsense_stream::StreamError::Model(e) => ApiError::bad(format!("model error: {e}")),
+    }
+}
+
+fn session_cap_response() -> (u16, String) {
+    (
+        503,
+        crate::api::error_body(&format!("session limit reached ({MAX_SESSIONS})")),
+    )
+}
+
+fn unknown_session_response(id: u64) -> (u16, String) {
+    (
+        404,
+        crate::api::error_body(&format!("no such session: {id}")),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn open_small(registry: &StreamRegistry) -> u64 {
+        let body =
+            Json::parse(r#"{"workloads": ["big data"], "deltas": [0.0], "steps_ns": [0.0, 10.0]}"#)
+                .unwrap();
+        let (status, response) = registry.open(&body);
+        assert_eq!(status, 200, "{response}");
+        Json::parse(&response)
+            .unwrap()
+            .get("session")
+            .and_then(Json::as_u64)
+            .unwrap()
+    }
+
+    #[test]
+    fn open_delta_updates_round_trip() {
+        let registry = StreamRegistry::new();
+        let id = open_small(&registry);
+        assert_eq!(registry.sessions(), 1);
+
+        // The opening snapshot is buffered as seq 0.
+        let updates = registry.take_updates(id).unwrap();
+        assert_eq!(updates.len(), 1);
+        assert_eq!(updates[0].seq, 0);
+
+        let ops = Json::parse(r#"{"deltas": [{"op": "add_bandwidth", "delta": -0.5}]}"#).unwrap();
+        let (status, body) = registry.delta(id, &ops);
+        assert_eq!(status, 200, "{body}");
+        let ack = Json::parse(&body).unwrap();
+        assert_eq!(ack.get("session").and_then(Json::as_u64), Some(id));
+        assert_eq!(ack.get("cells_resolved").and_then(Json::as_u64), Some(2));
+        assert_eq!(ack.get("seq").and_then(Json::as_u64), Some(1));
+
+        let updates = registry.take_updates(id).unwrap();
+        assert_eq!(updates.len(), 1);
+        assert_eq!(updates[0].seq, 1);
+        // Drained means drained.
+        assert!(registry.take_updates(id).unwrap().is_empty());
+
+        let snap = registry.snapshot();
+        assert_eq!(snap.sessions, 1);
+        assert_eq!(snap.deltas, 1);
+        assert!(snap.cells_resolved >= 4, "opening solve + delta recorded");
+    }
+
+    #[test]
+    fn unknown_sessions_are_404() {
+        let registry = StreamRegistry::new();
+        let ops = Json::parse(r#"{"deltas": [{"op": "flush"}]}"#).unwrap();
+        let (status, body) = registry.delta(999, &ops);
+        assert_eq!(status, 404);
+        assert!(body.contains("no such session"));
+        assert!(registry.take_updates(999).is_none());
+    }
+
+    #[test]
+    fn invalid_ops_do_not_count_as_deltas() {
+        let registry = StreamRegistry::new();
+        let id = open_small(&registry);
+        let ops =
+            Json::parse(r#"{"deltas": [{"op": "remove_bandwidth", "delta": 42.0}]}"#).unwrap();
+        let (status, body) = registry.delta(id, &ops);
+        assert_eq!(status, 400, "{body}");
+        assert_eq!(registry.snapshot().deltas, 0);
+    }
+
+    #[test]
+    fn session_cap_is_enforced_with_503() {
+        let registry = StreamRegistry::new();
+        for _ in 0..MAX_SESSIONS {
+            open_small(&registry);
+        }
+        let body =
+            Json::parse(r#"{"workloads": ["big data"], "deltas": [0.0], "steps_ns": [0.0]}"#)
+                .unwrap();
+        let (status, response) = registry.open(&body);
+        assert_eq!(status, 503, "{response}");
+        assert!(response.contains("session limit"));
+        assert_eq!(registry.sessions(), MAX_SESSIONS);
+    }
+
+    #[test]
+    fn idle_sessions_are_evicted_but_fresh_ones_stay() {
+        let registry = StreamRegistry::new();
+        let id = open_small(&registry);
+        assert_eq!(registry.evict_idle(Duration::from_secs(3600)), 0);
+        assert_eq!(registry.sessions(), 1);
+        assert_eq!(registry.evict_idle(Duration::ZERO), 1);
+        assert_eq!(registry.sessions(), 0);
+        assert!(
+            registry.take_updates(id).is_none(),
+            "evicted session is gone"
+        );
+    }
+}

@@ -1,0 +1,228 @@
+//! End-to-end stream-session tests: a real server on a loopback port.
+//!
+//! The load-bearing guarantees: the chunked `updates` bodies served over
+//! HTTP are byte-identical to what a library `Session` fed the same ops
+//! produces, session-bearing endpoints bypass the result cache (two
+//! identical delta POSTs both execute), routing errors map to the right
+//! 4xx, and `/metrics` carries the stream counters.
+
+use memsense_experiments::json::Json;
+use memsense_model::system::SystemConfig;
+use memsense_model::workload::WorkloadParams;
+use memsense_serve::http::Client;
+use memsense_serve::server::{Server, ServerConfig};
+use memsense_stream::grid::GridSpec;
+use memsense_stream::session::Session;
+
+fn start() -> Server {
+    Server::start(&ServerConfig::default()).expect("bind loopback")
+}
+
+fn call(server: &Server, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut client = Client::connect(server.addr()).expect("connect");
+    client.request(method, path, body).expect("request")
+}
+
+fn parsed(body: &str) -> Json {
+    Json::parse(body).unwrap_or_else(|e| panic!("response is not valid JSON ({e}): {body}"))
+}
+
+/// The grid every test opens: default 3 workload classes × 2 bandwidth
+/// points × 2 latency points = 12 cells.
+const OPEN_BODY: &str = r#"{"deltas": [0.0, -0.5], "steps_ns": [0.0, 10.0]}"#;
+
+/// The same grid, built directly against the library.
+fn open_spec() -> GridSpec {
+    GridSpec::validated(
+        WorkloadParams::all_classes()
+            .into_iter()
+            .map(|workload| memsense_stream::grid::MixEntry {
+                workload,
+                weight: 1.0,
+            })
+            .collect(),
+        vec![0.0, -0.5],
+        vec![0.0, 10.0],
+        SystemConfig::paper_baseline(),
+    )
+    .expect("test spec is valid")
+}
+
+/// Opens a session over HTTP, returning its id.
+fn open_session(server: &Server) -> u64 {
+    let (status, body) = call(server, "POST", "/v1/stream/open", OPEN_BODY);
+    assert_eq!(status, 200, "{body}");
+    let ack = parsed(&body);
+    assert_eq!(ack.get("grid_cells").and_then(Json::as_u64), Some(12));
+    assert_eq!(ack.get("workloads").and_then(Json::as_u64), Some(3));
+    assert_eq!(ack.get("seq").and_then(Json::as_u64), Some(0));
+    ack.get("session")
+        .and_then(Json::as_u64)
+        .expect("session id")
+}
+
+/// Renders a library session's drained updates the way the wire does:
+/// one NDJSON line per update record.
+fn ndjson(session: &mut Session) -> String {
+    session
+        .take_updates()
+        .into_iter()
+        .map(|u| format!("{}\n", u.body))
+        .collect()
+}
+
+#[test]
+fn updates_over_http_match_the_library_byte_for_byte() {
+    let mut server = start();
+    let id = open_session(&server);
+    let mut reference = Session::open(open_spec(), 1).expect("library session");
+
+    // The opening snapshot (seq 0) arrives as the first chunked response.
+    let (status, body) = call(&server, "GET", &format!("/v1/stream/{id}/updates"), "");
+    assert_eq!(status, 200);
+    assert_eq!(body, ndjson(&mut reference), "opening update diverged");
+
+    // One delta: the incremental update must match the library's bytes.
+    let ops = r#"{"deltas": [{"op": "add_bandwidth", "delta": -1.0}]}"#;
+    let (status, ack) = call(&server, "POST", &format!("/v1/stream/{id}/delta"), ops);
+    assert_eq!(status, 200, "{ack}");
+    let ack = parsed(&ack);
+    assert_eq!(ack.get("seq").and_then(Json::as_u64), Some(1));
+    assert_eq!(ack.get("accepted").and_then(Json::as_u64), Some(1));
+    // Single-point delta on a 3×3×2 grid: 6 new cells solved, 12 skipped.
+    assert_eq!(ack.get("cells_resolved").and_then(Json::as_u64), Some(6));
+    assert_eq!(ack.get("cells_skipped").and_then(Json::as_u64), Some(12));
+    reference
+        .submit(&[memsense_stream::session::Delta::AddBandwidth(-1.0)])
+        .expect("library delta");
+
+    let (status, body) = call(&server, "GET", &format!("/v1/stream/{id}/updates"), "");
+    assert_eq!(status, 200);
+    assert_eq!(body, ndjson(&mut reference), "incremental update diverged");
+
+    // Drained means drained: the next poll streams an empty body.
+    let (status, body) = call(&server, "GET", &format!("/v1/stream/{id}/updates"), "");
+    assert_eq!(status, 200);
+    assert!(body.is_empty(), "{body}");
+
+    server.stop();
+    server.join();
+}
+
+#[test]
+fn identical_delta_posts_both_execute() {
+    // The cache-bypass regression (the reason `bypasses_result_cache`
+    // exists): delta POSTs mutate session state, so two byte-identical
+    // requests must both run. A cached or single-flight-coalesced second
+    // response would replay `seq: 1` instead of advancing to 2.
+    let mut server = start();
+    let id = open_session(&server);
+
+    let ops = r#"{"deltas": [{"op": "set_weight", "workload": 0, "weight": 2.0}]}"#;
+    let path = format!("/v1/stream/{id}/delta");
+    let (status, first) = call(&server, "POST", &path, ops);
+    assert_eq!(status, 200, "{first}");
+    let (status, second) = call(&server, "POST", &path, ops);
+    assert_eq!(status, 200, "{second}");
+
+    let first = parsed(&first);
+    let second = parsed(&second);
+    assert_eq!(first.get("seq").and_then(Json::as_u64), Some(1));
+    assert_eq!(
+        second.get("seq").and_then(Json::as_u64),
+        Some(2),
+        "identical delta POST was served from cache instead of executing"
+    );
+    // Both batches really applied: both polls drain a seq-stamped update.
+    let (_, body) = call(&server, "GET", &format!("/v1/stream/{id}/updates"), "");
+    let seqs: Vec<u64> = body
+        .lines()
+        .map(|line| parsed(line).get("seq").and_then(Json::as_u64).unwrap())
+        .collect();
+    assert_eq!(seqs, vec![0, 1, 2]);
+
+    server.stop();
+    server.join();
+}
+
+#[test]
+fn stream_error_routes() {
+    let mut server = start();
+
+    // Unknown session: 404 on both delta and updates.
+    let ops = r#"{"deltas": [{"op": "flush"}]}"#;
+    let (status, body) = call(&server, "POST", "/v1/stream/999/delta", ops);
+    assert_eq!(status, 404);
+    assert!(parsed(&body).get("error").is_some(), "{body}");
+    let (status, _) = call(&server, "GET", "/v1/stream/999/updates", "");
+    assert_eq!(status, 404);
+
+    // Wrong method: 405.
+    let (status, _) = call(&server, "GET", "/v1/stream/open", "");
+    assert_eq!(status, 405);
+    let (status, _) = call(&server, "POST", "/v1/stream/1/updates", "{}");
+    assert_eq!(status, 405);
+
+    // Unroutable stream paths: 404.
+    let (status, _) = call(&server, "GET", "/v1/stream/nope", "");
+    assert_eq!(status, 404);
+    let (status, _) = call(&server, "POST", "/v1/stream/1/frobnicate", "{}");
+    assert_eq!(status, 404);
+
+    // Malformed ops: 400 naming the problem.
+    let id = open_session(&server);
+    let (status, body) = call(
+        &server,
+        "POST",
+        &format!("/v1/stream/{id}/delta"),
+        r#"{"deltas": [{"op": "teleport"}]}"#,
+    );
+    assert_eq!(status, 400);
+    assert!(
+        parsed(&body)
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("teleport"),
+        "{body}"
+    );
+
+    server.stop();
+    server.join();
+}
+
+#[test]
+fn metrics_report_stream_sessions_and_cell_counters() {
+    let mut server = start();
+    let id = open_session(&server);
+    let ops = r#"{"deltas": [{"op": "add_latency", "step_ns": 20.0}]}"#;
+    let (status, _) = call(&server, "POST", &format!("/v1/stream/{id}/delta"), ops);
+    assert_eq!(status, 200);
+
+    let (status, body) = call(&server, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    let metrics = parsed(&body);
+    let stream = metrics.get("stream").expect("stream counters");
+    assert_eq!(stream.get("sessions").and_then(Json::as_u64), Some(1));
+    assert_eq!(stream.get("deltas").and_then(Json::as_u64), Some(1));
+    // Opening solve (12) + one latency point (6 new cells).
+    assert_eq!(
+        stream.get("cells_resolved").and_then(Json::as_u64),
+        Some(18)
+    );
+    assert_eq!(stream.get("cells_skipped").and_then(Json::as_u64), Some(12));
+
+    // The stream endpoints are first-class metrics labels.
+    let labels: Vec<&str> = metrics
+        .get("endpoints")
+        .and_then(Json::as_arr)
+        .unwrap()
+        .iter()
+        .filter_map(|e| e.get("endpoint").and_then(Json::as_str))
+        .collect();
+    assert!(labels.contains(&"/v1/stream/open"), "{labels:?}");
+    assert!(labels.contains(&"/v1/stream/delta"), "{labels:?}");
+
+    server.stop();
+    server.join();
+}

@@ -1,0 +1,160 @@
+//! Golden chunked-response determinism: the raw bytes of a
+//! `GET /v1/stream/{id}/updates` response — status line, headers, chunk
+//! framing, and every NDJSON record — must be byte-identical to a committed
+//! fixture regardless of `MEMSENSE_THREADS`.
+//!
+//! The executor reads `MEMSENSE_THREADS` once per process, so each thread
+//! count gets its own server subprocess — an in-process loop would silently
+//! test one setting three times. The scripted session is fixed: open a
+//! 12-cell grid at batch 2, submit one two-op batch, drain updates.
+//!
+//! Regenerate the fixture with
+//! `MEMSENSE_REGEN_FIXTURES=1 cargo test -p memsense-serve --test stream_golden`.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+use memsense_model::system::SystemConfig;
+use memsense_model::workload::WorkloadParams;
+use memsense_serve::http::{chunk_frame, chunked_head, Client, CHUNKED_TERMINATOR};
+use memsense_stream::grid::{GridSpec, MixEntry};
+use memsense_stream::session::{Delta, Session};
+
+const OPEN_BODY: &str = r#"{"deltas": [0.0, -0.5], "steps_ns": [0.0, 10.0], "batch": 2}"#;
+const DELTA_BODY: &str = r#"{"deltas": [{"op": "add_bandwidth", "delta": -1.0}, {"op": "set_weight", "workload": 0, "weight": 2.0}]}"#;
+
+fn fixture() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/stream_updates.raw")
+}
+
+/// Spawns a server subprocess and returns it with its bound address,
+/// scraped from the "listening on" line. The stdout reader is returned too
+/// and must stay alive until shutdown: dropping the pipe early makes the
+/// child's final `println!` fail.
+fn spawn_server(threads: &str) -> (Child, String, std::io::BufReader<std::process::ChildStdout>) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_memsense-serve"))
+        .args(["serve", "--addr", "127.0.0.1:0"])
+        .env("MEMSENSE_THREADS", threads)
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn memsense-serve");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut reader = std::io::BufReader::new(stdout);
+    let mut line = String::new();
+    std::io::BufRead::read_line(&mut reader, &mut line).expect("read listening line");
+    let addr = line
+        .trim()
+        .rsplit(' ')
+        .next()
+        .expect("listening line carries the address")
+        .to_string();
+    (child, addr, reader)
+}
+
+/// Runs the fixed session script against a live server and captures the
+/// *raw* bytes of the final updates response (head + chunk frames +
+/// terminator), reading off a raw socket so no client-side dechunking can
+/// mask a framing regression.
+fn scripted_updates_raw(addr: &str) -> Vec<u8> {
+    let mut client = Client::connect(addr).expect("connect");
+    let (status, body) = client
+        .request("POST", "/v1/stream/open", OPEN_BODY)
+        .expect("open");
+    assert_eq!(status, 200, "{body}");
+    let (status, body) = client
+        .request("POST", "/v1/stream/1/delta", DELTA_BODY)
+        .expect("delta");
+    assert_eq!(status, 200, "{body}");
+
+    let mut raw = TcpStream::connect(addr).expect("raw connect");
+    raw.set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("read timeout");
+    raw.write_all(
+        b"GET /v1/stream/1/updates HTTP/1.1\r\nHost: memsense\r\nContent-Length: 0\r\n\r\n",
+    )
+    .expect("send updates request");
+    let mut bytes = Vec::new();
+    let mut chunk = [0u8; 4096];
+    while !bytes.ends_with(CHUNKED_TERMINATOR.as_bytes()) {
+        let n = raw.read(&mut chunk).expect("read chunked response");
+        assert!(n > 0, "connection closed before the terminating chunk");
+        bytes.extend_from_slice(&chunk[..n]);
+    }
+    bytes
+}
+
+fn shutdown(addr: &str, mut child: Child) {
+    let mut client = Client::connect(addr).expect("connect for shutdown");
+    let _ = client.request("POST", "/v1/admin/shutdown", "");
+    let _ = child.wait();
+}
+
+/// The same script run directly against the library, rendered with the
+/// exact wire framing the reactor uses.
+fn expected_raw() -> Vec<u8> {
+    let spec = GridSpec::validated(
+        WorkloadParams::all_classes()
+            .into_iter()
+            .map(|workload| MixEntry {
+                workload,
+                weight: 1.0,
+            })
+            .collect(),
+        vec![0.0, -0.5],
+        vec![0.0, 10.0],
+        SystemConfig::paper_baseline(),
+    )
+    .expect("fixture spec is valid");
+    let mut session = Session::open(spec, 2).expect("library session");
+    session
+        .submit(&[
+            Delta::AddBandwidth(-1.0),
+            Delta::SetWeight {
+                workload: 0,
+                weight: 2.0,
+            },
+        ])
+        .expect("library deltas");
+    let mut bytes = chunked_head(200, true).into_bytes();
+    for update in session.take_updates() {
+        bytes.extend_from_slice(chunk_frame(&format!("{}\n", update.body)).as_bytes());
+    }
+    bytes.extend_from_slice(CHUNKED_TERMINATOR.as_bytes());
+    bytes
+}
+
+#[test]
+fn golden_updates_response_is_byte_identical_across_thread_counts() {
+    let golden = std::fs::read(fixture()).expect("committed stream_updates.raw fixture");
+    for threads in ["1", "2", "8"] {
+        let (child, addr, _stdout) = spawn_server(threads);
+        let raw = scripted_updates_raw(&addr);
+        shutdown(&addr, child);
+        assert_eq!(
+            raw, golden,
+            "updates response must be byte-identical to the committed fixture \
+             at MEMSENSE_THREADS={threads}"
+        );
+    }
+}
+
+#[test]
+fn golden_fixture_matches_the_library() {
+    // The committed fixture is not stale: replaying the script through the
+    // library and the wire-framing helpers reproduces it exactly.
+    let expected = expected_raw();
+    if std::env::var_os("MEMSENSE_REGEN_FIXTURES").is_some() {
+        std::fs::create_dir_all(fixture().parent().expect("fixture dir"))
+            .expect("create fixtures dir");
+        std::fs::write(fixture(), &expected).expect("write fixture");
+    }
+    let golden = std::fs::read(fixture()).expect("committed stream_updates.raw fixture");
+    assert_eq!(
+        expected, golden,
+        "committed stream fixture is stale; regenerate with \
+         MEMSENSE_REGEN_FIXTURES=1"
+    );
+}

@@ -1,0 +1,571 @@
+//! Stream performance baseline: the throughput-vs-batch-size table.
+//!
+//! This is the tpchlike-style measurement for the incremental engine: a
+//! fixed deterministic delta stream ([`delta_stream`]) is replayed into a
+//! fresh default-grid [`Session`] once per batch size (1/8/64/512 deltas
+//! per applied batch), timing end-to-end application. Larger batches
+//! amortize per-batch overhead (index snapshot, render diff, update
+//! emission) across more deltas, which is exactly the logical/physical
+//! batching trade-off the exemplar measures.
+//!
+//! The headline incremental win is gated **absolutely**, not
+//! directionally: a single-point delta on the default grid must re-solve
+//! under [`MAX_SINGLE_POINT_FRACTION`] of the cells
+//! (`single_point_fraction`, recorded in `BENCH_stream.json`). Throughput
+//! rows gate directionally like the sim/serve baselines: each batch size's
+//! deltas/s may not drop below `baseline / (1 + tolerance)`.
+
+use std::time::Instant;
+
+use memsense_experiments::executor;
+use memsense_experiments::json::Json;
+use memsense_experiments::render::{f, Table};
+
+use crate::grid::GridSpec;
+use crate::session::{Delta, Session};
+use crate::StreamError;
+
+/// Schema tag written into `BENCH_stream.json`.
+pub const SCHEMA: &str = "memsense-stream-baseline/v1";
+
+/// Batch sizes the table sweeps (deltas per applied batch).
+pub const BATCH_SIZES: [usize; 4] = [1, 8, 64, 512];
+
+/// Default length of the replayed delta stream.
+pub const DEFAULT_DELTAS: usize = 512;
+
+/// Default regression tolerance for the throughput rows (same rationale as
+/// the serve gate: wall-clock on shared CI runners is noisy, so 1.0 allows
+/// down to half the recorded rate).
+pub const DEFAULT_TOLERANCE: f64 = 1.0;
+
+/// Hard ceiling on the fraction of grid cells a single-point delta may
+/// re-solve on the default grid (the incremental acceptance criterion).
+pub const MAX_SINGLE_POINT_FRACTION: f64 = 0.2;
+
+/// Errors from parsing a recorded baseline.
+#[derive(Debug)]
+pub enum BaselineError {
+    /// `BENCH_stream.json` could not be parsed against the schema.
+    Parse(String),
+}
+
+impl core::fmt::Display for BaselineError {
+    fn fmt(&self, fmt: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            BaselineError::Parse(m) => write!(fmt, "invalid stream baseline file: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {}
+
+/// One row of the throughput-vs-batch-size table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchRow {
+    /// Batch size (deltas per applied batch).
+    pub batch: usize,
+    /// Best-of-repeats wall clock to apply the whole stream, milliseconds.
+    pub wall_ms: f64,
+    /// Sustained delta throughput at this batch size, deltas per second.
+    pub deltas_per_s: f64,
+    /// Update records the run emitted (excluding the opening snapshot).
+    pub updates: u64,
+    /// Cells re-solved across the run.
+    pub cells_resolved: u64,
+    /// Cells the dependency index skipped across the run.
+    pub cells_skipped: u64,
+}
+
+/// A recorded stream performance baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamBaseline {
+    /// Length of the replayed delta stream.
+    pub deltas: usize,
+    /// Cells in the default grid the stream starts from.
+    pub grid_cells: u64,
+    /// Cells a single `AddBandwidth` delta re-solved on the default grid.
+    pub single_point_resolved: u64,
+    /// That re-solve as a fraction of the resulting grid
+    /// (`single_point_resolved / grid_cells_after`); gated against
+    /// [`MAX_SINGLE_POINT_FRACTION`].
+    pub single_point_fraction: f64,
+    /// One row per batch size, ascending.
+    pub rows: Vec<BatchRow>,
+}
+
+/// A fixed, deterministic delta stream: interleaves bandwidth/latency point
+/// add+remove pairs (new points outside the default axes, removed a few
+/// ops after they appear), mix-weight tweaks cycling the three default
+/// workloads, and a sparse `SetSystem` (~1% of ops) that dirties the whole
+/// grid. The op sequence is valid under any batch size because batching
+/// never reorders ops.
+pub fn delta_stream(n: usize) -> Vec<Delta> {
+    use memsense_model::system::SystemConfig;
+    use memsense_model::units::Nanoseconds;
+
+    let mut ops = Vec::with_capacity(n);
+    let mut bw_pending = std::collections::VecDeque::new();
+    let mut lat_pending = std::collections::VecDeque::new();
+    for i in 0..n {
+        let cycle = i / 8;
+        let op = match i % 8 {
+            0 => {
+                // 15 distinct positive points, disjoint from the default
+                // (non-positive) bandwidth axis; each is removed at slot 4
+                // of its own cycle, long before the cycle index wraps.
+                let p = 0.25 * (1.0 + (cycle % 15) as f64);
+                bw_pending.push_back(p);
+                Delta::AddBandwidth(p)
+            }
+            2 => {
+                // 7 distinct points above the default 0..60 ns axis.
+                let q = 65.0 + 5.0 * (cycle % 7) as f64;
+                lat_pending.push_back(q);
+                Delta::AddLatency(q)
+            }
+            4 => match bw_pending.pop_front() {
+                Some(p) => Delta::RemoveBandwidth(p),
+                None => Delta::Flush,
+            },
+            6 => match lat_pending.pop_front() {
+                Some(q) => Delta::RemoveLatency(q),
+                None => Delta::Flush,
+            },
+            7 if i % 96 == 7 => {
+                let latency = if (i / 96) % 2 == 0 { 90.0 } else { 75.0 };
+                // Paper-baseline variation is always feasible.
+                // memsense-lint: allow(no-panic-in-lib) — fixed valid latency values
+                Delta::SetSystem(
+                    SystemConfig::paper_baseline()
+                        .with_unloaded_latency(Nanoseconds(latency))
+                        .expect("valid latency"),
+                )
+            }
+            odd => Delta::SetWeight {
+                workload: (i + odd) % 3,
+                weight: 0.5 + 0.25 * ((i / 3) % 8) as f64,
+            },
+        };
+        ops.push(op);
+    }
+    ops
+}
+
+/// Measures a fresh baseline: replays [`delta_stream`]`(deltas)` into a
+/// default-grid session once per batch size (best wall of `repeats`), then
+/// probes the single-point re-solve fraction.
+///
+/// # Errors
+///
+/// Propagates [`StreamError`] from session construction or delta
+/// application (the generated stream is valid, so this indicates a bug).
+pub fn measure(deltas: usize, repeats: usize) -> Result<StreamBaseline, StreamError> {
+    let ops = delta_stream(deltas);
+    let mut rows = Vec::with_capacity(BATCH_SIZES.len());
+    for batch in BATCH_SIZES {
+        let mut best: Option<BatchRow> = None;
+        for _ in 0..repeats.max(1) {
+            let mut session = Session::open(GridSpec::default_grid(), batch)?;
+            session.take_updates();
+            let start = Instant::now();
+            let mut resolved = 0;
+            let mut skipped = 0;
+            for op in &ops {
+                let ack = session.submit(std::slice::from_ref(op))?;
+                resolved += ack.cells_resolved;
+                skipped += ack.cells_skipped;
+            }
+            let ack = session.submit(&[Delta::Flush])?;
+            resolved += ack.cells_resolved;
+            skipped += ack.cells_skipped;
+            let wall = start.elapsed();
+            let wall_ms = wall.as_secs_f64() * 1e3;
+            let row = BatchRow {
+                batch,
+                wall_ms,
+                deltas_per_s: deltas as f64 / wall.as_secs_f64().max(1e-9),
+                updates: session.take_updates().len() as u64,
+                cells_resolved: resolved,
+                cells_skipped: skipped,
+            };
+            if best.as_ref().is_none_or(|b| row.wall_ms < b.wall_ms) {
+                best = Some(row);
+            }
+        }
+        // memsense-lint: allow(no-panic-in-lib) — repeats.max(1) guarantees one run
+        rows.push(best.expect("at least one repeat"));
+    }
+
+    // The headline probe: one new bandwidth point on the fresh default grid.
+    let mut session = Session::open(GridSpec::default_grid(), 1)?;
+    let grid_cells = session.grid_cells() as u64;
+    let ack = session.submit(&[Delta::AddBandwidth(0.25)])?;
+    let after = session.grid_cells() as u64;
+    // The solver job log is process-global; drain it so repeated bench runs
+    // in one process stay bounded.
+    let _ = executor::drain_job_log();
+    Ok(StreamBaseline {
+        deltas,
+        grid_cells,
+        single_point_resolved: ack.cells_resolved,
+        single_point_fraction: ack.cells_resolved as f64 / after.max(1) as f64,
+        rows,
+    })
+}
+
+fn round3(v: f64) -> f64 {
+    (v * 1e3).round() / 1e3
+}
+
+/// Serializes a baseline to the canonical `BENCH_stream.json` form.
+pub fn to_json(baseline: &StreamBaseline) -> String {
+    Json::obj(vec![
+        ("schema", Json::str(SCHEMA)),
+        ("deltas", Json::num(baseline.deltas as f64)),
+        ("grid_cells", Json::num(baseline.grid_cells as f64)),
+        (
+            "single_point_resolved",
+            Json::num(baseline.single_point_resolved as f64),
+        ),
+        (
+            "single_point_fraction",
+            Json::num(round3(baseline.single_point_fraction)),
+        ),
+        (
+            "rows",
+            Json::Arr(
+                baseline
+                    .rows
+                    .iter()
+                    .map(|r| {
+                        Json::obj(vec![
+                            ("batch", Json::num(r.batch as f64)),
+                            ("wall_ms", Json::num(round3(r.wall_ms))),
+                            ("deltas_per_s", Json::num(round3(r.deltas_per_s))),
+                            ("updates", Json::num(r.updates as f64)),
+                            ("cells_resolved", Json::num(r.cells_resolved as f64)),
+                            ("cells_skipped", Json::num(r.cells_skipped as f64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+    .to_string_pretty()
+}
+
+/// Parses a baseline from [`to_json`] output.
+///
+/// # Errors
+///
+/// Returns [`BaselineError::Parse`] on malformed JSON, a wrong schema tag,
+/// or missing fields.
+pub fn from_json(text: &str) -> Result<StreamBaseline, BaselineError> {
+    let parse = |m: &str| BaselineError::Parse(m.to_string());
+    let root = Json::parse(text).map_err(|e| BaselineError::Parse(e.to_string()))?;
+    let schema = root
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or_else(|| parse("missing schema tag"))?;
+    if schema != SCHEMA {
+        return Err(BaselineError::Parse(format!(
+            "schema {schema:?}, expected {SCHEMA:?}"
+        )));
+    }
+    let num = |node: &Json, name: &str| {
+        node.get(name)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| BaselineError::Parse(format!("missing {name}")))
+    };
+    let mut rows = Vec::new();
+    for row in root
+        .get("rows")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| parse("missing rows"))?
+    {
+        rows.push(BatchRow {
+            batch: num(row, "batch")? as usize,
+            wall_ms: num(row, "wall_ms")?,
+            deltas_per_s: num(row, "deltas_per_s")?,
+            updates: num(row, "updates")? as u64,
+            cells_resolved: num(row, "cells_resolved")? as u64,
+            cells_skipped: num(row, "cells_skipped")? as u64,
+        });
+    }
+    if rows.is_empty() {
+        return Err(parse("rows must not be empty"));
+    }
+    Ok(StreamBaseline {
+        deltas: num(&root, "deltas")? as usize,
+        grid_cells: num(&root, "grid_cells")? as u64,
+        single_point_resolved: num(&root, "single_point_resolved")? as u64,
+        single_point_fraction: num(&root, "single_point_fraction")?,
+        rows,
+    })
+}
+
+/// Renders the throughput-vs-batch-size table (also mirrored into the
+/// EXPERIMENTS.md appendix).
+pub fn to_table(baseline: &StreamBaseline) -> Table {
+    let mut t = Table::new(
+        format!(
+            "Stream baseline: {} deltas, single-point re-solve {}/{} cells ({:.1}%)",
+            baseline.deltas,
+            baseline.single_point_resolved,
+            baseline.grid_cells + baseline.single_point_resolved,
+            baseline.single_point_fraction * 100.0
+        ),
+        &[
+            "batch",
+            "wall_ms",
+            "deltas/s",
+            "updates",
+            "cells_resolved",
+            "cells_skipped",
+        ],
+    );
+    for r in &baseline.rows {
+        t.row(vec![
+            r.batch.to_string(),
+            f(r.wall_ms, 3),
+            f(r.deltas_per_s, 1),
+            r.updates.to_string(),
+            r.cells_resolved.to_string(),
+            r.cells_skipped.to_string(),
+        ]);
+    }
+    t
+}
+
+/// One gated metric of a baseline comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompareRow {
+    /// Metric name.
+    pub name: String,
+    /// Recorded value (or the absolute limit for the fraction gate).
+    pub baseline: f64,
+    /// Freshly measured value.
+    pub current: f64,
+    /// `true` when larger is better (throughput); `false` otherwise.
+    pub higher_is_better: bool,
+    /// Whether this metric is within tolerance.
+    pub ok: bool,
+}
+
+/// Result of gating a fresh measurement against a recorded baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// Tolerance the throughput gates applied.
+    pub tolerance: f64,
+    /// Gated metrics.
+    pub rows: Vec<CompareRow>,
+}
+
+impl Comparison {
+    /// Whether every gated metric passed.
+    pub fn passed(&self) -> bool {
+        self.rows.iter().all(|r| r.ok)
+    }
+
+    /// Renders the human-readable gate table.
+    pub fn to_table(&self) -> Table {
+        let mut t = Table::new(
+            format!(
+                "Stream perf gate: current vs baseline, tolerance {:.0}% -> {}",
+                self.tolerance * 100.0,
+                if self.passed() { "PASS" } else { "FAIL" }
+            ),
+            &["metric", "baseline", "current", "ratio", "status"],
+        );
+        for r in &self.rows {
+            t.row(vec![
+                r.name.clone(),
+                f(r.baseline, 3),
+                f(r.current, 3),
+                if r.baseline > 0.0 {
+                    f(r.current / r.baseline, 2)
+                } else {
+                    "-".to_string()
+                },
+                if r.ok { "ok" } else { "REGRESSED" }.to_string(),
+            ]);
+        }
+        t
+    }
+
+    /// The comparison as a [`Json`] value (the CI report artifact).
+    pub fn to_json_value(&self) -> Json {
+        Json::obj(vec![
+            ("schema", Json::str("memsense-stream-baseline-check/v1")),
+            ("tolerance", Json::num(self.tolerance)),
+            ("passed", Json::Bool(self.passed())),
+            (
+                "metrics",
+                Json::Arr(
+                    self.rows
+                        .iter()
+                        .map(|r| {
+                            Json::obj(vec![
+                                ("name", Json::str(&r.name)),
+                                ("baseline", Json::num(round3(r.baseline))),
+                                ("current", Json::num(round3(r.current))),
+                                ("higher_is_better", Json::Bool(r.higher_is_better)),
+                                ("ok", Json::Bool(r.ok)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// Gates `current` against `baseline`: each batch size's deltas/s must stay
+/// at or above `baseline / (1 + tolerance)`, and the single-point re-solve
+/// fraction must stay at or below the absolute
+/// [`MAX_SINGLE_POINT_FRACTION`] (the incremental contract, independent of
+/// machine speed).
+pub fn compare(current: &StreamBaseline, baseline: &StreamBaseline, tolerance: f64) -> Comparison {
+    let limit = 1.0 + tolerance;
+    let mut rows = vec![CompareRow {
+        name: "single_point_fraction".to_string(),
+        baseline: MAX_SINGLE_POINT_FRACTION,
+        current: current.single_point_fraction,
+        higher_is_better: false,
+        ok: current.single_point_fraction <= MAX_SINGLE_POINT_FRACTION,
+    }];
+    for base_row in &baseline.rows {
+        let cur = current
+            .rows
+            .iter()
+            .find(|r| r.batch == base_row.batch)
+            .map(|r| r.deltas_per_s);
+        rows.push(match cur {
+            Some(cur) => CompareRow {
+                name: format!("deltas_per_s[batch={}]", base_row.batch),
+                baseline: base_row.deltas_per_s,
+                current: cur,
+                higher_is_better: true,
+                ok: cur >= base_row.deltas_per_s / limit,
+            },
+            None => CompareRow {
+                name: format!("deltas_per_s[batch={}]", base_row.batch),
+                baseline: base_row.deltas_per_s,
+                current: 0.0,
+                higher_is_better: true,
+                ok: false,
+            },
+        });
+    }
+    Comparison { tolerance, rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> StreamBaseline {
+        StreamBaseline {
+            deltas: 512,
+            grid_cells: 168,
+            single_point_resolved: 21,
+            single_point_fraction: 0.111,
+            rows: BATCH_SIZES
+                .iter()
+                .map(|&batch| BatchRow {
+                    batch,
+                    wall_ms: 128.0 / batch as f64,
+                    deltas_per_s: 5_000.0 * batch as f64,
+                    updates: (512 / batch.min(512)) as u64,
+                    cells_resolved: 4_000,
+                    cells_skipped: 60_000,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let baseline = sample();
+        let text = to_json(&baseline);
+        let parsed = from_json(&text).expect("round trip");
+        assert_eq!(parsed, baseline);
+    }
+
+    #[test]
+    fn parse_rejects_wrong_schema_and_missing_fields() {
+        assert!(from_json("not json").is_err());
+        assert!(from_json(r#"{"schema":"something-else/v1"}"#).is_err());
+        let missing = format!(r#"{{"schema":{:?}}}"#, SCHEMA);
+        assert!(from_json(&missing).is_err());
+    }
+
+    #[test]
+    fn delta_stream_is_deterministic_and_valid() {
+        assert_eq!(delta_stream(512), delta_stream(512));
+        // Replaying the stream at two batch sizes yields identical end
+        // states (the batching knob is performance-only).
+        let ops = delta_stream(96);
+        let mut a = Session::open(GridSpec::default_grid(), 1).unwrap();
+        let mut b = Session::open(GridSpec::default_grid(), 64).unwrap();
+        for op in &ops {
+            a.submit(std::slice::from_ref(op)).unwrap();
+            b.submit(std::slice::from_ref(op)).unwrap();
+        }
+        a.submit(&[Delta::Flush]).unwrap();
+        b.submit(&[Delta::Flush]).unwrap();
+        assert_eq!(a.snapshot(), b.snapshot());
+    }
+
+    #[test]
+    fn gate_is_directional_and_pins_the_fraction() {
+        let baseline = sample();
+        assert!(compare(&baseline, &baseline, 0.5).passed());
+
+        let mut slow = baseline.clone();
+        slow.rows[0].deltas_per_s = baseline.rows[0].deltas_per_s / 4.0;
+        let gate = compare(&slow, &baseline, 0.5);
+        assert!(!gate.passed());
+
+        // Faster always passes.
+        let mut fast = baseline.clone();
+        for row in &mut fast.rows {
+            row.deltas_per_s *= 10.0;
+        }
+        assert!(compare(&fast, &baseline, 0.5).passed());
+
+        // The fraction gate is absolute: breaching 20% fails regardless of
+        // the recorded value or tolerance.
+        let mut coarse = baseline.clone();
+        coarse.single_point_fraction = 0.5;
+        let gate = compare(&coarse, &baseline, 10.0);
+        assert!(!gate.passed());
+        assert!(!gate.rows[0].ok);
+    }
+
+    #[test]
+    fn measure_smoke_meets_the_incremental_contract() {
+        // A tiny stream keeps this test fast while still exercising every
+        // op kind (96 ops covers one full SetSystem cycle).
+        let baseline = measure(96, 1).expect("measure");
+        assert_eq!(baseline.rows.len(), BATCH_SIZES.len());
+        assert_eq!(baseline.grid_cells, 168);
+        assert_eq!(baseline.single_point_resolved, 21);
+        assert!(
+            baseline.single_point_fraction <= MAX_SINGLE_POINT_FRACTION,
+            "single-point delta re-solved {:.1}% of cells",
+            baseline.single_point_fraction * 100.0
+        );
+        for row in &baseline.rows {
+            assert!(row.deltas_per_s > 0.0);
+        }
+        // Fine-grained batches realize the incremental win: at batch=1 the
+        // weight-only and single-point batches dominate, so far more cells
+        // are skipped than re-solved. (At batch=512 the whole stream lands
+        // in one batch whose SetSystem dirties the full grid, so no such
+        // ratio holds there — that is the batching trade-off the table
+        // documents.)
+        assert!(baseline.rows[0].cells_skipped > baseline.rows[0].cells_resolved);
+    }
+}

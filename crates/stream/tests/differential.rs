@@ -1,0 +1,178 @@
+//! Differential property: incremental equals from-scratch, byte for byte.
+//!
+//! The whole value proposition of memsense-stream is that re-solving only
+//! the dirty cells is *invisible*: after any sequence of valid deltas, the
+//! session's snapshot must be byte-identical to a brand-new session opened
+//! on the evolved spec (which solves every cell from scratch). These tests
+//! drive random delta sequences — generated against the session's *current*
+//! spec so removals always name live points — at random batch sizes and
+//! compare the canonical snapshots.
+
+use memsense_model::system::SystemConfig;
+use memsense_model::units::Nanoseconds;
+use memsense_model::workload::WorkloadParams;
+use memsense_stream::grid::{GridSpec, MixEntry};
+use memsense_stream::session::{Delta, Session};
+use proptest::prelude::*;
+
+/// A small grid keeps each case fast: 2 workloads × 3 bandwidth points ×
+/// 2 latency points = 12 cells.
+fn small_spec() -> GridSpec {
+    let workloads = WorkloadParams::all_classes()
+        .into_iter()
+        .take(2)
+        .map(|workload| MixEntry {
+            workload,
+            weight: 1.0,
+        })
+        .collect();
+    GridSpec::validated(
+        workloads,
+        vec![0.0, -1.0, -2.0],
+        vec![0.0, 30.0],
+        SystemConfig::paper_baseline(),
+    )
+    .expect("small spec is valid")
+}
+
+/// The generator's eager mirror of the grid axes. The session only folds
+/// pending ops into its spec when a batch applies, so at batch sizes > 1
+/// the *committed* spec lags the op stream; generating against this shadow
+/// (which applies every op immediately) keeps removals pointed at points
+/// that will still be live when their batch runs.
+struct Shadow {
+    bandwidth: Vec<f64>,
+    latency: Vec<f64>,
+    workloads: usize,
+}
+
+impl Shadow {
+    fn of(spec: &GridSpec) -> Shadow {
+        Shadow {
+            bandwidth: spec.bandwidth_deltas.clone(),
+            latency: spec.latency_steps_ns.clone(),
+            workloads: spec.workloads.len(),
+        }
+    }
+
+    fn add(points: &mut Vec<f64>, value: f64) {
+        if !points.iter().any(|p| p.to_bits() == value.to_bits()) {
+            points.push(value);
+        }
+    }
+
+    fn remove(points: &mut Vec<f64>, rng: &mut TestRng) -> Option<f64> {
+        if points.len() > 1 {
+            let i = rng.below(points.len() as u64) as usize;
+            Some(points.remove(i))
+        } else {
+            None
+        }
+    }
+}
+
+/// Draws one delta valid against the shadow, applying it to the shadow in
+/// the same step. Axis points come from a 0.25-step lattice so adds
+/// sometimes collide with existing points (exercising the no-op path).
+fn draw_delta(rng: &mut TestRng, shadow: &mut Shadow) -> Delta {
+    match rng.below(12) {
+        // Bandwidth adds stay in a feasible window: the paper baseline has
+        // ~5.2 GB/s per core, so deltas in [-3.0, +3.0] always solve.
+        0 | 1 => {
+            let p = -3.0 + 0.25 * rng.below(25) as f64 + 0.0;
+            Shadow::add(&mut shadow.bandwidth, p);
+            Delta::AddBandwidth(p)
+        }
+        2 | 3 => match Shadow::remove(&mut shadow.bandwidth, rng) {
+            Some(p) => Delta::RemoveBandwidth(p),
+            None => Delta::Flush,
+        },
+        4 | 5 => {
+            let q = 5.0 * rng.below(25) as f64;
+            Shadow::add(&mut shadow.latency, q);
+            Delta::AddLatency(q)
+        }
+        6 | 7 => match Shadow::remove(&mut shadow.latency, rng) {
+            Some(q) => Delta::RemoveLatency(q),
+            None => Delta::Flush,
+        },
+        8 | 9 => Delta::SetWeight {
+            workload: rng.below(shadow.workloads as u64) as usize,
+            weight: 0.25 * (1 + rng.below(16)) as f64,
+        },
+        10 => {
+            let latency = [60.0, 75.0, 90.0][rng.below(3) as usize];
+            let speed = [1333.0, 1866.7][rng.below(2) as usize];
+            Delta::SetSystem(
+                SystemConfig::paper_baseline()
+                    .with_unloaded_latency(Nanoseconds(latency))
+                    .and_then(|s| s.with_channel_speed(speed))
+                    .expect("paper-baseline variations are valid"),
+            )
+        }
+        _ => Delta::Flush,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// After an arbitrary valid delta sequence at an arbitrary batch size,
+    /// the incremental session snapshot is byte-identical to a from-scratch
+    /// session opened on the evolved spec.
+    #[test]
+    fn incremental_matches_from_scratch(
+        seed in 0u64..u64::MAX,
+        n in 1usize..33,
+        batch in 1usize..9,
+    ) {
+        let mut rng = TestRng::new(seed);
+        let mut session = Session::open(small_spec(), batch)
+            .expect("open small session");
+        let mut shadow = Shadow::of(session.spec());
+        for _ in 0..n {
+            let delta = draw_delta(&mut rng, &mut shadow);
+            session.submit(std::slice::from_ref(&delta))
+                .expect("generated deltas are valid");
+        }
+        session.submit(&[Delta::Flush]).expect("flush");
+        prop_assert_eq!(session.pending(), 0);
+
+        let fresh = Session::open(session.spec().clone(), batch)
+            .expect("open from-scratch session");
+        prop_assert_eq!(
+            session.snapshot(),
+            fresh.snapshot(),
+            "incremental state diverged from a from-scratch solve \
+             (seed {}, {} deltas, batch {})",
+            seed, n, batch
+        );
+    }
+
+    /// The batching knob is performance-only: the same op stream applied at
+    /// two different batch sizes converges to the same bytes and the same
+    /// number of applied deltas.
+    #[test]
+    fn batch_size_never_changes_the_result(
+        seed in 0u64..u64::MAX,
+        n in 1usize..25,
+    ) {
+        let mut a = Session::open(small_spec(), 1).expect("open");
+        let mut b = Session::open(small_spec(), 7).expect("open");
+        let mut rng = TestRng::new(seed);
+        let mut shadow = Shadow::of(a.spec());
+        for _ in 0..n {
+            // Both sessions see the identical op stream, so their specs
+            // stay in lockstep with the shadow.
+            let delta = draw_delta(&mut rng, &mut shadow);
+            a.submit(std::slice::from_ref(&delta)).expect("apply to a");
+            b.submit(std::slice::from_ref(&delta)).expect("apply to b");
+        }
+        a.submit(&[Delta::Flush]).expect("flush a");
+        b.submit(&[Delta::Flush]).expect("flush b");
+        prop_assert_eq!(a.snapshot(), b.snapshot());
+        let (deltas_a, ..) = a.counters();
+        let (deltas_b, ..) = b.counters();
+        prop_assert_eq!(deltas_a, deltas_b);
+    }
+}
