@@ -796,7 +796,11 @@ fn stream_err(e: StreamError) -> ApiError {
 ///
 /// # Errors
 ///
-/// [`ApiError`] (400) for malformed bodies or invalid grid specs.
+/// [`ApiError`] (400) for malformed bodies or invalid grid specs —
+/// including grids whose *total* cell count (workloads × bandwidth ×
+/// latency) exceeds [`memsense_stream::grid::MAX_GRID_CELLS`]; the
+/// per-axis caps alone would admit products large enough to abort the
+/// daemon on allocation.
 pub fn stream_open(body: &Json) -> Result<(GridSpec, usize), ApiError> {
     check_keys(
         body,
@@ -1154,5 +1158,20 @@ mod tests {
         let err = sweep(SweepKind::Bandwidth, &body(r#"{"deltas": [-1000.0]}"#)).unwrap_err();
         assert_eq!(err.status, 400);
         assert!(err.message.contains("model error"), "{}", err.message);
+    }
+
+    #[test]
+    fn stream_open_rejects_oversized_cell_products() {
+        // Each axis respects the per-axis cap, but the product (3 default
+        // workloads × 2048 × 2048 ≈ 12.6M cells) must be a 400 — not a
+        // multi-terabyte allocation on a worker thread.
+        let axis: Vec<Json> = (0..2048).map(|i| Json::num(f64::from(i))).collect();
+        let spec = Json::obj(vec![
+            ("deltas", Json::Arr(axis.clone())),
+            ("steps_ns", Json::Arr(axis)),
+        ]);
+        let err = stream_open(&spec).unwrap_err();
+        assert_eq!(err.status, 400);
+        assert!(err.message.contains("cap"), "{}", err.message);
     }
 }

@@ -53,7 +53,7 @@ use crate::http::{
     Parse, Request, Response, CHUNKED_TERMINATOR,
 };
 use crate::metrics::Metrics;
-use crate::streams::{StreamRegistry, SESSION_IDLE_TIMEOUT};
+use crate::streams::{StreamRegistry, UpdatesPoll, SESSION_IDLE_TIMEOUT};
 
 /// Accept backlog requested at startup (kernel-capped by
 /// `net.core.somaxconn`); sized for synchronized herds of benchmark clients.
@@ -914,8 +914,13 @@ fn dispatch_stream(
         ("POST", Some(StreamRoute::Open)) => ("/v1/stream/open", None),
         ("POST", Some(StreamRoute::Delta(id))) => ("/v1/stream/delta", Some(id)),
         ("GET", Some(StreamRoute::Updates(id))) => {
+            // Served inline on the reactor thread, so the drain must never
+            // wait on the session lock (a worker mid-delta holds it across
+            // the whole solve): the registry uses try_lock and a busy
+            // session answers 503 retry instead of stalling every
+            // connection on the server.
             let response = match state.streams.take_updates(id) {
-                None => {
+                UpdatesPoll::Unknown => {
                     respond(
                         conn,
                         state,
@@ -929,7 +934,23 @@ fn dispatch_stream(
                     );
                     return;
                 }
-                Some(updates) => updates,
+                UpdatesPoll::Busy => {
+                    respond(
+                        conn,
+                        state,
+                        "/v1/stream/updates",
+                        &Response {
+                            status: 503,
+                            body: error_body(&format!(
+                                "session {id} is busy applying a delta; retry"
+                            )),
+                        },
+                        started,
+                        keep_alive,
+                    );
+                    return;
+                }
+                UpdatesPoll::Drained(updates) => updates,
             };
             let mut bytes = chunked_head(200, keep_alive).into_bytes();
             for update in &response {

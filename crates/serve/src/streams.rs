@@ -23,7 +23,7 @@ use std::time::{Duration, Instant};
 
 use memsense_experiments::executor;
 use memsense_experiments::json::Json;
-use memsense_stream::session::{Session, Update};
+use memsense_stream::session::{Session, SubmitAck, Update};
 
 use crate::api::{self, ApiError};
 
@@ -39,7 +39,8 @@ pub const SESSION_IDLE_TIMEOUT: Duration = Duration::from_secs(300);
 pub struct StreamSnapshot {
     /// Sessions currently open.
     pub sessions: u64,
-    /// Delta ops accepted over the registry's lifetime.
+    /// Delta ops applied (committed to a session) over the registry's
+    /// lifetime; pending and rolled-back ops do not count.
     pub deltas: u64,
     /// Cells re-solved (including opening full solves).
     pub cells_resolved: u64,
@@ -50,6 +51,19 @@ pub struct StreamSnapshot {
 struct SessionState {
     session: Session,
     last_used: Instant,
+}
+
+/// What an updates poll found. The reactor serves this endpoint inline, so
+/// it must never wait on a session lock — a busy session is reported as
+/// such instead of blocking.
+#[derive(Debug)]
+pub enum UpdatesPoll {
+    /// The session's buffered updates, drained (possibly empty).
+    Drained(Vec<Update>),
+    /// The session is mid-delta on a worker; poll again shortly.
+    Busy,
+    /// No such session.
+    Unknown,
 }
 
 /// The registry: session id → session, plus lifetime counters.
@@ -159,22 +173,33 @@ impl StreamRegistry {
         state.last_used = Instant::now();
         let ack = match state.session.submit(&ops) {
             Ok(ack) => ack,
-            Err(e) => {
+            Err(err) => {
                 executor::drain_job_log();
-                let e = stream_api_error(e);
-                return (e.status, e.body());
+                // The offending batch rolled back, but batches applied
+                // earlier in the same call are committed: fold them into
+                // the lifetime counters and tell the client exactly how far
+                // the session moved before the failure.
+                self.record_applied(&err.ack);
+                let e = stream_api_error(err.error);
+                let body = Json::obj(vec![
+                    ("applied_batches", Json::num(err.ack.applied_batches as f64)),
+                    ("applied_deltas", Json::num(err.ack.applied_deltas as f64)),
+                    ("cells_resolved", Json::num(err.ack.cells_resolved as f64)),
+                    ("cells_skipped", Json::num(err.ack.cells_skipped as f64)),
+                    ("error", Json::str(&e.message)),
+                    ("seq", Json::num(err.ack.seq as f64)),
+                    ("session", Json::num(id as f64)),
+                ])
+                .canonical();
+                return (e.status, body);
             }
         };
         executor::drain_job_log();
-        self.deltas
-            .fetch_add(ack.accepted as u64, Ordering::Relaxed);
-        self.cells_resolved
-            .fetch_add(ack.cells_resolved, Ordering::Relaxed);
-        self.cells_skipped
-            .fetch_add(ack.cells_skipped, Ordering::Relaxed);
+        self.record_applied(&ack);
         let body = Json::obj(vec![
             ("accepted", Json::num(ack.accepted as f64)),
             ("applied_batches", Json::num(ack.applied_batches as f64)),
+            ("applied_deltas", Json::num(ack.applied_deltas as f64)),
             ("cells_resolved", Json::num(ack.cells_resolved as f64)),
             ("cells_skipped", Json::num(ack.cells_skipped as f64)),
             ("pending", Json::num(ack.pending as f64)),
@@ -185,14 +210,43 @@ impl StreamRegistry {
         (200, body)
     }
 
+    /// Folds one (possibly partial) ack into the lifetime counters. The
+    /// `deltas` metric counts ops actually committed, so a failed call's
+    /// applied prefix still counts and a fully-rolled-back call adds zero.
+    fn record_applied(&self, ack: &SubmitAck) {
+        self.deltas.fetch_add(ack.applied_deltas, Ordering::Relaxed);
+        self.cells_resolved
+            .fetch_add(ack.cells_resolved, Ordering::Relaxed);
+        self.cells_skipped
+            .fetch_add(ack.cells_skipped, Ordering::Relaxed);
+    }
+
     /// `GET /v1/stream/{id}/updates` (reactor-inline): drains the session's
-    /// buffered update records. `None` for unknown sessions.
-    pub fn take_updates(&self, id: u64) -> Option<Vec<Update>> {
-        let slot = self.slot(id)?;
-        // memsense-lint: allow(no-panic-in-lib) — same poisoning rationale
-        let mut state = slot.lock().expect("stream session lock poisoned");
-        state.last_used = Instant::now();
-        Some(state.session.take_updates())
+    /// buffered update records.
+    ///
+    /// This runs on the reactor thread, whose invariant is that it never
+    /// blocks — a worker applying a delta to the same session holds the
+    /// session lock across the whole solve (seconds on a large grid), and
+    /// a blocking `lock()` here would stall every connection on the server
+    /// for that long. `try_lock` only, the same discipline as
+    /// [`StreamRegistry::evict_idle`]; contention surfaces as
+    /// [`UpdatesPoll::Busy`].
+    pub fn take_updates(&self, id: u64) -> UpdatesPoll {
+        let Some(slot) = self.slot(id) else {
+            return UpdatesPoll::Unknown;
+        };
+        let poll = match slot.try_lock() {
+            Ok(mut state) => {
+                state.last_used = Instant::now();
+                UpdatesPoll::Drained(state.session.take_updates())
+            }
+            Err(std::sync::TryLockError::WouldBlock) => UpdatesPoll::Busy,
+            Err(std::sync::TryLockError::Poisoned(_)) => {
+                // memsense-lint: allow(no-panic-in-lib) — same poisoning rationale as the map
+                panic!("stream session lock poisoned")
+            }
+        };
+        poll
     }
 
     /// Evicts sessions idle longer than `timeout`; sessions currently
@@ -268,6 +322,13 @@ mod tests {
             .unwrap()
     }
 
+    fn drained(registry: &StreamRegistry, id: u64) -> Vec<Update> {
+        match registry.take_updates(id) {
+            UpdatesPoll::Drained(updates) => updates,
+            other => panic!("expected drained updates, got {other:?}"),
+        }
+    }
+
     #[test]
     fn open_delta_updates_round_trip() {
         let registry = StreamRegistry::new();
@@ -275,7 +336,7 @@ mod tests {
         assert_eq!(registry.sessions(), 1);
 
         // The opening snapshot is buffered as seq 0.
-        let updates = registry.take_updates(id).unwrap();
+        let updates = drained(&registry, id);
         assert_eq!(updates.len(), 1);
         assert_eq!(updates[0].seq, 0);
 
@@ -287,11 +348,11 @@ mod tests {
         assert_eq!(ack.get("cells_resolved").and_then(Json::as_u64), Some(2));
         assert_eq!(ack.get("seq").and_then(Json::as_u64), Some(1));
 
-        let updates = registry.take_updates(id).unwrap();
+        let updates = drained(&registry, id);
         assert_eq!(updates.len(), 1);
         assert_eq!(updates[0].seq, 1);
         // Drained means drained.
-        assert!(registry.take_updates(id).unwrap().is_empty());
+        assert!(drained(&registry, id).is_empty());
 
         let snap = registry.snapshot();
         assert_eq!(snap.sessions, 1);
@@ -306,7 +367,51 @@ mod tests {
         let (status, body) = registry.delta(999, &ops);
         assert_eq!(status, 404);
         assert!(body.contains("no such session"));
-        assert!(registry.take_updates(999).is_none());
+        assert!(matches!(registry.take_updates(999), UpdatesPoll::Unknown));
+    }
+
+    #[test]
+    fn busy_sessions_never_block_an_updates_poll() {
+        // A worker mid-delta holds the session lock for the whole solve;
+        // the reactor-inline poll must report Busy instead of waiting.
+        let registry = StreamRegistry::new();
+        let id = open_small(&registry);
+        let slot = registry.slot(id).expect("session exists");
+        let _mid_delta = slot.lock().unwrap();
+        assert!(matches!(registry.take_updates(id), UpdatesPoll::Busy));
+        drop(_mid_delta);
+        assert_eq!(drained(&registry, id).len(), 1, "unlocked drains again");
+    }
+
+    #[test]
+    fn partial_failure_reports_and_counts_the_applied_prefix() {
+        let registry = StreamRegistry::new();
+        let id = open_small(&registry);
+        // Batch knob 1 (open default): the add commits, then the remove of
+        // a point not in the grid fails. The 400 must say how far the
+        // session moved, and the committed prefix must reach /metrics.
+        let ops = Json::parse(
+            r#"{"deltas": [
+                {"op": "add_bandwidth", "delta": -0.5},
+                {"op": "remove_bandwidth", "delta": 42.0}
+            ]}"#,
+        )
+        .unwrap();
+        let (status, body) = registry.delta(id, &ops);
+        assert_eq!(status, 400, "{body}");
+        let err = Json::parse(&body).unwrap();
+        assert_eq!(err.get("applied_batches").and_then(Json::as_u64), Some(1));
+        assert_eq!(err.get("applied_deltas").and_then(Json::as_u64), Some(1));
+        assert_eq!(err.get("cells_resolved").and_then(Json::as_u64), Some(2));
+        assert_eq!(err.get("seq").and_then(Json::as_u64), Some(1));
+        assert!(err.get("error").is_some(), "{body}");
+
+        let snap = registry.snapshot();
+        assert_eq!(snap.deltas, 1, "the committed op counts");
+        assert!(snap.cells_resolved >= 4, "opening solve + committed add");
+        // The committed batch's update is drainable like any other.
+        let updates = drained(&registry, id);
+        assert_eq!(updates.last().unwrap().seq, 1);
     }
 
     #[test]
@@ -344,7 +449,7 @@ mod tests {
         assert_eq!(registry.evict_idle(Duration::ZERO), 1);
         assert_eq!(registry.sessions(), 0);
         assert!(
-            registry.take_updates(id).is_none(),
+            matches!(registry.take_updates(id), UpdatesPoll::Unknown),
             "evicted session is gone"
         );
     }

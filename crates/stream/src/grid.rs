@@ -30,6 +30,13 @@ use crate::StreamError;
 /// Most points either grid axis accepts, and the most workloads in a mix.
 pub const MAX_AXIS_POINTS: usize = 4096;
 
+/// Most cells a grid may materialize (workloads × bandwidth × latency).
+/// The per-axis cap alone still admits a ~10¹¹-cell product, whose
+/// `cell_keys` allocation alone would abort the process — untrusted specs
+/// must be bounded by the *product*, not just each factor. Delta ops that
+/// would grow a session past this cap are rejected the same way.
+pub const MAX_GRID_CELLS: usize = 1_000_000;
+
 /// An axis value with a total order: finite, `-0.0`-free `f64` compared by
 /// `total_cmp`. The normalization invariant makes `Eq` agree with `Ord`.
 #[derive(Debug, Clone, Copy)]
@@ -115,7 +122,8 @@ impl GridSpec {
     /// # Errors
     ///
     /// [`StreamError::InvalidDelta`] for empty inputs, non-finite or
-    /// non-positive weights, non-finite axis values, or oversized axes.
+    /// non-positive weights, non-finite axis values, oversized axes, or a
+    /// grid whose total cell count exceeds [`MAX_GRID_CELLS`].
     pub fn validated(
         workloads: Vec<MixEntry>,
         bandwidth_deltas: Vec<f64>,
@@ -131,12 +139,14 @@ impl GridSpec {
         for entry in &workloads {
             check_weight(entry.weight)?;
         }
-        Ok(GridSpec {
+        let spec = GridSpec {
             workloads,
             bandwidth_deltas: normalize_axis(bandwidth_deltas, "bandwidth")?,
             latency_steps_ns: normalize_axis(latency_steps_ns, "latency")?,
             system,
-        })
+        };
+        check_cell_cap(&spec)?;
+        Ok(spec)
     }
 
     /// The default grid: the three Tab. 6 workload classes at weight 1.0,
@@ -184,6 +194,24 @@ impl GridSpec {
         }
         keys
     }
+}
+
+/// Checks a spec against [`MAX_GRID_CELLS`]. Run on every spec entering a
+/// session — at open *and* after each axis-growing delta — so no path can
+/// materialize an unbounded grid. The factors are each ≤
+/// [`MAX_AXIS_POINTS`] = 2¹², so the product (≤ 2³⁶) cannot overflow.
+///
+/// # Errors
+///
+/// [`StreamError::InvalidDelta`] naming the count and the cap.
+pub fn check_cell_cap(spec: &GridSpec) -> Result<(), StreamError> {
+    let count = spec.cell_count();
+    if count > MAX_GRID_CELLS {
+        return Err(StreamError::InvalidDelta(format!(
+            "grid would materialize {count} cells; the cap is {MAX_GRID_CELLS}"
+        )));
+    }
+    Ok(())
 }
 
 /// Validates a mix weight: finite and positive.
@@ -396,6 +424,37 @@ mod tests {
             SystemConfig::paper_baseline()
         )
         .is_err());
+    }
+
+    #[test]
+    fn oversized_cell_products_are_rejected() {
+        // Each axis is individually under MAX_AXIS_POINTS, but the product
+        // (3 × 2048 × 2048 ≈ 12.6M) blows the total-cell cap: exactly the
+        // small-request/huge-allocation shape the cap exists to stop.
+        let axis: Vec<f64> = (0..2048).map(f64::from).collect();
+        let err = GridSpec::validated(
+            GridSpec::default_grid().workloads,
+            axis.clone(),
+            axis,
+            SystemConfig::paper_baseline(),
+        )
+        .unwrap_err();
+        assert!(
+            matches!(&err, StreamError::InvalidDelta(m) if m.contains("cap")),
+            "{err:?}"
+        );
+
+        // At the cap exactly: accepted (1 workload × 1000 × 1000).
+        let axis: Vec<f64> = (0..1000).map(f64::from).collect();
+        let workloads = GridSpec::default_grid().workloads.into_iter().take(1);
+        let spec = GridSpec::validated(
+            workloads.collect(),
+            axis.clone(),
+            axis,
+            SystemConfig::paper_baseline(),
+        )
+        .unwrap();
+        assert_eq!(spec.cell_count(), MAX_GRID_CELLS);
     }
 
     #[test]

@@ -24,8 +24,8 @@ use memsense_model::queueing::QueueingCurve;
 use memsense_model::system::SystemConfig;
 
 use crate::grid::{
-    cell_json, check_weight, normalize_axis_value, solve_cell, system_json, CellKey, CellState,
-    GridSpec, MAX_AXIS_POINTS,
+    cell_json, check_cell_cap, check_weight, normalize_axis_value, solve_cell, system_json,
+    CellKey, CellState, GridSpec, MAX_AXIS_POINTS,
 };
 use crate::StreamError;
 
@@ -91,6 +91,8 @@ pub struct SubmitAck {
     pub accepted: usize,
     /// Batches the call caused to apply.
     pub applied_batches: usize,
+    /// Delta ops actually applied (committed) across those batches.
+    pub applied_deltas: u64,
     /// Cells re-solved across those batches.
     pub cells_resolved: u64,
     /// Cells the dependency index let those batches skip.
@@ -99,6 +101,33 @@ pub struct SubmitAck {
     pub pending: usize,
     /// Latest emitted update sequence number.
     pub seq: u64,
+}
+
+/// A failed `submit` call. Only the *offending batch* rolled back; batches
+/// applied earlier in the same call stay applied, and `ack` records them —
+/// callers surfacing the error must also surface (and account for) the
+/// partial ack, or the client cannot tell that session state moved.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubmitError {
+    /// What the call committed before failing (the failed batch's ops are
+    /// dropped and are not counted).
+    pub ack: SubmitAck,
+    /// Why the offending batch rolled back.
+    pub error: StreamError,
+}
+
+impl core::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        self.error.fmt(f)
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+impl From<SubmitError> for StreamError {
+    fn from(err: SubmitError) -> StreamError {
+        err.error
+    }
 }
 
 type DepIndex = BTreeMap<ParamKey, BTreeSet<CellKey>>;
@@ -176,12 +205,14 @@ impl Session {
     /// # Errors
     ///
     /// On an invalid op or a failed solve the offending batch rolls back
-    /// (its ops are dropped, session state untouched) and the error is
-    /// returned; batches already applied by this call stay applied.
-    pub fn submit(&mut self, ops: &[Delta]) -> Result<SubmitAck, StreamError> {
+    /// (its ops are dropped, session state untouched); batches already
+    /// applied by this call stay applied, and the returned [`SubmitError`]
+    /// carries the partial ack describing them.
+    pub fn submit(&mut self, ops: &[Delta]) -> Result<SubmitAck, SubmitError> {
         let mut ack = SubmitAck {
             accepted: 0,
             applied_batches: 0,
+            applied_deltas: 0,
             cells_resolved: 0,
             cells_skipped: 0,
             pending: 0,
@@ -189,17 +220,18 @@ impl Session {
         };
         for op in ops {
             ack.accepted += 1;
-            match op {
-                Delta::Flush => {
-                    if !self.pending.is_empty() {
-                        self.apply_pending(&mut ack)?;
-                    }
-                }
+            let apply = match op {
+                Delta::Flush => !self.pending.is_empty(),
                 other => {
                     self.pending.push(other.clone());
-                    if self.pending.len() >= self.batch {
-                        self.apply_pending(&mut ack)?;
-                    }
+                    self.pending.len() >= self.batch
+                }
+            };
+            if apply {
+                if let Err(error) = self.apply_pending(&mut ack) {
+                    ack.pending = self.pending.len();
+                    ack.seq = self.seq();
+                    return Err(SubmitError { ack, error });
                 }
             }
         }
@@ -297,6 +329,12 @@ impl Session {
             })?
         };
 
+        // A point added and removed within this same batch never reached
+        // the committed grid; reporting it as removed would tell the
+        // client about cells it never saw. Filter before the commit below
+        // erases the evidence of what was committed.
+        removed.retain(|key| self.cells.contains_key(key));
+
         // Commit.
         self.spec = spec;
         self.deps = deps;
@@ -328,6 +366,7 @@ impl Session {
         self.total_resolved += resolved;
         self.total_skipped += skipped;
         ack.applied_batches += 1;
+        ack.applied_deltas += deltas;
         ack.cells_resolved += resolved;
         ack.cells_skipped += skipped;
         Ok(())
@@ -505,6 +544,10 @@ fn add_axis_point(
     }
     let pos = points.partition_point(|p| p.total_cmp(&value).is_lt());
     points.insert(pos, value);
+    // `GridSpec::validated` bounds the total cell count at open; deltas
+    // must not be a back door past it. `spec` is a scratch copy, so an
+    // error here rolls the whole batch back.
+    check_cell_cap(spec)?;
 
     let (bws, lats) = (&spec.bandwidth_deltas, &spec.latency_steps_ns);
     for workload in 0..spec.workloads.len() {
@@ -675,6 +718,37 @@ mod tests {
             .unwrap();
         assert_eq!(session.snapshot(), before);
         assert_eq!(ack.cells_resolved, 0);
+        // The washed point's cells never existed in the committed grid, so
+        // the update must not report them as removed.
+        let updates = session.take_updates();
+        let body = Json::parse(&updates[0].body).unwrap();
+        assert_eq!(
+            body.get("removed")
+                .and_then(Json::as_arr)
+                .map(<[Json]>::len),
+            Some(0),
+            "phantom removals leaked: {}",
+            updates[0].body
+        );
+    }
+
+    #[test]
+    fn committed_point_removal_reports_its_cells() {
+        let mut session = Session::open(small_spec(), 1).unwrap();
+        session.take_updates();
+        session.submit(&[Delta::RemoveBandwidth(-1.0)]).unwrap();
+        let updates = session.take_updates();
+        let body = Json::parse(&updates[0].body).unwrap();
+        // 2 workloads × the removed bandwidth point × 2 latency steps.
+        assert_eq!(
+            body.get("removed")
+                .and_then(Json::as_arr)
+                .map(<[Json]>::len),
+            Some(4),
+            "{}",
+            updates[0].body
+        );
+        assert_eq!(session.grid_cells(), 4);
     }
 
     #[test]
@@ -685,10 +759,62 @@ mod tests {
         let err = session
             .submit(&[Delta::RemoveBandwidth(123.0)])
             .unwrap_err();
-        assert!(matches!(err, StreamError::InvalidDelta(_)));
+        assert!(matches!(err.error, StreamError::InvalidDelta(_)));
+        assert_eq!(err.ack.applied_batches, 0, "nothing committed");
+        assert_eq!(err.ack.applied_deltas, 0);
         assert_eq!(session.snapshot(), before, "state is untouched");
         assert_eq!(session.pending(), 0, "the failed batch's ops are dropped");
         assert!(session.take_updates().is_empty());
+    }
+
+    #[test]
+    fn partial_failure_reports_the_batches_that_did_apply() {
+        // Batch knob 1: the first op commits before the second one fails.
+        let mut session = Session::open(small_spec(), 1).unwrap();
+        session.take_updates();
+        let err = session
+            .submit(&[Delta::AddBandwidth(-0.5), Delta::RemoveBandwidth(42.0)])
+            .unwrap_err();
+        assert_eq!(err.ack.applied_batches, 1);
+        assert_eq!(err.ack.applied_deltas, 1);
+        assert_eq!(err.ack.cells_resolved, 4, "the committed add's cells");
+        assert_eq!(err.ack.seq, 1, "the committed batch's update seq");
+        assert_eq!(session.grid_cells(), 12, "the first op's cells persist");
+        // The emitted update for the committed batch is still drainable.
+        assert_eq!(session.take_updates().len(), 1);
+    }
+
+    #[test]
+    fn axis_growth_past_the_cell_cap_is_rejected() {
+        // Exercise `add_axis_point` directly on scratch structures: a spec
+        // at exactly the cap (1 workload × 1000 × 1000) must reject one
+        // more point without ever enumerating cells.
+        let axis: Vec<f64> = (0..1000).map(f64::from).collect();
+        let workloads = small_spec().workloads.into_iter().take(1).collect();
+        let mut spec = GridSpec::validated(
+            workloads,
+            axis.clone(),
+            axis,
+            SystemConfig::paper_baseline(),
+        )
+        .unwrap();
+        let mut deps = DepIndex::new();
+        let mut need_solve = BTreeSet::new();
+        let mut removed = BTreeSet::new();
+        let err = add_axis_point(
+            Axis::Bandwidth,
+            -1.0,
+            &mut spec,
+            &mut deps,
+            &mut need_solve,
+            &mut removed,
+        )
+        .unwrap_err();
+        assert!(
+            matches!(&err, StreamError::InvalidDelta(m) if m.contains("cap")),
+            "{err:?}"
+        );
+        assert!(need_solve.is_empty(), "no cells dirtied past the cap");
     }
 
     #[test]
