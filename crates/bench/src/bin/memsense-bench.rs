@@ -16,13 +16,19 @@
 //!     --report stream_gate.json                         # CI mode
 //! ```
 //!
-//! **sim-baseline** times the sim-heavy repro stages (reduced budgets)
-//! serially — the binary forces `MEMSENSE_THREADS=1` before the executor
-//! starts so stage walls are undiluted by co-running stages — keeping the
-//! minimum wall per stage across `--repeats` runs. `--check` re-measures
-//! and fails (exit 1) when any stage, or the total, exceeds the recorded
+//! **sim-baseline** times the sim-heavy repro stages (reduced budgets) one
+//! stage at a time, keeping the minimum wall per stage across `--repeats`
+//! runs. Stage walls are always undiluted by co-running stages; the worker
+//! pool instead serves each stage's *inner* jobs (sweep points, series
+//! workloads, pressure cells). `MEMSENSE_THREADS` is honored when set (the
+//! recorded `threads` field says which mode a file was recorded in) and
+//! defaults to `1` — fully serial — when unset. `--check` re-measures and
+//! fails (exit 1) when any stage, or the total, exceeds the recorded
 //! baseline by more than `--tolerance` (fraction, default 0.5 = allow up to
-//! 1.5×).
+//! 1.5×), when the baseline's recorded stage set has diverged from the
+//! current one (stale file), or when the thread counts differ. `--profile`
+//! additionally prints each stage's simulator work counters (ops, cache/TLB
+//! accesses, prefetch fills; columns documented in EXPERIMENTS.md).
 //!
 //! **serve-baseline** drives the `memsense-serve` load generator against a
 //! dedicated in-process server (epoll reactor + worker pool) at a fixed
@@ -51,7 +57,7 @@ use memsense_serve::baseline as servebench;
 use memsense_stream::baseline as streambench;
 
 const USAGE: &str = "usage: memsense-bench sim-baseline \
-[--out PATH] [--check PATH] [--tolerance T] [--repeats N] [--report PATH]
+[--out PATH] [--check PATH] [--tolerance T] [--repeats N] [--profile] [--report PATH]
        memsense-bench serve-baseline \
 [--out PATH] [--check PATH] [--tolerance T] [--connections N] [--duration S] \
 [--path ENDPOINT] [--report PATH]
@@ -76,6 +82,7 @@ struct Args {
     deltas: Option<usize>,
     path: Option<String>,
     report: Option<PathBuf>,
+    profile: bool,
 }
 
 fn parse_args(mut argv: std::env::Args) -> Result<Args, String> {
@@ -106,6 +113,7 @@ fn parse_args(mut argv: std::env::Args) -> Result<Args, String> {
         deltas: None,
         path: None,
         report: None,
+        profile: false,
     };
     while let Some(flag) = argv.next() {
         let mut value = |name: &str| {
@@ -160,6 +168,7 @@ fn parse_args(mut argv: std::env::Args) -> Result<Args, String> {
                 );
             }
             "--path" => args.path = Some(value("--path")?),
+            "--profile" => args.profile = true,
             other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
         }
     }
@@ -182,9 +191,12 @@ fn main() -> ExitCode {
 }
 
 fn run_sim(args: &Args) -> ExitCode {
-    // Pin the executor serial before its OnceLock initializes: baseline
-    // walls must measure single-stage throughput, not pool contention.
-    std::env::set_var("MEMSENSE_THREADS", "1");
+    // Default the executor serial before its OnceLock initializes; an
+    // explicit MEMSENSE_THREADS is honored (the recorded `threads` field
+    // documents the mode, and `--check` enforces like-for-like).
+    if std::env::var_os("MEMSENSE_THREADS").is_none() {
+        std::env::set_var("MEMSENSE_THREADS", "1");
+    }
 
     // Read the baseline up front so a bad path fails before measurement.
     let baseline = match &args.check {
@@ -202,17 +214,24 @@ fn run_sim(args: &Args) -> ExitCode {
     };
 
     eprintln!(
-        "measuring {} sim stages x {} repeat(s), serial (best-of-N walls)...",
+        "measuring {} sim stages x {} repeat(s), one stage at a time \
+         (best-of-N walls)...",
         simbench::STAGES.len(),
         args.repeats
     );
-    let current = match simbench::measure(args.repeats) {
-        Ok(b) => b,
+    let (current, profiles) = match simbench::measure_profiled(args.repeats) {
+        Ok(r) => r,
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }
     };
+    if args.profile {
+        print!(
+            "{}",
+            simbench::profile_table(&current, &profiles).to_ascii()
+        );
+    }
 
     let Some(baseline) = baseline else {
         // Record mode.
@@ -221,9 +240,10 @@ fn run_sim(args: &Args) -> ExitCode {
             return ExitCode::FAILURE;
         }
         println!(
-            "recorded {} ({} stages, total {:.1} ms)",
+            "recorded {} ({} stages at {} thread(s), total {:.1} ms)",
             args.out.display(),
             current.stages.len(),
+            current.threads,
             current.total_ms()
         );
         return ExitCode::SUCCESS;
@@ -232,6 +252,9 @@ fn run_sim(args: &Args) -> ExitCode {
     // Check mode.
     let comparison = simbench::compare(&current, &baseline, args.tolerance);
     print!("{}", comparison.to_table().to_ascii());
+    for msg in comparison.diagnostics() {
+        eprintln!("error: {msg}");
+    }
     if let Some(report) = &args.report {
         if let Err(e) = std::fs::write(report, comparison.to_json_value().to_string_pretty()) {
             eprintln!("error: cannot write {}: {e}", report.display());
@@ -250,6 +273,10 @@ fn run_sim(args: &Args) -> ExitCode {
 fn run_stream(args: &Args) -> ExitCode {
     if args.connections.is_some() || args.duration.is_some() || args.path.is_some() {
         eprintln!("error: --connections/--duration/--path apply to serve-baseline only\n{USAGE}");
+        return ExitCode::from(2);
+    }
+    if args.profile {
+        eprintln!("error: --profile applies to sim-baseline only\n{USAGE}");
         return ExitCode::from(2);
     }
 
@@ -329,6 +356,10 @@ fn run_stream(args: &Args) -> ExitCode {
 fn run_serve(args: &Args) -> ExitCode {
     if args.repeats != DEFAULT_REPEATS {
         eprintln!("error: --repeats applies to sim-baseline only\n{USAGE}");
+        return ExitCode::from(2);
+    }
+    if args.profile {
+        eprintln!("error: --profile applies to sim-baseline only\n{USAGE}");
         return ExitCode::from(2);
     }
 

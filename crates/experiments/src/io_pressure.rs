@@ -10,6 +10,7 @@
 use memsense_sim::{Machine, SimConfig};
 use memsense_workloads::{Class, Workload};
 
+use crate::executor::par_map_full;
 use crate::render::{f, pct, Table};
 use crate::ExperimentError;
 
@@ -27,7 +28,36 @@ pub struct IoPressurePoint {
     pub total_bandwidth_gbps: f64,
 }
 
+/// Simulates one (workload, DMA rate) cell on a fresh machine.
+fn measure_point(
+    workload: Workload,
+    threads: u32,
+    warmup_ops: u64,
+    window_ns: f64,
+    rate: f64,
+) -> Result<IoPressurePoint, ExperimentError> {
+    let config = SimConfig::xeon_like(threads);
+    let mut machine = Machine::new(config, workload.streams(threads, 0x10ad))?;
+    machine.run_ops(warmup_ops);
+    if rate > 0.0 {
+        machine.add_background_traffic(rate, 0.5, 0);
+    }
+    let m = machine
+        .measure_for_ns(window_ns)
+        .ok_or(ExperimentError::NoData)?;
+    Ok(IoPressurePoint {
+        dma_gbps: rate,
+        cpi: m.cpi_eff,
+        total_bandwidth_gbps: m.bandwidth_gbps,
+    })
+}
+
 /// Measures `workload` under each DMA rate.
+///
+/// Every rate is an independent simulation (its own freshly seeded
+/// machine), so the cells run as parallel executor jobs; results are
+/// reassembled in [`DMA_RATES`] order, making the output byte-identical at
+/// any `MEMSENSE_THREADS`.
 ///
 /// # Errors
 ///
@@ -38,25 +68,13 @@ pub fn io_pressure(
     warmup_ops: u64,
     window_ns: f64,
 ) -> Result<Vec<IoPressurePoint>, ExperimentError> {
-    DMA_RATES
-        .iter()
-        .map(|&rate| {
-            let config = SimConfig::xeon_like(threads);
-            let mut machine = Machine::new(config, workload.streams(threads, 0x10ad))?;
-            machine.run_ops(warmup_ops);
-            if rate > 0.0 {
-                machine.add_background_traffic(rate, 0.5, 0);
-            }
-            let m = machine
-                .measure_for_ns(window_ns)
-                .ok_or(ExperimentError::NoData)?;
-            Ok(IoPressurePoint {
-                dma_gbps: rate,
-                cpi: m.cpi_eff,
-                total_bandwidth_gbps: m.bandwidth_gbps,
-            })
-        })
-        .collect()
+    par_map_full(
+        DMA_RATES.to_vec(),
+        |_, rate| format!("io_pressure/{} @ {rate:.0} GB/s", workload.name()),
+        |rate| measure_point(workload, threads, warmup_ops, window_ns, rate),
+    )
+    .into_iter()
+    .collect()
 }
 
 /// Renders the experiment for the big data workloads (the class the paper's
@@ -80,13 +98,29 @@ pub fn io_pressure_table(
             "total_bw_gbps",
         ],
     );
-    for w in Workload::all()
+    // All (workload × rate) cells are independent machines: fan the full
+    // 16-cell grid out as one batch of executor jobs and reassemble in
+    // submission order, so the rendered table is byte-identical at any
+    // `MEMSENSE_THREADS`.
+    let workloads: Vec<Workload> = Workload::all()
         .into_iter()
         .filter(|w| w.class() == Class::BigData)
-    {
-        let points = io_pressure(w, threads, warmup_ops, window_ns)?;
-        let base = points[0].cpi;
-        for p in &points {
+        .collect();
+    let cells: Vec<(Workload, f64)> = workloads
+        .iter()
+        .flat_map(|&w| DMA_RATES.iter().map(move |&r| (w, r)))
+        .collect();
+    let points = par_map_full(
+        cells,
+        |_, (w, rate)| format!("io_pressure/{} @ {rate:.0} GB/s", w.name()),
+        |(w, rate)| measure_point(w, threads, warmup_ops, window_ns, rate),
+    )
+    .into_iter()
+    .collect::<Result<Vec<IoPressurePoint>, ExperimentError>>()?;
+    for (wi, w) in workloads.iter().enumerate() {
+        let row = &points[wi * DMA_RATES.len()..(wi + 1) * DMA_RATES.len()];
+        let base = row[0].cpi;
+        for p in row {
             t.row(vec![
                 w.name().to_string(),
                 f(p.dma_gbps, 0),

@@ -4,11 +4,15 @@
 //! tables all re-execute the `crates/sim` engine, so simulator throughput
 //! bounds how many design points a repro run can explore. This module pins
 //! that throughput down: [`measure`] times a fixed set of sim-heavy repro
-//! stages (reduced budgets, serial execution) through the executor's job
-//! telemetry, [`to_json`]/[`from_json`] persist the result as the canonical
+//! stages (reduced budgets, one stage at a time — the worker pool serves
+//! each stage's inner jobs) through the executor's job telemetry,
+//! [`to_json`]/[`from_json`] persist the result as the canonical
 //! `BENCH_sim.json`, and [`compare`] gates a fresh measurement against the
 //! recorded baseline with a wall-clock tolerance — the CI `sim-perf` job
-//! fails when any stage (or the total) regresses beyond it.
+//! fails when any stage (or the total) regresses beyond it, when the
+//! recorded stage set has diverged from [`STAGES`], or when the thread
+//! counts differ. [`measure_profiled`] additionally attributes simulator
+//! work counters (ops, cache/TLB lookups, prefetch fills) to each stage.
 
 use std::collections::BTreeMap;
 
@@ -128,11 +132,34 @@ fn run_stage(name: &str) -> Result<(), SimBenchError> {
     }
 }
 
+/// Per-stage simulator work counters (ops retired, cache and TLB lookups,
+/// prefetch fills) captured from [`memsense_sim::telemetry`] around the
+/// stage's first repeat. These are deterministic properties of the stage —
+/// unlike walls they do not vary run to run — so one repeat suffices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageProfile {
+    /// Stage name (one of [`STAGES`]).
+    pub name: String,
+    /// Instructions retired across every machine the stage built.
+    pub ops: u64,
+    /// Cache lookups (hits + misses, all levels).
+    pub cache_accesses: u64,
+    /// TLB translations (0 when the TLB model is disabled).
+    pub tlb_accesses: u64,
+    /// Prefetch fills brought into the LLC.
+    pub prefetch_fills: u64,
+}
+
 /// Times every stage in [`STAGES`] `repeats` times through the executor
 /// (labels `simbench/<stage>`), recording each stage's minimum wall clock.
 ///
-/// Record with `MEMSENSE_THREADS=1`: stages then run serially in submission
-/// order and their executor walls are undiluted by co-running stages.
+/// Stages run **one at a time** regardless of thread count, so each wall is
+/// undiluted by co-running stages; the worker pool instead serves the
+/// stage's *inner* jobs (calibration sweep points, series workloads,
+/// I/O-pressure cells). At `MEMSENSE_THREADS > 1` a stage's wall therefore
+/// reflects intra-stage instance parallelism — and because every inner job
+/// is an independent machine merged in submission order, the simulated
+/// numbers stay byte-identical at any thread count.
 ///
 /// # Errors
 ///
@@ -142,32 +169,63 @@ fn run_stage(name: &str) -> Result<(), SimBenchError> {
 ///
 /// Panics if `repeats` is zero.
 pub fn measure(repeats: usize) -> Result<Baseline, SimBenchError> {
+    measure_profiled(repeats).map(|(baseline, _)| baseline)
+}
+
+/// [`measure`], also returning per-stage simulator work counters (the
+/// `--profile` data) in [`STAGES`] order.
+///
+/// # Errors
+///
+/// Returns the first failing stage's error.
+///
+/// # Panics
+///
+/// Panics if `repeats` is zero.
+pub fn measure_profiled(repeats: usize) -> Result<(Baseline, Vec<StageProfile>), SimBenchError> {
     assert!(repeats > 0, "at least one repeat");
     // Unrelated records from earlier work in this process would otherwise
     // be misattributed; start from an empty log.
     drain_job_log();
     let mut best: BTreeMap<&str, f64> = BTreeMap::new();
-    for _ in 0..repeats {
-        let outcomes = par_map_full(
-            STAGES.to_vec(),
-            |_, s| format!("{LABEL_PREFIX}{s}"),
-            run_stage,
-        );
-        let log = drain_job_log();
-        outcomes.into_iter().collect::<Result<Vec<()>, _>>()?;
-        for rec in log {
-            let Some(stage) = rec.label.strip_prefix(LABEL_PREFIX) else {
-                continue; // inner sweep-cell jobs dispatched by a stage
-            };
-            if let Some(&name) = STAGES.iter().find(|&&s| s == stage) {
-                let ms = rec.wall.as_secs_f64() * 1e3;
-                best.entry(name)
-                    .and_modify(|b| *b = b.min(ms))
-                    .or_insert(ms);
+    let mut profiles: BTreeMap<&str, StageProfile> = BTreeMap::new();
+    for rep in 0..repeats {
+        for &name in STAGES.iter() {
+            let before = memsense_sim::telemetry::snapshot();
+            let outcomes = par_map_full(vec![name], |_, s| format!("{LABEL_PREFIX}{s}"), run_stage);
+            let after = memsense_sim::telemetry::snapshot();
+            let log = drain_job_log();
+            outcomes.into_iter().collect::<Result<Vec<()>, _>>()?;
+            for rec in log {
+                let Some(stage) = rec.label.strip_prefix(LABEL_PREFIX) else {
+                    continue; // inner jobs dispatched by the stage
+                };
+                if stage == name {
+                    let ms = rec.wall.as_secs_f64() * 1e3;
+                    best.entry(name)
+                        .and_modify(|b| *b = b.min(ms))
+                        .or_insert(ms);
+                }
+            }
+            if rep == 0 {
+                // Machines built by the stage are dropped inside it and
+                // stages never co-run, so the registry delta is exactly
+                // this stage's work at any thread count.
+                let d = after.delta_since(&before);
+                profiles.insert(
+                    name,
+                    StageProfile {
+                        name: name.to_string(),
+                        ops: d.ops,
+                        cache_accesses: d.cache_accesses,
+                        tlb_accesses: d.tlb_accesses,
+                        prefetch_fills: d.prefetch_fills,
+                    },
+                );
             }
         }
     }
-    Ok(Baseline {
+    let baseline = Baseline {
         threads: thread_count(),
         repeats,
         stages: STAGES
@@ -177,7 +235,47 @@ pub fn measure(repeats: usize) -> Result<Baseline, SimBenchError> {
                 wall_ms: best.get(name).copied().unwrap_or(0.0),
             })
             .collect(),
-    })
+    };
+    let profiles = STAGES
+        .iter()
+        .map(|&name| {
+            profiles.remove(name).unwrap_or(StageProfile {
+                name: name.to_string(),
+                ops: 0,
+                cache_accesses: 0,
+                tlb_accesses: 0,
+                prefetch_fills: 0,
+            })
+        })
+        .collect();
+    Ok((baseline, profiles))
+}
+
+/// Renders the `--profile` table: each stage's wall alongside its simulator
+/// work counters (columns documented in EXPERIMENTS.md).
+pub fn profile_table(baseline: &Baseline, profiles: &[StageProfile]) -> Table {
+    let mut t = Table::new(
+        "Sim stage profile: wall clock and simulator work per stage",
+        &[
+            "stage",
+            "wall_ms",
+            "ops",
+            "cache_accesses",
+            "tlb_accesses",
+            "prefetch_fills",
+        ],
+    );
+    for p in profiles {
+        t.row(vec![
+            p.name.clone(),
+            f(baseline.stage_ms(&p.name).unwrap_or(0.0), 1),
+            p.ops.to_string(),
+            p.cache_accesses.to_string(),
+            p.tlb_accesses.to_string(),
+            p.prefetch_fills.to_string(),
+        ]);
+    }
+    t
 }
 
 /// Serializes a baseline to the canonical `BENCH_sim.json` form.
@@ -286,6 +384,15 @@ pub struct Comparison {
     pub tolerance: f64,
     /// Per-stage rows in measurement order.
     pub rows: Vec<CompareRow>,
+    /// Baseline stages that no longer exist in the current stage set: the
+    /// recorded file predates a stage rename/removal and must be
+    /// re-recorded (a stale baseline would otherwise silently gate nothing
+    /// for those stages).
+    pub stale: Vec<String>,
+    /// Executor threads the baseline was recorded at.
+    pub baseline_threads: usize,
+    /// Executor threads of the current measurement.
+    pub current_threads: usize,
     /// Baseline total (ms).
     pub baseline_total_ms: f64,
     /// Current total (ms).
@@ -295,9 +402,43 @@ pub struct Comparison {
 }
 
 impl Comparison {
-    /// Whether every stage and the total passed.
+    /// Whether baseline and current were measured at the same thread count
+    /// (walls at different thread counts are not comparable).
+    pub fn threads_ok(&self) -> bool {
+        self.baseline_threads == self.current_threads
+    }
+
+    /// Whether every stage and the total passed, the baseline stage set is
+    /// current, and the thread counts match.
     pub fn passed(&self) -> bool {
-        self.total_ok && self.rows.iter().all(|r| r.ok)
+        self.total_ok
+            && self.stale.is_empty()
+            && self.threads_ok()
+            && self.rows.iter().all(|r| r.ok)
+    }
+
+    /// One-line diagnostics for the failure modes a ratio table cannot
+    /// express (stale stage set, thread-count mismatch); empty when neither
+    /// applies.
+    pub fn diagnostics(&self) -> Vec<String> {
+        let mut msgs = Vec::new();
+        if !self.stale.is_empty() {
+            msgs.push(format!(
+                "baseline records stage(s) {:?} that the current build no longer \
+                 measures — the recorded stage set diverged from simbench::STAGES; \
+                 re-record the baseline (memsense-bench sim-baseline --out BENCH_sim.json)",
+                self.stale
+            ));
+        }
+        if !self.threads_ok() {
+            msgs.push(format!(
+                "baseline was recorded at {} executor thread(s) but the current \
+                 measurement used {} — walls are not comparable; re-measure with \
+                 MEMSENSE_THREADS={} or re-record the baseline",
+                self.baseline_threads, self.current_threads, self.baseline_threads
+            ));
+        }
+        msgs
     }
 
     /// Renders the human-readable gate table.
@@ -324,6 +465,15 @@ impl Comparison {
                 if r.ok { "ok" } else { "REGRESSED" }.to_string(),
             ]);
         }
+        for name in &self.stale {
+            t.row(vec![
+                name.clone(),
+                "recorded".to_string(),
+                "missing".to_string(),
+                "-".to_string(),
+                "STALE".to_string(),
+            ]);
+        }
         t.row(vec![
             "total".to_string(),
             f(self.baseline_total_ms, 1),
@@ -344,6 +494,12 @@ impl Comparison {
             ("schema", Json::str("memsense-sim-baseline-check/v1")),
             ("tolerance", Json::num(self.tolerance)),
             ("passed", Json::Bool(self.passed())),
+            (
+                "stale_stages",
+                Json::Arr(self.stale.iter().map(Json::str).collect()),
+            ),
+            ("baseline_threads", Json::num(self.baseline_threads as f64)),
+            ("current_threads", Json::num(self.current_threads as f64)),
             (
                 "baseline_total_ms",
                 Json::num((self.baseline_total_ms * 1e3).round() / 1e3),
@@ -380,8 +536,11 @@ impl Comparison {
 }
 
 /// Gates `current` against `baseline`: a stage fails when its wall exceeds
-/// `baseline × (1 + tolerance)`, when it is missing from the baseline, and
-/// the summed total is held to the same bound.
+/// `baseline × (1 + tolerance)` or when it is missing from the baseline;
+/// the summed total is held to the same bound. The whole comparison also
+/// fails when the baseline records a stage the current build no longer
+/// measures (a stale file) or when the two were measured at different
+/// thread counts — see [`Comparison::diagnostics`].
 pub fn compare(current: &Baseline, baseline: &Baseline, tolerance: f64) -> Comparison {
     let limit = 1.0 + tolerance;
     let rows: Vec<CompareRow> = current
@@ -401,11 +560,20 @@ pub fn compare(current: &Baseline, baseline: &Baseline, tolerance: f64) -> Compa
             }
         })
         .collect();
+    let stale: Vec<String> = baseline
+        .stages
+        .iter()
+        .filter(|b| current.stages.iter().all(|c| c.name != b.name))
+        .map(|b| b.name.clone())
+        .collect();
     let baseline_total = baseline.total_ms();
     let current_total = current.total_ms();
     Comparison {
         tolerance,
         rows,
+        stale,
+        baseline_threads: baseline.threads,
+        current_threads: current.threads,
         baseline_total_ms: baseline_total,
         current_total_ms: current_total,
         total_ok: current_total <= baseline_total * limit,
@@ -495,6 +663,71 @@ mod tests {
         assert!(json.contains("\"baseline_ms\": null"));
         let parsed = Json::parse(&json).unwrap();
         assert_eq!(parsed.get("passed").unwrap().as_bool(), Some(false));
+    }
+
+    #[test]
+    fn compare_fails_on_stale_baseline_stage() {
+        // The baseline records a stage the current build no longer
+        // measures: every per-stage row passes, but the file is stale and
+        // the gate must say so rather than silently ignoring the stage.
+        let base = baseline(&[("a", 100.0), ("renamed-away", 50.0)]);
+        let current = baseline(&[("a", 100.0)]);
+        let c = compare(&current, &base, 0.5);
+        assert!(c.rows.iter().all(|r| r.ok), "live rows are fine");
+        assert_eq!(c.stale, vec!["renamed-away".to_string()]);
+        assert!(!c.passed());
+        let msgs = c.diagnostics();
+        assert_eq!(msgs.len(), 1);
+        assert!(msgs[0].contains("renamed-away"), "{msgs:?}");
+        assert!(msgs[0].contains("re-record"), "{msgs:?}");
+        let table = c.to_table().to_ascii();
+        assert!(table.contains("STALE"));
+        let json = c.to_json_value().to_string_pretty();
+        assert!(json.contains("\"stale_stages\""));
+        assert!(json.contains("renamed-away"));
+    }
+
+    #[test]
+    fn compare_fails_on_thread_count_mismatch() {
+        let base = baseline(&[("a", 100.0)]);
+        let mut current = baseline(&[("a", 100.0)]);
+        current.threads = 8;
+        let c = compare(&current, &base, 0.5);
+        assert!(!c.threads_ok());
+        assert!(!c.passed());
+        let msgs = c.diagnostics();
+        assert!(
+            msgs.iter().any(|m| m.contains("MEMSENSE_THREADS=1")),
+            "{msgs:?}"
+        );
+        let json = c.to_json_value().to_string_pretty();
+        assert!(json.contains("\"baseline_threads\": 1"));
+        assert!(json.contains("\"current_threads\": 8"));
+    }
+
+    #[test]
+    fn matching_comparison_has_no_diagnostics() {
+        let base = baseline(&[("a", 100.0)]);
+        let c = compare(&base.clone(), &base, 0.5);
+        assert!(c.passed());
+        assert!(c.diagnostics().is_empty());
+        assert!(c.stale.is_empty());
+    }
+
+    #[test]
+    fn profile_table_lists_stage_work() {
+        let b = baseline(&[("a", 12.5)]);
+        let profiles = vec![StageProfile {
+            name: "a".to_string(),
+            ops: 1000,
+            cache_accesses: 400,
+            tlb_accesses: 0,
+            prefetch_fills: 7,
+        }];
+        let t = profile_table(&b, &profiles).to_ascii();
+        assert!(t.contains("cache_accesses"));
+        assert!(t.contains("1000"));
+        assert!(t.contains("12.5"));
     }
 
     #[test]

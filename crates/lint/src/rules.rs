@@ -8,6 +8,7 @@
 //! | `no-wallclock-in-deterministic` | deterministic paths never read wall clocks |
 //! | `unsafe-needs-safety-comment` | every `unsafe` carries a `// SAFETY:` justification |
 //! | `no-process-exit-in-lib` | only binaries decide process exit codes |
+//! | `no-per-op-alloc` | sim hot-loop modules never allocate per op |
 //!
 //! Rules are token-level and file-local by design: they see declarations and
 //! uses within one file, which is exactly where the regressions dynamic
@@ -111,6 +112,23 @@ pub const RULES: &[Rule] = &[
               documented MEMSENSE_THREADS diagnostic site is annotated with \
               `// memsense-lint: allow(no-process-exit-in-lib)`.",
     },
+    Rule {
+        id: "no-per-op-alloc",
+        summary: "Vec::new/vec![] in simulator hot-loop modules",
+        invariant: "The sim's per-op pipeline (engine step loop, cache/TLB \
+                    block passes, stream generators, prefetcher, memory \
+                    controller) runs millions of times per experiment; the \
+                    second-2x perf work made those paths allocation-free via \
+                    reused scratch buffers. A fresh `Vec::new()` or `vec![…]` \
+                    in one of those modules multiplies across every simulated \
+                    op. Scope: the hot sim modules (engine, cache, tlb, \
+                    trace, prefetch, mem).",
+        fix: "Reuse a caller-owned scratch buffer (`clear()` + refill, as \
+              `on_miss_into`/`fill_block` do) or pre-size once with \
+              `Vec::with_capacity`. One-time construction and other cold \
+              paths annotate with \
+              `// memsense-lint: allow(no-per-op-alloc)` plus a justification.",
+    },
 ];
 
 /// Looks up a rule by id.
@@ -140,6 +158,18 @@ const WIRE_SCOPES: &[&str] = &[
 /// Files and prefixes allowed to read wall clocks: executor job telemetry,
 /// the serve daemon's request metrics/benchmarking, and the stream
 /// throughput baseline.
+/// Simulator hot-loop modules: library code here runs once per simulated
+/// op, access, or miss, so a per-call allocation multiplies across millions
+/// of ops per run.
+const SIM_HOT_SCOPES: &[&str] = &[
+    "crates/sim/src/engine.rs",
+    "crates/sim/src/cache.rs",
+    "crates/sim/src/tlb.rs",
+    "crates/sim/src/trace.rs",
+    "crates/sim/src/prefetch.rs",
+    "crates/sim/src/mem.rs",
+];
+
 const WALLCLOCK_ALLOW: &[&str] = &[
     "crates/experiments/src/executor.rs",
     "crates/serve/src/",
@@ -165,6 +195,9 @@ pub fn check_file(file: &SourceFile) -> Vec<Diagnostic> {
         }
         if in_scope(&file.rel, WIRE_SCOPES) {
             no_raw_float_format(file, &mut diags);
+        }
+        if in_scope(&file.rel, SIM_HOT_SCOPES) {
+            no_per_op_alloc(file, &mut diags);
         }
     }
     unsafe_needs_safety_comment(file, &mut diags);
@@ -284,6 +317,41 @@ fn unsafe_needs_safety_comment(file: &SourceFile, diags: &mut Vec<Diagnostic>) {
                 "unsafe-needs-safety-comment",
                 "`unsafe` without a `// SAFETY:` comment on the preceding lines".to_string(),
             );
+        }
+    }
+}
+
+fn no_per_op_alloc(file: &SourceFile, diags: &mut Vec<Diagnostic>) {
+    const RULE: &str = "no-per-op-alloc";
+    for i in 0..file.code.len() {
+        if file.code[i].kind != TokKind::Ident || file.in_test_item(i) {
+            continue;
+        }
+        match file.txt(i) {
+            "Vec"
+                if file.punct_is(i + 1, ':')
+                    && file.punct_is(i + 2, ':')
+                    && file.ident_is(i + 3, "new")
+                    && file.punct_is(i + 4, '(') =>
+            {
+                push(
+                    diags,
+                    file,
+                    i,
+                    RULE,
+                    "`Vec::new()` in a sim hot-loop module; reuse a scratch buffer or pre-size with Vec::with_capacity".to_string(),
+                );
+            }
+            "vec" if file.punct_is(i + 1, '!') => {
+                push(
+                    diags,
+                    file,
+                    i,
+                    RULE,
+                    "`vec![…]` in a sim hot-loop module; reuse a scratch buffer or pre-size with Vec::with_capacity".to_string(),
+                );
+            }
+            _ => {}
         }
     }
 }

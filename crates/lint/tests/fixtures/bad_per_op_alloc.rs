@@ -1,0 +1,12 @@
+//! Bad fixture: fresh allocations in what the lint treats as a sim
+//! hot-loop module — one `Vec::new()` and one `vec![…]`.
+
+pub fn prefetch_targets(addr: u64) -> Vec<u64> {
+    let mut out = Vec::new();
+    out.push(addr + 64);
+    out
+}
+
+pub fn lane_masks(n: usize) -> Vec<u64> {
+    vec![0u64; n]
+}

@@ -1,0 +1,29 @@
+//! Good twin: the hot path writes into a caller-owned scratch buffer, the
+//! pre-sized allocation uses `with_capacity`, and the one deliberate cold
+//! allocation carries an allow annotation.
+
+pub fn prefetch_targets_into(addr: u64, out: &mut Vec<u64>) {
+    out.clear();
+    out.push(addr + 64);
+}
+
+pub fn scratch(n: usize) -> Vec<u64> {
+    Vec::with_capacity(n)
+}
+
+pub struct LaneTable {
+    lanes: Vec<u64>,
+}
+
+impl LaneTable {
+    pub fn build(n: usize) -> LaneTable {
+        LaneTable {
+            // memsense-lint: allow(no-per-op-alloc) — one-time table build
+            lanes: vec![0u64; n],
+        }
+    }
+
+    pub fn width(&self) -> usize {
+        self.lanes.len()
+    }
+}

@@ -216,6 +216,52 @@ fn process_exit_rule_fires_in_lib_not_bin() {
     assert!(diags.is_empty(), "binaries own exit codes: {diags:?}");
 }
 
+// --- no-per-op-alloc -------------------------------------------------------
+
+#[test]
+fn per_op_alloc_rule_fires_in_sim_hot_modules_only() {
+    let bad = include_str!("fixtures/bad_per_op_alloc.rs");
+    for rel in [
+        "crates/sim/src/engine.rs",
+        "crates/sim/src/cache.rs",
+        "crates/sim/src/tlb.rs",
+        "crates/sim/src/trace.rs",
+        "crates/sim/src/prefetch.rs",
+        "crates/sim/src/mem.rs",
+    ] {
+        let diags = lint(rel, bad);
+        assert_eq!(
+            rules_of(&diags)
+                .iter()
+                .filter(|r| **r == "no-per-op-alloc")
+                .count(),
+            2,
+            "{rel}: Vec::new and vec![] both fire: {diags:?}"
+        );
+    }
+    // Cold sim modules and other crates allocate freely.
+    for rel in [
+        "crates/sim/src/config.rs",
+        "crates/workloads/src/mix.rs",
+        "crates/model/src/fake.rs",
+    ] {
+        let diags = lint(rel, bad);
+        assert!(
+            !rules_of(&diags).contains(&"no-per-op-alloc"),
+            "{rel} is out of scope: {diags:?}"
+        );
+    }
+}
+
+#[test]
+fn per_op_alloc_rule_quiet_on_scratch_buffer_twin() {
+    let diags = lint(
+        "crates/sim/src/engine.rs",
+        include_str!("fixtures/good_per_op_alloc.rs"),
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
 // --- cross-cutting ---------------------------------------------------------
 
 #[test]

@@ -5,26 +5,20 @@
 //! write-allocate, LRU replacement. Dirty LLC victims become memory write
 //! traffic — the writeback rate `WBR` of Eq. 4 is measured here.
 //!
-//! Layout: each cache stores its ways as one flat set-major array of
-//! 16-byte [`Way`] records, so a set lookup walks a single contiguous
-//! slice. Recency is tracked with per-set `u32` generation stamps (LRU
-//! comparisons only ever happen within a set, so per-set clocks reproduce
-//! the exact decisions of a global counter while halving the per-way
-//! footprint). The hierarchy keeps a one-entry way predictor so the common
-//! consecutive-hits-to-one-line case skips the set walk entirely.
+//! Layout: way state lives in structure-of-arrays form — one flat set-major
+//! `tags` array plus parallel `stamps`/`flags` arrays — so the hit scan of a
+//! set is a branchless compare sweep over a contiguous `u64` slice the
+//! compiler vectorizes. Recency is tracked with per-set `u32` generation
+//! stamps (LRU comparisons only ever happen within a set, so per-set clocks
+//! reproduce the exact decisions of a global counter while halving the
+//! per-way footprint). The hierarchy keeps a one-entry way predictor so the
+//! common consecutive-hits-to-one-line case skips the set walk entirely.
 
 use crate::config::{CacheConfig, SimConfig};
+use crate::trace::{AccessKind, Op};
 
 const VALID: u32 = 1;
 const DIRTY: u32 = 2;
-
-/// One way slot: line-address tag, LRU generation stamp, and state bits.
-#[derive(Debug, Clone, Copy, Default)]
-struct Way {
-    tag: u64,
-    stamp: u32,
-    flags: u32,
-}
 
 /// Result of a cache access at one level.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,8 +37,12 @@ pub enum Lookup {
 /// replacement.
 #[derive(Debug, Clone)]
 pub struct SetAssocCache {
-    /// Way records, set-major: set `s` occupies `s*ways .. (s+1)*ways`.
-    lines: Box<[Way]>,
+    /// Line-address tags, set-major: set `s` occupies `s*ways..(s+1)*ways`.
+    tags: Box<[u64]>,
+    /// LRU generation stamps, parallel to `tags`.
+    stamps: Box<[u32]>,
+    /// VALID/DIRTY state bits, parallel to `tags`.
+    flags: Box<[u32]>,
     /// Per-set generation clocks backing the LRU stamps.
     clocks: Box<[u32]>,
     sets: usize,
@@ -68,7 +66,13 @@ impl SetAssocCache {
             "sets must be a power of two"
         );
         SetAssocCache {
-            lines: vec![Way::default(); sets * config.ways].into_boxed_slice(),
+            // memsense-lint: allow(no-per-op-alloc) — one-time table build
+            tags: vec![0u64; sets * config.ways].into_boxed_slice(),
+            // memsense-lint: allow(no-per-op-alloc) — one-time table build
+            stamps: vec![0u32; sets * config.ways].into_boxed_slice(),
+            // memsense-lint: allow(no-per-op-alloc) — one-time table build
+            flags: vec![0u32; sets * config.ways].into_boxed_slice(),
+            // memsense-lint: allow(no-per-op-alloc) — one-time table build
             clocks: vec![0u32; sets].into_boxed_slice(),
             sets,
             ways: config.ways,
@@ -100,12 +104,12 @@ impl SetAssocCache {
             // the clock from there. Needs 4 billion accesses to one set to
             // trigger, so the cost is irrelevant.
             let base = set * self.ways;
-            let slot = &mut self.lines[base..base + self.ways];
-            let mut order: Vec<usize> = (0..slot.len()).collect();
-            order.sort_by_key(|&i| slot[i].stamp);
+            // memsense-lint: allow(no-per-op-alloc) — renorm fires once per 4G accesses to a set
+            let mut order: Vec<usize> = (0..self.ways).collect();
+            order.sort_by_key(|&i| self.stamps[base + i]);
             for (rank, &i) in order.iter().enumerate() {
-                if slot[i].flags & VALID != 0 {
-                    slot[i].stamp = rank as u32 + 1;
+                if self.flags[base + i] & VALID != 0 {
+                    self.stamps[base + i] = rank as u32 + 1;
                 }
             }
             self.clocks[set] = self.ways as u32;
@@ -113,6 +117,23 @@ impl SetAssocCache {
         let clock = &mut self.clocks[set];
         *clock += 1;
         *clock
+    }
+
+    /// Branchless hit scan: the flat index of the valid way holding `tag`
+    /// in the set at `base`, or `usize::MAX`. Resident tags are unique per
+    /// set, so accumulating the matching index over the whole contiguous
+    /// tag slice (no early exit, no data-dependent branch) finds the sole
+    /// hit; the compiler turns the sweep into vector compares.
+    #[inline]
+    fn find_way(&self, base: usize, tag: u64) -> usize {
+        let mut found = usize::MAX;
+        for i in base..base + self.ways {
+            let hit = (self.flags[i] & VALID != 0) & (self.tags[i] == tag);
+            if hit {
+                found = i;
+            }
+        }
+        found
     }
 
     /// Accesses `addr`; allocates on miss. `write` marks the line dirty.
@@ -127,45 +148,38 @@ impl SetAssocCache {
         let (set, tag) = self.index(addr);
         let stamp = self.tick(set);
         let base = set * self.ways;
-        let slot = &mut self.lines[base..base + self.ways];
 
-        for (i, way) in slot.iter_mut().enumerate() {
-            if way.flags & VALID != 0 && way.tag == tag {
-                way.stamp = stamp;
-                way.flags |= (write as u32) * DIRTY;
-                self.hits += 1;
-                return (Lookup::Hit, (base + i) as u32);
-            }
+        let hit = self.find_way(base, tag);
+        if hit != usize::MAX {
+            self.stamps[hit] = stamp;
+            self.flags[hit] |= (write as u32) * DIRTY;
+            self.hits += 1;
+            return (Lookup::Hit, hit as u32);
         }
         self.misses += 1;
-        // Choose victim: the first invalid way, else LRU (lowest stamp).
-        let mut victim_idx = 0;
+        // Choose victim branchlessly: the first invalid way (key 0), else
+        // LRU (lowest stamp); strict `<` keeps the lowest index on ties.
+        let mut victim_idx = base;
         let mut victim_key = u64::MAX;
-        for (i, way) in slot.iter().enumerate() {
-            let key = if way.flags & VALID != 0 {
-                way.stamp as u64
-            } else {
-                0
-            };
+        for i in base..base + self.ways {
+            let valid = (self.flags[i] & VALID != 0) as u64;
+            let key = valid * self.stamps[i] as u64;
             if key < victim_key {
                 victim_key = key;
                 victim_idx = i;
             }
         }
-        let victim = slot[victim_idx];
-        let writeback = if victim.flags & (VALID | DIRTY) == VALID | DIRTY {
+        let writeback = if self.flags[victim_idx] & (VALID | DIRTY) == VALID | DIRTY {
             // The stored tag is the full line address, so the victim's base
             // address is just the tag shifted back up.
-            Some(victim.tag << self.line_shift)
+            Some(self.tags[victim_idx] << self.line_shift)
         } else {
             None
         };
-        slot[victim_idx] = Way {
-            tag,
-            stamp,
-            flags: VALID | ((write as u32) * DIRTY),
-        };
-        (Lookup::Miss { writeback }, (base + victim_idx) as u32)
+        self.tags[victim_idx] = tag;
+        self.stamps[victim_idx] = stamp;
+        self.flags[victim_idx] = VALID | ((write as u32) * DIRTY);
+        (Lookup::Miss { writeback }, victim_idx as u32)
     }
 
     /// Way-predictor fast path: if flat slot `index` still holds the line
@@ -173,36 +187,42 @@ impl SetAssocCache {
     /// [`SetAssocCache::access`]) and returns `true`. A stale prediction
     /// leaves all state untouched and returns `false`.
     pub(crate) fn hit_at(&mut self, index: u32, tag: u64, write: bool) -> bool {
-        let way = self.lines[index as usize];
-        if way.flags & VALID == 0 || way.tag != tag {
+        let i = index as usize;
+        if self.flags[i] & VALID == 0 || self.tags[i] != tag {
             return false;
         }
-        let stamp = self.tick(index as usize / self.ways);
-        let way = &mut self.lines[index as usize];
-        way.stamp = stamp;
-        way.flags |= (write as u32) * DIRTY;
+        let stamp = self.tick(i / self.ways);
+        self.stamps[i] = stamp;
+        self.flags[i] |= (write as u32) * DIRTY;
         self.hits += 1;
         true
+    }
+
+    /// Performs a batch of `(addr, write)` accesses in order, appending one
+    /// [`Lookup`] per access to `out`. State and counter evolution are
+    /// identical to the same sequence of [`SetAssocCache::access`] calls;
+    /// batching exists so callers pay the call/setup overhead once per
+    /// block instead of once per access.
+    pub fn access_block(&mut self, accesses: &[(u64, bool)], out: &mut Vec<Lookup>) {
+        out.reserve(accesses.len());
+        for &(addr, write) in accesses {
+            out.push(self.access(addr, write));
+        }
     }
 
     /// Checks for presence without updating replacement state.
     pub fn probe(&self, addr: u64) -> bool {
         let (set, tag) = self.index(addr);
-        let base = set * self.ways;
-        self.lines[base..base + self.ways]
-            .iter()
-            .any(|w| w.flags & VALID != 0 && w.tag == tag)
+        self.find_way(set * self.ways, tag) != usize::MAX
     }
 
     /// Marks `addr` dirty if present, returning whether it was found.
     pub fn mark_dirty(&mut self, addr: u64) -> bool {
         let (set, tag) = self.index(addr);
-        let base = set * self.ways;
-        for way in &mut self.lines[base..base + self.ways] {
-            if way.flags & VALID != 0 && way.tag == tag {
-                way.flags |= DIRTY;
-                return true;
-            }
+        let i = self.find_way(set * self.ways, tag);
+        if i != usize::MAX {
+            self.flags[i] |= DIRTY;
+            return true;
         }
         false
     }
@@ -286,25 +306,7 @@ impl CacheHierarchy {
     /// L1/L2 victims are absorbed by marking the corresponding LLC line
     /// dirty (a first-order inclusive-hierarchy approximation).
     pub fn access(&mut self, addr: u64, write: bool) -> HierarchyAccess {
-        let line = addr >> self.l1.line_shift();
-        // Way-predictor fast path: a repeat access to the last-touched
-        // line hits L1 without walking the set (stale predictions fall
-        // through to the full lookup).
-        if line == self.predicted_line && self.l1.hit_at(self.predicted_slot, line, write) {
-            if write {
-                self.llc.mark_dirty(addr);
-            }
-            return HierarchyAccess {
-                level: HitLevel::L1,
-                memory_writeback: None,
-            };
-        }
-        let (l1_lookup, l1_slot) = self.l1.access_indexed(addr, write);
-        // Whether it hit or was just allocated, the line now lives in
-        // `l1_slot` — remember it for the next access.
-        self.predicted_line = line;
-        self.predicted_slot = l1_slot;
-        if l1_lookup == Lookup::Hit {
+        if self.l1_access(addr, write) {
             // Keep the LLC's dirtiness conservative: stores that hit L1
             // will eventually be written back through L2 to the LLC.
             if write {
@@ -315,6 +317,31 @@ impl CacheHierarchy {
                 memory_writeback: None,
             };
         }
+        self.access_below_l1(addr, write)
+    }
+
+    /// The L1 stage of [`CacheHierarchy::access`]: way-predictor fast path,
+    /// full L1 lookup, allocate-on-miss, predictor update. Touches only the
+    /// L1 and the predictor. Returns whether the access hit L1.
+    #[inline]
+    fn l1_access(&mut self, addr: u64, write: bool) -> bool {
+        let line = addr >> self.l1.line_shift();
+        // Way-predictor fast path: a repeat access to the last-touched
+        // line hits L1 without walking the set (stale predictions fall
+        // through to the full lookup).
+        if line == self.predicted_line && self.l1.hit_at(self.predicted_slot, line, write) {
+            return true;
+        }
+        let (l1_lookup, l1_slot) = self.l1.access_indexed(addr, write);
+        // Whether it hit or was just allocated, the line now lives in
+        // `l1_slot` — remember it for the next access.
+        self.predicted_line = line;
+        self.predicted_slot = l1_slot;
+        l1_lookup == Lookup::Hit
+    }
+
+    /// The L2/LLC stage of [`CacheHierarchy::access`], taken on an L1 miss.
+    pub(crate) fn access_below_l1(&mut self, addr: u64, write: bool) -> HierarchyAccess {
         match self.l2.access(addr, write) {
             Lookup::Hit => {
                 if write {
@@ -339,6 +366,38 @@ impl CacheHierarchy {
                         memory_writeback: writeback,
                     },
                 }
+            }
+        }
+    }
+
+    /// Marks `addr`'s LLC line dirty (the L1-hit store side effect, which
+    /// the blocked engine pipeline must apply at the op's position rather
+    /// than at L1-probe time).
+    pub(crate) fn mark_llc_dirty(&mut self, addr: u64) {
+        self.llc.mark_dirty(addr);
+    }
+
+    /// Runs the L1 stage for every non-idle, non-NT memory access in
+    /// `ops`, appending one hit flag per access (in op order) to `out`.
+    ///
+    /// Legal to run for a whole block up front because L1 and predictor
+    /// state are mutated *only* by this demand-access sequence — prefetch
+    /// installs and LLC dirty marks touch L2/LLC only — so the evolution
+    /// is identical to per-op interleaving. The order-sensitive L1-hit
+    /// store side effect (LLC dirty mark) is deliberately *not* applied
+    /// here; the engine applies it at the op's position.
+    pub fn l1_probe_block(&mut self, ops: &[Op], out: &mut Vec<bool>) {
+        out.clear();
+        for op in ops {
+            if op.idle {
+                continue;
+            }
+            if let Some((addr, kind)) = op.access {
+                if matches!(kind, AccessKind::NonTemporalStore) {
+                    continue;
+                }
+                let write = !matches!(kind, AccessKind::Load { .. });
+                out.push(self.l1_access(addr, write));
             }
         }
     }
@@ -370,6 +429,14 @@ impl CacheHierarchy {
     /// LLC statistics `(hits, misses)`.
     pub fn llc_stats(&self) -> (u64, u64) {
         (self.llc.hits(), self.llc.misses())
+    }
+
+    /// Total lookups across every level (hits + misses, L1 + L2 + LLC).
+    pub fn total_accesses(&self) -> u64 {
+        [&self.l1, &self.l2, &self.llc]
+            .iter()
+            .map(|c| c.hits() + c.misses())
+            .sum()
     }
 }
 

@@ -66,6 +66,28 @@ impl PhaseCounts {
         self.counts[id.0 as usize] += 1;
     }
 
+    /// Counts `n` retired instructions against `name` — the run-grouped
+    /// form of [`PhaseCounts::bump`]. A zero count is a no-op (the label is
+    /// not even interned), so callers can flush runs unconditionally.
+    /// Calling `bump_n(l, n)` leaves the table in exactly the state `n`
+    /// successive `bump(l)` calls would.
+    #[inline]
+    pub fn bump_n(&mut self, name: &str, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let last = self.last as usize;
+        if let Some(l) = self.names.get(last) {
+            if l == name {
+                self.counts[last] += n;
+                return;
+            }
+        }
+        let id = self.resolve(name);
+        self.last = id.0;
+        self.counts[id.0 as usize] += n;
+    }
+
     /// Instructions counted against `id`.
     pub fn count(&self, id: PhaseId) -> u64 {
         self.counts[id.0 as usize]
@@ -385,6 +407,37 @@ mod tests {
         assert_eq!(total["map"], 3);
         assert_eq!(total["reduce"], 2);
         assert_eq!(total.keys().collect::<Vec<_>>(), ["map", "reduce"]);
+    }
+
+    #[test]
+    fn bump_n_equals_repeated_bump() {
+        let mut grouped = PhaseCounts::new();
+        let mut per_op = PhaseCounts::new();
+        let runs: &[(&str, u64)] = &[
+            ("map", 3),
+            ("reduce", 0), // zero runs must not intern the label
+            ("map", 2),
+            ("gc", 1),
+            ("map", 4),
+        ];
+        for &(label, n) in runs {
+            grouped.bump_n(label, n);
+            for _ in 0..n {
+                per_op.bump(label);
+            }
+        }
+        let (mut a, mut b) = (BTreeMap::new(), BTreeMap::new());
+        grouped.merge_into(&mut a);
+        per_op.merge_into(&mut b);
+        assert_eq!(a, b);
+        assert!(!a.contains_key("reduce"));
+        // The fast-path guess must match too: one more bump of the last
+        // label takes the fast path in both tables.
+        grouped.bump("map");
+        per_op.bump("map");
+        let id = grouped.resolve("map");
+        let per_op_id = per_op.resolve("map");
+        assert_eq!(grouped.count(id), per_op.count(per_op_id));
     }
 
     #[test]

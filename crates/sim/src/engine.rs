@@ -15,7 +15,7 @@ use crate::counters::{CoreCounters, Measurement, PhaseCounts, Sample};
 use crate::mem::MemoryController;
 use crate::prefetch::StreamPrefetcher;
 use crate::tlb::Tlb;
-use crate::trace::{AccessKind, BoxedStream};
+use crate::trace::{AccessKind, BoxedStream, OpBlock};
 use crate::SimError;
 
 /// Fraction of the hit latency an *independent* access exposes to the core
@@ -210,6 +210,12 @@ struct Core {
     /// Reused prefetch-target buffer — keeps `issue_prefetches` allocation-
     /// free after the first trained miss.
     pf_scratch: Vec<u64>,
+    /// Reused op block: one `fill_block` dispatch per scheduling quantum.
+    block: OpBlock,
+    /// Reused per-block TLB hit flags (one per non-idle access op).
+    tlb_block: Vec<bool>,
+    /// Reused per-block L1 hit flags (one per non-idle, non-NT access op).
+    l1_block: Vec<bool>,
 }
 
 /// A background DMA agent: device traffic (storage, NIC) that hits memory
@@ -234,6 +240,23 @@ pub struct Machine {
     background: Vec<BackgroundAgent>,
     cycle_ns: f64,
     issue_ns: f64,
+}
+
+impl Drop for Machine {
+    fn drop(&mut self) {
+        // Flush this machine's lifetime work into the process-wide
+        // telemetry registry (see `crate::telemetry`): harnesses snapshot
+        // the registry around a stage to attribute simulator work to it.
+        let mut total = crate::telemetry::TelemetrySnapshot::default();
+        for core in &self.cores {
+            total.ops += core.counters.instructions;
+            total.cache_accesses += core.hierarchy.total_accesses();
+            let (tlb_hits, tlb_misses) = core.tlb.stats();
+            total.tlb_accesses += tlb_hits + tlb_misses;
+            total.prefetch_fills += core.counters.prefetch_fills;
+        }
+        crate::telemetry::record(total);
+    }
 }
 
 /// Routes a request to its home socket's controller, charging interconnect
@@ -301,7 +324,10 @@ impl Machine {
                 io_credit: 0.0,
                 io_toggle: false,
                 phase_instructions: PhaseCounts::new(),
-                pf_scratch: Vec::new(),
+                pf_scratch: Vec::with_capacity(8),
+                block: OpBlock::new(),
+                tlb_block: Vec::with_capacity(BATCH_OPS as usize),
+                l1_block: Vec::with_capacity(BATCH_OPS as usize),
             })
             .collect();
         let memory = (0..config.numa.sockets)
@@ -311,6 +337,7 @@ impl Machine {
             config,
             cores,
             memory,
+            // memsense-lint: allow(no-per-op-alloc) — one-time machine build
             background: Vec::new(),
             cycle_ns,
             issue_ns,
@@ -519,13 +546,62 @@ impl Machine {
         let rob = config.rob_size as u64;
         let mshrs = config.mshrs as usize;
 
-        for _ in 0..ops {
-            let op = core.stream.next_op();
+        // Stage 1: one dynamic dispatch pulls the whole quantum of ops,
+        // with phase labels and I/O rates attached as run-length sidecars.
+        core.stream.fill_block(&mut core.block, ops as usize);
+        let n = core.block.ops.len();
+
+        // Stage 2: whole-block address translation. TLB state depends only
+        // on the access-address sequence, so translating up front is
+        // byte-identical to per-op interleaving; a disabled TLB (the
+        // default) skips the stage entirely.
+        let tlb_on = core.tlb.enabled();
+        if tlb_on {
+            core.tlb.access_block(&core.block.ops, &mut core.tlb_block);
+        }
+
+        // Stage 3: whole-block L1 probe (branchless SoA tag sweeps). L1 and
+        // way-predictor state are mutated only by this demand sequence —
+        // prefetch installs and dirty marks touch L2/LLC — so outcomes are
+        // byte-identical; order-sensitive side effects (LLC dirty marks,
+        // L2/LLC fills, memory requests) stay in the per-op loop below.
+        core.hierarchy
+            .l1_probe_block(&core.block.ops, &mut core.l1_block);
+
+        let mut tlb_i = 0usize;
+        let mut l1_i = 0usize;
+
+        // Run cursors: phase bumps are flushed per run (`bump_n`), the I/O
+        // credit add is skipped for zero-rate runs — both bit-identical to
+        // the per-op forms.
+        let mut phase_idx = 0usize;
+        let mut phase_left = if n > 0 { core.block.phase_run(0).0 } else { 0 };
+        let mut phase_retired = 0u64;
+        let mut io_idx = 0usize;
+        let (mut io_left, mut io_rate) = core.block.io_run(0);
+
+        for j in 0..n {
+            let op = core.block.ops[j];
 
             if op.idle {
                 let dur = op.extra_cycles as f64 * self.cycle_ns;
                 core.time_ns += dur;
                 core.counters.idle_ns += dur;
+                phase_left -= 1;
+                if phase_left == 0 {
+                    let (_, label) = core.block.phase_run(phase_idx);
+                    core.phase_instructions.bump_n(label, phase_retired);
+                    phase_retired = 0;
+                    phase_idx += 1;
+                    if phase_idx < core.block.phase_run_count() {
+                        phase_left = core.block.phase_run(phase_idx).0;
+                    }
+                }
+                io_left -= 1;
+                if io_left == 0 {
+                    io_idx += 1;
+                    (io_left, io_rate) = core.block.io_run(io_idx);
+                }
                 continue;
             }
 
@@ -533,23 +609,27 @@ impl Machine {
             let op_start_ns = core.time_ns;
             let mut advance = self.issue_ns + op.extra_cycles as f64 * self.cycle_ns;
 
-            // I/O traffic owed by this thread's device activity.
-            core.io_credit += core.stream.io_bytes_per_instruction();
-            while core.io_credit >= config.line_size as f64 {
-                core.io_credit -= config.line_size as f64;
-                let io_addr = core.counters.io_bytes.wrapping_mul(0x9e37_79b9_7f4a_7c15)
-                    & !(config.line_size as u64 - 1);
-                let write = core.io_toggle;
-                core.io_toggle = !core.io_toggle;
-                numa_request(
-                    config,
-                    &mut self.memory,
-                    socket,
-                    core.time_ns,
-                    io_addr,
-                    write,
-                );
-                core.counters.io_bytes += config.line_size as u64;
+            // I/O traffic owed by this thread's device activity. Adding a
+            // zero rate cannot change a non-negative credit, so zero-rate
+            // runs skip the whole block.
+            if io_rate > 0.0 {
+                core.io_credit += io_rate;
+                while core.io_credit >= config.line_size as f64 {
+                    core.io_credit -= config.line_size as f64;
+                    let io_addr = core.counters.io_bytes.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                        & !(config.line_size as u64 - 1);
+                    let write = core.io_toggle;
+                    core.io_toggle = !core.io_toggle;
+                    numa_request(
+                        config,
+                        &mut self.memory,
+                        socket,
+                        core.time_ns,
+                        io_addr,
+                        write,
+                    );
+                    core.counters.io_bytes += config.line_size as u64;
+                }
             }
 
             if let Some((addr, kind)) = op.access {
@@ -557,39 +637,105 @@ impl Machine {
                 let dependent = matches!(kind, AccessKind::Load { dependent: true });
 
                 // Address translation: a DTLB miss stalls for the walk.
-                if !core.tlb.access(addr) {
-                    let walk = core.tlb.walk_cycles() as f64 * self.cycle_ns;
-                    advance += walk;
-                    core.counters.stall_ns += walk;
-                    core.counters.tlb_misses += 1;
+                if tlb_on {
+                    let tlb_hit = core.tlb_block[tlb_i];
+                    tlb_i += 1;
+                    if !tlb_hit {
+                        let walk = core.tlb.walk_cycles() as f64 * self.cycle_ns;
+                        advance += walk;
+                        core.counters.stall_ns += walk;
+                        core.counters.tlb_misses += 1;
+                    }
                 }
 
                 if matches!(kind, AccessKind::NonTemporalStore) {
                     numa_request(config, &mut self.memory, socket, core.time_ns, addr, true);
                     core.counters.nt_stores += 1;
                 } else {
-                    let res = core.hierarchy.access(addr, is_store);
-                    match res.level {
-                        HitLevel::L1 => core.counters.l1_hits += 1,
-                        HitLevel::L2 => {
-                            core.counters.l2_hits += 1;
-                            let lat = core.hierarchy.l2_hit_latency as f64 * self.cycle_ns;
-                            advance += if dependent {
-                                lat
-                            } else {
-                                lat * INDEPENDENT_HIT_EXPOSURE
-                            };
-                            let line = addr >> config.line_size.trailing_zeros();
-                            if let Some(ready) = core.pending_prefetch.remove(line) {
-                                if dependent {
-                                    let t = core.time_ns + advance;
-                                    if ready > t {
-                                        core.counters.stall_ns += ready - t;
-                                        advance += ready - t;
+                    let l1_hit = core.l1_block[l1_i];
+                    l1_i += 1;
+                    if l1_hit {
+                        core.counters.l1_hits += 1;
+                        if is_store {
+                            core.hierarchy.mark_llc_dirty(addr);
+                        }
+                    } else {
+                        let res = core.hierarchy.access_below_l1(addr, is_store);
+                        match res.level {
+                            HitLevel::L1 => {}
+                            HitLevel::L2 => {
+                                core.counters.l2_hits += 1;
+                                let lat = core.hierarchy.l2_hit_latency as f64 * self.cycle_ns;
+                                advance += if dependent {
+                                    lat
+                                } else {
+                                    lat * INDEPENDENT_HIT_EXPOSURE
+                                };
+                                let line = addr >> config.line_size.trailing_zeros();
+                                if let Some(ready) = core.pending_prefetch.remove(line) {
+                                    if dependent {
+                                        let t = core.time_ns + advance;
+                                        if ready > t {
+                                            core.counters.stall_ns += ready - t;
+                                            advance += ready - t;
+                                        }
+                                    } else if ready > core.time_ns {
+                                        core.outstanding
+                                            .push_back((ready, core.counters.instructions));
                                     }
-                                } else if ready > core.time_ns {
-                                    core.outstanding
-                                        .push_back((ready, core.counters.instructions));
+                                    Self::issue_prefetches(
+                                        config,
+                                        &mut self.memory,
+                                        socket,
+                                        core,
+                                        addr,
+                                    );
+                                }
+                            }
+                            HitLevel::Llc => {
+                                core.counters.llc_hits += 1;
+                                let lat = core.hierarchy.llc_hit_latency as f64 * self.cycle_ns;
+                                advance += if dependent {
+                                    lat
+                                } else {
+                                    lat * INDEPENDENT_HIT_EXPOSURE
+                                };
+                                // A hit on a still-in-flight prefetched line
+                                // exposes the remaining memory latency.
+                                let line = addr >> config.line_size.trailing_zeros();
+                                if let Some(ready) = core.pending_prefetch.remove(line) {
+                                    if dependent {
+                                        let t = core.time_ns + advance;
+                                        if ready > t {
+                                            core.counters.stall_ns += ready - t;
+                                            advance += ready - t;
+                                        }
+                                    } else if ready > core.time_ns {
+                                        core.outstanding
+                                            .push_back((ready, core.counters.instructions));
+                                    }
+                                    // Keep the stream running ahead.
+                                    Self::issue_prefetches(
+                                        config,
+                                        &mut self.memory,
+                                        socket,
+                                        core,
+                                        addr,
+                                    );
+                                }
+                            }
+                            HitLevel::Memory => {
+                                core.counters.llc_demand_misses += 1;
+                                if let Some(victim) = res.memory_writeback {
+                                    numa_request(
+                                        config,
+                                        &mut self.memory,
+                                        socket,
+                                        core.time_ns,
+                                        victim,
+                                        true,
+                                    );
+                                    core.counters.writebacks += 1;
                                 }
                                 Self::issue_prefetches(
                                     config,
@@ -598,96 +744,49 @@ impl Machine {
                                     core,
                                     addr,
                                 );
-                            }
-                        }
-                        HitLevel::Llc => {
-                            core.counters.llc_hits += 1;
-                            let lat = core.hierarchy.llc_hit_latency as f64 * self.cycle_ns;
-                            advance += if dependent {
-                                lat
-                            } else {
-                                lat * INDEPENDENT_HIT_EXPOSURE
-                            };
-                            // A hit on a still-in-flight prefetched line
-                            // exposes the remaining memory latency.
-                            let line = addr >> config.line_size.trailing_zeros();
-                            if let Some(ready) = core.pending_prefetch.remove(line) {
-                                if dependent {
-                                    let t = core.time_ns + advance;
-                                    if ready > t {
-                                        core.counters.stall_ns += ready - t;
-                                        advance += ready - t;
+
+                                // Retire completed misses, then respect MSHRs.
+                                while let Some(&(done, _)) = core.outstanding.front() {
+                                    if done <= core.time_ns {
+                                        core.outstanding.pop_front();
+                                    } else {
+                                        break;
                                     }
-                                } else if ready > core.time_ns {
-                                    core.outstanding
-                                        .push_back((ready, core.counters.instructions));
                                 }
-                                // Keep the stream running ahead.
-                                Self::issue_prefetches(
-                                    config,
-                                    &mut self.memory,
-                                    socket,
-                                    core,
-                                    addr,
-                                );
-                            }
-                        }
-                        HitLevel::Memory => {
-                            core.counters.llc_demand_misses += 1;
-                            if let Some(victim) = res.memory_writeback {
-                                numa_request(
+                                if core.outstanding.len() >= mshrs {
+                                    if let Some((done, _)) = core.outstanding.pop_front() {
+                                        if done > core.time_ns {
+                                            core.counters.stall_ns += done - core.time_ns;
+                                            core.time_ns = done;
+                                        }
+                                    }
+                                }
+
+                                let resp = numa_request(
                                     config,
                                     &mut self.memory,
                                     socket,
                                     core.time_ns,
-                                    victim,
-                                    true,
+                                    addr,
+                                    false,
                                 );
-                                core.counters.writebacks += 1;
-                            }
-                            Self::issue_prefetches(config, &mut self.memory, socket, core, addr);
-
-                            // Retire completed misses, then respect MSHRs.
-                            while let Some(&(done, _)) = core.outstanding.front() {
-                                if done <= core.time_ns {
-                                    core.outstanding.pop_front();
-                                } else {
-                                    break;
+                                if !is_store {
+                                    core.counters.demand_miss_latency_ns += resp.latency_ns;
+                                    core.counters.demand_miss_samples += 1;
                                 }
-                            }
-                            if core.outstanding.len() >= mshrs {
-                                if let Some((done, _)) = core.outstanding.pop_front() {
-                                    if done > core.time_ns {
-                                        core.counters.stall_ns += done - core.time_ns;
-                                        core.time_ns = done;
-                                    }
+
+                                if dependent {
+                                    // Pointer chase: the core cannot proceed.
+                                    let stall = resp.complete_ns - core.time_ns;
+                                    core.counters.stall_ns += stall.max(0.0);
+                                    core.time_ns = resp.complete_ns.max(core.time_ns);
+                                } else if !is_store {
+                                    core.outstanding
+                                        .push_back((resp.complete_ns, core.counters.instructions));
                                 }
+                                // Stores retire via the store buffer: traffic
+                                // counted, no core stall.
                             }
-
-                            let resp = numa_request(
-                                config,
-                                &mut self.memory,
-                                socket,
-                                core.time_ns,
-                                addr,
-                                false,
-                            );
-                            if !is_store {
-                                core.counters.demand_miss_latency_ns += resp.latency_ns;
-                                core.counters.demand_miss_samples += 1;
-                            }
-
-                            if dependent {
-                                // Pointer chase: the core cannot proceed.
-                                let stall = resp.complete_ns - core.time_ns;
-                                core.counters.stall_ns += stall.max(0.0);
-                                core.time_ns = resp.complete_ns.max(core.time_ns);
-                            } else if !is_store {
-                                core.outstanding
-                                    .push_back((resp.complete_ns, core.counters.instructions));
-                            }
-                            // Stores retire via the store buffer: traffic
-                            // counted, no core stall.
                         }
                     }
                 }
@@ -710,8 +809,25 @@ impl Machine {
             core.time_ns += advance;
             core.counters.busy_ns += core.time_ns - op_start_ns;
             core.counters.instructions += 1;
-            core.phase_instructions.bump(core.stream.phase());
+            phase_retired += 1;
+
+            phase_left -= 1;
+            if phase_left == 0 {
+                let (_, label) = core.block.phase_run(phase_idx);
+                core.phase_instructions.bump_n(label, phase_retired);
+                phase_retired = 0;
+                phase_idx += 1;
+                if phase_idx < core.block.phase_run_count() {
+                    phase_left = core.block.phase_run(phase_idx).0;
+                }
+            }
+            io_left -= 1;
+            if io_left == 0 {
+                io_idx += 1;
+                (io_left, io_rate) = core.block.io_run(io_idx);
+            }
         }
+        debug_assert_eq!(phase_retired, 0, "phase runs must cover the block");
     }
 
     fn issue_prefetches(

@@ -45,6 +45,7 @@ pub mod engine;
 pub mod mem;
 pub mod prefetch;
 pub mod record;
+pub mod telemetry;
 pub mod tiered;
 pub mod tlb;
 pub mod trace;

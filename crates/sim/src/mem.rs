@@ -93,7 +93,9 @@ impl MemoryController {
         let transfer_ns = config.transfer_ns(line_size);
         let channels = (0..config.channels)
             .map(|_| Channel {
+                // memsense-lint: allow(no-per-op-alloc) — one-time controller build
                 bank_free_ns: vec![0.0; config.banks_per_channel as usize],
+                // memsense-lint: allow(no-per-op-alloc) — one-time controller build
                 open_row: vec![None; config.banks_per_channel as usize],
                 bus_free_ns: 0.0,
                 last_was_write: false,

@@ -45,6 +45,8 @@ impl StreamPrefetcher {
     /// addresses that should be prefetched (empty when disabled or not yet
     /// trained).
     pub fn on_miss(&mut self, addr: u64) -> Vec<u64> {
+        // memsense-lint: allow(no-per-op-alloc) — convenience wrapper; the
+        // engine's hot path uses `on_miss_into` with a reused scratch buffer
         let mut out = Vec::new();
         self.on_miss_into(addr, &mut out);
         out

@@ -10,9 +10,7 @@
 //! ([`crate::bigdata`], [`crate::enterprise`], [`crate::hpc`]) provide the
 //! tuned specs.
 
-use std::collections::VecDeque;
-
-use memsense_sim::trace::{InstructionStream, Op};
+use memsense_sim::trace::{InstructionStream, Op, OpBlock};
 use rand::rngs::SmallRng;
 use rand::Rng;
 
@@ -216,7 +214,10 @@ impl Credit {
 #[derive(Debug)]
 pub struct MixWorkload {
     spec: MixSpec,
-    queue: VecDeque<Op>,
+    /// Ops for the current unit; consumed from `head`, reused across
+    /// refills so steady-state generation performs no allocation.
+    buf: Vec<Op>,
+    head: usize,
     rng: SmallRng,
     scan: ScanKind,
     store_scan: SequentialScan,
@@ -292,7 +293,8 @@ impl MixWorkload {
             rng: mix_rng(seed),
             scan,
             spec,
-            queue: VecDeque::new(),
+            buf: Vec::new(),
+            head: 0,
             seq_credit: Credit::default(),
             store_credit: Credit::default(),
             dep_credit: Credit::default(),
@@ -336,42 +338,32 @@ impl MixWorkload {
             self.spec.compute
         };
 
-        // Gather this unit's memory events.
-        #[derive(Clone, Copy)]
-        enum Ev {
-            SeqLine,
-            StoreLine,
-            Dep,
-            Zipf,
-            Indep,
-            NtLine,
-            Hot,
-        }
-        let mut events: Vec<Ev> = Vec::new();
-        let spec_rates = [
-            (self.seq_credit.take(self.spec.seq_lines), Ev::SeqLine),
-            (self.store_credit.take(self.spec.store_lines), Ev::StoreLine),
-            (self.dep_credit.take(self.spec.dep_probes), Ev::Dep),
-            (self.zipf_credit.take(self.spec.zipf_loads), Ev::Zipf),
-            (self.indep_credit.take(self.spec.indep_loads), Ev::Indep),
-            (self.nt_credit.take(self.spec.nt_lines), Ev::NtLine),
-            (self.hot_credit.take(self.spec.hot_loads), Ev::Hot),
+        // This unit's memory-event counts, in a fixed schedule order. A
+        // plain array (no per-refill allocation): the round-robin interleave
+        // below walks it pass by pass, emitting one event of every kind with
+        // remaining count per pass, so e.g. all dependent probes don't
+        // cluster at the front of the unit.
+        const SEQ: usize = 0;
+        const STORE: usize = 1;
+        const DEP: usize = 2;
+        const ZIPF: usize = 3;
+        const INDEP: usize = 4;
+        const NT: usize = 5;
+        const HOT: usize = 6;
+        let mut counts: [u32; 7] = [
+            self.seq_credit.take(self.spec.seq_lines),
+            self.store_credit.take(self.spec.store_lines),
+            self.dep_credit.take(self.spec.dep_probes),
+            self.zipf_credit.take(self.spec.zipf_loads),
+            self.indep_credit.take(self.spec.indep_loads),
+            self.nt_credit.take(self.spec.nt_lines),
+            self.hot_credit.take(self.spec.hot_loads),
         ];
-        // Interleave event types round-robin so e.g. all dependent probes
-        // don't cluster at the front of the unit.
-        let mut remaining: Vec<(u32, Ev)> =
-            spec_rates.into_iter().filter(|(n, _)| *n > 0).collect();
-        while !remaining.is_empty() {
-            remaining.retain_mut(|(n, ev)| {
-                events.push(*ev);
-                *n -= 1;
-                *n > 0
-            });
-        }
+        let total_events: usize = counts.iter().map(|&c| c as usize).sum();
 
         // Spread compute — and idle time — evenly between memory events so
         // traffic is paced rather than bursty.
-        let slots = events.len().max(1);
+        let slots = total_events.max(1);
         let per_slot = compute as usize / slots;
         let mut extra_budget = compute as usize % slots;
         let idle_total = self
@@ -380,68 +372,78 @@ impl MixWorkload {
         let idle_chunk = idle_total / slots as u32;
         let mut idle_left = idle_total;
 
-        for ev in events {
-            match ev {
-                Ev::SeqLine => {
-                    let addr = self.scan.next_addr();
-                    for k in 0..self.spec.loads_per_line {
-                        self.queue.push_back(Op::load(addr + (k as u64 * 8) % 64));
+        let mut remaining = total_events;
+        while remaining > 0 {
+            // `kind` is matched against the SEQ..=HOT constants below, so the
+            // index itself carries meaning; an enumerate() rewrite obscures it.
+            #[allow(clippy::needless_range_loop)]
+            for kind in SEQ..=HOT {
+                if counts[kind] == 0 {
+                    continue;
+                }
+                counts[kind] -= 1;
+                remaining -= 1;
+                match kind {
+                    SEQ => {
+                        let addr = self.scan.next_addr();
+                        for k in 0..self.spec.loads_per_line {
+                            self.buf.push(Op::load(addr + (k as u64 * 8) % 64));
+                        }
+                    }
+                    STORE => {
+                        let addr = self.store_scan.next_addr() & !63;
+                        for k in 0..4u64 {
+                            self.buf.push(Op::store(addr + k * 16));
+                        }
+                    }
+                    DEP => {
+                        let addr = self.chase.next_addr();
+                        self.buf.push(Op::dependent_load(addr));
+                    }
+                    ZIPF => {
+                        // memsense-lint: allow(no-panic-in-lib) — the schedule only emits a zipf event when the sampler was built
+                        let rank = self
+                            .zipf
+                            .as_mut()
+                            .expect("zipf sampler present when zipf_loads > 0")
+                            .sample() as u64;
+                        // Popular ranks (low numbers) map to a compact region
+                        // that stays cache resident; the tail misses.
+                        self.buf.push(Op::dependent_load(ZIPF_BASE + rank * 64));
+                    }
+                    INDEP => {
+                        let addr = self.gather.next_addr();
+                        self.buf.push(Op::load(addr));
+                    }
+                    NT => {
+                        let addr = self.nt_scan.next_addr();
+                        self.buf.push(Op::nt_store(addr));
+                    }
+                    _ => {
+                        let addr = self.hot.next_addr();
+                        self.buf.push(Op::load(addr));
                     }
                 }
-                Ev::StoreLine => {
-                    let addr = self.store_scan.next_addr() & !63;
-                    for k in 0..4u64 {
-                        self.queue.push_back(Op::store(addr + k * 16));
-                    }
+                let n = per_slot + usize::from(extra_budget > 0);
+                extra_budget = extra_budget.saturating_sub(1);
+                for _ in 0..n {
+                    let op = self.compute_op();
+                    self.buf.push(op);
                 }
-                Ev::Dep => {
-                    let addr = self.chase.next_addr();
-                    self.queue.push_back(Op::dependent_load(addr));
+                if idle_chunk > 0 {
+                    self.buf.push(Op::idle(idle_chunk));
+                    idle_left -= idle_chunk;
                 }
-                Ev::Zipf => {
-                    // memsense-lint: allow(no-panic-in-lib) — the schedule only emits Ev::Zipf when the sampler was built
-                    let rank = self
-                        .zipf
-                        .as_mut()
-                        .expect("zipf sampler present when zipf_loads > 0")
-                        .sample() as u64;
-                    // Popular ranks (low numbers) map to a compact region
-                    // that stays cache resident; the tail misses.
-                    self.queue
-                        .push_back(Op::dependent_load(ZIPF_BASE + rank * 64));
-                }
-                Ev::Indep => {
-                    let addr = self.gather.next_addr();
-                    self.queue.push_back(Op::load(addr));
-                }
-                Ev::NtLine => {
-                    let addr = self.nt_scan.next_addr();
-                    self.queue.push_back(Op::nt_store(addr));
-                }
-                Ev::Hot => {
-                    let addr = self.hot.next_addr();
-                    self.queue.push_back(Op::load(addr));
-                }
-            }
-            let n = per_slot + usize::from(extra_budget > 0);
-            extra_budget = extra_budget.saturating_sub(1);
-            for _ in 0..n {
-                let op = self.compute_op();
-                self.queue.push_back(op);
-            }
-            if idle_chunk > 0 {
-                self.queue.push_back(Op::idle(idle_chunk));
-                idle_left -= idle_chunk;
             }
         }
-        if slots == 1 && self.queue.is_empty() {
+        if slots == 1 && self.buf.is_empty() {
             for _ in 0..compute {
                 let op = self.compute_op();
-                self.queue.push_back(op);
+                self.buf.push(op);
             }
         }
         if idle_left > 0 {
-            self.queue.push_back(Op::idle(idle_left));
+            self.buf.push(Op::idle(idle_left));
         }
     }
 }
@@ -449,9 +451,13 @@ impl MixWorkload {
 impl InstructionStream for MixWorkload {
     fn next_op(&mut self) -> Op {
         loop {
-            if let Some(op) = self.queue.pop_front() {
+            if self.head < self.buf.len() {
+                let op = self.buf[self.head];
+                self.head += 1;
                 return op;
             }
+            self.buf.clear();
+            self.head = 0;
             self.refill();
         }
     }
@@ -462,6 +468,29 @@ impl InstructionStream for MixWorkload {
 
     fn io_bytes_per_instruction(&self) -> f64 {
         self.spec.io_bytes_per_instr
+    }
+
+    fn fill_block(&mut self, block: &mut OpBlock, n: usize) {
+        block.clear();
+        let mut filled = 0;
+        while filled < n {
+            if self.head == self.buf.len() {
+                self.buf.clear();
+                self.head = 0;
+                self.refill();
+                continue;
+            }
+            // Everything buffered came from one refill, so it all carries
+            // the phase label that refill chose.
+            let take = (self.buf.len() - self.head).min(n - filled);
+            block
+                .ops
+                .extend_from_slice(&self.buf[self.head..self.head + take]);
+            block.note_phase_n(self.phase_name, take as u32);
+            self.head += take;
+            filled += take;
+        }
+        block.note_io_n(self.spec.io_bytes_per_instr, n as u32);
     }
 }
 

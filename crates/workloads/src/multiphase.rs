@@ -7,7 +7,7 @@
 //! a job: each phase runs for a configured number of instructions, with the
 //! phase label exposed so samplers can attribute counters.
 
-use memsense_sim::trace::{InstructionStream, Op};
+use memsense_sim::trace::{InstructionStream, Op, OpBlock};
 
 use crate::mix::{MixSpec, MixWorkload};
 
@@ -103,6 +103,37 @@ impl InstructionStream for MultiPhaseWorkload {
 
     fn io_bytes_per_instruction(&self) -> f64 {
         self.phases[self.current].spec().io_bytes_per_instr
+    }
+
+    fn fill_block(&mut self, block: &mut OpBlock, n: usize) {
+        block.clear();
+        let mut filled = 0;
+        while filled < n {
+            if self.retired_in_phase >= self.phases[self.current].instructions {
+                self.current = (self.current + 1) % self.phases.len();
+                self.retired_in_phase = 0;
+            }
+            // Pull ops from the current phase until it exhausts its budget
+            // or the block is full; the generator call is direct (no virtual
+            // dispatch) and the phase/io annotations are recorded once per
+            // run instead of once per op. As in `next_op`, the op that
+            // retires the last budgeted instruction still carries this
+            // phase's label — the switch happens before the *next* pull.
+            let p = &mut self.phases[self.current];
+            let budget = p.instructions;
+            let mut run = 0u32;
+            while filled < n && self.retired_in_phase < budget {
+                let op = p.generator.next_op();
+                if !op.idle {
+                    self.retired_in_phase += 1;
+                }
+                block.push_op(op);
+                run += 1;
+                filled += 1;
+            }
+            block.note_phase_n(&p.label, run);
+            block.note_io_n(p.generator.spec().io_bytes_per_instr, run);
+        }
     }
 }
 

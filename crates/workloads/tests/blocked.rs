@@ -1,0 +1,89 @@
+//! Block-vs-scalar differential for the workload generators.
+//!
+//! `MixWorkload` and `MultiPhaseStream` override
+//! [`InstructionStream::fill_block`] to drain their internal buffers in
+//! bulk with run-length phase/I/O attribution. The contract is strict:
+//! `fill_block(n)` must be equivalent to `n` successive `next_op` calls,
+//! each annotated with the `phase()` and `io_bytes_per_instruction()`
+//! observable right after that `next_op` returned. These tests drive a
+//! blocked stream and a per-op twin (same workload, same seed) and compare
+//! the full `(op, phase, io)` sequences across awkward block sizes —
+//! including boundaries that split refill buffers and phase runs.
+
+use memsense_sim::trace::{Op, OpBlock};
+use memsense_workloads::Workload;
+
+/// Expands a filled block's run-length sidecars into one `(op, phase, io)`
+/// triple per op, checking that the runs exactly cover the ops.
+fn expand(block: &OpBlock) -> Vec<(Op, String, f64)> {
+    let mut phases: Vec<String> = Vec::new();
+    for i in 0..block.phase_run_count() {
+        let (n, label) = block.phase_run(i);
+        for _ in 0..n {
+            phases.push(label.to_string());
+        }
+    }
+    let mut ios: Vec<f64> = Vec::new();
+    let mut i = 0;
+    loop {
+        let (n, rate) = block.io_run(i);
+        if n == 0 {
+            break;
+        }
+        for _ in 0..n {
+            ios.push(rate);
+        }
+        i += 1;
+    }
+    assert_eq!(phases.len(), block.ops.len(), "phase runs must cover ops");
+    assert_eq!(ios.len(), block.ops.len(), "io runs must cover ops");
+    block
+        .ops
+        .iter()
+        .zip(phases)
+        .zip(ios)
+        .map(|((&op, phase), io)| (op, phase, io))
+        .collect()
+}
+
+#[test]
+fn fill_block_matches_per_op_path_for_every_workload() {
+    const TOTAL_OPS: usize = 6_000;
+    for workload in Workload::all() {
+        for block_size in [1usize, 7, 32, 33, 129] {
+            let mut blocked = workload.streams(1, 0xd1ff).remove(0);
+            let mut scalar = workload.streams(1, 0xd1ff).remove(0);
+            let mut block = OpBlock::new();
+            let mut got: Vec<(Op, String, f64)> = Vec::new();
+            while got.len() < TOTAL_OPS {
+                let n = block_size.min(TOTAL_OPS - got.len());
+                blocked.fill_block(&mut block, n);
+                assert_eq!(
+                    block.ops.len(),
+                    n,
+                    "{}: fill_block({n}) must produce exactly n ops",
+                    workload.name()
+                );
+                got.extend(expand(&block));
+            }
+            let want: Vec<(Op, String, f64)> = (0..TOTAL_OPS)
+                .map(|_| {
+                    let op = scalar.next_op();
+                    (
+                        op,
+                        scalar.phase().to_string(),
+                        scalar.io_bytes_per_instruction(),
+                    )
+                })
+                .collect();
+            for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+                assert_eq!(
+                    g,
+                    w,
+                    "{} (block size {block_size}): op {i} diverged",
+                    workload.name()
+                );
+            }
+        }
+    }
+}
