@@ -1,0 +1,237 @@
+//! The `LINT_BASELINE.json` ratchet: known debt, enumerated and justified,
+//! allowed only to shrink.
+//!
+//! A baseline entry keys on `(rule, file, symbol)` — never on line numbers,
+//! so unrelated edits don't churn the file — and carries the number of
+//! accepted findings plus a mandatory human justification. Applying a
+//! baseline:
+//!
+//! * suppresses up to `count` matching diagnostics per entry;
+//! * leaves any *excess* findings visible (new debt fails CI);
+//! * marks entries that matched *fewer* findings than recorded as **stale**
+//!   — the fix landed, so the entry must be deleted. Stale entries fail the
+//!   run too: the ratchet only turns one way.
+//!
+//! `--write-baseline` regenerates the file from the current findings,
+//! preserving existing justifications; new entries get a `TODO` placeholder
+//! that the strict loader rejects, so an unjustified baseline cannot gate
+//! CI.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use memsense_experiments::json::Json;
+
+use crate::report::Diagnostic;
+
+/// The baseline file schema version.
+pub const BASELINE_VERSION: &str = "memsense-lint-baseline/1";
+
+/// The placeholder `--write-baseline` stamps on new entries.
+pub const TODO_JUSTIFICATION: &str = "TODO: justify this accepted finding";
+
+/// One accepted-debt entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineEntry {
+    /// Rule id the entry suppresses.
+    pub rule: String,
+    /// Workspace-relative file.
+    pub file: String,
+    /// The flagged symbol (enclosing fn, `Owner::name` form).
+    pub symbol: String,
+    /// How many findings of this key are accepted.
+    pub count: usize,
+    /// Why the debt is acceptable. Must be non-empty and not the TODO
+    /// placeholder for the baseline to gate a run.
+    pub justification: String,
+}
+
+impl BaselineEntry {
+    fn key(&self) -> (String, String, String) {
+        (self.rule.clone(), self.file.clone(), self.symbol.clone())
+    }
+}
+
+/// A parsed baseline file.
+#[derive(Debug, Clone, Default)]
+pub struct Baseline {
+    /// Entries sorted by (rule, file, symbol).
+    pub entries: Vec<BaselineEntry>,
+}
+
+/// The result of applying a baseline to a diagnostic list.
+pub struct Applied {
+    /// Diagnostics not covered by any entry (these fail the run).
+    pub remaining: Vec<Diagnostic>,
+    /// How many diagnostics the baseline suppressed.
+    pub suppressed: usize,
+    /// Keys whose entry matched fewer findings than recorded: the debt
+    /// shrank, so the entry must be removed (these fail the run too).
+    pub stale: Vec<String>,
+}
+
+fn diag_key(d: &Diagnostic) -> (String, String, String) {
+    (d.rule.to_string(), d.file.clone(), d.symbol.clone())
+}
+
+impl Baseline {
+    /// Parses a baseline document, enforcing the schema and — when `strict`
+    /// — a real justification on every entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message on malformed JSON, a wrong schema
+    /// version, or (strict) a missing/TODO justification.
+    pub fn parse(src: &str, strict: bool) -> Result<Baseline, String> {
+        let doc = Json::parse(src).map_err(|e| format!("baseline is not valid JSON: {e}"))?;
+        match doc.get("version").and_then(Json::as_str) {
+            Some(BASELINE_VERSION) => {}
+            other => {
+                return Err(format!(
+                    "baseline version {other:?} (expected {BASELINE_VERSION:?})"
+                ))
+            }
+        }
+        let raw = doc
+            .get("entries")
+            .and_then(Json::as_arr)
+            .ok_or("baseline has no \"entries\" array")?;
+        let mut entries = Vec::with_capacity(raw.len());
+        for (i, e) in raw.iter().enumerate() {
+            let field = |k: &str| -> Result<String, String> {
+                e.get(k)
+                    .and_then(Json::as_str)
+                    .map(str::to_string)
+                    .ok_or(format!("baseline entry {i} is missing string field {k:?}"))
+            };
+            let entry = BaselineEntry {
+                rule: field("rule")?,
+                file: field("file")?,
+                symbol: field("symbol")?,
+                count: e
+                    .get("count")
+                    .and_then(Json::as_f64)
+                    .filter(|c| c.fract() == 0.0 && *c >= 1.0)
+                    .ok_or(format!("baseline entry {i} needs a positive integer count"))?
+                    as usize,
+                justification: field("justification")?,
+            };
+            if strict {
+                let j = entry.justification.trim();
+                if j.is_empty() || j.starts_with("TODO") {
+                    return Err(format!(
+                        "baseline entry for ({}, {}, {}) has no justification; \
+                         every accepted finding must say why",
+                        entry.rule, entry.file, entry.symbol
+                    ));
+                }
+            }
+            entries.push(entry);
+        }
+        entries.sort_by_key(BaselineEntry::key);
+        Ok(Baseline { entries })
+    }
+
+    /// Loads and strictly parses a baseline file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures and [`Baseline::parse`] errors as messages.
+    pub fn load(path: &Path, strict: bool) -> Result<Baseline, String> {
+        let src = std::fs::read_to_string(path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+        Self::parse(&src, strict)
+    }
+
+    /// Applies the ratchet: suppress accepted findings, surface excess ones,
+    /// and flag entries whose debt shrank.
+    pub fn apply(&self, diags: Vec<Diagnostic>) -> Applied {
+        let budget: BTreeMap<(String, String, String), usize> =
+            self.entries.iter().map(|e| (e.key(), e.count)).collect();
+        let mut used: BTreeMap<(String, String, String), usize> = BTreeMap::new();
+        let mut remaining = Vec::new();
+        let mut suppressed = 0usize;
+        for d in diags {
+            let key = diag_key(&d);
+            let Some(&count) = budget.get(&key) else {
+                remaining.push(d);
+                continue;
+            };
+            let seen = used.entry(key).or_insert(0);
+            if *seen < count {
+                *seen += 1;
+                suppressed += 1;
+            } else {
+                remaining.push(d);
+            }
+        }
+        let stale = self
+            .entries
+            .iter()
+            .filter(|e| used.get(&e.key()).copied().unwrap_or(0) < e.count)
+            .map(|e| format!("({}, {}, {})", e.rule, e.file, e.symbol))
+            .collect();
+        Applied {
+            remaining,
+            suppressed,
+            stale,
+        }
+    }
+
+    /// Builds a baseline from the current findings, carrying over
+    /// justifications from `prev` and stamping [`TODO_JUSTIFICATION`] on new
+    /// keys.
+    pub fn from_findings(diags: &[Diagnostic], prev: &Baseline) -> Baseline {
+        let mut counts: BTreeMap<(String, String, String), usize> = BTreeMap::new();
+        for d in diags {
+            *counts.entry(diag_key(d)).or_insert(0) += 1;
+        }
+        let justifications: BTreeMap<(String, String, String), &str> = prev
+            .entries
+            .iter()
+            .map(|e| (e.key(), e.justification.as_str()))
+            .collect();
+        let entries = counts
+            .into_iter()
+            .map(|((rule, file, symbol), count)| {
+                let justification = justifications
+                    .get(&(rule.clone(), file.clone(), symbol.clone()))
+                    .map_or(TODO_JUSTIFICATION, |j| j)
+                    .to_string();
+                BaselineEntry {
+                    rule,
+                    file,
+                    symbol,
+                    count,
+                    justification,
+                }
+            })
+            .collect();
+        Baseline { entries }
+    }
+
+    /// The baseline as pretty canonical JSON (the committed-file form).
+    pub fn to_json(&self) -> String {
+        Json::obj(vec![
+            ("version", Json::str(BASELINE_VERSION)),
+            (
+                "entries",
+                Json::Arr(
+                    self.entries
+                        .iter()
+                        .map(|e| {
+                            Json::obj(vec![
+                                ("rule", Json::str(e.rule.clone())),
+                                ("file", Json::str(e.file.clone())),
+                                ("symbol", Json::str(e.symbol.clone())),
+                                ("count", Json::num(e.count as f64)),
+                                ("justification", Json::str(e.justification.clone())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+        .to_string_pretty()
+    }
+}

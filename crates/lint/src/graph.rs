@@ -1,0 +1,440 @@
+//! Layer 2 of the interprocedural analyzer: the workspace symbol index and
+//! over-approximate call graph.
+//!
+//! Resolution is name-based, never type-based, and deliberately
+//! over-approximates:
+//!
+//! * a free call `foo()` resolves to every free fn named `foo` in the
+//!   workspace (falling back to mentioned-type impl methods if no free fn
+//!   matches — `drop(x)` keeps edges to local `Drop` impls);
+//! * a path call `Owner::foo()` prefers fns whose impl self-type matches
+//!   the qualifier (`Self` maps to the enclosing impl). A CamelCase
+//!   qualifier that matches no workspace impl is an external type
+//!   (`VecDeque::new`) and resolves to nothing; a lowercase qualifier is a
+//!   module path and falls back to every fn of that name;
+//! * a method call `x.foo()` resolves to every impl method named `foo`
+//!   whose self-type is *mentioned in the calling file* — naming a type is
+//!   a precondition for constructing or receiving one, so this keeps every
+//!   plausible edge while cutting cross-crate name collisions (`lexer.rs`
+//!   calling `.run()` no longer edges to the serve reactor). A direct
+//!   `self.foo()` resolves to the enclosing impl's own method when it has
+//!   one. The receiver's type is still unknown, so reachability rules
+//!   *also* treat bare blocking method names (`.lock()`) as potential std
+//!   sinks regardless of what the name resolves to — ambiguity adds sinks,
+//!   never removes them.
+//!
+//! Candidates are further filtered by role — library code never calls into
+//! a binary, test, bench, or example, and non-test code never calls a
+//! `#[cfg(test)]` helper — which kills the worst remaining phantom edges.
+//! Net effect: reachability rules can report false positives (silenced with
+//! justified allows or baseline entries) but not false negatives.
+//!
+//! Everything is ordered: nodes by (file, token position), edges sorted and
+//! deduplicated, the `--graph` dump canonical JSON. Two runs over the same
+//! tree are byte-identical at any `MEMSENSE_THREADS`.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use memsense_experiments::json::Json;
+
+use crate::engine::{Role, SourceFile};
+use crate::lexer::TokKind;
+use crate::syntax::{extract, FnItem};
+
+/// One function in the workspace graph.
+pub struct FnNode {
+    /// Index into the analyzed file list.
+    pub file: usize,
+    /// Workspace-relative path of the defining file.
+    pub rel: String,
+    /// The defining file's role.
+    pub role: Role,
+    /// The extracted item.
+    pub item: FnItem,
+}
+
+/// How a call site names its callee.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CallKind {
+    /// `foo(…)`.
+    Free,
+    /// `Qual::foo(…)` — the last path segment before the callee name.
+    Path(String),
+    /// `recv.foo(…)`.
+    Method,
+}
+
+/// One call site inside a function body.
+pub struct CallSite {
+    /// The callee name as written.
+    pub name: String,
+    /// Free, path-qualified, or method call.
+    pub kind: CallKind,
+    /// 1-based line of the callee name token.
+    pub line: u32,
+    /// 1-based byte column of the callee name token.
+    pub col: u32,
+    /// Whether the receiver is literally `self` (`self.foo()`): when such a
+    /// call resolves to the enclosing impl's own method, it is provably not
+    /// a std-library call.
+    pub self_recv: bool,
+    /// Workspace fns the name resolves to (node indices, sorted).
+    pub resolved: Vec<usize>,
+}
+
+/// The workspace call graph: nodes, per-node call sites, and resolved edges.
+pub struct CallGraph {
+    /// Every fn in the workspace, ordered by (file, source position).
+    pub nodes: Vec<FnNode>,
+    /// Per-node call sites, in source order.
+    pub calls: Vec<Vec<CallSite>>,
+    /// Per-node outgoing edges (sorted, deduplicated).
+    pub edges: Vec<Vec<usize>>,
+}
+
+/// Identifiers that look like calls but are control flow or bindings.
+const NON_CALL_KEYWORDS: &[&str] = &[
+    "if", "else", "while", "for", "loop", "match", "return", "break", "continue", "fn", "let",
+    "mut", "ref", "move", "in", "as", "where", "impl", "dyn", "use", "pub", "mod", "unsafe",
+    "async", "await", "const", "static", "type", "trait", "struct", "enum", "union",
+];
+
+impl CallGraph {
+    /// Builds the graph over already-parsed files.
+    pub fn build(files: &[SourceFile]) -> CallGraph {
+        let mut nodes = Vec::new();
+        let mut file_items: Vec<Vec<usize>> = Vec::with_capacity(files.len());
+        for (fi, file) in files.iter().enumerate() {
+            let mut indices = Vec::new();
+            for item in extract(file) {
+                indices.push(nodes.len());
+                nodes.push(FnNode {
+                    file: fi,
+                    rel: file.rel.clone(),
+                    role: file.role,
+                    item,
+                });
+            }
+            file_items.push(indices);
+        }
+
+        let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        for (n, node) in nodes.iter().enumerate() {
+            by_name.entry(&node.item.name).or_default().push(n);
+        }
+
+        let mut calls: Vec<Vec<CallSite>> = (0..nodes.len()).map(|_| Vec::new()).collect();
+        for (fi, file) in files.iter().enumerate() {
+            let mentions: BTreeSet<&str> = file
+                .code
+                .iter()
+                .filter(|t| t.kind == TokKind::Ident)
+                .map(|t| t.text(&file.src))
+                .collect();
+            collect_calls(
+                file,
+                &file_items[fi],
+                &nodes,
+                &by_name,
+                &mentions,
+                &mut calls,
+            );
+        }
+
+        let edges = calls
+            .iter()
+            .map(|sites| {
+                let mut out: Vec<usize> = sites.iter().flat_map(|s| s.resolved.clone()).collect();
+                out.sort_unstable();
+                out.dedup();
+                out
+            })
+            .collect();
+
+        CallGraph {
+            nodes,
+            calls,
+            edges,
+        }
+    }
+
+    /// BFS over resolved edges from `roots`. Returns, per node, the BFS
+    /// predecessor (`parent[root] == root`); unreached nodes are `None`.
+    /// Deterministic: queue order follows sorted edge lists.
+    pub fn reach(&self, roots: &[usize]) -> Vec<Option<usize>> {
+        let mut parent: Vec<Option<usize>> = vec![None; self.nodes.len()];
+        let mut queue = VecDeque::new();
+        for &r in roots {
+            if parent[r].is_none() {
+                parent[r] = Some(r);
+                queue.push_back(r);
+            }
+        }
+        while let Some(n) = queue.pop_front() {
+            for &m in &self.edges[n] {
+                if parent[m].is_none() {
+                    parent[m] = Some(n);
+                    queue.push_back(m);
+                }
+            }
+        }
+        parent
+    }
+
+    /// The root → … → `n` chain for a BFS parent map, as display names.
+    pub fn chain(&self, parent: &[Option<usize>], n: usize) -> Vec<String> {
+        let mut path = vec![n];
+        let mut cur = n;
+        while let Some(p) = parent[cur] {
+            if p == cur {
+                break;
+            }
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        path.iter().map(|&i| self.nodes[i].item.display()).collect()
+    }
+
+    /// A stable human-readable id for node `n`.
+    pub fn node_id(&self, n: usize) -> String {
+        let node = &self.nodes[n];
+        format!("{}:{} {}", node.rel, node.item.line, node.item.display())
+    }
+
+    /// The graph as canonical JSON (schema `memsense-lint-graph/1`):
+    /// byte-identical across runs and thread counts.
+    pub fn to_canonical_json(&self) -> String {
+        let nodes: Vec<Json> = (0..self.nodes.len())
+            .map(|n| {
+                let node = &self.nodes[n];
+                let calls: Vec<Json> = self.edges[n]
+                    .iter()
+                    .map(|&m| Json::str(self.node_id(m)))
+                    .collect();
+                let unresolved: BTreeSet<String> = self.calls[n]
+                    .iter()
+                    .filter(|s| s.resolved.is_empty())
+                    .map(|s| s.name.clone())
+                    .collect();
+                Json::obj(vec![
+                    ("id", Json::str(self.node_id(n))),
+                    ("file", Json::str(node.rel.clone())),
+                    ("line", Json::num(f64::from(node.item.line))),
+                    ("name", Json::str(node.item.name.clone())),
+                    (
+                        "owner",
+                        match &node.item.owner {
+                            Some(o) => Json::str(o.clone()),
+                            None => Json::Null,
+                        },
+                    ),
+                    ("public", Json::Bool(node.item.is_pub)),
+                    ("test", Json::Bool(node.item.is_test)),
+                    ("role", Json::str(role_name(node.role))),
+                    ("calls", Json::Arr(calls)),
+                    (
+                        "unresolved",
+                        Json::Arr(unresolved.into_iter().map(Json::str).collect()),
+                    ),
+                ])
+            })
+            .collect();
+        Json::obj(vec![
+            ("version", Json::str("memsense-lint-graph/1")),
+            ("functions", Json::num(self.nodes.len() as f64)),
+            ("nodes", Json::Arr(nodes)),
+        ])
+        .canonical()
+    }
+}
+
+fn role_name(role: Role) -> &'static str {
+    match role {
+        Role::Lib => "lib",
+        Role::Bin => "bin",
+        Role::Test => "test",
+        Role::Bench => "bench",
+        Role::Example => "example",
+    }
+}
+
+/// Scans one file's code tokens, attributing each `name(`-shaped call to the
+/// innermost enclosing fn body and resolving it against the symbol index.
+fn collect_calls(
+    file: &SourceFile,
+    items: &[usize],
+    nodes: &[FnNode],
+    by_name: &BTreeMap<&str, Vec<usize>>,
+    mentions: &BTreeSet<&str>,
+    calls: &mut [Vec<CallSite>],
+) {
+    // Innermost-enclosing-body attribution via a (close, node) stack; bodies
+    // are properly nested, and `items` is in source order.
+    let bodies: Vec<(usize, usize, usize)> = items
+        .iter()
+        .filter_map(|&n| nodes[n].item.body.map(|(open, close)| (open, close, n)))
+        .collect();
+    let mut next_body = 0usize;
+    let mut stack: Vec<(usize, usize)> = Vec::new(); // (close, node)
+
+    for i in 0..file.code.len() {
+        while next_body < bodies.len() && bodies[next_body].0 <= i {
+            stack.push((bodies[next_body].1, bodies[next_body].2));
+            next_body += 1;
+        }
+        while stack.last().is_some_and(|&(close, _)| i > close) {
+            stack.pop();
+        }
+        let Some(&(_, enclosing)) = stack.last() else {
+            continue;
+        };
+        if file.code[i].kind != TokKind::Ident || !file.punct_is(i + 1, '(') {
+            continue;
+        }
+        let name = file.txt(i);
+        if NON_CALL_KEYWORDS.contains(&name) {
+            continue;
+        }
+        // `fn name(` is the declaration itself, not a call.
+        if i >= 1 && file.ident_is(i - 1, "fn") {
+            continue;
+        }
+        let self_receiver = i >= 2 && file.punct_is(i - 1, '.') && file.ident_is(i - 2, "self");
+        let kind = if i >= 1 && file.punct_is(i - 1, '.') {
+            CallKind::Method
+        } else if i >= 2 && file.punct_is(i - 1, ':') && file.punct_is(i - 2, ':') {
+            let qual = if i >= 3 && file.code[i - 3].kind == TokKind::Ident {
+                let q = file.txt(i - 3);
+                if q == "Self" {
+                    nodes[enclosing].item.owner.clone().unwrap_or_default()
+                } else {
+                    q.to_string()
+                }
+            } else {
+                String::new()
+            };
+            CallKind::Path(qual)
+        } else {
+            CallKind::Free
+        };
+        let resolved = resolve(
+            &kind,
+            name,
+            enclosing,
+            self_receiver,
+            nodes,
+            by_name,
+            mentions,
+        );
+        let tok = file.code[i];
+        calls[enclosing].push(CallSite {
+            name: name.to_string(),
+            kind,
+            line: tok.line,
+            col: tok.col,
+            self_recv: self_receiver,
+            resolved,
+        });
+    }
+}
+
+/// Resolves one call site to workspace fn candidates (sorted node indices).
+fn resolve(
+    kind: &CallKind,
+    name: &str,
+    caller: usize,
+    self_receiver: bool,
+    nodes: &[FnNode],
+    by_name: &BTreeMap<&str, Vec<usize>>,
+    mentions: &BTreeSet<&str>,
+) -> Vec<usize> {
+    let Some(all) = by_name.get(name) else {
+        return Vec::new();
+    };
+    let caller_role = nodes[caller].role;
+    let caller_test = nodes[caller].item.is_test || caller_role != Role::Lib;
+    let viable = |&n: &usize| {
+        let cand = &nodes[n];
+        // Library code cannot call into bins/tests/benches/examples, and
+        // non-test code cannot call #[cfg(test)] helpers.
+        (cand.role == Role::Lib || cand.role == caller_role)
+            && (!cand.item.is_test || caller_test)
+            && n != caller
+    };
+    // An impl method is only a plausible callee if its self-type is named
+    // somewhere in the calling file (free fns pass trivially).
+    let mentioned = |&n: &usize| {
+        nodes[n]
+            .item
+            .owner
+            .as_deref()
+            .is_none_or(|o| mentions.contains(o))
+    };
+    match kind {
+        CallKind::Free => {
+            let free: Vec<usize> = all
+                .iter()
+                .copied()
+                .filter(|&n| nodes[n].item.owner.is_none())
+                .filter(viable)
+                .collect();
+            if free.is_empty() {
+                // `drop(x)`-style: keep impls of types this file names.
+                all.iter()
+                    .copied()
+                    .filter(viable)
+                    .filter(mentioned)
+                    .collect()
+            } else {
+                free
+            }
+        }
+        CallKind::Path(qual) => {
+            let owned: Vec<usize> = all
+                .iter()
+                .copied()
+                .filter(|&n| nodes[n].item.owner.as_deref() == Some(qual.as_str()))
+                .filter(viable)
+                .collect();
+            if !owned.is_empty() {
+                return owned;
+            }
+            // A CamelCase qualifier that owns no workspace fn is an external
+            // type (`VecDeque::new`); a lowercase one is a module path
+            // (`api::solve`) and keeps every same-named candidate.
+            if qual.chars().next().is_some_and(char::is_uppercase) {
+                Vec::new()
+            } else {
+                all.iter()
+                    .copied()
+                    .filter(viable)
+                    .filter(mentioned)
+                    .collect()
+            }
+        }
+        CallKind::Method => {
+            let impls: Vec<usize> = all
+                .iter()
+                .copied()
+                .filter(|&n| nodes[n].item.owner.is_some())
+                .filter(viable)
+                .collect();
+            // `self.foo()` with a matching method on the enclosing impl is
+            // unambiguous.
+            if self_receiver {
+                if let Some(owner) = nodes[caller].item.owner.as_deref() {
+                    let own: Vec<usize> = impls
+                        .iter()
+                        .copied()
+                        .filter(|&n| nodes[n].item.owner.as_deref() == Some(owner))
+                        .collect();
+                    if !own.is_empty() {
+                        return own;
+                    }
+                }
+            }
+            impls.into_iter().filter(|n| mentioned(n)).collect()
+        }
+    }
+}

@@ -204,7 +204,9 @@ impl<'a> Lexer<'a> {
 
     fn line_comment(&mut self) -> TokKind {
         while let Some(b) = self.peek(0) {
-            if b == b'\n' {
+            // Stop before the CR of a CRLF ending too, so the token text
+            // never carries a trailing `\r` on Windows-style files.
+            if b == b'\n' || (b == b'\r' && self.peek(1) == Some(b'\n')) {
                 break;
             }
             self.bump();

@@ -2,32 +2,45 @@
 //!
 //! Exit codes follow the workspace convention (the `MEMSENSE_THREADS`
 //! diagnostic convention from the experiments crate): `0` clean, `1` one or
-//! more diagnostics, `2` usage or I/O error.
+//! more diagnostics (or stale baseline entries), `2` usage or I/O error.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use memsense_lint::baseline::Baseline;
 use memsense_lint::rules::{rule, RULES};
 
 const USAGE: &str = "\
-memsense-lint: workspace static analysis for determinism, panic-freedom, and wire-format invariants
+memsense-lint: workspace static analysis for determinism, panic-freedom, reactor-blocking, and wire-format invariants
 
 USAGE:
-    memsense-lint [--root DIR] [--format human|json] [--out FILE]
+    memsense-lint [--root DIR] [--format human|json] [--out FILE] [--graph FILE]
+                  [--baseline FILE | --no-baseline] [--write-baseline FILE]
     memsense-lint --list-rules
     memsense-lint --explain <rule-id>
 
 OPTIONS:
-    --root DIR        Workspace root to scan (default: .)
-    --format FORMAT   Report format: human (default) or json
-    --out FILE        Write the report to FILE; diagnostics still print to stdout
-    --list-rules      List every rule id with a one-line summary
-    --explain ID      Explain the invariant behind a rule and how to fix/suppress it
+    --root DIR             Workspace root to scan (default: .)
+    --format FORMAT        Report format: human (default) or json
+    --out FILE             Write the report to FILE; diagnostics still print to stdout
+    --graph FILE           Dump the workspace call graph as canonical JSON to FILE
+    --baseline FILE        Apply the accepted-debt ratchet from FILE
+    --no-baseline          Ignore an auto-detected LINT_BASELINE.json at the root
+    --write-baseline FILE  Write the current findings as a baseline to FILE
+                           (keeps existing justifications; new entries get a
+                           TODO placeholder the strict loader rejects)
+    --list-rules           List every rule id with a one-line summary
+    --explain ID           Explain the invariant behind a rule and how to fix/suppress it
+
+Without --baseline/--no-baseline, a LINT_BASELINE.json at the root is applied
+automatically. Baseline entries key on (rule, file, symbol), carry a mandatory
+justification, and may only shrink: findings beyond an entry's count fail the
+run, and so do stale entries whose debt no longer exists.
 
 EXIT CODES:
-    0  clean tree
-    1  one or more diagnostics
-    2  usage or I/O error
+    0  clean tree (modulo the baseline)
+    1  one or more diagnostics, or stale baseline entries
+    2  usage, I/O, or baseline-format error
 
 Suppression: `// memsense-lint: allow(rule-id)` on the offending line, or on
 the line above, with a one-line justification.";
@@ -51,6 +64,10 @@ fn run() -> Result<ExitCode, String> {
     let mut root = PathBuf::from(".");
     let mut format = Format::Human;
     let mut out: Option<PathBuf> = None;
+    let mut graph_out: Option<PathBuf> = None;
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut no_baseline = false;
+    let mut write_baseline: Option<PathBuf> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -93,10 +110,29 @@ fn run() -> Result<ExitCode, String> {
             "--out" => {
                 out = Some(PathBuf::from(args.next().ok_or("--out requires a path")?));
             }
+            "--graph" => {
+                graph_out = Some(PathBuf::from(args.next().ok_or("--graph requires a path")?));
+            }
+            "--baseline" => {
+                baseline_path = Some(PathBuf::from(
+                    args.next().ok_or("--baseline requires a path")?,
+                ));
+            }
+            "--no-baseline" => {
+                no_baseline = true;
+            }
+            "--write-baseline" => {
+                write_baseline = Some(PathBuf::from(
+                    args.next().ok_or("--write-baseline requires a path")?,
+                ));
+            }
             other => {
                 return Err(format!("unknown argument {other:?}\n\n{USAGE}"));
             }
         }
+    }
+    if no_baseline && baseline_path.is_some() {
+        return Err("--baseline and --no-baseline are mutually exclusive".to_string());
     }
 
     if !root.join("Cargo.toml").exists() {
@@ -105,8 +141,55 @@ fn run() -> Result<ExitCode, String> {
             root.display()
         ));
     }
-    let report = memsense_lint::lint_workspace(&root)
+    let (mut report, graph) = memsense_lint::analyze_workspace(&root)
         .map_err(|e| format!("scanning {}: {e}", root.display()))?;
+
+    if let Some(path) = &graph_out {
+        let dump = graph.to_canonical_json() + "\n";
+        std::fs::write(path, dump).map_err(|e| format!("writing {}: {e}", path.display()))?;
+    }
+
+    // The baseline in force: explicit, or auto-detected at the root.
+    let auto = root.join("LINT_BASELINE.json");
+    let effective = baseline_path
+        .clone()
+        .or_else(|| (!no_baseline && auto.exists()).then_some(auto));
+
+    if let Some(path) = &write_baseline {
+        // Carry over justifications from the effective baseline, leniently:
+        // a half-filled file is exactly what's being regenerated.
+        let prev = match &effective {
+            Some(p) if p.exists() => Baseline::load(p, false)?,
+            _ => Baseline::default(),
+        };
+        let next = Baseline::from_findings(&report.diagnostics, &prev);
+        let todo = next
+            .entries
+            .iter()
+            .filter(|e| e.justification.starts_with("TODO"))
+            .count();
+        std::fs::write(path, next.to_json() + "\n")
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+        println!(
+            "wrote {} baseline entr(ies) to {}{}",
+            next.entries.len(),
+            path.display(),
+            if todo > 0 {
+                format!(" ({todo} need a justification before the baseline can gate)")
+            } else {
+                String::new()
+            }
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    if let Some(path) = &effective {
+        let baseline = Baseline::load(path, true)?;
+        let applied = baseline.apply(std::mem::take(&mut report.diagnostics));
+        report.diagnostics = applied.remaining;
+        report.suppressed = applied.suppressed;
+        report.stale = applied.stale;
+    }
 
     let rendered = match format {
         Format::Human => report.human(),
@@ -122,9 +205,11 @@ fn run() -> Result<ExitCode, String> {
         None => print!("{rendered}"),
     }
 
-    Ok(if report.diagnostics.is_empty() {
-        ExitCode::SUCCESS
-    } else {
-        ExitCode::from(1)
-    })
+    Ok(
+        if report.diagnostics.is_empty() && report.stale.is_empty() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::from(1)
+        },
+    )
 }

@@ -1,0 +1,288 @@
+//! Layer 3 of the interprocedural analyzer: reachability rules over the
+//! workspace call graph.
+//!
+//! | rule id | invariant |
+//! |---|---|
+//! | `reactor-no-blocking-call` | nothing reachable from `Reactor::run` blocks |
+//! | `transitive-panic-in-lib` | public lib fns cannot reach a panic site |
+//! | `nondeterminism-taint` | wallclock/RNG never flows into canonical JSON |
+//!
+//! All three inherit the graph's over-approximation policy: a method call's
+//! receiver type is unknown, so a bare `.lock()` is treated **both** as every
+//! workspace fn named `lock` *and* as a potential `std::sync::Mutex::lock`.
+//! False positives are silenced with justified `allow` comments or baseline
+//! entries; false negatives are what the rules exist to prevent.
+
+use std::collections::BTreeSet;
+
+use crate::engine::{Role, SourceFile};
+use crate::graph::{CallGraph, CallKind, CallSite};
+use crate::lexer::TokKind;
+use crate::report::Diagnostic;
+
+/// Method names that block the calling thread in std (`Mutex::lock`,
+/// `JoinHandle::join`, `Receiver::recv`, `Condvar::wait`, blocking I/O).
+/// `Sender::send` is absent: the workspace only uses unbounded channels,
+/// whose send never blocks.
+const BLOCKING_METHODS: &[&str] = &[
+    "lock",
+    "join",
+    "recv",
+    "recv_timeout",
+    "recv_deadline",
+    "wait",
+    "wait_timeout",
+    "park",
+    "sleep",
+    "read_to_end",
+    "read_to_string",
+    "read_line",
+    "read_exact",
+    "write_all",
+];
+
+/// Free/path callees that block (`thread::sleep`, `thread::park`).
+const BLOCKING_FREE: &[&str] = &["sleep", "park"];
+
+/// Workspace fns that are a full model solve: far too heavy for the event
+/// loop even though they never park the thread.
+const HEAVY_SINKS: &[&str] = &["solve_cpi"];
+
+/// Macro names whose expansion panics.
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Entropy/wallclock sources for the taint rule.
+const ENTROPY_CALLS: &[&str] = &["thread_rng", "from_entropy"];
+
+/// Fns whose output is canonical JSON: reaching one of these from a tainted
+/// fn means timing/randomness can leak into byte-compared documents.
+const CANONICAL_SINKS: &[&str] = &["canonical", "to_string_pretty"];
+
+/// Runs every graph rule, appending unsuppressed diagnostics.
+pub fn check_graph(files: &[SourceFile], graph: &CallGraph, diags: &mut Vec<Diagnostic>) {
+    reactor_no_blocking_call(files, graph, diags);
+    transitive_panic_in_lib(files, graph, diags);
+    nondeterminism_taint(files, graph, diags);
+}
+
+fn blocking_sink(site: &CallSite) -> Option<String> {
+    match &site.kind {
+        CallKind::Method if BLOCKING_METHODS.contains(&site.name.as_str()) => {
+            // `self.lock()` resolving to the enclosing impl's own method is
+            // that method, not std's — and its body is analyzed on its own.
+            if site.self_recv && !site.resolved.is_empty() {
+                return None;
+            }
+            Some(format!("`.{}()` (potential std blocking call)", site.name))
+        }
+        CallKind::Free | CallKind::Path(_) if BLOCKING_FREE.contains(&site.name.as_str()) => {
+            Some(format!("`{}()` (blocks the calling thread)", site.name))
+        }
+        _ if HEAVY_SINKS.contains(&site.name.as_str()) => {
+            Some(format!("`{}()` (a full model solve)", site.name))
+        }
+        _ => None,
+    }
+}
+
+/// `reactor-no-blocking-call`: every fn reachable from the epoll reactor's
+/// event loop (`Reactor::run`) must stay non-blocking — a parked reactor
+/// thread freezes every connection at once (the PR 8 `take_updates` bug).
+fn reactor_no_blocking_call(files: &[SourceFile], graph: &CallGraph, diags: &mut Vec<Diagnostic>) {
+    const RULE: &str = "reactor-no-blocking-call";
+    let roots: Vec<usize> = (0..graph.nodes.len())
+        .filter(|&n| {
+            let item = &graph.nodes[n].item;
+            item.name == "run" && item.owner.as_deref() == Some("Reactor") && !item.is_test
+        })
+        .collect();
+    if roots.is_empty() {
+        return;
+    }
+    let parent = graph.reach(&roots);
+    for n in 0..graph.nodes.len() {
+        if parent[n].is_none() || graph.nodes[n].item.is_test {
+            continue;
+        }
+        let file = &files[graph.nodes[n].file];
+        for site in &graph.calls[n] {
+            let Some(sink) = blocking_sink(site) else {
+                continue;
+            };
+            if file.is_allowed(RULE, site.line) {
+                continue;
+            }
+            let chain = graph.chain(&parent, n).join(" -> ");
+            diags.push(Diagnostic {
+                file: file.rel.clone(),
+                line: site.line,
+                col: site.col,
+                rule: RULE,
+                symbol: graph.nodes[n].item.display(),
+                message: format!(
+                    "{sink} is reachable from the reactor event loop (chain: {chain}); \
+                     use the try_lock busy-retry discipline or move the work to a worker"
+                ),
+            });
+        }
+    }
+}
+
+/// Per-node panic sinks: the first unannotated `.unwrap()`/`.expect()` call
+/// or panic-family macro inside the node's body. Sites already justified
+/// with `allow(no-panic-in-lib)` are not sinks — their justification covers
+/// every caller.
+fn panic_sink(file: &SourceFile, body: (usize, usize)) -> Option<(u32, u32, String)> {
+    let (open, close) = body;
+    for i in open + 1..close {
+        if file.code[i].kind != TokKind::Ident || file.in_test_item(i) {
+            continue;
+        }
+        let tok = file.code[i];
+        let annotated = file.is_allowed("no-panic-in-lib", tok.line)
+            || file.is_allowed("transitive-panic-in-lib", tok.line);
+        if annotated {
+            continue;
+        }
+        match file.txt(i) {
+            m @ ("unwrap" | "expect")
+                if i > 0 && file.punct_is(i - 1, '.') && file.punct_is(i + 1, '(') =>
+            {
+                return Some((tok.line, tok.col, format!("`.{m}()`")));
+            }
+            m if PANIC_MACROS.contains(&m) && file.punct_is(i + 1, '!') => {
+                return Some((tok.line, tok.col, format!("`{m}!`")));
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// `transitive-panic-in-lib`: a public library fn whose call graph reaches
+/// an unannotated panic site hands its callers an availability bug the
+/// intraprocedural `no-panic-in-lib` rule cannot see from the caller's file.
+fn transitive_panic_in_lib(files: &[SourceFile], graph: &CallGraph, diags: &mut Vec<Diagnostic>) {
+    const RULE: &str = "transitive-panic-in-lib";
+    let sinks: Vec<Option<(u32, u32, String)>> = (0..graph.nodes.len())
+        .map(|n| {
+            let node = &graph.nodes[n];
+            if node.role != Role::Lib || node.item.is_test {
+                return None;
+            }
+            node.item
+                .body
+                .and_then(|body| panic_sink(&files[node.file], body))
+        })
+        .collect();
+    if sinks.iter().all(Option::is_none) {
+        return;
+    }
+    for root in 0..graph.nodes.len() {
+        let node = &graph.nodes[root];
+        if node.role != Role::Lib || !node.item.is_pub || node.item.is_test {
+            continue;
+        }
+        let file = &files[node.file];
+        if file.is_allowed(RULE, node.item.line) {
+            continue;
+        }
+        let parent = graph.reach(&[root]);
+        // Nearest reachable sink, excluding the root itself (the
+        // intraprocedural rule owns direct panics).
+        let hit = (0..graph.nodes.len())
+            .filter(|&n| n != root && parent[n].is_some())
+            .filter_map(|n| {
+                sinks[n]
+                    .as_ref()
+                    .map(|(line, col, desc)| (graph.chain(&parent, n).len(), n, *line, *col, desc))
+            })
+            .min_by_key(|&(depth, n, ..)| (depth, n));
+        let Some((_, n, line, col, desc)) = hit else {
+            continue;
+        };
+        let chain = graph.chain(&parent, n).join(" -> ");
+        diags.push(Diagnostic {
+            file: file.rel.clone(),
+            line: node.item.line,
+            col: node.item.col,
+            rule: RULE,
+            symbol: node.item.display(),
+            message: format!(
+                "public fn `{}` can reach {desc} at {}:{line}:{col} (chain: {chain}); \
+                 return a Result along the chain or justify the panic site",
+                node.item.display(),
+                graph.nodes[n].rel,
+            ),
+        });
+    }
+}
+
+/// Wallclock/entropy call sites inside a node's recorded call list.
+fn taint_sources(node_calls: &[CallSite]) -> Vec<(u32, u32, String)> {
+    let mut out = Vec::new();
+    for site in node_calls {
+        let tainted = match &site.kind {
+            CallKind::Path(qual) => {
+                site.name == "now" && matches!(qual.as_str(), "Instant" | "SystemTime")
+            }
+            _ => ENTROPY_CALLS.contains(&site.name.as_str()),
+        };
+        if tainted {
+            let label = match &site.kind {
+                CallKind::Path(qual) => format!("{qual}::{}", site.name),
+                _ => site.name.clone(),
+            };
+            out.push((site.line, site.col, label));
+        }
+    }
+    out
+}
+
+/// `nondeterminism-taint`: a lib fn that reads a wall clock or entropy
+/// source *and* can reach a canonical-JSON serializer can leak
+/// timing/randomness into byte-compared output. The per-file wallclock rule
+/// has telemetry allowlists; this rule follows the data to the serializer
+/// and only fires when the two meet.
+fn nondeterminism_taint(files: &[SourceFile], graph: &CallGraph, diags: &mut Vec<Diagnostic>) {
+    const RULE: &str = "nondeterminism-taint";
+    let sink_set: BTreeSet<usize> = (0..graph.nodes.len())
+        .filter(|&n| CANONICAL_SINKS.contains(&graph.nodes[n].item.name.as_str()))
+        .collect();
+    if sink_set.is_empty() {
+        return;
+    }
+    for n in 0..graph.nodes.len() {
+        let node = &graph.nodes[n];
+        if node.role != Role::Lib || node.item.is_test {
+            continue;
+        }
+        let sources = taint_sources(&graph.calls[n]);
+        if sources.is_empty() {
+            continue;
+        }
+        let file = &files[node.file];
+        let parent = graph.reach(&[n]);
+        let Some(&sink) = sink_set.iter().find(|&&s| parent[s].is_some()) else {
+            continue;
+        };
+        let chain = graph.chain(&parent, sink).join(" -> ");
+        for (line, col, label) in sources {
+            if file.is_allowed(RULE, line) {
+                continue;
+            }
+            diags.push(Diagnostic {
+                file: file.rel.clone(),
+                line,
+                col,
+                rule: RULE,
+                symbol: node.item.display(),
+                message: format!(
+                    "`{label}` in `{}` can taint canonical JSON output (chain: {chain}); \
+                     keep timing out of serialized documents or justify the telemetry",
+                    node.item.display(),
+                ),
+            });
+        }
+    }
+}

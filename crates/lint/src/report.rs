@@ -15,7 +15,12 @@ pub struct Diagnostic {
     pub col: u32,
     /// The rule id that fired.
     pub rule: &'static str,
-    /// Human-readable explanation with a fix hint.
+    /// The enclosing (or flagged) function in `Owner::name` form, or `"-"`
+    /// when the finding sits outside any fn. Baseline entries key on this
+    /// instead of line numbers, so unrelated edits don't churn the ratchet.
+    pub symbol: String,
+    /// Human-readable explanation with a fix hint. Interprocedural rules
+    /// embed the root → sink call chain here.
     pub message: String,
 }
 
@@ -36,8 +41,14 @@ pub struct Report {
     pub root: String,
     /// Number of `.rs` files scanned.
     pub files_scanned: usize,
-    /// All findings, sorted by (file, line, col, rule).
+    /// All findings, sorted by (file, line, col, rule). When a baseline is
+    /// in force these are the findings *left over* after suppression.
     pub diagnostics: Vec<Diagnostic>,
+    /// Findings suppressed by the baseline ratchet (0 without a baseline).
+    pub suppressed: usize,
+    /// Baseline keys that matched fewer findings than recorded — stale debt
+    /// entries that must be deleted. Non-empty fails the run.
+    pub stale: Vec<String>,
 }
 
 impl Report {
@@ -50,12 +61,18 @@ impl Report {
         counts
     }
 
-    /// The human rendering: one line per diagnostic, then a summary line.
+    /// The human rendering: one line per diagnostic, stale-baseline notices,
+    /// then a summary line.
     pub fn human(&self) -> String {
         let mut out = String::new();
         for d in &self.diagnostics {
             out.push_str(&d.human());
             out.push('\n');
+        }
+        for key in &self.stale {
+            out.push_str(&format!(
+                "stale baseline entry {key}: the debt shrank — delete it from LINT_BASELINE.json\n"
+            ));
         }
         out.push_str(&self.summary());
         out.push('\n');
@@ -64,9 +81,14 @@ impl Report {
 
     /// The one-line summary.
     pub fn summary(&self) -> String {
-        if self.diagnostics.is_empty() {
+        let baseline_note = if self.suppressed > 0 {
+            format!(" ({} baseline-suppressed)", self.suppressed)
+        } else {
+            String::new()
+        };
+        if self.diagnostics.is_empty() && self.stale.is_empty() {
             format!(
-                "memsense-lint: clean ({} files scanned)",
+                "memsense-lint: clean ({} files scanned){baseline_note}",
                 self.files_scanned
             )
         } else {
@@ -76,18 +98,20 @@ impl Report {
                 .map(|(rule, n)| format!("{rule}: {n}"))
                 .collect();
             format!(
-                "memsense-lint: {} diagnostic(s) in {} files scanned [{}]",
+                "memsense-lint: {} diagnostic(s), {} stale baseline entr(ies) in {} files scanned [{}]{baseline_note}",
                 self.diagnostics.len(),
+                self.stale.len(),
                 self.files_scanned,
                 by_rule.join(", ")
             )
         }
     }
 
-    /// The report as a [`Json`] value (schema `memsense-lint/1`).
+    /// The report as a [`Json`] value (schema `memsense-lint/2`: adds the
+    /// per-diagnostic `symbol` and the `baseline` suppression summary).
     pub fn to_json_value(&self) -> Json {
         Json::obj(vec![
-            ("version", Json::str("memsense-lint/1")),
+            ("version", Json::str("memsense-lint/2")),
             ("root", Json::str(self.root.clone())),
             ("files_scanned", Json::num(self.files_scanned as f64)),
             (
@@ -101,11 +125,22 @@ impl Report {
                                 ("line", Json::num(f64::from(d.line))),
                                 ("col", Json::num(f64::from(d.col))),
                                 ("rule", Json::str(d.rule)),
+                                ("symbol", Json::str(d.symbol.clone())),
                                 ("message", Json::str(d.message.clone())),
                             ])
                         })
                         .collect(),
                 ),
+            ),
+            (
+                "baseline",
+                Json::obj(vec![
+                    ("suppressed", Json::num(self.suppressed as f64)),
+                    (
+                        "stale",
+                        Json::Arr(self.stale.iter().cloned().map(Json::str).collect()),
+                    ),
+                ]),
             ),
             (
                 "summary",

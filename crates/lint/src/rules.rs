@@ -9,12 +9,19 @@
 //! | `unsafe-needs-safety-comment` | every `unsafe` carries a `// SAFETY:` justification |
 //! | `no-process-exit-in-lib` | only binaries decide process exit codes |
 //! | `no-per-op-alloc` | sim hot-loop modules never allocate per op |
+//! | `reactor-no-blocking-call` | nothing reachable from the epoll reactor blocks |
+//! | `transitive-panic-in-lib` | public lib fns cannot reach a panic site |
+//! | `nondeterminism-taint` | wallclock/RNG never flows into canonical JSON |
 //!
-//! Rules are token-level and file-local by design: they see declarations and
-//! uses within one file, which is exactly where the regressions dynamic
-//! tests miss tend to appear (a new `HashMap` iterated straight into a
-//! report, a stray `unwrap` on a request path). Sites that are provably fine
-//! carry `// memsense-lint: allow(rule-id)` with a one-line justification.
+//! The first seven rules are token-level and file-local by design: they see
+//! declarations and uses within one file, which is exactly where the
+//! regressions dynamic tests miss tend to appear (a new `HashMap` iterated
+//! straight into a report, a stray `unwrap` on a request path). The last
+//! three are interprocedural — they run over the workspace call graph
+//! ([`crate::graph`]) and are implemented in [`crate::reach`]; this module
+//! only registers them. Sites that are provably fine carry
+//! `// memsense-lint: allow(rule-id)` with a one-line justification;
+//! accepted debt lives in the `LINT_BASELINE.json` ratchet.
 
 use std::collections::BTreeSet;
 
@@ -32,6 +39,13 @@ pub struct Rule {
     pub invariant: &'static str,
     /// How to fix a diagnostic (for `--explain`).
     pub fix: &'static str,
+    /// Fixture stem: `tests/fixtures/bad_<stem>.rs` must fire the rule and
+    /// `good_<stem>.rs` must stay quiet (enforced by the registry coverage
+    /// test, so a rule cannot land undocumented or untested).
+    pub fixture: &'static str,
+    /// The workspace-relative path the fixture is linted under (rules scope
+    /// themselves by path).
+    pub fixture_rel: &'static str,
 }
 
 /// Every rule, in the order reports list them.
@@ -48,6 +62,8 @@ pub const RULES: &[Rule] = &[
         fix: "Use BTreeMap/BTreeSet, or collect and sort before emitting. If the \
               iteration provably cannot reach serialized output, annotate the line \
               with `// memsense-lint: allow(no-unordered-output)` and say why.",
+        fixture: "unordered",
+        fixture_rel: "crates/serve/src/fake.rs",
     },
     Rule {
         id: "no-raw-float-format",
@@ -62,6 +78,8 @@ pub const RULES: &[Rule] = &[
               explicit deterministic precision such as {:.3}. Annotate the \
               canonical serializer itself with \
               `// memsense-lint: allow(no-raw-float-format)`.",
+        fixture: "float_format",
+        fixture_rel: "crates/serve/src/fake.rs",
     },
     Rule {
         id: "no-panic-in-lib",
@@ -75,6 +93,8 @@ pub const RULES: &[Rule] = &[
               invariant is checked by construction. For provably infallible sites \
               (validated constants, mutex poisoning), annotate with \
               `// memsense-lint: allow(no-panic-in-lib)` plus a justification.",
+        fixture: "panic",
+        fixture_rel: "crates/model/src/fake.rs",
     },
     Rule {
         id: "no-wallclock-in-deterministic",
@@ -88,6 +108,8 @@ pub const RULES: &[Rule] = &[
         fix: "Thread timing through the executor's job telemetry instead of \
               reading clocks inline, or annotate a deliberate telemetry site with \
               `// memsense-lint: allow(no-wallclock-in-deterministic)`.",
+        fixture: "wallclock",
+        fixture_rel: "crates/sim/src/fake.rs",
     },
     Rule {
         id: "unsafe-needs-safety-comment",
@@ -99,6 +121,8 @@ pub const RULES: &[Rule] = &[
                     unsafe site.",
         fix: "Add `// SAFETY: <why the invariants hold>` on the line(s) directly \
               above the unsafe block or fn.",
+        fixture: "unsafe",
+        fixture_rel: "crates/model/src/fake.rs",
     },
     Rule {
         id: "no-process-exit-in-lib",
@@ -111,6 +135,8 @@ pub const RULES: &[Rule] = &[
         fix: "Return an error and let the binary map it to an exit code. The \
               documented MEMSENSE_THREADS diagnostic site is annotated with \
               `// memsense-lint: allow(no-process-exit-in-lib)`.",
+        fixture: "exit",
+        fixture_rel: "crates/model/src/fake.rs",
     },
     Rule {
         id: "no-per-op-alloc",
@@ -128,6 +154,68 @@ pub const RULES: &[Rule] = &[
               `Vec::with_capacity`. One-time construction and other cold \
               paths annotate with \
               `// memsense-lint: allow(no-per-op-alloc)` plus a justification.",
+        fixture: "per_op_alloc",
+        fixture_rel: "crates/sim/src/engine.rs",
+    },
+    Rule {
+        id: "reactor-no-blocking-call",
+        summary: "blocking calls (Mutex::lock, join, recv, blocking I/O, model solves) reachable from the epoll reactor",
+        invariant: "The serve daemon's event loop (Reactor::run) is a single \
+                    thread multiplexing every connection; one blocking call \
+                    freezes them all at once (the PR 8 take_updates bug). This \
+                    rule walks the workspace call graph from Reactor::run and \
+                    flags every reachable call to Mutex::lock, thread joins, \
+                    channel recv, Condvar waits, blocking reads/writes, \
+                    thread::sleep, and direct model solves. Method resolution is \
+                    name-based and over-approximate: a `.lock()` on any receiver \
+                    counts, because the receiver's type is unknown.",
+        fix: "Use the try_lock busy-retry discipline (return Busy / retry on \
+              contention, as StreamRegistry::take_updates does), or hand the \
+              work to the worker pool. Sites that are provably bounded or \
+              deliberate (the epoll wait itself, shutdown teardown joins) carry \
+              `// memsense-lint: allow(reactor-no-blocking-call)` with the \
+              reachability justification.",
+        fixture: "reactor_blocking",
+        fixture_rel: "crates/serve/src/server.rs",
+    },
+    Rule {
+        id: "transitive-panic-in-lib",
+        summary: "public lib fns whose call graph reaches an unannotated unwrap/expect/panic!",
+        invariant: "no-panic-in-lib sees a panic only in the file that contains \
+                    it; a public library fn three calls above it still hands its \
+                    callers an availability bug. This rule walks the call graph \
+                    from every public lib fn and flags the ones that can reach a \
+                    panic site that carries no allow-justification, naming the \
+                    chain. Annotated panic sites (poisoned-mutex expects and \
+                    friends) are accepted for every caller — the justification \
+                    is written where the panic lives.",
+        fix: "Return a Result along the chain, or justify the panic site itself \
+              with `// memsense-lint: allow(no-panic-in-lib)`. A public fn whose \
+              whole chain is deliberate can carry \
+              `// memsense-lint: allow(transitive-panic-in-lib)`.",
+        fixture: "transitive_panic",
+        fixture_rel: "crates/model/src/fake.rs",
+    },
+    Rule {
+        id: "nondeterminism-taint",
+        summary: "wallclock/RNG sources in fns that can reach a canonical-JSON serializer",
+        invariant: "Canonical JSON documents are byte-compared: golden tests, \
+                    the result cache's content addressing, and the determinism \
+                    CI gate all diff them. A fn that reads Instant::now, \
+                    SystemTime::now, or an entropy source *and* can reach \
+                    Json::canonical/to_string_pretty can leak timing or \
+                    randomness into those documents. Unlike the per-file \
+                    wallclock rule, this one has no path allowlist — it follows \
+                    the call graph to the serializer and only fires when source \
+                    and sink actually meet.",
+        fix: "Keep timing in telemetry-only structs that never serialize \
+              canonically, or split the fn so the clock read cannot flow into \
+              the serialized value. Deliberate telemetry documents (metrics \
+              bodies, bench tables) carry \
+              `// memsense-lint: allow(nondeterminism-taint)` or a justified \
+              LINT_BASELINE.json entry.",
+        fixture: "nondet_taint",
+        fixture_rel: "crates/serve/src/fake.rs",
     },
 ];
 
@@ -213,6 +301,7 @@ fn push(diags: &mut Vec<Diagnostic>, file: &SourceFile, i: usize, rule: &'static
         line: tok.line,
         col: tok.col,
         rule,
+        symbol: String::new(), // filled from the syntax layer by the caller
         message: msg,
     });
 }

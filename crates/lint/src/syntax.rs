@@ -1,0 +1,236 @@
+//! Layer 1 of the interprocedural analyzer: a lightweight item extractor on
+//! top of the token stream.
+//!
+//! [`extract`] walks a [`SourceFile`]'s code tokens with a brace-tree scope
+//! stack (`mod name { … }`, `impl [Trait for] Type { … }`, `trait Name { … }`,
+//! `fn name { … }`)
+//! and yields every function item with its name, enclosing impl self-type,
+//! in-file module path, visibility, test-ness, and body token range. The
+//! call-graph layer ([`crate::graph`]) builds its symbol index from these
+//! items.
+//!
+//! This is deliberately not a parser: it never fails, and it only tracks the
+//! facts the reachability rules need. Known simplifications (all
+//! over-approximating in the safe direction, documented in EXPERIMENTS.md):
+//! closures and nested fns are attributed to the innermost enclosing `fn`,
+//! and only a bare `pub` counts as public (`pub(crate)` etc. stay
+//! workspace-internal).
+
+use crate::engine::SourceFile;
+use crate::lexer::TokKind;
+
+/// One extracted `fn` item.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnItem {
+    /// The function's name.
+    pub name: String,
+    /// The self-type of the enclosing `impl` block, if any (last path
+    /// segment: `impl fmt::Display for CpiStack` yields `CpiStack`).
+    pub owner: Option<String>,
+    /// The in-file `mod` path the item sits under (outermost first).
+    pub modules: Vec<String>,
+    /// Whether the item is bare `pub`. `pub(crate)`/`pub(super)` are
+    /// treated as non-public: they cannot escape the workspace.
+    pub is_pub: bool,
+    /// Whether the item sits inside a `#[cfg(test)]`/`#[test]` region.
+    pub is_test: bool,
+    /// 1-based line/col of the `fn` name token.
+    pub line: u32,
+    /// 1-based byte column of the `fn` name token.
+    pub col: u32,
+    /// Code-token index of the `fn` keyword.
+    pub sig_start: usize,
+    /// Code-token indices `(open, close)` of the body braces, if the item
+    /// has a body (trait method declarations end in `;` and have none).
+    pub body: Option<(usize, usize)>,
+}
+
+impl FnItem {
+    /// `Owner::name` when the fn sits in an impl block, else `name`.
+    pub fn display(&self) -> String {
+        match &self.owner {
+            Some(owner) => format!("{owner}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+enum Scope {
+    Mod(String),
+    Impl(String),
+    Other,
+}
+
+/// Extracts every `fn` item from `file`, in source order.
+pub fn extract(file: &SourceFile) -> Vec<FnItem> {
+    let code = &file.code;
+    let mut items = Vec::new();
+    // Stack of (scope, close-brace token index).
+    let mut scopes: Vec<(Scope, usize)> = Vec::new();
+    let mut i = 0;
+    while i < code.len() {
+        while let Some((_, close)) = scopes.last() {
+            if i > *close {
+                scopes.pop();
+            } else {
+                break;
+            }
+        }
+        if code[i].kind != TokKind::Ident {
+            i += 1;
+            continue;
+        }
+        match file.txt(i) {
+            "mod" if code.get(i + 1).is_some_and(|t| t.kind == TokKind::Ident) => {
+                // `mod name { … }`; `mod name;` opens no scope.
+                if file.punct_is(i + 2, '{') {
+                    if let Some(close) = file.matching_bracket(i + 2) {
+                        scopes.push((Scope::Mod(file.txt(i + 1).to_string()), close));
+                    }
+                }
+                i += 2;
+            }
+            "impl" => {
+                let Some(open) = body_open(file, i + 1) else {
+                    i += 1;
+                    continue;
+                };
+                let name = impl_self_type(file, i + 1, open);
+                if let Some(close) = file.matching_bracket(open) {
+                    scopes.push((Scope::Impl(name), close));
+                }
+                i = open + 1;
+            }
+            "trait" if code.get(i + 1).is_some_and(|t| t.kind == TokKind::Ident) => {
+                // Trait declarations own their method items the same way an
+                // impl block does (`Solver::solve`); default bodies get
+                // analyzed like any other fn.
+                let name = file.txt(i + 1).to_string();
+                match body_open(file, i + 2) {
+                    Some(open) => {
+                        if let Some(close) = file.matching_bracket(open) {
+                            scopes.push((Scope::Impl(name), close));
+                        }
+                        i = open + 1;
+                    }
+                    None => i += 2,
+                }
+            }
+            "fn" if code.get(i + 1).is_some_and(|t| t.kind == TokKind::Ident) => {
+                let name_tok = code[i + 1];
+                let body = body_open(file, i + 2)
+                    .and_then(|open| file.matching_bracket(open).map(|close| (open, close)));
+                let owner = scopes.iter().rev().find_map(|(s, _)| match s {
+                    Scope::Impl(t) => Some(t.clone()),
+                    _ => None,
+                });
+                let modules = scopes
+                    .iter()
+                    .filter_map(|(s, _)| match s {
+                        Scope::Mod(m) => Some(m.clone()),
+                        _ => None,
+                    })
+                    .collect();
+                items.push(FnItem {
+                    name: file.txt(i + 1).to_string(),
+                    owner,
+                    modules,
+                    is_pub: is_pub_fn(file, i),
+                    is_test: file.in_test_item(i),
+                    line: name_tok.line,
+                    col: name_tok.col,
+                    sig_start: i,
+                    body,
+                });
+                if let Some((open, close)) = body {
+                    scopes.push((Scope::Other, close));
+                    i = open + 1;
+                } else {
+                    i += 2;
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    items
+}
+
+/// Scanning forward from `from`, the first `{` at bracket depth 0 — the
+/// item's body open brace. A `;` at depth 0 first means the item has no body.
+fn body_open(file: &SourceFile, from: usize) -> Option<usize> {
+    let mut depth = 0i64;
+    for j in from..file.code.len() {
+        if file.code[j].kind != TokKind::Punct {
+            continue;
+        }
+        match file.src.as_bytes()[file.code[j].start] {
+            b'{' if depth == 0 => return Some(j),
+            b';' if depth == 0 => return None,
+            b'(' | b'[' | b'{' => depth += 1,
+            b')' | b']' | b'}' => depth -= 1,
+            _ => {}
+        }
+    }
+    None
+}
+
+/// The self-type name of an `impl` header spanning code tokens
+/// `header_start..open`: the last segment of the type path after `for` if
+/// present (`impl Trait for Type`), else after `impl` itself. Generic
+/// parameter lists (`impl<T: Bound>`) are skipped by angle-depth tracking.
+fn impl_self_type(file: &SourceFile, header_start: usize, open: usize) -> String {
+    let mut angle = 0i64;
+    let mut last_for: Option<usize> = None;
+    for j in header_start..open {
+        match file.code[j].kind {
+            TokKind::Punct => match file.src.as_bytes()[file.code[j].start] {
+                b'<' => angle += 1,
+                b'>' => angle = (angle - 1).max(0),
+                _ => {}
+            },
+            TokKind::Ident if angle == 0 && file.txt(j) == "for" => last_for = Some(j),
+            _ => {}
+        }
+    }
+    let from = last_for.map_or(header_start, |j| j + 1);
+    // Last path-segment ident at angle depth 0 before the body opens.
+    let mut angle = 0i64;
+    let mut name = String::new();
+    for j in from..open {
+        match file.code[j].kind {
+            TokKind::Punct => match file.src.as_bytes()[file.code[j].start] {
+                b'<' => angle += 1,
+                b'>' => angle = (angle - 1).max(0),
+                _ => {}
+            },
+            TokKind::Ident if angle == 0 => {
+                let t = file.txt(j);
+                if !matches!(t, "dyn" | "mut" | "const" | "where") {
+                    name = t.to_string();
+                }
+            }
+            _ => {}
+        }
+    }
+    name
+}
+
+/// Whether the `fn` keyword at code token `fn_idx` is declared bare `pub`:
+/// walk back over `unsafe`/`const`/`async`/`extern "C"` modifiers, then
+/// check for `pub` not followed by a restriction parenthesis.
+fn is_pub_fn(file: &SourceFile, fn_idx: usize) -> bool {
+    let mut j = fn_idx;
+    while j > 0 {
+        let prev = j - 1;
+        let is_modifier = match file.code[prev].kind {
+            TokKind::Ident => matches!(file.txt(prev), "unsafe" | "const" | "async" | "extern"),
+            TokKind::StrLit => true, // the ABI string of `extern "C"`
+            _ => false,
+        };
+        if !is_modifier {
+            break;
+        }
+        j = prev;
+    }
+    j > 0 && file.ident_is(j - 1, "pub") && !file.punct_is(j, '(')
+}

@@ -144,7 +144,7 @@ fn json_report_is_parseable_and_written_to_out() {
     let json = Json::parse(&body).expect("report is valid JSON");
     assert_eq!(
         json.get("version").and_then(Json::as_str),
-        Some("memsense-lint/1")
+        Some("memsense-lint/2")
     );
     assert_eq!(json.get("files_scanned").and_then(Json::as_u64), Some(1));
     let diags = json
@@ -157,11 +157,18 @@ fn json_report_is_parseable_and_written_to_out() {
         Some("no-panic-in-lib")
     );
     assert_eq!(diags[0].get("line").and_then(Json::as_u64), Some(2));
+    assert_eq!(
+        diags[0].get("symbol").and_then(Json::as_str),
+        Some("f"),
+        "diagnostics carry the enclosing fn for line-free baseline keys"
+    );
     let summary = json.get("summary").expect("summary object");
     assert_eq!(
         summary.get("no-panic-in-lib").and_then(Json::as_u64),
         Some(1)
     );
+    let baseline = json.get("baseline").expect("baseline object");
+    assert_eq!(baseline.get("suppressed").and_then(Json::as_u64), Some(0));
 }
 
 #[test]
@@ -176,6 +183,153 @@ fn walker_skips_vendor_target_and_fixture_dirs() {
     let out = run(&["--root", ws.path().to_str().unwrap()]);
     assert_eq!(out.status.code(), Some(0), "{}", stdout(&out));
     assert!(stdout(&out).contains("1 file"), "{}", stdout(&out));
+}
+
+/// One pub fn whose unwrap fires exactly one diagnostic — the seed for the
+/// baseline-workflow tests.
+const DIRTY: &str = "pub fn f() -> u8 {\n    \"1\".parse().unwrap()\n}\n";
+
+#[test]
+fn write_baseline_then_justify_makes_the_tree_gate_clean() {
+    let ws = Scratch::new();
+    ws.write("crates/model/src/lib.rs", DIRTY);
+    let root = ws.path().to_str().unwrap().to_string();
+    let baseline = ws.path().join("LINT_BASELINE.json");
+
+    // Step 1: accept the debt. The writer stamps a TODO justification.
+    let out = run(&[
+        "--root",
+        &root,
+        "--write-baseline",
+        baseline.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    assert!(
+        stdout(&out).contains("need a justification"),
+        "{}",
+        stdout(&out)
+    );
+
+    // Step 2: an unjustified baseline must not gate — strict load fails.
+    let out = run(&["--root", &root]);
+    assert_eq!(out.status.code(), Some(2), "{}", stdout(&out));
+    assert!(stderr(&out).contains("justification"), "{}", stderr(&out));
+
+    // Step 3: justify it; the auto-detected baseline now suppresses the
+    // finding and the tree gates clean.
+    let body = std::fs::read_to_string(&baseline).expect("baseline written");
+    let body = body.replace("TODO: justify this accepted finding", "fixture debt");
+    std::fs::write(&baseline, body).expect("rewrite baseline");
+    let out = run(&["--root", &root]);
+    assert_eq!(out.status.code(), Some(0), "{}", stdout(&out));
+    assert!(
+        stdout(&out).contains("baseline-suppressed"),
+        "{}",
+        stdout(&out)
+    );
+
+    // Step 4: --no-baseline ignores it and the finding comes back.
+    let out = run(&["--root", &root, "--no-baseline"]);
+    assert_eq!(out.status.code(), Some(1), "{}", stdout(&out));
+}
+
+#[test]
+fn baseline_only_shrinks_stale_entries_and_new_findings_fail() {
+    let ws = Scratch::new();
+    ws.write("crates/model/src/lib.rs", DIRTY);
+    let root = ws.path().to_str().unwrap().to_string();
+
+    // A stale entry — debt the tree no longer carries — fails the run.
+    ws.write(
+        "LINT_BASELINE.json",
+        r#"{
+  "version": "memsense-lint-baseline/1",
+  "entries": [
+    {"rule": "no-panic-in-lib", "file": "crates/model/src/lib.rs", "symbol": "f", "count": 1, "justification": "fixture debt"},
+    {"rule": "no-panic-in-lib", "file": "crates/model/src/gone.rs", "symbol": "g", "count": 1, "justification": "deleted long ago"}
+  ]
+}
+"#,
+    );
+    let out = run(&["--root", &root]);
+    assert_eq!(out.status.code(), Some(1), "{}", stdout(&out));
+    assert!(
+        stdout(&out).contains("stale baseline entry"),
+        "{}",
+        stdout(&out)
+    );
+    assert!(stdout(&out).contains("gone.rs"), "{}", stdout(&out));
+
+    // Findings beyond an entry's count are new debt: they stay reported.
+    ws.write(
+        "crates/model/src/lib.rs",
+        "pub fn f() -> u8 {\n    \"1\".parse().unwrap()\n}\npub fn g() -> u8 {\n    \"2\".parse().unwrap()\n}\n",
+    );
+    ws.write(
+        "LINT_BASELINE.json",
+        r#"{
+  "version": "memsense-lint-baseline/1",
+  "entries": [
+    {"rule": "no-panic-in-lib", "file": "crates/model/src/lib.rs", "symbol": "f", "count": 1, "justification": "fixture debt"}
+  ]
+}
+"#,
+    );
+    let out = run(&["--root", &root]);
+    assert_eq!(out.status.code(), Some(1), "{}", stdout(&out));
+    let text = stdout(&out);
+    assert!(
+        text.contains(":5:"),
+        "the un-baselined g finding reports: {text}"
+    );
+    assert!(
+        !text.contains("stale baseline entry"),
+        "nothing is stale here: {text}"
+    );
+}
+
+#[test]
+fn graph_dump_is_canonical_and_byte_identical_across_runs() {
+    let ws = Scratch::new();
+    ws.write(
+        "crates/model/src/lib.rs",
+        "fn helper(x: u64) -> u64 { x + 1 }\npub fn double(x: u64) -> u64 { helper(x) * 2 }\n",
+    );
+    let root = ws.path().to_str().unwrap().to_string();
+    let dump_a = ws.path().join("graph_a.json");
+    let dump_b = ws.path().join("graph_b.json");
+    for (dump, threads) in [(&dump_a, "1"), (&dump_b, "8")] {
+        let out = Command::new(env!("CARGO_BIN_EXE_memsense-lint"))
+            .args(["--root", &root, "--graph", dump.to_str().unwrap()])
+            .env("MEMSENSE_THREADS", threads)
+            .output()
+            .expect("spawn memsense-lint");
+        assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    }
+    let a = std::fs::read_to_string(&dump_a).expect("dump a");
+    let b = std::fs::read_to_string(&dump_b).expect("dump b");
+    assert_eq!(
+        a, b,
+        "graph dump must be byte-identical across runs/threads"
+    );
+    let json = Json::parse(&a).expect("dump is valid JSON");
+    assert_eq!(
+        json.get("version").and_then(Json::as_str),
+        Some("memsense-lint-graph/1")
+    );
+    assert_eq!(
+        Json::parse(&a).expect("reparse").canonical() + "\n",
+        a,
+        "dump is in canonical form"
+    );
+    let nodes = json.get("nodes").and_then(Json::as_arr).expect("nodes");
+    assert_eq!(nodes.len(), 2);
+    let double = nodes
+        .iter()
+        .find(|n| n.get("name").and_then(Json::as_str) == Some("double"))
+        .expect("double node");
+    let calls = double.get("calls").and_then(Json::as_arr).expect("calls");
+    assert_eq!(calls.len(), 1, "double calls helper");
 }
 
 #[test]

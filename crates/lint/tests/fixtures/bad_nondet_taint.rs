@@ -1,0 +1,19 @@
+//! Fixture: a wall-clock reading in a fn that reaches the canonical-JSON
+//! serializer — elapsed time ends up inside a byte-compared document.
+
+use std::time::Instant;
+
+pub fn canonical(fields: &[(String, String)]) -> String {
+    let mut parts: Vec<String> = Vec::new();
+    for (key, value) in fields {
+        parts.push(format!("\"{key}\":{value}"));
+    }
+    format!("{{{}}}", parts.join(","))
+}
+
+pub fn stamped_report(cpi_repr: String) -> String {
+    let started = Instant::now();
+    let body = canonical(&[("cpi".to_string(), cpi_repr)]);
+    let _elapsed = started.elapsed();
+    body
+}

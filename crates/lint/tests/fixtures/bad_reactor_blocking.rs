@@ -1,0 +1,22 @@
+//! Fixture: an event loop whose tick path parks on a mutex. The blocking
+//! call sits two hops from `Reactor::run`, so only the call graph sees it.
+
+use std::sync::{Arc, Mutex};
+
+pub struct Reactor {
+    state: Arc<Mutex<u64>>,
+}
+
+impl Reactor {
+    pub fn run(&self) {
+        loop {
+            self.tick();
+        }
+    }
+
+    fn tick(&self) {
+        if let Ok(mut state) = self.state.lock() {
+            *state += 1;
+        }
+    }
+}

@@ -1,0 +1,11 @@
+//! Fixture: a public library fn that reaches a panic through a private
+//! helper. The per-file rule flags the helper's own line; only the graph
+//! rule tells the public entry point's callers about it.
+
+fn decode(raw: &str) -> u64 {
+    raw.parse().unwrap()
+}
+
+pub fn total(lines: &[&str]) -> u64 {
+    lines.iter().map(|line| decode(line)).sum()
+}

@@ -1,0 +1,6 @@
+//! Fixture: the twin of `bad_exit.rs` — the library reports fatal errors as
+//! values and leaves the exit code to the binary.
+
+pub fn bail(msg: &str) -> Result<(), String> {
+    Err(format!("fatal: {msg}"))
+}

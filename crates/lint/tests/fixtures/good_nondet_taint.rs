@@ -1,0 +1,31 @@
+//! Fixture: the twin of `bad_nondet_taint.rs` — timing lives in a fn that
+//! never reaches the serializer, and a justified telemetry reading is
+//! allow-annotated where the two must coexist.
+
+use std::time::Instant;
+
+pub fn canonical(fields: &[(String, String)]) -> String {
+    let mut parts: Vec<String> = Vec::new();
+    for (key, value) in fields {
+        parts.push(format!("\"{key}\":{value}"));
+    }
+    format!("{{{}}}", parts.join(","))
+}
+
+pub fn report(cpi_repr: String) -> String {
+    canonical(&[("cpi".to_string(), cpi_repr)])
+}
+
+pub fn timed(work: impl Fn()) -> f64 {
+    let started = Instant::now();
+    work();
+    started.elapsed().as_secs_f64()
+}
+
+pub fn swept_report(cpi_repr: String, telemetry: &mut Vec<f64>) -> String {
+    // memsense-lint: allow(nondeterminism-taint) — fixture twin: the duration goes to the telemetry vec, not the document
+    let started = Instant::now();
+    let body = canonical(&[("cpi".to_string(), cpi_repr)]);
+    telemetry.push(started.elapsed().as_secs_f64());
+    body
+}

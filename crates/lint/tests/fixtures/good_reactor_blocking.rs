@@ -1,0 +1,25 @@
+//! Fixture: the twin of `bad_reactor_blocking.rs` — the tick follows the
+//! try_lock busy-retry discipline, so contention skips the round instead of
+//! parking the event loop.
+
+use std::sync::{Arc, Mutex, TryLockError};
+
+pub struct Reactor {
+    state: Arc<Mutex<u64>>,
+}
+
+impl Reactor {
+    pub fn run(&self) {
+        loop {
+            self.tick();
+        }
+    }
+
+    fn tick(&self) {
+        match self.state.try_lock() {
+            Ok(mut state) => *state += 1,
+            Err(TryLockError::WouldBlock) => {}
+            Err(TryLockError::Poisoned(_)) => {}
+        }
+    }
+}

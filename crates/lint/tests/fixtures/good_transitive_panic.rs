@@ -1,0 +1,20 @@
+//! Fixture: the twin of `bad_transitive_panic.rs` — the helper returns an
+//! Option instead of panicking, and a justified panic site does not
+//! propagate to its callers (the justification covers them).
+
+fn decode(raw: &str) -> Option<u64> {
+    raw.parse().ok()
+}
+
+pub fn total(lines: &[&str]) -> Option<u64> {
+    lines.iter().map(|line| decode(line)).sum()
+}
+
+pub fn checked(raw: &str) -> u64 {
+    justified(raw)
+}
+
+fn justified(raw: &str) -> u64 {
+    // memsense-lint: allow(no-panic-in-lib) — fixture twin: the justification covers every caller
+    raw.parse().expect("fixture constant")
+}

@@ -183,6 +183,112 @@ fn positions_are_one_based_lines_and_cols() {
     );
 }
 
+/// Spans must tile the input in order: strictly increasing, non-overlapping,
+/// in-bounds, on char boundaries, with nothing but whitespace between them.
+fn assert_spans_tile(src: &str, toks: &[Tok]) {
+    let mut cursor = 0usize;
+    for t in toks {
+        assert!(
+            t.start < t.end,
+            "empty span {:?} in {src:?}",
+            (t.start, t.end)
+        );
+        assert!(t.end <= src.len(), "span past the end in {src:?}");
+        assert!(
+            t.start >= cursor,
+            "overlapping/out-of-order span at {} (cursor {cursor}) in {src:?}",
+            t.start
+        );
+        assert!(
+            src.is_char_boundary(t.start) && src.is_char_boundary(t.end),
+            "span splits a UTF-8 char in {src:?}"
+        );
+        assert!(
+            src[cursor..t.start].chars().all(char::is_whitespace),
+            "non-whitespace gap {:?} before a token in {src:?}",
+            &src[cursor..t.start]
+        );
+        // Exercises the span accessors on hostile input.
+        let _ = t.text(src);
+        let _ = t.end_line(src);
+        cursor = t.end;
+    }
+    assert!(
+        src[cursor..].chars().all(char::is_whitespace),
+        "non-whitespace tail {:?} after the last token in {src:?}",
+        &src[cursor..]
+    );
+}
+
+mod robustness {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(512))]
+
+        /// The lexer is total: arbitrary byte soup (lossily decoded, the
+        /// same normalization the workspace scanner applies) never panics,
+        /// and the token spans tile the input in order.
+        #[test]
+        fn arbitrary_bytes_lex_totally(bytes in collection::vec(0u8..=255u8, 0..256)) {
+            let src = String::from_utf8_lossy(&bytes).into_owned();
+            let toks = lex(&src);
+            assert_spans_tile(&src, &toks);
+        }
+
+        /// Unterminated openers — the error-tolerance cases — at any cut
+        /// point of a hostile prefix still lex totally.
+        #[test]
+        fn truncated_openers_lex_totally(
+            opener in 0usize..8,
+            bytes in collection::vec(0u8..=255u8, 0..64),
+        ) {
+            let openers = ["\"", "r#\"", "br##\"", "'", "b'", "/*", "/* /*", "//"];
+            let mut src = String::from(openers[opener]);
+            src.push_str(&String::from_utf8_lossy(&bytes));
+            let toks = lex(&src);
+            assert_spans_tile(&src, &toks);
+        }
+    }
+}
+
+#[test]
+fn shebang_lines_lex_and_keep_line_numbers() {
+    let src = "#!/usr/bin/env run-cargo-script\nfn main() {}\n";
+    let toks = lex(src);
+    assert_spans_tile(src, &toks);
+    let main = toks
+        .iter()
+        .find(|t| t.text(src) == "main")
+        .expect("main token");
+    assert_eq!(main.line, 2, "shebang consumes exactly one line");
+    // A shebang-like line mid-file must not eat the tokens after it.
+    let mid = "let a = 1;\n#!/not/a/shebang\nlet b = 2;\n";
+    let toks = lex(mid);
+    assert_spans_tile(mid, &toks);
+    let b = toks.iter().find(|t| t.text(mid) == "b").expect("b token");
+    assert_eq!(b.line, 3);
+}
+
+#[test]
+fn crlf_line_endings_count_lines_like_lf() {
+    let src = "let a = 1;\r\n// comment\r\nlet bee = 2;\r\n";
+    let toks = lex(src);
+    assert_spans_tile(src, &toks);
+    let bee = toks.iter().find(|t| t.text(src) == "bee").expect("bee");
+    assert_eq!((bee.line, bee.col), (3, 5));
+    let comment = toks
+        .iter()
+        .find(|t| t.kind == TokKind::LineComment)
+        .expect("comment");
+    assert_eq!(comment.line, 2);
+    assert!(
+        !comment.text(src).contains('\r'),
+        "a line comment must stop before the CR, not swallow it"
+    );
+}
+
 #[test]
 fn torture_fixture_lexes_without_stray_code_tokens() {
     let src = include_str!("fixtures/lexer_torture.rs");

@@ -1,0 +1,104 @@
+//! Registry coverage: a rule cannot land half-shipped. Every entry in
+//! [`RULES`] must carry non-empty `--explain` text and a fixture twin —
+//! `bad_<stem>.rs` demonstrating the defect (the rule must fire on it) and
+//! `good_<stem>.rs` demonstrating the fix or a justified suppression (the
+//! rule must stay quiet on it).
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use memsense_lint::lint_sources;
+use memsense_lint::rules::RULES;
+
+fn fixture_path(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn fixture(name: &str) -> String {
+    let path = fixture_path(name);
+    fs::read_to_string(&path).unwrap_or_else(|e| panic!("reading {}: {e}", path.display()))
+}
+
+#[test]
+fn rule_ids_are_unique_and_kebab_case() {
+    let mut seen = BTreeSet::new();
+    for r in RULES {
+        assert!(seen.insert(r.id), "duplicate rule id {:?}", r.id);
+        assert!(
+            r.id.chars().all(|c| c.is_ascii_lowercase() || c == '-'),
+            "rule id {:?} is not kebab-case",
+            r.id
+        );
+    }
+}
+
+#[test]
+fn every_rule_has_explain_text() {
+    for r in RULES {
+        assert!(!r.summary.trim().is_empty(), "{}: empty summary", r.id);
+        assert!(!r.invariant.trim().is_empty(), "{}: empty invariant", r.id);
+        assert!(!r.fix.trim().is_empty(), "{}: empty fix text", r.id);
+        assert!(
+            r.invariant.split_whitespace().count() >= 10,
+            "{}: the invariant text should explain *why*, not just restate the id",
+            r.id
+        );
+    }
+}
+
+#[test]
+fn every_rule_has_a_firing_bad_fixture_and_a_quiet_good_twin() {
+    for r in RULES {
+        let bad_name = format!("bad_{}.rs", r.fixture);
+        let good_name = format!("good_{}.rs", r.fixture);
+        let (bad_diags, _) = lint_sources(vec![(r.fixture_rel.to_string(), fixture(&bad_name))]);
+        assert!(
+            bad_diags.iter().any(|d| d.rule == r.id),
+            "{bad_name} linted under {} does not fire {} (got: {:?})",
+            r.fixture_rel,
+            r.id,
+            bad_diags.iter().map(|d| d.rule).collect::<Vec<_>>(),
+        );
+        let (good_diags, _) = lint_sources(vec![(r.fixture_rel.to_string(), fixture(&good_name))]);
+        let leaked: Vec<String> = good_diags
+            .iter()
+            .filter(|d| d.rule == r.id)
+            .map(|d| format!("{}:{}:{}", d.file, d.line, d.col))
+            .collect();
+        assert!(
+            leaked.is_empty(),
+            "{good_name} linted under {} still fires {} at {leaked:?}",
+            r.fixture_rel,
+            r.id,
+        );
+    }
+}
+
+#[test]
+fn every_fixture_belongs_to_a_rule() {
+    // The inverse direction: orphaned fixtures rot silently.
+    let stems: BTreeSet<String> = RULES
+        .iter()
+        .flat_map(|r| {
+            [
+                format!("bad_{}.rs", r.fixture),
+                format!("good_{}.rs", r.fixture),
+            ]
+        })
+        .collect();
+    let dir = fixture_path("");
+    for entry in fs::read_dir(&dir).expect("fixtures dir") {
+        let name = entry.expect("dir entry").file_name();
+        let name = name.to_string_lossy().into_owned();
+        if !name.starts_with("bad_") && !name.starts_with("good_") {
+            continue; // shared torture inputs, not rule twins
+        }
+        assert!(
+            stems.contains(&name),
+            "fixture {name} does not match any rule's `fixture` stem"
+        );
+    }
+}

@@ -136,6 +136,7 @@ impl ResultCache {
 
     /// Looks up `key`, refreshing its recency on a hit.
     pub fn get(&self, key: &str) -> Option<Arc<str>> {
+        // memsense-lint: allow(reactor-no-blocking-call) — shard critical sections are bounded map ops (no solve, no I/O); contention is microseconds
         let mut inner = self.shard(key).lock();
         let seq = inner.next_seq;
         match inner.map.get_mut(key) {
@@ -163,6 +164,7 @@ impl ResultCache {
     pub fn put(&self, key: &str, body: &Arc<str>) -> bool {
         let shard = self.shard(key);
         let cost = charge(key, body);
+        // memsense-lint: allow(reactor-no-blocking-call) — bounded insert/evict critical section; see ResultCache::get
         let mut inner = shard.lock();
         if cost > shard.budget {
             inner.rejected += 1;
@@ -201,6 +203,7 @@ impl ResultCache {
     pub fn stats(&self) -> CacheStats {
         let mut stats = CacheStats::default();
         for shard in self.shards.iter() {
+            // memsense-lint: allow(reactor-no-blocking-call) — bounded counter reads; see ResultCache::get
             let inner = shard.lock();
             stats.hits += inner.hits;
             stats.misses += inner.misses;
@@ -218,7 +221,7 @@ impl Shard {
     /// never panic themselves, so a poisoned lock means a worker died
     /// mid-mutation and the byte accounting can no longer be trusted.
     fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
-        // memsense-lint: allow(no-panic-in-lib) — poisoning implies corrupted LRU accounting; failing loud is safer than serving from it
+        // memsense-lint: allow(no-panic-in-lib, reactor-no-blocking-call) — poisoning implies corrupted LRU accounting (fail loud); holders only do bounded map ops, never a solve
         self.inner.lock().expect("cache shard lock poisoned")
     }
 }

@@ -368,7 +368,9 @@ pub fn write_response(
     keep_alive: bool,
 ) -> io::Result<()> {
     let head = response_head(response.status, response.body.len(), keep_alive);
+    // memsense-lint: allow(reactor-no-blocking-call) — reactor-side callers only use this for one-shot over-capacity 503s on a fresh socket whose tiny body fits the kernel send buffer; normal responses go through the non-blocking Conn write queue
     stream.write_all(head.as_bytes())?;
+    // memsense-lint: allow(reactor-no-blocking-call) — same one-shot 503 rationale as the head write above
     stream.write_all(response.body.as_bytes())?;
     stream.flush()
 }

@@ -47,7 +47,7 @@ impl Metrics {
     /// The registry map. A poisoned lock means a recording thread panicked
     /// mid-update; the counters are no longer trustworthy, so fail loud.
     fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, EndpointStats>> {
-        // memsense-lint: allow(no-panic-in-lib) — poisoning implies corrupted telemetry; better to crash the scrape than report garbage
+        // memsense-lint: allow(no-panic-in-lib, reactor-no-blocking-call) — poisoning implies corrupted telemetry (fail loud); holders only touch in-memory counters, never a solve or I/O
         self.endpoints.lock().expect("metrics lock poisoned")
     }
 

@@ -220,6 +220,7 @@ impl Server {
     /// period) before exiting, and joins its worker pool on the way out.
     pub fn join(&mut self) {
         if let Some(handle) = self.reactor.take() {
+            // memsense-lint: allow(reactor-no-blocking-call) — name-resolution over-approximation: Server::join runs on the owner thread, never on the reactor (the reactor cannot join itself)
             let _ = handle.join();
         }
     }
@@ -401,6 +402,7 @@ impl Reactor {
         let mut last_sweep = Instant::now();
         let mut shutdown_at: Option<Instant> = None;
         loop {
+            // memsense-lint: allow(reactor-no-blocking-call) — epoll_wait is the event loop's one designed block point: parked here means idle, not stalled
             if self.epoll.wait(&mut events, 1000).is_err() {
                 break;
             }
@@ -461,6 +463,7 @@ impl Reactor {
         drop(conns);
         drop(jobs);
         for handle in workers {
+            // memsense-lint: allow(reactor-no-blocking-call) — shutdown teardown: the event loop has already exited and the dropped job queue unblocks every worker
             let _ = handle.join();
         }
     }
@@ -589,6 +592,7 @@ impl Reactor {
     /// connections.
     fn drain_completions(&mut self) {
         let completions = {
+            // memsense-lint: allow(reactor-no-blocking-call) — workers hold this lock only to push one completion record; the exchange is a bounded Vec swap
             let Ok(mut guard) = self.completions.lock() else {
                 return;
             };

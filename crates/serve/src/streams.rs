@@ -12,9 +12,18 @@
 //! insert/remove — never across a solve. Each session sits behind its own
 //! `Mutex` inside an `Arc`, so concurrent deltas to *different* sessions
 //! solve in parallel on the worker pool while deltas to the *same* session
-//! serialize (the session API is sequential by design). The reactor's idle
-//! sweep calls [`StreamRegistry::evict_idle`], which skips busy sessions
-//! via `try_lock` and only reaps sessions idle past the timeout.
+//! serialize (the session API is sequential by design).
+//!
+//! The reactor thread never takes a blocking lock here (the
+//! `reactor-no-blocking-call` invariant): reactor-inline paths —
+//! [`StreamRegistry::take_updates`] and [`StreamRegistry::evict_idle`] —
+//! acquire both the map lock and session locks via `try_lock` only,
+//! surfacing contention as [`UpdatesPoll::Busy`] or a skipped sweep round.
+//! The open-session count is mirrored into an atomic so
+//! [`StreamRegistry::sessions`] and [`StreamRegistry::snapshot`] (the
+//! `/metrics` path) are lock-free. Worker-side paths ([`StreamRegistry::open`],
+//! [`StreamRegistry::delta`]) may block on the map lock; its critical
+//! sections are bounded id lookups and inserts.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -70,11 +79,16 @@ pub enum UpdatesPoll {
 #[derive(Default)]
 pub struct StreamRegistry {
     sessions: Mutex<BTreeMap<u64, Arc<Mutex<SessionState>>>>,
+    /// Mirror of `sessions.len()`, maintained at insert/evict, so the
+    /// count is readable without touching the map lock.
+    session_count: AtomicU64,
     next_id: AtomicU64,
     deltas: AtomicU64,
     cells_resolved: AtomicU64,
     cells_skipped: AtomicU64,
 }
+
+type SessionMap = BTreeMap<u64, Arc<Mutex<SessionState>>>;
 
 impl StreamRegistry {
     /// Creates an empty registry.
@@ -82,15 +96,32 @@ impl StreamRegistry {
         StreamRegistry::default()
     }
 
-    /// The registry map. Poisoning means a panic mid-insert/lookup; session
-    /// bookkeeping is no longer trustworthy, so fail loud.
-    fn map(&self) -> std::sync::MutexGuard<'_, BTreeMap<u64, Arc<Mutex<SessionState>>>> {
+    /// The registry map, worker-side: blocks until the lock is free. Never
+    /// called on the reactor thread — reactor paths go through
+    /// [`StreamRegistry::try_locked`]. Poisoning means a panic
+    /// mid-insert/lookup; session bookkeeping is no longer trustworthy, so
+    /// fail loud.
+    fn locked(&self) -> std::sync::MutexGuard<'_, SessionMap> {
         // memsense-lint: allow(no-panic-in-lib) — poisoned registry = corrupted session table
         self.sessions.lock().expect("stream registry lock poisoned")
     }
 
+    /// The registry map, reactor-side: `try_lock` only, `None` on
+    /// contention (a worker is mid-insert; the caller reports Busy or
+    /// skips the round and retries on the next tick).
+    fn try_locked(&self) -> Option<std::sync::MutexGuard<'_, SessionMap>> {
+        match self.sessions.try_lock() {
+            Ok(map) => Some(map),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+            Err(std::sync::TryLockError::Poisoned(_)) => {
+                // memsense-lint: allow(no-panic-in-lib) — poisoned registry = corrupted session table
+                panic!("stream registry lock poisoned")
+            }
+        }
+    }
+
     fn slot(&self, id: u64) -> Option<Arc<Mutex<SessionState>>> {
-        self.map().get(&id).cloned()
+        self.locked().get(&id).cloned()
     }
 
     /// `POST /v1/stream/open` (worker-pool side): validates the spec,
@@ -103,7 +134,7 @@ impl StreamRegistry {
         };
         // Optimistic cap check before paying for the full-grid solve; the
         // authoritative check happens again at insert.
-        if self.map().len() >= MAX_SESSIONS {
+        if self.sessions() >= MAX_SESSIONS {
             return session_cap_response();
         }
         let session = match Session::open(spec, batch) {
@@ -142,12 +173,13 @@ impl StreamRegistry {
             last_used: Instant::now(),
         }));
         let id = {
-            let mut map = self.map();
+            let mut map = self.locked();
             if map.len() >= MAX_SESSIONS {
                 return session_cap_response();
             }
             let id = self.next_id.fetch_add(1, Ordering::Relaxed) + 1;
             map.insert(id, slot);
+            self.session_count.fetch_add(1, Ordering::Relaxed);
             id
         };
         let Json::Obj(mut fields) = response else {
@@ -232,9 +264,16 @@ impl StreamRegistry {
     /// [`StreamRegistry::evict_idle`]; contention surfaces as
     /// [`UpdatesPoll::Busy`].
     pub fn take_updates(&self, id: u64) -> UpdatesPoll {
-        let Some(slot) = self.slot(id) else {
+        // The map lock itself follows the same discipline: a worker holds
+        // it only across an id lookup or insert, but the reactor still must
+        // not park on even that — report Busy and let the client re-poll.
+        let Some(map) = self.try_locked() else {
+            return UpdatesPoll::Busy;
+        };
+        let Some(slot) = map.get(&id).cloned() else {
             return UpdatesPoll::Unknown;
         };
+        drop(map);
         let poll = match slot.try_lock() {
             Ok(mut state) => {
                 state.last_used = Instant::now();
@@ -250,10 +289,13 @@ impl StreamRegistry {
     }
 
     /// Evicts sessions idle longer than `timeout`; sessions currently
-    /// mid-delta are busy by definition and skipped. Returns how many were
-    /// evicted.
+    /// mid-delta are busy by definition and skipped, and a contended map
+    /// lock skips the whole round (the reactor sweeps again next tick).
+    /// Returns how many were evicted.
     pub fn evict_idle(&self, timeout: Duration) -> usize {
-        let mut map = self.map();
+        let Some(mut map) = self.try_locked() else {
+            return 0;
+        };
         let stale: Vec<u64> = map
             .iter()
             .filter(|(_, slot)| match slot.try_lock() {
@@ -264,19 +306,21 @@ impl StreamRegistry {
             .collect();
         for id in &stale {
             map.remove(id);
+            self.session_count.fetch_sub(1, Ordering::Relaxed);
         }
         stale.len()
     }
 
-    /// Open-session count.
+    /// Open-session count. Lock-free: reads the atomic mirror, so the
+    /// `/metrics` path never touches the registry lock.
     pub fn sessions(&self) -> usize {
-        self.map().len()
+        self.session_count.load(Ordering::Relaxed) as usize
     }
 
-    /// Counters for `/metrics`.
+    /// Counters for `/metrics`. Lock-free, same as [`StreamRegistry::sessions`].
     pub fn snapshot(&self) -> StreamSnapshot {
         StreamSnapshot {
-            sessions: self.map().len() as u64,
+            sessions: self.session_count.load(Ordering::Relaxed),
             deltas: self.deltas.load(Ordering::Relaxed),
             cells_resolved: self.cells_resolved.load(Ordering::Relaxed),
             cells_skipped: self.cells_skipped.load(Ordering::Relaxed),
@@ -381,6 +425,22 @@ mod tests {
         assert!(matches!(registry.take_updates(id), UpdatesPoll::Busy));
         drop(_mid_delta);
         assert_eq!(drained(&registry, id).len(), 1, "unlocked drains again");
+    }
+
+    #[test]
+    fn contended_registry_map_reports_busy_and_skips_the_sweep() {
+        // A worker mid-insert holds the map lock; reactor-inline paths must
+        // not park on it. The poll reports Busy, the sweep skips the round,
+        // and the session count stays readable through the atomic mirror.
+        let registry = StreamRegistry::new();
+        let id = open_small(&registry);
+        let _mid_insert = registry.sessions.lock().unwrap();
+        assert!(matches!(registry.take_updates(id), UpdatesPoll::Busy));
+        assert_eq!(registry.evict_idle(Duration::ZERO), 0, "sweep skipped");
+        assert_eq!(registry.sessions(), 1, "count is lock-free");
+        drop(_mid_insert);
+        assert_eq!(registry.evict_idle(Duration::ZERO), 1);
+        assert_eq!(registry.sessions(), 0);
     }
 
     #[test]
